@@ -1,0 +1,187 @@
+// Shared setup for the per-figure benchmark harnesses: dataset
+// construction, window (sub-path occurrence) counting, and selection of
+// data-rich query paths. Each bench binary regenerates one table/figure of
+// the paper's evaluation (Sec. 5); EXPERIMENTS.md records the shapes.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/accuracy_optimal.h"
+#include "baselines/methods.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table_writer.h"
+#include "core/estimator.h"
+#include "core/instantiation.h"
+#include "traj/generator.h"
+#include "traj/store.h"
+
+namespace pcde {
+namespace bench {
+
+/// Bench-scale datasets (laptop budget; see DESIGN.md substitutions).
+inline constexpr size_t kTripsA = 12000;
+inline constexpr size_t kTripsB = 16000;
+
+struct BenchDataset {
+  traj::Dataset data;
+  traj::TrajectoryStore store;
+
+  explicit BenchDataset(traj::Dataset ds)
+      : data(std::move(ds)), store(data.MatchedSlice(1.0)) {}
+};
+
+inline BenchDataset MakeA(size_t trips = kTripsA) {
+  return BenchDataset(traj::MakeDatasetA(trips));
+}
+inline BenchDataset MakeB(size_t trips = kTripsB) {
+  return BenchDataset(traj::MakeDatasetB(trips));
+}
+
+/// A (window, interval) occurrence group: the qualified trajectories of a
+/// candidate sub-path during one alpha-interval.
+struct WindowGroup {
+  roadnet::Path path;
+  int32_t interval = 0;
+  std::vector<traj::Occurrence> occurrences;
+};
+
+/// Enumerates (window, interval) groups of a given cardinality with at
+/// least `min_support` qualified trajectories, ordered by support
+/// (descending), capped at `limit`.
+inline std::vector<WindowGroup> FrequentWindows(
+    const traj::TrajectoryStore& store, const core::TimeBinning& binning,
+    size_t cardinality, size_t min_support, size_t limit) {
+  struct Key {
+    std::vector<roadnet::EdgeId> edges;
+    int32_t interval;
+    bool operator==(const Key& o) const {
+      return interval == o.interval && edges == o.edges;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t h = static_cast<size_t>(k.interval) * 0x9e3779b97f4a7c15ull + 1;
+      for (roadnet::EdgeId e : k.edges) {
+        h ^= static_cast<size_t>(e) + 0x9e3779b97f4a7c15ull + (h << 6) +
+             (h >> 2);
+      }
+      return h;
+    }
+  };
+  std::unordered_map<Key, std::vector<traj::Occurrence>, KeyHash> groups;
+  for (size_t ti = 0; ti < store.NumTrajectories(); ++ti) {
+    const traj::MatchedTrajectory& t = store.trajectory(ti);
+    if (t.path.size() < cardinality) continue;
+    for (size_t pos = 0; pos + cardinality <= t.path.size(); ++pos) {
+      Key key{{t.path.edges().begin() + static_cast<ptrdiff_t>(pos),
+               t.path.edges().begin() + static_cast<ptrdiff_t>(pos + cardinality)},
+              binning.IndexOf(t.edge_enter_times[pos])};
+      groups[key].push_back(
+          traj::Occurrence{ti, pos, t.edge_enter_times[pos]});
+    }
+  }
+  std::vector<WindowGroup> out;
+  for (auto& [key, occs] : groups) {
+    if (occs.size() < min_support) continue;
+    out.push_back(WindowGroup{roadnet::Path(key.edges), key.interval,
+                              std::move(occs)});
+  }
+  std::sort(out.begin(), out.end(), [](const WindowGroup& a, const WindowGroup& b) {
+    return a.occurrences.size() > b.occurrences.size();
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+/// Random simple path biased toward popular (heavily traversed) edges, so
+/// long synthetic queries (Figs. 15/16) run over instantiated variables
+/// rather than pure speed-limit fallbacks: the successor edge is drawn
+/// with probability proportional to its traversal count (plus one).
+inline StatusOr<roadnet::Path> DataBiasedRandomPath(
+    const roadnet::Graph& g, const traj::TrajectoryStore& store,
+    size_t cardinality, Rng* rng, int max_attempts = 400) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Seed on an observed edge.
+    const size_t ti = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(store.NumTrajectories()) - 1));
+    const traj::MatchedTrajectory& t = store.trajectory(ti);
+    if (t.path.empty()) continue;
+    std::vector<roadnet::EdgeId> edges{t.path[0]};
+    std::set<roadnet::VertexId> visited{g.edge(t.path[0]).from,
+                                        g.edge(t.path[0]).to};
+    while (edges.size() < cardinality) {
+      const roadnet::VertexId head = g.edge(edges.back()).to;
+      std::vector<roadnet::EdgeId> pool;
+      std::vector<double> weights;
+      for (roadnet::EdgeId e : g.OutEdges(head)) {
+        if (visited.count(g.edge(e).to) != 0) continue;
+        pool.push_back(e);
+        weights.push_back(
+            1.0 + static_cast<double>(store.EdgeOccurrenceCount(e)));
+      }
+      if (pool.empty()) break;
+      const roadnet::EdgeId next = pool[rng->Categorical(weights)];
+      edges.push_back(next);
+      visited.insert(g.edge(next).to);
+    }
+    if (edges.size() == cardinality) return roadnet::Path(std::move(edges));
+  }
+  return Status::NotFound("DataBiasedRandomPath: none found");
+}
+
+/// Windows suitable for the paper's held-out ground-truth protocol
+/// (Figs. 13/14): >= `beta` qualified trajectories AND every edge keeps at
+/// least `beta + slack` qualified trajectories from *other* traffic in the
+/// same interval, so sub-path coverage survives the exclusion.
+inline std::vector<WindowGroup> HeldOutCandidates(
+    const traj::TrajectoryStore& store, const core::TimeBinning& binning,
+    size_t cardinality, size_t beta, size_t slack, size_t limit) {
+  const auto windows = FrequentWindows(store, binning, cardinality, beta,
+                                       std::max<size_t>(limit * 50, 4000));
+  std::vector<WindowGroup> out;
+  for (const auto& w : windows) {
+    const Interval ij = binning.IntervalOf(w.interval);
+    bool covered = true;
+    for (size_t d = 0; d < w.path.size() && covered; ++d) {
+      const size_t unit_quals =
+          store.FindQualified(roadnet::Path({w.path[d]}), ij).size();
+      covered = unit_quals >= w.occurrences.size() + beta + slack;
+    }
+    if (!covered) continue;
+    out.push_back(w);
+    if (out.size() >= limit) break;
+  }
+  return out;
+}
+
+/// A copy of the store without any trajectory qualified for one of the
+/// given (window, interval) groups — the sparseness-restoring exclusion of
+/// the Fig. 13/14 protocol.
+inline traj::TrajectoryStore ExcludeWindows(
+    const traj::TrajectoryStore& store,
+    const std::vector<WindowGroup>& groups) {
+  std::set<size_t> excluded;
+  for (const auto& g : groups) {
+    for (const auto& occ : g.occurrences) excluded.insert(occ.traj_index);
+  }
+  std::vector<traj::MatchedTrajectory> remaining;
+  remaining.reserve(store.NumTrajectories());
+  for (size_t i = 0; i < store.NumTrajectories(); ++i) {
+    if (excluded.count(i) == 0) remaining.push_back(store.trajectory(i));
+  }
+  return traj::TrajectoryStore(std::move(remaining));
+}
+
+inline std::string Mb(size_t bytes) {
+  return TableWriter::Num(static_cast<double>(bytes) / (1024.0 * 1024.0), 2) +
+         " MB";
+}
+
+}  // namespace bench
+}  // namespace pcde

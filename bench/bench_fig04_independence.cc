@@ -1,0 +1,118 @@
+// Figure 4 — examining the independence assumption: (a) the distribution
+// of KL(D_GT, D_LB) over 2-edge paths with many trajectories in the
+// morning peak; (b) the average divergence grows with path cardinality.
+// D_GT comes from whole-path trajectories; D_LB convolves the per-edge
+// marginals of the very same trajectories, assuming independence.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "hist/raw_distribution.h"
+
+namespace pcde {
+namespace bench {
+namespace {
+
+/// KL between the ground-truth total-cost distribution of a window and the
+/// independence convolution of its per-edge marginals.
+StatusOr<double> IndependenceGap(const traj::TrajectoryStore& store,
+                                 const WindowGroup& group) {
+  const auto rows = store.CostMatrix(group.path, group.occurrences);
+  const size_t dims = group.path.size();
+  // Ground truth: empirical totals.
+  std::vector<double> totals(rows.size(), 0.0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (double c : rows[i]) totals[i] += c;
+  }
+  hist::AutoBucketOptions opts;
+  PCDE_ASSIGN_OR_RETURN(gt, hist::BuildAutoHistogram(totals, opts));
+  // Legacy: convolve per-edge marginals.
+  std::vector<double> column(rows.size());
+  StatusOr<hist::Histogram1D> conv = Status::NotFound("");
+  for (size_t d = 0; d < dims; ++d) {
+    for (size_t i = 0; i < rows.size(); ++i) column[i] = rows[i][d];
+    PCDE_ASSIGN_OR_RETURN(marginal, hist::BuildAutoHistogram(column, opts));
+    conv = d == 0 ? StatusOr<hist::Histogram1D>(marginal)
+                  : hist::Convolve(conv.value(), marginal);
+    if (!conv.ok()) return conv.status();
+  }
+  return hist::KlDivergence(gt, conv.value());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pcde
+
+int main() {
+  using namespace pcde;
+  using namespace pcde::bench;
+  const BenchDataset a = MakeA();
+  const core::TimeBinning binning(30.0);
+
+  // ---- (a): 2-edge paths in the morning peak with high support.
+  {
+    std::printf("Figure 4(a): KL(D_GT, D_LB) histogram, 2-edge paths, "
+                "morning peak, dataset A\n");
+    const auto windows = FrequentWindows(a.store, binning, 2,
+                                         /*min_support=*/60, /*limit=*/500);
+    size_t bins[4] = {0, 0, 0, 0};
+    size_t evaluated = 0;
+    for (const auto& w : windows) {
+      const Interval ij = binning.IntervalOf(w.interval);
+      const double hour = ij.lo / 3600.0;
+      if (hour < 6.0 || hour > 10.0) continue;  // morning traffic
+      auto kl = IndependenceGap(a.store, w);
+      if (!kl.ok()) continue;
+      ++evaluated;
+      const double v = kl.value();
+      if (v < 0.5) {
+        ++bins[0];
+      } else if (v < 1.0) {
+        ++bins[1];
+      } else if (v < 1.5) {
+        ++bins[2];
+      } else {
+        ++bins[3];
+      }
+    }
+    TableWriter table({"KL range", "percentage"});
+    const char* labels[4] = {"[0,0.5)", "[0.5,1)", "[1,1.5)", ">=1.5"};
+    for (int i = 0; i < 4; ++i) {
+      table.AddRow({labels[i],
+                    TableWriter::Num(evaluated > 0
+                                         ? 100.0 * static_cast<double>(bins[i]) /
+                                               static_cast<double>(evaluated)
+                                         : 0.0,
+                                     1) +
+                        "%"});
+    }
+    table.Print();
+    std::printf("(%zu paths evaluated)\n\n", evaluated);
+  }
+
+  // ---- (b): average KL vs |P|.
+  {
+    std::printf("Figure 4(b): average KL(D_GT, D_LB) vs |P|, dataset A\n");
+    TableWriter table({"|P|", "avg KL", "paths"});
+    for (size_t card : {2, 4, 6, 8, 10, 12}) {
+      const auto windows =
+          FrequentWindows(a.store, binning, card, /*min_support=*/30,
+                          /*limit=*/100);
+      double total = 0.0;
+      size_t n = 0;
+      for (const auto& w : windows) {
+        auto kl = IndependenceGap(a.store, w);
+        if (!kl.ok()) continue;
+        total += kl.value();
+        ++n;
+      }
+      table.AddRow({std::to_string(card),
+                    TableWriter::Num(n > 0 ? total / static_cast<double>(n) : 0.0, 3),
+                    std::to_string(n)});
+    }
+    table.Print();
+  }
+  std::printf("\nPaper shape: a large share of adjacent edge pairs is NOT\n"
+              "independent, and the divergence of the convolution from the\n"
+              "ground truth grows with path cardinality.\n");
+  return 0;
+}

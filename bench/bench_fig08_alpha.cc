@@ -1,0 +1,56 @@
+// Figure 8 — the effect of the finest time interval alpha: (a) edge
+// coverage |E'|/|E''| rises with alpha (more trajectories qualify per
+// interval); (b) variables instantiated over longer intervals mix more
+// traffic states, so their entropy rises — alpha = 30 is the compromise.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace pcde {
+namespace bench {
+namespace {
+
+void Run(const char* name, const BenchDataset& ds) {
+  std::printf("Figure 8 (dataset %s)\n", name);
+  TableWriter ta({"alpha (min)", "coverage |E'|/|E''|", "#variables",
+                  "H |V|=1", "H |V|=2", "H |V|=3", "H |V|>=4"});
+  for (double alpha : {15.0, 30.0, 60.0, 120.0}) {
+    core::HybridParams params;
+    params.alpha_minutes = alpha;
+    params.beta = 30;
+    const auto wp =
+        core::InstantiateWeightFunction(*ds.data.graph, ds.store, params);
+    const double coverage =
+        static_cast<double>(wp.NumCoveredEdges()) /
+        static_cast<double>(std::max<size_t>(ds.store.NumObservedEdges(), 1));
+    size_t variables = 0;
+    for (const auto& [rank, count] : wp.CountByRank(false)) variables += count;
+    const auto entropy = wp.MeanEntropyByRank();
+    auto h = [&](size_t rank) {
+      auto it = entropy.find(rank);
+      return it == entropy.end() ? std::string("-")
+                                 : TableWriter::Num(it->second, 2);
+    };
+    ta.AddRow({TableWriter::Num(alpha, 0), TableWriter::Num(coverage, 3),
+               std::to_string(variables), h(1), h(2), h(3), h(4)});
+  }
+  ta.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pcde
+
+int main() {
+  using namespace pcde::bench;
+  const BenchDataset a = MakeA();
+  Run("A", a);
+  const BenchDataset b = MakeB();
+  Run("B", b);
+  std::printf("Paper shape: coverage increases with alpha but stays below\n"
+              "full coverage (skewed data); entropy increases with alpha\n"
+              "(longer intervals mix more traffic states). alpha = 30 is\n"
+              "the accuracy/coverage trade-off the paper selects.\n");
+  return 0;
+}

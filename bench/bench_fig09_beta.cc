@@ -1,0 +1,47 @@
+// Figure 9 — the effect of the qualified-trajectory threshold beta on the
+// number of instantiated random variables, grouped by rank.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace pcde {
+namespace bench {
+namespace {
+
+void Run(const char* name, const BenchDataset& ds) {
+  std::printf("Figure 9 (dataset %s): instantiated variables by rank\n", name);
+  TableWriter table({"beta", "|V|=1", "|V|=2", "|V|=3", "|V|>=4", "total"});
+  for (size_t beta : {15, 30, 45, 60}) {
+    core::HybridParams params;
+    params.beta = beta;
+    const auto wp =
+        core::InstantiateWeightFunction(*ds.data.graph, ds.store, params);
+    size_t by_group[4] = {0, 0, 0, 0};
+    size_t total = 0;
+    for (const auto& [rank, count] : wp.CountByRank(false)) {
+      by_group[std::min<size_t>(rank, 4) - 1] += count;
+      total += count;
+    }
+    table.AddRow({std::to_string(beta), std::to_string(by_group[0]),
+                  std::to_string(by_group[1]), std::to_string(by_group[2]),
+                  std::to_string(by_group[3]), std::to_string(total)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pcde
+
+int main() {
+  using namespace pcde::bench;
+  const BenchDataset a = MakeA();
+  Run("A", a);
+  const BenchDataset b = MakeB();
+  Run("B", b);
+  std::printf("Paper shape: the variable count drops as beta grows; the\n"
+              "paper picks beta = 30 because the count is only slightly\n"
+              "below beta = 15 while the variables are more reliable.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 10 — varying dataset sizes: more trajectories instantiate more
+// variables, and in particular more variables of high rank.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace pcde {
+namespace bench {
+namespace {
+
+void Run(const char* name, const BenchDataset& ds) {
+  std::printf("Figure 10 (dataset %s)\n", name);
+  TableWriter table(
+      {"fraction", "|V|=1", "|V|=2", "|V|=3", "|V|>=4", "total"});
+  for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
+    core::HybridParams params;
+    params.beta = 30;
+    traj::TrajectoryStore store(ds.data.MatchedSlice(fraction));
+    const auto wp =
+        core::InstantiateWeightFunction(*ds.data.graph, store, params);
+    size_t by_group[4] = {0, 0, 0, 0};
+    size_t total = 0;
+    for (const auto& [rank, count] : wp.CountByRank(false)) {
+      by_group[std::min<size_t>(rank, 4) - 1] += count;
+      total += count;
+    }
+    table.AddRow({TableWriter::Num(fraction * 100, 0) + "%",
+                  std::to_string(by_group[0]), std::to_string(by_group[1]),
+                  std::to_string(by_group[2]), std::to_string(by_group[3]),
+                  std::to_string(total)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pcde
+
+int main() {
+  using namespace pcde::bench;
+  const BenchDataset a = MakeA();
+  Run("A", a);
+  const BenchDataset b = MakeB();
+  Run("B", b);
+  std::printf("Paper shape: variable counts (and especially high-rank\n"
+              "counts) grow steadily with data volume — more data lets the\n"
+              "hybrid graph capture longer dependencies.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 11 — performance of the histogram representation:
+// (a) KL of parametric MLE fits (Gaussian, Gamma; Exponential reported
+//     separately, it is far worse) vs the Auto histogram;
+// (b) KL of fixed-bucket V-Optimal (Sta-3, Sta-4) vs Auto;
+// (c) space-saving ratio 1 - S_H / S_R of the histograms vs raw data.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "hist/fit.h"
+#include "hist/raw_distribution.h"
+#include "hist/voptimal.h"
+
+namespace pcde {
+namespace bench {
+namespace {
+
+struct Aggregate {
+  double kl_gauss = 0, kl_gamma = 0, kl_exp = 0;
+  double kl_sta3 = 0, kl_sta4 = 0, kl_auto = 0;
+  double save_sta3 = 0, save_sta4 = 0, save_auto = 0;
+  size_t n = 0;
+};
+
+void Run(const char* name, const BenchDataset& ds) {
+  const core::TimeBinning binning(30.0);
+  // Unit-path sample sets with enough support (the instantiated rank-1
+  // variables' underlying data).
+  const auto windows = FrequentWindows(ds.store, binning, 1, 40, 250);
+  Aggregate agg;
+  for (const auto& w : windows) {
+    const std::vector<double> xs = ds.store.TotalCosts(w.path, w.occurrences);
+    const hist::RawDistribution raw = hist::RawDistribution::FromSamples(xs);
+    hist::AutoBucketOptions opts;
+    auto h_auto = hist::BuildAutoHistogram(xs, opts);
+    auto h3 = hist::BuildStaticHistogram(xs, 3);
+    auto h4 = hist::BuildStaticHistogram(xs, 4);
+    if (!h_auto.ok() || !h3.ok() || !h4.ok()) continue;
+    agg.kl_gauss += hist::KlRawVsFit(
+        raw, hist::ParametricFit::Fit(hist::FitKind::kGaussian, xs));
+    agg.kl_gamma += hist::KlRawVsFit(
+        raw, hist::ParametricFit::Fit(hist::FitKind::kGamma, xs));
+    agg.kl_exp += hist::KlRawVsFit(
+        raw, hist::ParametricFit::Fit(hist::FitKind::kExponential, xs));
+    agg.kl_auto += hist::KlRawVsHistogram(raw, h_auto.value());
+    agg.kl_sta3 += hist::KlRawVsHistogram(raw, h3.value());
+    agg.kl_sta4 += hist::KlRawVsHistogram(raw, h4.value());
+    const double raw_bytes = static_cast<double>(raw.MemoryUsageBytes());
+    agg.save_auto +=
+        1.0 - static_cast<double>(h_auto.value().MemoryUsageBytes()) / raw_bytes;
+    agg.save_sta3 +=
+        1.0 - static_cast<double>(h3.value().MemoryUsageBytes()) / raw_bytes;
+    agg.save_sta4 +=
+        1.0 - static_cast<double>(h4.value().MemoryUsageBytes()) / raw_bytes;
+    ++agg.n;
+  }
+  const double n = static_cast<double>(std::max<size_t>(agg.n, 1));
+  std::printf("Figure 11 (dataset %s, %zu rank-1 sample sets)\n", name, agg.n);
+  TableWriter ta({"method", "avg KL vs raw", "avg space saving"});
+  ta.AddRow({"Gaussian (MLE)", TableWriter::Num(agg.kl_gauss / n, 3), "-"});
+  ta.AddRow({"Gamma (MLE)", TableWriter::Num(agg.kl_gamma / n, 3), "-"});
+  ta.AddRow({"Exponential (MLE)", TableWriter::Num(agg.kl_exp / n, 3),
+             "(omitted in the paper: off the chart)"});
+  ta.AddRow({"Sta-3", TableWriter::Num(agg.kl_sta3 / n, 3),
+             TableWriter::Num(100.0 * agg.save_sta3 / n, 1) + "%"});
+  ta.AddRow({"Sta-4", TableWriter::Num(agg.kl_sta4 / n, 3),
+             TableWriter::Num(100.0 * agg.save_sta4 / n, 1) + "%"});
+  ta.AddRow({"Auto", TableWriter::Num(agg.kl_auto / n, 3),
+             TableWriter::Num(100.0 * agg.save_auto / n, 1) + "%"});
+  ta.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pcde
+
+int main() {
+  using namespace pcde::bench;
+  const BenchDataset a = MakeA();
+  Run("A", a);
+  const BenchDataset b = MakeB();
+  Run("B", b);
+  std::printf("Paper shape: Auto is the most accurate (travel-time\n"
+              "distributions do not follow standard families; exponential\n"
+              "is worst by far); Auto matches Sta-4's accuracy while\n"
+              "saving more space.\n");
+  return 0;
+}

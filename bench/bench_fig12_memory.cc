@@ -1,0 +1,45 @@
+// Figure 12 — memory use of the instantiated random variables as the
+// trajectory volume grows; histograms keep W_P small enough for RAM.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace pcde {
+namespace bench {
+namespace {
+
+void Run(const char* name, const BenchDataset& ds) {
+  std::printf("Figure 12 (dataset %s)\n", name);
+  TableWriter table({"fraction", "variables (data)", "memory (with fallbacks)",
+                     "memory (data only)"});
+  for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
+    core::HybridParams params;
+    traj::TrajectoryStore store(ds.data.MatchedSlice(fraction));
+    const auto wp =
+        core::InstantiateWeightFunction(*ds.data.graph, store, params);
+    size_t variables = 0;
+    for (const auto& [rank, count] : wp.CountByRank(false)) variables += count;
+    table.AddRow({TableWriter::Num(fraction * 100, 0) + "%",
+                  std::to_string(variables), Mb(wp.MemoryUsageBytes(true)),
+                  Mb(wp.MemoryUsageBytes(false))});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pcde
+
+int main() {
+  using namespace pcde::bench;
+  const BenchDataset a = MakeA();
+  Run("A", a);
+  const BenchDataset b = MakeB();
+  Run("B", b);
+  std::printf("Paper shape: memory grows roughly linearly with data volume\n"
+              "and stays small (the paper: 1.8 GB / 4.2 GB at fleet scale;\n"
+              "proportionally tiny at this laptop scale), so W_P fits in\n"
+              "main memory.\n");
+  return 0;
+}

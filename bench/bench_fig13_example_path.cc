@@ -1,0 +1,83 @@
+// Figure 13 — accuracy comparison on a particular path: the distributions
+// estimated by OD, LB, HP, and RD for one held-out path, against the
+// ground truth (the paper's Fig. 1(b) path).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+void PrintHistogram(const char* name, const pcde::hist::Histogram1D& h,
+                    double kl) {
+  using pcde::TableWriter;
+  std::printf("%s (KL vs ground truth = %.3f)\n", name, kl);
+  TableWriter table({"travel time (s)", "probability"});
+  for (const auto& b : h.buckets()) {
+    table.AddRow({"[" + TableWriter::Num(b.range.lo, 0) + "," +
+                      TableWriter::Num(b.range.hi, 0) + ")",
+                  TableWriter::Num(b.prob, 4)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace pcde;
+  using namespace pcde::bench;
+  const BenchDataset a = MakeA();
+  core::HybridParams params;
+  params.beta = 20;
+  const core::TimeBinning binning(params.alpha_minutes);
+
+  const auto candidates =
+      HeldOutCandidates(a.store, binning, /*cardinality=*/5, params.beta,
+                        /*slack=*/20, /*limit=*/1);
+  if (candidates.empty()) {
+    std::printf("no held-out candidate found\n");
+    return 1;
+  }
+  const WindowGroup& w = candidates.front();
+  const Interval ij = binning.IntervalOf(w.interval);
+  std::printf("Figure 13: path %s, interval [%.0f, %.0f) s, %zu qualified "
+              "trajectories held out\n\n",
+              w.path.ToString().c_str(), ij.lo, ij.hi, w.occurrences.size());
+
+  baselines::AccuracyOptimal gt(a.store, params);
+  auto truth = gt.GroundTruthCompact(w.path, ij);
+  if (!truth.ok()) {
+    std::printf("ground truth failed: %s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+  PrintHistogram("Ground truth (accuracy-optimal, held-out trajectories)",
+                 truth.value(), 0.0);
+
+  const traj::TrajectoryStore sparse = ExcludeWindows(a.store, candidates);
+  const auto wp =
+      core::InstantiateWeightFunction(*a.data.graph, sparse, params);
+
+  struct Method {
+    const char* name;
+    core::HybridEstimator estimator;
+  };
+  std::vector<Method> methods;
+  methods.push_back({"OD (coarsest decomposition)", baselines::MakeOd(wp)});
+  methods.push_back({"LB (legacy convolution)", baselines::MakeLb(wp)});
+  methods.push_back({"HP (pairwise joints)", baselines::MakeHp(wp)});
+  methods.push_back({"RD (random decomposition)", baselines::MakeRd(wp)});
+  const double depart = ij.lo + 60.0;
+  for (auto& m : methods) {
+    auto est = m.estimator.EstimateCostDistribution(w.path, depart);
+    if (!est.ok()) {
+      std::printf("%s failed: %s\n", m.name, est.status().ToString().c_str());
+      continue;
+    }
+    PrintHistogram(m.name, est.value(),
+                   hist::KlDivergence(truth.value(), est.value()));
+  }
+  std::printf("Paper shape: OD captures the ground-truth characteristics;\n"
+              "LB tends toward a central-limit bell that misses the true\n"
+              "shape; HP and RD sit in between.\n");
+  return 0;
+}

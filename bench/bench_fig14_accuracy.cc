@@ -1,0 +1,94 @@
+// Figure 14 — accuracy against held-out ground truth as the query path
+// grows: paths with >= beta trajectories are selected, those trajectories
+// are removed from the training data (restoring sparseness), and each
+// method's estimate is compared to the held-out ground truth by KL
+// divergence.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace pcde {
+namespace bench {
+namespace {
+
+void Run(const char* name, const BenchDataset& ds, size_t slack) {
+  core::HybridParams params;
+  params.beta = 20;
+  const core::TimeBinning binning(params.alpha_minutes);
+  std::printf("Figure 14 (dataset %s, coverage slack %zu): "
+              "avg KL(ground truth, estimate)\n",
+              name, slack);
+  TableWriter table({"|P_query|", "OD", "LB", "RD", "HP", "paths"});
+
+  for (size_t card : {4, 5, 6, 8}) {
+    auto selected = HeldOutCandidates(ds.store, binning, card, params.beta,
+                                      slack, /*limit=*/12);
+    if (selected.empty()) {
+      table.AddRow({std::to_string(card), "-", "-", "-", "-", "0"});
+      continue;
+    }
+    baselines::AccuracyOptimal gt(ds.store, params);
+    const traj::TrajectoryStore sparse = ExcludeWindows(ds.store, selected);
+    const auto wp =
+        core::InstantiateWeightFunction(*ds.data.graph, sparse, params);
+    core::HybridEstimator od = baselines::MakeOd(wp);
+    core::HybridEstimator lb = baselines::MakeLb(wp);
+    core::HybridEstimator rd = baselines::MakeRd(wp);
+    core::HybridEstimator hp = baselines::MakeHp(wp);
+
+    double kl[4] = {0, 0, 0, 0};
+    size_t n = 0;
+    for (const auto& w : selected) {
+      const Interval ij = binning.IntervalOf(w.interval);
+      auto truth = gt.GroundTruthCompact(w.path, ij);
+      if (!truth.ok()) continue;
+      const double depart = ij.lo + 60.0;
+      core::HybridEstimator* methods[4] = {&od, &lb, &rd, &hp};
+      bool all_ok = true;
+      double kls[4];
+      for (int m = 0; m < 4 && all_ok; ++m) {
+        auto est = methods[m]->EstimateCostDistribution(w.path, depart);
+        all_ok = est.ok();
+        if (all_ok) kls[m] = hist::KlDivergence(truth.value(), est.value());
+      }
+      if (!all_ok) continue;
+      for (int m = 0; m < 4; ++m) kl[m] += kls[m];
+      ++n;
+    }
+    if (n == 0) {
+      table.AddRow({std::to_string(card), "-", "-", "-", "-", "0"});
+      continue;
+    }
+    const double dn = static_cast<double>(n);
+    table.AddRow({std::to_string(card), TableWriter::Num(kl[0] / dn, 3),
+                  TableWriter::Num(kl[1] / dn, 3),
+                  TableWriter::Num(kl[2] / dn, 3),
+                  TableWriter::Num(kl[3] / dn, 3), std::to_string(n)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pcde
+
+int main() {
+  using namespace pcde::bench;
+  // The paper's regime: the held-out path's edges keep substantial
+  // independent traffic, so sub-path joints are well estimated.
+  const BenchDataset a = MakeA();
+  Run("A", a, /*slack=*/20);
+  const BenchDataset b = MakeB();
+  Run("B", b, /*slack=*/20);
+  // Borderline regime: surviving sub-path coverage barely clears beta and
+  // comes from crossing traffic whose cost mix differs from the held-out
+  // through-trips; the coarsest decomposition then conditions on biased
+  // joints, and LB's pooled unit marginals can match or beat it. The
+  // paper's fleet-scale data sits firmly in the first regime.
+  Run("A (borderline coverage)", a, /*slack=*/0);
+  std::printf("Paper shape: with adequate sub-path coverage OD's KL stays\n"
+              "below LB's and grows more slowly with |P_query| (independence\n"
+              "errors accumulate); RD and HP sit between them.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 15 — entropy comparison without ground truth: for long query
+// paths the estimated-joint entropy H_DE (Theorem 2: KL = H_DE - H, so
+// lower is better) is compared across methods.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace pcde {
+namespace bench {
+namespace {
+
+void Run(const char* name, const BenchDataset& ds,
+         const core::PathWeightFunction& wp) {
+  std::printf("Figure 15 (dataset %s): average H_DE\n", name);
+  TableWriter table({"|P_query|", "OD", "HP", "RD", "LB", "paths"});
+  Rng rng(515);
+  for (size_t card : {20, 40, 60, 80, 100}) {
+    double h[4] = {0, 0, 0, 0};
+    size_t n = 0;
+    for (int trial = 0; trial < 100; ++trial) {
+      auto path = DataBiasedRandomPath(*ds.data.graph, ds.store, card, &rng);
+      if (!path.ok()) continue;
+      const double depart = traj::HoursToSeconds(rng.Bernoulli(0.6) ? rng.Uniform(7.2, 9.0) : rng.Uniform(15.8, 18.0));
+      auto od = baselines::MakeOd(wp).EstimateEntropy(path.value(), depart);
+      auto hp = baselines::MakeHp(wp).EstimateEntropy(path.value(), depart);
+      auto rd = baselines::MakeRd(wp).EstimateEntropy(path.value(), depart);
+      auto lb = baselines::MakeLb(wp).EstimateEntropy(path.value(), depart);
+      if (!od.ok() || !hp.ok() || !rd.ok() || !lb.ok()) continue;
+      h[0] += od.value();
+      h[1] += hp.value();
+      h[2] += rd.value();
+      h[3] += lb.value();
+      ++n;
+    }
+    if (n == 0) {
+      table.AddRow({std::to_string(card), "-", "-", "-", "-", "0"});
+      continue;
+    }
+    const double dn = static_cast<double>(n);
+    table.AddRow({std::to_string(card), TableWriter::Num(h[0] / dn, 2),
+                  TableWriter::Num(h[1] / dn, 2),
+                  TableWriter::Num(h[2] / dn, 2),
+                  TableWriter::Num(h[3] / dn, 2), std::to_string(n)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pcde
+
+int main() {
+  using namespace pcde;
+  using namespace pcde::bench;
+  core::HybridParams params;
+  params.beta = 20;
+  {
+    const BenchDataset a = MakeA();
+    const auto wp =
+        core::InstantiateWeightFunction(*a.data.graph, a.store, params);
+    Run("A", a, wp);
+  }
+  {
+    const BenchDataset b = MakeB();
+    const auto wp =
+        core::InstantiateWeightFunction(*b.data.graph, b.store, params);
+    Run("B", b, wp);
+  }
+  std::printf("Paper shape: H_DE grows with |P_query| for every method; OD\n"
+              "produces the least entropy (most informative estimate), LB\n"
+              "the most; HP and RD lie in between. (At this data scale the\n"
+              "plug-in entropy of small-support joints carries a slight\n"
+              "upward bias — see EXPERIMENTS.md.)\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 16 — efficiency of cost-distribution estimation as the query
+// path grows, for OD, RD, HP, LB and the rank-capped OD-2/3/4 variants
+// (google-benchmark; one timing series per method and cardinality).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_common.h"
+
+namespace pcde {
+namespace bench {
+namespace {
+
+struct Fig16State {
+  std::unique_ptr<BenchDataset> data;
+  std::unique_ptr<core::PathWeightFunction> wp;
+  // Pre-generated query paths per cardinality (same paths for all
+  // methods, so the series are comparable).
+  std::map<size_t, std::vector<roadnet::Path>> queries;
+  double depart = traj::HoursToSeconds(8.2);
+
+  Fig16State() {
+    data = std::make_unique<BenchDataset>(MakeA());
+    core::HybridParams params;
+    params.beta = 20;
+    wp = std::make_unique<core::PathWeightFunction>(
+        core::InstantiateWeightFunction(*data->data.graph, data->store,
+                                        params));
+    Rng rng(616);
+    for (size_t card : {20, 40, 60, 80, 100}) {
+      std::vector<roadnet::Path>& list = queries[card];
+      while (list.size() < 10) {
+        auto p = DataBiasedRandomPath(*data->data.graph, data->store, card,
+                                      &rng);
+        if (p.ok()) list.push_back(std::move(p).value());
+      }
+    }
+  }
+};
+
+Fig16State* state = nullptr;
+
+void EstimateLoop(benchmark::State& bench_state,
+                  const core::HybridEstimator& estimator, size_t card) {
+  const auto& paths = state->queries[card];
+  size_t i = 0;
+  for (auto _ : bench_state) {
+    auto est = estimator.EstimateCostDistribution(paths[i % paths.size()],
+                                                  state->depart);
+    benchmark::DoNotOptimize(est);
+    ++i;
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pcde
+
+int main(int argc, char** argv) {
+  using namespace pcde;
+  using namespace pcde::bench;
+  std::printf("Figure 16: run time of path cost distribution estimation\n"
+              "(dataset A; series per method, Args = |P_query|)\n");
+  state = new Fig16State();
+
+  struct Method {
+    const char* name;
+    core::HybridEstimator estimator;
+  };
+  std::vector<Method>* methods = new std::vector<Method>();
+  methods->push_back({"OD", baselines::MakeOd(*state->wp)});
+  methods->push_back({"RD", baselines::MakeRd(*state->wp)});
+  methods->push_back({"HP", baselines::MakeHp(*state->wp)});
+  methods->push_back({"LB", baselines::MakeLb(*state->wp)});
+  methods->push_back({"OD-2", baselines::MakeOdCapped(*state->wp, 2)});
+  methods->push_back({"OD-3", baselines::MakeOdCapped(*state->wp, 3)});
+  methods->push_back({"OD-4", baselines::MakeOdCapped(*state->wp, 4)});
+
+  for (const auto& m : *methods) {
+    auto* bench = benchmark::RegisterBenchmark(
+        m.name,
+        [&m](benchmark::State& s) {
+          pcde::bench::EstimateLoop(s, m.estimator,
+                                    static_cast<size_t>(s.range(0)));
+        });
+    for (size_t card : {20, 40, 60, 80, 100}) {
+      bench->Arg(static_cast<int>(card));
+    }
+    bench->Unit(benchmark::kMillisecond);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\nPaper shape: OD is fastest (fewest, coarsest variables);\n"
+              "OD-x gets slower as x shrinks; HP and LB are slowest since\n"
+              "they touch at least |P_query| variables.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// The paper's Fig. 1(a) motivating scenario: a traveller must reach the
+// airport within a deadline and chooses between candidate paths. The mean
+// alone picks the wrong path; the distribution picks the right one.
+//
+// Two candidate paths between the same endpoints are compared by
+// P(travel time <= deadline), computed with the hybrid-graph estimator.
+#include <cstdio>
+#include <set>
+
+#include "baselines/methods.h"
+#include "common/table_writer.h"
+#include "core/estimator.h"
+#include "core/instantiation.h"
+#include "roadnet/shortest_path.h"
+#include "traj/generator.h"
+#include "traj/store.h"
+
+int main() {
+  using namespace pcde;
+  std::printf("Fig. 1(a) scenario: which path reaches the 'airport' in "
+              "time?\n\n");
+  traj::Dataset city = traj::MakeDatasetA(8000);
+  traj::TrajectoryStore store(city.MatchedSlice(1.0));
+  core::HybridParams params;
+  params.beta = 15;
+  const core::PathWeightFunction wp =
+      core::InstantiateWeightFunction(*city.graph, store, params);
+  const roadnet::Graph& g = *city.graph;
+
+  // Origin/destination: a cross-town pair ("home" -> "airport").
+  // Candidate 1: the fastest free-flow route. Candidate 2: an alternative
+  // that avoids the first route's arterials (jittered weights).
+  const roadnet::VertexId home = 2;
+  const roadnet::VertexId airport =
+      static_cast<roadnet::VertexId>(g.NumVertices() - 3);
+  auto p1 = roadnet::ShortestPath(g, home, airport, roadnet::FreeFlowWeight(g));
+  if (!p1.ok()) {
+    std::printf("no route: %s\n", p1.status().ToString().c_str());
+    return 1;
+  }
+  // Alternative: penalize P1's edges to force a different route.
+  std::set<roadnet::EdgeId> p1_edges(p1.value().begin(), p1.value().end());
+  const roadnet::EdgeWeightFn alt_weight = [&](const roadnet::Edge& e) {
+    return e.FreeFlowSeconds() * (p1_edges.count(e.id) ? 2.5 : 1.0);
+  };
+  auto p2 = roadnet::ShortestPath(g, home, airport, alt_weight);
+  if (!p2.ok()) {
+    std::printf("no alternative route\n");
+    return 1;
+  }
+
+  const double departure = traj::HoursToSeconds(8.0);  // morning rush
+  core::HybridEstimator od = baselines::MakeOd(wp);
+  auto d1 = od.EstimateCostDistribution(p1.value(), departure);
+  auto d2 = od.EstimateCostDistribution(p2.value(), departure);
+  if (!d1.ok() || !d2.ok()) {
+    std::printf("estimation failed\n");
+    return 1;
+  }
+
+  // Deadline between the two means so the decision is non-trivial.
+  const double deadline =
+      0.5 * (d1.value().Mean() + d2.value().Mean()) +
+      2.0 * std::max(d1.value().Quantile(0.9) - d1.value().Mean(),
+                     d2.value().Quantile(0.9) - d2.value().Mean());
+
+  TableWriter table({"path", "|P|", "mean (s)", "90th pct (s)",
+                     "P(on time)"});
+  auto row = [&](const char* name, const roadnet::Path& p,
+                 const hist::Histogram1D& d) {
+    table.AddRow({name, std::to_string(p.size()),
+                  TableWriter::Num(d.Mean(), 1),
+                  TableWriter::Num(d.Quantile(0.9), 1),
+                  TableWriter::Num(d.ProbWithin(deadline), 4)});
+  };
+  std::printf("Departure 08:00, deadline %.0f s (%.1f min):\n\n", deadline,
+              deadline / 60.0);
+  row("P1 (fastest nominal)", p1.value(), d1.value());
+  row("P2 (alternative)", p2.value(), d2.value());
+  table.Print();
+
+  const double prob1 = d1.value().ProbWithin(deadline);
+  const double prob2 = d2.value().ProbWithin(deadline);
+  const bool mean_pick = d1.value().Mean() < d2.value().Mean();
+  const bool prob_pick = prob1 > prob2;
+  std::printf("\nBy mean travel time, choose %s; by on-time probability, "
+              "choose %s.\n",
+              mean_pick ? "P1" : "P2", prob_pick ? "P1" : "P2");
+  if (mean_pick != prob_pick) {
+    std::printf("The two criteria disagree — exactly the paper's Fig. 1(a) "
+                "point:\nonly the distribution supports deadline-aware "
+                "choices.\n");
+  } else {
+    std::printf("Here both criteria agree, but only the distribution\n"
+                "quantifies the risk (P(on time) = %.3f vs %.3f).\n", prob1,
+                prob2);
+  }
+  return 0;
+}

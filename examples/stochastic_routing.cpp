@@ -1,0 +1,73 @@
+// Stochastic budget routing (Sec. 4.3): find the path that maximizes the
+// probability of arriving within a travel-time budget, with the hybrid
+// graph (OD) and the legacy baseline (LB) as the cost estimator — the
+// integration the paper's Fig. 18 measures.
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "common/table_writer.h"
+#include "core/instantiation.h"
+#include "roadnet/shortest_path.h"
+#include "routing/stochastic_router.h"
+#include "traj/generator.h"
+#include "traj/store.h"
+
+int main() {
+  using namespace pcde;
+  std::printf("Stochastic budget routing with the hybrid graph\n\n");
+  traj::Dataset city = traj::MakeDatasetA(8000);
+  traj::TrajectoryStore store(city.MatchedSlice(1.0));
+  core::HybridParams params;
+  params.beta = 15;
+  const core::PathWeightFunction wp =
+      core::InstantiateWeightFunction(*city.graph, store, params);
+  const roadnet::Graph& g = *city.graph;
+
+  // A cross-town query during the morning rush.
+  const roadnet::VertexId from = 5;
+  const roadnet::VertexId to =
+      static_cast<roadnet::VertexId>(g.NumVertices() / 2 + 9);
+  const double min_time =
+      roadnet::ShortestPathCost(g, from, to, roadnet::FreeFlowWeight(g));
+  if (min_time == roadnet::kInfCost) {
+    std::printf("unreachable pair\n");
+    return 1;
+  }
+  const double budget = min_time * 1.2;
+  const double departure = traj::HoursToSeconds(8.0);
+  std::printf("from v%u to v%u, depart 08:00, free-flow minimum %.0f s, "
+              "budget %.0f s\n\n",
+              from, to, min_time, budget);
+
+  TableWriter table({"estimator", "P(on time)", "|path|", "expansions",
+                     "candidates", "time (ms)"});
+  for (auto [name, policy, cap] :
+       {std::tuple<const char*, core::DecompositionPolicy, size_t>{
+            "OD-DFS", core::DecompositionPolicy::kCoarsest, 0},
+        {"HP-DFS", core::DecompositionPolicy::kPairwise, 2},
+        {"LB-DFS", core::DecompositionPolicy::kUnit, 1}}) {
+    core::EstimateOptions options;
+    options.policy = policy;
+    options.rank_cap = cap;
+    routing::RouterConfig config;
+    config.max_expansions = 100000;
+    routing::DfsStochasticRouter router(g, wp, options, config);
+    Stopwatch watch;
+    auto result = router.Route(from, to, departure, budget);
+    const double ms = watch.ElapsedMillis();
+    if (!result.ok()) {
+      table.AddRow({name, "-", "-", "-", "-", TableWriter::Num(ms, 1)});
+      continue;
+    }
+    table.AddRow({name, TableWriter::Num(result.value().best_probability, 4),
+                  std::to_string(result.value().best_path.size()),
+                  std::to_string(result.value().expansions),
+                  std::to_string(result.value().candidate_paths),
+                  TableWriter::Num(ms, 1)});
+  }
+  table.Print();
+  std::printf("\nThe same DFS algorithm runs with each estimator plugged\n"
+              "in; the hybrid graph both changes the probability estimates\n"
+              "(dependence-aware) and accelerates the search.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "baselines/accuracy_optimal.h"
+
+#include "hist/raw_distribution.h"
+#include "hist/voptimal.h"
+
+namespace pcde {
+namespace baselines {
+
+size_t AccuracyOptimal::CountQualified(const roadnet::Path& path,
+                                       const Interval& interval) const {
+  return store_.FindQualified(path, interval).size();
+}
+
+std::vector<double> AccuracyOptimal::QualifiedTotals(
+    const roadnet::Path& path, const Interval& interval) const {
+  const auto occurrences = store_.FindQualified(path, interval);
+  return store_.TotalCosts(path, occurrences, params_.cost_type);
+}
+
+StatusOr<hist::Histogram1D> AccuracyOptimal::GroundTruth(
+    const roadnet::Path& path, const Interval& interval) const {
+  const std::vector<double> totals = QualifiedTotals(path, interval);
+  if (totals.size() < params_.beta) {
+    return Status::FailedPrecondition(
+        "AccuracyOptimal: only " + std::to_string(totals.size()) +
+        " qualified trajectories (beta=" + std::to_string(params_.beta) + ")");
+  }
+  return hist::RawDistribution::FromSamples(totals,
+                                            params_.bucket_options.resolution)
+      .ToExactHistogram();
+}
+
+StatusOr<hist::Histogram1D> AccuracyOptimal::GroundTruthCompact(
+    const roadnet::Path& path, const Interval& interval) const {
+  const std::vector<double> totals = QualifiedTotals(path, interval);
+  if (totals.size() < params_.beta) {
+    return Status::FailedPrecondition(
+        "AccuracyOptimal: only " + std::to_string(totals.size()) +
+        " qualified trajectories (beta=" + std::to_string(params_.beta) + ")");
+  }
+  return hist::BuildAutoHistogram(totals, params_.bucket_options);
+}
+
+}  // namespace baselines
+}  // namespace pcde

@@ -1,0 +1,50 @@
+// The accuracy-optimal baseline (Sec. 2.2): estimate a path's cost
+// distribution directly from the >= beta qualified trajectories that
+// traversed the whole path during the interval of interest. It is the most
+// accurate use of the available data — the paper (and this repo) treats its
+// output D_GT as ground truth — but data sparseness makes it inapplicable
+// for most (path, interval) pairs (Fig. 3).
+#pragma once
+
+#include "common/status.h"
+#include "core/params.h"
+#include "hist/histogram1d.h"
+#include "roadnet/path.h"
+#include "traj/store.h"
+
+namespace pcde {
+namespace baselines {
+
+class AccuracyOptimal {
+ public:
+  AccuracyOptimal(const traj::TrajectoryStore& store,
+                  const core::HybridParams& params)
+      : store_(store), params_(params) {}
+
+  /// Number of qualified trajectories for (path, interval).
+  size_t CountQualified(const roadnet::Path& path,
+                        const Interval& interval) const;
+
+  /// \brief D_GT: the exact empirical distribution (one bucket per grid
+  /// cell) of the total path cost over qualified trajectories. Returns
+  /// FailedPrecondition when fewer than beta qualify — the sparseness case
+  /// the hybrid graph exists to handle.
+  StatusOr<hist::Histogram1D> GroundTruth(const roadnet::Path& path,
+                                          const Interval& interval) const;
+
+  /// Same data compressed with the Auto histogram (what a deployed system
+  /// would store).
+  StatusOr<hist::Histogram1D> GroundTruthCompact(const roadnet::Path& path,
+                                                 const Interval& interval) const;
+
+  /// Raw total-cost samples of the qualified trajectories.
+  std::vector<double> QualifiedTotals(const roadnet::Path& path,
+                                      const Interval& interval) const;
+
+ private:
+  const traj::TrajectoryStore& store_;
+  core::HybridParams params_;
+};
+
+}  // namespace baselines
+}  // namespace pcde

@@ -1,0 +1,49 @@
+// Factory helpers wiring the HybridEstimator into the paper's compared
+// methods (Sec. 5.2.2):
+//   OD    — the proposal: coarsest decomposition (Algorithm 1)
+//   OD-x  — coarsest decomposition with variable rank capped at x
+//   LB    — legacy baseline [22]: rank-1 convolution, arrival-time shifted
+//   HP    — Hua & Pei [10]: rank-2 pairwise chain
+//   RD    — random valid decomposition
+#pragma once
+
+#include "core/estimator.h"
+
+namespace pcde {
+namespace baselines {
+
+inline core::HybridEstimator MakeOd(const core::PathWeightFunction& wp) {
+  return core::HybridEstimator(wp);
+}
+
+inline core::HybridEstimator MakeOdCapped(const core::PathWeightFunction& wp,
+                                          size_t rank_cap) {
+  core::EstimateOptions o;
+  o.rank_cap = rank_cap;
+  return core::HybridEstimator(wp, o);
+}
+
+inline core::HybridEstimator MakeLb(const core::PathWeightFunction& wp) {
+  core::EstimateOptions o;
+  o.policy = core::DecompositionPolicy::kUnit;
+  o.rank_cap = 1;
+  return core::HybridEstimator(wp, o);
+}
+
+inline core::HybridEstimator MakeHp(const core::PathWeightFunction& wp) {
+  core::EstimateOptions o;
+  o.policy = core::DecompositionPolicy::kPairwise;
+  o.rank_cap = 2;
+  return core::HybridEstimator(wp, o);
+}
+
+inline core::HybridEstimator MakeRd(const core::PathWeightFunction& wp,
+                                    uint64_t seed = 7) {
+  core::EstimateOptions o;
+  o.policy = core::DecompositionPolicy::kRandom;
+  o.random_seed = seed;
+  return core::HybridEstimator(wp, o);
+}
+
+}  // namespace baselines
+}  // namespace pcde

@@ -1,0 +1,57 @@
+// Half-open real interval [lo, hi) with the arithmetic used throughout the
+// paper: shift-and-enlarge (Eq. 3), bucket sums (Sec. 4.2), overlap ratios
+// (temporal relevance selection in Sec. 4.1.3).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace pcde {
+
+/// \brief Half-open interval [lo, hi). Empty iff hi <= lo.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  Interval() = default;
+  Interval(double l, double h) : lo(l), hi(h) {}
+
+  double width() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+  double mid() const { return 0.5 * (lo + hi); }
+
+  bool Contains(double x) const { return x >= lo && x < hi; }
+
+  /// Intersection; empty interval if disjoint.
+  Interval Intersect(const Interval& o) const {
+    return Interval(std::max(lo, o.lo), std::min(hi, o.hi));
+  }
+
+  bool Overlaps(const Interval& o) const { return !Intersect(o).empty(); }
+
+  /// Minkowski sum: [lo+o.lo, hi+o.hi). Used when summing bucket bounds of a
+  /// hyper-bucket into a 1-D cost bucket (Sec. 4.2).
+  Interval operator+(const Interval& o) const {
+    return Interval(lo + o.lo, hi + o.hi);
+  }
+
+  Interval Shift(double delta) const { return Interval(lo + delta, hi + delta); }
+
+  /// |this ∩ o| / |this| — the overlap ratio used to pick the temporally most
+  /// relevant instantiated variable. Returns 0 for empty intervals.
+  double OverlapRatioOf(const Interval& o) const {
+    if (empty()) return 0.0;
+    Interval x = Intersect(o);
+    return x.empty() ? 0.0 : x.width() / width();
+  }
+
+  bool operator==(const Interval& o) const { return lo == o.lo && hi == o.hi; }
+  bool operator!=(const Interval& o) const { return !(*this == o); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << "[" << iv.lo << "," << iv.hi << ")";
+}
+
+}  // namespace pcde

@@ -1,0 +1,138 @@
+#include "common/mathutil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pcde {
+
+double SafeLog(double x) {
+  constexpr double kTiny = 1e-300;
+  return std::log(std::max(x, kTiny));
+}
+
+double Digamma(double x) {
+  assert(x > 0.0);
+  double result = 0.0;
+  // Recurrence psi(x) = psi(x+1) - 1/x until x is large enough for the
+  // asymptotic series.
+  while (x < 12.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+  return result;
+}
+
+double Trigamma(double x) {
+  assert(x > 0.0);
+  double result = 0.0;
+  while (x < 12.0) {
+    result += 1.0 / (x * x);
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += inv * (1.0 + 0.5 * inv +
+                   inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 / 42.0)));
+  return result;
+}
+
+double LogGamma(double x) {
+  // Lanczos approximation (g = 7, n = 9).
+  static const double kCoef[9] = {
+      0.99999999999980993,  676.5203681218851,    -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,  12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoef[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoef[i] / (x + i);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+void SampleStats::Add(double x) {
+  if (count == 0) {
+    min = max = x;
+  } else {
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  ++count;
+  const double delta = x - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (x - mean);
+}
+
+double SampleStats::Variance() const {
+  return count > 0 ? m2 / static_cast<double>(count) : 0.0;
+}
+
+double SampleStats::Stddev() const { return std::sqrt(Variance()); }
+
+SampleStats ComputeStats(const std::vector<double>& xs) {
+  SampleStats s;
+  for (double x : xs) s.Add(x);
+  return s;
+}
+
+GaussianFit FitGaussianMle(const std::vector<double>& xs) {
+  SampleStats s = ComputeStats(xs);
+  return {s.mean, std::max(s.Stddev(), 1e-9)};
+}
+
+GammaFit FitGammaMle(const std::vector<double>& xs) {
+  SampleStats stats = ComputeStats(xs);
+  if (stats.count == 0 || stats.mean <= 0.0) return {1.0, 1.0};
+  double mean_log = 0.0;
+  size_t positive = 0;
+  for (double x : xs) {
+    if (x > 0.0) {
+      mean_log += std::log(x);
+      ++positive;
+    }
+  }
+  if (positive == 0) return {1.0, 1.0};
+  mean_log /= static_cast<double>(positive);
+  const double log_mean = std::log(stats.mean);
+  const double diff = log_mean - mean_log;  // >= 0 by Jensen
+  if (diff < 1e-12) {
+    // Nearly deterministic sample: huge shape, tiny scale.
+    const double shape = 1e6;
+    return {shape, stats.mean / shape};
+  }
+  // Minka's initialization followed by Newton steps on
+  // f(k) = log(k) - psi(k) - diff.
+  double k = (3.0 - diff + std::sqrt((diff - 3.0) * (diff - 3.0) + 24.0 * diff)) /
+             (12.0 * diff);
+  k = std::max(k, 1e-6);
+  for (int iter = 0; iter < 50; ++iter) {
+    const double f = std::log(k) - Digamma(k) - diff;
+    const double fprime = 1.0 / k - Trigamma(k);
+    const double step = f / fprime;
+    double next = k - step;
+    if (next <= 0.0) next = k / 2.0;
+    if (std::fabs(next - k) < 1e-10 * k) {
+      k = next;
+      break;
+    }
+    k = next;
+  }
+  return {k, stats.mean / k};
+}
+
+ExponentialFit FitExponentialMle(const std::vector<double>& xs) {
+  SampleStats s = ComputeStats(xs);
+  if (s.count == 0 || s.mean <= 0.0) return {1.0};
+  return {1.0 / s.mean};
+}
+
+}  // namespace pcde

@@ -1,0 +1,54 @@
+// Small numerical helpers shared across modules: statistics over samples,
+// special functions for Gamma MLE (Fig. 11a), and safe logarithms for
+// KL-divergence computations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pcde {
+
+/// Natural log with floor: log(max(x, tiny)). Keeps KL computations finite
+/// under epsilon-smoothing.
+double SafeLog(double x);
+
+/// Digamma function psi(x) for x > 0 (asymptotic expansion with recurrence).
+/// Accuracy ~1e-12 for x >= 6 and still <1e-8 near 0.1 — ample for MLE.
+double Digamma(double x);
+
+/// Trigamma function psi'(x) for x > 0.
+double Trigamma(double x);
+
+/// ln Gamma(x) for x > 0 (Lanczos approximation).
+double LogGamma(double x);
+
+/// \brief Running mean/variance over a sample (Welford).
+struct SampleStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void Add(double x);
+  double Variance() const;   // population variance
+  double Stddev() const;
+};
+
+SampleStats ComputeStats(const std::vector<double>& xs);
+
+/// Maximum-likelihood Gaussian fit: returns (mean, stddev).
+struct GaussianFit { double mean; double stddev; };
+GaussianFit FitGaussianMle(const std::vector<double>& xs);
+
+/// Maximum-likelihood Gamma fit via Newton iteration on the shape parameter
+/// (Minka's method). Requires strictly positive samples; clamps degenerate
+/// inputs to a near-deterministic fit.
+struct GammaFit { double shape; double scale; };
+GammaFit FitGammaMle(const std::vector<double>& xs);
+
+/// Maximum-likelihood Exponential fit: rate = 1/mean.
+struct ExponentialFit { double rate; };
+ExponentialFit FitExponentialMle(const std::vector<double>& xs);
+
+}  // namespace pcde

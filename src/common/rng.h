@@ -1,0 +1,74 @@
+// Deterministic random number generation. All stochastic components (traffic
+// model, trajectory generator, random decompositions, GPS noise) draw from an
+// explicitly seeded Rng so that every experiment is reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace pcde {
+
+/// \brief Seeded pseudo-random generator with the distributions the library
+/// needs. Not thread-safe; use one instance per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Gamma with shape k and scale theta (mean = k*theta).
+  double Gamma(double shape, double scale) {
+    return std::gamma_distribution<double>(shape, scale)(engine_);
+  }
+
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  size_t Categorical(const std::vector<double>& weights) {
+    assert(!weights.empty());
+    return std::discrete_distribution<size_t>(weights.begin(), weights.end())(
+        engine_);
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// trajectory / worker its own stream.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pcde

@@ -1,0 +1,58 @@
+// Plain-text table writer used by the benchmark harnesses to print the
+// paper-style rows/series (one table or figure per binary).
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pcde {
+
+/// \brief Collects rows of cells and prints them column-aligned.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 4) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      for (size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], cells[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (size_t i = 0; i < widths.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string();
+        os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << c;
+      }
+      os << "\n";
+    };
+    print_row(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto& r : rows_) print_row(r);
+    os.flush();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pcde

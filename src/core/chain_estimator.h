@@ -1,0 +1,125 @@
+// Evaluation of Eq. 2 — the decomposable-model estimate
+//   p̂(C_P) = Π p(C_Pi) / Π p(C_{Pi ∩ Pi-1})
+// over multi-dimensional histograms, fused with the Sec. 4.2 reduction to
+// the univariate cost distribution.
+//
+// The decomposition is a chain junction tree (parts ordered left to right,
+// consecutive parts overlapping on separators). ChainSweeper sweeps the
+// chain keeping a sparse distribution over states
+//   (accumulated-sum interval, open separator box),
+// where "open" dimensions are the edges shared with the next part. Each
+// part contributes a proper conditional p(new dims | separator) formed from
+// its own histogram (hyper-bucket mass divided by its separator marginal);
+// separator boundary mismatches between adjacent histograms are resolved by
+// box intersection under the uniform-within-bucket assumption. Closed
+// dimensions Minkowski-sum their bucket ranges into the running total; the
+// final states are flattened into a disjoint 1-D histogram (Fig. 7) and
+// compacted.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/decomposition.h"
+#include "hist/histogram1d.h"
+
+namespace pcde {
+namespace core {
+
+struct ChainOptions {
+  size_t max_result_buckets = 64;
+  /// Cap on accumulated-sum entries per open-box group; beyond it the sums
+  /// are flattened and compacted (bounded-memory progressive convolution).
+  size_t sums_per_box_cap = 48;
+  /// Cap on the number of open-box groups; the lowest-mass groups beyond
+  /// it are demoted to an unconditioned overflow group (their boxes close
+  /// into the running sums), trading a little tail dependence for bounded
+  /// per-step work.
+  size_t max_groups = 48;
+  /// If the surviving probability mass falls below this (adjacent
+  /// histograms with disjoint separator supports), the caller should retry
+  /// under part independence.
+  double min_total_mass = 1e-9;
+  /// Ignore separators: every part treated as independent (the fallback
+  /// mode, and the natural semantics of the LB unit chain).
+  bool force_independence = false;
+};
+
+struct ChainDiagnostics {
+  size_t variables_used = 0;
+  size_t max_states = 0;  // peak total sum-entries across groups
+  bool independence_fallback = false;
+};
+
+/// \brief Stateful left-to-right sweep over a decomposition chain.
+///
+/// Copyable: stochastic routing branches the sweep state per explored
+/// prefix ("path + another edge", Sec. 4.3).
+class ChainSweeper {
+ public:
+  explicit ChainSweeper(const ChainOptions& options);
+
+  /// Applies one part. `next_overlap_start` is the query position where the
+  /// overlap with the *next* part will begin (== the next part's start);
+  /// pass part.end() (or anything >= it) for the final part. Positions of
+  /// this part at or beyond it stay open for conditioning.
+  void ApplyPart(const DecompositionPart& part, size_t next_overlap_start);
+
+  /// Probability mass still alive (1 minus what box mismatches destroyed).
+  double MassRemaining() const;
+
+  /// Peak state count observed so far.
+  size_t max_states() const { return max_states_; }
+
+  /// Closes all open dimensions and produces the cost distribution.
+  /// Returns FailedPrecondition when the remaining mass is below
+  /// options.min_total_mass (caller retries with force_independence).
+  StatusOr<hist::Histogram1D> Finalize() const;
+
+  /// Smallest possible accumulated cost over surviving states (a support
+  /// lower bound used by routing pruning).
+  double MinSum() const;
+
+ private:
+  struct SumEntry {
+    Interval sum;
+    double prob;
+  };
+  struct Group {
+    std::vector<size_t> positions;  // global edge positions of open dims
+    std::vector<Interval> boxes;    // open box per position
+    std::vector<SumEntry> sums;
+  };
+
+  static std::string GroupKey(const std::vector<Interval>& boxes);
+  static double GroupMass(const Group& g);
+  static void CompactSums(Group* g, size_t cap);
+
+  ChainOptions options_;
+  std::unordered_map<std::string, Group> groups_;
+  size_t max_states_ = 0;
+};
+
+/// \brief One-shot estimation of the cost distribution of the query path
+/// from a decomposition (Sec. 4.1.2 + Sec. 4.2). Retries under independence
+/// when separator-support mismatch destroys (nearly) all mass.
+///
+/// `jc_timer` / `mc_timer` (optional) accumulate the joint-computation and
+/// marginalization phases for the Fig. 17 run-time breakdown.
+StatusOr<hist::Histogram1D> EstimateFromDecomposition(
+    const Decomposition& de, const ChainOptions& options = ChainOptions(),
+    ChainDiagnostics* diagnostics = nullptr, PhaseTimer* jc_timer = nullptr,
+    PhaseTimer* mc_timer = nullptr);
+
+/// \brief H_DE(C_P) of Theorem 2: sum of part entropies minus sum of
+/// separator entropies (differential, in nats). By Theorem 2,
+/// KL(p, p̂_DE) = H_DE − H, so smaller is better; Fig. 15 compares methods
+/// by this quantity.
+double DecompositionEntropy(const Decomposition& de);
+
+}  // namespace core
+}  // namespace pcde

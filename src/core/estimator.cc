@@ -1,0 +1,236 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+
+#include "roadnet/path.h"
+
+namespace pcde {
+namespace core {
+
+using hist::Histogram1D;
+using roadnet::Path;
+using roadnet::PathHash;
+
+StatusOr<Decomposition> HybridEstimator::Decompose(const Path& path,
+                                                   double departure_time) const {
+  PCDE_ASSIGN_OR_RETURN(
+      array, builder_.BuildCandidateArray(path, departure_time,
+                                          options_.rank_cap));
+  switch (options_.policy) {
+    case DecompositionPolicy::kCoarsest:
+      return DecompositionBuilder::Coarsest(array);
+    case DecompositionPolicy::kRandom: {
+      // Deterministic per query: seed mixes the configured seed with the
+      // path identity.
+      Rng rng(options_.random_seed ^ PathHash()(path));
+      return DecompositionBuilder::Random(array, &rng);
+    }
+    case DecompositionPolicy::kPairwise:
+      return DecompositionBuilder::PairwiseChain(array);
+    case DecompositionPolicy::kUnit:
+      return DecompositionBuilder::UnitChain(array);
+  }
+  return Status::Internal("Decompose: unknown policy");
+}
+
+StatusOr<Histogram1D> HybridEstimator::EstimateCostDistribution(
+    const Path& path, double departure_time,
+    EstimateBreakdown* breakdown) const {
+  PhaseTimer oi, jc, mc;
+  oi.Start();
+  PCDE_ASSIGN_OR_RETURN(de, Decompose(path, departure_time));
+  oi.Stop();
+
+  ChainOptions chain = options_.chain;
+  // The LB unit chain has no separators; evaluating it under independence
+  // is exact and skips pointless conditioning machinery.
+  if (options_.policy == DecompositionPolicy::kUnit) {
+    chain.force_independence = true;
+  }
+  ChainDiagnostics diag;
+  PCDE_ASSIGN_OR_RETURN(result,
+                        EstimateFromDecomposition(de, chain, &diag, &jc, &mc));
+  if (breakdown != nullptr) {
+    breakdown->oi_seconds = oi.total_seconds();
+    breakdown->jc_seconds = jc.total_seconds();
+    breakdown->mc_seconds = mc.total_seconds();
+    breakdown->parts = de.size();
+    breakdown->chain = diag;
+  }
+  return result;
+}
+
+StatusOr<double> HybridEstimator::EstimateEntropy(const Path& path,
+                                                  double departure_time) const {
+  PCDE_ASSIGN_OR_RETURN(de, Decompose(path, departure_time));
+  return DecompositionEntropy(de);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalEstimator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ChainOptions ChainOptionsFor(const EstimateOptions& options) {
+  ChainOptions chain = options.chain;
+  if (options.policy == DecompositionPolicy::kUnit) {
+    chain.force_independence = true;
+  }
+  return chain;
+}
+
+}  // namespace
+
+IncrementalEstimator::IncrementalEstimator(const PathWeightFunction& wp,
+                                           EstimateOptions options,
+                                           roadnet::EdgeId first_edge,
+                                           double departure_time)
+    : wp_(wp),
+      options_(options),
+      path_(std::vector<roadnet::EdgeId>{first_edge}),
+      departure_time_(departure_time),
+      sweeper_(ChainOptionsFor(options)) {
+  windows_.emplace_back(departure_time, departure_time);
+  const InstantiatedVariable* unit =
+      wp_.UnitVariable(first_edge, windows_[0]);
+  if (unit != nullptr) {
+    parts_.push_back(DecompositionPart{unit, 0});
+    min_total_ += unit->joint.DimRange(0).lo;
+    windows_.emplace_back(windows_[0].lo + unit->joint.DimRange(0).lo,
+                          windows_[0].hi + unit->joint.DimRange(0).hi);
+  }
+}
+
+size_t IncrementalEstimator::MaxAbsorbRank() const {
+  constexpr size_t kDefaultMaxRank = 8;  // HybridParams::max_instantiated_rank
+  return options_.rank_cap > 0 ? options_.rank_cap : kDefaultMaxRank;
+}
+
+void IncrementalEstimator::AdvanceStablePrefix() {
+  // A part starting before path_.size() + 1 - MaxAbsorbRank() can never be
+  // absorbed by a future part (future parts start at >= m - max_rank with
+  // m > |path|), so its chain transition is final and can be streamed.
+  const size_t n = path_.size();
+  const size_t max_rank = MaxAbsorbRank();
+  const size_t stable_before = n + 1 > max_rank ? n + 1 - max_rank : 0;
+  while (applied_ + 1 < parts_.size() &&
+         parts_[applied_].start < stable_before &&
+         parts_[applied_ + 1].start < stable_before) {
+    // Both this part and its successor are final, so the separator between
+    // them is final too.
+    sweeper_.ApplyPart(parts_[applied_], parts_[applied_ + 1].start);
+    ++applied_;
+  }
+}
+
+Status IncrementalEstimator::ExtendByEdge(roadnet::EdgeId e) {
+  if (parts_.empty()) {
+    return Status::FailedPrecondition("IncrementalEstimator: no initial part");
+  }
+  std::vector<roadnet::EdgeId> edges = path_.edges();
+  edges.push_back(e);
+  const Path extended{std::vector<roadnet::EdgeId>(edges)};
+  const size_t n = extended.size();  // new edge is at position n-1
+
+  // Incremental counterpart of Algorithm 1: pick the highest-rank
+  // temporally relevant variable ending at the new edge. Trailing parts
+  // whose spans the new part contains are absorbed (they would violate
+  // the no-sub-path condition); the part preceding the absorbed ones
+  // bounds how far back the new part may start. Rank 1 always exists
+  // (speed-limit fallback), absorbing nothing.
+  const size_t max_rank =
+      options_.rank_cap > 0 ? std::min(options_.rank_cap, n) : n;
+  const InstantiatedVariable* chosen = nullptr;
+  size_t chosen_start = n - 1;
+  const TimeBinning& binning = wp_.binning();
+  for (size_t r = max_rank; r >= 1 && chosen == nullptr; --r) {
+    const size_t start = n - r;
+    // The new part absorbs trailing parts whose spans it contains (all
+    // parts starting at or after `start`); the surviving predecessor then
+    // starts strictly before `start`, preserving ordering and the
+    // no-sub-path condition.
+    size_t surviving = parts_.size();
+    while (surviving > 0 && parts_[surviving - 1].start >= start) {
+      --surviving;
+    }
+    // Candidate variables with path == extended.Slice(start, r).
+    const InstantiatedVariable* best = nullptr;
+    double best_overlap = 0.0;
+    // Departure window at the candidate's start position (Eq. 3), kept
+    // per edge as the path grows.
+    const Interval& win = windows_[std::min(start, windows_.size() - 1)];
+    for (const InstantiatedVariable* v : wp_.StartingAt(extended[start])) {
+      if (v->rank() != r) continue;
+      bool spatial = true;
+      for (size_t d = 0; d < r; ++d) {
+        if (v->path[d] != extended[start + d]) {
+          spatial = false;
+          break;
+        }
+      }
+      if (!spatial) continue;
+      double overlap;
+      if (v->interval == kAllDayInterval) {
+        overlap = 1e-12;
+      } else {
+        const Interval ij = binning.IntervalOf(v->interval);
+        overlap = win.width() > 0.0 ? win.OverlapRatioOf(ij)
+                                    : (ij.Contains(win.lo) ? 1.0 : 0.0);
+      }
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        best = v;
+      }
+    }
+    if (best != nullptr) {
+      chosen = best;
+      chosen_start = start;
+      parts_.resize(surviving);  // absorb contained trailing parts
+    }
+  }
+  if (chosen == nullptr) {
+    return Status::NotFound("ExtendByEdge: no variable for edge " +
+                            std::to_string(e));
+  }
+
+  path_ = extended;
+  parts_.push_back(DecompositionPart{chosen, chosen_start});
+
+  // Maintain the pruning lower bound and the arrival window with the unit
+  // variable of the new edge.
+  const Interval& at_edge = windows_.back();
+  const InstantiatedVariable* unit = wp_.UnitVariable(e, at_edge);
+  if (unit != nullptr) {
+    min_total_ += unit->joint.DimRange(0).lo;
+    windows_.emplace_back(at_edge.lo + unit->joint.DimRange(0).lo,
+                          at_edge.hi + unit->joint.DimRange(0).hi);
+  } else {
+    windows_.push_back(at_edge);
+  }
+  AdvanceStablePrefix();
+  return Status::OK();
+}
+
+StatusOr<Histogram1D> IncrementalEstimator::CurrentDistribution() const {
+  // Replay only the unstable tail on a copy of the streamed chain state.
+  ChainSweeper sweeper = sweeper_;
+  for (size_t k = applied_; k < parts_.size(); ++k) {
+    const size_t next_start =
+        k + 1 < parts_.size() ? parts_[k + 1].start : parts_[k].end();
+    sweeper.ApplyPart(parts_[k], next_start);
+  }
+  auto result = sweeper.Finalize();
+  if (result.ok()) return result;
+  if (result.status().code() != StatusCode::kFailedPrecondition) {
+    return result.status();
+  }
+  // Separator-support mismatch destroyed the mass: recompute the whole
+  // chain under part independence (same fallback as the batch path).
+  ChainOptions chain = ChainOptionsFor(options_);
+  chain.force_independence = true;
+  return EstimateFromDecomposition(parts_, chain);
+}
+
+}  // namespace core
+}  // namespace pcde

@@ -1,0 +1,121 @@
+// HybridEstimator: the user-facing query API of the hybrid graph. Given a
+// path and a departure time it (i) identifies the optimal (coarsest)
+// decomposition over the instantiated variables — phase OI, (ii) evaluates
+// the decomposable-model joint (Eq. 2) — phase JC, and (iii) reduces it to
+// the univariate cost distribution (Sec. 4.2) — phase MC.
+//
+// The decomposition policy selects between the paper's methods:
+//   kCoarsest  — OD, the proposal (Algorithm 1); with rank_cap -> OD-x
+//   kRandom    — RD, a random valid decomposition
+//   kPairwise  — HP [10], the rank-2 chain
+//   kUnit      — LB [22], the legacy edge-granularity convolution
+#pragma once
+
+#include "common/rng.h"
+#include "core/chain_estimator.h"
+#include "core/decomposition.h"
+#include "core/weight_function.h"
+
+namespace pcde {
+namespace core {
+
+enum class DecompositionPolicy { kCoarsest, kRandom, kPairwise, kUnit };
+
+struct EstimateOptions {
+  DecompositionPolicy policy = DecompositionPolicy::kCoarsest;
+  /// Rank cap for candidate variables (the OD-x methods); 0 = unlimited.
+  size_t rank_cap = 0;
+  ChainOptions chain;
+  uint64_t random_seed = 7;  // decomposition choice for kRandom
+};
+
+/// \brief Per-query phase breakdown (Fig. 17) and chain diagnostics.
+struct EstimateBreakdown {
+  double oi_seconds = 0.0;  // optimal decomposition identification
+  double jc_seconds = 0.0;  // joint computation (Eq. 2 sweep)
+  double mc_seconds = 0.0;  // marginalization to the cost distribution
+  size_t parts = 0;         // |DE|
+  ChainDiagnostics chain;
+};
+
+/// \brief Facade combining decomposition construction and Eq. 2 evaluation.
+class HybridEstimator {
+ public:
+  explicit HybridEstimator(const PathWeightFunction& wp,
+                           EstimateOptions options = EstimateOptions())
+      : wp_(wp), builder_(wp), options_(options) {}
+
+  const EstimateOptions& options() const { return options_; }
+  const PathWeightFunction& weight_function() const { return wp_; }
+
+  /// The travel cost distribution of `path` departing at `departure_time`
+  /// (seconds since midnight) — the paper's core query.
+  StatusOr<hist::Histogram1D> EstimateCostDistribution(
+      const roadnet::Path& path, double departure_time,
+      EstimateBreakdown* breakdown = nullptr) const;
+
+  /// The decomposition the configured policy selects for this query.
+  StatusOr<Decomposition> Decompose(const roadnet::Path& path,
+                                    double departure_time) const;
+
+  /// H_DE of the selected decomposition (Theorem 2; Fig. 15).
+  StatusOr<double> EstimateEntropy(const roadnet::Path& path,
+                                   double departure_time) const;
+
+ private:
+  const PathWeightFunction& wp_;
+  DecompositionBuilder builder_;
+  EstimateOptions options_;
+};
+
+/// \brief Incremental estimation for "path + another edge" exploration
+/// (Sec. 4.3): stochastic routing algorithms extend candidate paths one
+/// edge at a time, and the estimator reuses the chain state of the prefix
+/// instead of recomputing from scratch.
+///
+/// Extension greedily appends the highest-rank variable that ends at the
+/// new edge and overlaps only the retained tail of the prefix chain — the
+/// incremental counterpart of Algorithm 1.
+class IncrementalEstimator {
+ public:
+  IncrementalEstimator(const PathWeightFunction& wp, EstimateOptions options,
+                       roadnet::EdgeId first_edge, double departure_time);
+
+  /// Extends the current path by one adjacent edge.
+  Status ExtendByEdge(roadnet::EdgeId e);
+
+  const roadnet::Path& path() const { return path_; }
+
+  /// Cost distribution of the current path (finalizes a copy of the chain
+  /// state; the estimator itself remains extendable).
+  StatusOr<hist::Histogram1D> CurrentDistribution() const;
+
+  /// Smallest possible total cost of the current path (for routing pruning).
+  double MinTotalCost() const { return min_total_; }
+
+ private:
+  /// Parts at positions this far behind the path end can still be absorbed
+  /// by a future higher-rank part; everything earlier is stable and gets
+  /// streamed into the chain sweeper exactly once.
+  size_t MaxAbsorbRank() const;
+  void AdvanceStablePrefix();
+
+  const PathWeightFunction& wp_;
+  EstimateOptions options_;
+  roadnet::Path path_;
+  double departure_time_;
+  // Shift-and-enlarged departure window per edge position (Eq. 3);
+  // windows_[k] is the arrival window at edge k, windows_.back() is the
+  // window at the (not yet appended) next edge.
+  std::vector<Interval> windows_;
+  Decomposition parts_;
+  // Chain state streamed through the stable prefix parts_[0..applied_):
+  // extending by one edge costs one part transition (amortized), and
+  // CurrentDistribution only replays the short unstable tail.
+  ChainSweeper sweeper_;
+  size_t applied_ = 0;
+  double min_total_ = 0.0;
+};
+
+}  // namespace core
+}  // namespace pcde

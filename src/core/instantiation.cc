@@ -1,0 +1,157 @@
+#include "core/instantiation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "hist/histogram_nd.h"
+
+namespace pcde {
+namespace core {
+
+namespace {
+
+using roadnet::EdgeId;
+using roadnet::Graph;
+using roadnet::Path;
+using traj::MatchedTrajectory;
+using traj::TrajectoryStore;
+
+/// Key for a (sub-path window, interval) candidate during the level scan.
+struct WindowKey {
+  std::vector<EdgeId> edges;
+  int32_t interval;
+  bool operator==(const WindowKey& o) const {
+    return interval == o.interval && edges == o.edges;
+  }
+};
+
+struct WindowKeyHash {
+  size_t operator()(const WindowKey& k) const {
+    size_t h = static_cast<size_t>(k.interval) * 0x9e3779b97f4a7c15ull + 1;
+    for (EdgeId e : k.edges) {
+      h ^= static_cast<size_t>(e) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// Accumulated per-edge cost rows for one candidate.
+struct WindowData {
+  std::vector<std::vector<double>> rows;
+};
+
+hist::Histogram1D SpeedLimitHistogram(const roadnet::Edge& edge,
+                                      const HybridParams& params) {
+  const double t = edge.FreeFlowSeconds();
+  const double lo = std::max(t * (1.0 - params.speed_limit_spread), 0.1);
+  const double hi = t * (1.0 + params.speed_limit_spread) + 0.2;
+  return hist::Histogram1D::Single(lo, hi);
+}
+
+}  // namespace
+
+PathWeightFunction InstantiateWeightFunction(const Graph& graph,
+                                             const TrajectoryStore& store,
+                                             const HybridParams& params,
+                                             InstantiationStats* stats) {
+  Stopwatch watch;
+  const TimeBinning binning(params.alpha_minutes);
+  PathWeightFunction wp(binning);
+  InstantiationStats local_stats;
+
+  // ---- Level 1: unit paths.
+  // Gather per (edge, interval) cost samples in one pass.
+  std::unordered_map<WindowKey, WindowData, WindowKeyHash> level;
+  for (const MatchedTrajectory& t : store.trajectories()) {
+    const std::vector<double>& costs = t.costs(params.cost_type);
+    for (size_t pos = 0; pos < t.path.size(); ++pos) {
+      WindowKey key{{t.path[pos]}, binning.IndexOf(t.edge_enter_times[pos])};
+      level[key].rows.push_back({costs[pos]});
+    }
+  }
+
+  // Frequent (path, interval) pairs feed the next level's prefix pruning.
+  std::unordered_set<WindowKey, WindowKeyHash> frequent;
+  for (auto& [key, data] : level) {
+    if (data.rows.size() < params.beta) continue;
+    std::vector<double> samples;
+    samples.reserve(data.rows.size());
+    for (const auto& row : data.rows) samples.push_back(row[0]);
+    auto hist1d = hist::BuildAutoHistogram(samples, params.bucket_options);
+    if (!hist1d.ok()) continue;
+    InstantiatedVariable var;
+    var.path = Path(key.edges);
+    var.interval = key.interval;
+    var.joint = hist::HistogramND::FromHistogram1D(hist1d.value());
+    var.support = data.rows.size();
+    wp.Add(std::move(var));
+    frequent.insert(key);
+    ++local_stats.unit_from_trajectories;
+  }
+
+  // Speed-limit fallbacks: one all-day unit variable per edge (Sec. 3.1 —
+  // "derived from the speed limit ... to avoid overfitting"). These also
+  // cover edges with no data at all.
+  for (const roadnet::Edge& edge : graph.edges()) {
+    InstantiatedVariable var;
+    var.path = Path({edge.id});
+    var.interval = kAllDayInterval;
+    var.joint =
+        hist::HistogramND::FromHistogram1D(SpeedLimitHistogram(edge, params));
+    var.support = 0;
+    var.from_speed_limit = true;
+    wp.Add(std::move(var));
+    ++local_stats.unit_from_speed_limit;
+  }
+
+  // ---- Levels k = 2 .. max rank: joint variables.
+  for (size_t k = 2; k <= params.max_instantiated_rank; ++k) {
+    if (frequent.empty()) break;
+    std::unordered_map<WindowKey, WindowData, WindowKeyHash> next;
+    for (const MatchedTrajectory& t : store.trajectories()) {
+      if (t.path.size() < k) continue;
+      const std::vector<double>& costs = t.costs(params.cost_type);
+      for (size_t pos = 0; pos + k <= t.path.size(); ++pos) {
+        const int32_t interval = binning.IndexOf(t.edge_enter_times[pos]);
+        // Prefix pruning: the k-1 window at the same start shares the entry
+        // time, so its (path, interval) must be frequent.
+        WindowKey prefix{{t.path.edges().begin() + static_cast<ptrdiff_t>(pos),
+                          t.path.edges().begin() +
+                              static_cast<ptrdiff_t>(pos + k - 1)},
+                         interval};
+        if (frequent.count(prefix) == 0) continue;
+        WindowKey key{{t.path.edges().begin() + static_cast<ptrdiff_t>(pos),
+                       t.path.edges().begin() + static_cast<ptrdiff_t>(pos + k)},
+                      interval};
+        next[key].rows.emplace_back(
+            costs.begin() + static_cast<ptrdiff_t>(pos),
+            costs.begin() + static_cast<ptrdiff_t>(pos + k));
+      }
+    }
+
+    frequent.clear();
+    for (auto& [key, data] : next) {
+      if (data.rows.size() < params.beta) continue;
+      auto joint =
+          hist::HistogramND::BuildFromSamples(data.rows, params.bucket_options);
+      if (!joint.ok()) continue;
+      InstantiatedVariable var;
+      var.path = Path(key.edges);
+      var.interval = key.interval;
+      var.joint = std::move(joint).value();
+      var.support = data.rows.size();
+      wp.Add(std::move(var));
+      frequent.insert(key);
+      ++local_stats.joint_variables;
+    }
+  }
+
+  local_stats.build_seconds = watch.ElapsedSeconds();
+  if (stats != nullptr) *stats = local_stats;
+  return wp;
+}
+
+}  // namespace core
+}  // namespace pcde

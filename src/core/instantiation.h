@@ -1,0 +1,37 @@
+// Bottom-up instantiation of the path weight function W_P from trajectories
+// (Secs. 3.1-3.2): unit-path variables first (trajectory histograms where
+// >= beta qualified trajectories exist, speed-limit fallbacks otherwise),
+// then joint variables for progressively longer paths whose (path,
+// interval) pairs have >= beta qualified trajectories — an apriori-style
+// level-wise scan, pruned by the fact that a frequent path's prefix is
+// frequent in the same interval.
+#pragma once
+
+#include "core/params.h"
+#include "core/weight_function.h"
+#include "roadnet/graph.h"
+#include "traj/store.h"
+
+namespace pcde {
+namespace core {
+
+/// \brief Build statistics for the experiment harnesses.
+struct InstantiationStats {
+  size_t unit_from_trajectories = 0;
+  size_t unit_from_speed_limit = 0;
+  size_t joint_variables = 0;
+  double build_seconds = 0.0;
+};
+
+/// \brief Instantiates W_P over the given trajectories.
+///
+/// Every edge of the graph receives an all-day speed-limit fallback unit
+/// variable, so the estimator can always produce a distribution for any
+/// valid path (the paper's Sec. 3.1 fallback).
+PathWeightFunction InstantiateWeightFunction(const roadnet::Graph& graph,
+                                             const traj::TrajectoryStore& store,
+                                             const HybridParams& params,
+                                             InstantiationStats* stats = nullptr);
+
+}  // namespace core
+}  // namespace pcde

@@ -1,0 +1,134 @@
+#include "core/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace pcde {
+namespace core {
+
+Status SaveWeightFunction(const PathWeightFunction& wp,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("SaveWeightFunction: cannot open " + path);
+  }
+  out.precision(17);
+  out << "# pcde weight function v1\n";
+  for (const InstantiatedVariable& v : wp.variables()) {
+    out << "VAR," << v.interval << "," << v.support << ","
+        << (v.from_speed_limit ? 1 : 0) << "," << v.rank();
+    for (roadnet::EdgeId e : v.path) out << "," << e;
+    out << "\n";
+    for (size_t d = 0; d < v.joint.NumDims(); ++d) {
+      out << "DIM";
+      for (double b : v.joint.boundaries(d)) out << "," << b;
+      out << "\n";
+    }
+    for (const auto& hb : v.joint.buckets()) {
+      out << "HB," << hb.prob;
+      for (uint32_t i : hb.idx) out << "," << i;
+      out << "\n";
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("SaveWeightFunction: write failed");
+  return Status::OK();
+}
+
+StatusOr<PathWeightFunction> LoadWeightFunction(const std::string& path,
+                                                double alpha_minutes) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("LoadWeightFunction: cannot open " + path);
+  }
+  PathWeightFunction wp{TimeBinning(alpha_minutes)};
+
+  // Parser state for the variable being assembled.
+  bool has_var = false;
+  InstantiatedVariable var;
+  size_t rank = 0;
+  std::vector<std::vector<double>> boundaries;
+  std::vector<hist::HistogramND::HyperBucket> buckets;
+
+  auto flush = [&]() -> Status {
+    if (!has_var) return Status::OK();
+    if (boundaries.size() != rank) {
+      return Status::InvalidArgument(
+          "LoadWeightFunction: dimension count mismatch for variable " +
+          var.path.ToString());
+    }
+    PCDE_ASSIGN_OR_RETURN(
+        joint, hist::HistogramND::Make(std::move(boundaries),
+                                       std::move(buckets)));
+    var.joint = std::move(joint);
+    wp.Add(std::move(var));
+    var = InstantiatedVariable();
+    boundaries.clear();
+    buckets.clear();
+    has_var = false;
+    return Status::OK();
+  };
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    const std::string where = path + ":" + std::to_string(line_no);
+    if (fields[0] == "VAR") {
+      PCDE_RETURN_NOT_OK(flush());
+      if (fields.size() < 6) {
+        return Status::InvalidArgument("LoadWeightFunction: bad VAR at " +
+                                       where);
+      }
+      var.interval = std::stoi(fields[1]);
+      var.support = std::stoul(fields[2]);
+      var.from_speed_limit = fields[3] == "1";
+      rank = std::stoul(fields[4]);
+      if (fields.size() != 5 + rank) {
+        return Status::InvalidArgument("LoadWeightFunction: VAR arity at " +
+                                       where);
+      }
+      std::vector<roadnet::EdgeId> edges;
+      for (size_t i = 0; i < rank; ++i) {
+        edges.push_back(
+            static_cast<roadnet::EdgeId>(std::stoul(fields[5 + i])));
+      }
+      var.path = roadnet::Path(std::move(edges));
+      has_var = true;
+    } else if (fields[0] == "DIM") {
+      if (!has_var) {
+        return Status::InvalidArgument("LoadWeightFunction: DIM before VAR "
+                                       "at " + where);
+      }
+      std::vector<double> bounds;
+      for (size_t i = 1; i < fields.size(); ++i) {
+        bounds.push_back(std::stod(fields[i]));
+      }
+      boundaries.push_back(std::move(bounds));
+    } else if (fields[0] == "HB") {
+      if (!has_var || fields.size() != 2 + rank) {
+        return Status::InvalidArgument("LoadWeightFunction: bad HB at " +
+                                       where);
+      }
+      hist::HistogramND::HyperBucket hb;
+      hb.prob = std::stod(fields[1]);
+      for (size_t i = 0; i < rank; ++i) {
+        hb.idx.push_back(static_cast<uint32_t>(std::stoul(fields[2 + i])));
+      }
+      buckets.push_back(std::move(hb));
+    } else {
+      return Status::InvalidArgument("LoadWeightFunction: unknown record at " +
+                                     where);
+    }
+  }
+  PCDE_RETURN_NOT_OK(flush());
+  return wp;
+}
+
+}  // namespace core
+}  // namespace pcde

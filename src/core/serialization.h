@@ -1,0 +1,29 @@
+// Persistence for the instantiated path weight function W_P. Instantiation
+// is the expensive offline stage (the paper reports minutes at fleet
+// scale); production deployments save the instantiated variables and load
+// them into query servers.
+//
+// Text format, one variable per record:
+//   VAR,<interval>,<support>,<speed_limit 0|1>,<rank>,<edge...>
+//   DIM,<boundary...>                   (one line per dimension)
+//   HB,<prob>,<idx...>                  (one line per hyper-bucket)
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/weight_function.h"
+
+namespace pcde {
+namespace core {
+
+Status SaveWeightFunction(const PathWeightFunction& wp,
+                          const std::string& path);
+
+/// Loads a weight function written by SaveWeightFunction. `alpha_minutes`
+/// must match the binning the variables were instantiated with.
+StatusOr<PathWeightFunction> LoadWeightFunction(const std::string& path,
+                                                double alpha_minutes);
+
+}  // namespace core
+}  // namespace pcde

@@ -1,0 +1,107 @@
+#include "core/weight_function.h"
+
+#include <algorithm>
+
+namespace pcde {
+namespace core {
+
+void PathWeightFunction::Add(InstantiatedVariable variable) {
+  Key key{variable.path.edges(), variable.interval};
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    // Replace in place; indexes keep pointing at the same slot.
+    variables_[it->second] = std::move(variable);
+    return;
+  }
+  variables_.push_back(std::move(variable));
+  const size_t idx = variables_.size() - 1;
+  by_key_.emplace(std::move(key), idx);
+  const InstantiatedVariable& stored = variables_[idx];
+  by_start_edge_[stored.path.front()].push_back(&stored);
+}
+
+const InstantiatedVariable* PathWeightFunction::Lookup(
+    const roadnet::Path& path, int32_t interval) const {
+  auto it = by_key_.find(Key{path.edges(), interval});
+  if (it == by_key_.end()) return nullptr;
+  return &variables_[it->second];
+}
+
+const std::vector<const InstantiatedVariable*>& PathWeightFunction::StartingAt(
+    roadnet::EdgeId e) const {
+  auto it = by_start_edge_.find(e);
+  return it == by_start_edge_.end() ? empty_ : it->second;
+}
+
+const InstantiatedVariable* PathWeightFunction::UnitVariable(
+    roadnet::EdgeId e, const Interval& window) const {
+  const InstantiatedVariable* best = nullptr;
+  const InstantiatedVariable* fallback = nullptr;
+  double best_overlap = 0.0;
+  for (const InstantiatedVariable* v : StartingAt(e)) {
+    if (v->rank() != 1) continue;
+    if (v->interval == kAllDayInterval) {
+      fallback = v;
+      continue;
+    }
+    const double overlap =
+        window.width() > 0.0
+            ? window.OverlapRatioOf(binning_.IntervalOf(v->interval))
+            : (binning_.IntervalOf(v->interval).Contains(window.lo) ? 1.0 : 0.0);
+    if (overlap > best_overlap) {
+      best_overlap = overlap;
+      best = v;
+    }
+  }
+  return best != nullptr ? best : fallback;
+}
+
+std::map<size_t, size_t> PathWeightFunction::CountByRank(
+    bool include_speed_limit) const {
+  std::map<size_t, size_t> counts;
+  for (const InstantiatedVariable& v : variables_) {
+    if (!include_speed_limit && v.from_speed_limit) continue;
+    counts[v.rank()] += 1;
+  }
+  return counts;
+}
+
+size_t PathWeightFunction::NumCoveredEdges() const {
+  std::vector<roadnet::EdgeId> edges;
+  for (const InstantiatedVariable& v : variables_) {
+    if (v.from_speed_limit) continue;
+    for (roadnet::EdgeId e : v.path) edges.push_back(e);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges.size();
+}
+
+size_t PathWeightFunction::MemoryUsageBytes(bool include_speed_limit) const {
+  size_t bytes = 0;
+  for (const InstantiatedVariable& v : variables_) {
+    if (!include_speed_limit && v.from_speed_limit) continue;
+    bytes += v.joint.MemoryUsageBytes() +
+             v.path.size() * sizeof(roadnet::EdgeId) + sizeof(int32_t);
+  }
+  return bytes;
+}
+
+std::map<size_t, double> PathWeightFunction::MeanEntropyByRank() const {
+  std::map<size_t, double> sums;
+  std::map<size_t, size_t> counts;
+  for (const InstantiatedVariable& v : variables_) {
+    if (v.from_speed_limit) continue;
+    const size_t group = std::min<size_t>(v.rank(), 4);  // ranks >= 4 pooled
+    sums[group] += v.joint.DifferentialEntropy();
+    counts[group] += 1;
+  }
+  std::map<size_t, double> means;
+  for (const auto& [rank, total] : sums) {
+    means[rank] = total / static_cast<double>(counts[rank]);
+  }
+  return means;
+}
+
+}  // namespace core
+}  // namespace pcde

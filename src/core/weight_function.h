@@ -1,0 +1,108 @@
+// The hybrid graph's path weight function W_P (Sec. 3.3): a store of
+// instantiated random variables V_P^{I_j}, each the joint travel-cost
+// distribution of a path's edges during one time-of-day interval,
+// represented as a multi-dimensional histogram.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/params.h"
+#include "hist/histogram_nd.h"
+#include "roadnet/path.h"
+
+namespace pcde {
+namespace core {
+
+/// \brief One instantiated random variable V_P^{I_j}.
+struct InstantiatedVariable {
+  roadnet::Path path;
+  int32_t interval = kAllDayInterval;  // index into the alpha grid
+  hist::HistogramND joint;             // rank = path.size() dimensions
+  size_t support = 0;                  // #qualified trajectories
+  bool from_speed_limit = false;       // Sec. 3.1 fallback for unit paths
+
+  size_t rank() const { return path.size(); }
+};
+
+/// \brief W_P: lookup of instantiated variables by (path, interval), plus
+/// the per-start-edge listing the candidate array (Sec. 4.1.3) needs.
+class PathWeightFunction {
+ public:
+  explicit PathWeightFunction(const TimeBinning& binning) : binning_(binning) {}
+
+  const TimeBinning& binning() const { return binning_; }
+
+  /// Adds a variable; last write wins for duplicate (path, interval).
+  void Add(InstantiatedVariable variable);
+
+  /// Exact lookup of V_P^{I_j}; nullptr when not instantiated.
+  const InstantiatedVariable* Lookup(const roadnet::Path& path,
+                                     int32_t interval) const;
+
+  /// All instantiated variables (over all intervals) whose path begins with
+  /// edge `e`; the rows of the candidate array are drawn from this set.
+  const std::vector<const InstantiatedVariable*>& StartingAt(
+      roadnet::EdgeId e) const;
+
+  /// \brief The unit variable for edge `e` most temporally relevant to the
+  /// departure window `window` (largest |I_j ∩ window| / |window|), falling
+  /// back to the edge's speed-limit variable. Never nullptr once the weight
+  /// function was built over a graph (fallbacks cover every edge).
+  const InstantiatedVariable* UnitVariable(roadnet::EdgeId e,
+                                           const Interval& window) const;
+
+  size_t NumVariables() const { return variables_.size(); }
+
+  /// Variables instantiated from trajectories (excludes speed-limit
+  /// fallbacks) grouped by rank; Figs. 8(b), 9, 10.
+  std::map<size_t, size_t> CountByRank(bool include_speed_limit = false) const;
+
+  /// Distinct edges covered by trajectory-instantiated variables — |E'| of
+  /// the Fig. 8(a) coverage ratio.
+  size_t NumCoveredEdges() const;
+
+  /// Total bytes of all joint histograms (Fig. 12).
+  size_t MemoryUsageBytes(bool include_speed_limit = true) const;
+
+  /// Average differential entropy of trajectory-instantiated variables per
+  /// rank group (Fig. 8b); key 4 aggregates ranks >= 4.
+  std::map<size_t, double> MeanEntropyByRank() const;
+
+  const std::deque<InstantiatedVariable>& variables() const {
+    return variables_;
+  }
+
+ private:
+  struct Key {
+    std::vector<roadnet::EdgeId> edges;
+    int32_t interval;
+    bool operator==(const Key& o) const {
+      return interval == o.interval && edges == o.edges;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t h = static_cast<size_t>(k.interval) * 0x9e3779b97f4a7c15ull + 1;
+      for (roadnet::EdgeId e : k.edges) {
+        h ^= static_cast<size_t>(e) + 0x9e3779b97f4a7c15ull + (h << 6) +
+             (h >> 2);
+      }
+      return h;
+    }
+  };
+
+  TimeBinning binning_;
+  // deque: stable references under Add(), which the pointer indexes rely on.
+  std::deque<InstantiatedVariable> variables_;
+  std::unordered_map<Key, size_t, KeyHash> by_key_;
+  std::unordered_map<roadnet::EdgeId, std::vector<const InstantiatedVariable*>>
+      by_start_edge_;
+  std::vector<const InstantiatedVariable*> empty_;
+};
+
+}  // namespace core
+}  // namespace pcde

@@ -1,0 +1,136 @@
+#include "hist/fit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "common/mathutil.h"
+
+namespace pcde {
+namespace hist {
+
+namespace {
+
+// Series expansion of P(a, x), valid for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-14) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Continued fraction for Q(a, x) = 1 - P(a, x), valid for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double kFpMin = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-14) break;
+  }
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  if (x <= 0.0) return 0.0;
+  if (a <= 0.0) return 1.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+ParametricFit ParametricFit::Fit(FitKind kind,
+                                 const std::vector<double>& samples) {
+  switch (kind) {
+    case FitKind::kGaussian: {
+      const GaussianFit f = FitGaussianMle(samples);
+      return ParametricFit(kind, f.mean, f.stddev);
+    }
+    case FitKind::kGamma: {
+      const GammaFit f = FitGammaMle(samples);
+      return ParametricFit(kind, f.shape, f.scale);
+    }
+    case FitKind::kExponential: {
+      const ExponentialFit f = FitExponentialMle(samples);
+      return ParametricFit(kind, f.rate, 0.0);
+    }
+  }
+  return ParametricFit(FitKind::kGaussian, 0.0, 1.0);
+}
+
+double ParametricFit::Cdf(double x) const {
+  switch (kind_) {
+    case FitKind::kGaussian:
+      return 0.5 * (1.0 + std::erf((x - p1_) / (p2_ * M_SQRT2)));
+    case FitKind::kGamma:
+      return RegularizedGammaP(p1_, std::max(x, 0.0) / p2_);
+    case FitKind::kExponential:
+      return x <= 0.0 ? 0.0 : 1.0 - std::exp(-p1_ * x);
+  }
+  return 0.0;
+}
+
+double ParametricFit::Mass(double lo, double hi) const {
+  return std::max(Cdf(hi) - Cdf(lo), 0.0);
+}
+
+std::string ParametricFit::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case FitKind::kGaussian:
+      os << "Gaussian(mean=" << p1_ << ", stddev=" << p2_ << ")";
+      break;
+    case FitKind::kGamma:
+      os << "Gamma(shape=" << p1_ << ", scale=" << p2_ << ")";
+      break;
+    case FitKind::kExponential:
+      os << "Exponential(rate=" << p1_ << ")";
+      break;
+  }
+  return os.str();
+}
+
+double KlRawVsFit(const RawDistribution& raw, const ParametricFit& fit,
+                  double epsilon) {
+  double kl = 0.0;
+  const double res = raw.resolution();
+  for (const RawDistribution::Entry& e : raw.entries()) {
+    if (e.prob <= 0.0) continue;
+    const double f = std::max(fit.Mass(e.value, e.value + res), epsilon);
+    kl += e.prob * (SafeLog(e.prob) - SafeLog(f));
+  }
+  return std::max(kl, 0.0);
+}
+
+double KlRawVsHistogram(const RawDistribution& raw, const Histogram1D& h,
+                        double epsilon) {
+  double kl = 0.0;
+  const double res = raw.resolution();
+  for (const RawDistribution::Entry& e : raw.entries()) {
+    if (e.prob <= 0.0) continue;
+    const double f = std::max(h.Mass(Interval(e.value, e.value + res)), epsilon);
+    kl += e.prob * (SafeLog(e.prob) - SafeLog(f));
+  }
+  return std::max(kl, 0.0);
+}
+
+}  // namespace hist
+}  // namespace pcde

@@ -1,0 +1,57 @@
+// Parametric distribution fits for the Fig. 1(b) / Fig. 11(a) comparisons:
+// the paper fits Gaussian, Gamma, and Exponential distributions by maximum
+// likelihood and shows that real travel-cost distributions follow none of
+// them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hist/raw_distribution.h"
+
+namespace pcde {
+namespace hist {
+
+enum class FitKind { kGaussian, kGamma, kExponential };
+
+/// \brief A fitted parametric distribution with the CDF evaluations needed
+/// to compare against empirical data on a grid.
+class ParametricFit {
+ public:
+  /// Maximum-likelihood fit of the given family to the samples.
+  static ParametricFit Fit(FitKind kind, const std::vector<double>& samples);
+
+  FitKind kind() const { return kind_; }
+  /// P(X <= x).
+  double Cdf(double x) const;
+  /// P(lo <= X < hi).
+  double Mass(double lo, double hi) const;
+
+  std::string ToString() const;
+
+  double param1() const { return p1_; }  // mean / shape / rate
+  double param2() const { return p2_; }  // stddev / scale / unused
+
+ private:
+  ParametricFit(FitKind kind, double p1, double p2)
+      : kind_(kind), p1_(p1), p2_(p2) {}
+  FitKind kind_;
+  double p1_;
+  double p2_;
+};
+
+/// KL(raw || fit) in nats over the raw grid: sum_c D[c] log(D[c] / F[c])
+/// with F[c] the fitted mass of cell c (floored at epsilon to stay finite).
+double KlRawVsFit(const RawDistribution& raw, const ParametricFit& fit,
+                  double epsilon = 1e-9);
+
+/// KL(raw || histogram) on the same grid, for an apples-to-apples
+/// comparison with the parametric fits (Fig. 11a/b).
+double KlRawVsHistogram(const RawDistribution& raw, const Histogram1D& h,
+                        double epsilon = 1e-9);
+
+/// Regularized lower incomplete gamma P(a, x); exposed for testing.
+double RegularizedGammaP(double a, double x);
+
+}  // namespace hist
+}  // namespace pcde

@@ -1,0 +1,108 @@
+// Multi-dimensional histograms (Sec. 3.2): compact representations of the
+// joint travel-cost distribution of a path's edges. One dimension per edge;
+// per-dimension bucket boundaries are chosen by V-Optimal with the Auto
+// bucket-count procedure; hyper-bucket probabilities are empirical
+// fractions. Storage is sparse: zero hyper-buckets are not materialized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "hist/histogram1d.h"
+#include "hist/voptimal.h"
+
+namespace pcde {
+namespace hist {
+
+/// \brief Sparse N-dimensional histogram over hyper-buckets.
+class HistogramND {
+ public:
+  /// \brief One hyper-bucket: a per-dimension bucket index plus the joint
+  /// probability that all dimensions fall in their respective buckets.
+  struct HyperBucket {
+    std::vector<uint32_t> idx;
+    double prob = 0.0;
+  };
+
+  HistogramND() = default;
+
+  /// Validated construction from per-dimension boundaries (each sorted,
+  /// size >= 2) and sparse hyper-buckets (probabilities sum to 1).
+  static StatusOr<HistogramND> Make(
+      std::vector<std::vector<double>> dim_boundaries,
+      std::vector<HyperBucket> buckets);
+
+  /// \brief Builds the joint histogram from per-sample cost vectors
+  /// (samples[i] has one cost per dimension). Boundaries per dimension come
+  /// from V-Optimal on the marginal with the Auto bucket count (Sec. 3.2);
+  /// pass `fixed_buckets_per_dim` > 0 to bypass Auto (the Sta-b baseline).
+  static StatusOr<HistogramND> BuildFromSamples(
+      const std::vector<std::vector<double>>& samples,
+      const AutoBucketOptions& options, size_t fixed_buckets_per_dim = 0);
+
+  /// Lifts a 1-D histogram into a 1-dimensional HistogramND (unit paths).
+  static HistogramND FromHistogram1D(const Histogram1D& h);
+
+  size_t NumDims() const { return dim_boundaries_.size(); }
+  size_t NumBuckets() const { return buckets_.size(); }
+  const std::vector<HyperBucket>& buckets() const { return buckets_; }
+  const std::vector<double>& boundaries(size_t dim) const {
+    return dim_boundaries_[dim];
+  }
+  size_t NumDimBuckets(size_t dim) const {
+    return dim_boundaries_[dim].size() - 1;
+  }
+
+  /// The bucket interval of `hb` along `dim`.
+  Interval Box(const HyperBucket& hb, size_t dim) const {
+    const uint32_t i = hb.idx[dim];
+    return Interval(dim_boundaries_[dim][i], dim_boundaries_[dim][i + 1]);
+  }
+
+  /// Support range along a dimension.
+  Interval DimRange(size_t dim) const {
+    return Interval(dim_boundaries_[dim].front(), dim_boundaries_[dim].back());
+  }
+
+  /// Marginal distribution of one dimension.
+  StatusOr<Histogram1D> Marginal1D(size_t dim) const;
+
+  /// Marginal over a subset of dimensions (indices into this histogram's
+  /// dims, strictly increasing). The result's dimension k corresponds to
+  /// dims[k].
+  StatusOr<HistogramND> MarginalOverDims(const std::vector<size_t>& dims) const;
+
+  /// \brief The Sec. 4.2 reduction: each hyper-bucket becomes the 1-D bucket
+  /// [sum of lower bounds, sum of upper bounds), then overlapping buckets
+  /// are rearranged into a disjoint histogram and compacted.
+  StatusOr<Histogram1D> SumDistribution(size_t max_buckets = 64) const;
+
+  /// Entropy treating hyper-buckets as discrete outcomes (nats).
+  double DiscreteEntropy() const;
+
+  /// Differential entropy of the piecewise-uniform joint density:
+  /// -sum p ln(p / volume).
+  double DifferentialEntropy() const;
+
+  /// Minimum / maximum possible sum of the dimensions.
+  double MinSum() const;
+  double MaxSum() const;
+
+  /// Storage accounting: boundary values (8 B) + per hyper-bucket one
+  /// 2-byte index per dimension and an 8-byte probability.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  HistogramND(std::vector<std::vector<double>> dim_boundaries,
+              std::vector<HyperBucket> buckets)
+      : dim_boundaries_(std::move(dim_boundaries)),
+        buckets_(std::move(buckets)) {}
+
+  std::vector<std::vector<double>> dim_boundaries_;
+  std::vector<HyperBucket> buckets_;
+};
+
+}  // namespace hist
+}  // namespace pcde

@@ -1,0 +1,77 @@
+#include "hist/raw_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace pcde {
+namespace hist {
+
+RawDistribution RawDistribution::FromSamples(const std::vector<double>& samples,
+                                             double resolution) {
+  RawDistribution raw;
+  raw.resolution_ = resolution;
+  if (samples.empty()) return raw;
+  std::map<int64_t, size_t> counts;
+  for (double s : samples) {
+    counts[static_cast<int64_t>(std::floor(s / resolution))] += 1;
+  }
+  raw.sample_count_ = samples.size();
+  raw.entries_.reserve(counts.size());
+  const double n = static_cast<double>(samples.size());
+  for (const auto& [cell, count] : counts) {
+    raw.entries_.push_back(
+        Entry{static_cast<double>(cell) * resolution,
+              static_cast<double>(count) / n});
+  }
+  return raw;
+}
+
+double RawDistribution::ProbAt(double value) const {
+  const double cell = std::floor(value / resolution_) * resolution_;
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), cell,
+                             [](const Entry& e, double v) { return e.value < v; });
+  if (it != entries_.end() && std::fabs(it->value - cell) < resolution_ * 0.5) {
+    return it->prob;
+  }
+  return 0.0;
+}
+
+double RawDistribution::Mean() const {
+  double m = 0.0;
+  for (const Entry& e : entries_) m += e.prob * (e.value + 0.5 * resolution_);
+  return m;
+}
+
+StatusOr<Histogram1D> RawDistribution::ToExactHistogram() const {
+  if (entries_.empty()) {
+    return Status::InvalidArgument("empty raw distribution");
+  }
+  std::vector<Bucket> buckets;
+  buckets.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    buckets.emplace_back(e.value, e.value + resolution_, e.prob);
+  }
+  return Histogram1D::Make(std::move(buckets));
+}
+
+double RawDistribution::SquaredError(const Histogram1D& h) const {
+  if (entries_.empty() || h.empty()) return 0.0;
+  // Union of grid cells: this support plus the histogram's span.
+  const double lo = std::min(Min(), h.Min());
+  const double hi = std::max(Max(), h.Max());
+  double se = 0.0;
+  const int64_t first = static_cast<int64_t>(std::floor(lo / resolution_));
+  const int64_t last = static_cast<int64_t>(std::ceil(hi / resolution_));
+  for (int64_t cell = first; cell < last; ++cell) {
+    const double c = static_cast<double>(cell) * resolution_;
+    const double hc = h.Mass(Interval(c, c + resolution_));
+    const double dc = ProbAt(c);
+    if (hc == 0.0 && dc == 0.0) continue;
+    se += (hc - dc) * (hc - dc);
+  }
+  return se;
+}
+
+}  // namespace hist
+}  // namespace pcde

@@ -1,0 +1,66 @@
+// The "raw cost distribution" of Sec. 3.1: a multiset of travel-cost values
+// from qualified trajectories, reduced to <cost, perc> pairs on a fixed
+// resolution grid (travel times are measured in seconds; GPS sampling makes
+// sub-second resolution meaningless).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "hist/histogram1d.h"
+
+namespace pcde {
+namespace hist {
+
+/// \brief Empirical distribution over a discrete value grid.
+class RawDistribution {
+ public:
+  RawDistribution() = default;
+
+  /// Snaps each sample to `resolution * floor(v / resolution)` and tallies.
+  static RawDistribution FromSamples(const std::vector<double>& samples,
+                                     double resolution = 1.0);
+
+  struct Entry {
+    double value = 0.0;  // grid-aligned cost
+    double prob = 0.0;   // perc: fraction of trajectories with this cost
+  };
+
+  bool empty() const { return entries_.empty(); }
+  size_t NumDistinct() const { return entries_.size(); }
+  size_t SampleCount() const { return sample_count_; }
+  double resolution() const { return resolution_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Probability of the grid cell containing `value` (0 if absent).
+  double ProbAt(double value) const;
+
+  double Min() const { return entries_.front().value; }
+  /// Exclusive upper bound of the support (last grid cell's right edge).
+  double Max() const { return entries_.back().value + resolution_; }
+
+  double Mean() const;
+
+  /// The paper's S_R: storage of the raw form, one (cost, frequency) pair
+  /// per distinct value (Fig. 11c space-saving ratio).
+  size_t MemoryUsageBytes() const { return entries_.size() * 2 * sizeof(double); }
+
+  /// Exact histogram with one bucket per grid cell; useful as "ground truth
+  /// distribution" D_GT for KL comparisons.
+  StatusOr<Histogram1D> ToExactHistogram() const;
+
+  /// Squared error between a histogram approximation and this raw
+  /// distribution, evaluated per grid cell over the union of supports:
+  /// SE = sum_c (H[c] - D[c])^2 where H[c] is the histogram mass of cell c.
+  /// This is the error the paper's f-fold cross-validation minimizes.
+  double SquaredError(const Histogram1D& h) const;
+
+ private:
+  std::vector<Entry> entries_;
+  size_t sample_count_ = 0;
+  double resolution_ = 1.0;
+};
+
+}  // namespace hist
+}  // namespace pcde

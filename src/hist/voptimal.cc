@@ -1,0 +1,274 @@
+#include "hist/voptimal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace pcde {
+namespace hist {
+
+namespace {
+
+// The DP is O(cells^2 * b); the dense grid is capped and coarsened so
+// instantiating thousands of variables stays fast.
+constexpr size_t kMaxDenseCells = 512;
+
+/// Dense probability vector over consecutive grid cells spanning the raw
+/// distribution's support (including empty cells — V-Optimal must see the
+/// gaps, or boundary placement between value clusters is arbitrary).
+struct DenseGrid {
+  double origin = 0.0;      // left edge of cell 0
+  double cell_width = 1.0;  // resolution * stride after coarsening
+  std::vector<double> probs;
+};
+
+DenseGrid Densify(const RawDistribution& raw) {
+  DenseGrid grid;
+  const double res = raw.resolution();
+  const auto& entries = raw.entries();
+  const int64_t first = static_cast<int64_t>(
+      std::floor(entries.front().value / res + 0.5));
+  const int64_t last = static_cast<int64_t>(
+      std::floor(entries.back().value / res + 0.5));
+  const size_t cells = static_cast<size_t>(last - first + 1);
+  const size_t stride = (cells + kMaxDenseCells - 1) / kMaxDenseCells;
+  grid.origin = static_cast<double>(first) * res;
+  grid.cell_width = res * static_cast<double>(stride);
+  grid.probs.assign((cells + stride - 1) / stride, 0.0);
+  for (const RawDistribution::Entry& e : entries) {
+    const int64_t cell = static_cast<int64_t>(
+        std::floor(e.value / res + 0.5)) - first;
+    grid.probs[static_cast<size_t>(cell) / stride] += e.prob;
+  }
+  return grid;
+}
+
+/// DP over the probability vector; returns, for every bucket count
+/// k = 1..b_max, the group start indices of the optimal partition.
+std::vector<std::vector<size_t>> PartitionAll(const std::vector<double>& probs,
+                                              size_t b_max) {
+  const size_t n = probs.size();
+  std::vector<std::vector<size_t>> result;
+  if (n == 0) return result;
+  b_max = std::min(b_max, n);
+
+  std::vector<double> s1(n + 1, 0.0), s2(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    s1[i + 1] = s1[i] + probs[i];
+    s2[i + 1] = s2[i] + probs[i] * probs[i];
+  }
+  auto sse = [&](size_t i, size_t j) {  // inclusive [i, j]
+    const double sum = s1[j + 1] - s1[i];
+    const double sq = s2[j + 1] - s2[i];
+    const double cnt = static_cast<double>(j - i + 1);
+    return std::max(sq - sum * sum / cnt, 0.0);
+  };
+
+  const double inf = std::numeric_limits<double>::infinity();
+  // dp[k][j]: best error covering [0..j] with k+1 groups.
+  std::vector<std::vector<double>> dp(b_max, std::vector<double>(n, inf));
+  std::vector<std::vector<size_t>> split(b_max, std::vector<size_t>(n, 0));
+  for (size_t j = 0; j < n; ++j) dp[0][j] = sse(0, j);
+  for (size_t k = 1; k < b_max; ++k) {
+    for (size_t j = k; j < n; ++j) {
+      double best = inf;
+      size_t best_i = k;
+      for (size_t i = k; i <= j; ++i) {
+        const double cand = dp[k - 1][i - 1] + sse(i, j);
+        if (cand < best) {
+          best = cand;
+          best_i = i;
+        }
+      }
+      dp[k][j] = best;
+      split[k][j] = best_i;
+    }
+  }
+
+  result.resize(b_max);
+  for (size_t b = 1; b <= b_max; ++b) {
+    std::vector<size_t> starts(b);
+    size_t j = n - 1;
+    for (size_t k = b; k-- > 1;) {
+      starts[k] = split[k][j];
+      j = split[k][j] - 1;
+    }
+    starts[0] = 0;
+    result[b - 1] = std::move(starts);
+  }
+  return result;
+}
+
+/// Converts one partition of a dense grid into histogram buckets, trimming
+/// empty cells at group edges (the trimmed range carries the same mass and
+/// a tighter uniform density; gaps between buckets are legal).
+StatusOr<Histogram1D> BucketsFromPartition(const DenseGrid& grid,
+                                           const std::vector<size_t>& starts) {
+  std::vector<Bucket> buckets;
+  for (size_t k = 0; k < starts.size(); ++k) {
+    const size_t first = starts[k];
+    const size_t last = (k + 1 < starts.size()) ? starts[k + 1] - 1
+                                                : grid.probs.size() - 1;
+    size_t lo = first, hi = last;
+    while (lo <= hi && grid.probs[lo] <= 0.0) ++lo;
+    while (hi > lo && grid.probs[hi] <= 0.0) --hi;
+    if (lo > hi || grid.probs[lo] <= 0.0) continue;  // all-empty group
+    double mass = 0.0;
+    for (size_t i = lo; i <= hi; ++i) mass += grid.probs[i];
+    buckets.emplace_back(grid.origin + static_cast<double>(lo) * grid.cell_width,
+                         grid.origin + static_cast<double>(hi + 1) * grid.cell_width,
+                         mass);
+  }
+  return Histogram1D::Make(std::move(buckets));
+}
+
+}  // namespace
+
+namespace {
+
+/// Window-3 moving average used for *boundary selection only*: sampling
+/// noise on flat frequency plateaus otherwise makes the V-Optimal split
+/// placement arbitrary (ties), letting boundaries land inside value
+/// clusters instead of at the gaps between them. Masses always come from
+/// the raw vector.
+std::vector<double> SmoothForPartition(const std::vector<double>& probs) {
+  if (probs.size() < 3) return probs;
+  std::vector<double> out(probs.size());
+  out.front() = (2.0 * probs[0] + probs[1]) / 3.0;
+  out.back() = (2.0 * probs.back() + probs[probs.size() - 2]) / 3.0;
+  for (size_t i = 1; i + 1 < probs.size(); ++i) {
+    out[i] = (probs[i - 1] + probs[i] + probs[i + 1]) / 3.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<size_t> VOptimalPartition(const std::vector<double>& probs,
+                                      size_t b) {
+  if (probs.empty()) return {};
+  auto all = PartitionAll(probs, b);
+  return all.empty() ? std::vector<size_t>{} : all.back();
+}
+
+StatusOr<Histogram1D> BuildVOptimalHistogram(const RawDistribution& raw,
+                                             size_t b) {
+  if (raw.empty()) {
+    return Status::InvalidArgument("BuildVOptimalHistogram: empty input");
+  }
+  const DenseGrid grid = Densify(raw);
+  auto all = PartitionAll(SmoothForPartition(grid.probs), b);
+  if (all.empty()) {
+    return Status::InvalidArgument("BuildVOptimalHistogram: no cells");
+  }
+  return BucketsFromPartition(grid, all.back());
+}
+
+namespace {
+
+/// E_b for every b = 1..b_max in one pass (the DP computes all bucket
+/// counts at once, so evaluating the full series costs one DP per fold).
+std::vector<double> CrossValidationSeries(const std::vector<double>& samples,
+                                          size_t b_max,
+                                          const AutoBucketOptions& options) {
+  std::vector<double> errors(b_max, 0.0);
+  const size_t f = std::max<size_t>(options.folds, 2);
+  if (samples.size() < f || b_max == 0) return errors;
+
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options.seed);
+  rng.Shuffle(&order);
+
+  size_t evaluated = 0;
+  for (size_t fold = 0; fold < f; ++fold) {
+    std::vector<double> train, held;
+    train.reserve(samples.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (i % f == fold) {
+        held.push_back(samples[order[i]]);
+      } else {
+        train.push_back(samples[order[i]]);
+      }
+    }
+    if (train.empty() || held.empty()) continue;
+    const RawDistribution train_raw =
+        RawDistribution::FromSamples(train, options.resolution);
+    const double cv_resolution =
+        options.resolution * std::max(options.cv_resolution_factor, 1.0);
+    const RawDistribution held_raw =
+        RawDistribution::FromSamples(held, cv_resolution);
+    const DenseGrid grid = Densify(train_raw);
+    const auto partitions = PartitionAll(SmoothForPartition(grid.probs), b_max);
+    if (partitions.empty()) continue;
+    ++evaluated;
+    for (size_t b = 1; b <= b_max; ++b) {
+      const auto& starts = partitions[std::min(b, partitions.size()) - 1];
+      auto hist = BucketsFromPartition(grid, starts);
+      if (hist.ok()) errors[b - 1] += held_raw.SquaredError(hist.value());
+    }
+  }
+  if (evaluated > 0) {
+    for (double& e : errors) e /= static_cast<double>(evaluated);
+  }
+  return errors;
+}
+
+}  // namespace
+
+double CrossValidationError(const std::vector<double>& samples, size_t b,
+                            const AutoBucketOptions& options) {
+  const std::vector<double> series = CrossValidationSeries(samples, b, options);
+  return series.empty() ? 0.0 : series.back();
+}
+
+size_t AutoSelectBucketCount(const std::vector<double>& samples,
+                             const AutoBucketOptions& options,
+                             std::vector<double>* error_series) {
+  if (error_series != nullptr) error_series->clear();
+  if (samples.size() < std::max<size_t>(options.folds, 2)) return 1;
+
+  const size_t distinct =
+      RawDistribution::FromSamples(samples, options.resolution).NumDistinct();
+  const size_t b_max =
+      std::min(options.max_buckets, std::max<size_t>(distinct, 1));
+  const std::vector<double> series =
+      CrossValidationSeries(samples, b_max, options);
+  if (error_series != nullptr) *error_series = series;
+
+  // Walk the series: stop when the drop from b-1 to b stops being
+  // significant, choose b-1 (Sec. 3.1).
+  for (size_t b = 2; b <= series.size(); ++b) {
+    const double prev = series[b - 2];
+    const double drop = prev - series[b - 1];
+    if (prev <= 0.0 || drop < options.rel_improvement * prev) {
+      return b - 1;
+    }
+  }
+  return series.empty() ? 1 : series.size();
+}
+
+StatusOr<Histogram1D> BuildAutoHistogram(const std::vector<double>& samples,
+                                         const AutoBucketOptions& options) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("BuildAutoHistogram: no samples");
+  }
+  const size_t b = AutoSelectBucketCount(samples, options);
+  const RawDistribution raw =
+      RawDistribution::FromSamples(samples, options.resolution);
+  return BuildVOptimalHistogram(raw, b);
+}
+
+StatusOr<Histogram1D> BuildStaticHistogram(const std::vector<double>& samples,
+                                           size_t b, double resolution) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("BuildStaticHistogram: no samples");
+  }
+  const RawDistribution raw = RawDistribution::FromSamples(samples, resolution);
+  return BuildVOptimalHistogram(raw, b);
+}
+
+}  // namespace hist
+}  // namespace pcde

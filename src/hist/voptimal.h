@@ -1,0 +1,64 @@
+// V-Optimal histogram construction (Jagadish et al., VLDB 1998 [12]) and
+// the paper's "Auto" bucket-count selection via f-fold cross-validation
+// with an elbow stopping rule (Sec. 3.1, Fig. 5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "hist/histogram1d.h"
+#include "hist/raw_distribution.h"
+
+namespace pcde {
+namespace hist {
+
+/// \brief Optimal partition of a probability vector into `b` contiguous
+/// groups minimizing the within-group sum of squared deviations from the
+/// group mean (the V-Optimal objective). Returns the start index of each
+/// group (size b', b' <= b when fewer values than buckets).
+std::vector<size_t> VOptimalPartition(const std::vector<double>& probs,
+                                      size_t b);
+
+/// \brief V-Optimal histogram with (at most) `b` buckets over a raw
+/// distribution. Bucket i spans [first_value, last_value + resolution).
+StatusOr<Histogram1D> BuildVOptimalHistogram(const RawDistribution& raw,
+                                             size_t b);
+
+/// \brief Options for the Auto bucket-count procedure.
+struct AutoBucketOptions {
+  size_t folds = 5;              // f in the paper's f-fold cross validation
+  size_t max_buckets = 16;       // upper bound on the search
+  double rel_improvement = 0.06; // stop when (E_{b-1}-E_b)/E_{b-1} < this
+  double resolution = 1.0;       // grid resolution (seconds)
+  /// The held-out squared error is evaluated on a grid coarsened by this
+  /// factor: at beta-sized samples (~30), per-second cells are dominated
+  /// by sampling noise and the cross-validation would stop at one bucket
+  /// even for clearly multi-modal data.
+  double cv_resolution_factor = 4.0;
+  uint64_t seed = 1234;          // fold assignment shuffle
+};
+
+/// \brief E_b: cross-validation squared error of using b buckets, averaged
+/// over f folds (Sec. 3.1). Requires >= folds samples.
+double CrossValidationError(const std::vector<double>& samples, size_t b,
+                            const AutoBucketOptions& options);
+
+/// \brief The Auto procedure: increases b from 1 and stops at the elbow,
+/// returning b-1 (>= 1). Also exposes the E_b series for Fig. 5(a).
+size_t AutoSelectBucketCount(const std::vector<double>& samples,
+                             const AutoBucketOptions& options,
+                             std::vector<double>* error_series = nullptr);
+
+/// \brief Convenience: Auto bucket count, then V-Optimal on the full data.
+StatusOr<Histogram1D> BuildAutoHistogram(const std::vector<double>& samples,
+                                         const AutoBucketOptions& options);
+
+/// \brief Fixed-bucket variant ("Sta-b" in Fig. 11): V-Optimal with exactly
+/// b buckets on the full data.
+StatusOr<Histogram1D> BuildStaticHistogram(const std::vector<double>& samples,
+                                           size_t b, double resolution = 1.0);
+
+}  // namespace hist
+}  // namespace pcde

@@ -1,0 +1,269 @@
+#include "mapmatch/hmm_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "roadnet/shortest_path.h"
+
+namespace pcde {
+namespace mapmatch {
+
+using roadnet::Edge;
+using roadnet::EdgeId;
+using roadnet::Graph;
+using roadnet::kInvalidEdge;
+using roadnet::Path;
+using roadnet::SpatialIndex;
+using traj::GpsRecord;
+using traj::MatchedTrajectory;
+using traj::Trajectory;
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+struct Candidate {
+  EdgeId edge = kInvalidEdge;
+  double fraction = 0.0;
+  double distance_m = 0.0;
+};
+
+}  // namespace
+
+HmmMatcher::HmmMatcher(const Graph& g, const MapMatchConfig& config)
+    : graph_(g), config_(config), index_(g, config.candidate_radius_m) {}
+
+double HmmMatcher::RouteRecovery(const Path& truth, const Path& matched) {
+  if (truth.empty()) return 0.0;
+  // Longest-common-subsequence on edge ids, order preserving.
+  const auto& a = truth.edges();
+  const auto& b = matched.edges();
+  std::vector<std::vector<int>> lcs(a.size() + 1,
+                                    std::vector<int>(b.size() + 1, 0));
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      lcs[i][j] = a[i - 1] == b[j - 1]
+                      ? lcs[i - 1][j - 1] + 1
+                      : std::max(lcs[i - 1][j], lcs[i][j - 1]);
+    }
+  }
+  return static_cast<double>(lcs[a.size()][b.size()]) /
+         static_cast<double>(a.size());
+}
+
+StatusOr<MatchResult> HmmMatcher::Match(const Trajectory& t) const {
+  if (t.records.size() < 2) {
+    return Status::InvalidArgument("Match: trajectory needs >= 2 records");
+  }
+
+  // --- Preprocessing: thin records closer than min spacing (N&K Sec. 4).
+  std::vector<GpsRecord> recs;
+  recs.push_back(t.records.front());
+  for (const GpsRecord& r : t.records) {
+    const GpsRecord& last = recs.back();
+    if (roadnet::Distance(last.x, last.y, r.x, r.y) >=
+        config_.min_record_spacing_m) {
+      recs.push_back(r);
+    }
+  }
+  if (recs.size() < 2) recs.push_back(t.records.back());
+
+  // --- Candidate generation.
+  std::vector<std::vector<Candidate>> cands(recs.size());
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const auto near =
+        index_.EdgesNear(recs[i].x, recs[i].y, config_.candidate_radius_m);
+    for (size_t k = 0; k < near.size() && k < config_.max_candidates; ++k) {
+      cands[i].push_back(
+          Candidate{near[k].edge, near[k].fraction, near[k].distance_m});
+    }
+    if (cands[i].empty()) {
+      return Status::NotFound("Match: no candidate road near record " +
+                              std::to_string(i));
+    }
+  }
+
+  // --- Viterbi.
+  const double sigma2 = config_.gps_sigma_m * config_.gps_sigma_m;
+  auto emission = [&](const Candidate& c) {
+    return -0.5 * c.distance_m * c.distance_m / sigma2;
+  };
+  const auto length_weight = roadnet::LengthWeight(graph_);
+  // GPS noise can move the projected fraction slightly *backwards* along
+  // the same edge; treating that as a real reversal would wrongly insert a
+  // U-turn loop. Within this slack the vehicle is considered stationary.
+  const double back_slack_m = std::max(10.0, 2.0 * config_.gps_sigma_m);
+  auto same_edge_forward = [&](const Candidate& a, const Candidate& b) {
+    if (a.edge != b.edge) return false;
+    return (b.fraction - a.fraction) * graph_.edge(a.edge).length_m >=
+           -back_slack_m;
+  };
+
+  std::vector<std::vector<double>> score(recs.size());
+  std::vector<std::vector<int>> parent(recs.size());
+  size_t broken = 0;
+
+  score[0].resize(cands[0].size());
+  parent[0].assign(cands[0].size(), -1);
+  for (size_t j = 0; j < cands[0].size(); ++j) score[0][j] = emission(cands[0][j]);
+
+  for (size_t i = 1; i < recs.size(); ++i) {
+    const double crow = roadnet::Distance(recs[i - 1].x, recs[i - 1].y,
+                                          recs[i].x, recs[i].y);
+    const double bound = crow * config_.max_detour_factor + 300.0;
+    score[i].assign(cands[i].size(), kNegInf);
+    parent[i].assign(cands[i].size(), -1);
+
+    // One bounded Dijkstra tree per previous candidate.
+    for (size_t p = 0; p < cands[i - 1].size(); ++p) {
+      if (score[i - 1][p] == kNegInf) continue;
+      const Candidate& cp = cands[i - 1][p];
+      const Edge& ep = graph_.edge(cp.edge);
+      const std::vector<double> tree = roadnet::ShortestPathTree(
+          graph_, ep.to, length_weight, bound);
+      const double remainder = (1.0 - cp.fraction) * ep.length_m;
+      for (size_t j = 0; j < cands[i].size(); ++j) {
+        const Candidate& cj = cands[i][j];
+        double route;
+        if (cj.edge == cp.edge) {
+          // Forward progress, or noise-induced backward wobble. A vehicle
+          // on one directed edge never needs a loop; backward moves are
+          // costed by their magnitude (they become gap penalty), not by a
+          // fictitious U-turn route.
+          route = same_edge_forward(cp, cj)
+                      ? std::max((cj.fraction - cp.fraction) * ep.length_m, 0.0)
+                      : (cp.fraction - cj.fraction) * ep.length_m;
+        } else {
+          const Edge& ej = graph_.edge(cj.edge);
+          const double mid = tree[ej.from];
+          if (mid == roadnet::kInfCost) continue;
+          route = remainder + mid + cj.fraction * ej.length_m;
+        }
+        const double gap = std::fabs(route - crow);
+        // Tiny stickiness: the two directions of a road are collinear, so
+        // staying put and hopping to the reverse edge can tie exactly at a
+        // shared vertex; prefer not to change edges on ties.
+        const double stickiness = cj.edge == cp.edge ? 0.0 : -0.05;
+        const double cand_score = score[i - 1][p] + emission(cj) -
+                                  gap / config_.transition_beta_m + stickiness;
+        if (cand_score > score[i][j]) {
+          score[i][j] = cand_score;
+          parent[i][j] = static_cast<int>(p);
+        }
+      }
+    }
+
+    // HMM break: no previous candidate reaches this step. Re-anchor on
+    // emissions alone; the gap is bridged during reconstruction.
+    bool any = false;
+    for (double s : score[i]) any = any || s != kNegInf;
+    if (!any) {
+      ++broken;
+      for (size_t j = 0; j < cands[i].size(); ++j) {
+        score[i][j] = emission(cands[i][j]);
+        parent[i][j] = -2;  // break marker: keep best previous chain ending
+      }
+    }
+  }
+
+  // --- Backtrack the best chain.
+  std::vector<int> choice(recs.size(), -1);
+  {
+    const auto& last = score.back();
+    choice.back() = static_cast<int>(
+        std::max_element(last.begin(), last.end()) - last.begin());
+  }
+  for (size_t i = recs.size(); i-- > 1;) {
+    const int par = parent[i][static_cast<size_t>(choice[i])];
+    if (par >= 0) {
+      choice[i - 1] = par;
+    } else {
+      // Break: choose the best-scoring candidate of the previous step.
+      const auto& prev = score[i - 1];
+      choice[i - 1] = static_cast<int>(
+          std::max_element(prev.begin(), prev.end()) - prev.begin());
+    }
+  }
+
+  // --- Reconstruct the edge path and each record's position on it.
+  std::vector<EdgeId> path_edges;
+  std::vector<size_t> rec_pos(recs.size());
+  path_edges.push_back(cands[0][static_cast<size_t>(choice[0])].edge);
+  rec_pos[0] = 0;
+  for (size_t i = 1; i < recs.size(); ++i) {
+    const Candidate& cp = cands[i - 1][static_cast<size_t>(choice[i - 1])];
+    const Candidate& cj = cands[i][static_cast<size_t>(choice[i])];
+    if (cj.edge == cp.edge) {  // same edge: never synthesize a loop
+      rec_pos[i] = rec_pos[i - 1];
+      continue;
+    }
+    const Edge& ep = graph_.edge(cp.edge);
+    const Edge& ej = graph_.edge(cj.edge);
+    if (ep.to != ej.from) {
+      auto bridge =
+          roadnet::ShortestPath(graph_, ep.to, ej.from, length_weight);
+      if (!bridge.ok()) {
+        // Unbridgeable: keep the record on the previous edge.
+        rec_pos[i] = rec_pos[i - 1];
+        ++broken;
+        continue;
+      }
+      for (EdgeId e : bridge.value()) path_edges.push_back(e);
+    }
+    path_edges.push_back(cj.edge);
+    rec_pos[i] = path_edges.size() - 1;
+  }
+
+  // --- Per-edge entry times by distance interpolation over the records.
+  std::vector<double> cum(path_edges.size() + 1, 0.0);
+  for (size_t k = 0; k < path_edges.size(); ++k) {
+    cum[k + 1] = cum[k] + graph_.edge(path_edges[k]).length_m;
+  }
+  std::vector<double> rec_dist(recs.size());
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const Candidate& c = cands[i][static_cast<size_t>(choice[i])];
+    // The record may have been re-homed to the previous edge on a break.
+    const size_t pos = rec_pos[i];
+    const double frac =
+        path_edges[pos] == c.edge ? c.fraction : 1.0;
+    rec_dist[i] = cum[pos] + frac * graph_.edge(path_edges[pos]).length_m;
+    if (i > 0) rec_dist[i] = std::max(rec_dist[i], rec_dist[i - 1]);
+  }
+
+  auto time_at_distance = [&](double d) {
+    if (d <= rec_dist.front()) return recs.front().time;
+    if (d >= rec_dist.back()) return recs.back().time;
+    const auto it = std::lower_bound(rec_dist.begin(), rec_dist.end(), d);
+    const size_t hi = static_cast<size_t>(it - rec_dist.begin());
+    const size_t lo = hi - 1;
+    const double span = rec_dist[hi] - rec_dist[lo];
+    const double f = span > 0.0 ? (d - rec_dist[lo]) / span : 0.0;
+    return recs[lo].time + f * (recs[hi].time - recs[lo].time);
+  };
+
+  MatchResult result;
+  result.used_records = recs.size();
+  result.broken_transitions = broken;
+  result.matched.id = t.id;
+  result.matched.path = Path(path_edges);
+  constexpr double kMinEdgeSeconds = 0.1;
+  for (size_t k = 0; k < path_edges.size(); ++k) {
+    const double enter = time_at_distance(cum[k]);
+    const double exit = time_at_distance(cum[k + 1]);
+    result.matched.edge_enter_times.push_back(enter);
+    result.matched.edge_travel_seconds.push_back(
+        std::max(exit - enter, kMinEdgeSeconds));
+    // Emissions cannot be recovered from GPS alone without a vehicle model;
+    // approximate with the surrogate's rolling term (speed-based).
+    const Edge& e = graph_.edge(path_edges[k]);
+    const double dur = std::max(exit - enter, kMinEdgeSeconds);
+    const double v = e.length_m / dur;
+    result.matched.edge_emission_grams.push_back(
+        0.4 * dur + 9.0 * e.length_m / 1000.0 + 0.0025 * v * v * dur);
+  }
+  return result;
+}
+
+}  // namespace mapmatch
+}  // namespace pcde

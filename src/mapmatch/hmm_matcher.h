@@ -1,0 +1,63 @@
+// Hidden-Markov-Model map matching after Newson & Krumm (SIGSPATIAL 2009)
+// — the "well-known method [16]" the paper applies to align GPS records
+// with road-network paths.
+//
+//  * Candidate states: road segments within a radius of each GPS fix.
+//  * Emission: zero-mean Gaussian on the point-to-segment distance.
+//  * Transition: exponential in |route distance - great-circle distance|
+//    between consecutive fixes (here Euclidean; the synthetic cities live
+//    on a plane).
+//  * Decoding: Viterbi; the matched path is reconstructed by stitching the
+//    winning candidates with shortest paths.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "roadnet/graph.h"
+#include "roadnet/path.h"
+#include "roadnet/spatial_index.h"
+#include "traj/types.h"
+
+namespace pcde {
+namespace mapmatch {
+
+struct MapMatchConfig {
+  double gps_sigma_m = 5.0;        // emission noise; N&K estimate from data
+  double candidate_radius_m = 40.0;
+  size_t max_candidates = 8;
+  double transition_beta_m = 8.0;  // exponential scale on the distance gap
+  double max_detour_factor = 4.0;  // bound on route search per hop
+  double min_record_spacing_m = 10.0;  // N&K preprocessing: thin dense fixes
+};
+
+/// \brief Result of matching one trajectory.
+struct MatchResult {
+  traj::MatchedTrajectory matched;
+  size_t used_records = 0;     // records kept after thinning
+  size_t broken_transitions = 0;  // hops bridged despite an HMM break
+};
+
+/// \brief HMM map matcher over a road network.
+class HmmMatcher {
+ public:
+  HmmMatcher(const roadnet::Graph& g, const MapMatchConfig& config);
+
+  /// Matches a GPS trajectory to a road path with per-edge entry times and
+  /// travel times (interpolated from the fix timestamps). Returns NotFound
+  /// when no candidate roads exist for any fix.
+  StatusOr<MatchResult> Match(const traj::Trajectory& t) const;
+
+  /// Fraction of `truth`'s edges present (in order) in `matched` — the
+  /// route-recovery accuracy measure used in the tests.
+  static double RouteRecovery(const roadnet::Path& truth,
+                              const roadnet::Path& matched);
+
+ private:
+  const roadnet::Graph& graph_;
+  MapMatchConfig config_;
+  roadnet::SpatialIndex index_;
+};
+
+}  // namespace mapmatch
+}  // namespace pcde

@@ -1,0 +1,143 @@
+#include "roadnet/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace pcde {
+namespace roadnet {
+
+CityConfig CityAConfig() {
+  CityConfig c;
+  c.rows = 26;
+  c.cols = 26;
+  c.spacing_m = 150.0;
+  c.arterial_every = 5;
+  c.removal_fraction = 0.08;
+  c.seed = 101;
+  return c;
+}
+
+CityConfig CityBConfig() {
+  CityConfig c;
+  c.rows = 18;
+  c.cols = 18;
+  c.spacing_m = 450.0;
+  c.arterial_every = 3;
+  c.removal_fraction = 0.05;
+  c.residential_mps = 16.7;  // "main roads only": everything is fast
+  c.arterial_mps = 19.4;     // 70 km/h
+  c.highway_mps = 27.8;      // 100 km/h
+  c.seed = 202;
+  return c;
+}
+
+namespace {
+
+bool IsArterialLine(int index, int extent, int every) {
+  return index % every == 0 || index == extent - 1;
+}
+
+}  // namespace
+
+Graph MakeCity(const CityConfig& config) {
+  Graph g;
+  Rng rng(config.seed);
+  const int rows = config.rows;
+  const int cols = config.cols;
+
+  // Vertices on a jittered grid.
+  std::vector<std::vector<VertexId>> grid(rows, std::vector<VertexId>(cols));
+  const double jitter = config.jitter_fraction * config.spacing_m;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double x = c * config.spacing_m + rng.Uniform(-jitter, jitter);
+      const double y = r * config.spacing_m + rng.Uniform(-jitter, jitter);
+      grid[r][c] = g.AddVertex(x, y);
+    }
+  }
+
+  auto classify = [&](int r1, int c1, int r2, int c2) -> RoadClass {
+    const bool horizontal = (r1 == r2);
+    const bool outer = horizontal ? (r1 == 0 || r1 == rows - 1)
+                                  : (c1 == 0 || c1 == cols - 1);
+    if (config.ring_road && outer) return RoadClass::kHighway;
+    if (horizontal && IsArterialLine(r1, rows, config.arterial_every)) {
+      return RoadClass::kArterial;
+    }
+    if (!horizontal && IsArterialLine(c1, cols, config.arterial_every)) {
+      return RoadClass::kArterial;
+    }
+    (void)r2;
+    (void)c2;
+    return RoadClass::kResidential;
+  };
+
+  auto speed_for = [&](RoadClass rc) {
+    switch (rc) {
+      case RoadClass::kHighway: return config.highway_mps;
+      case RoadClass::kArterial: return config.arterial_mps;
+      case RoadClass::kResidential: return config.residential_mps;
+    }
+    return config.residential_mps;
+  };
+
+  auto add_both = [&](VertexId a, VertexId b, RoadClass rc) {
+    const Vertex& va = g.vertex(a);
+    const Vertex& vb = g.vertex(b);
+    const double len = Distance(va.x, va.y, vb.x, vb.y);
+    (void)g.AddEdge(a, b, len, speed_for(rc), rc);
+    (void)g.AddEdge(b, a, len, speed_for(rc), rc);
+  };
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        const RoadClass rc = classify(r, c, r, c + 1);
+        if (rc != RoadClass::kResidential ||
+            rng.Uniform() >= config.removal_fraction) {
+          add_both(grid[r][c], grid[r][c + 1], rc);
+        }
+      }
+      if (r + 1 < rows) {
+        const RoadClass rc = classify(r, c, r + 1, c);
+        if (rc != RoadClass::kResidential ||
+            rng.Uniform() >= config.removal_fraction) {
+          add_both(grid[r][c], grid[r + 1][c], rc);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+StatusOr<Path> RandomSimplePath(const Graph& g, size_t cardinality, Rng* rng,
+                                int max_attempts) {
+  if (cardinality == 0 || g.NumEdges() == 0) {
+    return Status::InvalidArgument("RandomSimplePath: empty request or graph");
+  }
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const EdgeId start =
+        static_cast<EdgeId>(rng->UniformInt(0, static_cast<int64_t>(g.NumEdges()) - 1));
+    std::vector<EdgeId> edges{start};
+    std::unordered_set<VertexId> visited{g.edge(start).from, g.edge(start).to};
+    while (edges.size() < cardinality) {
+      const VertexId head = g.edge(edges.back()).to;
+      std::vector<EdgeId> options;
+      for (EdgeId e : g.OutEdges(head)) {
+        if (visited.count(g.edge(e).to) == 0) options.push_back(e);
+      }
+      if (options.empty()) break;  // dead end; restart
+      const EdgeId next = options[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(options.size()) - 1))];
+      edges.push_back(next);
+      visited.insert(g.edge(next).to);
+    }
+    if (edges.size() == cardinality) return Path(std::move(edges));
+  }
+  return Status::NotFound("RandomSimplePath: no simple path of cardinality " +
+                          std::to_string(cardinality) + " found");
+}
+
+}  // namespace roadnet
+}  // namespace pcde

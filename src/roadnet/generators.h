@@ -1,0 +1,55 @@
+// Synthetic city road-network generators. These stand in for the paper's
+// Aalborg (OSM, all roads) and Beijing (traffic bureau, highways + main
+// roads) networks — see DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "roadnet/graph.h"
+#include "roadnet/path.h"
+
+namespace pcde {
+namespace roadnet {
+
+/// \brief Configuration for the city generator.
+///
+/// The generator lays out a jittered grid; every `arterial_every`-th row and
+/// column is an arterial with a higher speed limit, and the outermost ring
+/// is a highway. A fraction of non-arterial edges is removed to break the
+/// regular grid (real street networks are not complete grids).
+struct CityConfig {
+  int rows = 24;
+  int cols = 24;
+  double spacing_m = 150.0;
+  int arterial_every = 6;
+  double removal_fraction = 0.08;     // residential edges removed at random
+  double jitter_fraction = 0.15;      // vertex position jitter (x spacing)
+  double residential_mps = 13.9;      // 50 km/h
+  double arterial_mps = 16.7;         // 60 km/h
+  double highway_mps = 22.2;          // 80 km/h
+  bool ring_road = true;              // outer ring is highway class
+  uint64_t seed = 7;
+};
+
+/// Dense "city A" (Aalborg-like): all road classes, small blocks.
+CityConfig CityAConfig();
+
+/// Coarse "city B" (Beijing-like): only main roads, bigger blocks, higher
+/// speeds, more vertices pruned.
+CityConfig CityBConfig();
+
+/// Generates the city network. Edges are bidirectional (one directed edge
+/// each way). The graph is guaranteed strongly connected on its largest
+/// component by construction (arterial skeleton is never removed).
+Graph MakeCity(const CityConfig& config);
+
+/// \brief Uniform random simple path of exactly `cardinality` edges via
+/// self-avoiding walk with restarts. Returns NotFound if no such path was
+/// found within `max_attempts` restarts (e.g., cardinality exceeds what the
+/// network supports).
+StatusOr<Path> RandomSimplePath(const Graph& g, size_t cardinality, Rng* rng,
+                                int max_attempts = 200);
+
+}  // namespace roadnet
+}  // namespace pcde

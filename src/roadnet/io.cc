@@ -1,0 +1,94 @@
+#include "roadnet/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace pcde {
+namespace roadnet {
+
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+Status SaveGraphCsv(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("SaveGraphCsv: cannot open " + path);
+  }
+  out.precision(17);
+  out << "# pcde road network v1\n";
+  for (const Vertex& v : g.vertices()) {
+    out << "V," << v.id << "," << v.x << "," << v.y << "\n";
+  }
+  for (const Edge& e : g.edges()) {
+    out << "E," << e.id << "," << e.from << "," << e.to << "," << e.length_m
+        << "," << e.speed_limit_mps << ","
+        << static_cast<int>(e.road_class) << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("SaveGraphCsv: write failed");
+  return Status::OK();
+}
+
+StatusOr<Graph> LoadGraphCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("LoadGraphCsv: cannot open " + path);
+  }
+  Graph g;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = SplitCsv(line);
+    const std::string where = path + ":" + std::to_string(line_no);
+    if (fields[0] == "V") {
+      if (fields.size() != 4) {
+        return Status::InvalidArgument("LoadGraphCsv: bad vertex at " + where);
+      }
+      const VertexId expected = static_cast<VertexId>(g.NumVertices());
+      if (std::stoul(fields[1]) != expected) {
+        return Status::InvalidArgument(
+            "LoadGraphCsv: vertex ids must be dense and ordered at " + where);
+      }
+      g.AddVertex(std::stod(fields[2]), std::stod(fields[3]));
+    } else if (fields[0] == "E") {
+      if (fields.size() != 7) {
+        return Status::InvalidArgument("LoadGraphCsv: bad edge at " + where);
+      }
+      const EdgeId expected = static_cast<EdgeId>(g.NumEdges());
+      if (std::stoul(fields[1]) != expected) {
+        return Status::InvalidArgument(
+            "LoadGraphCsv: edge ids must be dense and ordered at " + where);
+      }
+      const int rc = std::stoi(fields[6]);
+      if (rc < 0 || rc > 2) {
+        return Status::InvalidArgument("LoadGraphCsv: bad road class at " +
+                                       where);
+      }
+      auto added = g.AddEdge(static_cast<VertexId>(std::stoul(fields[2])),
+                             static_cast<VertexId>(std::stoul(fields[3])),
+                             std::stod(fields[4]), std::stod(fields[5]),
+                             static_cast<RoadClass>(rc));
+      if (!added.ok()) return added.status();
+    } else {
+      return Status::InvalidArgument("LoadGraphCsv: unknown record at " +
+                                     where);
+    }
+  }
+  return g;
+}
+
+}  // namespace roadnet
+}  // namespace pcde

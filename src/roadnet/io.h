@@ -1,0 +1,27 @@
+// Plain-text (CSV) persistence for road networks, so users can load their
+// own (e.g., OSM-extracted) graphs instead of the synthetic cities.
+//
+// Format — two sections, one record per line:
+//   V,<id>,<x>,<y>
+//   E,<id>,<from>,<to>,<length_m>,<speed_limit_mps>,<road_class>
+// Vertices must precede the edges that reference them; ids must be dense
+// and in order (the library uses ids as array indices).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "roadnet/graph.h"
+
+namespace pcde {
+namespace roadnet {
+
+/// Writes the graph to `path` (overwrites).
+Status SaveGraphCsv(const Graph& g, const std::string& path);
+
+/// Reads a graph written by SaveGraphCsv (or hand-assembled in the same
+/// format). Fails with InvalidArgument on malformed or out-of-order input.
+StatusOr<Graph> LoadGraphCsv(const std::string& path);
+
+}  // namespace roadnet
+}  // namespace pcde

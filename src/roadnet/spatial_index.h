@@ -1,0 +1,46 @@
+// Uniform-grid spatial index over edge segments. The map matcher uses it to
+// find candidate road segments near each GPS point (Newson & Krumm restrict
+// candidates to a radius around the observation).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "roadnet/graph.h"
+
+namespace pcde {
+namespace roadnet {
+
+/// \brief Buckets edge segments into square cells for radius queries.
+class SpatialIndex {
+ public:
+  /// Builds the index; `cell_size_m` should be on the order of the query
+  /// radius for good performance.
+  SpatialIndex(const Graph& g, double cell_size_m = 100.0);
+
+  /// \brief Candidate edge within `radius_m` of a query location.
+  struct Candidate {
+    EdgeId edge = kInvalidEdge;
+    double distance_m = 0.0;  // distance from query point to the segment
+    double fraction = 0.0;    // closest point, as fraction along the edge
+  };
+
+  /// All edges whose segment lies within `radius_m` of (x, y), sorted by
+  /// ascending distance.
+  std::vector<Candidate> EdgesNear(double x, double y, double radius_m) const;
+
+  /// The single nearest edge, or kInvalidEdge if none within `radius_m`.
+  Candidate NearestEdge(double x, double y, double radius_m) const;
+
+ private:
+  using CellKey = int64_t;
+  CellKey KeyFor(double x, double y) const;
+
+  const Graph& graph_;
+  double cell_size_m_;
+  std::unordered_map<CellKey, std::vector<EdgeId>> cells_;
+};
+
+}  // namespace roadnet
+}  // namespace pcde

@@ -1,0 +1,132 @@
+#include "routing/stochastic_router.h"
+
+#include <vector>
+
+namespace pcde {
+namespace routing {
+
+using core::IncrementalEstimator;
+using roadnet::EdgeId;
+using roadnet::Graph;
+using roadnet::Path;
+using roadnet::VertexId;
+
+DfsStochasticRouter::DfsStochasticRouter(const Graph& graph,
+                                         const core::PathWeightFunction& wp,
+                                         core::EstimateOptions estimate_options,
+                                         RouterConfig config)
+    : graph_(graph),
+      wp_(wp),
+      estimate_options_(estimate_options),
+      config_(config) {}
+
+namespace {
+
+struct SearchContext {
+  const Graph* graph;
+  const RouterConfig* config;
+  const std::vector<double>* lower_bound;  // admissible min time to dest
+  VertexId destination;
+  double budget;
+  RouteResult* result;
+  std::vector<bool>* visited;
+};
+
+void Dfs(SearchContext* ctx, const IncrementalEstimator& estimator,
+         VertexId at, size_t depth) {
+  RouteResult& res = *ctx->result;
+  if (res.expansions >= ctx->config->max_expansions) {
+    res.truncated = true;
+    return;
+  }
+  ++res.expansions;
+
+  if (at == ctx->destination) {
+    ++res.candidate_paths;
+    auto dist = estimator.CurrentDistribution();
+    if (dist.ok()) {
+      const double p = dist.value().ProbWithin(ctx->budget);
+      if (p > res.best_probability) {
+        res.best_probability = p;
+        res.best_path = estimator.path();
+      }
+    }
+    return;  // extending past the destination cannot arrive earlier
+  }
+  if (depth >= ctx->config->max_path_edges) return;
+
+  for (EdgeId e : ctx->graph->OutEdges(at)) {
+    const roadnet::Edge& edge = ctx->graph->edge(e);
+    if ((*ctx->visited)[edge.to]) continue;
+    // Admissible pruning: fastest completion already busts the budget.
+    const double bound = (*ctx->lower_bound)[edge.to];
+    if (bound == roadnet::kInfCost) continue;
+    IncrementalEstimator next = estimator;
+    if (!next.ExtendByEdge(e).ok()) continue;
+    if (next.MinTotalCost() + bound > ctx->budget) continue;
+    (*ctx->visited)[edge.to] = true;
+    Dfs(ctx, next, edge.to, depth + 1);
+    (*ctx->visited)[edge.to] = false;
+    if (res.truncated) return;
+  }
+}
+
+}  // namespace
+
+StatusOr<RouteResult> DfsStochasticRouter::Route(VertexId from, VertexId to,
+                                                 double departure_time,
+                                                 double budget_seconds) const {
+  if (from >= graph_.NumVertices() || to >= graph_.NumVertices()) {
+    return Status::InvalidArgument("Route: unknown vertex");
+  }
+  if (from == to) return Status::InvalidArgument("Route: from == to");
+
+  // Admissible completion bound: reverse Dijkstra on scaled free-flow times.
+  const double factor = config_.lower_bound_factor;
+  auto optimistic = [factor](const roadnet::Edge& e) {
+    return e.FreeFlowSeconds() * factor;
+  };
+  const std::vector<double> lower_bound =
+      roadnet::ReverseShortestPathTree(graph_, to, optimistic);
+  if (lower_bound[from] == roadnet::kInfCost) {
+    return Status::NotFound("Route: destination unreachable");
+  }
+  if (lower_bound[from] > budget_seconds) {
+    return Status::NotFound("Route: budget infeasible even at free flow");
+  }
+
+  RouteResult result;
+  std::vector<bool> visited(graph_.NumVertices(), false);
+  visited[from] = true;
+
+  SearchContext ctx;
+  ctx.graph = &graph_;
+  ctx.config = &config_;
+  ctx.lower_bound = &lower_bound;
+  ctx.destination = to;
+  ctx.budget = budget_seconds;
+  ctx.result = &result;
+  ctx.visited = &visited;
+
+  for (EdgeId e : graph_.OutEdges(from)) {
+    const roadnet::Edge& edge = graph_.edge(e);
+    if (visited[edge.to]) continue;
+    if (lower_bound[edge.to] == roadnet::kInfCost) continue;
+    IncrementalEstimator estimator(wp_, estimate_options_, e, departure_time);
+    if (estimator.MinTotalCost() + lower_bound[edge.to] > budget_seconds) {
+      continue;
+    }
+    visited[edge.to] = true;
+    Dfs(&ctx, estimator, edge.to, 1);
+    visited[edge.to] = false;
+    if (result.truncated) break;
+  }
+
+  if (result.best_path.empty()) {
+    return Status::NotFound("Route: no path within budget found");
+  }
+  return result;
+}
+
+}  // namespace routing
+}  // namespace pcde

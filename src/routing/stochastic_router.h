@@ -1,0 +1,65 @@
+// DFS-based stochastic routing after Hua & Pei (EDBT 2010) [10] — the
+// routing algorithm the paper integrates its estimator into (Sec. 4.3,
+// Fig. 18): find the path that maximizes the probability of arriving
+// within a travel-time budget.
+//
+// The search explores simple paths depth-first, extending "path + another
+// edge" with an IncrementalEstimator, and prunes a prefix when even its
+// fastest possible completion (prefix support minimum + admissible
+// reverse-Dijkstra lower bound to the destination) exceeds the budget.
+#pragma once
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "core/estimator.h"
+#include "roadnet/graph.h"
+#include "roadnet/shortest_path.h"
+
+namespace pcde {
+namespace routing {
+
+struct RouterConfig {
+  /// Safety factor (< 1) on free-flow edge times for the admissible lower
+  /// bound; sampled travel can beat the speed limit slightly.
+  double lower_bound_factor = 0.8;
+  /// Hard cap on DFS expansions; the search space of simple paths within a
+  /// generous budget is exponential (also true of [10]).
+  size_t max_expansions = 500000;
+  size_t max_path_edges = 150;
+};
+
+struct RouteResult {
+  roadnet::Path best_path;
+  double best_probability = 0.0;  // P(travel time <= budget)
+  size_t expansions = 0;
+  size_t candidate_paths = 0;     // complete paths whose distribution was
+                                  // evaluated
+  bool truncated = false;         // expansion cap hit
+};
+
+/// \brief Probabilistic budget routing with a pluggable cost-distribution
+/// estimator (LB / HP / OD — Fig. 18 compares them by total routing time).
+class DfsStochasticRouter {
+ public:
+  DfsStochasticRouter(const roadnet::Graph& graph,
+                      const core::PathWeightFunction& wp,
+                      core::EstimateOptions estimate_options,
+                      RouterConfig config = RouterConfig());
+
+  /// Finds the path from `from` to `to`, departing at `departure_time`,
+  /// with the highest probability of total travel time <= `budget_seconds`.
+  /// Returns NotFound when no path can make the budget.
+  StatusOr<RouteResult> Route(roadnet::VertexId from, roadnet::VertexId to,
+                              double departure_time,
+                              double budget_seconds) const;
+
+ private:
+  const roadnet::Graph& graph_;
+  const core::PathWeightFunction& wp_;
+  core::EstimateOptions estimate_options_;
+  RouterConfig config_;
+};
+
+}  // namespace routing
+}  // namespace pcde

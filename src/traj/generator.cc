@@ -1,0 +1,232 @@
+#include "traj/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcde {
+namespace traj {
+
+using roadnet::EdgeId;
+using roadnet::Graph;
+using roadnet::kInvalidEdge;
+using roadnet::Path;
+using roadnet::VertexId;
+
+TrajectoryGenerator::TrajectoryGenerator(const TrafficModel& model,
+                                         const GeneratorConfig& config)
+    : model_(model), config_(config) {
+  // Hubs: deterministic sample of well-spread vertices.
+  Rng rng(config_.seed ^ 0xabcdef);
+  const Graph& g = model_.graph();
+  const size_t n = g.NumVertices();
+  for (size_t i = 0; i < config_.num_hubs && i < n; ++i) {
+    hubs_.push_back(static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1)));
+  }
+}
+
+double TrajectoryGenerator::SampleDeparture(Rng* rng) const {
+  const double u = rng->Uniform();
+  double t;
+  if (u < config_.morning_fraction) {
+    t = HoursToSeconds(rng->Gaussian(config_.morning_mean_h, config_.morning_std_h));
+  } else if (u < config_.morning_fraction + config_.evening_fraction) {
+    t = HoursToSeconds(rng->Gaussian(config_.evening_mean_h, config_.evening_std_h));
+  } else {
+    t = HoursToSeconds(
+        rng->Uniform(config_.uniform_start_h, config_.uniform_end_h));
+  }
+  // Keep within the day with a safety margin for the trip itself.
+  return std::clamp(t, 0.0, kSecondsPerDay - 3600.0);
+}
+
+GeneratedTrip TrajectoryGenerator::SimulateTrip(uint64_t id, const Path& path,
+                                                double depart_s,
+                                                Rng* rng) const {
+  GeneratedTrip trip;
+  trip.truth.id = id;
+  trip.truth.path = path;
+  const TripContext ctx = model_.SampleTrip(rng);
+  double t = depart_s;
+  EdgeId prev = kInvalidEdge;
+  for (EdgeId e : path) {
+    const double dt = model_.SampleTravelSeconds(e, prev, t, ctx, rng);
+    trip.truth.edge_enter_times.push_back(t);
+    trip.truth.edge_travel_seconds.push_back(dt);
+    trip.truth.edge_emission_grams.push_back(
+        model_.EmissionGrams(e, dt, ctx));
+    t += dt;
+    prev = e;
+  }
+  if (config_.emit_gps) EmitGps(&trip, rng);
+  return trip;
+}
+
+void TrajectoryGenerator::EmitGps(GeneratedTrip* trip, Rng* rng) const {
+  const Graph& g = model_.graph();
+  const MatchedTrajectory& truth = trip->truth;
+  trip->gps.id = truth.id;
+  if (truth.NumEdges() == 0) return;
+  const double start = truth.DepartureTime();
+  const double end = truth.edge_enter_times.back() +
+                     truth.edge_travel_seconds.back();
+  size_t edge_pos = 0;
+  for (double t = start; t <= end + 1e-9; t += config_.sampling_interval_s) {
+    while (edge_pos + 1 < truth.NumEdges() &&
+           truth.edge_enter_times[edge_pos + 1] <= t) {
+      ++edge_pos;
+    }
+    const double enter = truth.edge_enter_times[edge_pos];
+    const double dur = std::max(truth.edge_travel_seconds[edge_pos], 1e-9);
+    const double frac = std::clamp((t - enter) / dur, 0.0, 1.0);
+    double x = 0.0, y = 0.0;
+    g.PointAlongEdge(truth.path[edge_pos], frac, &x, &y);
+    x += rng->Gaussian(0.0, config_.gps_noise_std_m);
+    y += rng->Gaussian(0.0, config_.gps_noise_std_m);
+    trip->gps.records.push_back(GpsRecord{x, y, t});
+  }
+}
+
+GeneratedTrip TrajectoryGenerator::GenerateOnPath(const Path& path,
+                                                  double depart_s,
+                                                  Rng* rng) const {
+  return SimulateTrip(0, path, depart_s, rng);
+}
+
+std::vector<GeneratedTrip> TrajectoryGenerator::GenerateAll() {
+  const Graph& g = model_.graph();
+  Rng rng(config_.seed);
+  std::vector<GeneratedTrip> trips;
+  trips.reserve(config_.num_trips);
+
+  const auto free_flow = roadnet::FreeFlowWeight(g);
+  uint64_t id = 0;
+  size_t failures = 0;
+  while (trips.size() < config_.num_trips && failures < config_.num_trips * 4) {
+    const double depart = SampleDeparture(&rng);
+    VertexId from, to;
+    bool hub_trip = rng.Bernoulli(config_.hub_fraction) && hubs_.size() >= 2;
+    if (hub_trip) {
+      // Zipf-skewed hub popularity: hub i drawn with weight 1/(i+1), so a
+      // handful of commuter destinations dominate (as in real fleet data).
+      std::vector<double> weights(hubs_.size());
+      for (size_t i = 0; i < weights.size(); ++i) {
+        weights[i] = 1.0 / static_cast<double>(i + 1);
+      }
+      if (rng.Bernoulli(config_.commute_share)) {
+        // Commute between a random vertex and a hub; direction follows the
+        // time of day (inbound before ~13:00, outbound after).
+        const VertexId hub = hubs_[rng.Categorical(weights)];
+        const VertexId other = static_cast<VertexId>(
+            rng.UniformInt(0, static_cast<int64_t>(g.NumVertices()) - 1));
+        const bool inbound = depart < HoursToSeconds(13.0);
+        from = inbound ? other : hub;
+        to = inbound ? hub : other;
+      } else {
+        const size_t a = rng.Categorical(weights);
+        size_t b = rng.Categorical(weights);
+        if (a == b) b = (b + 1) % hubs_.size();
+        from = hubs_[a];
+        to = hubs_[b];
+      }
+    } else {
+      from = static_cast<VertexId>(
+          rng.UniformInt(0, static_cast<int64_t>(g.NumVertices()) - 1));
+      to = static_cast<VertexId>(
+          rng.UniformInt(0, static_cast<int64_t>(g.NumVertices()) - 1));
+    }
+    const auto& va = g.vertex(from);
+    const auto& vb = g.vertex(to);
+    if (from == to ||
+        roadnet::Distance(va.x, va.y, vb.x, vb.y) < config_.min_trip_crow_m) {
+      ++failures;
+      continue;
+    }
+
+    StatusOr<Path> route = Status::NotFound("");
+    if (hub_trip) {
+      // Commuters use the canonical fastest route — repeated paths.
+      route = roadnet::ShortestPath(g, from, to, free_flow);
+    } else {
+      // Background traffic: per-trip jittered weights diversify routes.
+      const uint64_t trip_seed = rng.engine()();
+      const double jitter = config_.route_jitter;
+      auto weight = [&g, trip_seed, jitter](const roadnet::Edge& e) {
+        uint64_t h = (static_cast<uint64_t>(e.id) + 1) * 0x9e3779b97f4a7c15ull ^
+                     trip_seed;
+        h ^= h >> 31;
+        h *= 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 29;
+        const double u = static_cast<double>(h % 100000) / 100000.0;
+        return e.FreeFlowSeconds() * std::exp((2.0 * u - 1.0) * jitter);
+      };
+      route = roadnet::ShortestPath(g, from, to, weight);
+    }
+    if (!route.ok()) {
+      ++failures;
+      continue;
+    }
+    trips.push_back(SimulateTrip(id++, route.value(), depart, &rng));
+  }
+  return trips;
+}
+
+std::vector<MatchedTrajectory> Dataset::MatchedSlice(double fraction) const {
+  const size_t n = static_cast<size_t>(
+      std::round(fraction * static_cast<double>(trips.size())));
+  std::vector<MatchedTrajectory> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n && i < trips.size(); ++i) {
+    out.push_back(trips[i].truth);
+  }
+  return out;
+}
+
+namespace {
+
+Dataset MakeDataset(std::string name, const roadnet::CityConfig& city,
+                    const TrafficConfig& traffic, GeneratorConfig gen) {
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.graph = std::make_unique<roadnet::Graph>(roadnet::MakeCity(city));
+  ds.traffic = std::make_unique<TrafficModel>(*ds.graph, traffic);
+  ds.generator_config = gen;
+  TrajectoryGenerator generator(*ds.traffic, gen);
+  ds.trips = generator.GenerateAll();
+  return ds;
+}
+
+}  // namespace
+
+Dataset MakeDatasetA(size_t num_trips, bool emit_gps) {
+  roadnet::CityConfig city = roadnet::CityAConfig();
+  TrafficConfig traffic;
+  traffic.seed = 11;
+  GeneratorConfig gen;
+  gen.num_trips = num_trips;
+  gen.emit_gps = emit_gps;
+  gen.sampling_interval_s = 1.0;  // 1 Hz, like D1
+  gen.seed = 1001;
+  return MakeDataset("A", city, traffic, gen);
+}
+
+Dataset MakeDatasetB(size_t num_trips, bool emit_gps) {
+  roadnet::CityConfig city = roadnet::CityBConfig();
+  TrafficConfig traffic;
+  traffic.seed = 23;
+  traffic.cell_size_m = 1800.0;
+  traffic.morning_peak_gain = 1.1;  // heavier congestion (megacity)
+  traffic.evening_peak_gain = 0.9;
+  GeneratorConfig gen;
+  gen.num_trips = num_trips;
+  gen.emit_gps = emit_gps;
+  gen.sampling_interval_s = 5.0;  // 0.2 Hz, like D2
+  gen.hub_fraction = 0.6;
+  gen.num_hubs = 18;
+  gen.min_trip_crow_m = 2500.0;
+  gen.seed = 2002;
+  return MakeDataset("B", city, traffic, gen);
+}
+
+}  // namespace traj
+}  // namespace pcde

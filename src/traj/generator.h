@@ -1,0 +1,111 @@
+// Trip and GPS-trace generation over a TrafficModel. Substitutes for the
+// paper's fleet data (D1: Aalborg, 37M records @1 Hz; D2: Beijing, >50B
+// records @>=0.2 Hz) at laptop scale — see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/generators.h"
+#include "roadnet/shortest_path.h"
+#include "traj/traffic_model.h"
+#include "traj/types.h"
+
+namespace pcde {
+namespace traj {
+
+/// \brief Demand + measurement configuration for the generator.
+struct GeneratorConfig {
+  size_t num_trips = 15000;
+
+  // Measurement process.
+  bool emit_gps = false;            // GPS traces are only needed by the
+                                    // map-matching pipeline; matched truth
+                                    // is always produced.
+  double sampling_interval_s = 1.0; // 1 Hz (D1); use 5 s for the D2 analogue
+  double gps_noise_std_m = 5.0;
+
+  // Demand: a share of trips involves a few Zipf-popular hubs (workplaces,
+  // airport, center). Half of those are commutes between a random vertex
+  // and a hub — their routes form trees converging on the hub, so corridor
+  // edges near hubs are shared by many distinct routes joining at
+  // different points (as in real cities). The other half are hub-to-hub
+  // trips along the canonical fastest route (repeated full paths). The
+  // remainder is background traffic between random vertices with jittered
+  // routing. Morning commutes head into hubs, evening ones out.
+  double hub_fraction = 0.6;
+  double commute_share = 0.5;  // of hub trips: vertex <-> hub commutes
+  size_t num_hubs = 10;
+  double min_trip_crow_m = 900.0;
+  double route_jitter = 0.3;        // log-uniform multiplicative edge jitter
+
+  // Departure-time mixture: morning/evening Gaussians + daytime uniform.
+  double morning_fraction = 0.32;
+  double evening_fraction = 0.26;
+  double morning_mean_h = 8.1;
+  double morning_std_h = 0.7;
+  double evening_mean_h = 17.2;
+  double evening_std_h = 0.9;
+  double uniform_start_h = 6.0;
+  double uniform_end_h = 22.0;
+
+  uint64_t seed = 4242;
+};
+
+/// \brief One generated trip: the ground-truth matched trajectory and,
+/// optionally, the raw GPS trace the map matcher consumes.
+struct GeneratedTrip {
+  MatchedTrajectory truth;
+  Trajectory gps;  // empty when emit_gps is false
+};
+
+/// \brief Simulates trips over a traffic model.
+class TrajectoryGenerator {
+ public:
+  TrajectoryGenerator(const TrafficModel& model, const GeneratorConfig& config);
+
+  /// Generates `config.num_trips` trips (deterministic under the seed).
+  std::vector<GeneratedTrip> GenerateAll();
+
+  /// Generates a single trip along a *given* path at a given departure
+  /// time; used by tests and by the accuracy-optimal ground-truth harness.
+  GeneratedTrip GenerateOnPath(const roadnet::Path& path, double depart_s,
+                               Rng* rng) const;
+
+  /// Samples a departure time from the configured mixture.
+  double SampleDeparture(Rng* rng) const;
+
+ private:
+  GeneratedTrip SimulateTrip(uint64_t id, const roadnet::Path& path,
+                             double depart_s, Rng* rng) const;
+  void EmitGps(GeneratedTrip* trip, Rng* rng) const;
+
+  const TrafficModel& model_;
+  GeneratorConfig config_;
+  std::vector<roadnet::VertexId> hubs_;
+};
+
+/// \brief A complete synthetic dataset: network, traffic ground truth, and
+/// generated trips. The two presets mirror the paper's D1/D2 contrast.
+struct Dataset {
+  std::string name;
+  std::unique_ptr<roadnet::Graph> graph;
+  std::unique_ptr<TrafficModel> traffic;
+  GeneratorConfig generator_config;
+  std::vector<GeneratedTrip> trips;
+
+  /// The matched trajectories of the first `fraction` of trips (dataset
+  /// scaling experiments, Figs. 10, 12, 17).
+  std::vector<MatchedTrajectory> MatchedSlice(double fraction = 1.0) const;
+};
+
+/// City A (Aalborg-like): dense network, 1 Hz sampling.
+Dataset MakeDatasetA(size_t num_trips = 15000, bool emit_gps = false);
+
+/// City B (Beijing-like): main-roads network, 0.2 Hz sampling, more trips.
+Dataset MakeDatasetB(size_t num_trips = 22000, bool emit_gps = false);
+
+}  // namespace traj
+}  // namespace pcde

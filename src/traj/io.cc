@@ -1,0 +1,84 @@
+#include "traj/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace pcde {
+namespace traj {
+
+Status SaveMatchedCsv(const std::vector<MatchedTrajectory>& trajectories,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("SaveMatchedCsv: cannot open " + path);
+  }
+  out.precision(17);
+  out << "# pcde matched trajectories v1\n";
+  for (const MatchedTrajectory& t : trajectories) {
+    for (size_t i = 0; i < t.NumEdges(); ++i) {
+      out << t.id << "," << t.path[i] << "," << t.edge_enter_times[i] << ","
+          << t.edge_travel_seconds[i] << "," << t.edge_emission_grams[i]
+          << "\n";
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("SaveMatchedCsv: write failed");
+  return Status::OK();
+}
+
+StatusOr<std::vector<MatchedTrajectory>> LoadMatchedCsv(
+    const roadnet::Graph& graph, const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("LoadMatchedCsv: cannot open " + path);
+  }
+  std::vector<MatchedTrajectory> out;
+  std::vector<roadnet::EdgeId> edges;
+  MatchedTrajectory current;
+  bool has_current = false;
+
+  auto flush_current = [&]() -> Status {
+    if (!has_current) return Status::OK();
+    PCDE_RETURN_NOT_OK(roadnet::ValidatePath(graph, edges));
+    current.path = roadnet::Path(edges);
+    out.push_back(std::move(current));
+    current = MatchedTrajectory();
+    edges.clear();
+    return Status::OK();
+  };
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (fields.size() != 5) {
+      return Status::InvalidArgument("LoadMatchedCsv: bad row at " + path +
+                                     ":" + std::to_string(line_no));
+    }
+    const uint64_t id = std::stoull(fields[0]);
+    if (!has_current || id != current.id) {
+      PCDE_RETURN_NOT_OK(flush_current());
+      current.id = id;
+      has_current = true;
+    }
+    const unsigned long edge = std::stoul(fields[1]);
+    if (edge >= graph.NumEdges()) {
+      return Status::InvalidArgument("LoadMatchedCsv: unknown edge at " +
+                                     path + ":" + std::to_string(line_no));
+    }
+    edges.push_back(static_cast<roadnet::EdgeId>(edge));
+    current.edge_enter_times.push_back(std::stod(fields[2]));
+    current.edge_travel_seconds.push_back(std::stod(fields[3]));
+    current.edge_emission_grams.push_back(std::stod(fields[4]));
+  }
+  PCDE_RETURN_NOT_OK(flush_current());
+  return out;
+}
+
+}  // namespace traj
+}  // namespace pcde

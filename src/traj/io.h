@@ -1,0 +1,29 @@
+// CSV persistence for matched trajectories, so pipelines can checkpoint
+// between map matching and instantiation (the paper treats these as
+// separate offline stages).
+//
+// Format — one record per edge traversal:
+//   <trajectory_id>,<edge_id>,<enter_time_s>,<travel_s>,<emission_g>
+// Rows of one trajectory are contiguous and ordered by position.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "roadnet/graph.h"
+#include "traj/types.h"
+
+namespace pcde {
+namespace traj {
+
+Status SaveMatchedCsv(const std::vector<MatchedTrajectory>& trajectories,
+                      const std::string& path);
+
+/// Loads trajectories written by SaveMatchedCsv; paths are validated
+/// against `graph` (adjacency), invalid rows fail the load.
+StatusOr<std::vector<MatchedTrajectory>> LoadMatchedCsv(
+    const roadnet::Graph& graph, const std::string& path);
+
+}  // namespace traj
+}  // namespace pcde

@@ -1,0 +1,85 @@
+#include "traj/store.h"
+
+namespace pcde {
+namespace traj {
+
+TrajectoryStore::TrajectoryStore(std::vector<MatchedTrajectory> trajectories)
+    : trajectories_(std::move(trajectories)) {
+  for (size_t i = 0; i < trajectories_.size(); ++i) IndexTrajectory(i);
+}
+
+void TrajectoryStore::Add(MatchedTrajectory t) {
+  trajectories_.push_back(std::move(t));
+  IndexTrajectory(trajectories_.size() - 1);
+}
+
+void TrajectoryStore::IndexTrajectory(size_t idx) {
+  const MatchedTrajectory& t = trajectories_[idx];
+  for (size_t pos = 0; pos < t.path.size(); ++pos) {
+    edge_index_[t.path[pos]].emplace_back(idx, pos);
+  }
+}
+
+std::vector<Occurrence> TrajectoryStore::FindOccurrences(
+    const roadnet::Path& path) const {
+  std::vector<Occurrence> out;
+  if (path.empty()) return out;
+  auto it = edge_index_.find(path.front());
+  if (it == edge_index_.end()) return out;
+  for (const auto& [traj_idx, pos] : it->second) {
+    const MatchedTrajectory& t = trajectories_[traj_idx];
+    if (pos + path.size() > t.path.size()) continue;
+    bool match = true;
+    for (size_t d = 1; d < path.size(); ++d) {
+      if (t.path[pos + d] != path[d]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      out.push_back(Occurrence{traj_idx, pos, t.edge_enter_times[pos]});
+    }
+  }
+  return out;
+}
+
+std::vector<Occurrence> TrajectoryStore::FindQualified(
+    const roadnet::Path& path, const Interval& interval) const {
+  std::vector<Occurrence> all = FindOccurrences(path);
+  std::vector<Occurrence> out;
+  out.reserve(all.size());
+  for (const Occurrence& o : all) {
+    if (interval.Contains(o.entry_time)) out.push_back(o);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> TrajectoryStore::CostMatrix(
+    const roadnet::Path& path, const std::vector<Occurrence>& occurrences,
+    CostType type) const {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(occurrences.size());
+  for (const Occurrence& o : occurrences) {
+    const std::vector<double>& costs = trajectories_[o.traj_index].costs(type);
+    rows.emplace_back(costs.begin() + static_cast<ptrdiff_t>(o.pos),
+                      costs.begin() + static_cast<ptrdiff_t>(o.pos + path.size()));
+  }
+  return rows;
+}
+
+std::vector<double> TrajectoryStore::TotalCosts(
+    const roadnet::Path& path, const std::vector<Occurrence>& occurrences,
+    CostType type) const {
+  std::vector<double> totals;
+  totals.reserve(occurrences.size());
+  for (const Occurrence& o : occurrences) {
+    const std::vector<double>& costs = trajectories_[o.traj_index].costs(type);
+    double sum = 0.0;
+    for (size_t d = 0; d < path.size(); ++d) sum += costs[o.pos + d];
+    totals.push_back(sum);
+  }
+  return totals;
+}
+
+}  // namespace traj
+}  // namespace pcde

@@ -1,0 +1,86 @@
+// TrajectoryStore: the queryable collection of map-matched trajectories.
+// Supports the paper's central primitive — "find the qualified trajectories
+// that occurred on path P at a time in interval I" (Sec. 2.2) — via an
+// inverted index from edges to trajectory positions.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval.h"
+#include "roadnet/path.h"
+#include "traj/types.h"
+
+namespace pcde {
+namespace traj {
+
+/// \brief An occurrence of a path inside a stored trajectory: trajectory
+/// `traj_index` traverses the path starting at edge position `pos`, entering
+/// its first edge at `entry_time`.
+struct Occurrence {
+  size_t traj_index = 0;
+  size_t pos = 0;
+  double entry_time = 0.0;
+};
+
+/// \brief Immutable-after-build store of matched trajectories.
+class TrajectoryStore {
+ public:
+  TrajectoryStore() = default;
+  explicit TrajectoryStore(std::vector<MatchedTrajectory> trajectories);
+
+  void Add(MatchedTrajectory t);
+
+  size_t NumTrajectories() const { return trajectories_.size(); }
+  const MatchedTrajectory& trajectory(size_t i) const { return trajectories_[i]; }
+  const std::vector<MatchedTrajectory>& trajectories() const {
+    return trajectories_;
+  }
+
+  /// All occurrences of `path` (as a contiguous sub-path of stored
+  /// trajectories), in no particular order.
+  std::vector<Occurrence> FindOccurrences(const roadnet::Path& path) const;
+
+  /// Occurrences whose entry time lies in `interval` — the paper's
+  /// "qualified trajectories" for (P, I).
+  std::vector<Occurrence> FindQualified(const roadnet::Path& path,
+                                        const Interval& interval) const;
+
+  /// \brief Per-edge cost vectors for a set of occurrences: result[i][d] is
+  /// the cost of the d-th edge of the path in occurrence i. These rows are
+  /// the samples a joint histogram is built from (Sec. 3.2).
+  std::vector<std::vector<double>> CostMatrix(
+      const roadnet::Path& path, const std::vector<Occurrence>& occurrences,
+      CostType type = CostType::kTravelTimeSeconds) const;
+
+  /// Total path cost per occurrence (row sums of CostMatrix) — the samples
+  /// behind the accuracy-optimal baseline's distribution D_GT.
+  std::vector<double> TotalCosts(
+      const roadnet::Path& path, const std::vector<Occurrence>& occurrences,
+      CostType type = CostType::kTravelTimeSeconds) const;
+
+  /// True if the edge appears in at least one trajectory (the |E''| measure
+  /// behind the Fig. 8a coverage ratio).
+  bool EdgeObserved(roadnet::EdgeId e) const {
+    return edge_index_.count(e) > 0;
+  }
+  size_t NumObservedEdges() const { return edge_index_.size(); }
+
+  /// Number of trajectory traversals of an edge (its popularity).
+  size_t EdgeOccurrenceCount(roadnet::EdgeId e) const {
+    auto it = edge_index_.find(e);
+    return it == edge_index_.end() ? 0 : it->second.size();
+  }
+
+ private:
+  void IndexTrajectory(size_t idx);
+
+  std::vector<MatchedTrajectory> trajectories_;
+  // edge id -> (trajectory index, position of the edge inside it)
+  std::unordered_map<roadnet::EdgeId, std::vector<std::pair<size_t, size_t>>>
+      edge_index_;
+};
+
+}  // namespace traj
+}  // namespace pcde

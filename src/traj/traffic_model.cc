@@ -1,0 +1,169 @@
+#include "traj/traffic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "traj/types.h"
+
+namespace pcde {
+namespace traj {
+
+using roadnet::Edge;
+using roadnet::EdgeId;
+using roadnet::Graph;
+using roadnet::kInvalidEdge;
+
+TrafficModel::TrafficModel(const Graph& g, const TrafficConfig& config)
+    : graph_(g), config_(config) {
+  Rng rng(config.seed);
+  edge_cell_gain_.resize(g.NumEdges(), 0.0);
+  edge_has_signal_.resize(g.NumEdges(), 0);
+
+  // Congestion cells: hash the cell coordinates through a per-model RNG so
+  // adjacent edges in the same cell share a gain (spatial correlation).
+  auto cell_gain = [&](int64_t cx, int64_t cy) {
+    // Deterministic per-cell pseudo-random value.
+    uint64_t h = static_cast<uint64_t>(cx) * 0x9e3779b97f4a7c15ull ^
+                 (static_cast<uint64_t>(cy) + 0x7f4a7c15u) * 0xbf58476d1ce4e5b9ull ^
+                 config_.seed;
+    h ^= h >> 31;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 29;
+    return config_.cell_gain_max *
+           (static_cast<double>(h % 10000) / 10000.0);
+  };
+  for (const Edge& e : g.edges()) {
+    const auto& a = g.vertex(e.from);
+    const auto& b = g.vertex(e.to);
+    const double mx = 0.5 * (a.x + b.x);
+    const double my = 0.5 * (a.y + b.y);
+    const int64_t cx = static_cast<int64_t>(std::floor(mx / config_.cell_size_m));
+    const int64_t cy = static_cast<int64_t>(std::floor(my / config_.cell_size_m));
+    edge_cell_gain_[e.id] = cell_gain(cx, cy);
+    // Arterial/highway entries are more likely to be signalized.
+    const double p_signal =
+        e.road_class == roadnet::RoadClass::kResidential ? 0.35 : 0.6;
+    edge_has_signal_[e.id] = rng.Bernoulli(p_signal) ? 1 : 0;
+  }
+}
+
+TripContext TrafficModel::SampleTrip(Rng* rng) const {
+  TripContext ctx;
+  ctx.driver_factor = std::exp(rng->Gaussian(0.0, config_.driver_sigma));
+  if (rng->Bernoulli(config_.incident_probability)) {
+    ctx.incident_factor =
+        rng->Uniform(config_.incident_factor_min, config_.incident_factor_max);
+  }
+  ctx.signal_bias =
+      rng->Uniform(-config_.signal_luck_range, config_.signal_luck_range);
+  return ctx;
+}
+
+double TrafficModel::CongestionFactor(EdgeId e, double time_s) const {
+  const double hour = time_s / 3600.0;
+  auto bump = [&](double peak_hour, double gain) {
+    const double d = (hour - peak_hour) / config_.peak_width_hours;
+    return gain * std::exp(-0.5 * d * d);
+  };
+  const double tod = bump(config_.morning_peak_hour, config_.morning_peak_gain) +
+                     bump(config_.evening_peak_hour, config_.evening_peak_gain);
+  // Residential streets congest less than arterials during peaks.
+  const double class_scale =
+      graph_.edge(e).road_class == roadnet::RoadClass::kResidential ? 0.6 : 1.0;
+  return 1.0 + class_scale * tod * (1.0 + edge_cell_gain_[e]);
+}
+
+int TrafficModel::TurnClass(EdgeId prev, EdgeId e) const {
+  if (prev == kInvalidEdge) return 0;
+  const Edge& pe = graph_.edge(prev);
+  const Edge& ce = graph_.edge(e);
+  const auto& pa = graph_.vertex(pe.from);
+  const auto& pb = graph_.vertex(pe.to);
+  const auto& cb = graph_.vertex(ce.to);
+  const double ax = pb.x - pa.x;
+  const double ay = pb.y - pa.y;
+  const double bx = cb.x - pb.x;
+  const double by = cb.y - pb.y;
+  const double cross = ax * by - ay * bx;
+  const double dot = ax * bx + ay * by;
+  const double angle = std::atan2(cross, dot);  // (-pi, pi], left positive
+  const double deg = angle * 180.0 / M_PI;
+  if (std::fabs(deg) < 30.0) return 0;   // straight
+  if (deg <= -30.0 && deg > -135.0) return 1;  // right
+  if (deg >= 30.0 && deg < 135.0) return 2;    // left
+  return 3;  // sharp / U turn
+}
+
+double TrafficModel::TurnDelayMean(EdgeId prev, EdgeId e) const {
+  switch (TurnClass(prev, e)) {
+    case 0: return config_.straight_s;
+    case 1: return config_.right_turn_s;
+    case 2: return config_.left_turn_s;
+    default: return config_.left_turn_s * 1.5;
+  }
+}
+
+double TrafficModel::SampleTravelSeconds(EdgeId e, EdgeId prev,
+                                         double enter_time_s,
+                                         const TripContext& trip,
+                                         Rng* rng) const {
+  const Edge& edge = graph_.edge(e);
+  const double congestion = CongestionFactor(e, enter_time_s);
+  // Driving time along the edge.
+  double seconds = edge.FreeFlowSeconds() * congestion * trip.driver_factor *
+                   trip.incident_factor *
+                   std::exp(rng->Gaussian(0.0, config_.edge_noise_sigma));
+  // Entry delay: turn penalty plus a possible signal wait. This component
+  // depends on the *previous* edge, which is exactly what path-level joint
+  // distributions capture and per-edge marginals lose.
+  if (prev != kInvalidEdge) {
+    seconds += TurnDelayMean(prev, e) * trip.driver_factor;
+    const double red_probability =
+        std::clamp(config_.signal_probability + trip.signal_bias, 0.0, 1.0);
+    if (edge_has_signal_[e] != 0 && rng->Bernoulli(red_probability)) {
+      seconds += rng->Uniform(0.0, config_.signal_max_wait_s * congestion);
+    }
+  }
+  return seconds;
+}
+
+double TrafficModel::ExpectedTravelSeconds(EdgeId e, EdgeId prev,
+                                           double enter_time_s) const {
+  const Edge& edge = graph_.edge(e);
+  const double congestion = CongestionFactor(e, enter_time_s);
+  // E[lognormal(0, s)] = exp(s^2/2); incidents add their expected factor.
+  const double noise_mean = std::exp(0.5 * config_.edge_noise_sigma *
+                                     config_.edge_noise_sigma);
+  const double driver_mean =
+      std::exp(0.5 * config_.driver_sigma * config_.driver_sigma);
+  const double incident_mean =
+      1.0 + config_.incident_probability *
+                (0.5 * (config_.incident_factor_min +
+                        config_.incident_factor_max) -
+                 1.0);
+  double seconds = edge.FreeFlowSeconds() * congestion * driver_mean *
+                   incident_mean * noise_mean;
+  if (prev != kInvalidEdge) {
+    seconds += TurnDelayMean(prev, e) * driver_mean;
+    if (edge_has_signal_[e] != 0) {
+      seconds += config_.signal_probability * 0.5 *
+                 config_.signal_max_wait_s * congestion;
+    }
+  }
+  return seconds;
+}
+
+double TrafficModel::EmissionGrams(EdgeId e, double travel_s,
+                                   const TripContext& trip) const {
+  const Edge& edge = graph_.edge(e);
+  if (travel_s <= 0.0) return 0.0;
+  const double v = edge.length_m / travel_s;  // average speed m/s
+  // VT-micro-style surrogate: idling term + rolling resistance + drag.
+  const double idle = 0.4 * travel_s;                  // g per second idling
+  const double rolling = 0.09 * edge.length_m / 1000.0 * 1000.0 / 10.0;
+  const double drag = 0.0025 * v * v * travel_s;
+  return (idle + rolling + drag) * trip.incident_factor;
+}
+
+}  // namespace traj
+}  // namespace pcde

@@ -1,0 +1,124 @@
+// Synthetic traffic ground truth. Stands in for the unknown real-world
+// process behind the paper's Aalborg/Beijing trajectories; deliberately
+// produces the three pathologies the paper is built around:
+//
+//  * complex, multi-modal, time-varying cost distributions (Fig. 1b)
+//    — via congestion peaks, traffic-signal waits, and incident modes;
+//  * dependence between the costs of edges in a path (Fig. 4)
+//    — via a per-trip driver factor shared by all edges of a trip and
+//      turn/signal delays that depend on the preceding edge;
+//  * costs that are properties of *paths*, not just edges
+//    — the turn delay is charged to the edge being entered, so per-edge
+//      marginals cannot reconstruct it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/graph.h"
+
+namespace pcde {
+namespace traj {
+
+/// Tuning knobs for the traffic process.
+struct TrafficConfig {
+  // Time-of-day congestion: two Gaussian rush-hour bumps on top of 1.0.
+  double morning_peak_hour = 8.0;
+  double evening_peak_hour = 17.0;
+  double peak_width_hours = 1.2;
+  double morning_peak_gain = 0.9;   // multiplies free-flow time at the peak
+  double evening_peak_gain = 0.7;
+
+  // Spatial congestion cells (downtown congests more than the edge of town).
+  double cell_size_m = 900.0;
+  double cell_gain_max = 0.6;
+
+  // Per-trip driver factor: lognormal sigma (shared across a trip's edges —
+  // the main source of inter-edge dependence).
+  double driver_sigma = 0.45;
+
+  // Traffic signals: probability of hitting a red when turning onto an
+  // edge, and the maximum wait (scaled by congestion). The per-trip
+  // "signal luck" shifts the red probability for the whole trip (platoon /
+  // green-wave effects), adding a second dependence channel.
+  double signal_probability = 0.45;
+  double signal_max_wait_s = 40.0;
+  double signal_luck_range = 0.3;
+
+  // Turn penalties in seconds (left turns cross traffic).
+  double left_turn_s = 8.0;
+  double right_turn_s = 3.0;
+  double straight_s = 0.0;
+
+  // Incidents: a slow "mode" that affects a whole trip; creates the second
+  // mode of the Fig. 1(b)-style distributions.
+  double incident_probability = 0.12;
+  double incident_factor_min = 1.5;
+  double incident_factor_max = 2.2;
+
+  // Per-edge idiosyncratic noise (lognormal sigma).
+  double edge_noise_sigma = 0.06;
+
+  uint64_t seed = 97;
+};
+
+/// \brief Per-trip latent state sampled once per trajectory.
+struct TripContext {
+  double driver_factor = 1.0;    // shared across edges -> dependence
+  double incident_factor = 1.0;  // 1.0 or a slow mode
+  double signal_bias = 0.0;      // shifts red-light probability trip-wide
+};
+
+/// \brief Deterministic-parameter stochastic traffic process over a graph.
+///
+/// All per-edge static parameters (cell congestion gains, signal presence)
+/// are derived from the seed at construction, so two models built with the
+/// same graph and config are identical.
+class TrafficModel {
+ public:
+  TrafficModel(const roadnet::Graph& g, const TrafficConfig& config);
+
+  const roadnet::Graph& graph() const { return graph_; }
+  const TrafficConfig& config() const { return config_; }
+
+  /// Samples the latent per-trip state.
+  TripContext SampleTrip(Rng* rng) const;
+
+  /// Time-of-day congestion multiplier (>= 1) for an edge entered at
+  /// `time_s` seconds since midnight.
+  double CongestionFactor(roadnet::EdgeId e, double time_s) const;
+
+  /// \brief Samples the travel time (seconds) for traversing `e` having
+  /// arrived from `prev` (kInvalidEdge at the trip start). Includes the
+  /// turn/signal delay charged at the entry of `e` — the path-dependent
+  /// component the legacy edge model cannot see.
+  double SampleTravelSeconds(roadnet::EdgeId e, roadnet::EdgeId prev,
+                             double enter_time_s, const TripContext& trip,
+                             Rng* rng) const;
+
+  /// \brief GHG emissions (grams) for traversing `e` in `travel_s` seconds,
+  /// VT-micro-style surrogate: idling + rolling + speed^2 drag terms.
+  double EmissionGrams(roadnet::EdgeId e, double travel_s,
+                       const TripContext& trip) const;
+
+  /// Mean travel seconds for an edge at a time (expectation over the
+  /// stochastic terms, used by tests and demand generation).
+  double ExpectedTravelSeconds(roadnet::EdgeId e, roadnet::EdgeId prev,
+                               double enter_time_s) const;
+
+  /// Classifies the turn from `prev` onto `e` by geometry; exposed for
+  /// tests. 0 = straight, 1 = right, 2 = left, 3 = sharp/U.
+  int TurnClass(roadnet::EdgeId prev, roadnet::EdgeId e) const;
+
+ private:
+  double TurnDelayMean(roadnet::EdgeId prev, roadnet::EdgeId e) const;
+
+  const roadnet::Graph& graph_;
+  TrafficConfig config_;
+  std::vector<double> edge_cell_gain_;   // spatial congestion gain per edge
+  std::vector<uint8_t> edge_has_signal_; // signalized entry per edge
+};
+
+}  // namespace traj
+}  // namespace pcde

@@ -1,0 +1,71 @@
+// Trajectory data model (Sec. 2.1): raw GPS trajectories and map-matched
+// trajectories aligned with road-network paths, carrying per-edge travel
+// times and GHG emissions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/path.h"
+
+namespace pcde {
+namespace traj {
+
+/// Travel-cost types the paper studies (travel time in the main paper, GHG
+/// emissions in the companion report [30]).
+enum class CostType : uint8_t {
+  kTravelTimeSeconds = 0,
+  kEmissionGrams = 1,
+};
+
+/// Seconds since midnight; all trips happen within one day of a "typical
+/// weekday" (the paper bins by time-of-day intervals, Sec. 3.1).
+constexpr double kSecondsPerDay = 86400.0;
+
+inline constexpr double HoursToSeconds(double h) { return h * 3600.0; }
+inline constexpr double MinutesToSeconds(double m) { return m * 60.0; }
+
+/// \brief One GPS fix: planar position (meters) and timestamp (seconds
+/// since midnight).
+struct GpsRecord {
+  double x = 0.0;
+  double y = 0.0;
+  double time = 0.0;
+};
+
+/// \brief A raw GPS trajectory T = <p1, ..., pC> for one trip.
+struct Trajectory {
+  uint64_t id = 0;
+  std::vector<GpsRecord> records;
+};
+
+/// \brief A trajectory aligned with a road-network path (the output of map
+/// matching): the path P_T plus, for every edge, the entry time and the
+/// travel costs incurred while traversing it.
+struct MatchedTrajectory {
+  uint64_t id = 0;
+  roadnet::Path path;
+  std::vector<double> edge_enter_times;    // seconds since midnight
+  std::vector<double> edge_travel_seconds; // per-edge travel time
+  std::vector<double> edge_emission_grams; // per-edge GHG emissions
+
+  size_t NumEdges() const { return path.size(); }
+
+  double DepartureTime() const {
+    return edge_enter_times.empty() ? 0.0 : edge_enter_times.front();
+  }
+
+  double TotalSeconds() const {
+    double t = 0.0;
+    for (double s : edge_travel_seconds) t += s;
+    return t;
+  }
+
+  const std::vector<double>& costs(CostType type) const {
+    return type == CostType::kTravelTimeSeconds ? edge_travel_seconds
+                                                : edge_emission_grams;
+  }
+};
+
+}  // namespace traj
+}  // namespace pcde

@@ -1,0 +1,280 @@
+// Unit tests for src/common: Status/StatusOr, Interval arithmetic (the
+// shift-and-enlarge and bucket-sum primitives), deterministic RNG, and the
+// numeric helpers behind the parametric MLE fits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/interval.h"
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace pcde {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad path");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad path");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad path");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+// ---------------------------------------------------------------------------
+// Interval
+// ---------------------------------------------------------------------------
+
+TEST(IntervalTest, BasicAccessors) {
+  Interval iv(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(iv.width(), 3.0);
+  EXPECT_DOUBLE_EQ(iv.mid(), 3.5);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(iv.Contains(2.0));
+  EXPECT_TRUE(iv.Contains(4.999));
+  EXPECT_FALSE(iv.Contains(5.0));  // half-open
+  EXPECT_FALSE(iv.Contains(1.999));
+}
+
+TEST(IntervalTest, EmptyWhenDegenerate) {
+  EXPECT_TRUE(Interval(3.0, 3.0).empty());
+  EXPECT_TRUE(Interval(4.0, 3.0).empty());
+  EXPECT_TRUE(Interval().empty());
+}
+
+TEST(IntervalTest, Intersection) {
+  Interval a(0.0, 10.0);
+  Interval b(5.0, 15.0);
+  EXPECT_EQ(a.Intersect(b), Interval(5.0, 10.0));
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(a.Intersect(Interval(20.0, 30.0)).empty());
+  EXPECT_FALSE(a.Overlaps(Interval(10.0, 20.0)));  // touching, half-open
+}
+
+TEST(IntervalTest, MinkowskiSumMatchesPaperBucketSums) {
+  // Fig. 7: hyper-bucket <[20,30),[20,40)> becomes bucket [40,70).
+  EXPECT_EQ(Interval(20.0, 30.0) + Interval(20.0, 40.0), Interval(40.0, 70.0));
+}
+
+TEST(IntervalTest, ShiftAndEnlargeSemantics) {
+  // SAE([ts,te], V) = [ts + V.min, te + V.max] (Sec. 4.1.3): for a point
+  // departure t and an edge with travel time in [30, 60), the next window
+  // is [t+30, t+60).
+  const Interval departure(480.0, 480.0);
+  const Interval sae(departure.lo + 30.0, departure.hi + 60.0);
+  EXPECT_EQ(sae, Interval(510.0, 540.0));
+  EXPECT_DOUBLE_EQ(sae.width(), 30.0);
+}
+
+TEST(IntervalTest, OverlapRatio) {
+  Interval window(0.0, 100.0);
+  EXPECT_DOUBLE_EQ(window.OverlapRatioOf(Interval(50.0, 150.0)), 0.5);
+  EXPECT_DOUBLE_EQ(window.OverlapRatioOf(Interval(-100.0, 200.0)), 1.0);
+  EXPECT_DOUBLE_EQ(window.OverlapRatioOf(Interval(200.0, 300.0)), 0.0);
+  EXPECT_DOUBLE_EQ(Interval(5.0, 5.0).OverlapRatioOf(window), 0.0);  // empty
+}
+
+TEST(IntervalTest, IntervalSelectionPrefersLargestOverlap) {
+  // The paper picks argmax_j |I_j ∩ UI_k| / |UI_k|.
+  Interval ui(110.0, 130.0);
+  Interval i1(100.0, 120.0);  // overlap 10
+  Interval i2(120.0, 140.0);  // overlap 10
+  Interval i3(105.0, 128.0);  // overlap 18
+  EXPECT_GT(ui.OverlapRatioOf(i3), ui.OverlapRatioOf(i1));
+  EXPECT_DOUBLE_EQ(ui.OverlapRatioOf(i1), ui.OverlapRatioOf(i2));
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.Uniform() != b.Uniform();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(5.0, 6.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  SampleStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Gaussian(10.0, 2.0));
+  EXPECT_NEAR(stats.mean, 10.0, 0.1);
+  EXPECT_NEAR(stats.Stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 3.0};
+  int count1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) count1 += rng.Categorical(weights) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+  Rng a(99), b(99);
+  Rng fa = a.Fork(), fb = b.Fork();
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(fa.Uniform(), fb.Uniform());
+}
+
+// ---------------------------------------------------------------------------
+// mathutil
+// ---------------------------------------------------------------------------
+
+TEST(MathTest, DigammaKnownValues) {
+  // psi(1) = -gamma (Euler-Mascheroni), psi(0.5) = -gamma - 2 ln 2.
+  constexpr double kEulerGamma = 0.5772156649015329;
+  EXPECT_NEAR(Digamma(1.0), -kEulerGamma, 1e-9);
+  EXPECT_NEAR(Digamma(0.5), -kEulerGamma - 2.0 * std::log(2.0), 1e-9);
+  // Recurrence psi(x+1) = psi(x) + 1/x.
+  EXPECT_NEAR(Digamma(5.3), Digamma(4.3) + 1.0 / 4.3, 1e-10);
+}
+
+TEST(MathTest, TrigammaKnownValues) {
+  // psi'(1) = pi^2/6.
+  EXPECT_NEAR(Trigamma(1.0), M_PI * M_PI / 6.0, 1e-8);
+  EXPECT_NEAR(Trigamma(3.7), Trigamma(4.7) + 1.0 / (3.7 * 3.7), 1e-10);
+}
+
+TEST(MathTest, LogGammaKnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);  // Gamma(5) = 4!
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(MathTest, SafeLogFloorsAtTiny) {
+  EXPECT_LT(SafeLog(0.0), -600.0);
+  EXPECT_DOUBLE_EQ(SafeLog(1.0), 0.0);
+}
+
+TEST(MathTest, SampleStatsWelford) {
+  SampleStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(MathTest, GaussianMleRecoversParameters) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.Gaussian(120.0, 15.0));
+  const GaussianFit f = FitGaussianMle(xs);
+  EXPECT_NEAR(f.mean, 120.0, 0.5);
+  EXPECT_NEAR(f.stddev, 15.0, 0.5);
+}
+
+TEST(MathTest, GammaMleRecoversParameters) {
+  Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.Gamma(4.0, 25.0));
+  const GammaFit f = FitGammaMle(xs);
+  EXPECT_NEAR(f.shape, 4.0, 0.15);
+  EXPECT_NEAR(f.scale, 25.0, 1.0);
+}
+
+TEST(MathTest, GammaMleDegenerateInput) {
+  // Constant samples: near-deterministic fit, huge shape.
+  std::vector<double> xs(100, 50.0);
+  const GammaFit f = FitGammaMle(xs);
+  EXPECT_GT(f.shape, 1e5);
+  EXPECT_NEAR(f.shape * f.scale, 50.0, 1e-6);  // mean preserved
+}
+
+TEST(MathTest, ExponentialMle) {
+  Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.Exponential(0.02));
+  const ExponentialFit f = FitExponentialMle(xs);
+  EXPECT_NEAR(f.rate, 0.02, 0.001);
+}
+
+TEST(StopwatchTest, PhaseTimerAccumulates) {
+  PhaseTimer t;
+  t.Start();
+  t.Stop();
+  const double first = t.total_seconds();
+  t.Start();
+  t.Stop();
+  EXPECT_GE(t.total_seconds(), first);
+  t.Reset();
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace pcde

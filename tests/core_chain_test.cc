@@ -1,0 +1,314 @@
+// Tests for the Eq. 2 chain estimator: exactness on decomposable models,
+// equivalence with convolution under independence, separator boundary
+// mismatch handling, the independence fallback, and the Theorem 2 entropy
+// computation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/chain_estimator.h"
+#include "hist/histogram_nd.h"
+
+namespace pcde {
+namespace core {
+namespace {
+
+using hist::Histogram1D;
+using hist::HistogramND;
+using roadnet::EdgeId;
+using roadnet::Path;
+
+InstantiatedVariable VarFromND(std::vector<EdgeId> edges, HistogramND joint) {
+  InstantiatedVariable v;
+  v.path = Path(std::move(edges));
+  v.interval = 16;
+  v.joint = std::move(joint);
+  v.support = 40;
+  return v;
+}
+
+InstantiatedVariable UnitVar(EdgeId e, Histogram1D h) {
+  return VarFromND({e}, HistogramND::FromHistogram1D(h));
+}
+
+HistogramND Fig7Joint() {
+  return HistogramND::Make({{20, 30, 50}, {20, 40, 60}},
+                           {{{0, 0}, 0.30}, {{1, 0}, 0.25}, {{0, 1}, 0.20},
+                            {{1, 1}, 0.25}})
+      .value();
+}
+
+TEST(ChainTest, SinglePartEqualsSumDistribution) {
+  const InstantiatedVariable v = VarFromND({1, 2}, Fig7Joint());
+  const Decomposition de = {DecompositionPart{&v, 0}};
+  auto est = EstimateFromDecomposition(de);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  auto direct = v.joint.SumDistribution();
+  ASSERT_TRUE(direct.ok());
+  EXPECT_NEAR(hist::L1Distance(est.value(), direct.value()), 0.0, 1e-9);
+  // And therefore matches the paper's Fig. 7 numbers.
+  EXPECT_NEAR(est.value().Mass(Interval(40, 50)), 0.1000, 5e-5);
+  EXPECT_NEAR(est.value().Mass(Interval(90, 110)), 0.1250, 5e-5);
+}
+
+TEST(ChainTest, DisjointPartsConvolve) {
+  const Histogram1D h1 =
+      Histogram1D::Make({{0, 10, 0.5}, {10, 20, 0.5}}).value();
+  const Histogram1D h2 = Histogram1D::Make({{5, 15, 1.0}}).value();
+  const InstantiatedVariable u1 = UnitVar(1, h1);
+  const InstantiatedVariable u2 = UnitVar(2, h2);
+  const Decomposition de = {DecompositionPart{&u1, 0},
+                            DecompositionPart{&u2, 1}};
+  auto est = EstimateFromDecomposition(de);
+  ASSERT_TRUE(est.ok());
+  auto conv = hist::Convolve(h1, h2);
+  ASSERT_TRUE(conv.ok());
+  EXPECT_NEAR(hist::L1Distance(est.value(), conv.value()), 0.0, 1e-9);
+  EXPECT_NEAR(est.value().Mean(), h1.Mean() + h2.Mean(), 1e-9);
+}
+
+TEST(ChainTest, ThreeUnitChainMeanAdds) {
+  const Histogram1D h = Histogram1D::Make({{10, 20, 0.3}, {20, 40, 0.7}}).value();
+  const InstantiatedVariable u1 = UnitVar(1, h);
+  const InstantiatedVariable u2 = UnitVar(2, h);
+  const InstantiatedVariable u3 = UnitVar(3, h);
+  const Decomposition de = {DecompositionPart{&u1, 0},
+                            DecompositionPart{&u2, 1},
+                            DecompositionPart{&u3, 2}};
+  auto est = EstimateFromDecomposition(de);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.value().Mean(), 3 * h.Mean(), 1e-6);
+  EXPECT_DOUBLE_EQ(est.value().Min(), 30.0);
+  EXPECT_DOUBLE_EQ(est.value().Max(), 120.0);
+}
+
+/// Builds the decomposable ground truth p(a,b,c) = p(a,b) p(c|b) with
+/// strong a-b and b-c coupling, plus its pair marginals.
+struct ChainModel {
+  HistogramND joint3;  // truth
+  HistogramND pair12;
+  HistogramND pair23;
+
+  ChainModel() {
+    // dims: two buckets [0,10) and [10,20) each.
+    const std::vector<double> bounds = {0, 10, 20};
+    // p(a,b): diagonal-heavy.
+    const double pab[2][2] = {{0.4, 0.1}, {0.1, 0.4}};
+    // p(c|b): c == b with probability 0.8.
+    const double pcb[2][2] = {{0.8, 0.2}, {0.2, 0.8}};
+    std::vector<HistogramND::HyperBucket> b3, b12, b23;
+    double pb[2] = {0.5, 0.5};
+    for (uint32_t a = 0; a < 2; ++a) {
+      for (uint32_t b = 0; b < 2; ++b) {
+        b12.push_back({{a, b}, pab[a][b]});
+        for (uint32_t c = 0; c < 2; ++c) {
+          b3.push_back({{a, b, c}, pab[a][b] * pcb[b][c]});
+        }
+      }
+    }
+    for (uint32_t b = 0; b < 2; ++b) {
+      for (uint32_t c = 0; c < 2; ++c) {
+        b23.push_back({{b, c}, pb[b] * pcb[b][c]});
+      }
+    }
+    joint3 = HistogramND::Make({bounds, bounds, bounds}, b3).value();
+    pair12 = HistogramND::Make({bounds, bounds}, b12).value();
+    pair23 = HistogramND::Make({bounds, bounds}, b23).value();
+  }
+};
+
+TEST(ChainTest, ExactOnDecomposableModel) {
+  // p̂(a,b,c) = p(a,b) p(b,c) / p(b) is exact when the truth really is
+  // decomposable with separator b — the chain estimate must match the
+  // truth's sum distribution.
+  const ChainModel m;
+  const InstantiatedVariable v12 = VarFromND({1, 2}, m.pair12);
+  const InstantiatedVariable v23 = VarFromND({2, 3}, m.pair23);
+  const Decomposition de = {DecompositionPart{&v12, 0},
+                            DecompositionPart{&v23, 1}};
+  ChainDiagnostics diag;
+  auto est = EstimateFromDecomposition(de, ChainOptions(), &diag);
+  ASSERT_TRUE(est.ok());
+  EXPECT_FALSE(diag.independence_fallback);
+  auto truth = m.joint3.SumDistribution();
+  ASSERT_TRUE(truth.ok());
+  EXPECT_NEAR(hist::L1Distance(est.value(), truth.value()), 0.0, 1e-9);
+  EXPECT_NEAR(est.value().Mean(), truth.value().Mean(), 1e-9);
+}
+
+TEST(ChainTest, DependenceChangesTheAnswer) {
+  // Treating the two pairs as independent (convolving marginals) must
+  // differ from the chain estimate on correlated data; the chain answer
+  // is the exact one.
+  const ChainModel m;
+  const InstantiatedVariable v12 = VarFromND({1, 2}, m.pair12);
+  const InstantiatedVariable v23 = VarFromND({2, 3}, m.pair23);
+  const Decomposition de = {DecompositionPart{&v12, 0},
+                            DecompositionPart{&v23, 1}};
+  auto chained = EstimateFromDecomposition(de);
+  ASSERT_TRUE(chained.ok());
+  ChainOptions independent;
+  independent.force_independence = true;
+  auto indep = EstimateFromDecomposition(de, independent);
+  ASSERT_TRUE(indep.ok());
+  // Wait: under forced independence the b edge is double-counted, so the
+  // support alone must differ.
+  EXPECT_GT(indep.value().Max(), chained.value().Max() + 5.0);
+}
+
+TEST(ChainTest, BoundaryMismatchKeepsMassAndMean) {
+  // v12's b-dimension has one coarse bucket; v23 splits b at 10. The
+  // uniform-within-bucket intersection must preserve total mass and the
+  // additive mean.
+  const HistogramND pair12 =
+      HistogramND::Make({{0, 10, 20}, {0, 20}},
+                        {{{0, 0}, 0.5}, {{1, 0}, 0.5}})
+          .value();
+  const ChainModel m;
+  const InstantiatedVariable v12 = VarFromND({1, 2}, pair12);
+  const InstantiatedVariable v23 = VarFromND({2, 3}, m.pair23);
+  const Decomposition de = {DecompositionPart{&v12, 0},
+                            DecompositionPart{&v23, 1}};
+  auto est = EstimateFromDecomposition(de);
+  ASSERT_TRUE(est.ok());
+  double total = 0.0;
+  for (const auto& b : est.value().buckets()) total += b.prob;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // a uniform on [0,20) mean 10; b uniform [0,20) mean 10; c given b
+  // mixes to mean 10 -> total mean 30.
+  EXPECT_NEAR(est.value().Mean(), 30.0, 1.0);
+}
+
+TEST(ChainTest, DisjointSeparatorSupportFallsBackToIndependence) {
+  // v12 puts b in [0,20); v23 claims b in [100,120): no overlap at all.
+  const HistogramND pair12 =
+      HistogramND::Make({{0, 20}, {0, 20}}, {{{0, 0}, 1.0}}).value();
+  const HistogramND pair23 =
+      HistogramND::Make({{100, 120}, {0, 20}}, {{{0, 0}, 1.0}}).value();
+  const InstantiatedVariable v12 = VarFromND({1, 2}, pair12);
+  const InstantiatedVariable v23 = VarFromND({2, 3}, pair23);
+  const Decomposition de = {DecompositionPart{&v12, 0},
+                            DecompositionPart{&v23, 1}};
+  ChainDiagnostics diag;
+  auto est = EstimateFromDecomposition(de, ChainOptions(), &diag);
+  ASSERT_TRUE(est.ok());
+  EXPECT_TRUE(diag.independence_fallback);
+}
+
+TEST(ChainTest, OverlappingSeparatorsOfLengthTwo) {
+  // Parts <e1,e2,e3> and <e2,e3,e4>: separator = (b, c) of length 2.
+  // Build a model where (b, c) are jointly deterministic given the part,
+  // and verify mass conservation plus support bounds.
+  std::vector<HistogramND::HyperBucket> tri;
+  const std::vector<double> bounds = {0, 10, 20};
+  // p(a,b,c): a,b,c all equal with p 0.5 each mode.
+  tri.push_back({{0, 0, 0}, 0.5});
+  tri.push_back({{1, 1, 1}, 0.5});
+  const HistogramND j123 =
+      HistogramND::Make({bounds, bounds, bounds}, tri).value();
+  std::vector<HistogramND::HyperBucket> tri2;
+  tri2.push_back({{0, 0, 0}, 0.5});
+  tri2.push_back({{1, 1, 1}, 0.5});
+  const HistogramND j234 =
+      HistogramND::Make({bounds, bounds, bounds}, tri2).value();
+  const InstantiatedVariable v123 = VarFromND({1, 2, 3}, j123);
+  const InstantiatedVariable v234 = VarFromND({2, 3, 4}, j234);
+  const Decomposition de = {DecompositionPart{&v123, 0},
+                            DecompositionPart{&v234, 1}};
+  auto est = EstimateFromDecomposition(de);
+  ASSERT_TRUE(est.ok());
+  // Fully correlated: all four edges in [0,10) or all in [10,20).
+  EXPECT_NEAR(est.value().Mass(Interval(0, 40)), 0.5, 1e-9);
+  EXPECT_NEAR(est.value().Mass(Interval(40, 80)), 0.5, 1e-9);
+}
+
+TEST(ChainTest, StateCompactionBoundsStates) {
+  // Many-bucket units force sum-state growth; the compaction cap must
+  // bound peak states while conserving mean.
+  std::vector<hist::Bucket> bs;
+  for (int i = 0; i < 16; ++i) bs.emplace_back(i * 10.0, i * 10.0 + 10.0, 1.0 / 16);
+  const Histogram1D wide = Histogram1D::Make(bs).value();
+  std::vector<InstantiatedVariable> units;
+  for (EdgeId e = 0; e < 6; ++e) units.push_back(UnitVar(e, wide));
+  Decomposition de;
+  for (size_t i = 0; i < units.size(); ++i) {
+    de.push_back(DecompositionPart{&units[i], i});
+  }
+  ChainOptions options;
+  options.sums_per_box_cap = 32;
+  ChainDiagnostics diag;
+  auto est = EstimateFromDecomposition(de, options, &diag);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LE(diag.max_states, 32u * 16u);
+  EXPECT_NEAR(est.value().Mean(), 6 * wide.Mean(), 2.0);
+}
+
+TEST(ChainTest, EmptyDecompositionRejected) {
+  EXPECT_FALSE(EstimateFromDecomposition({}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// DecompositionEntropy (Theorem 2)
+// ---------------------------------------------------------------------------
+
+TEST(ChainEntropyTest, IndependentUnitsSumTheirEntropies) {
+  const Histogram1D h1 = Histogram1D::Make({{0, 8, 1.0}}).value();
+  const Histogram1D h2 = Histogram1D::Make({{0, 2, 0.5}, {2, 10, 0.5}}).value();
+  const InstantiatedVariable u1 = UnitVar(1, h1);
+  const InstantiatedVariable u2 = UnitVar(2, h2);
+  const Decomposition de = {DecompositionPart{&u1, 0},
+                            DecompositionPart{&u2, 1}};
+  EXPECT_NEAR(DecompositionEntropy(de),
+              h1.DifferentialEntropy() + h2.DifferentialEntropy(), 1e-12);
+}
+
+TEST(ChainEntropyTest, ChainSubtractsSeparatorEntropy) {
+  const ChainModel m;
+  const InstantiatedVariable v12 = VarFromND({1, 2}, m.pair12);
+  const InstantiatedVariable v23 = VarFromND({2, 3}, m.pair23);
+  const Decomposition de = {DecompositionPart{&v12, 0},
+                            DecompositionPart{&v23, 1}};
+  auto sep = m.pair23.MarginalOverDims({0});
+  ASSERT_TRUE(sep.ok());
+  EXPECT_NEAR(DecompositionEntropy(de),
+              m.pair12.DifferentialEntropy() + m.pair23.DifferentialEntropy() -
+                  sep.value().DifferentialEntropy(),
+              1e-12);
+}
+
+TEST(ChainEntropyTest, CoarserDecompositionHasLowerEntropyUnderDependence) {
+  // Theorem 3's consequence: with positive mutual information, the pair
+  // chain's H_DE is below the unit chain's (which ignores the coupling).
+  const ChainModel m;
+  const InstantiatedVariable v12 = VarFromND({1, 2}, m.pair12);
+  const InstantiatedVariable v23 = VarFromND({2, 3}, m.pair23);
+  const InstantiatedVariable u1 = UnitVar(1, m.pair12.Marginal1D(0).value());
+  const InstantiatedVariable u2 = UnitVar(2, m.pair12.Marginal1D(1).value());
+  const InstantiatedVariable u3 = UnitVar(3, m.pair23.Marginal1D(1).value());
+  const Decomposition pairs = {DecompositionPart{&v12, 0},
+                               DecompositionPart{&v23, 1}};
+  const Decomposition units = {DecompositionPart{&u1, 0},
+                               DecompositionPart{&u2, 1},
+                               DecompositionPart{&u3, 2}};
+  EXPECT_LT(DecompositionEntropy(pairs), DecompositionEntropy(units) - 0.05);
+}
+
+TEST(ChainEntropyTest, ExactTruthHasMinimalEntropy) {
+  // H_DE of the exact decomposition equals H of the truth; every lossier
+  // decomposition is higher (KL = H_DE - H >= 0, Theorem 2).
+  const ChainModel m;
+  const InstantiatedVariable v123 = VarFromND({1, 2, 3}, m.joint3);
+  const InstantiatedVariable v12 = VarFromND({1, 2}, m.pair12);
+  const InstantiatedVariable v23 = VarFromND({2, 3}, m.pair23);
+  const Decomposition exact = {DecompositionPart{&v123, 0}};
+  const Decomposition chain = {DecompositionPart{&v12, 0},
+                               DecompositionPart{&v23, 1}};
+  // The truth IS decomposable over separator b, so both match here.
+  EXPECT_NEAR(DecompositionEntropy(exact), DecompositionEntropy(chain), 1e-9);
+  EXPECT_NEAR(DecompositionEntropy(exact), m.joint3.DifferentialEntropy(),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pcde

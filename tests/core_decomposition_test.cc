@@ -1,0 +1,278 @@
+// Tests for the candidate array, shift-and-enlarge temporal relevance
+// (Eq. 3), and Algorithm 1 — including the paper's Table 1 example with
+// its expected coarsest decomposition DE_coa = (<e1..e4>, <e4,e5>), and
+// the Sec. 4.1.1 coarser-relation examples.
+#include <gtest/gtest.h>
+
+#include "core/decomposition.h"
+#include "hist/histogram_nd.h"
+
+namespace pcde {
+namespace core {
+namespace {
+
+using hist::Histogram1D;
+using hist::HistogramND;
+using roadnet::EdgeId;
+using roadnet::Path;
+
+/// A variable over `edges` with every edge cost uniform in [10, 20).
+InstantiatedVariable MakeVar(std::vector<EdgeId> edges, int32_t interval) {
+  InstantiatedVariable v;
+  v.path = Path(edges);
+  v.interval = interval;
+  std::vector<std::vector<double>> bounds(edges.size(),
+                                          std::vector<double>{10.0, 20.0});
+  v.joint = HistogramND::Make(
+                bounds,
+                {HistogramND::HyperBucket{
+                    std::vector<uint32_t>(edges.size(), 0), 1.0}})
+                .value();
+  v.support = 40;
+  return v;
+}
+
+/// The Table 1 fixture: query <e1..e5> (edge ids 1..5), all variables in
+/// the interval containing the departure time.
+class Table1Test : public ::testing::Test {
+ protected:
+  Table1Test() : wp_(TimeBinning(30.0)) {
+    depart_ = 8 * 3600.0;  // 8:00, interval 16
+    interval_ = wp_.binning().IndexOf(depart_);
+    // Row e1.
+    wp_.Add(MakeVar({1}, interval_));
+    wp_.Add(MakeVar({1, 2}, interval_));
+    wp_.Add(MakeVar({1, 2, 3}, interval_));
+    wp_.Add(MakeVar({1, 2, 3, 4}, interval_));
+    // Row e2.
+    wp_.Add(MakeVar({2}, interval_));
+    wp_.Add(MakeVar({2, 3}, interval_));
+    wp_.Add(MakeVar({2, 3, 4}, interval_));
+    // Row e3.
+    wp_.Add(MakeVar({3}, interval_));
+    wp_.Add(MakeVar({3, 4}, interval_));
+    // Row e4.
+    wp_.Add(MakeVar({4}, interval_));
+    wp_.Add(MakeVar({4, 5}, interval_));
+    // Row e5.
+    wp_.Add(MakeVar({5}, interval_));
+    // Speed-limit fallbacks (always present after a real instantiation).
+    for (EdgeId e = 1; e <= 5; ++e) {
+      InstantiatedVariable fallback = MakeVar({e}, kAllDayInterval);
+      fallback.from_speed_limit = true;
+      fallback.support = 0;
+      wp_.Add(std::move(fallback));
+    }
+    query_ = Path({1, 2, 3, 4, 5});
+  }
+
+  PathWeightFunction wp_;
+  double depart_;
+  int32_t interval_;
+  Path query_;
+};
+
+TEST_F(Table1Test, CandidateArrayMatchesTable1) {
+  DecompositionBuilder builder(wp_);
+  auto array = builder.BuildCandidateArray(query_, depart_);
+  ASSERT_TRUE(array.ok()) << array.status().ToString();
+  const auto& rows = array.value().rows;
+  ASSERT_EQ(rows.size(), 5u);
+  auto max_rank = [&](size_t row) {
+    const InstantiatedVariable* v = rows[row].Highest();
+    return v == nullptr ? size_t{0} : v->rank();
+  };
+  EXPECT_EQ(max_rank(0), 4u);  // V<e1,e2,e3,e4>
+  EXPECT_EQ(max_rank(1), 3u);  // V<e2,e3,e4>
+  EXPECT_EQ(max_rank(2), 2u);  // V<e3,e4>
+  EXPECT_EQ(max_rank(3), 2u);  // V<e4,e5>
+  EXPECT_EQ(max_rank(4), 1u);  // V<e5>
+}
+
+TEST_F(Table1Test, CoarsestDecompositionMatchesPaper) {
+  DecompositionBuilder builder(wp_);
+  auto array = builder.BuildCandidateArray(query_, depart_);
+  ASSERT_TRUE(array.ok());
+  const Decomposition de = DecompositionBuilder::Coarsest(array.value());
+  // DE_coa = (<e1,e2,e3,e4>, <e4,e5>).
+  ASSERT_EQ(de.size(), 2u);
+  EXPECT_EQ(de[0].start, 0u);
+  EXPECT_EQ(de[0].variable->path, Path({1, 2, 3, 4}));
+  EXPECT_EQ(de[1].start, 3u);
+  EXPECT_EQ(de[1].variable->path, Path({4, 5}));
+  EXPECT_TRUE(DecompositionBuilder::Validate(de, query_).ok());
+}
+
+TEST_F(Table1Test, ShiftAndEnlargeWindows) {
+  DecompositionBuilder builder(wp_);
+  auto array = builder.BuildCandidateArray(query_, depart_);
+  ASSERT_TRUE(array.ok());
+  const auto& rows = array.value().rows;
+  // UI_1 = [t, t]; UI_k grows by [10, 20) per edge (Eq. 3).
+  EXPECT_EQ(rows[0].departure_window, Interval(depart_, depart_));
+  EXPECT_EQ(rows[1].departure_window, Interval(depart_ + 10, depart_ + 20));
+  EXPECT_EQ(rows[2].departure_window, Interval(depart_ + 20, depart_ + 40));
+  EXPECT_EQ(rows[4].departure_window, Interval(depart_ + 40, depart_ + 80));
+}
+
+TEST_F(Table1Test, TemporallyIrrelevantVariablesExcluded) {
+  // A rank-5 variable in the 15:00 interval must not be picked for an
+  // 8:00 departure.
+  const int32_t wrong = wp_.binning().IndexOf(15 * 3600.0);
+  wp_.Add(MakeVar({1, 2, 3, 4, 5}, wrong));
+  DecompositionBuilder builder(wp_);
+  auto array = builder.BuildCandidateArray(query_, depart_);
+  ASSERT_TRUE(array.ok());
+  EXPECT_EQ(array.value().rows[0].Highest()->rank(), 4u);
+  // For a 15:00 departure it is picked (and covers the whole path).
+  auto pm = builder.BuildCandidateArray(query_, 15 * 3600.0 + 60.0);
+  ASSERT_TRUE(pm.ok());
+  EXPECT_EQ(pm.value().rows[0].Highest()->rank(), 5u);
+  const Decomposition de = DecompositionBuilder::Coarsest(pm.value());
+  ASSERT_EQ(de.size(), 1u);
+}
+
+TEST_F(Table1Test, DepartureNearIntervalEdgePicksNextInterval) {
+  // Departing at 8:29:55, the window for later edges shifts into the
+  // [8:30, 9:00) interval; with variables only in interval 16 the rank-1
+  // fallback logic still finds the *most overlapping* interval.
+  wp_.Add(MakeVar({2}, interval_ + 1));
+  DecompositionBuilder builder(wp_);
+  const double late = 8 * 3600.0 + 1795.0;
+  auto array = builder.BuildCandidateArray(query_, late);
+  ASSERT_TRUE(array.ok());
+  // Row 1's window is [late+10, late+20) in interval 17.
+  EXPECT_EQ(array.value().rows[1].by_rank[0]->interval, interval_ + 1);
+}
+
+TEST_F(Table1Test, RankCapLimitsCandidates) {
+  DecompositionBuilder builder(wp_);
+  auto array = builder.BuildCandidateArray(query_, depart_, /*rank_cap=*/2);
+  ASSERT_TRUE(array.ok());
+  const Decomposition de = DecompositionBuilder::Coarsest(array.value());
+  // OD-2: pairwise chain (<e1,e2>, <e2,e3>, <e3,e4>, <e4,e5>).
+  ASSERT_EQ(de.size(), 4u);
+  for (const auto& part : de) EXPECT_LE(part.rank(), 2u);
+  EXPECT_TRUE(DecompositionBuilder::Validate(de, query_).ok());
+}
+
+TEST_F(Table1Test, PairwiseChainIsHp) {
+  DecompositionBuilder builder(wp_);
+  auto array = builder.BuildCandidateArray(query_, depart_, 2);
+  ASSERT_TRUE(array.ok());
+  const Decomposition de = DecompositionBuilder::PairwiseChain(array.value());
+  ASSERT_EQ(de.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(de[i].start, i);
+    EXPECT_EQ(de[i].rank(), 2u);
+  }
+  EXPECT_TRUE(DecompositionBuilder::Validate(de, query_).ok());
+}
+
+TEST_F(Table1Test, UnitChainIsLb) {
+  DecompositionBuilder builder(wp_);
+  auto array = builder.BuildCandidateArray(query_, depart_, 1);
+  ASSERT_TRUE(array.ok());
+  const Decomposition de = DecompositionBuilder::UnitChain(array.value());
+  ASSERT_EQ(de.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(de[i].rank(), 1u);
+  EXPECT_TRUE(DecompositionBuilder::Validate(de, query_).ok());
+}
+
+TEST_F(Table1Test, RandomDecompositionsAreValid) {
+  DecompositionBuilder builder(wp_);
+  auto array = builder.BuildCandidateArray(query_, depart_);
+  ASSERT_TRUE(array.ok());
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    const Decomposition de =
+        DecompositionBuilder::Random(array.value(), &rng);
+    EXPECT_TRUE(DecompositionBuilder::Validate(de, query_).ok())
+        << "seed " << seed;
+  }
+}
+
+TEST_F(Table1Test, CoarsestIsCoarserThanAlternatives) {
+  DecompositionBuilder builder(wp_);
+  auto array = builder.BuildCandidateArray(query_, depart_);
+  ASSERT_TRUE(array.ok());
+  const Decomposition coarsest =
+      DecompositionBuilder::Coarsest(array.value());
+  const Decomposition units = DecompositionBuilder::UnitChain(array.value());
+  const Decomposition pairs =
+      DecompositionBuilder::PairwiseChain(array.value());
+  EXPECT_TRUE(DecompositionBuilder::IsCoarser(coarsest, units));
+  EXPECT_TRUE(DecompositionBuilder::IsCoarser(coarsest, pairs));
+  EXPECT_FALSE(DecompositionBuilder::IsCoarser(units, coarsest));
+}
+
+TEST_F(Table1Test, Section411CoarserExamples) {
+  // DE1 = units, DE2 = (<e1,e2,e3>, <e2,e3,e4>, <e5>),
+  // DE3 = (<e1,e2,e3>, <e3,e4>, <e5>): DE2 coarser than both DE1 and DE3.
+  auto part = [&](std::vector<EdgeId> edges, size_t start) {
+    const InstantiatedVariable* v =
+        wp_.Lookup(Path(std::move(edges)), interval_);
+    EXPECT_NE(v, nullptr);
+    return DecompositionPart{v, start};
+  };
+  const Decomposition de1 = {part({1}, 0), part({2}, 1), part({3}, 2),
+                             part({4}, 3), part({5}, 4)};
+  const Decomposition de2 = {part({1, 2, 3}, 0), part({2, 3, 4}, 1),
+                             part({5}, 4)};
+  const Decomposition de3 = {part({1, 2, 3}, 0), part({3, 4}, 2),
+                             part({5}, 4)};
+  EXPECT_TRUE(DecompositionBuilder::IsCoarser(de2, de3));
+  EXPECT_TRUE(DecompositionBuilder::IsCoarser(de2, de1));
+  EXPECT_FALSE(DecompositionBuilder::IsCoarser(de3, de2));
+  EXPECT_TRUE(DecompositionBuilder::Validate(de1, query_).ok());
+  EXPECT_TRUE(DecompositionBuilder::Validate(de2, query_).ok());
+  EXPECT_TRUE(DecompositionBuilder::Validate(de3, query_).ok());
+}
+
+TEST_F(Table1Test, ValidateRejectsBrokenDecompositions) {
+  auto part = [&](std::vector<EdgeId> edges, size_t start) {
+    const InstantiatedVariable* v =
+        wp_.Lookup(Path(std::move(edges)), interval_);
+    EXPECT_NE(v, nullptr);
+    return DecompositionPart{v, start};
+  };
+  // Not covering.
+  EXPECT_FALSE(DecompositionBuilder::Validate(
+                   {part({1, 2, 3}, 0), part({5}, 4)}, query_)
+                   .ok());
+  // Sub-path of another part.
+  EXPECT_FALSE(DecompositionBuilder::Validate(
+                   {part({1, 2, 3, 4}, 0), part({2, 3}, 1), part({4, 5}, 3)},
+                   query_)
+                   .ok());
+  // Wrong order.
+  EXPECT_FALSE(DecompositionBuilder::Validate(
+                   {part({4, 5}, 3), part({1, 2, 3, 4}, 0)}, query_)
+                   .ok());
+  // Mismatched position.
+  EXPECT_FALSE(
+      DecompositionBuilder::Validate({part({1, 2, 3, 4}, 1), part({5}, 4)},
+                                     query_)
+          .ok());
+  // Empty.
+  EXPECT_FALSE(DecompositionBuilder::Validate({}, query_).ok());
+}
+
+TEST_F(Table1Test, EmptyQueryRejected) {
+  DecompositionBuilder builder(wp_);
+  EXPECT_FALSE(builder.BuildCandidateArray(Path(), depart_).ok());
+}
+
+TEST_F(Table1Test, MissingUnitVariableFailsPrecondition) {
+  // Edge 99 has no variable of any kind.
+  DecompositionBuilder builder(wp_);
+  PathWeightFunction empty(TimeBinning(30.0));
+  DecompositionBuilder builder2(empty);
+  auto array = builder2.BuildCandidateArray(Path({1, 2}), depart_);
+  EXPECT_FALSE(array.ok());
+  EXPECT_EQ(array.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pcde

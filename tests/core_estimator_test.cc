@@ -1,0 +1,326 @@
+// Integration tests for the HybridEstimator on a full synthetic dataset:
+// OD vs LB/HP/RD accuracy (the paper's headline claim), entropy ordering
+// (Fig. 15), phase breakdowns (Fig. 17), and the incremental "path +
+// another edge" API (Sec. 4.3).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "baselines/accuracy_optimal.h"
+#include "baselines/methods.h"
+#include "core/estimator.h"
+#include "core/instantiation.h"
+#include "traj/generator.h"
+#include "traj/store.h"
+
+namespace pcde {
+namespace core {
+namespace {
+
+using baselines::AccuracyOptimal;
+using hist::Histogram1D;
+using roadnet::Path;
+using traj::TrajectoryStore;
+
+/// Shared expensive fixture: one dataset + one instantiated weight
+/// function for all tests in this file.
+class EstimatorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new traj::Dataset(traj::MakeDatasetA(12000));
+    params_ = new HybridParams();
+    params_->beta = 20;
+    store_ = new TrajectoryStore(dataset_->MatchedSlice(1.0));
+    wp_ = new PathWeightFunction(
+        InstantiateWeightFunction(*dataset_->graph, *store_, *params_));
+  }
+  static void TearDownTestSuite() {
+    delete wp_;
+    delete store_;
+    delete params_;
+    delete dataset_;
+    wp_ = nullptr;
+    store_ = nullptr;
+    params_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  /// Paths with an instantiated variable of rank >= min_rank, paired with
+  /// a departure time inside the variable's interval.
+  static std::vector<std::pair<Path, double>> PathsWithVariables(
+      size_t min_rank, size_t limit) {
+    std::vector<std::pair<Path, double>> out;
+    for (const InstantiatedVariable& v : wp_->variables()) {
+      if (v.from_speed_limit || v.rank() < min_rank) continue;
+      const Interval ij = wp_->binning().IntervalOf(v.interval);
+      out.emplace_back(v.path, ij.lo + 60.0);
+      if (out.size() >= limit) break;
+    }
+    return out;
+  }
+
+  static traj::Dataset* dataset_;
+  static HybridParams* params_;
+  static TrajectoryStore* store_;
+  static PathWeightFunction* wp_;
+};
+
+traj::Dataset* EstimatorFixture::dataset_ = nullptr;
+HybridParams* EstimatorFixture::params_ = nullptr;
+TrajectoryStore* EstimatorFixture::store_ = nullptr;
+PathWeightFunction* EstimatorFixture::wp_ = nullptr;
+
+TEST_F(EstimatorFixture, InstantiationProducedJointVariables) {
+  const auto counts = wp_->CountByRank(false);
+  ASSERT_TRUE(counts.count(1));
+  EXPECT_GT(counts.at(1), 100u);
+  ASSERT_TRUE(counts.count(2)) << "no rank-2 variables instantiated";
+  EXPECT_GT(counts.at(2), 10u);
+}
+
+TEST_F(EstimatorFixture, OdUsesFullVariableWhenAvailable) {
+  const auto paths = PathsWithVariables(3, 5);
+  ASSERT_FALSE(paths.empty()) << "no rank-3 variables; increase dataset";
+  HybridEstimator od = baselines::MakeOd(*wp_);
+  for (const auto& [path, depart] : paths) {
+    auto de = od.Decompose(path, depart);
+    ASSERT_TRUE(de.ok());
+    ASSERT_EQ(de.value().size(), 1u);
+    EXPECT_EQ(de.value()[0].variable->path, path);
+    auto est = od.EstimateCostDistribution(path, depart);
+    ASSERT_TRUE(est.ok());
+    auto direct = de.value()[0].variable->joint.SumDistribution();
+    ASSERT_TRUE(direct.ok());
+    EXPECT_LT(hist::L1Distance(est.value(), direct.value()), 1e-6);
+  }
+}
+
+TEST_F(EstimatorFixture, AllMethodsProduceValidDistributions) {
+  const auto paths = PathsWithVariables(2, 10);
+  ASSERT_FALSE(paths.empty());
+  std::vector<HybridEstimator> methods = {
+      baselines::MakeOd(*wp_), baselines::MakeLb(*wp_),
+      baselines::MakeHp(*wp_), baselines::MakeRd(*wp_),
+      baselines::MakeOdCapped(*wp_, 3)};
+  for (const auto& [path, depart] : paths) {
+    for (const auto& m : methods) {
+      auto est = m.EstimateCostDistribution(path, depart);
+      ASSERT_TRUE(est.ok()) << est.status().ToString();
+      double total = 0;
+      for (const auto& b : est.value().buckets()) total += b.prob;
+      EXPECT_NEAR(total, 1.0, 1e-6);
+      EXPECT_GT(est.value().Mean(), 0.0);
+    }
+  }
+}
+
+TEST_F(EstimatorFixture, OdBeatsLbAgainstHeldOutGroundTruth) {
+  // The Fig. 14 protocol: pick paths with >= beta qualified trajectories,
+  // remove exactly those trajectories from the training store, rebuild
+  // W_P, and compare estimates to the held-out ground truth.
+  const TimeBinning& binning = wp_->binning();
+  AccuracyOptimal gt_oracle(*store_, *params_);
+
+  // Collect test paths from rank >= 4 variables whose edges also carry
+  // substantial traffic from *other* routes in the same interval, so that
+  // holding out the full-path trajectories leaves sub-path coverage — the
+  // regime the hybrid graph targets (Sec. 4.1: derive long-path
+  // distributions from data-rich sub-paths).
+  std::vector<const InstantiatedVariable*> candidates;
+  for (const InstantiatedVariable& v : wp_->variables()) {
+    if (v.from_speed_limit || v.rank() < 4) continue;
+    if (v.support < 2 * params_->beta) continue;
+    const Interval ij = binning.IntervalOf(v.interval);
+    bool covered = true;
+    for (size_t d = 0; d < v.path.size() && covered; ++d) {
+      const size_t unit_quals =
+          store_->FindQualified(Path({v.path[d]}), ij).size();
+      covered = unit_quals >= v.support + params_->beta + 20;
+    }
+    if (covered) candidates.push_back(&v);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const InstantiatedVariable* a, const InstantiatedVariable* b) {
+              return a->support > b->support;
+            });
+  std::vector<std::pair<Path, int32_t>> selected;
+  for (const InstantiatedVariable* v : candidates) {
+    selected.emplace_back(v->path, v->interval);
+    if (selected.size() >= 8) break;
+  }
+  ASSERT_GE(selected.size(), 3u);
+
+  // Exclude every trajectory that occurred on a selected (path, interval).
+  std::set<size_t> excluded;
+  for (const auto& [path, interval] : selected) {
+    for (const auto& occ :
+         store_->FindQualified(path, binning.IntervalOf(interval))) {
+      excluded.insert(occ.traj_index);
+    }
+  }
+  std::vector<traj::MatchedTrajectory> remaining;
+  for (size_t i = 0; i < store_->NumTrajectories(); ++i) {
+    if (excluded.count(i) == 0) remaining.push_back(store_->trajectory(i));
+  }
+  TrajectoryStore sparse_store(std::move(remaining));
+  const PathWeightFunction sparse_wp =
+      InstantiateWeightFunction(*dataset_->graph, sparse_store, *params_);
+
+  HybridEstimator od = baselines::MakeOd(sparse_wp);
+  HybridEstimator lb = baselines::MakeLb(sparse_wp);
+  double od_kl = 0.0, lb_kl = 0.0;
+  size_t evaluated = 0;
+  for (const auto& [path, interval] : selected) {
+    const Interval ij = binning.IntervalOf(interval);
+    // Histogram-vs-histogram comparison (the exact 1-second empirical
+    // histogram makes KL sampling-noise dominated).
+    auto truth = gt_oracle.GroundTruthCompact(path, ij);
+    if (!truth.ok()) continue;
+    // The full-path variable must be gone now (sparseness restored).
+    EXPECT_EQ(sparse_wp.Lookup(path, interval), nullptr);
+    auto od_est = od.EstimateCostDistribution(path, ij.lo + 60.0);
+    auto lb_est = lb.EstimateCostDistribution(path, ij.lo + 60.0);
+    ASSERT_TRUE(od_est.ok());
+    ASSERT_TRUE(lb_est.ok());
+    od_kl += hist::KlDivergence(truth.value(), od_est.value());
+    lb_kl += hist::KlDivergence(truth.value(), lb_est.value());
+    ++evaluated;
+  }
+  ASSERT_GE(evaluated, 3u);
+  // The paper's headline: OD strictly more accurate than LB on average.
+  EXPECT_LT(od_kl, lb_kl) << "OD avg KL " << od_kl / evaluated << " vs LB "
+                          << lb_kl / evaluated;
+}
+
+TEST_F(EstimatorFixture, EntropyOrderingMatchesFig15) {
+  const auto paths = PathsWithVariables(2, 1);
+  ASSERT_FALSE(paths.empty());
+  // Longer query: extend by walking the graph (random simple path through
+  // data-rich edges is hard to guarantee; reuse trajectory paths).
+  double od_h = 0, hp_h = 0, lb_h = 0, rd_h = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < store_->NumTrajectories() && n < 20; ++i) {
+    const auto& t = store_->trajectory(i);
+    if (t.path.size() < 8) continue;
+    const Path q = t.path.Slice(0, 8);
+    const double depart = t.DepartureTime();
+    auto od = baselines::MakeOd(*wp_).EstimateEntropy(q, depart);
+    auto hp = baselines::MakeHp(*wp_).EstimateEntropy(q, depart);
+    auto lb = baselines::MakeLb(*wp_).EstimateEntropy(q, depart);
+    auto rd = baselines::MakeRd(*wp_).EstimateEntropy(q, depart);
+    if (!od.ok() || !hp.ok() || !lb.ok() || !rd.ok()) continue;
+    od_h += od.value();
+    hp_h += hp.value();
+    lb_h += lb.value();
+    rd_h += rd.value();
+    ++n;
+  }
+  ASSERT_GE(n, 5u);
+  // Fig. 15 ordering: OD lowest; LB highest; HP and RD in between. The
+  // OD-vs-RD comparison gets a 1% tolerance: with beta-sized supports the
+  // plug-in differential entropy of high-rank histograms carries a small
+  // upward bias (documented in EXPERIMENTS.md); the paper's fleet data has
+  // orders of magnitude more support per variable.
+  EXPECT_LE(od_h, hp_h + 1e-9);
+  EXPECT_LE(od_h, rd_h * 1.01);
+  EXPECT_LE(hp_h, lb_h + 1e-9);
+  EXPECT_LE(rd_h, lb_h + 1e-9);
+  EXPECT_LE(od_h, lb_h + 1e-9);
+}
+
+TEST_F(EstimatorFixture, OdUsesFewerVariablesThanLb) {
+  size_t checked = 0;
+  for (size_t i = 0; i < store_->NumTrajectories() && checked < 10; ++i) {
+    const auto& t = store_->trajectory(i);
+    if (t.path.size() < 10) continue;
+    const Path q = t.path.Slice(0, 10);
+    auto od_de = baselines::MakeOd(*wp_).Decompose(q, t.DepartureTime());
+    auto lb_de = baselines::MakeLb(*wp_).Decompose(q, t.DepartureTime());
+    ASSERT_TRUE(od_de.ok());
+    ASSERT_TRUE(lb_de.ok());
+    EXPECT_LE(od_de.value().size(), lb_de.value().size());
+    ++checked;
+  }
+  ASSERT_GT(checked, 0u);
+}
+
+TEST_F(EstimatorFixture, BreakdownPhasesPopulated) {
+  const auto paths = PathsWithVariables(2, 1);
+  ASSERT_FALSE(paths.empty());
+  HybridEstimator od = baselines::MakeOd(*wp_);
+  EstimateBreakdown breakdown;
+  auto est = od.EstimateCostDistribution(paths[0].first, paths[0].second,
+                                         &breakdown);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(breakdown.parts, 0u);
+  EXPECT_GE(breakdown.oi_seconds, 0.0);
+  EXPECT_GE(breakdown.jc_seconds, 0.0);
+  EXPECT_GE(breakdown.mc_seconds, 0.0);
+  EXPECT_GT(breakdown.oi_seconds + breakdown.jc_seconds +
+                breakdown.mc_seconds,
+            0.0);
+}
+
+TEST_F(EstimatorFixture, RandomPolicyDeterministicPerSeed) {
+  size_t found = 0;
+  for (size_t i = 0; i < store_->NumTrajectories() && found < 3; ++i) {
+    const auto& t = store_->trajectory(i);
+    if (t.path.size() < 6) continue;
+    ++found;
+    const Path q = t.path.Slice(0, 6);
+    HybridEstimator rd1 = baselines::MakeRd(*wp_, 99);
+    HybridEstimator rd2 = baselines::MakeRd(*wp_, 99);
+    auto e1 = rd1.EstimateCostDistribution(q, t.DepartureTime());
+    auto e2 = rd2.EstimateCostDistribution(q, t.DepartureTime());
+    ASSERT_TRUE(e1.ok());
+    ASSERT_TRUE(e2.ok());
+    EXPECT_LT(hist::L1Distance(e1.value(), e2.value()), 1e-12);
+  }
+  ASSERT_GT(found, 0u);
+}
+
+TEST_F(EstimatorFixture, IncrementalTracksBatchEstimate) {
+  size_t found = 0;
+  for (size_t i = 0; i < store_->NumTrajectories() && found < 5; ++i) {
+    const auto& t = store_->trajectory(i);
+    if (t.path.size() < 6) continue;
+    ++found;
+    const Path q = t.path.Slice(0, 6);
+    const double depart = t.DepartureTime();
+    EstimateOptions options;
+    IncrementalEstimator inc(*wp_, options, q[0], depart);
+    for (size_t k = 1; k < q.size(); ++k) {
+      ASSERT_TRUE(inc.ExtendByEdge(q[k]).ok());
+    }
+    auto inc_dist = inc.CurrentDistribution();
+    ASSERT_TRUE(inc_dist.ok());
+    auto batch = baselines::MakeOd(*wp_).EstimateCostDistribution(q, depart);
+    ASSERT_TRUE(batch.ok());
+    // Greedy incremental decomposition may differ from Algorithm 1, but
+    // the estimates must agree closely on the mean.
+    EXPECT_NEAR(inc_dist.value().Mean(), batch.value().Mean(),
+                0.2 * batch.value().Mean());
+    EXPECT_LE(inc.MinTotalCost(), inc_dist.value().Mean());
+  }
+  ASSERT_GT(found, 0u);
+}
+
+TEST_F(EstimatorFixture, SpeedLimitFallbackCoversColdPaths) {
+  // A path over edges without data still gets a distribution.
+  for (size_t i = 0; i < store_->NumTrajectories(); ++i) {
+    const auto& t = store_->trajectory(i);
+    if (t.path.size() < 4) continue;
+    const Path q = t.path.Slice(0, 4);
+    // 3 AM: no data anywhere.
+    auto est = baselines::MakeOd(*wp_).EstimateCostDistribution(q, 3 * 3600.0);
+    ASSERT_TRUE(est.ok());
+    const double fft = q.FreeFlowSeconds(*dataset_->graph);
+    EXPECT_NEAR(est.value().Mean(), fft, 0.6 * fft);
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pcde

@@ -1,0 +1,237 @@
+// Tests for the bottom-up instantiation of W_P (Secs. 3.1-3.2): beta
+// thresholding, prefix pruning, speed-limit fallbacks, and rank growth
+// with data volume (the Fig. 9 / Fig. 10 mechanics).
+#include <gtest/gtest.h>
+
+#include "core/instantiation.h"
+#include "roadnet/generators.h"
+#include "traj/generator.h"
+#include "traj/store.h"
+
+namespace pcde {
+namespace core {
+namespace {
+
+using roadnet::EdgeId;
+using roadnet::Graph;
+using roadnet::Path;
+using roadnet::VertexId;
+using traj::MatchedTrajectory;
+using traj::TrajectoryStore;
+
+/// A chain graph a-b-c-d-e-f with edges e0..e4.
+struct ChainGraph {
+  Graph g;
+  std::vector<EdgeId> edges;
+  ChainGraph() {
+    VertexId prev = g.AddVertex(0, 0);
+    for (int i = 1; i <= 5; ++i) {
+      const VertexId v = g.AddVertex(i * 100.0, 0);
+      edges.push_back(g.AddEdge(prev, v, 100, 13.9).value());
+      prev = v;
+    }
+  }
+};
+
+MatchedTrajectory MakeTrip(const std::vector<EdgeId>& edges, double depart_s,
+                           double per_edge_cost) {
+  MatchedTrajectory t;
+  t.path = Path(edges);
+  double at = depart_s;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    t.edge_enter_times.push_back(at);
+    t.edge_travel_seconds.push_back(per_edge_cost);
+    t.edge_emission_grams.push_back(per_edge_cost * 2);
+    at += per_edge_cost;
+  }
+  return t;
+}
+
+HybridParams SmallBetaParams(size_t beta = 5) {
+  HybridParams p;
+  p.beta = beta;
+  return p;
+}
+
+TEST(InstantiationTest, SpeedLimitFallbackCoversEveryEdge) {
+  ChainGraph cg;
+  TrajectoryStore store;  // empty: no data at all
+  InstantiationStats stats;
+  const PathWeightFunction wp =
+      InstantiateWeightFunction(cg.g, store, SmallBetaParams(), &stats);
+  EXPECT_EQ(stats.unit_from_trajectories, 0u);
+  EXPECT_EQ(stats.unit_from_speed_limit, cg.g.NumEdges());
+  EXPECT_EQ(stats.joint_variables, 0u);
+  for (EdgeId e : cg.edges) {
+    const InstantiatedVariable* v =
+        wp.UnitVariable(e, Interval(8 * 3600.0, 8 * 3600.0));
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(v->from_speed_limit);
+    // Fallback centered on the free-flow time.
+    const double fft = cg.g.edge(e).FreeFlowSeconds();
+    EXPECT_LT(v->joint.DimRange(0).lo, fft);
+    EXPECT_GT(v->joint.DimRange(0).hi, fft);
+  }
+}
+
+TEST(InstantiationTest, BetaThresholdGatesUnitVariables) {
+  ChainGraph cg;
+  TrajectoryStore store;
+  const double depart = 8 * 3600.0;
+  // Edge 0: exactly beta trips; edge 1 (as start): beta - 1 trips.
+  for (int i = 0; i < 5; ++i) store.Add(MakeTrip({cg.edges[0]}, depart + i, 20));
+  for (int i = 0; i < 4; ++i) store.Add(MakeTrip({cg.edges[1]}, depart + i, 25));
+  const PathWeightFunction wp =
+      InstantiateWeightFunction(cg.g, store, SmallBetaParams(5));
+  const TimeBinning binning(30.0);
+  const int32_t interval = binning.IndexOf(depart);
+  EXPECT_NE(wp.Lookup(Path({cg.edges[0]}), interval), nullptr);
+  EXPECT_EQ(wp.Lookup(Path({cg.edges[1]}), interval), nullptr);
+}
+
+TEST(InstantiationTest, QualifiedCountsArePerInterval) {
+  ChainGraph cg;
+  TrajectoryStore store;
+  // 3 trips at 8:00 and 3 at 9:00: neither interval reaches beta=5 even
+  // though the edge has 6 total.
+  for (int i = 0; i < 3; ++i) {
+    store.Add(MakeTrip({cg.edges[0]}, 8 * 3600.0 + i, 20));
+    store.Add(MakeTrip({cg.edges[0]}, 9 * 3600.0 + i, 20));
+  }
+  const PathWeightFunction wp =
+      InstantiateWeightFunction(cg.g, store, SmallBetaParams(5));
+  EXPECT_EQ(wp.CountByRank(false).count(1), 0u);
+}
+
+TEST(InstantiationTest, JointVariablesForPopularPaths) {
+  ChainGraph cg;
+  TrajectoryStore store;
+  const double depart = 8 * 3600.0;
+  const std::vector<EdgeId> full(cg.edges.begin(), cg.edges.begin() + 3);
+  for (int i = 0; i < 8; ++i) store.Add(MakeTrip(full, depart + i * 10, 30));
+  InstantiationStats stats;
+  const PathWeightFunction wp =
+      InstantiateWeightFunction(cg.g, store, SmallBetaParams(5), &stats);
+  const TimeBinning binning(30.0);
+  const int32_t interval = binning.IndexOf(depart);
+  // All sub-paths of the 3-edge path are instantiated for this interval.
+  EXPECT_NE(wp.Lookup(Path({full[0], full[1]}), interval), nullptr);
+  EXPECT_NE(wp.Lookup(Path({full[1], full[2]}), interval), nullptr);
+  EXPECT_NE(wp.Lookup(Path(full), interval), nullptr);
+  const auto counts = wp.CountByRank(false);
+  EXPECT_EQ(counts.at(1), 3u);
+  EXPECT_EQ(counts.at(2), 2u);
+  EXPECT_EQ(counts.at(3), 1u);
+  EXPECT_EQ(stats.joint_variables, 3u);
+}
+
+TEST(InstantiationTest, SupportRecordsQualifiedCount) {
+  ChainGraph cg;
+  TrajectoryStore store;
+  const double depart = 10 * 3600.0;
+  const std::vector<EdgeId> pair(cg.edges.begin(), cg.edges.begin() + 2);
+  for (int i = 0; i < 7; ++i) store.Add(MakeTrip(pair, depart + i, 30));
+  const PathWeightFunction wp =
+      InstantiateWeightFunction(cg.g, store, SmallBetaParams(5));
+  const TimeBinning binning(30.0);
+  const InstantiatedVariable* v =
+      wp.Lookup(Path(pair), binning.IndexOf(depart));
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->support, 7u);
+  EXPECT_EQ(v->joint.NumDims(), 2u);
+}
+
+TEST(InstantiationTest, MaxRankCapsGrowth) {
+  ChainGraph cg;
+  TrajectoryStore store;
+  const double depart = 8 * 3600.0;
+  for (int i = 0; i < 10; ++i) store.Add(MakeTrip(cg.edges, depart + i, 30));
+  HybridParams params = SmallBetaParams(5);
+  params.max_instantiated_rank = 3;
+  const PathWeightFunction wp = InstantiateWeightFunction(cg.g, store, params);
+  const auto counts = wp.CountByRank(false);
+  EXPECT_TRUE(counts.count(3));
+  EXPECT_FALSE(counts.count(4));
+  EXPECT_FALSE(counts.count(5));
+}
+
+TEST(InstantiationTest, WindowEntryTimesUseSubPathEntry) {
+  // A trajectory entering edge 1 in a *different* interval than edge 0:
+  // the sub-path <e1> counts toward the later interval.
+  ChainGraph cg;
+  TrajectoryStore store;
+  const double depart = 8 * 3600.0 + 1700.0;  // edge 1 entered after 8:30
+  for (int i = 0; i < 6; ++i) {
+    store.Add(MakeTrip({cg.edges[0], cg.edges[1]}, depart + i, 200.0));
+  }
+  const PathWeightFunction wp =
+      InstantiateWeightFunction(cg.g, store, SmallBetaParams(5));
+  const TimeBinning binning(30.0);
+  EXPECT_NE(wp.Lookup(Path({cg.edges[0]}), binning.IndexOf(depart)), nullptr);
+  EXPECT_NE(wp.Lookup(Path({cg.edges[1]}), binning.IndexOf(depart + 200.0)),
+            nullptr);
+  EXPECT_EQ(wp.Lookup(Path({cg.edges[1]}), binning.IndexOf(depart)), nullptr);
+}
+
+TEST(InstantiationTest, JointCapturesCorrelation) {
+  // Trips alternate between "all fast" and "all slow": the pair variable
+  // must place (nearly) all mass on the diagonal.
+  ChainGraph cg;
+  TrajectoryStore store;
+  const double depart = 8 * 3600.0;
+  const std::vector<EdgeId> pair(cg.edges.begin(), cg.edges.begin() + 2);
+  for (int i = 0; i < 20; ++i) {
+    const double cost = i % 2 == 0 ? 20.0 : 80.0;
+    store.Add(MakeTrip(pair, depart + i, cost));
+  }
+  const PathWeightFunction wp =
+      InstantiateWeightFunction(cg.g, store, SmallBetaParams(10));
+  const TimeBinning binning(30.0);
+  const InstantiatedVariable* v =
+      wp.Lookup(Path(pair), binning.IndexOf(depart));
+  ASSERT_NE(v, nullptr);
+  // Both dims bimodal; joint concentrated on two diagonal hyper-buckets.
+  double diag = 0.0;
+  for (const auto& hb : v->joint.buckets()) {
+    if (hb.idx[0] == hb.idx[1]) diag += hb.prob;
+  }
+  EXPECT_GT(diag, 0.99);
+}
+
+TEST(InstantiationTest, RanksGrowWithDataVolume) {
+  // The Fig. 10 effect: more trajectories => more and higher-rank
+  // variables.
+  traj::Dataset ds = traj::MakeDatasetA(4000);
+  HybridParams params;
+  params.beta = 20;
+  TrajectoryStore quarter(ds.MatchedSlice(0.25));
+  TrajectoryStore full(ds.MatchedSlice(1.0));
+  const PathWeightFunction wp_quarter =
+      InstantiateWeightFunction(*ds.graph, quarter, params);
+  const PathWeightFunction wp_full =
+      InstantiateWeightFunction(*ds.graph, full, params);
+  size_t total_quarter = 0, total_full = 0, high_quarter = 0, high_full = 0;
+  for (const auto& [rank, count] : wp_quarter.CountByRank(false)) {
+    total_quarter += count;
+    if (rank >= 2) high_quarter += count;
+  }
+  for (const auto& [rank, count] : wp_full.CountByRank(false)) {
+    total_full += count;
+    if (rank >= 2) high_full += count;
+  }
+  EXPECT_GT(total_full, total_quarter);
+  EXPECT_GE(high_full, high_quarter);
+  EXPECT_GT(high_full, 0u);
+}
+
+TEST(InstantiationTest, StatsTimerPopulated) {
+  ChainGraph cg;
+  TrajectoryStore store;
+  InstantiationStats stats;
+  InstantiateWeightFunction(cg.g, store, SmallBetaParams(), &stats);
+  EXPECT_GE(stats.build_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pcde

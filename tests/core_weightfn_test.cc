@@ -1,0 +1,175 @@
+// Unit tests for the path weight function store W_P (Sec. 3.3).
+#include <gtest/gtest.h>
+
+#include "core/weight_function.h"
+#include "hist/histogram_nd.h"
+
+namespace pcde {
+namespace core {
+namespace {
+
+using hist::Histogram1D;
+using hist::HistogramND;
+using roadnet::Path;
+
+InstantiatedVariable MakeUnit(roadnet::EdgeId e, int32_t interval, double lo,
+                              double hi, bool speed_limit = false,
+                              size_t support = 40) {
+  InstantiatedVariable v;
+  v.path = Path({e});
+  v.interval = interval;
+  v.joint = HistogramND::FromHistogram1D(Histogram1D::Single(lo, hi));
+  v.support = speed_limit ? 0 : support;
+  v.from_speed_limit = speed_limit;
+  return v;
+}
+
+InstantiatedVariable MakePair(roadnet::EdgeId a, roadnet::EdgeId b,
+                              int32_t interval) {
+  InstantiatedVariable v;
+  v.path = Path({a, b});
+  v.interval = interval;
+  auto joint = HistogramND::Make(
+      {{10.0, 20.0, 40.0}, {10.0, 30.0}},
+      {{{0, 0}, 0.5}, {{1, 0}, 0.5}});
+  v.joint = std::move(joint).value();
+  v.support = 35;
+  return v;
+}
+
+class WeightFunctionTest : public ::testing::Test {
+ protected:
+  WeightFunctionTest() : wp_(TimeBinning(30.0)) {}
+  PathWeightFunction wp_;
+};
+
+TEST_F(WeightFunctionTest, TimeBinningGrid) {
+  const TimeBinning& b = wp_.binning();
+  EXPECT_EQ(b.NumIntervals(), 48);
+  EXPECT_EQ(b.IndexOf(0.0), 0);
+  EXPECT_EQ(b.IndexOf(1799.0), 0);
+  EXPECT_EQ(b.IndexOf(1800.0), 1);
+  EXPECT_EQ(b.IndexOf(8 * 3600.0), 16);  // 8:00 -> interval 16
+  EXPECT_EQ(b.IntervalOf(16), Interval(28800.0, 30600.0));
+}
+
+TEST_F(WeightFunctionTest, AddAndLookup) {
+  wp_.Add(MakeUnit(3, 16, 20, 30));
+  EXPECT_EQ(wp_.NumVariables(), 1u);
+  const InstantiatedVariable* v = wp_.Lookup(Path({3}), 16);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->rank(), 1u);
+  EXPECT_EQ(wp_.Lookup(Path({3}), 17), nullptr);
+  EXPECT_EQ(wp_.Lookup(Path({4}), 16), nullptr);
+}
+
+TEST_F(WeightFunctionTest, DuplicateAddReplaces) {
+  wp_.Add(MakeUnit(3, 16, 20, 30));
+  wp_.Add(MakeUnit(3, 16, 50, 60));
+  EXPECT_EQ(wp_.NumVariables(), 1u);
+  const InstantiatedVariable* v = wp_.Lookup(Path({3}), 16);
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(v->joint.DimRange(0).lo, 50.0);
+}
+
+TEST_F(WeightFunctionTest, StartingAtListsAllRanksAndIntervals) {
+  wp_.Add(MakeUnit(3, 16, 20, 30));
+  wp_.Add(MakeUnit(3, 17, 25, 35));
+  wp_.Add(MakePair(3, 4, 16));
+  wp_.Add(MakeUnit(4, 16, 10, 15));
+  EXPECT_EQ(wp_.StartingAt(3).size(), 3u);
+  EXPECT_EQ(wp_.StartingAt(4).size(), 1u);
+  EXPECT_TRUE(wp_.StartingAt(99).empty());
+}
+
+TEST_F(WeightFunctionTest, PointersStableAcrossManyAdds) {
+  wp_.Add(MakeUnit(0, 1, 20, 30));
+  const InstantiatedVariable* first = wp_.StartingAt(0).front();
+  for (roadnet::EdgeId e = 1; e < 200; ++e) wp_.Add(MakeUnit(e, 1, 20, 30));
+  EXPECT_EQ(wp_.StartingAt(0).front(), first);  // deque stability
+  EXPECT_DOUBLE_EQ(first->joint.DimRange(0).lo, 20.0);
+}
+
+TEST_F(WeightFunctionTest, UnitVariablePrefersLargestOverlap) {
+  wp_.Add(MakeUnit(5, 16, 20, 30));  // [8:00, 8:30)
+  wp_.Add(MakeUnit(5, 17, 40, 50));  // [8:30, 9:00)
+  // Window mostly inside interval 17.
+  const Interval window(8 * 3600.0 + 1700.0, 8 * 3600.0 + 2300.0);
+  const InstantiatedVariable* v = wp_.UnitVariable(5, window);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->interval, 17);
+}
+
+TEST_F(WeightFunctionTest, UnitVariablePointWindow) {
+  wp_.Add(MakeUnit(5, 16, 20, 30));
+  const Interval at(8 * 3600.0 + 60.0, 8 * 3600.0 + 60.0);  // point in I16
+  const InstantiatedVariable* v = wp_.UnitVariable(5, at);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->interval, 16);
+}
+
+TEST_F(WeightFunctionTest, UnitVariableFallsBackToSpeedLimit) {
+  wp_.Add(MakeUnit(5, kAllDayInterval, 18, 25, /*speed_limit=*/true));
+  wp_.Add(MakeUnit(5, 16, 20, 30));
+  // A window with no overlap with interval 16 -> fallback.
+  const Interval night(2 * 3600.0, 2 * 3600.0 + 600.0);
+  const InstantiatedVariable* v = wp_.UnitVariable(5, night);
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->from_speed_limit);
+  // A window inside interval 16 -> the data variable wins.
+  const Interval morning(8 * 3600.0, 8 * 3600.0 + 600.0);
+  EXPECT_FALSE(wp_.UnitVariable(5, morning)->from_speed_limit);
+}
+
+TEST_F(WeightFunctionTest, UnitVariableNullWhenNothingKnown) {
+  EXPECT_EQ(wp_.UnitVariable(77, Interval(0, 100)), nullptr);
+}
+
+TEST_F(WeightFunctionTest, CountByRankSeparatesSpeedLimits) {
+  wp_.Add(MakeUnit(1, 16, 20, 30));
+  wp_.Add(MakeUnit(2, kAllDayInterval, 10, 20, /*speed_limit=*/true));
+  wp_.Add(MakePair(1, 2, 16));
+  const auto counts = wp_.CountByRank(false);
+  EXPECT_EQ(counts.at(1), 1u);
+  EXPECT_EQ(counts.at(2), 1u);
+  const auto with_sl = wp_.CountByRank(true);
+  EXPECT_EQ(with_sl.at(1), 2u);
+}
+
+TEST_F(WeightFunctionTest, CoverageCountsDistinctDataEdges) {
+  wp_.Add(MakeUnit(1, 16, 20, 30));
+  wp_.Add(MakeUnit(1, 17, 20, 30));                   // same edge again
+  wp_.Add(MakePair(1, 2, 16));                        // adds edge 2
+  wp_.Add(MakeUnit(9, kAllDayInterval, 5, 9, true));  // fallback: excluded
+  EXPECT_EQ(wp_.NumCoveredEdges(), 2u);
+}
+
+TEST_F(WeightFunctionTest, MemoryAccounting) {
+  wp_.Add(MakeUnit(1, 16, 20, 30));
+  const size_t one = wp_.MemoryUsageBytes();
+  wp_.Add(MakePair(1, 2, 16));
+  EXPECT_GT(wp_.MemoryUsageBytes(), one);
+  EXPECT_LE(wp_.MemoryUsageBytes(false), wp_.MemoryUsageBytes(true));
+}
+
+TEST_F(WeightFunctionTest, MeanEntropyByRankPoolsHighRanks) {
+  wp_.Add(MakeUnit(1, 16, 20, 30));
+  wp_.Add(MakePair(1, 2, 16));
+  InstantiatedVariable deep;
+  deep.path = Path({1, 2, 3, 4, 5});
+  std::vector<std::vector<double>> bounds(5, {0.0, 1.0});
+  deep.joint =
+      hist::HistogramND::Make(bounds, {{{0, 0, 0, 0, 0}, 1.0}}).value();
+  deep.interval = 16;
+  deep.support = 31;
+  wp_.Add(std::move(deep));
+  const auto entropy = wp_.MeanEntropyByRank();
+  EXPECT_TRUE(entropy.count(1));
+  EXPECT_TRUE(entropy.count(2));
+  EXPECT_TRUE(entropy.count(4));  // rank-5 pooled into ">=4"
+  EXPECT_FALSE(entropy.count(5));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pcde

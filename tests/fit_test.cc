@@ -1,0 +1,132 @@
+// Unit tests for the parametric MLE fits used in the Fig. 1(b)/Fig. 11(a)
+// comparisons, including the special-function plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "hist/fit.h"
+#include "hist/voptimal.h"
+
+namespace pcde {
+namespace hist {
+namespace {
+
+TEST(GammaPTest, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 2.5), 1.0 - std::exp(-2.5), 1e-10);
+  // P(a, 0) = 0, P(a, inf) -> 1.
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(3.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(3.0, 100.0), 1.0, 1e-10);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(RegularizedGammaP(0.5, 0.8), std::erf(std::sqrt(0.8)), 1e-10);
+}
+
+TEST(GammaPTest, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 20.0; x += 0.5) {
+    const double p = RegularizedGammaP(4.0, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ParametricFitTest, GaussianCdf) {
+  Rng rng(51);
+  std::vector<double> xs;
+  for (int i = 0; i < 30000; ++i) xs.push_back(rng.Gaussian(100, 10));
+  const ParametricFit f = ParametricFit::Fit(FitKind::kGaussian, xs);
+  EXPECT_NEAR(f.Cdf(100.0), 0.5, 0.01);
+  EXPECT_NEAR(f.Cdf(110.0), 0.8413, 0.01);
+  EXPECT_NEAR(f.Mass(90, 110), 0.6827, 0.02);
+}
+
+TEST(ParametricFitTest, ExponentialCdf) {
+  const std::vector<double> xs = {50.0, 50.0, 50.0};  // mean 50 -> rate 0.02
+  const ParametricFit f = ParametricFit::Fit(FitKind::kExponential, xs);
+  EXPECT_NEAR(f.param1(), 0.02, 1e-12);
+  EXPECT_NEAR(f.Cdf(50.0), 1.0 - std::exp(-1.0), 1e-9);
+  EXPECT_DOUBLE_EQ(f.Cdf(-1.0), 0.0);
+}
+
+TEST(ParametricFitTest, GammaCdfMedianNearMean) {
+  Rng rng(52);
+  std::vector<double> xs;
+  for (int i = 0; i < 30000; ++i) xs.push_back(rng.Gamma(9.0, 10.0));
+  const ParametricFit f = ParametricFit::Fit(FitKind::kGamma, xs);
+  // Gamma(9, 10): mean 90; cdf at the mean is slightly above 0.5.
+  EXPECT_NEAR(f.Cdf(90.0), 0.544, 0.02);
+}
+
+TEST(ParametricFitTest, ToStringDescribes) {
+  const ParametricFit f =
+      ParametricFit::Fit(FitKind::kGaussian, {1.0, 2.0, 3.0});
+  EXPECT_NE(f.ToString().find("Gaussian"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// KL raw-vs-fit: the correct family should win (Fig. 11a logic).
+// ---------------------------------------------------------------------------
+
+TEST(KlRawVsFitTest, GaussianDataPrefersGaussianFit) {
+  Rng rng(53);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.Gaussian(120, 8));
+  const RawDistribution raw = RawDistribution::FromSamples(xs, 1.0);
+  const double kl_gauss =
+      KlRawVsFit(raw, ParametricFit::Fit(FitKind::kGaussian, xs));
+  const double kl_exp =
+      KlRawVsFit(raw, ParametricFit::Fit(FitKind::kExponential, xs));
+  EXPECT_LT(kl_gauss, kl_exp);
+}
+
+TEST(KlRawVsFitTest, BimodalDataDefeatsAllParametricFamilies) {
+  // The Fig. 1(b) situation: no standard family fits a bimodal
+  // distribution, while the Auto histogram does.
+  Rng rng(54);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(rng.Bernoulli(0.55) ? rng.Gaussian(100, 4)
+                                     : rng.Gaussian(160, 6));
+  }
+  const RawDistribution raw = RawDistribution::FromSamples(xs, 1.0);
+  auto auto_hist = BuildAutoHistogram(xs, AutoBucketOptions());
+  ASSERT_TRUE(auto_hist.ok());
+  const double kl_auto = KlRawVsHistogram(raw, auto_hist.value());
+  for (FitKind kind :
+       {FitKind::kGaussian, FitKind::kGamma, FitKind::kExponential}) {
+    const double kl_fit = KlRawVsFit(raw, ParametricFit::Fit(kind, xs));
+    EXPECT_LT(kl_auto, kl_fit) << ParametricFit::Fit(kind, xs).ToString();
+  }
+}
+
+TEST(KlRawVsHistogramTest, ExactHistogramHasZeroKl) {
+  Rng rng(55);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(std::floor(rng.Uniform(0, 50)));
+  const RawDistribution raw = RawDistribution::FromSamples(xs, 1.0);
+  auto exact = raw.ToExactHistogram();
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(KlRawVsHistogram(raw, exact.value()), 0.0, 1e-9);
+}
+
+TEST(KlRawVsHistogramTest, CoarserHistogramHasHigherKl) {
+  Rng rng(56);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) {
+    xs.push_back(rng.Bernoulli(0.5) ? rng.Gaussian(50, 3)
+                                    : rng.Gaussian(90, 3));
+  }
+  const RawDistribution raw = RawDistribution::FromSamples(xs, 1.0);
+  auto h1 = BuildStaticHistogram(xs, 1);
+  auto h6 = BuildStaticHistogram(xs, 6);
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h6.ok());
+  EXPECT_GT(KlRawVsHistogram(raw, h1.value()),
+            KlRawVsHistogram(raw, h6.value()));
+}
+
+}  // namespace
+}  // namespace hist
+}  // namespace pcde

@@ -1,0 +1,400 @@
+// Unit tests for Histogram1D and the Sec. 4.2 bucket machinery. The
+// flatten/rearrangement test reproduces the paper's Fig. 7 running example
+// to its printed 4-digit precision.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "hist/histogram1d.h"
+
+namespace pcde {
+namespace hist {
+namespace {
+
+Histogram1D MustMake(std::vector<Bucket> buckets) {
+  auto h = Histogram1D::Make(std::move(buckets));
+  EXPECT_TRUE(h.ok()) << h.status().ToString();
+  return std::move(h).value();
+}
+
+// ---------------------------------------------------------------------------
+// Construction & validation
+// ---------------------------------------------------------------------------
+
+TEST(Histogram1DTest, MakeValidates) {
+  EXPECT_FALSE(Histogram1D::Make({}).ok());
+  EXPECT_FALSE(Histogram1D::Make({{0, 10, 0.5}, {5, 15, 0.5}}).ok());  // overlap
+  EXPECT_FALSE(Histogram1D::Make({{0, 10, 0.7}}).ok());               // mass != 1
+  EXPECT_FALSE(Histogram1D::Make({{10, 10, 1.0}}).ok());              // zero width
+  EXPECT_FALSE(Histogram1D::Make({{0, 5, -0.1}, {5, 10, 1.1}}).ok()); // negative
+  EXPECT_TRUE(Histogram1D::Make({{0, 5, 0.4}, {5, 10, 0.6}}).ok());
+  EXPECT_TRUE(Histogram1D::Make({{0, 5, 0.4}, {7, 10, 0.6}}).ok());   // gap ok
+}
+
+TEST(Histogram1DTest, MakeSortsBuckets) {
+  const Histogram1D h = MustMake({{5, 10, 0.6}, {0, 5, 0.4}});
+  EXPECT_DOUBLE_EQ(h.bucket(0).range.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 10.0);
+}
+
+TEST(Histogram1DTest, MassRenormalizedWithinTolerance) {
+  const Histogram1D h = MustMake({{0, 5, 0.5000004}, {5, 10, 0.4999999}});
+  double total = 0;
+  for (const auto& b : h.buckets()) total += b.prob;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Moments, CDF, quantiles
+// ---------------------------------------------------------------------------
+
+TEST(Histogram1DTest, MeanOfUniform) {
+  EXPECT_DOUBLE_EQ(Histogram1D::Single(10, 20).Mean(), 15.0);
+}
+
+TEST(Histogram1DTest, VarianceOfUniform) {
+  // Var(U[0,12)) = 144/12 = 12.
+  EXPECT_NEAR(Histogram1D::Single(0, 12).Variance(), 12.0, 1e-9);
+}
+
+TEST(Histogram1DTest, MeanOfTwoBuckets) {
+  const Histogram1D h = MustMake({{0, 10, 0.5}, {10, 30, 0.5}});
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.5 * 5.0 + 0.5 * 20.0);
+}
+
+TEST(Histogram1DTest, CdfPiecewiseLinear) {
+  const Histogram1D h = MustMake({{0, 10, 0.5}, {10, 30, 0.5}});
+  EXPECT_DOUBLE_EQ(h.Cdf(-1), 0.0);
+  EXPECT_DOUBLE_EQ(h.Cdf(5), 0.25);
+  EXPECT_DOUBLE_EQ(h.Cdf(10), 0.5);
+  EXPECT_DOUBLE_EQ(h.Cdf(20), 0.75);
+  EXPECT_DOUBLE_EQ(h.Cdf(30), 1.0);
+  EXPECT_DOUBLE_EQ(h.Cdf(100), 1.0);
+}
+
+TEST(Histogram1DTest, CdfWithGap) {
+  const Histogram1D h = MustMake({{0, 10, 0.5}, {20, 30, 0.5}});
+  EXPECT_DOUBLE_EQ(h.Cdf(15), 0.5);  // flat across the gap
+}
+
+TEST(Histogram1DTest, QuantileInvertsCdf) {
+  const Histogram1D h = MustMake({{0, 10, 0.5}, {10, 30, 0.5}});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 20.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 30.0);
+}
+
+TEST(Histogram1DTest, MassOfSubInterval) {
+  const Histogram1D h = MustMake({{0, 10, 0.5}, {10, 30, 0.5}});
+  EXPECT_DOUBLE_EQ(h.Mass(Interval(5, 15)), 0.25 + 0.125);
+  EXPECT_DOUBLE_EQ(h.Mass(Interval(-5, 50)), 1.0);
+  EXPECT_DOUBLE_EQ(h.Mass(Interval(40, 50)), 0.0);
+}
+
+TEST(Histogram1DTest, ProbWithinIsTheRoutingObjective) {
+  // Fig. 1(a): P1 arrives within 60 min with probability 1.
+  const Histogram1D p1 = MustMake({{48, 56, 1.0}});
+  const Histogram1D p2 = MustMake({{40, 55, 0.9}, {65, 80, 0.1}});
+  EXPECT_DOUBLE_EQ(p1.ProbWithin(60), 1.0);
+  EXPECT_DOUBLE_EQ(p2.ProbWithin(60), 0.9);
+  // ... although P2 has the lower mean (Sec. 1's motivating example).
+  EXPECT_LT(p2.Mean(), p1.Mean());
+}
+
+// ---------------------------------------------------------------------------
+// Entropy
+// ---------------------------------------------------------------------------
+
+TEST(Histogram1DTest, DiscreteEntropyUniformBuckets) {
+  const Histogram1D h = MustMake({{0, 1, 0.25}, {1, 2, 0.25}, {2, 3, 0.25},
+                                  {3, 4, 0.25}});
+  EXPECT_NEAR(h.DiscreteEntropy(), std::log(4.0), 1e-12);
+}
+
+TEST(Histogram1DTest, DifferentialEntropyOfUniform) {
+  // h(U[a,b)) = ln(b-a).
+  EXPECT_NEAR(Histogram1D::Single(0, 8).DifferentialEntropy(), std::log(8.0),
+              1e-12);
+}
+
+TEST(Histogram1DTest, DifferentialEntropyInvariantUnderSplit) {
+  // Splitting a bucket at constant density must not change differential
+  // entropy — the property that makes it comparable across bucketizations.
+  const Histogram1D coarse = MustMake({{0, 10, 1.0}});
+  const Histogram1D fine = MustMake({{0, 5, 0.5}, {5, 10, 0.5}});
+  EXPECT_NEAR(coarse.DifferentialEntropy(), fine.DifferentialEntropy(), 1e-12);
+  // Discrete entropy is NOT invariant (this is why the benches use the
+  // differential form).
+  EXPECT_GT(fine.DiscreteEntropy(), coarse.DiscreteEntropy());
+}
+
+// ---------------------------------------------------------------------------
+// FlattenToDisjoint — the paper's Fig. 7 rearrangement, exact.
+// ---------------------------------------------------------------------------
+
+TEST(FlattenTest, PaperFig7Exact) {
+  // Input (second table of Fig. 7): overlapping buckets from the
+  // hyper-bucket sums.
+  std::vector<WeightedInterval> parts = {
+      {Interval(40, 70), 0.30},
+      {Interval(50, 90), 0.25},
+      {Interval(60, 90), 0.20},
+      {Interval(70, 110), 0.25},
+  };
+  auto flat = FlattenToDisjoint(parts);
+  ASSERT_TRUE(flat.ok());
+  const Histogram1D& h = flat.value();
+  // Expected (third table of Fig. 7).
+  ASSERT_EQ(h.NumBuckets(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket(0).range.lo, 40.0);
+  EXPECT_DOUBLE_EQ(h.bucket(0).range.hi, 50.0);
+  EXPECT_NEAR(h.bucket(0).prob, 0.1000, 5e-5);
+  EXPECT_DOUBLE_EQ(h.bucket(1).range.hi, 60.0);
+  EXPECT_NEAR(h.bucket(1).prob, 0.1625, 5e-5);
+  EXPECT_DOUBLE_EQ(h.bucket(2).range.hi, 70.0);
+  EXPECT_NEAR(h.bucket(2).prob, 0.2292, 5e-5);
+  EXPECT_DOUBLE_EQ(h.bucket(3).range.hi, 90.0);
+  EXPECT_NEAR(h.bucket(3).prob, 0.3833, 5e-5);
+  EXPECT_DOUBLE_EQ(h.bucket(4).range.hi, 110.0);
+  EXPECT_NEAR(h.bucket(4).prob, 0.1250, 5e-5);
+}
+
+TEST(FlattenTest, PaperFig7IntermediateStep) {
+  // The paper's worked sub-example: buckets [40,70):0.3 and [50,90):0.25
+  // split into [40,50):0.1, [50,70):0.325, [70,90):0.125 (after
+  // renormalizing the 0.55 total to 1, we check ratios instead).
+  std::vector<WeightedInterval> parts = {
+      {Interval(40, 70), 0.30},
+      {Interval(50, 90), 0.25},
+  };
+  auto flat = FlattenToDisjoint(parts);
+  ASSERT_TRUE(flat.ok());
+  const Histogram1D& h = flat.value();
+  ASSERT_EQ(h.NumBuckets(), 3u);
+  const double scale = 0.55;  // flatten normalizes to total mass 1
+  EXPECT_NEAR(h.bucket(0).prob * scale, 0.1, 1e-12);
+  EXPECT_NEAR(h.bucket(1).prob * scale, 0.325, 1e-12);
+  EXPECT_NEAR(h.bucket(2).prob * scale, 0.125, 1e-12);
+}
+
+TEST(FlattenTest, DisjointInputsPassThrough) {
+  std::vector<WeightedInterval> parts = {
+      {Interval(0, 10), 0.5},
+      {Interval(20, 30), 0.5},
+  };
+  auto flat = FlattenToDisjoint(parts);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat.value().NumBuckets(), 2u);
+  EXPECT_DOUBLE_EQ(flat.value().bucket(0).prob, 0.5);
+}
+
+TEST(FlattenTest, EqualDensityNeighboursMerge) {
+  std::vector<WeightedInterval> parts = {
+      {Interval(0, 10), 0.5},
+      {Interval(10, 20), 0.5},
+  };
+  auto flat = FlattenToDisjoint(parts);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat.value().NumBuckets(), 1u);  // same density either side
+}
+
+TEST(FlattenTest, NormalizesTotalMass) {
+  std::vector<WeightedInterval> parts = {
+      {Interval(0, 10), 2.0},
+      {Interval(5, 15), 2.0},
+  };
+  auto flat = FlattenToDisjoint(parts);
+  ASSERT_TRUE(flat.ok());
+  double total = 0;
+  for (const auto& b : flat.value().buckets()) total += b.prob;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(FlattenTest, RejectsBadInput) {
+  EXPECT_FALSE(FlattenToDisjoint({}).ok());
+  EXPECT_FALSE(FlattenToDisjoint({{Interval(0, 1), -0.5}}).ok());
+  EXPECT_FALSE(FlattenToDisjoint({{Interval(3, 3), 1.0}}).ok());
+  EXPECT_FALSE(FlattenToDisjoint({{Interval(0, 1), 0.0}}).ok());  // zero mass
+}
+
+// Property sweep: flatten preserves mean (the rearrangement redistributes
+// within intervals uniformly, so the expected value is unchanged).
+class FlattenProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlattenProperty, PreservesMeanAndSupport) {
+  Rng rng(GetParam());
+  std::vector<WeightedInterval> parts;
+  double mean = 0.0, total = 0.0;
+  const int n = 2 + static_cast<int>(rng.UniformInt(0, 10));
+  for (int i = 0; i < n; ++i) {
+    const double lo = rng.Uniform(0, 200);
+    const double w = rng.Uniform(1, 60);
+    const double p = rng.Uniform(0.01, 1.0);
+    parts.push_back({Interval(lo, lo + w), p});
+    mean += p * (lo + w / 2);
+    total += p;
+  }
+  mean /= total;
+  auto flat = FlattenToDisjoint(parts);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_NEAR(flat.value().Mean(), mean, 1e-6);
+  double lo = 1e30, hi = -1e30;
+  for (const auto& w : parts) {
+    lo = std::min(lo, w.range.lo);
+    hi = std::max(hi, w.range.hi);
+  }
+  EXPECT_GE(flat.value().Min(), lo - 1e-9);
+  EXPECT_LE(flat.value().Max(), hi + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlattenProperty,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------------
+// Convolution
+// ---------------------------------------------------------------------------
+
+TEST(ConvolveTest, UniformPlusUniformIsTriangular) {
+  const Histogram1D u = Histogram1D::Single(0, 10);
+  auto c = Convolve(u, u);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c.value().Min(), 0.0);
+  EXPECT_DOUBLE_EQ(c.value().Max(), 20.0);
+  EXPECT_NEAR(c.value().Mean(), 10.0, 1e-9);
+}
+
+TEST(ConvolveTest, MeanIsAdditive) {
+  const Histogram1D a = MustMake({{0, 10, 0.3}, {10, 20, 0.7}});
+  const Histogram1D b = MustMake({{5, 15, 0.6}, {15, 35, 0.4}});
+  auto c = Convolve(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c.value().Mean(), a.Mean() + b.Mean(), 1e-9);
+}
+
+TEST(ConvolveTest, SupportIsMinkowskiSum) {
+  const Histogram1D a = MustMake({{10, 20, 1.0}});
+  const Histogram1D b = MustMake({{5, 7, 1.0}});
+  auto c = Convolve(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c.value().Min(), 15.0);
+  EXPECT_DOUBLE_EQ(c.value().Max(), 27.0);
+}
+
+TEST(ConvolveTest, RespectsMaxBuckets) {
+  Rng rng(17);
+  std::vector<Bucket> bs;
+  double lo = 0;
+  for (int i = 0; i < 20; ++i) {
+    const double w = rng.Uniform(1, 5);
+    bs.emplace_back(lo, lo + w, 0.05);
+    lo += w + rng.Uniform(0, 2);
+  }
+  const Histogram1D a = MustMake(bs);
+  auto c = Convolve(a, a, 16);
+  ASSERT_TRUE(c.ok());
+  EXPECT_LE(c.value().NumBuckets(), 16u);
+  EXPECT_NEAR(c.value().Mean(), 2 * a.Mean(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Compact
+// ---------------------------------------------------------------------------
+
+TEST(CompactTest, NoOpWhenSmallEnough) {
+  const Histogram1D h = MustMake({{0, 5, 0.4}, {5, 10, 0.6}});
+  EXPECT_EQ(Compact(h, 4).NumBuckets(), 2u);
+}
+
+TEST(CompactTest, ReducesToCapAndKeepsMass) {
+  std::vector<Bucket> bs;
+  for (int i = 0; i < 32; ++i) bs.emplace_back(i, i + 1, 1.0 / 32);
+  const Histogram1D h = MustMake(bs);
+  const Histogram1D c = Compact(h, 8);
+  EXPECT_LE(c.NumBuckets(), 8u);
+  double total = 0;
+  for (const auto& b : c.buckets()) total += b.prob;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(c.Mean(), h.Mean(), 1e-9);  // uniform merge preserves the mean
+}
+
+TEST(CompactTest, MergesSimilarDensityFirst) {
+  // Buckets: two equal-density on the left, a spike on the right. The
+  // spike must survive compaction to 2 buckets.
+  const Histogram1D h = MustMake({{0, 10, 0.2}, {10, 20, 0.2}, {20, 21, 0.6}});
+  const Histogram1D c = Compact(h, 2);
+  ASSERT_EQ(c.NumBuckets(), 2u);
+  EXPECT_DOUBLE_EQ(c.bucket(1).range.lo, 20.0);
+  EXPECT_NEAR(c.bucket(1).prob, 0.6, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// KL divergence and L1
+// ---------------------------------------------------------------------------
+
+TEST(KlTest, ZeroOnIdentical) {
+  const Histogram1D h = MustMake({{0, 10, 0.5}, {10, 30, 0.5}});
+  EXPECT_NEAR(KlDivergence(h, h), 0.0, 1e-9);
+}
+
+TEST(KlTest, PositiveOnDifferent) {
+  const Histogram1D p = MustMake({{0, 10, 0.9}, {10, 20, 0.1}});
+  const Histogram1D q = MustMake({{0, 10, 0.1}, {10, 20, 0.9}});
+  EXPECT_GT(KlDivergence(p, q), 0.5);
+}
+
+TEST(KlTest, AsymmetricButBothPositive) {
+  const Histogram1D p = MustMake({{0, 10, 1.0}});
+  const Histogram1D q = MustMake({{0, 10, 0.5}, {10, 20, 0.5}});
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+  EXPECT_GT(KlDivergence(q, p), 0.0);
+}
+
+TEST(KlTest, FiniteWhenSupportsMismatch) {
+  const Histogram1D p = MustMake({{0, 10, 1.0}});
+  const Histogram1D q = MustMake({{100, 110, 1.0}});
+  const double kl = KlDivergence(p, q);
+  EXPECT_GT(kl, 1.0);
+  EXPECT_TRUE(std::isfinite(kl));
+}
+
+TEST(KlTest, RefinementInvariance) {
+  // Splitting q's buckets at constant density must not change KL.
+  const Histogram1D p = MustMake({{0, 10, 0.3}, {10, 20, 0.7}});
+  const Histogram1D q1 = MustMake({{0, 20, 1.0}});
+  const Histogram1D q2 = MustMake({{0, 10, 0.5}, {10, 20, 0.5}});
+  EXPECT_NEAR(KlDivergence(p, q1), KlDivergence(p, q2), 1e-6);
+}
+
+TEST(L1Test, BoundsAndIdentity) {
+  const Histogram1D p = MustMake({{0, 10, 1.0}});
+  const Histogram1D q = MustMake({{100, 110, 1.0}});
+  EXPECT_NEAR(L1Distance(p, q), 2.0, 1e-9);  // disjoint supports
+  EXPECT_NEAR(L1Distance(p, p), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------------
+
+TEST(SampleTest, RespectsBucketMasses) {
+  const Histogram1D h = MustMake({{0, 10, 0.25}, {50, 60, 0.75}});
+  Rng rng(21);
+  int high = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) high += h.Sample(&rng) >= 50.0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(high) / n, 0.75, 0.02);
+}
+
+TEST(MemoryTest, GrowsWithBuckets) {
+  const Histogram1D small = Histogram1D::Single(0, 1);
+  const Histogram1D big = MustMake({{0, 1, 0.25}, {1, 2, 0.25}, {2, 3, 0.25},
+                                    {3, 4, 0.25}});
+  EXPECT_GT(big.MemoryUsageBytes(), small.MemoryUsageBytes());
+}
+
+}  // namespace
+}  // namespace hist
+}  // namespace pcde

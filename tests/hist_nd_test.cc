@@ -1,0 +1,303 @@
+// Unit tests for HistogramND: the multi-dimensional joint-distribution
+// representation of Sec. 3.2, including the Fig. 7 joint -> marginal
+// reduction and the Fig. 6 2-D histogram example.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "hist/histogram_nd.h"
+
+namespace pcde {
+namespace hist {
+namespace {
+
+using HyperBucket = HistogramND::HyperBucket;
+
+HistogramND MustMake(std::vector<std::vector<double>> bounds,
+                     std::vector<HyperBucket> buckets) {
+  auto h = HistogramND::Make(std::move(bounds), std::move(buckets));
+  EXPECT_TRUE(h.ok()) << h.status().ToString();
+  return std::move(h).value();
+}
+
+/// The Fig. 7 joint distribution:
+///   c_e1 in {[20,30), [30,50)}, c_e2 in {[20,40), [40,60)}
+///   probs: 0.30 0.25 / 0.20 0.25.
+HistogramND Fig7Joint() {
+  return MustMake({{20, 30, 50}, {20, 40, 60}},
+                  {{{0, 0}, 0.30}, {{1, 0}, 0.25}, {{0, 1}, 0.20},
+                   {{1, 1}, 0.25}});
+}
+
+// ---------------------------------------------------------------------------
+// Construction / validation
+// ---------------------------------------------------------------------------
+
+TEST(HistogramNDTest, MakeValidates) {
+  EXPECT_FALSE(HistogramND::Make({}, {}).ok());
+  EXPECT_FALSE(HistogramND::Make({{1.0}}, {}).ok());  // one boundary only
+  // Index out of range.
+  EXPECT_FALSE(HistogramND::Make({{0, 1}}, {{{3}, 1.0}}).ok());
+  // Arity mismatch.
+  EXPECT_FALSE(HistogramND::Make({{0, 1}, {0, 1}}, {{{0}, 1.0}}).ok());
+  // Mass != 1.
+  EXPECT_FALSE(HistogramND::Make({{0, 1}}, {{{0}, 0.4}}).ok());
+  EXPECT_TRUE(HistogramND::Make({{0, 1}}, {{{0}, 1.0}}).ok());
+}
+
+TEST(HistogramNDTest, BoxLookup) {
+  const HistogramND h = Fig7Joint();
+  EXPECT_EQ(h.NumDims(), 2u);
+  EXPECT_EQ(h.NumBuckets(), 4u);
+  EXPECT_EQ(h.NumDimBuckets(0), 2u);
+  const auto& hb = h.buckets().front();
+  const Interval b0 = h.Box(hb, 0);
+  EXPECT_GE(b0.width(), 10.0);
+  EXPECT_EQ(h.DimRange(0), Interval(20, 50));
+  EXPECT_EQ(h.DimRange(1), Interval(20, 60));
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7: SumDistribution reproduces the paper's marginal exactly.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramNDTest, Fig7SumDistributionExact) {
+  const HistogramND joint = Fig7Joint();
+  auto sum = joint.SumDistribution();
+  ASSERT_TRUE(sum.ok());
+  const Histogram1D& h = sum.value();
+  ASSERT_EQ(h.NumBuckets(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket(0).range.lo, 40.0);
+  EXPECT_DOUBLE_EQ(h.bucket(0).range.hi, 50.0);
+  EXPECT_NEAR(h.bucket(0).prob, 0.1000, 5e-5);
+  EXPECT_NEAR(h.bucket(1).prob, 0.1625, 5e-5);
+  EXPECT_NEAR(h.bucket(2).prob, 0.2292, 5e-5);
+  EXPECT_NEAR(h.bucket(3).prob, 0.3833, 5e-5);
+  EXPECT_NEAR(h.bucket(4).prob, 0.1250, 5e-5);
+  EXPECT_DOUBLE_EQ(h.bucket(4).range.hi, 110.0);
+}
+
+TEST(HistogramNDTest, MarginalsOfFig7) {
+  const HistogramND joint = Fig7Joint();
+  auto m0 = joint.Marginal1D(0);
+  ASSERT_TRUE(m0.ok());
+  EXPECT_NEAR(m0.value().Mass(Interval(20, 30)), 0.5, 1e-12);
+  EXPECT_NEAR(m0.value().Mass(Interval(30, 50)), 0.5, 1e-12);
+  auto m1 = joint.Marginal1D(1);
+  ASSERT_TRUE(m1.ok());
+  EXPECT_NEAR(m1.value().Mass(Interval(20, 40)), 0.55, 1e-12);
+  EXPECT_NEAR(m1.value().Mass(Interval(40, 60)), 0.45, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// BuildFromSamples
+// ---------------------------------------------------------------------------
+
+TEST(HistogramNDTest, BuildFromSamplesRejectsBadInput) {
+  AutoBucketOptions opt;
+  EXPECT_FALSE(HistogramND::BuildFromSamples({}, opt).ok());
+  EXPECT_FALSE(HistogramND::BuildFromSamples({{1.0}, {1.0, 2.0}}, opt).ok());
+}
+
+TEST(HistogramNDTest, BuildFromSamplesMassOne) {
+  Rng rng(41);
+  std::vector<std::vector<double>> samples;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Gaussian(50, 5);
+    samples.push_back({a, a + rng.Gaussian(30, 3)});
+  }
+  AutoBucketOptions opt;
+  auto h = HistogramND::BuildFromSamples(samples, opt);
+  ASSERT_TRUE(h.ok());
+  double total = 0;
+  for (const auto& hb : h.value().buckets()) total += hb.prob;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(h.value().NumDims(), 2u);
+}
+
+TEST(HistogramNDTest, CorrelatedSamplesConcentrateOnDiagonal) {
+  // Strongly correlated dims: off-diagonal hyper-buckets should carry
+  // little mass — the dependence signal the hybrid graph preserves.
+  Rng rng(42);
+  std::vector<std::vector<double>> samples;
+  for (int i = 0; i < 500; ++i) {
+    const bool slow = rng.Bernoulli(0.5);
+    const double a = slow ? rng.Uniform(80, 100) : rng.Uniform(40, 60);
+    const double b = slow ? rng.Uniform(80, 100) : rng.Uniform(40, 60);
+    samples.push_back({a, b});
+  }
+  AutoBucketOptions opt;
+  auto h = HistogramND::BuildFromSamples(samples, opt, 2);
+  ASSERT_TRUE(h.ok());
+  double diagonal = 0.0;
+  for (const auto& hb : h.value().buckets()) {
+    if (hb.idx[0] == hb.idx[1]) diagonal += hb.prob;
+  }
+  EXPECT_GT(diagonal, 0.95);
+}
+
+TEST(HistogramNDTest, FixedBucketCountHonored) {
+  Rng rng(43);
+  std::vector<std::vector<double>> samples;
+  for (int i = 0; i < 300; ++i) {
+    samples.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  AutoBucketOptions opt;
+  auto h = HistogramND::BuildFromSamples(samples, opt, 3);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().NumDimBuckets(0), 3u);
+  EXPECT_EQ(h.value().NumDimBuckets(1), 3u);
+}
+
+TEST(HistogramNDTest, MarginalMatchesColumnHistogram) {
+  // The per-dimension marginal of the built joint must reproduce the
+  // column's own V-Optimal histogram boundaries (construction invariant).
+  Rng rng(44);
+  std::vector<std::vector<double>> samples;
+  std::vector<double> col0;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.Bernoulli(0.5) ? rng.Uniform(10, 20) : rng.Uniform(60, 80);
+    col0.push_back(a);
+    samples.push_back({a, rng.Uniform(0, 10)});
+  }
+  AutoBucketOptions opt;
+  auto joint = HistogramND::BuildFromSamples(samples, opt, 2);
+  ASSERT_TRUE(joint.ok());
+  auto marginal = joint.value().Marginal1D(0);
+  ASSERT_TRUE(marginal.ok());
+  auto direct = BuildStaticHistogram(col0, 2);
+  ASSERT_TRUE(direct.ok());
+  // Same total mass split across the two clusters.
+  EXPECT_NEAR(marginal.value().Mass(Interval(0, 40)),
+              direct.value().Mass(Interval(0, 40)), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Marginalization over subsets
+// ---------------------------------------------------------------------------
+
+TEST(HistogramNDTest, MarginalOverDimsValidation) {
+  const HistogramND joint = Fig7Joint();
+  EXPECT_FALSE(joint.MarginalOverDims({}).ok());
+  EXPECT_FALSE(joint.MarginalOverDims({5}).ok());
+  EXPECT_FALSE(joint.MarginalOverDims({1, 0}).ok());  // must increase
+  EXPECT_TRUE(joint.MarginalOverDims({0}).ok());
+  EXPECT_TRUE(joint.MarginalOverDims({0, 1}).ok());
+}
+
+TEST(HistogramNDTest, MarginalOverAllDimsIsIdentity) {
+  const HistogramND joint = Fig7Joint();
+  auto m = joint.MarginalOverDims({0, 1});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().NumBuckets(), joint.NumBuckets());
+  EXPECT_NEAR(m.value().DiscreteEntropy(), joint.DiscreteEntropy(), 1e-12);
+}
+
+TEST(HistogramNDTest, ThreeDimMarginalPair) {
+  // Product of three independent fair coins over {[0,1),[1,2)}.
+  std::vector<HyperBucket> bs;
+  for (uint32_t a = 0; a < 2; ++a) {
+    for (uint32_t b = 0; b < 2; ++b) {
+      for (uint32_t c = 0; c < 2; ++c) bs.push_back({{a, b, c}, 0.125});
+    }
+  }
+  const HistogramND joint =
+      MustMake({{0, 1, 2}, {0, 1, 2}, {0, 1, 2}}, std::move(bs));
+  auto pair = joint.MarginalOverDims({0, 2});
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair.value().NumDims(), 2u);
+  EXPECT_EQ(pair.value().NumBuckets(), 4u);
+  for (const auto& hb : pair.value().buckets()) {
+    EXPECT_NEAR(hb.prob, 0.25, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Entropy
+// ---------------------------------------------------------------------------
+
+TEST(HistogramNDTest, DiscreteEntropyOfUniformGrid) {
+  std::vector<HyperBucket> bs;
+  for (uint32_t a = 0; a < 2; ++a) {
+    for (uint32_t b = 0; b < 2; ++b) bs.push_back({{a, b}, 0.25});
+  }
+  const HistogramND h = MustMake({{0, 1, 2}, {0, 1, 2}}, std::move(bs));
+  EXPECT_NEAR(h.DiscreteEntropy(), std::log(4.0), 1e-12);
+}
+
+TEST(HistogramNDTest, DifferentialEntropyAdditiveForProduct) {
+  // h(X,Y) = h(X) + h(Y) for independent piecewise-uniform marginals.
+  std::vector<HyperBucket> bs;
+  const double px[2] = {0.3, 0.7};
+  const double py[2] = {0.6, 0.4};
+  for (uint32_t a = 0; a < 2; ++a) {
+    for (uint32_t b = 0; b < 2; ++b) bs.push_back({{a, b}, px[a] * py[b]});
+  }
+  const HistogramND h = MustMake({{0, 5, 20}, {0, 2, 10}}, std::move(bs));
+  auto mx = h.Marginal1D(0);
+  auto my = h.Marginal1D(1);
+  ASSERT_TRUE(mx.ok());
+  ASSERT_TRUE(my.ok());
+  EXPECT_NEAR(h.DifferentialEntropy(),
+              mx.value().DifferentialEntropy() + my.value().DifferentialEntropy(),
+              1e-9);
+}
+
+TEST(HistogramNDTest, DependenceLowersJointEntropy) {
+  // Perfectly correlated vs independent with identical marginals: the
+  // correlated joint has lower entropy — the quantity behind Fig. 15.
+  const HistogramND correlated =
+      MustMake({{0, 1, 2}, {0, 1, 2}}, {{{0, 0}, 0.5}, {{1, 1}, 0.5}});
+  std::vector<HyperBucket> ind;
+  for (uint32_t a = 0; a < 2; ++a) {
+    for (uint32_t b = 0; b < 2; ++b) ind.push_back({{a, b}, 0.25});
+  }
+  const HistogramND independent =
+      MustMake({{0, 1, 2}, {0, 1, 2}}, std::move(ind));
+  EXPECT_LT(correlated.DifferentialEntropy(),
+            independent.DifferentialEntropy());
+}
+
+// ---------------------------------------------------------------------------
+// 1-D lift / conversions
+// ---------------------------------------------------------------------------
+
+TEST(HistogramNDTest, FromHistogram1DRoundTrip) {
+  auto h1 = Histogram1D::Make({{0, 10, 0.5}, {20, 30, 0.5}});
+  ASSERT_TRUE(h1.ok());
+  const HistogramND lifted = HistogramND::FromHistogram1D(h1.value());
+  EXPECT_EQ(lifted.NumDims(), 1u);
+  auto back = lifted.Marginal1D(0);
+  ASSERT_TRUE(back.ok());
+  EXPECT_NEAR(back.value().Mass(Interval(0, 10)), 0.5, 1e-12);
+  EXPECT_NEAR(back.value().Mass(Interval(20, 30)), 0.5, 1e-12);
+  EXPECT_NEAR(back.value().Mass(Interval(10, 20)), 0.0, 1e-12);  // gap kept
+}
+
+TEST(HistogramNDTest, SumDistributionOf1DIsIdentity) {
+  auto h1 = Histogram1D::Make({{5, 10, 0.25}, {10, 30, 0.75}});
+  ASSERT_TRUE(h1.ok());
+  const HistogramND lifted = HistogramND::FromHistogram1D(h1.value());
+  auto sum = lifted.SumDistribution();
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NEAR(sum.value().Mean(), h1.value().Mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(sum.value().Min(), 5.0);
+  EXPECT_DOUBLE_EQ(sum.value().Max(), 30.0);
+}
+
+TEST(HistogramNDTest, MinMaxSum) {
+  const HistogramND joint = Fig7Joint();
+  EXPECT_DOUBLE_EQ(joint.MinSum(), 40.0);
+  EXPECT_DOUBLE_EQ(joint.MaxSum(), 110.0);
+}
+
+TEST(HistogramNDTest, MemoryAccounting) {
+  const HistogramND joint = Fig7Joint();
+  // 3 + 3 boundary doubles, 4 buckets x (2 dims x 2B + 8B prob).
+  EXPECT_EQ(joint.MemoryUsageBytes(), 6 * 8 + 4 * (2 * 2 + 8));
+}
+
+}  // namespace
+}  // namespace hist
+}  // namespace pcde

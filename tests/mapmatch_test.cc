@@ -1,0 +1,174 @@
+// Unit and property tests for the Newson-Krumm HMM map matcher — the
+// pipeline stage the paper applies to align raw GPS with road paths.
+#include <gtest/gtest.h>
+
+#include "mapmatch/hmm_matcher.h"
+#include "roadnet/generators.h"
+#include "traj/generator.h"
+
+namespace pcde {
+namespace mapmatch {
+namespace {
+
+using roadnet::Graph;
+using roadnet::Path;
+using traj::GpsRecord;
+using traj::Trajectory;
+
+TEST(RouteRecoveryTest, LcsMetric) {
+  const Path truth({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(HmmMatcher::RouteRecovery(truth, truth), 1.0);
+  EXPECT_DOUBLE_EQ(HmmMatcher::RouteRecovery(truth, Path({1, 2})), 0.5);
+  EXPECT_DOUBLE_EQ(HmmMatcher::RouteRecovery(truth, Path({9, 8})), 0.0);
+  EXPECT_DOUBLE_EQ(HmmMatcher::RouteRecovery(truth, Path({1, 9, 2, 3, 4})),
+                   1.0);  // extra edges don't reduce recall
+}
+
+TEST(HmmMatcherTest, RejectsDegenerateInput) {
+  const Graph g = roadnet::MakeCity(roadnet::CityAConfig());
+  HmmMatcher matcher(g, MapMatchConfig());
+  Trajectory t;
+  EXPECT_FALSE(matcher.Match(t).ok());
+  t.records.push_back(GpsRecord{0, 0, 0});
+  EXPECT_FALSE(matcher.Match(t).ok());
+}
+
+TEST(HmmMatcherTest, NoCandidatesMeansNotFound) {
+  const Graph g = roadnet::MakeCity(roadnet::CityAConfig());
+  HmmMatcher matcher(g, MapMatchConfig());
+  Trajectory t;
+  // Far outside the city.
+  t.records.push_back(GpsRecord{1e7, 1e7, 0});
+  t.records.push_back(GpsRecord{1e7 + 10, 1e7, 1});
+  const auto result = matcher.Match(t);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+class MatcherFixture : public ::testing::Test {
+ protected:
+  MatcherFixture() : ds_(traj::MakeDatasetA(60, /*emit_gps=*/true)) {}
+  traj::Dataset ds_;
+};
+
+TEST_F(MatcherFixture, NearNoiselessTracesRecoverExactPath) {
+  traj::GeneratorConfig gen_config = ds_.generator_config;
+  gen_config.gps_noise_std_m = 0.5;
+  gen_config.seed = 777;
+  gen_config.num_trips = 15;
+  traj::TrajectoryGenerator gen(*ds_.traffic, gen_config);
+  MapMatchConfig mm;
+  mm.gps_sigma_m = 2.0;
+  HmmMatcher matcher(*ds_.graph, mm);
+  Rng rng(71);
+  size_t matched = 0;
+  double recovery = 0.0;
+  for (int i = 0; i < 15; ++i) {
+    auto sp = roadnet::RandomSimplePath(*ds_.graph, 12, &rng);
+    ASSERT_TRUE(sp.ok());
+    const auto trip =
+        gen.GenerateOnPath(sp.value(), traj::HoursToSeconds(10), &rng);
+    if (trip.gps.records.size() < 5) continue;
+    auto result = matcher.Match(trip.gps);
+    if (!result.ok()) continue;
+    ++matched;
+    recovery +=
+        HmmMatcher::RouteRecovery(trip.truth.path, result.value().matched.path);
+  }
+  ASSERT_GT(matched, 10u);
+  EXPECT_GT(recovery / static_cast<double>(matched), 0.97);
+}
+
+TEST_F(MatcherFixture, NoisyTracesRecoverMostEdges) {
+  HmmMatcher matcher(*ds_.graph, MapMatchConfig());  // 5 m noise data
+  size_t matched = 0;
+  double recovery = 0.0;
+  for (const auto& trip : ds_.trips) {
+    if (trip.gps.records.size() < 5 || trip.truth.NumEdges() < 3) continue;
+    auto result = matcher.Match(trip.gps);
+    if (!result.ok()) continue;
+    ++matched;
+    recovery +=
+        HmmMatcher::RouteRecovery(trip.truth.path, result.value().matched.path);
+  }
+  ASSERT_GT(matched, 30u);
+  EXPECT_GT(recovery / static_cast<double>(matched), 0.9);
+}
+
+TEST_F(MatcherFixture, MatchedTimingIsConsistent) {
+  HmmMatcher matcher(*ds_.graph, MapMatchConfig());
+  for (const auto& trip : ds_.trips) {
+    if (trip.gps.records.size() < 10) continue;
+    auto result = matcher.Match(trip.gps);
+    if (!result.ok()) continue;
+    const traj::MatchedTrajectory& m = result.value().matched;
+    ASSERT_EQ(m.edge_enter_times.size(), m.NumEdges());
+    ASSERT_EQ(m.edge_travel_seconds.size(), m.NumEdges());
+    for (size_t i = 0; i < m.NumEdges(); ++i) {
+      EXPECT_GT(m.edge_travel_seconds[i], 0.0);
+    }
+    for (size_t i = 1; i < m.NumEdges(); ++i) {
+      EXPECT_GE(m.edge_enter_times[i] + 1e-9, m.edge_enter_times[i - 1]);
+    }
+    // Total matched duration within 25% of the GPS time span.
+    const double span =
+        trip.gps.records.back().time - trip.gps.records.front().time;
+    EXPECT_NEAR(m.TotalSeconds(), span, span * 0.25 + 10.0);
+    break;  // one detailed check is enough
+  }
+}
+
+TEST_F(MatcherFixture, MatchedTravelTimesApproximateTruth) {
+  HmmMatcher matcher(*ds_.graph, MapMatchConfig());
+  double truth_total = 0.0, matched_total = 0.0;
+  size_t n = 0;
+  for (const auto& trip : ds_.trips) {
+    if (trip.gps.records.size() < 10) continue;
+    auto result = matcher.Match(trip.gps);
+    if (!result.ok()) continue;
+    truth_total += trip.truth.TotalSeconds();
+    matched_total += result.value().matched.TotalSeconds();
+    ++n;
+  }
+  ASSERT_GT(n, 20u);
+  EXPECT_NEAR(matched_total / truth_total, 1.0, 0.1);
+}
+
+// Property sweep over noise levels: recovery degrades gracefully, not
+// catastrophically, as GPS noise grows.
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, RecoveryAboveFloor) {
+  traj::Dataset ds = traj::MakeDatasetA(1);
+  traj::GeneratorConfig gen_config = ds.generator_config;
+  gen_config.emit_gps = true;
+  gen_config.gps_noise_std_m = GetParam();
+  gen_config.seed = 999;
+  traj::TrajectoryGenerator gen(*ds.traffic, gen_config);
+  MapMatchConfig mm;
+  mm.gps_sigma_m = std::max(GetParam(), 2.0);
+  HmmMatcher matcher(*ds.graph, mm);
+  Rng rng(73);
+  double recovery = 0.0;
+  size_t matched = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto sp = roadnet::RandomSimplePath(*ds.graph, 10, &rng);
+    ASSERT_TRUE(sp.ok());
+    const auto trip =
+        gen.GenerateOnPath(sp.value(), traj::HoursToSeconds(11), &rng);
+    auto result = matcher.Match(trip.gps);
+    if (!result.ok()) continue;
+    ++matched;
+    recovery +=
+        HmmMatcher::RouteRecovery(trip.truth.path, result.value().matched.path);
+  }
+  ASSERT_GT(matched, 4u);
+  EXPECT_GT(recovery / static_cast<double>(matched), 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, NoiseSweep,
+                         ::testing::Values(1.0, 3.0, 5.0, 8.0, 12.0));
+
+}  // namespace
+}  // namespace mapmatch
+}  // namespace pcde

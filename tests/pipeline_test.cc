@@ -1,0 +1,164 @@
+// End-to-end integration: GPS traces -> HMM map matching -> trajectory
+// store -> W_P instantiation -> cost distribution queries. This is the
+// complete data pipeline the paper runs on its fleet data.
+#include <gtest/gtest.h>
+
+#include "baselines/accuracy_optimal.h"
+#include "baselines/methods.h"
+#include "core/estimator.h"
+#include "core/instantiation.h"
+#include "mapmatch/hmm_matcher.h"
+#include "traj/generator.h"
+#include "traj/store.h"
+
+namespace pcde {
+namespace {
+
+using core::HybridParams;
+using core::InstantiateWeightFunction;
+using core::PathWeightFunction;
+using roadnet::Path;
+using traj::TrajectoryStore;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new traj::Dataset(traj::MakeDatasetA(1200, /*emit_gps=*/true));
+    mapmatch::HmmMatcher matcher(*dataset_->graph, mapmatch::MapMatchConfig());
+    auto* matched = new std::vector<traj::MatchedTrajectory>();
+    size_t failures = 0;
+    for (const auto& trip : dataset_->trips) {
+      if (trip.gps.records.size() < 3) continue;
+      auto result = matcher.Match(trip.gps);
+      if (!result.ok()) {
+        ++failures;
+        continue;
+      }
+      matched->push_back(std::move(result.value().matched));
+    }
+    match_failures_ = failures;
+    matched_store_ = new TrajectoryStore(std::move(*matched));
+    delete matched;
+    truth_store_ = new TrajectoryStore(dataset_->MatchedSlice(1.0));
+  }
+  static void TearDownTestSuite() {
+    delete matched_store_;
+    delete truth_store_;
+    delete dataset_;
+    matched_store_ = nullptr;
+    truth_store_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static traj::Dataset* dataset_;
+  static TrajectoryStore* matched_store_;
+  static TrajectoryStore* truth_store_;
+  static size_t match_failures_;
+};
+
+traj::Dataset* PipelineTest::dataset_ = nullptr;
+TrajectoryStore* PipelineTest::matched_store_ = nullptr;
+TrajectoryStore* PipelineTest::truth_store_ = nullptr;
+size_t PipelineTest::match_failures_ = 0;
+
+TEST_F(PipelineTest, MostTripsMatchSuccessfully) {
+  EXPECT_GT(matched_store_->NumTrajectories(), dataset_->trips.size() * 8 / 10);
+  EXPECT_LT(match_failures_, dataset_->trips.size() / 10);
+}
+
+TEST_F(PipelineTest, MatchedTotalsTrackTruthTotals) {
+  // Aggregate travel time through the matched pipeline should track the
+  // simulated truth within a few percent (GPS noise + interpolation).
+  double truth_total = 0.0;
+  for (size_t i = 0; i < truth_store_->NumTrajectories(); ++i) {
+    truth_total += truth_store_->trajectory(i).TotalSeconds();
+  }
+  double matched_total = 0.0;
+  for (size_t i = 0; i < matched_store_->NumTrajectories(); ++i) {
+    matched_total += matched_store_->trajectory(i).TotalSeconds();
+  }
+  const double per_truth =
+      truth_total / static_cast<double>(truth_store_->NumTrajectories());
+  const double per_matched =
+      matched_total / static_cast<double>(matched_store_->NumTrajectories());
+  EXPECT_NEAR(per_matched / per_truth, 1.0, 0.15);
+}
+
+TEST_F(PipelineTest, InstantiationFromMatchedDataWorks) {
+  HybridParams params;
+  params.beta = 10;
+  core::InstantiationStats stats;
+  const PathWeightFunction wp =
+      InstantiateWeightFunction(*dataset_->graph, *matched_store_, params,
+                                &stats);
+  EXPECT_GT(stats.unit_from_trajectories, 0u);
+  const auto counts = wp.CountByRank(false);
+  ASSERT_TRUE(counts.count(1));
+  EXPECT_GT(counts.at(1), 10u);
+}
+
+TEST_F(PipelineTest, EndToEndQueryMatchesGroundTruthOnCoveredPaths) {
+  // Compare the matched-pipeline estimate against the accuracy-optimal
+  // ground truth of the *simulation truth* store, on paths where the
+  // truth store actually has qualified trajectories (elsewhere the
+  // estimate falls back to speed limits by design).
+  HybridParams params;
+  params.beta = 8;
+  const PathWeightFunction wp =
+      InstantiateWeightFunction(*dataset_->graph, *matched_store_, params);
+  core::HybridEstimator od = baselines::MakeOd(wp);
+  baselines::AccuracyOptimal gt(*truth_store_, params);
+
+  const core::TimeBinning binning(params.alpha_minutes);
+  size_t evaluated = 0;
+  double ratio_sum = 0.0;
+  for (size_t i = 0; i < truth_store_->NumTrajectories() && evaluated < 10;
+       ++i) {
+    const auto& t = truth_store_->trajectory(i);
+    if (t.path.size() < 6) continue;
+    // Query the hub-side 4-edge window of the trip (commuter flows merge
+    // near hubs, so these windows are the data-rich ones).
+    const size_t start = t.path.size() - 4;
+    const Path window = t.path.Slice(start, 4);
+    const double window_entry = t.edge_enter_times[start];
+    const Interval ij = binning.IntervalOf(binning.IndexOf(window_entry));
+    auto truth = gt.GroundTruth(window, ij);
+    if (!truth.ok()) continue;  // window not data-covered
+    auto est = od.EstimateCostDistribution(window, window_entry);
+    ASSERT_TRUE(est.ok());
+    ratio_sum += est.value().Mean() / truth.value().Mean();
+    ++evaluated;
+  }
+  ASSERT_GE(evaluated, 3u);
+  EXPECT_NEAR(ratio_sum / static_cast<double>(evaluated), 1.0, 0.35);
+}
+
+TEST_F(PipelineTest, MatchedAndTruthUnitVariablesAgree) {
+  // Unit-variable means derived via the GPS+matching pipeline should be
+  // close to those derived from the simulation truth.
+  HybridParams params;
+  params.beta = 8;
+  const PathWeightFunction wp_matched =
+      InstantiateWeightFunction(*dataset_->graph, *matched_store_, params);
+  const PathWeightFunction wp_truth =
+      InstantiateWeightFunction(*dataset_->graph, *truth_store_, params);
+  size_t compared = 0;
+  double err_sum = 0.0;
+  for (const auto& v : wp_truth.variables()) {
+    if (v.from_speed_limit || v.rank() != 1) continue;
+    const auto* m = wp_matched.Lookup(v.path, v.interval);
+    if (m == nullptr || m->from_speed_limit) continue;
+    auto truth_marg = v.joint.Marginal1D(0);
+    auto matched_marg = m->joint.Marginal1D(0);
+    if (!truth_marg.ok() || !matched_marg.ok()) continue;
+    err_sum += std::fabs(matched_marg.value().Mean() -
+                         truth_marg.value().Mean()) /
+               truth_marg.value().Mean();
+    ++compared;
+  }
+  ASSERT_GT(compared, 5u);
+  EXPECT_LT(err_sum / static_cast<double>(compared), 0.25);
+}
+
+}  // namespace
+}  // namespace pcde

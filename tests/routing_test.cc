@@ -1,0 +1,208 @@
+// Tests for the DFS stochastic router (Sec. 4.3 / Fig. 18): probability
+// maximization under a travel-time budget, risk-aware path choice (the
+// Fig. 1(a) scenario), pruning, and estimator interchangeability.
+#include <gtest/gtest.h>
+
+#include "baselines/methods.h"
+#include "core/instantiation.h"
+#include "hist/histogram_nd.h"
+#include "roadnet/generators.h"
+#include "routing/stochastic_router.h"
+#include "traj/store.h"
+
+namespace pcde {
+namespace routing {
+namespace {
+
+using core::EstimateOptions;
+using core::InstantiatedVariable;
+using core::PathWeightFunction;
+using core::TimeBinning;
+using hist::Histogram1D;
+using hist::HistogramND;
+using roadnet::EdgeId;
+using roadnet::Graph;
+using roadnet::Path;
+using roadnet::VertexId;
+
+/// The Fig. 1(a) scenario as a diamond graph:
+///   s -> m1 -> t  ("P1", reliable: 48..56 min total)
+///   s -> m2 -> t  ("P2", risky: usually 40..55, sometimes 65..80)
+struct DiamondFixture {
+  Graph g;
+  VertexId s, m1, m2, t;
+  EdgeId p1a, p1b, p2a, p2b;
+  PathWeightFunction wp{TimeBinning(30.0)};
+
+  DiamondFixture() {
+    s = g.AddVertex(0, 0);
+    m1 = g.AddVertex(1000, 500);
+    m2 = g.AddVertex(1000, -500);
+    t = g.AddVertex(2000, 0);
+    p1a = g.AddEdge(s, m1, 1200, 13.9).value();
+    p1b = g.AddEdge(m1, t, 1200, 13.9).value();
+    p2a = g.AddEdge(s, m2, 1200, 13.9).value();
+    p2b = g.AddEdge(m2, t, 1200, 13.9).value();
+
+    auto add_unit = [&](EdgeId e, Histogram1D h) {
+      InstantiatedVariable v;
+      v.path = Path({e});
+      v.interval = core::kAllDayInterval;  // valid at any departure
+      v.joint = HistogramND::FromHistogram1D(std::move(h));
+      v.support = 0;
+      v.from_speed_limit = true;
+      wp.Add(std::move(v));
+    };
+    // P1 edges: 24..28 min each (reliable).
+    const Histogram1D reliable =
+        Histogram1D::Make({{24 * 60.0, 28 * 60.0, 1.0}}).value();
+    add_unit(p1a, reliable);
+    add_unit(p1b, reliable);
+    // P2 edges: 90%: 20..27.5 min, 10%: 32.5..40 min.
+    const Histogram1D risky =
+        Histogram1D::Make({{20 * 60.0, 27.5 * 60.0, 0.9},
+                           {32.5 * 60.0, 40 * 60.0, 0.1}})
+            .value();
+    add_unit(p2a, risky);
+    add_unit(p2b, risky);
+  }
+};
+
+TEST(RouterTest, PrefersReliablePathUnderTightBudget) {
+  DiamondFixture f;
+  DfsStochasticRouter router(f.g, f.wp, EstimateOptions());
+  // 60-minute budget: P1 always makes it; P2 misses when a slow mode hits.
+  auto result = router.Route(f.s, f.t, 8 * 3600.0, 60 * 60.0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().best_path, Path({f.p1a, f.p1b}));
+  EXPECT_NEAR(result.value().best_probability, 1.0, 1e-9);
+  EXPECT_EQ(result.value().candidate_paths, 2u);
+}
+
+TEST(RouterTest, PrefersFastPathUnderLooseRiskTradeoff) {
+  DiamondFixture f;
+  DfsStochasticRouter router(f.g, f.wp, EstimateOptions());
+  // 50-minute budget: P1 can NEVER make it (min 48·… wait: P1 total is
+  // 48..56 min, so P(<=50) ~ 0.2-ish); P2 makes it with ~0.81 when both
+  // edges stay in the fast mode and partial credit otherwise.
+  auto result = router.Route(f.s, f.t, 8 * 3600.0, 50 * 60.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().best_path, Path({f.p2a, f.p2b}));
+  EXPECT_GT(result.value().best_probability, 0.5);
+}
+
+TEST(RouterTest, InfeasibleBudgetIsNotFound) {
+  DiamondFixture f;
+  DfsStochasticRouter router(f.g, f.wp, EstimateOptions());
+  auto result = router.Route(f.s, f.t, 8 * 3600.0, 10 * 60.0);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RouterTest, UnreachableDestination) {
+  DiamondFixture f;
+  const VertexId lonely = f.g.AddVertex(9999, 9999);
+  DfsStochasticRouter router(f.g, f.wp, EstimateOptions());
+  EXPECT_FALSE(router.Route(f.s, lonely, 0.0, 3600.0).ok());
+}
+
+TEST(RouterTest, TrivialAndInvalidQueries) {
+  DiamondFixture f;
+  DfsStochasticRouter router(f.g, f.wp, EstimateOptions());
+  EXPECT_FALSE(router.Route(f.s, f.s, 0.0, 3600.0).ok());
+  EXPECT_FALSE(router.Route(999, f.t, 0.0, 3600.0).ok());
+}
+
+TEST(RouterTest, ProbabilityMonotoneInBudget) {
+  DiamondFixture f;
+  DfsStochasticRouter router(f.g, f.wp, EstimateOptions());
+  double prev = 0.0;
+  for (double budget_min : {52.0, 55.0, 58.0, 62.0}) {
+    auto result = router.Route(f.s, f.t, 8 * 3600.0, budget_min * 60.0);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result.value().best_probability, prev - 1e-9);
+    prev = result.value().best_probability;
+  }
+}
+
+// On a real city with speed-limit fallbacks only, the router must find
+// budget-feasible paths and pruning must keep the search bounded.
+class CityRoutingTest : public ::testing::Test {
+ protected:
+  CityRoutingTest()
+      : graph_(roadnet::MakeCity(roadnet::CityAConfig())),
+        wp_(core::InstantiateWeightFunction(graph_, traj::TrajectoryStore(),
+                                            core::HybridParams())) {}
+  Graph graph_;
+  PathWeightFunction wp_;
+};
+
+TEST_F(CityRoutingTest, FindsPathWithinGenerousBudget) {
+  DfsStochasticRouter router(graph_, wp_, EstimateOptions());
+  const VertexId from = 0;
+  const VertexId to = 30;
+  const double min_time =
+      roadnet::ShortestPathCost(graph_, from, to, roadnet::FreeFlowWeight(graph_));
+  ASSERT_LT(min_time, roadnet::kInfCost);
+  auto result = router.Route(from, to, 8 * 3600.0, min_time * 1.3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().best_probability, 0.0);
+  EXPECT_FALSE(result.value().best_path.empty());
+  EXPECT_TRUE(roadnet::ValidatePath(graph_, result.value().best_path.edges()).ok());
+}
+
+TEST_F(CityRoutingTest, TighterBudgetPrunesHarder) {
+  DfsStochasticRouter router(graph_, wp_, EstimateOptions());
+  const VertexId from = 0;
+  const VertexId to = 60;
+  const double min_time =
+      roadnet::ShortestPathCost(graph_, from, to, roadnet::FreeFlowWeight(graph_));
+  auto tight = router.Route(from, to, 8 * 3600.0, min_time * 1.1);
+  auto loose = router.Route(from, to, 8 * 3600.0, min_time * 1.6);
+  ASSERT_TRUE(tight.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_LT(tight.value().expansions, loose.value().expansions);
+}
+
+TEST_F(CityRoutingTest, ExpansionCapTruncatesGracefully) {
+  RouterConfig config;
+  config.max_expansions = 50;
+  DfsStochasticRouter router(graph_, wp_, EstimateOptions(), config);
+  const VertexId from = 0;
+  const VertexId to = static_cast<VertexId>(graph_.NumVertices() - 1);
+  const double min_time =
+      roadnet::ShortestPathCost(graph_, from, to, roadnet::FreeFlowWeight(graph_));
+  auto result = router.Route(from, to, 8 * 3600.0, min_time * 2.0);
+  // Either a (possibly suboptimal) path was found before the cap, or the
+  // cap fired without a result; both must be reported coherently.
+  if (result.ok()) {
+    EXPECT_LE(result.value().expansions, 50u);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  }
+}
+
+TEST_F(CityRoutingTest, EstimatorPoliciesInterchangeable) {
+  const VertexId from = 5;
+  const VertexId to = 40;
+  const double min_time =
+      roadnet::ShortestPathCost(graph_, from, to, roadnet::FreeFlowWeight(graph_));
+  for (auto policy :
+       {core::DecompositionPolicy::kCoarsest, core::DecompositionPolicy::kUnit,
+        core::DecompositionPolicy::kPairwise}) {
+    EstimateOptions options;
+    options.policy = policy;
+    options.rank_cap =
+        policy == core::DecompositionPolicy::kUnit
+            ? 1
+            : (policy == core::DecompositionPolicy::kPairwise ? 2 : 0);
+    DfsStochasticRouter router(graph_, wp_, options);
+    auto result = router.Route(from, to, 8 * 3600.0, min_time * 1.25);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result.value().best_probability, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace routing
+}  // namespace pcde

@@ -1,0 +1,402 @@
+// Unit tests for the trajectory substrate: the traffic model's designed
+// pathologies (time variation, inter-edge dependence, multi-modality), the
+// trip/GPS generator, and the trajectory store — including the paper's
+// Fig. 2 qualified-trajectory example.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/mathutil.h"
+#include "roadnet/generators.h"
+#include "traj/generator.h"
+#include "traj/store.h"
+#include "traj/traffic_model.h"
+#include "traj/types.h"
+
+namespace pcde {
+namespace traj {
+namespace {
+
+using roadnet::EdgeId;
+using roadnet::Graph;
+using roadnet::Path;
+using roadnet::VertexId;
+
+// ---------------------------------------------------------------------------
+// TrafficModel
+// ---------------------------------------------------------------------------
+
+class TrafficModelTest : public ::testing::Test {
+ protected:
+  TrafficModelTest()
+      : graph_(roadnet::MakeCity(roadnet::CityAConfig())),
+        model_(graph_, TrafficConfig()) {}
+  Graph graph_;
+  TrafficModel model_;
+};
+
+TEST_F(TrafficModelTest, RushHourCongestsMoreThanNight) {
+  const EdgeId e = 0;
+  EXPECT_GT(model_.CongestionFactor(e, HoursToSeconds(8.0)),
+            model_.CongestionFactor(e, HoursToSeconds(3.0)));
+  EXPECT_GT(model_.CongestionFactor(e, HoursToSeconds(17.0)),
+            model_.CongestionFactor(e, HoursToSeconds(12.5)));
+  EXPECT_GE(model_.CongestionFactor(e, HoursToSeconds(3.0)), 1.0);
+}
+
+TEST_F(TrafficModelTest, SampleAboveHalfFreeFlow) {
+  Rng rng(61);
+  const TripContext ctx = model_.SampleTrip(&rng);
+  for (EdgeId e = 0; e < 20; ++e) {
+    const double t = model_.SampleTravelSeconds(e, roadnet::kInvalidEdge,
+                                                HoursToSeconds(10), ctx, &rng);
+    EXPECT_GT(t, 0.5 * graph_.edge(e).FreeFlowSeconds());
+  }
+}
+
+TEST_F(TrafficModelTest, DeterministicUnderSeed) {
+  TrafficModel m1(graph_, TrafficConfig());
+  TrafficModel m2(graph_, TrafficConfig());
+  EXPECT_DOUBLE_EQ(m1.CongestionFactor(5, HoursToSeconds(8)),
+                   m2.CongestionFactor(5, HoursToSeconds(8)));
+}
+
+TEST_F(TrafficModelTest, DriverFactorSharedAcrossTripInducesCorrelation) {
+  // Sample many trips over the same two-edge path at the same time; the
+  // per-trip driver/incident factors must induce positive correlation
+  // between the two edge costs — the Fig. 4 phenomenon.
+  Rng rng(62);
+  EdgeId e1 = roadnet::kInvalidEdge, e2 = roadnet::kInvalidEdge;
+  for (EdgeId e = 0; e < graph_.NumEdges(); ++e) {
+    for (EdgeId f : graph_.OutEdges(graph_.edge(e).to)) {
+      if (graph_.edge(f).to != graph_.edge(e).from) {
+        e1 = e;
+        e2 = f;
+        break;
+      }
+    }
+    if (e1 != roadnet::kInvalidEdge) break;
+  }
+  ASSERT_NE(e1, roadnet::kInvalidEdge);
+  SampleStats s1, s2;
+  double cross = 0.0;
+  const int n = 4000;
+  std::vector<double> c1s, c2s;
+  for (int i = 0; i < n; ++i) {
+    const TripContext ctx = model_.SampleTrip(&rng);
+    const double t0 = HoursToSeconds(8);
+    const double c1 =
+        model_.SampleTravelSeconds(e1, roadnet::kInvalidEdge, t0, ctx, &rng);
+    const double c2 = model_.SampleTravelSeconds(e2, e1, t0 + c1, ctx, &rng);
+    s1.Add(c1);
+    s2.Add(c2);
+    c1s.push_back(c1);
+    c2s.push_back(c2);
+  }
+  for (int i = 0; i < n; ++i) {
+    cross += (c1s[i] - s1.mean) * (c2s[i] - s2.mean);
+  }
+  const double corr = cross / n / (s1.Stddev() * s2.Stddev());
+  EXPECT_GT(corr, 0.15);
+}
+
+TEST_F(TrafficModelTest, TurnClassesOnCross) {
+  // Build a plus-shaped intersection to test geometry classification.
+  Graph g;
+  const VertexId c = g.AddVertex(0, 0);
+  const VertexId w = g.AddVertex(-100, 0);
+  const VertexId e = g.AddVertex(100, 0);
+  const VertexId n = g.AddVertex(0, 100);
+  const VertexId s = g.AddVertex(0, -100);
+  const EdgeId in = g.AddEdge(w, c, 100, 13.9).value();     // heading east
+  const EdgeId straight = g.AddEdge(c, e, 100, 13.9).value();
+  const EdgeId left = g.AddEdge(c, n, 100, 13.9).value();   // turn north
+  const EdgeId right = g.AddEdge(c, s, 100, 13.9).value();  // turn south
+  const EdgeId back = g.AddEdge(c, w, 100, 13.9).value();   // U-turn
+  TrafficModel m(g, TrafficConfig());
+  EXPECT_EQ(m.TurnClass(in, straight), 0);
+  EXPECT_EQ(m.TurnClass(in, left), 2);
+  EXPECT_EQ(m.TurnClass(in, right), 1);
+  EXPECT_EQ(m.TurnClass(in, back), 3);
+  EXPECT_EQ(m.TurnClass(roadnet::kInvalidEdge, straight), 0);
+}
+
+TEST_F(TrafficModelTest, EntryDelayDependsOnPreviousEdge) {
+  // Expected traversal entered via a left turn must exceed trip-start
+  // traversal: the path-dependent cost component per-edge models cannot
+  // see. Use a plus intersection so the turn geometry is unambiguous.
+  Graph g;
+  const VertexId c = g.AddVertex(0, 0);
+  const VertexId w = g.AddVertex(-100, 0);
+  const VertexId n = g.AddVertex(0, 100);
+  const EdgeId in = g.AddEdge(w, c, 100, 13.9).value();
+  const EdgeId left = g.AddEdge(c, n, 100, 13.9).value();
+  TrafficModel m(g, TrafficConfig());
+  EXPECT_GT(m.ExpectedTravelSeconds(left, in, HoursToSeconds(8)),
+            m.ExpectedTravelSeconds(left, roadnet::kInvalidEdge,
+                                    HoursToSeconds(8)) +
+                5.0);
+}
+
+TEST_F(TrafficModelTest, EmissionsPositiveAndScaleWithIncidents) {
+  TripContext normal;
+  TripContext incident;
+  incident.incident_factor = 2.0;
+  const double g_normal = model_.EmissionGrams(0, 30.0, normal);
+  EXPECT_GT(g_normal, 0.0);
+  EXPECT_GT(model_.EmissionGrams(0, 30.0, incident), g_normal);
+  EXPECT_DOUBLE_EQ(model_.EmissionGrams(0, 0.0, normal), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorTest, TripsAreValidAndConsistent) {
+  Dataset ds = MakeDatasetA(300);
+  ASSERT_GE(ds.trips.size(), 290u);
+  for (const GeneratedTrip& trip : ds.trips) {
+    const MatchedTrajectory& t = trip.truth;
+    ASSERT_GT(t.NumEdges(), 0u);
+    EXPECT_TRUE(roadnet::ValidatePath(*ds.graph, t.path.edges()).ok());
+    ASSERT_EQ(t.edge_enter_times.size(), t.NumEdges());
+    ASSERT_EQ(t.edge_travel_seconds.size(), t.NumEdges());
+    ASSERT_EQ(t.edge_emission_grams.size(), t.NumEdges());
+    // Enter times are cumulative sums of travel times.
+    for (size_t i = 1; i < t.NumEdges(); ++i) {
+      EXPECT_NEAR(t.edge_enter_times[i],
+                  t.edge_enter_times[i - 1] + t.edge_travel_seconds[i - 1],
+                  1e-6);
+      EXPECT_GT(t.edge_travel_seconds[i], 0.0);
+    }
+    EXPECT_GE(t.DepartureTime(), 0.0);
+    EXPECT_LT(t.DepartureTime(), kSecondsPerDay);
+  }
+}
+
+TEST(GeneratorTest, DeterministicUnderSeed) {
+  Dataset a = MakeDatasetA(50);
+  Dataset b = MakeDatasetA(50);
+  ASSERT_EQ(a.trips.size(), b.trips.size());
+  for (size_t i = 0; i < a.trips.size(); ++i) {
+    EXPECT_EQ(a.trips[i].truth.path, b.trips[i].truth.path);
+    EXPECT_DOUBLE_EQ(a.trips[i].truth.DepartureTime(),
+                     b.trips[i].truth.DepartureTime());
+  }
+}
+
+TEST(GeneratorTest, DepartureMixtureHitsRushHours) {
+  Dataset ds = MakeDatasetA(2000);
+  size_t morning = 0, night = 0;
+  for (const auto& trip : ds.trips) {
+    const double h = trip.truth.DepartureTime() / 3600.0;
+    morning += h >= 7.0 && h < 9.5 ? 1 : 0;
+    night += h < 5.0 ? 1 : 0;
+  }
+  EXPECT_GT(morning, ds.trips.size() / 5);  // rush-hour heavy
+  EXPECT_LT(night, ds.trips.size() / 20);   // few night trips
+}
+
+TEST(GeneratorTest, HubDemandRepeatsSubPaths) {
+  // Commuter flows converge on hubs, so 3-edge windows near hubs must be
+  // traversed by many trips — the precondition for instantiating
+  // high-rank variables (Fig. 10).
+  Dataset ds = MakeDatasetA(2000);
+  std::unordered_map<Path, size_t, roadnet::PathHash> counts;
+  for (const auto& trip : ds.trips) {
+    const Path& p = trip.truth.path;
+    for (size_t i = 0; i + 3 <= p.size(); ++i) counts[p.Slice(i, 3)] += 1;
+  }
+  size_t max_count = 0;
+  for (const auto& [p, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 60u);
+
+  // And routes must join corridors at many points: the most popular
+  // window's trips should come from several distinct full paths.
+  Path top;
+  for (const auto& [p, c] : counts) {
+    if (c == max_count) top = p;
+  }
+  std::set<std::vector<roadnet::EdgeId>> distinct_routes;
+  for (const auto& trip : ds.trips) {
+    if (trip.truth.path.ContainsSubPath(top)) {
+      distinct_routes.insert(trip.truth.path.edges());
+    }
+  }
+  EXPECT_GT(distinct_routes.size(), 5u);
+}
+
+TEST(GeneratorTest, GpsEmissionTracksPath) {
+  Dataset ds = MakeDatasetA(30, /*emit_gps=*/true);
+  size_t with_gps = 0;
+  for (const auto& trip : ds.trips) {
+    if (trip.gps.records.empty()) continue;
+    ++with_gps;
+    // 1 Hz sampling: roughly one record per second of travel.
+    const double duration = trip.truth.TotalSeconds();
+    EXPECT_NEAR(static_cast<double>(trip.gps.records.size()), duration,
+                duration * 0.2 + 3.0);
+    // Records in time order and near the path (10 sigma bound).
+    for (size_t i = 1; i < trip.gps.records.size(); ++i) {
+      EXPECT_GT(trip.gps.records[i].time, trip.gps.records[i - 1].time);
+    }
+    double max_dist = 0.0;
+    for (const GpsRecord& r : trip.gps.records) {
+      double best = 1e30;
+      for (EdgeId e : trip.truth.path) {
+        best = std::min(best, ds.graph->DistanceToEdge(e, r.x, r.y));
+      }
+      max_dist = std::max(max_dist, best);
+    }
+    EXPECT_LT(max_dist, 50.0);
+  }
+  EXPECT_EQ(with_gps, ds.trips.size());
+}
+
+TEST(GeneratorTest, GenerateOnPathUsesGivenPath) {
+  Dataset ds = MakeDatasetA(10);
+  TrajectoryGenerator gen(*ds.traffic, ds.generator_config);
+  Rng rng(63);
+  const Path path = ds.trips[0].truth.path;
+  const GeneratedTrip trip = gen.GenerateOnPath(path, HoursToSeconds(9), &rng);
+  EXPECT_EQ(trip.truth.path, path);
+  EXPECT_DOUBLE_EQ(trip.truth.DepartureTime(), HoursToSeconds(9));
+}
+
+TEST(GeneratorTest, MatchedSliceFractions) {
+  Dataset ds = MakeDatasetA(100);
+  EXPECT_EQ(ds.MatchedSlice(0.25).size(), ds.trips.size() / 4);
+  EXPECT_EQ(ds.MatchedSlice(1.0).size(), ds.trips.size());
+}
+
+TEST(GeneratorTest, DatasetBIsSparserSampled) {
+  Dataset b = MakeDatasetB(20, /*emit_gps=*/true);
+  for (const auto& trip : b.trips) {
+    if (trip.gps.records.size() < 2) continue;
+    const double gap =
+        trip.gps.records[1].time - trip.gps.records[0].time;
+    EXPECT_NEAR(gap, 5.0, 1e-9);  // 0.2 Hz
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TrajectoryStore — the paper's Fig. 2 example.
+// ---------------------------------------------------------------------------
+
+/// Builds the Fig. 2 trajectories T1..T10 over a graph shaped like the
+/// paper's example (e1..e4 chain; e4-e5 adjacent; e6-e5 adjacent).
+class PaperStoreTest : public ::testing::Test {
+ protected:
+  PaperStoreTest() {
+    va_ = g_.AddVertex(0, 0);
+    vb_ = g_.AddVertex(100, 0);
+    vc_ = g_.AddVertex(200, 0);
+    vd_ = g_.AddVertex(300, 0);
+    ve_ = g_.AddVertex(400, 0);
+    vf_ = g_.AddVertex(500, 0);
+    vg_ = g_.AddVertex(400, 100);
+    e1_ = g_.AddEdge(va_, vb_, 100, 13.9).value();
+    e2_ = g_.AddEdge(vb_, vc_, 100, 13.9).value();
+    e3_ = g_.AddEdge(vc_, vd_, 100, 13.9).value();
+    e4_ = g_.AddEdge(vd_, ve_, 100, 13.9).value();
+    e5_ = g_.AddEdge(ve_, vf_, 100, 13.9).value();
+    e6_ = g_.AddEdge(vg_, ve_, 100, 13.9).value();
+
+    auto add = [&](uint64_t id, std::vector<EdgeId> edges, double depart_h,
+                   double depart_min) {
+      MatchedTrajectory t;
+      t.id = id;
+      t.path = Path(std::move(edges));
+      double at = HoursToSeconds(depart_h) + MinutesToSeconds(depart_min);
+      for (size_t i = 0; i < t.path.size(); ++i) {
+        t.edge_enter_times.push_back(at);
+        t.edge_travel_seconds.push_back(30.0);
+        t.edge_emission_grams.push_back(10.0);
+        at += 30.0;
+      }
+      store_.Add(std::move(t));
+    };
+    // The Fig. 2(b) table.
+    add(1, {e1_, e2_, e3_, e4_}, 8, 1);
+    add(2, {e1_, e2_, e3_, e4_}, 8, 2);
+    add(3, {e1_, e2_, e3_}, 8, 10);
+    add(4, {e1_, e2_, e3_}, 8, 7);
+    add(5, {e2_, e3_, e4_}, 8, 1);
+    add(6, {e2_, e3_, e4_}, 8, 10);
+    add(7, {e2_, e3_, e4_}, 15, 21);
+    add(8, {e4_, e5_}, 8, 7);
+    add(9, {e4_, e5_}, 8, 7);
+    add(10, {e6_, e5_}, 8, 8);
+  }
+
+  Graph g_;
+  VertexId va_, vb_, vc_, vd_, ve_, vf_, vg_;
+  EdgeId e1_, e2_, e3_, e4_, e5_, e6_;
+  TrajectoryStore store_;
+};
+
+TEST_F(PaperStoreTest, QualifiedTrajectoriesMatchPaperExample) {
+  // Sec. 2.2: "to estimate <e2,e3,e4> at 8:05 (threshold 30 min), T1, T2,
+  // T5, T6 are qualified, but not T7."
+  const Path path({e2_, e3_, e4_});
+  const double t = HoursToSeconds(8) + MinutesToSeconds(5);
+  const Interval window(t - MinutesToSeconds(30), t + MinutesToSeconds(30));
+  const auto qualified = store_.FindQualified(path, window);
+  ASSERT_EQ(qualified.size(), 4u);
+  std::set<uint64_t> ids;
+  for (const auto& occ : qualified) ids.insert(store_.trajectory(occ.traj_index).id);
+  EXPECT_EQ(ids, (std::set<uint64_t>{1, 2, 5, 6}));
+}
+
+TEST_F(PaperStoreTest, OccurrenceEntryTimesShiftWithPosition) {
+  // T1 occurred on <e2,e3,e4> 30 s after its 8:01 departure.
+  const auto occs = store_.FindOccurrences(Path({e2_, e3_, e4_}));
+  for (const auto& occ : occs) {
+    if (store_.trajectory(occ.traj_index).id == 1) {
+      EXPECT_EQ(occ.pos, 1u);
+      EXPECT_DOUBLE_EQ(occ.entry_time,
+                       HoursToSeconds(8) + MinutesToSeconds(1) + 30.0);
+    }
+  }
+}
+
+TEST_F(PaperStoreTest, TrajectoryOccursOnItsSubPathsOnly) {
+  EXPECT_EQ(store_.FindOccurrences(Path({e1_, e2_, e3_, e4_})).size(), 2u);
+  EXPECT_EQ(store_.FindOccurrences(Path({e1_, e2_, e3_})).size(), 4u);
+  EXPECT_EQ(store_.FindOccurrences(Path({e4_, e5_})).size(), 2u);
+  EXPECT_EQ(store_.FindOccurrences(Path({e5_})).size(), 3u);
+  EXPECT_EQ(store_.FindOccurrences(Path({e1_, e3_})).size(), 0u);
+  // <e3,e4,e5> is not a sub-path of any trajectory (no one continued).
+  EXPECT_EQ(store_.FindOccurrences(Path({e3_, e4_, e5_})).size(), 0u);
+}
+
+TEST_F(PaperStoreTest, CostMatrixShapesAndSums) {
+  const Path path({e2_, e3_, e4_});
+  const auto occs = store_.FindOccurrences(path);
+  const auto rows = store_.CostMatrix(path, occs);
+  ASSERT_EQ(rows.size(), occs.size());
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.size(), 3u);
+    for (double c : row) EXPECT_DOUBLE_EQ(c, 30.0);
+  }
+  const auto totals = store_.TotalCosts(path, occs);
+  for (double t : totals) EXPECT_DOUBLE_EQ(t, 90.0);
+}
+
+TEST_F(PaperStoreTest, EdgeObservations) {
+  EXPECT_TRUE(store_.EdgeObserved(e1_));
+  EXPECT_TRUE(store_.EdgeObserved(e6_));
+  EXPECT_EQ(store_.NumObservedEdges(), 6u);
+}
+
+TEST_F(PaperStoreTest, EmissionCostTypeSelectsOtherVector) {
+  const Path path({e4_, e5_});
+  const auto occs = store_.FindOccurrences(path);
+  const auto totals = store_.TotalCosts(path, occs, CostType::kEmissionGrams);
+  for (double t : totals) EXPECT_DOUBLE_EQ(t, 20.0);
+}
+
+}  // namespace
+}  // namespace traj
+}  // namespace pcde

@@ -1,0 +1,292 @@
+// Unit tests for V-Optimal histogram construction and the paper's Auto
+// bucket-count selection (Sec. 3.1, Fig. 5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "hist/raw_distribution.h"
+#include "hist/voptimal.h"
+
+namespace pcde {
+namespace hist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RawDistribution
+// ---------------------------------------------------------------------------
+
+TEST(RawDistributionTest, TalliesGridCells) {
+  const RawDistribution raw =
+      RawDistribution::FromSamples({1.2, 1.7, 2.3, 2.9, 2.1, 5.0}, 1.0);
+  EXPECT_EQ(raw.SampleCount(), 6u);
+  EXPECT_EQ(raw.NumDistinct(), 3u);  // cells 1, 2, 5
+  EXPECT_NEAR(raw.ProbAt(1.0), 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(raw.ProbAt(2.5), 3.0 / 6.0, 1e-12);  // same cell as 2.0
+  EXPECT_NEAR(raw.ProbAt(5.9), 1.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(raw.ProbAt(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(raw.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(raw.Max(), 6.0);
+}
+
+TEST(RawDistributionTest, CoarserResolution) {
+  const RawDistribution raw =
+      RawDistribution::FromSamples({12.0, 13.0, 17.0, 22.0}, 5.0);
+  EXPECT_EQ(raw.NumDistinct(), 3u);  // cells 10, 15, 20
+  EXPECT_NEAR(raw.ProbAt(14.0), 0.5, 1e-12);
+}
+
+TEST(RawDistributionTest, ExactHistogramRoundTrip) {
+  const RawDistribution raw =
+      RawDistribution::FromSamples({1.0, 1.0, 3.0, 3.0, 3.0, 8.0}, 1.0);
+  auto h = raw.ToExactHistogram();
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().NumBuckets(), 3u);
+  EXPECT_NEAR(h.value().Mass(Interval(3.0, 4.0)), 0.5, 1e-12);
+}
+
+TEST(RawDistributionTest, SquaredErrorZeroForExactHistogram) {
+  const RawDistribution raw =
+      RawDistribution::FromSamples({1.0, 2.0, 2.0, 7.0}, 1.0);
+  auto h = raw.ToExactHistogram();
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(raw.SquaredError(h.value()), 0.0, 1e-12);
+}
+
+TEST(RawDistributionTest, SquaredErrorPositiveForCoarseHistogram) {
+  const RawDistribution raw =
+      RawDistribution::FromSamples({1.0, 1.0, 1.0, 9.0}, 1.0);
+  const Histogram1D coarse = Histogram1D::Single(1.0, 10.0);
+  EXPECT_GT(raw.SquaredError(coarse), 0.1);
+}
+
+TEST(RawDistributionTest, MemoryIsTwoDoublesPerDistinctValue) {
+  const RawDistribution raw =
+      RawDistribution::FromSamples({1.0, 2.0, 3.0, 4.0}, 1.0);
+  EXPECT_EQ(raw.MemoryUsageBytes(), 4u * 16u);
+}
+
+// ---------------------------------------------------------------------------
+// VOptimalPartition: compare the DP against brute force on small inputs.
+// ---------------------------------------------------------------------------
+
+double PartitionError(const std::vector<double>& probs,
+                      const std::vector<size_t>& starts) {
+  double total = 0.0;
+  for (size_t k = 0; k < starts.size(); ++k) {
+    const size_t first = starts[k];
+    const size_t last = k + 1 < starts.size() ? starts[k + 1] : probs.size();
+    double mean = 0.0;
+    for (size_t i = first; i < last; ++i) mean += probs[i];
+    mean /= static_cast<double>(last - first);
+    for (size_t i = first; i < last; ++i) {
+      total += (probs[i] - mean) * (probs[i] - mean);
+    }
+  }
+  return total;
+}
+
+double BruteForceBest(const std::vector<double>& probs, size_t b,
+                      std::vector<size_t>* best_starts) {
+  const size_t n = probs.size();
+  double best = std::numeric_limits<double>::infinity();
+  // Enumerate all boundary placements via bitmasks over the n-1 gaps.
+  for (uint32_t mask = 0; mask < (1u << (n - 1)); ++mask) {
+    if (static_cast<size_t>(__builtin_popcount(mask)) != b - 1) continue;
+    std::vector<size_t> starts{0};
+    for (size_t i = 0; i + 1 < n; ++i) {
+      if (mask & (1u << i)) starts.push_back(i + 1);
+    }
+    const double err = PartitionError(probs, starts);
+    if (err < best) {
+      best = err;
+      *best_starts = starts;
+    }
+  }
+  return best;
+}
+
+class VOptimalBruteForce
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(VOptimalBruteForce, MatchesBruteForceError) {
+  const auto [seed, b] = GetParam();
+  Rng rng(seed);
+  const size_t n = 4 + static_cast<size_t>(rng.UniformInt(0, 8));
+  std::vector<double> probs(n);
+  for (double& p : probs) p = rng.Uniform(0.0, 1.0);
+  if (b > n) return;
+  const std::vector<size_t> dp = VOptimalPartition(probs, b);
+  std::vector<size_t> bf_starts;
+  const double bf = BruteForceBest(probs, b, &bf_starts);
+  EXPECT_NEAR(PartitionError(probs, dp), bf, 1e-9) << "n=" << n << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VOptimalBruteForce,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(2, 3, 4)));
+
+TEST(VOptimalTest, SingleBucketIsWholeRange) {
+  EXPECT_EQ(VOptimalPartition({0.1, 0.2, 0.7}, 1), std::vector<size_t>{0});
+}
+
+TEST(VOptimalTest, MoreBucketsThanValuesClamped) {
+  const auto starts = VOptimalPartition({0.5, 0.5}, 10);
+  EXPECT_EQ(starts.size(), 2u);
+}
+
+TEST(VOptimalTest, PerfectSplitOnTwoLevels) {
+  // Probabilities form two flat plateaus; two buckets should split exactly
+  // between them (zero error).
+  const std::vector<double> probs = {0.05, 0.05, 0.05, 0.25, 0.25, 0.35};
+  const auto starts = VOptimalPartition(probs, 2);
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], 0u);
+  EXPECT_EQ(starts[1], 3u);
+}
+
+// ---------------------------------------------------------------------------
+// BuildVOptimalHistogram
+// ---------------------------------------------------------------------------
+
+TEST(VOptimalHistogramTest, BucketBoundsAndMass) {
+  // Values 10,11,12 with mass 0.2 each; value 50 with mass 0.4.
+  std::vector<double> samples;
+  for (int i = 0; i < 2; ++i) {
+    samples.push_back(10);
+    samples.push_back(11);
+    samples.push_back(12);
+  }
+  samples.insert(samples.end(), 4, 50.0);
+  const RawDistribution raw = RawDistribution::FromSamples(samples, 1.0);
+  auto h = BuildVOptimalHistogram(raw, 2);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(h.value().NumBuckets(), 2u);
+  EXPECT_DOUBLE_EQ(h.value().bucket(0).range.lo, 10.0);
+  EXPECT_DOUBLE_EQ(h.value().bucket(0).range.hi, 13.0);  // last value + res
+  EXPECT_NEAR(h.value().bucket(0).prob, 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(h.value().bucket(1).range.lo, 50.0);
+  EXPECT_DOUBLE_EQ(h.value().bucket(1).range.hi, 51.0);
+  EXPECT_NEAR(h.value().bucket(1).prob, 0.4, 1e-12);
+}
+
+TEST(VOptimalHistogramTest, EmptyInputRejected) {
+  EXPECT_FALSE(BuildVOptimalHistogram(RawDistribution(), 3).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation error and Auto selection
+// ---------------------------------------------------------------------------
+
+std::vector<double> BimodalSamples(size_t n, Rng* rng) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs.push_back(rng->Bernoulli(0.6) ? rng->Gaussian(100, 4)
+                                     : rng->Gaussian(140, 5));
+  }
+  return xs;
+}
+
+TEST(CrossValidationTest, ErrorDecreasesWithBuckets) {
+  Rng rng(31);
+  const std::vector<double> xs = BimodalSamples(400, &rng);
+  AutoBucketOptions opt;
+  const double e1 = CrossValidationError(xs, 1, opt);
+  const double e4 = CrossValidationError(xs, 4, opt);
+  EXPECT_GT(e1, e4);
+}
+
+TEST(AutoSelectTest, BimodalNeedsMultipleBuckets) {
+  Rng rng(32);
+  const std::vector<double> xs = BimodalSamples(500, &rng);
+  AutoBucketOptions opt;
+  std::vector<double> series;
+  const size_t b = AutoSelectBucketCount(xs, opt, &series);
+  EXPECT_GE(b, 2u);
+  EXPECT_LE(b, opt.max_buckets);
+  ASSERT_GE(series.size(), 2u);
+  EXPECT_GT(series[0], series[1]);  // the elbow: E_b drops sharply first
+}
+
+TEST(AutoSelectTest, ConstantSamplesNeedOneBucket) {
+  const std::vector<double> xs(100, 42.0);
+  AutoBucketOptions opt;
+  EXPECT_EQ(AutoSelectBucketCount(xs, opt), 1u);
+}
+
+TEST(AutoSelectTest, TinySampleFallsBackToOne) {
+  AutoBucketOptions opt;
+  EXPECT_EQ(AutoSelectBucketCount({1.0, 2.0}, opt), 1u);
+}
+
+TEST(AutoHistogramTest, MassSumsToOneAndCoversSupport) {
+  Rng rng(33);
+  const std::vector<double> xs = BimodalSamples(600, &rng);
+  AutoBucketOptions opt;
+  auto h = BuildAutoHistogram(xs, opt);
+  ASSERT_TRUE(h.ok());
+  double total = 0;
+  for (const auto& b : h.value().buckets()) total += b.prob;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  const double xmin = *std::min_element(xs.begin(), xs.end());
+  const double xmax = *std::max_element(xs.begin(), xs.end());
+  EXPECT_LE(h.value().Min(), xmin);
+  EXPECT_GE(h.value().Max(), xmax);
+}
+
+TEST(AutoHistogramTest, ApproximatesBimodalShape) {
+  Rng rng(34);
+  const std::vector<double> xs = BimodalSamples(2000, &rng);
+  AutoBucketOptions opt;
+  auto h = BuildAutoHistogram(xs, opt);
+  ASSERT_TRUE(h.ok());
+  // Mass near each mode should be substantial, the valley nearly empty.
+  EXPECT_GT(h.value().Mass(Interval(90, 110)), 0.4);
+  EXPECT_GT(h.value().Mass(Interval(130, 150)), 0.25);
+  EXPECT_LT(h.value().Mass(Interval(115, 125)), 0.1);
+}
+
+TEST(StaticHistogramTest, ExactBucketCount) {
+  Rng rng(35);
+  const std::vector<double> xs = BimodalSamples(300, &rng);
+  auto h3 = BuildStaticHistogram(xs, 3);
+  auto h4 = BuildStaticHistogram(xs, 4);
+  ASSERT_TRUE(h3.ok());
+  ASSERT_TRUE(h4.ok());
+  EXPECT_EQ(h3.value().NumBuckets(), 3u);
+  EXPECT_EQ(h4.value().NumBuckets(), 4u);
+}
+
+TEST(StaticHistogramTest, MoreBucketsFitRawBetter) {
+  Rng rng(36);
+  const std::vector<double> xs = BimodalSamples(1000, &rng);
+  const RawDistribution raw = RawDistribution::FromSamples(xs, 1.0);
+  auto h2 = BuildStaticHistogram(xs, 2);
+  auto h8 = BuildStaticHistogram(xs, 8);
+  ASSERT_TRUE(h2.ok());
+  ASSERT_TRUE(h8.ok());
+  EXPECT_LE(raw.SquaredError(h8.value()), raw.SquaredError(h2.value()));
+}
+
+// Auto picks a bucket count whose full-data fit is close to the best
+// achievable with a generous fixed budget (the paper's claim that Auto
+// matches Sta-4 in accuracy, Fig. 11b).
+TEST(AutoHistogramTest, CompetitiveWithGenerousStatic) {
+  Rng rng(37);
+  const std::vector<double> xs = BimodalSamples(1500, &rng);
+  const RawDistribution raw = RawDistribution::FromSamples(xs, 1.0);
+  auto ha = BuildAutoHistogram(xs, AutoBucketOptions());
+  auto h8 = BuildStaticHistogram(xs, 8);
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(h8.ok());
+  EXPECT_LT(raw.SquaredError(ha.value()),
+            4.0 * raw.SquaredError(h8.value()) + 1e-4);
+}
+
+}  // namespace
+}  // namespace hist
+}  // namespace pcde
