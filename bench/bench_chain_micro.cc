@@ -1,0 +1,196 @@
+// Chain-estimation microbench: isolates the Eq. 2 sweep (the JC phase that
+// dominates Figs. 16-17) on pre-built decompositions of data-rich query
+// paths, measures the rewritten ChainSweeper against the pre-rewrite
+// reference kernel, and the batch estimation layer on top, then writes the
+// BENCH_chain.json perf record at the path given by argv[1] (default:
+// ./BENCH_chain.json). See bench/README.md for the schema.
+//
+// Usage: bench_chain_micro [output.json] [reps]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "core/chain_estimator_reference.h"
+
+namespace pcde {
+namespace bench {
+namespace {
+
+struct Workload {
+  std::unique_ptr<BenchDataset> data;
+  std::unique_ptr<core::PathWeightFunction> wp;
+  std::vector<core::Decomposition> decompositions;
+  std::vector<core::PathQuery> queries;
+
+  Workload() {
+    data = std::make_unique<BenchDataset>(MakeA());
+    core::HybridParams params;
+    params.beta = 20;  // the Fig. 16 instantiation
+    wp = std::make_unique<core::PathWeightFunction>(
+        core::InstantiateWeightFunction(*data->data.graph, data->store,
+                                        params));
+    // The Fig. 16 method mix: OD plus the chain-heavy HP and OD-2
+    // baselines (rank-2 parts with a separator at every step are the
+    // sweep's hot regime).
+    core::EstimateOptions od, od2, hp;
+    od2.rank_cap = 2;
+    hp.policy = core::DecompositionPolicy::kPairwise;
+    const double depart = traj::HoursToSeconds(8.2);
+    Rng rng(616);
+    for (size_t card : {20, 40, 60, 80}) {
+      for (int i = 0; i < 4; ++i) {
+        auto p = DataBiasedRandomPath(*data->data.graph, data->store, card,
+                                      &rng);
+        if (!p.ok()) continue;
+        for (const core::EstimateOptions& options : {od, od2, hp}) {
+          const core::HybridEstimator estimator(*wp, options);
+          auto de = estimator.Decompose(p.value(), depart);
+          if (!de.ok()) continue;
+          queries.push_back(core::PathQuery{p.value(), depart});
+          decompositions.push_back(std::move(de).value());
+        }
+      }
+    }
+  }
+};
+
+struct KernelRun {
+  std::vector<double> latencies;
+  size_t max_states = 0;
+  size_t failures = 0;
+  PhaseTimer jc, mc;
+
+  KernelSeries Finish(const char* name) {
+    if (failures > 0) {
+      std::fprintf(stderr, "%s: %zu estimations failed\n", name, failures);
+    }
+    KernelSeries out =
+        KernelSeries::FromLatencies(name, std::move(latencies), max_states);
+    out.jc_seconds = jc.total_seconds();
+    out.mc_seconds = mc.total_seconds();
+    return out;
+  }
+};
+
+template <typename EstimateFn>
+void MeasureOne(KernelRun* run, const core::Decomposition& de,
+                EstimateFn&& estimate) {
+  Stopwatch watch;
+  const size_t states = estimate(de, &run->failures, &run->jc, &run->mc);
+  run->latencies.push_back(watch.ElapsedSeconds());
+  run->max_states = std::max(run->max_states, states);
+}
+
+/// Measures both kernels interleaved, back to back on each decomposition
+/// with alternating order, so machine noise (shared single-core boxes)
+/// cancels out of the speedup ratio instead of landing on whichever
+/// kernel ran in the noisier window.
+template <typename NewFn, typename RefFn>
+std::pair<KernelSeries, KernelSeries> MeasurePaired(const Workload& w,
+                                                    int reps, NewFn&& fn_new,
+                                                    RefFn&& fn_ref) {
+  KernelRun run_new, run_ref;
+  const size_t total =
+      w.decompositions.size() * static_cast<size_t>(reps);
+  run_new.latencies.reserve(total);
+  run_ref.latencies.reserve(total);
+  for (int r = 0; r < reps; ++r) {
+    for (size_t i = 0; i < w.decompositions.size(); ++i) {
+      const core::Decomposition& de = w.decompositions[i];
+      if ((static_cast<size_t>(r) + i) % 2 == 0) {
+        MeasureOne(&run_new, de, fn_new);
+        MeasureOne(&run_ref, de, fn_ref);
+      } else {
+        MeasureOne(&run_ref, de, fn_ref);
+        MeasureOne(&run_new, de, fn_new);
+      }
+    }
+  }
+  return {run_new.Finish("chain_sweep"),
+          run_ref.Finish("chain_sweep_reference")};
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pcde
+
+int main(int argc, char** argv) {
+  using namespace pcde;
+  using namespace pcde::bench;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_chain.json";
+  const int reps = argc > 2 ? std::atoi(argv[2]) : 12;
+
+  std::printf(
+      "chain microbench: building workload (dataset A, Fig. 16 mix)...\n");
+  Workload w;
+  std::printf("  %zu decompositions over %zu queries\n",
+              w.decompositions.size(), w.queries.size());
+  if (w.decompositions.empty()) {
+    std::fprintf(stderr, "no decompositions; aborting\n");
+    return 1;
+  }
+
+  const core::ChainOptions chain_options;
+  std::vector<KernelSeries> series;
+
+  auto paired = MeasurePaired(
+      w, reps,
+      [&](const core::Decomposition& de, size_t* failures, PhaseTimer* jc,
+          PhaseTimer* mc) -> size_t {
+        core::ChainDiagnostics diag;
+        auto est =
+            core::EstimateFromDecomposition(de, chain_options, &diag, jc, mc);
+        if (!est.ok()) ++*failures;
+        return diag.max_states;
+      },
+      [&](const core::Decomposition& de, size_t* failures, PhaseTimer* jc,
+          PhaseTimer* mc) -> size_t {
+        core::ChainDiagnostics diag;
+        auto est = core::reference::ReferenceEstimateFromDecomposition(
+            de, chain_options, &diag, jc, mc);
+        if (!est.ok()) ++*failures;
+        return diag.max_states;
+      });
+  series.push_back(std::move(paired.first));
+  series.push_back(std::move(paired.second));
+
+  // The batch layer over the same queries (end-to-end per query, so OI +
+  // JC + MC, amortized across the pool): throughput only.
+  {
+    const core::HybridEstimator estimator(*w.wp);
+    ThreadPool pool(0);
+    Stopwatch watch;
+    const int batch_reps = std::max(1, reps / 4);
+    size_t total = 0;
+    for (int r = 0; r < batch_reps; ++r) {
+      auto results =
+          estimator.EstimateBatch(w.queries.data(), w.queries.size(), &pool);
+      total += results.size();
+    }
+    KernelSeries batch;
+    batch.name = "estimate_batch_threads_" + std::to_string(pool.num_threads());
+    batch.iterations = total;
+    batch.ops_per_sec =
+        static_cast<double>(total) / std::max(watch.ElapsedSeconds(), 1e-12);
+    series.push_back(batch);
+  }
+
+  for (const KernelSeries& s : series) {
+    std::printf("  %-28s %8zu its  %10.1f ops/s  p50 %8.3f ms  p99 %8.3f ms"
+                "  max_states %zu  jc %.3fs  mc %.3fs\n",
+                s.name.c_str(), s.iterations, s.ops_per_sec, s.p50_ms,
+                s.p99_ms, s.max_states, s.jc_seconds, s.mc_seconds);
+  }
+  const double speedup =
+      series[1].ops_per_sec > 0.0 ? series[0].ops_per_sec / series[1].ops_per_sec
+                                  : 0.0;
+  std::printf("speedup (chain_sweep vs reference): %.2fx\n", speedup);
+
+  if (!WriteChainBenchJson(out_path, "chain_estimation", series)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

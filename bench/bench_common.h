@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
@@ -181,6 +182,92 @@ inline traj::TrajectoryStore ExcludeWindows(
 inline std::string Mb(size_t bytes) {
   return TableWriter::Num(static_cast<double>(bytes) / (1024.0 * 1024.0), 2) +
          " MB";
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_chain.json — the machine-readable perf trajectory of the chain
+// estimation kernel, written by bench_chain_micro (see bench/README.md for
+// the schema). One KernelSeries per measured configuration.
+// ---------------------------------------------------------------------------
+
+/// Latency/throughput summary of one measured kernel configuration.
+struct KernelSeries {
+  std::string name;        // e.g. "chain_sweep", "chain_sweep_reference"
+  size_t iterations = 0;   // estimations measured
+  double ops_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t max_states = 0;   // peak sweeper states over the workload
+  double jc_seconds = 0.0;  // total joint-computation (sweep) phase
+  double mc_seconds = 0.0;  // total marginalization (finalize) phase
+
+  /// Summarizes raw per-op latencies (seconds); sorts its input.
+  static KernelSeries FromLatencies(std::string series_name,
+                                    std::vector<double> latencies_s,
+                                    size_t max_states_seen) {
+    KernelSeries out;
+    out.name = std::move(series_name);
+    out.iterations = latencies_s.size();
+    out.max_states = max_states_seen;
+    if (latencies_s.empty()) return out;
+    std::sort(latencies_s.begin(), latencies_s.end());
+    double total = 0.0;
+    for (double v : latencies_s) total += v;
+    out.ops_per_sec = total > 0.0 ? static_cast<double>(latencies_s.size()) / total : 0.0;
+    auto quantile = [&latencies_s](double q) {
+      const size_t idx = std::min(
+          latencies_s.size() - 1,
+          static_cast<size_t>(q * static_cast<double>(latencies_s.size())));
+      return latencies_s[idx] * 1e3;
+    };
+    out.p50_ms = quantile(0.50);
+    out.p99_ms = quantile(0.99);
+    return out;
+  }
+};
+
+/// Writes the BENCH_chain.json schema: a flat object with the bench id,
+/// the kernel series, and the headline speedup of the rewritten kernel
+/// over the reference kernel (when both series are present).
+inline bool WriteChainBenchJson(const std::string& path,
+                                const std::string& bench_name,
+                                const std::vector<KernelSeries>& series) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  };
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"kernels\": [\n",
+               bench_name.c_str());
+  for (size_t i = 0; i < series.size(); ++i) {
+    const KernelSeries& s = series[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"iterations\": %zu, "
+                 "\"ops_per_sec\": %s, \"p50_ms\": %s, \"p99_ms\": %s, "
+                 "\"max_states\": %zu, \"jc_seconds\": %s, "
+                 "\"mc_seconds\": %s}%s\n",
+                 s.name.c_str(), s.iterations, num(s.ops_per_sec).c_str(),
+                 num(s.p50_ms).c_str(), num(s.p99_ms).c_str(), s.max_states,
+                 num(s.jc_seconds).c_str(), num(s.mc_seconds).c_str(),
+                 i + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]");
+  const KernelSeries* rewrite = nullptr;
+  const KernelSeries* reference = nullptr;
+  for (const KernelSeries& s : series) {
+    if (s.name == "chain_sweep") rewrite = &s;
+    if (s.name == "chain_sweep_reference") reference = &s;
+  }
+  if (rewrite != nullptr && reference != nullptr &&
+      reference->ops_per_sec > 0.0) {
+    std::fprintf(f, ",\n  \"speedup_vs_reference\": %s",
+                 num(rewrite->ops_per_sec / reference->ops_per_sec).c_str());
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace bench

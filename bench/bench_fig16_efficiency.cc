@@ -52,6 +52,26 @@ void EstimateLoop(benchmark::State& bench_state,
   }
 }
 
+/// The serving-layer shape: all queries of one cardinality issued as one
+/// concurrent batch on a shared pool (items/sec is the per-query rate).
+void BatchEstimateLoop(benchmark::State& bench_state,
+                       const core::HybridEstimator& estimator, size_t card,
+                       ThreadPool* pool) {
+  const auto& paths = state->queries[card];
+  std::vector<core::PathQuery> queries;
+  queries.reserve(paths.size());
+  for (const auto& p : paths) {
+    queries.push_back(core::PathQuery{p, state->depart});
+  }
+  for (auto _ : bench_state) {
+    auto results = estimator.EstimateBatch(queries.data(), queries.size(),
+                                           pool);
+    benchmark::DoNotOptimize(results);
+  }
+  bench_state.SetItemsProcessed(
+      static_cast<int64_t>(bench_state.iterations() * queries.size()));
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace pcde
@@ -88,6 +108,20 @@ int main(int argc, char** argv) {
     }
     bench->Unit(benchmark::kMillisecond);
   }
+
+  // OD through the parallel batch layer (the multi-user serving path).
+  ThreadPool* pool = new ThreadPool(0);
+  const core::HybridEstimator* od_batch =
+      new core::HybridEstimator(baselines::MakeOd(*state->wp));
+  auto* batch_bench = benchmark::RegisterBenchmark(
+      "OD-batch", [od_batch, pool](benchmark::State& s) {
+        pcde::bench::BatchEstimateLoop(s, *od_batch,
+                                       static_cast<size_t>(s.range(0)), pool);
+      });
+  for (size_t card : {20, 40, 60, 80, 100}) {
+    batch_bench->Arg(static_cast<int>(card));
+  }
+  batch_bench->Unit(benchmark::kMillisecond);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -38,6 +38,14 @@ struct Interval {
 
   Interval Shift(double delta) const { return Interval(lo + delta, hi + delta); }
 
+  /// Degenerate (zero-width) intervals inflated to a hair of width so the
+  /// bucket machinery (FlattenToDisjoint) accepts them; non-degenerate
+  /// intervals pass through unchanged. Accumulated sums start as [x, x)
+  /// before any dimension closes, which is where this is needed.
+  Interval Inflated(double epsilon = 1e-9) const {
+    return width() > 0.0 ? *this : Interval(lo, lo + epsilon);
+  }
+
   /// |this ∩ o| / |this| — the overlap ratio used to pick the temporally most
   /// relevant instantiated variable. Returns 0 for empty intervals.
   double OverlapRatioOf(const Interval& o) const {

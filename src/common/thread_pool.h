@@ -1,0 +1,189 @@
+// A small work-stealing thread pool for the batch estimation layer and the
+// routing root fan-out. Each worker owns a deque: it pushes and pops its
+// own work LIFO (cache-warm) and steals FIFO from victims when dry, so a
+// few large tasks spread across workers without a central contended queue.
+// Tasks must not throw (the codebase is Status-based); a task may submit
+// further tasks (they count toward the same Wait() quiescence).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcde {
+
+class ThreadPool {
+ public:
+  /// `num_threads` = 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0) {
+    size_t n = num_threads != 0 ? num_threads
+                                : static_cast<size_t>(
+                                      std::thread::hardware_concurrency());
+    if (n == 0) n = 1;
+    queues_ = std::vector<WorkerQueue>(n);
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    Wait();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. Called from inside a task, it lands on the calling
+  /// worker's own deque (depth-first, cache-warm); from outside, tasks are
+  /// scattered round-robin.
+  void Submit(std::function<void()> fn) {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    const size_t home =
+        worker_pool_ == this
+            ? worker_index_
+            : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                  queues_.size();
+    {
+      std::lock_guard<std::mutex> lock(queues_[home].mutex);
+      queues_[home].tasks.push_back(std::move(fn));
+    }
+    {
+      // The epoch under the sleep mutex is what makes the wakeup
+      // race-free: a worker that failed to steal after reading the epoch
+      // sees it changed and re-scans instead of sleeping through the
+      // notification.
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++epoch_;
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until every submitted task (including tasks submitted by
+  /// tasks) has finished. The calling thread helps drain the queues.
+  void Wait() {
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      uint64_t seen;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        seen = epoch_;
+      }
+      std::function<void()> task;
+      if (Steal(queues_.size(), &task)) {
+        RunTask(std::move(task));
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(mutex_);
+      idle_.wait(lock, [this, seen] {
+        return pending_.load(std::memory_order_acquire) == 0 ||
+               epoch_ != seen;
+      });
+    }
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  template <typename Fn>
+  void ParallelFor(size_t n, Fn&& fn) {
+    for (size_t i = 0; i < n; ++i) {
+      Submit([fn, i] { fn(i); });
+    }
+    Wait();
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+
+    WorkerQueue() = default;
+    WorkerQueue(const WorkerQueue&) {}  // vector-resize support; empty copy
+  };
+
+  void RunTask(std::function<void()>&& task) {
+    task();
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      idle_.notify_all();
+    }
+  }
+
+  /// The epoch under mutex_ at this instant; workers read it before
+  /// scanning queues so a concurrent Submit cannot slip between a failed
+  /// scan and the wait.
+  uint64_t CurrentEpoch() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return epoch_;
+  }
+
+  /// Pops own back first (me < queues_.size()), then steals victims' fronts.
+  bool Steal(size_t me, std::function<void()>* out) {
+    const size_t n = queues_.size();
+    if (me < n) {
+      std::lock_guard<std::mutex> lock(queues_[me].mutex);
+      if (!queues_[me].tasks.empty()) {
+        *out = std::move(queues_[me].tasks.back());
+        queues_[me].tasks.pop_back();
+        return true;
+      }
+    }
+    for (size_t k = 0; k < n; ++k) {
+      const size_t victim = (me + 1 + k) % n;
+      std::lock_guard<std::mutex> lock(queues_[victim].mutex);
+      if (!queues_[victim].tasks.empty()) {
+        *out = std::move(queues_[victim].tasks.front());
+        queues_[victim].tasks.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void WorkerLoop(size_t index) {
+    worker_pool_ = this;
+    worker_index_ = index;
+    for (;;) {
+      const uint64_t seen = CurrentEpoch();
+      std::function<void()> task;
+      if (Steal(index, &task)) {
+        RunTask(std::move(task));
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this, seen] { return stopping_ || epoch_ != seen; });
+      if (stopping_) return;
+    }
+  }
+
+  /// Which pool (and worker slot) the current thread belongs to; external
+  /// threads, and workers of *other* pools, scatter round-robin instead.
+  static thread_local ThreadPool* worker_pool_;
+  static thread_local size_t worker_index_;
+
+  std::vector<WorkerQueue> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<size_t> next_queue_{0};
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  uint64_t epoch_ = 0;  // guarded by mutex_; bumped per Submit
+  bool stopping_ = false;
+};
+
+inline thread_local ThreadPool* ThreadPool::worker_pool_ = nullptr;
+inline thread_local size_t ThreadPool::worker_index_ = 0;
+
+}  // namespace pcde

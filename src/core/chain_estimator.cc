@@ -1,12 +1,15 @@
 #include "core/chain_estimator.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstring>
+#include <functional>
 #include <limits>
 #include <map>
 
 #include "hist/histogram_nd.h"
+
 
 namespace pcde {
 namespace core {
@@ -15,17 +18,62 @@ using hist::Histogram1D;
 using hist::HistogramND;
 using hist::WeightedInterval;
 
-std::string ChainSweeper::GroupKey(const std::vector<Interval>& boxes) {
-  std::string key;
-  key.resize(boxes.size() * 2 * sizeof(double));
-  char* out = key.data();
-  for (const Interval& b : boxes) {
-    std::memcpy(out, &b.lo, sizeof(double));
-    out += sizeof(double);
-    std::memcpy(out, &b.hi, sizeof(double));
-    out += sizeof(double);
-  }
-  return key;
+namespace {
+
+/// splitmix64 finalizer: a proper avalanche mix for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Bit pattern of a double with -0.0 normalized to 0.0, so signed zeros
+/// neither split groups nor miss the intern cache.
+inline uint64_t CanonicalBits(double v) {
+  if (v == 0.0) v = 0.0;  // collapses -0.0
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Dense separator marginals beyond this many cells fall back to an exact
+/// ordered map (unreachable through the production pipeline, where rank is
+/// capped at HybridParams::max_instantiated_rank).
+constexpr uint64_t kMaxDenseSeparatorCells = uint64_t{1} << 22;
+
+/// Budget on SumEntry capacity retained by a thread's recycled sums
+/// buffers (~6 MB); beyond it, harvested buffers are freed instead.
+constexpr size_t kMaxPooledSumEntries = size_t{1} << 18;
+
+}  // namespace
+
+size_t ChainSweeper::BoxKeyHash::operator()(const BoxKey& k) const {
+  uint64_t h = Mix64(k.n);
+  for (uint32_t i = 0; i < k.n; ++i) h = Mix64(h ^ k.ids[i]);
+  return static_cast<size_t>(h);
+}
+
+size_t ChainSweeper::IntervalPool::BitsHash::operator()(const Bits& b) const {
+  return static_cast<size_t>(Mix64(b.lo ^ Mix64(b.hi)));
+}
+
+ChainSweeper::BoxId ChainSweeper::IntervalPool::Intern(const Interval& iv) {
+  const Bits bits{CanonicalBits(iv.lo), CanonicalBits(iv.hi)};
+  const auto [it, inserted] =
+      index_.emplace(bits, static_cast<BoxId>(intervals_.size()));
+  if (inserted) intervals_.push_back(iv);
+  return it->second;
+}
+
+void ChainSweeper::IntervalPool::Clear() {
+  intervals_.clear();
+  index_.clear();
+}
+
+ChainSweeper::Scratch& ChainSweeper::LocalScratch() {
+  static thread_local Scratch scratch;
+  return scratch;
 }
 
 double ChainSweeper::GroupMass(const Group& g) {
@@ -34,223 +82,548 @@ double ChainSweeper::GroupMass(const Group& g) {
   return m;
 }
 
-void ChainSweeper::CompactSums(Group* g, size_t cap) {
-  if (g->sums.size() <= cap) return;
-  const double mass = GroupMass(*g);
+// The hist:: bucket-machinery tolerances, mirrored here because CompactSums
+// reproduces the FlattenToDisjoint -> Make -> Compact -> Make pipeline
+// arithmetic step for step (same passes, same order) on thread-local
+// scratch, so the progressive compaction allocates nothing in steady state.
+constexpr double kFlattenMinWidth = 1e-12;  // hist kMinWidth
+constexpr double kMassTolerance = 1e-6;     // hist kMassTolerance
+
+void ChainSweeper::CompactSums(std::vector<SumEntry>* sums, size_t cap) {
+  if (sums->size() <= cap) return;
+  double mass = 0.0;
+  for (const SumEntry& s : *sums) mass += s.prob;
   if (mass <= 0.0) {
-    g->sums.clear();
+    sums->clear();
     return;
   }
-  std::vector<WeightedInterval> parts;
-  parts.reserve(g->sums.size());
-  for (const SumEntry& s : g->sums) {
-    // Degenerate [x, x) sums (possible before any dimension closes) get a
-    // hair of width so the flatten accepts them.
-    Interval iv = s.sum;
-    if (iv.width() <= 0.0) iv.hi = iv.lo + 1e-9;
-    parts.emplace_back(iv, s.prob);
+  Scratch& sc = LocalScratch();
+
+  // Flatten: breakpoints of the (degenerate-inflated) sum intervals. Any
+  // input the hist pipeline would reject stays uncompacted, as before.
+  sc.cs_cuts.clear();
+  double total_mass = 0.0;
+  for (const SumEntry& s : *sums) {
+    if (s.prob < 0.0) return;
+    const Interval iv = s.sum.Inflated();
+    if (iv.width() < kFlattenMinWidth && s.prob > 0.0) return;
+    total_mass += s.prob;
+    sc.cs_cuts.push_back(iv.lo);
+    sc.cs_cuts.push_back(iv.hi);
   }
-  auto flat = hist::FlattenToDisjoint(std::move(parts));
-  if (!flat.ok()) return;  // keep uncompacted on pathological input
-  const Histogram1D compacted = hist::Compact(flat.value(), cap);
-  g->sums.clear();
-  for (const hist::Bucket& b : compacted.buckets()) {
-    g->sums.push_back(SumEntry{b.range, b.prob * mass});
+  if (total_mass <= 0.0) return;
+  std::vector<double>& cuts = sc.cs_cuts;
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end(),
+                         [](double a, double b) {
+                           return std::fabs(a - b) < kFlattenMinWidth;
+                         }),
+             cuts.end());
+
+  // Per-slice density by difference array; the cover counter keeps
+  // uncovered slices at exactly zero (no cancellation residue).
+  const size_t n_slices = cuts.size() - 1;
+  sc.cs_diff.assign(n_slices + 1, 0.0);
+  sc.cs_cover.assign(n_slices + 1, 0);
+  for (const SumEntry& se : *sums) {
+    if (se.prob <= 0.0) continue;
+    const Interval iv = se.sum.Inflated();
+    const double d = se.prob / iv.width();
+    const auto lo_it = std::lower_bound(cuts.begin(), cuts.end(),
+                                        iv.lo - kFlattenMinWidth);
+    const size_t s = static_cast<size_t>(lo_it - cuts.begin());
+    const auto hi_it = std::lower_bound(
+        cuts.begin() + static_cast<ptrdiff_t>(s), cuts.end(),
+        iv.hi - kFlattenMinWidth);
+    const size_t s_end =
+        std::min(n_slices, static_cast<size_t>(hi_it - cuts.begin()));
+    if (s >= s_end) continue;
+    sc.cs_diff[s] += d;
+    sc.cs_diff[s_end] -= d;
+    ++sc.cs_cover[s];
+    --sc.cs_cover[s_end];
   }
+
+  // Emit positive-mass slices, merging equal-density neighbours.
+  sc.cs_flat.clear();
+  double running = 0.0;
+  int32_t covering = 0;
+  for (size_t s = 0; s < n_slices; ++s) {
+    covering += sc.cs_cover[s];
+    running += sc.cs_diff[s];
+    if (covering == 0) running = 0.0;
+    const double width = cuts[s + 1] - cuts[s];
+    const double slice_mass = running * width;
+    if (slice_mass <= 0.0) continue;
+    const bool contiguous =
+        !sc.cs_flat.empty() &&
+        std::fabs(sc.cs_flat.back().sum.hi - cuts[s]) < kFlattenMinWidth;
+    if (contiguous) {
+      SumEntry& prev = sc.cs_flat.back();
+      const double prev_density = prev.prob / prev.sum.width();
+      if (std::fabs(prev_density - running) <=
+          1e-9 * std::max(prev_density, running)) {
+        prev.sum.hi = cuts[s + 1];
+        prev.prob += slice_mass;
+        continue;
+      }
+    }
+    sc.cs_flat.push_back(SumEntry{Interval(cuts[s], cuts[s + 1]), slice_mass});
+  }
+
+  // The pipeline's two normalization passes: flatten divides by the input
+  // mass, then histogram construction renormalizes the float drift away.
+  for (SumEntry& f : sc.cs_flat) f.prob /= total_mass;
+  double flat_total = 0.0;
+  for (const SumEntry& f : sc.cs_flat) flat_total += f.prob;
+  if (std::fabs(flat_total - 1.0) > kMassTolerance) return;
+  for (SumEntry& f : sc.cs_flat) f.prob /= flat_total;
+
+  // Compact to the cap: hist::Compact's greedy cheapest-merge, on a
+  // linked list of survivors with blocked cost minima, run on thread-local
+  // scratch so nothing allocates in steady state.
+  if (sc.cs_flat.size() > cap && cap > 0) {
+    const size_t nf = sc.cs_flat.size();
+    auto merge_cost = [&sc](size_t i, size_t j) {
+      return hist::MergeCost(sc.cs_flat[i].sum, sc.cs_flat[i].prob,
+                             sc.cs_flat[j].sum, sc.cs_flat[j].prob);
+    };
+    sc.cs_next.resize(nf);
+    sc.cs_prev.resize(nf);
+    sc.cs_alive.assign(nf, 1);
+    for (size_t i = 0; i < nf; ++i) {
+      sc.cs_next[i] = static_cast<uint32_t>(i + 1);  // nf == end sentinel
+      sc.cs_prev[i] = static_cast<uint32_t>(i == 0 ? nf : i - 1);
+    }
+    // Cached cost per surviving pair, indexed by the pair's left bucket
+    // (dead / last buckets hold +inf), with per-block minima: a merge
+    // touches at most three cost entries, so it rescans those blocks
+    // (O(block)) and the global pick scans block minima (O(n/block)) —
+    // instead of the original full rescan per merge. First-minimum ties
+    // match the left-to-right rescan (within a block the scan keeps the
+    // first minimum; across blocks the strict compare keeps the earlier
+    // block), and costs are recomputed exactly when an endpoint changes,
+    // so the merge sequence is identical to hist::Compact's.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    constexpr size_t kBlock = 64;
+    sc.cs_cost.resize(nf);
+    for (size_t i = 0; i < nf; ++i) {
+      sc.cs_cost[i] = i + 1 < nf ? merge_cost(i, i + 1) : kInf;
+    }
+    const size_t n_blocks = (nf + kBlock - 1) / kBlock;
+    sc.cs_block_cost.resize(n_blocks);
+    sc.cs_block_idx.resize(n_blocks);
+    auto rescan_block = [&sc, nf](size_t blk) {
+      const size_t lo = blk * kBlock;
+      const size_t hi = std::min(nf, lo + kBlock);
+      const double* const costs = sc.cs_cost.data();
+      double best_cost = kInf;
+      size_t best = lo;
+      for (size_t k = lo; k < hi; ++k) {
+        if (costs[k] < best_cost) {
+          best_cost = costs[k];
+          best = k;
+        }
+      }
+      sc.cs_block_cost[blk] = best_cost;
+      sc.cs_block_idx[blk] = static_cast<uint32_t>(best);
+    };
+    for (size_t blk = 0; blk < n_blocks; ++blk) rescan_block(blk);
+    size_t remaining = nf;
+    while (remaining > cap) {
+      double best_cost = kInf;
+      size_t best_blk = 0;
+      for (size_t blk = 0; blk < n_blocks; ++blk) {
+        if (sc.cs_block_cost[blk] < best_cost) {
+          best_cost = sc.cs_block_cost[blk];
+          best_blk = blk;
+        }
+      }
+      if (best_cost == kInf) break;  // no mergeable pair left
+      const uint32_t i = sc.cs_block_idx[best_blk];
+      const uint32_t j = sc.cs_next[i];
+      sc.cs_flat[i] = SumEntry{Interval(sc.cs_flat[i].sum.lo,
+                                        sc.cs_flat[j].sum.hi),
+                               sc.cs_flat[i].prob + sc.cs_flat[j].prob};
+      sc.cs_alive[j] = 0;
+      sc.cs_cost[j] = kInf;
+      sc.cs_next[i] = sc.cs_next[j];
+      if (sc.cs_next[j] < nf) sc.cs_prev[sc.cs_next[j]] = i;
+      sc.cs_cost[i] = sc.cs_next[i] < nf ? merge_cost(i, sc.cs_next[i]) : kInf;
+      const uint32_t left_nbr = sc.cs_prev[i];
+      if (left_nbr < nf) sc.cs_cost[left_nbr] = merge_cost(left_nbr, i);
+      --remaining;
+      rescan_block(j / kBlock);
+      if (i / kBlock != j / kBlock) rescan_block(i / kBlock);
+      if (left_nbr < nf && left_nbr / kBlock != i / kBlock &&
+          left_nbr / kBlock != j / kBlock) {
+        rescan_block(left_nbr / kBlock);
+      }
+    }
+    size_t out = 0;
+    for (size_t i = 0; i < nf; ++i) {
+      if (sc.cs_alive[i]) sc.cs_flat[out++] = sc.cs_flat[i];
+    }
+    sc.cs_flat.resize(out);
+    // Post-merge renormalization (hist::Compact's final construction).
+    double merged_total = 0.0;
+    for (const SumEntry& f : sc.cs_flat) merged_total += f.prob;
+    if (merged_total > 0.0) {
+      for (SumEntry& f : sc.cs_flat) f.prob /= merged_total;
+    }
+  }
+
+  sums->clear();
+  for (const SumEntry& f : sc.cs_flat) {
+    sums->push_back(SumEntry{f.sum, f.prob * mass});
+  }
+}
+
+void ChainSweeper::CloseGroup(Group* g) {
+  Interval shift(0.0, 0.0);
+  for (uint32_t j = 0; j < g->key.n; ++j) {
+    shift = shift + pool_.Get(g->key.ids[j]);
+  }
+  if (shift.lo != 0.0 || shift.hi != 0.0) {
+    for (SumEntry& se : g->sums) se.sum = se.sum + shift;
+  }
+  g->key = BoxKey{};
+}
+
+void ChainSweeper::MaybeCompactPool() {
+  size_t in_use = 0;
+  for (const Group& g : groups_) in_use += g.key.n;
+  if (pool_.size() <= std::max<size_t>(1024, 4 * in_use)) return;
+  IntervalPool fresh;
+  for (Group& g : groups_) {
+    for (uint32_t j = 0; j < g.key.n; ++j) {
+      g.key.ids[j] = fresh.Intern(pool_.Get(g.key.ids[j]));
+    }
+  }
+  pool_ = std::move(fresh);
 }
 
 ChainSweeper::ChainSweeper(const ChainOptions& options) : options_(options) {
   Group init;
   init.sums.push_back(SumEntry{Interval(0.0, 0.0), 1.0});
-  groups_.emplace(GroupKey(init.boxes), std::move(init));
+  groups_.push_back(std::move(init));
 }
 
 void ChainSweeper::ApplyPart(const DecompositionPart& part,
                              size_t next_overlap_start) {
   const HistogramND& joint = part.variable->joint;
+  const auto& buckets = joint.buckets();
   const size_t s = part.start;
   const size_t m = part.rank();
+  const size_t e = part.end();
 
-  // Positions of this part that stay open for the next part.
-  std::vector<size_t> next_open;
-  for (size_t p = std::max(next_overlap_start, s); p < part.end(); ++p) {
-    next_open.push_back(p);
+  // Open suffix after this part: the contiguous positions [next_begin, e).
+  // Position -> slot is therefore arithmetic, not a search.
+  size_t next_begin = std::min(std::max(next_overlap_start, s), e);
+  if (e - next_begin > kMaxOpenDims) next_begin = e - kMaxOpenDims;
+  const size_t n_next = e - next_begin;
+
+  // Current open positions [open_begin_, open_begin_ + cur_n), shared by
+  // every keyed group (key.n is either cur_n or 0 for the overflow /
+  // initial group).
+  size_t cur_n = 0;
+  bool any_unkeyed = false;
+  for (const Group& g : groups_) {
+    cur_n = std::max<size_t>(cur_n, g.key.n);
+    any_unkeyed |= g.key.n == 0;
   }
 
-  using SepKey = std::vector<uint32_t>;
-  std::unordered_map<std::string, Group> next_groups;
-  // Separator marginals depend only on the O-dim layout, which is shared
-  // by (nearly) all groups; cache them across the group loop.
-  std::map<std::vector<size_t>, std::map<SepKey, double>> sep_cache;
+  // O dims: local dims of this part conditioned by the open boxes — the
+  // overlap of [open_begin_, open_begin_ + cur_n) with [s, e), a contiguous
+  // subrange on both sides.
+  size_t o_pos_lo = std::max(s, open_begin_);
+  size_t o_pos_hi = std::min(e, open_begin_ + cur_n);
+  if (options_.force_independence || o_pos_hi < o_pos_lo) o_pos_hi = o_pos_lo;
+  const size_t n_o = o_pos_hi - o_pos_lo;
+  const size_t o_slot0 = o_pos_lo - open_begin_;  // first conditioned slot
+  const size_t o_local0 = o_pos_lo - s;           // first conditioned dim
 
-  for (auto& [key, group] : groups_) {
-    (void)key;
-    if (GroupMass(group) <= 0.0) continue;
-    // Split the group's open positions into those conditioned by this part
-    // (O) and stale ones (closed now, unconditioned).
-    std::vector<size_t> o_local;       // local dim index of each O position
-    std::vector<size_t> o_group_slot;  // matching index into group.boxes
-    Interval stale_shift(0.0, 0.0);
-    for (size_t j = 0; j < group.positions.size(); ++j) {
-      const size_t p = group.positions[j];
-      if (!options_.force_independence && p >= s && p < part.end()) {
-        o_local.push_back(p - s);
-        o_group_slot.push_back(j);
-      } else {
-        stale_shift = stale_shift + group.boxes[j];
+  // Per-bucket, per-part tables over the positive-mass buckets.
+  Scratch& sc = LocalScratch();
+  sc.live.clear();
+  for (uint32_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b].prob > 0.0) sc.live.push_back(b);
+  }
+  const size_t n_live = sc.live.size();
+
+  // Next-open slots fed by non-O dims (O slots are filled per transition
+  // from the intersection): slot q holds local dim next_begin - s + q.
+  // An O dim is next-open iff its position falls in [next_begin, e).
+  auto local_of_slot = [&](size_t q) { return next_begin - s + q; };
+  auto is_o_local = [&](size_t local) {
+    return local >= o_local0 && local < o_local0 + n_o;
+  };
+  size_t n_non_o_open = 0;
+  for (size_t q = 0; q < n_next; ++q) {
+    if (!is_o_local(local_of_slot(q))) ++n_non_o_open;
+  }
+
+  // Dense separator marginal over the O dims, from this part's own
+  // histogram — this makes each factor a proper conditional distribution.
+  sc.cond_w.assign(n_live, 0.0);
+  if (n_o > 0) {
+    sc.sep_stride.assign(n_o, 1);
+    uint64_t sep_cells = 1;
+    bool dense = true;
+    for (size_t d = 0; d < n_o; ++d) {
+      sc.sep_stride[d] = sep_cells;
+      const uint64_t dim_buckets = joint.NumDimBuckets(o_local0 + d);
+      if (sep_cells > kMaxDenseSeparatorCells / std::max<uint64_t>(dim_buckets, 1)) {
+        dense = false;
+        break;
       }
+      sep_cells *= dim_buckets;
     }
-
-    // Separator marginal over the O dims, from this part's own histogram —
-    // this makes each factor a proper conditional distribution.
-    std::map<SepKey, double>& sep_mass = sep_cache[o_local];
-    if (!o_local.empty() && sep_mass.empty()) {
-      for (const HistogramND::HyperBucket& hb : joint.buckets()) {
-        SepKey sk(o_local.size());
-        for (size_t d = 0; d < o_local.size(); ++d) sk[d] = hb.idx[o_local[d]];
+    if (dense) {
+      sc.sep_marginal.assign(sep_cells, 0.0);
+      for (const HistogramND::HyperBucket& hb : buckets) {
+        uint64_t flat = 0;
+        for (size_t d = 0; d < n_o; ++d) {
+          flat += hb.idx[o_local0 + d] * sc.sep_stride[d];
+        }
+        sc.sep_marginal[flat] += hb.prob;
+      }
+      for (size_t i = 0; i < n_live; ++i) {
+        const HistogramND::HyperBucket& hb = buckets[sc.live[i]];
+        uint64_t flat = 0;
+        for (size_t d = 0; d < n_o; ++d) {
+          flat += hb.idx[o_local0 + d] * sc.sep_stride[d];
+        }
+        const double marginal = sc.sep_marginal[flat];
+        sc.cond_w[i] = marginal > 0.0 ? hb.prob / marginal : 0.0;
+      }
+    } else {
+      // Exact fallback for separators too wide to materialize densely.
+      std::map<std::vector<uint32_t>, double> sep_mass;
+      std::vector<uint32_t> sk(n_o);
+      for (const HistogramND::HyperBucket& hb : buckets) {
+        for (size_t d = 0; d < n_o; ++d) sk[d] = hb.idx[o_local0 + d];
         sep_mass[sk] += hb.prob;
       }
+      for (size_t i = 0; i < n_live; ++i) {
+        const HistogramND::HyperBucket& hb = buckets[sc.live[i]];
+        for (size_t d = 0; d < n_o; ++d) sk[d] = hb.idx[o_local0 + d];
+        const double marginal = sep_mass[sk];
+        sc.cond_w[i] = marginal > 0.0 ? hb.prob / marginal : 0.0;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < n_live; ++i) sc.cond_w[i] = buckets[sc.live[i]].prob;
+  }
+
+  // O-dim boxes per live bucket (intersected per transition), the interval
+  // sum of the non-O dims that close here, and the interned boxes of the
+  // non-O dims that open.
+  sc.o_box.assign(n_live * n_o, Interval());
+  sc.close_shift.assign(n_live, Interval(0.0, 0.0));
+  sc.open_ids.assign(n_live * n_non_o_open, 0);
+  // Raw interned O-dim boxes, used by unkeyed (unconditioned) groups whose
+  // transitions open O dims without intersecting them.
+  const bool need_raw_o = any_unkeyed && n_o > 0;
+  sc.raw_o_ids.assign(need_raw_o ? n_live * n_o : 0, 0);
+  std::vector<BoxId>& raw_o_ids = sc.raw_o_ids;
+  for (size_t i = 0; i < n_live; ++i) {
+    const HistogramND::HyperBucket& hb = buckets[sc.live[i]];
+    size_t open_out = i * n_non_o_open;
+    for (size_t local = 0; local < m; ++local) {
+      const Interval box = joint.Box(hb, local);
+      if (is_o_local(local)) {
+        sc.o_box[i * n_o + (local - o_local0)] = box;
+        if (need_raw_o) {
+          raw_o_ids[i * n_o + (local - o_local0)] = pool_.Intern(box);
+        }
+      } else if (local >= next_begin - s) {
+        sc.open_ids[open_out++] = pool_.Intern(box);
+      } else {
+        sc.close_shift[i] = sc.close_shift[i] + box;
+      }
+    }
+  }
+
+  // The sweep: every (group, bucket) pair produces one transition; states
+  // landing on the same open-box tuple merge. Transient groups recycle
+  // their sums buffers through sums_pool — a part can materialize
+  // thousands of groups, and a fresh allocation per group dominates the
+  // rebuild otherwise.
+  for (Group& g : sc.next_groups) {
+    if (g.sums.capacity() > 0 &&
+        sc.sums_pool_entries + g.sums.capacity() <= kMaxPooledSumEntries) {
+      sc.sums_pool_entries += g.sums.capacity();
+      g.sums.clear();
+      sc.sums_pool.push_back(std::move(g.sums));
+    }
+  }
+  sc.next_groups.clear();
+  sc.next_index.clear();
+  auto group_for = [&](const BoxKey& key) -> Group& {
+    const auto [it, inserted] = sc.next_index.emplace(
+        key, static_cast<uint32_t>(sc.next_groups.size()));
+    if (inserted) {
+      sc.next_groups.emplace_back();
+      Group& fresh = sc.next_groups.back();
+      fresh.key = key;
+      if (!sc.sums_pool.empty()) {
+        fresh.sums = std::move(sc.sums_pool.back());
+        sc.sums_pool.pop_back();
+        sc.sums_pool_entries -= fresh.sums.capacity();
+      }
+    }
+    return sc.next_groups[it->second];
+  };
+
+  Interval inter[kMaxOpenDims];
+  for (const Group& g : groups_) {
+    if (GroupMass(g) <= 0.0) continue;
+    const bool conditioned = g.key.n > 0 && n_o > 0;
+
+    // Boxes of slots this part does not condition close now, unconditioned.
+    Interval stale_shift(0.0, 0.0);
+    for (uint32_t j = 0; j < g.key.n; ++j) {
+      if (conditioned && j >= o_slot0 && j < o_slot0 + n_o) continue;
+      stale_shift = stale_shift + pool_.Get(g.key.ids[j]);
     }
 
-    for (const HistogramND::HyperBucket& hb : joint.buckets()) {
-      if (hb.prob <= 0.0) continue;
-      // Geometric overlap of the state's open boxes with this bucket.
-      double frac = 1.0;
-      std::vector<Interval> inter(o_local.size());
-      for (size_t d = 0; d < o_local.size() && frac > 0.0; ++d) {
-        const Interval box = joint.Box(hb, o_local[d]);
-        const Interval& state_box = group.boxes[o_group_slot[d]];
-        inter[d] = state_box.Intersect(box);
-        frac *= state_box.width() > 0.0
-                    ? std::max(inter[d].width(), 0.0) / state_box.width()
-                    : 0.0;
-      }
-      if (frac <= 0.0) continue;
-      double weight = frac * hb.prob;
-      if (!o_local.empty()) {
-        SepKey sk(o_local.size());
-        for (size_t d = 0; d < o_local.size(); ++d) sk[d] = hb.idx[o_local[d]];
-        const double marginal = sep_mass[sk];
-        if (marginal <= 0.0) continue;
-        weight = frac * hb.prob / marginal;
+    for (size_t i = 0; i < n_live; ++i) {
+      const HistogramND::HyperBucket& hb = buckets[sc.live[i]];
+      double weight;
+      Interval shift = stale_shift + sc.close_shift[i];
+      BoxKey key;
+      key.n = static_cast<uint32_t>(n_next);
+      size_t open_in = i * n_non_o_open;
+      for (size_t q = 0; q < n_next; ++q) {
+        if (!is_o_local(local_of_slot(q))) key.ids[q] = sc.open_ids[open_in++];
       }
 
-      // Shift from dimensions closing at this step + the new open boxes.
-      Interval shift = stale_shift;
-      std::vector<Interval> new_boxes(next_open.size());
-      std::vector<bool> filled(next_open.size(), false);
-      auto slot_of = [&](size_t p) -> int {
-        for (size_t q = 0; q < next_open.size(); ++q) {
-          if (next_open[q] == p) return static_cast<int>(q);
+      if (conditioned) {
+        // Geometric overlap of the state's open boxes with this bucket.
+        double frac = 1.0;
+        for (size_t d = 0; d < n_o; ++d) {
+          const Interval& state_box = pool_.Get(g.key.ids[o_slot0 + d]);
+          inter[d] = state_box.Intersect(sc.o_box[i * n_o + d]);
+          frac *= state_box.width() > 0.0
+                      ? std::max(inter[d].width(), 0.0) / state_box.width()
+                      : 0.0;
+          if (frac <= 0.0) break;
         }
-        return -1;
-      };
-      for (size_t d = 0; d < o_local.size(); ++d) {
-        const size_t p = s + o_local[d];
-        const int slot = slot_of(p);
-        if (slot >= 0) {
-          new_boxes[static_cast<size_t>(slot)] = inter[d];
-          filled[static_cast<size_t>(slot)] = true;
-        } else {
-          shift = shift + inter[d];
+        if (frac <= 0.0) continue;
+        weight = frac * sc.cond_w[i];
+        if (weight <= 0.0) continue;
+        for (size_t d = 0; d < n_o; ++d) {
+          const size_t local = o_local0 + d;
+          if (local >= next_begin - s) {
+            key.ids[local - (next_begin - s)] = pool_.Intern(inter[d]);
+          } else {
+            shift = shift + inter[d];
+          }
+        }
+      } else {
+        // Unconditioned group: every O dim is new to it — raw bucket boxes
+        // open, the rest close into the running sum.
+        weight = hb.prob;
+        for (size_t d = 0; d < n_o; ++d) {
+          const size_t local = o_local0 + d;
+          if (local >= next_begin - s) {
+            key.ids[local - (next_begin - s)] = raw_o_ids[i * n_o + d];
+          } else {
+            shift = shift + sc.o_box[i * n_o + d];
+          }
         }
       }
-      for (size_t local = 0; local < m; ++local) {
-        const size_t p = s + local;
-        if (std::find(o_local.begin(), o_local.end(), local) != o_local.end()) {
-          continue;  // handled above
-        }
-        const Interval box = joint.Box(hb, local);
-        const int slot = slot_of(p);
-        if (slot >= 0) {
-          new_boxes[static_cast<size_t>(slot)] = box;
-          filled[static_cast<size_t>(slot)] = true;
-        } else {
-          shift = shift + box;
-        }
-      }
-      (void)filled;  // all next_open positions lie in this part's range
 
-      const std::string new_key = GroupKey(new_boxes);
-      Group& out = next_groups[new_key];
-      if (out.positions.empty() && !next_open.empty()) {
-        out.positions = next_open;
-        out.boxes = new_boxes;
-      }
-      for (const SumEntry& se : group.sums) {
+      Group& out = group_for(key);
+      out.sums.reserve(out.sums.size() + g.sums.size());
+      for (const SumEntry& se : g.sums) {
         out.sums.push_back(SumEntry{se.sum + shift, se.prob * weight});
       }
     }
   }
 
   size_t states = 0;
-  for (auto& [key, group] : next_groups) {
-    (void)key;
-    CompactSums(&group, options_.sums_per_box_cap);
-    states += group.sums.size();
+  for (Group& g : sc.next_groups) {
+    CompactSums(&g.sums, options_.sums_per_box_cap);
+    states += g.sums.size();
   }
   max_states_ = std::max(max_states_, states);
 
   // Bound the group count: demote the lowest-mass groups into one
   // unconditioned overflow group (their open boxes fold into the sums),
   // compacting the overflow incrementally so each batch stays small.
-  if (next_groups.size() > options_.max_groups && options_.max_groups > 0) {
-    std::vector<std::pair<double, const std::string*>> by_mass;
-    by_mass.reserve(next_groups.size());
-    for (const auto& [key, group] : next_groups) {
-      by_mass.emplace_back(GroupMass(group), &key);
+  for (Group& g : groups_) {
+    if (g.sums.capacity() > 0 &&
+        sc.sums_pool_entries + g.sums.capacity() <= kMaxPooledSumEntries) {
+      sc.sums_pool_entries += g.sums.capacity();
+      g.sums.clear();
+      sc.sums_pool.push_back(std::move(g.sums));
+    }
+  }
+  groups_.clear();
+  open_begin_ = next_begin;
+  if (sc.next_groups.size() > options_.max_groups && options_.max_groups > 0) {
+    sc.by_mass.clear();
+    sc.by_mass.reserve(sc.next_groups.size());
+    for (uint32_t gi = 0; gi < sc.next_groups.size(); ++gi) {
+      sc.by_mass.emplace_back(GroupMass(sc.next_groups[gi]), gi);
     }
     const size_t keep = options_.max_groups - 1;
     std::nth_element(
-        by_mass.begin(), by_mass.begin() + static_cast<ptrdiff_t>(keep),
-        by_mass.end(),
+        sc.by_mass.begin(), sc.by_mass.begin() + static_cast<ptrdiff_t>(keep),
+        sc.by_mass.end(),
         [](const auto& a, const auto& b) { return a.first > b.first; });
     Group overflow;
-    for (size_t i = keep; i < by_mass.size(); ++i) {
-      const std::string key_copy = *by_mass[i].second;  // outlives the erase
-      Group& g = next_groups[key_copy];
-      Interval shift(0.0, 0.0);
-      for (const Interval& b : g.boxes) shift = shift + b;
-      for (const SumEntry& se : g.sums) {
-        overflow.sums.push_back(SumEntry{se.sum + shift, se.prob});
-      }
-      next_groups.erase(key_copy);
+    for (size_t i = keep; i < sc.by_mass.size(); ++i) {
+      Group& g = sc.next_groups[sc.by_mass[i].second];
+      CloseGroup(&g);
+      overflow.sums.insert(overflow.sums.end(), g.sums.begin(), g.sums.end());
+      g.sums.clear();
       if (overflow.sums.size() > 4 * options_.sums_per_box_cap) {
-        CompactSums(&overflow, options_.sums_per_box_cap);
+        CompactSums(&overflow.sums, options_.sums_per_box_cap);
       }
+    }
+    groups_.reserve(keep + 1);
+    for (size_t i = 0; i < keep; ++i) {
+      groups_.push_back(std::move(sc.next_groups[sc.by_mass[i].second]));
     }
     if (!overflow.sums.empty()) {
-      CompactSums(&overflow, options_.sums_per_box_cap);
-      Group& target = next_groups[GroupKey(overflow.boxes)];
-      if (target.sums.empty()) {
-        target = std::move(overflow);
+      CompactSums(&overflow.sums, options_.sums_per_box_cap);
+      // Merge with a kept unconditioned group if one survived.
+      Group* target = nullptr;
+      for (Group& g : groups_) {
+        if (g.key.n == 0) {
+          target = &g;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        groups_.push_back(std::move(overflow));
       } else {
-        target.sums.insert(target.sums.end(), overflow.sums.begin(),
-                           overflow.sums.end());
-        CompactSums(&target, options_.sums_per_box_cap);
+        target->sums.insert(target->sums.end(), overflow.sums.begin(),
+                            overflow.sums.end());
+        CompactSums(&target->sums, options_.sums_per_box_cap);
       }
     }
+  } else {
+    groups_.swap(sc.next_groups);
   }
-
-  groups_ = std::move(next_groups);
+  MaybeCompactPool();
 }
 
 double ChainSweeper::MassRemaining() const {
   double m = 0.0;
-  for (const auto& [key, group] : groups_) {
-    (void)key;
-    m += GroupMass(group);
-  }
+  for (const Group& g : groups_) m += GroupMass(g);
   return m;
 }
 
 double ChainSweeper::MinSum() const {
   double best = std::numeric_limits<double>::infinity();
-  for (const auto& [key, group] : groups_) {
-    (void)key;
+  for (const Group& g : groups_) {
     double open_min = 0.0;
-    for (const Interval& b : group.boxes) open_min += b.lo;
-    for (const SumEntry& se : group.sums) {
+    for (uint32_t j = 0; j < g.key.n; ++j) open_min += pool_.Get(g.key.ids[j]).lo;
+    for (const SumEntry& se : g.sums) {
       if (se.prob > 0.0) best = std::min(best, se.sum.lo + open_min);
     }
   }
@@ -260,15 +633,14 @@ double ChainSweeper::MinSum() const {
 StatusOr<Histogram1D> ChainSweeper::Finalize() const {
   std::vector<WeightedInterval> parts_out;
   double total = 0.0;
-  for (const auto& [key, group] : groups_) {
-    (void)key;
+  for (const Group& g : groups_) {
     Interval open_shift(0.0, 0.0);
-    for (const Interval& b : group.boxes) open_shift = open_shift + b;
-    for (const SumEntry& se : group.sums) {
+    for (uint32_t j = 0; j < g.key.n; ++j) {
+      open_shift = open_shift + pool_.Get(g.key.ids[j]);
+    }
+    for (const SumEntry& se : g.sums) {
       if (se.prob <= 0.0) continue;
-      Interval iv = se.sum + open_shift;
-      if (iv.width() <= 0.0) iv.hi = iv.lo + 1e-9;
-      parts_out.emplace_back(iv, se.prob);
+      parts_out.emplace_back((se.sum + open_shift).Inflated(), se.prob);
       total += se.prob;
     }
   }

@@ -15,9 +15,22 @@
 // dimensions Minkowski-sum their bucket ranges into the running total; the
 // final states are flattened into a disjoint 1-D histogram (Fig. 7) and
 // compacted.
+//
+// State representation (the hot path of every efficiency figure): open
+// boxes are interned into a per-sweeper interval pool, so a state's open
+// separator box is a short tuple of integer ids. Grouping states then
+// hashes a small inline integer key (no heap key, no double-byte aliasing —
+// interning normalizes -0.0 to 0.0, so signed zeros cannot split a group),
+// the per-part separator marginal is a dense array indexed by flattened
+// hyper-bucket separator id, and all per-transition temporaries live in
+// warm thread-local scratch buffers (including the progressive compaction,
+// which runs the hist:: flatten+compact pipeline allocation-free). Because
+// a part's open suffix is a contiguous position range, position→slot
+// lookup is arithmetic.
 #pragma once
 
-#include <string>
+#include <array>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -61,6 +74,12 @@ struct ChainDiagnostics {
 /// prefix ("path + another edge", Sec. 4.3).
 class ChainSweeper {
  public:
+  /// Separator dimensions a state can keep open. Parts whose open suffix
+  /// exceeds this (rank far beyond HybridParams::max_instantiated_rank = 8)
+  /// have the excess dimensions closed into the running sums — a graceful
+  /// fallback toward part independence for those dimensions only.
+  static constexpr size_t kMaxOpenDims = 16;
+
   explicit ChainSweeper(const ChainOptions& options);
 
   /// Applies one part. `next_overlap_start` is the query position where the
@@ -85,22 +104,117 @@ class ChainSweeper {
   double MinSum() const;
 
  private:
+  using BoxId = uint32_t;
+
   struct SumEntry {
     Interval sum;
     double prob;
   };
+
+  /// Inline tuple of interned open-box ids; the group key. Hashes and
+  /// compares as integers.
+  struct BoxKey {
+    uint32_t n = 0;
+    std::array<BoxId, kMaxOpenDims> ids{};
+
+    bool operator==(const BoxKey& o) const {
+      if (n != o.n) return false;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (ids[i] != o.ids[i]) return false;
+      }
+      return true;
+    }
+  };
+  struct BoxKeyHash {
+    size_t operator()(const BoxKey& k) const;
+  };
+
+  /// A state group: all accumulated-sum entries sharing one open box tuple.
+  /// The open *positions* are shared by every group of a sweep (always the
+  /// contiguous range [open_begin_, open_begin_ + key.n); the overflow /
+  /// initial group has key.n == 0), so they live on the sweeper, not here.
   struct Group {
-    std::vector<size_t> positions;  // global edge positions of open dims
-    std::vector<Interval> boxes;    // open box per position
+    BoxKey key;
     std::vector<SumEntry> sums;
   };
 
-  static std::string GroupKey(const std::vector<Interval>& boxes);
+  /// Interns intervals (exact value equality, signed zeros normalized) so
+  /// box tuples compare and hash as integer ids. Compacted when it outgrows
+  /// the surviving groups, keeping sweeper copies cheap.
+  class IntervalPool {
+   public:
+    BoxId Intern(const Interval& iv);
+    const Interval& Get(BoxId id) const { return intervals_[id]; }
+    size_t size() const { return intervals_.size(); }
+    void Clear();
+
+   private:
+    struct Bits {
+      uint64_t lo, hi;
+      bool operator==(const Bits& o) const {
+        return lo == o.lo && hi == o.hi;
+      }
+    };
+    struct BitsHash {
+      size_t operator()(const Bits& b) const;
+    };
+    std::vector<Interval> intervals_;
+    std::unordered_map<Bits, BoxId, BitsHash> index_;
+  };
+
+  /// Per-thread scratch for ApplyPart: rebuilt from scratch per part, so
+  /// one warm instance per thread serves every sweeper on it (routing
+  /// copies sweepers per explored prefix; per-sweeper scratch would start
+  /// cold each time and pay the allocations again). Sweepers on different
+  /// threads get independent instances, keeping EstimateBatch lock-free.
+  struct Scratch {
+    std::vector<uint32_t> live;         // indices of positive-mass buckets
+    std::vector<double> cond_w;         // per live bucket: prob / sep marginal
+    std::vector<Interval> o_box;        // per live bucket × O dim: bucket box
+    std::vector<Interval> close_shift;  // per live bucket: closing, non-O dims
+    std::vector<BoxId> open_ids;        // per live bucket × non-O open slot
+    std::vector<BoxId> raw_o_ids;       // per live bucket × O dim (unkeyed)
+    std::vector<double> sep_marginal;   // dense separator marginal
+    std::vector<uint64_t> sep_stride;   // flattening strides per O dim
+    std::vector<Group> next_groups;
+    std::unordered_map<BoxKey, uint32_t, BoxKeyHash> next_index;
+    std::vector<std::pair<double, uint32_t>> by_mass;  // demote ordering
+    /// Recycled sums buffers: a part can materialize thousands of transient
+    /// groups, and without reuse every one pays a heap allocation for its
+    /// sums vector (the dominant hidden cost of the old kernel's per-part
+    /// rebuild). Total retained capacity is budgeted (the scratch lives
+    /// for the thread's lifetime; one pathological query must not pin
+    /// its peak footprint forever).
+    std::vector<std::vector<SumEntry>> sums_pool;
+    size_t sums_pool_entries = 0;  // summed capacity of pooled buffers
+    // Fused flatten+compact (CompactSums) buffers.
+    std::vector<double> cs_cuts;
+    std::vector<double> cs_diff;
+    std::vector<int32_t> cs_cover;
+    std::vector<SumEntry> cs_flat;
+    std::vector<double> cs_cost;  // greedy-merge pair costs, left-indexed
+    std::vector<double> cs_block_cost;  // per-block minimum of cs_cost
+    std::vector<uint32_t> cs_block_idx;  // index of that minimum
+    std::vector<uint32_t> cs_next;
+    std::vector<uint32_t> cs_prev;
+    std::vector<char> cs_alive;
+  };
+
+  static Scratch& LocalScratch();
   static double GroupMass(const Group& g);
-  static void CompactSums(Group* g, size_t cap);
+  void CompactSums(std::vector<SumEntry>* sums, size_t cap);
+  /// Folds a group's open boxes into its sums (the interval Minkowski
+  /// shift), leaving it unconditioned.
+  void CloseGroup(Group* g);
+  /// Re-interns the surviving groups' boxes into a fresh pool once the pool
+  /// outgrows them, bounding sweeper copy cost.
+  void MaybeCompactPool();
 
   ChainOptions options_;
-  std::unordered_map<std::string, Group> groups_;
+  std::vector<Group> groups_;
+  IntervalPool pool_;
+  size_t open_begin_ = 0;   // first open position; groups with key.n > 0
+                            // cover [open_begin_, open_begin_ + key.n)
   size_t max_states_ = 0;
 };
 

@@ -1,0 +1,65 @@
+// Reference (pre-rewrite) implementation of the Eq. 2 chain sweep, kept
+// verbatim from before the flat-keyed-state rewrite of ChainSweeper. It is
+// the behavioral oracle: the golden-equivalence test asserts the optimized
+// sweeper reproduces its output, and bench_chain_micro measures the
+// rewrite's speedup against it. Not for production use — it allocates a
+// heap string key per state transition and rescans caches linearly.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "core/chain_estimator.h"
+#include "core/decomposition.h"
+#include "hist/histogram1d.h"
+
+namespace pcde {
+namespace core {
+namespace reference {
+
+/// \brief The pre-rewrite sweeper: string-of-doubles group keys,
+/// std::map separator caches, per-bucket temporaries, linear slot scans.
+class ReferenceChainSweeper {
+ public:
+  explicit ReferenceChainSweeper(const ChainOptions& options);
+
+  void ApplyPart(const DecompositionPart& part, size_t next_overlap_start);
+  double MassRemaining() const;
+  size_t max_states() const { return max_states_; }
+  StatusOr<hist::Histogram1D> Finalize() const;
+  double MinSum() const;
+
+ private:
+  struct SumEntry {
+    Interval sum;
+    double prob;
+  };
+  struct Group {
+    std::vector<size_t> positions;
+    std::vector<Interval> boxes;
+    std::vector<SumEntry> sums;
+  };
+
+  static std::string GroupKey(const std::vector<Interval>& boxes);
+  static double GroupMass(const Group& g);
+  static void CompactSums(Group* g, size_t cap);
+
+  ChainOptions options_;
+  std::unordered_map<std::string, Group> groups_;
+  size_t max_states_ = 0;
+};
+
+/// One-shot estimation through the reference sweeper (same retry-under-
+/// independence protocol as EstimateFromDecomposition, including the
+/// optional JC/MC phase timers).
+StatusOr<hist::Histogram1D> ReferenceEstimateFromDecomposition(
+    const Decomposition& de, const ChainOptions& options = ChainOptions(),
+    ChainDiagnostics* diagnostics = nullptr, PhaseTimer* jc_timer = nullptr,
+    PhaseTimer* mc_timer = nullptr);
+
+}  // namespace reference
+}  // namespace core
+}  // namespace pcde

@@ -60,6 +60,23 @@ StatusOr<Histogram1D> HybridEstimator::EstimateCostDistribution(
   return result;
 }
 
+std::vector<StatusOr<Histogram1D>> HybridEstimator::EstimateBatch(
+    const PathQuery* queries, size_t num_queries, ThreadPool* pool) const {
+  std::vector<StatusOr<Histogram1D>> results(
+      num_queries, Status::Internal("EstimateBatch: query not run"));
+  pool->ParallelFor(num_queries, [this, queries, &results](size_t i) {
+    results[i] =
+        EstimateCostDistribution(queries[i].path, queries[i].departure_time);
+  });
+  return results;
+}
+
+std::vector<StatusOr<Histogram1D>> HybridEstimator::EstimateBatch(
+    const PathQuery* queries, size_t num_queries, size_t num_threads) const {
+  ThreadPool pool(num_threads);
+  return EstimateBatch(queries, num_queries, &pool);
+}
+
 StatusOr<double> HybridEstimator::EstimateEntropy(const Path& path,
                                                   double departure_time) const {
   PCDE_ASSIGN_OR_RETURN(de, Decompose(path, departure_time));

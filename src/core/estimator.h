@@ -12,6 +12,7 @@
 #pragma once
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/chain_estimator.h"
 #include "core/decomposition.h"
 #include "core/weight_function.h"
@@ -38,6 +39,12 @@ struct EstimateBreakdown {
   ChainDiagnostics chain;
 };
 
+/// \brief One element of a batch estimation request.
+struct PathQuery {
+  roadnet::Path path;
+  double departure_time = 0.0;
+};
+
 /// \brief Facade combining decomposition construction and Eq. 2 evaluation.
 class HybridEstimator {
  public:
@@ -53,6 +60,26 @@ class HybridEstimator {
   StatusOr<hist::Histogram1D> EstimateCostDistribution(
       const roadnet::Path& path, double departure_time,
       EstimateBreakdown* breakdown = nullptr) const;
+
+  /// \brief Estimates many path queries concurrently on a work-stealing
+  /// thread pool (one task per query); result i corresponds to queries[i],
+  /// and each result equals what the sequential EstimateCostDistribution
+  /// would return for that query. Estimation is read-only over the weight
+  /// function, so queries share it without locking — this is the serving
+  /// layer for heavy multi-user traffic.
+  ///
+  /// `num_threads` = 0 picks the hardware concurrency. Pass an external
+  /// pool to amortize thread start-up across batches (then `num_threads`
+  /// is ignored).
+  std::vector<StatusOr<hist::Histogram1D>> EstimateBatch(
+      const PathQuery* queries, size_t num_queries,
+      size_t num_threads = 0) const;
+  std::vector<StatusOr<hist::Histogram1D>> EstimateBatch(
+      const std::vector<PathQuery>& queries, size_t num_threads = 0) const {
+    return EstimateBatch(queries.data(), queries.size(), num_threads);
+  }
+  std::vector<StatusOr<hist::Histogram1D>> EstimateBatch(
+      const PathQuery* queries, size_t num_queries, ThreadPool* pool) const;
 
   /// The decomposition the configured policy selects for this query.
   StatusOr<Decomposition> Decompose(const roadnet::Path& path,

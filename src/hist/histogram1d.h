@@ -110,9 +110,26 @@ StatusOr<Histogram1D> FlattenToDisjoint(std::vector<WeightedInterval> parts);
 StatusOr<Histogram1D> Convolve(const Histogram1D& a, const Histogram1D& b,
                                size_t max_buckets = 64);
 
+/// \brief Cost of merging two adjacent buckets into one uniform bucket:
+/// the integrated squared density error (covering any gap between them,
+/// where the old density is 0). Shared by Compact and the chain sweeper's
+/// scratch-based progressive compaction, which must replicate Compact's
+/// merge decisions exactly.
+inline double MergeCost(const Interval& a_range, double a_prob,
+                        const Interval& b_range, double b_prob) {
+  const double w_merged = b_range.hi - a_range.lo;
+  const double d = (a_prob + b_prob) / w_merged;
+  const double da = a_prob / a_range.width();
+  const double db = b_prob / b_range.width();
+  const double gap = b_range.lo - a_range.hi;
+  return (da - d) * (da - d) * a_range.width() +
+         (db - d) * (db - d) * b_range.width() +
+         d * d * std::max(gap, 0.0);
+}
+
 /// \brief Reduces a histogram to at most `max_buckets` buckets by greedily
 /// merging the adjacent pair whose merge increases the L2 density error
-/// the least.
+/// the least (MergeCost).
 Histogram1D Compact(const Histogram1D& h, size_t max_buckets);
 
 /// \brief KL(p || q) in nats between two histograms, computed on the union

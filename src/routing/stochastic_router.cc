@@ -1,6 +1,10 @@
 #include "routing/stochastic_router.h"
 
+#include <algorithm>
+#include <atomic>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 namespace pcde {
 namespace routing {
@@ -22,24 +26,34 @@ DfsStochasticRouter::DfsStochasticRouter(const Graph& graph,
 
 namespace {
 
+/// Search state shared by all root branches: the expansion budget is
+/// global, so the parallel search does the same total work as the
+/// sequential one.
+struct SharedSearch {
+  std::atomic<size_t> expansions{0};
+  std::atomic<bool> truncated{false};
+};
+
 struct SearchContext {
   const Graph* graph;
   const RouterConfig* config;
   const std::vector<double>* lower_bound;  // admissible min time to dest
   VertexId destination;
   double budget;
-  RouteResult* result;
-  std::vector<bool>* visited;
+  SharedSearch* shared;
+  RouteResult* result;            // this branch's local result
+  std::vector<bool>* visited;     // this branch's visited set
 };
 
 void Dfs(SearchContext* ctx, const IncrementalEstimator& estimator,
          VertexId at, size_t depth) {
   RouteResult& res = *ctx->result;
-  if (res.expansions >= ctx->config->max_expansions) {
-    res.truncated = true;
+  if (ctx->shared->truncated.load(std::memory_order_relaxed)) return;
+  if (ctx->shared->expansions.fetch_add(1, std::memory_order_relaxed) >=
+      ctx->config->max_expansions) {
+    ctx->shared->truncated.store(true, std::memory_order_relaxed);
     return;
   }
-  ++res.expansions;
 
   if (at == ctx->destination) {
     ++res.candidate_paths;
@@ -67,7 +81,7 @@ void Dfs(SearchContext* ctx, const IncrementalEstimator& estimator,
     (*ctx->visited)[edge.to] = true;
     Dfs(ctx, next, edge.to, depth + 1);
     (*ctx->visited)[edge.to] = false;
-    if (res.truncated) return;
+    if (ctx->shared->truncated.load(std::memory_order_relaxed)) return;
   }
 }
 
@@ -95,32 +109,70 @@ StatusOr<RouteResult> DfsStochasticRouter::Route(VertexId from, VertexId to,
     return Status::NotFound("Route: budget infeasible even at free flow");
   }
 
-  RouteResult result;
-  std::vector<bool> visited(graph_.NumVertices(), false);
-  visited[from] = true;
-
-  SearchContext ctx;
-  ctx.graph = &graph_;
-  ctx.config = &config_;
-  ctx.lower_bound = &lower_bound;
-  ctx.destination = to;
-  ctx.budget = budget_seconds;
-  ctx.result = &result;
-  ctx.visited = &visited;
-
+  // Root fan-out: the DFS subtrees under distinct first edges are
+  // independent (each branch owns its visited set), so they run as
+  // parallel pool tasks sharing only the expansion budget. Pruning is
+  // budget-driven, not best-so-far-driven, so as long as the expansion
+  // cap is not hit the branch partition does not change which paths are
+  // explored; a truncated search explores whichever prefix of the work
+  // the scheduler reached, so its result (like any anytime cutoff) can
+  // vary run to run.
+  std::vector<EdgeId> roots;
   for (EdgeId e : graph_.OutEdges(from)) {
     const roadnet::Edge& edge = graph_.edge(e);
-    if (visited[edge.to]) continue;
+    if (edge.to == from) continue;
     if (lower_bound[edge.to] == roadnet::kInfCost) continue;
+    roots.push_back(e);
+  }
+
+  SharedSearch shared;
+  std::vector<RouteResult> branch_results(roots.size());
+  auto run_branch = [&](size_t i) {
+    const EdgeId e = roots[i];
+    const roadnet::Edge& edge = graph_.edge(e);
     IncrementalEstimator estimator(wp_, estimate_options_, e, departure_time);
     if (estimator.MinTotalCost() + lower_bound[edge.to] > budget_seconds) {
-      continue;
+      return;
     }
+    std::vector<bool> visited(graph_.NumVertices(), false);
+    visited[from] = true;
     visited[edge.to] = true;
+
+    SearchContext ctx;
+    ctx.graph = &graph_;
+    ctx.config = &config_;
+    ctx.lower_bound = &lower_bound;
+    ctx.destination = to;
+    ctx.budget = budget_seconds;
+    ctx.shared = &shared;
+    ctx.result = &branch_results[i];
+    ctx.visited = &visited;
     Dfs(&ctx, estimator, edge.to, 1);
-    visited[edge.to] = false;
-    if (result.truncated) break;
+  };
+  if (config_.num_threads == 1 || roots.size() <= 1) {
+    // Nothing to fan out (or parallelism disabled): skip pool start-up.
+    for (size_t i = 0; i < roots.size(); ++i) run_branch(i);
+  } else {
+    ThreadPool pool(config_.num_threads);
+    pool.ParallelFor(roots.size(), run_branch);
   }
+
+  // Merge in root-edge order, so for non-truncated searches ties resolve
+  // exactly as the sequential search did regardless of thread scheduling.
+  RouteResult result;
+  for (const RouteResult& br : branch_results) {
+    result.candidate_paths += br.candidate_paths;
+    if (br.best_probability > result.best_probability) {
+      result.best_probability = br.best_probability;
+      result.best_path = br.best_path;
+    }
+  }
+  // The racy fetch_adds can overshoot the cap slightly; clamp so the
+  // old invariant expansions <= max_expansions holds for callers.
+  result.expansions = std::min(
+      shared.expansions.load(std::memory_order_relaxed),
+      config_.max_expansions);
+  result.truncated = shared.truncated.load(std::memory_order_relaxed);
 
   if (result.best_path.empty()) {
     return Status::NotFound("Route: no path within budget found");

@@ -27,6 +27,9 @@ struct RouterConfig {
   /// generous budget is exponential (also true of [10]).
   size_t max_expansions = 500000;
   size_t max_path_edges = 150;
+  /// Worker threads for the root fan-out (the DFS subtrees under distinct
+  /// first edges run as parallel pool tasks); 0 = hardware concurrency.
+  size_t num_threads = 0;
 };
 
 struct RouteResult {

@@ -1,0 +1,192 @@
+// Concurrency tests for the EstimateBatch layer: the parallel batch must
+// match the sequential estimator result-for-result (estimation is
+// read-only over the weight function), reuse an external pool, and the
+// parallel routing root fan-out must agree with a single-threaded run.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/estimator.h"
+#include "core/instantiation.h"
+#include "hist/histogram_nd.h"
+#include "routing/stochastic_router.h"
+#include "traj/generator.h"
+#include "traj/store.h"
+
+namespace pcde {
+namespace core {
+namespace {
+
+using hist::Histogram1D;
+using roadnet::Path;
+using traj::TrajectoryStore;
+
+class BatchFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Small dataset: the point is concurrency coverage, not statistics.
+    dataset_ = new traj::Dataset(traj::MakeDatasetA(3000));
+    HybridParams params;
+    params.beta = 10;
+    store_ = new TrajectoryStore(dataset_->MatchedSlice(1.0));
+    wp_ = new PathWeightFunction(
+        InstantiateWeightFunction(*dataset_->graph, *store_, params));
+  }
+  static void TearDownTestSuite() {
+    delete wp_;
+    delete store_;
+    delete dataset_;
+    wp_ = nullptr;
+    store_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  /// Queries drawn from instantiated variables (so decompositions are
+  /// nontrivial), departing inside each variable's interval.
+  static std::vector<PathQuery> MakeQueries(size_t limit) {
+    std::vector<PathQuery> queries;
+    for (const InstantiatedVariable& v : wp_->variables()) {
+      if (v.from_speed_limit) continue;
+      const Interval ij = wp_->binning().IntervalOf(v.interval);
+      queries.push_back(PathQuery{v.path, ij.lo + 60.0});
+      if (queries.size() >= limit) break;
+    }
+    return queries;
+  }
+
+  static traj::Dataset* dataset_;
+  static TrajectoryStore* store_;
+  static PathWeightFunction* wp_;
+};
+
+traj::Dataset* BatchFixture::dataset_ = nullptr;
+TrajectoryStore* BatchFixture::store_ = nullptr;
+PathWeightFunction* BatchFixture::wp_ = nullptr;
+
+void ExpectSameResult(const StatusOr<Histogram1D>& got,
+                      const StatusOr<Histogram1D>& want, size_t i) {
+  ASSERT_EQ(got.ok(), want.ok()) << "query " << i;
+  if (!got.ok()) {
+    EXPECT_EQ(got.status().code(), want.status().code()) << "query " << i;
+    return;
+  }
+  ASSERT_EQ(got.value().NumBuckets(), want.value().NumBuckets())
+      << "query " << i;
+  for (size_t b = 0; b < got.value().NumBuckets(); ++b) {
+    EXPECT_DOUBLE_EQ(got.value().bucket(b).range.lo,
+                     want.value().bucket(b).range.lo);
+    EXPECT_DOUBLE_EQ(got.value().bucket(b).range.hi,
+                     want.value().bucket(b).range.hi);
+    EXPECT_DOUBLE_EQ(got.value().bucket(b).prob, want.value().bucket(b).prob);
+  }
+}
+
+TEST_F(BatchFixture, BatchMatchesSequentialResultForResult) {
+  const HybridEstimator estimator(*wp_);
+  const std::vector<PathQuery> queries = MakeQueries(60);
+  ASSERT_GE(queries.size(), 20u);
+
+  const auto batch = estimator.EstimateBatch(queries, 4);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto sequential = estimator.EstimateCostDistribution(
+        queries[i].path, queries[i].departure_time);
+    ExpectSameResult(batch[i], sequential, i);
+  }
+}
+
+TEST_F(BatchFixture, ExternalPoolIsReusableAcrossBatches) {
+  const HybridEstimator estimator(*wp_);
+  const std::vector<PathQuery> queries = MakeQueries(24);
+  ThreadPool pool(3);
+  const auto first = estimator.EstimateBatch(queries.data(), queries.size(),
+                                             &pool);
+  const auto second = estimator.EstimateBatch(queries.data(), queries.size(),
+                                              &pool);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ExpectSameResult(first[i], second[i], i);
+  }
+}
+
+TEST_F(BatchFixture, RandomPolicyBatchIsDeterministicPerQuery) {
+  // The kRandom policy seeds its Rng from the query path, so the batch
+  // must be reproducible run-to-run even under concurrency.
+  EstimateOptions options;
+  options.policy = DecompositionPolicy::kRandom;
+  const HybridEstimator estimator(*wp_, options);
+  const std::vector<PathQuery> queries = MakeQueries(20);
+  const auto a = estimator.EstimateBatch(queries, 4);
+  const auto b = estimator.EstimateBatch(queries, 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ExpectSameResult(a[i], b[i], i);
+}
+
+TEST(ParallelRoutingTest, RootFanOutMatchesSingleThreaded) {
+  // A 4x4 grid with per-edge unit variables: the root fan-out explores
+  // the two out-edges of the corner source as independent branches; the
+  // merged result must match the single-threaded run exactly (pruning is
+  // budget-driven, so the branch partition cannot change the answer).
+  constexpr int kSide = 4;
+  roadnet::Graph g;
+  std::vector<roadnet::VertexId> v;
+  for (int i = 0; i < kSide; ++i) {
+    for (int j = 0; j < kSide; ++j) {
+      v.push_back(g.AddVertex(1000.0 * i, 1000.0 * j));
+    }
+  }
+  PathWeightFunction wp{TimeBinning(30.0)};
+  Rng rng(11);
+  auto connect = [&](roadnet::VertexId a, roadnet::VertexId b) {
+    const roadnet::EdgeId e = g.AddEdge(a, b, 1000.0, 13.9).value();
+    const double fast = rng.Uniform(60.0, 90.0);
+    InstantiatedVariable var;
+    var.path = Path({e});
+    var.interval = kAllDayInterval;
+    var.joint = hist::HistogramND::FromHistogram1D(
+        Histogram1D::Make({{fast, fast + 30.0, 0.8},
+                           {fast + 60.0, fast + 120.0, 0.2}})
+            .value());
+    var.from_speed_limit = true;
+    wp.Add(std::move(var));
+  };
+  for (int i = 0; i < kSide; ++i) {
+    for (int j = 0; j < kSide; ++j) {
+      if (i + 1 < kSide) connect(v[i * kSide + j], v[(i + 1) * kSide + j]);
+      if (j + 1 < kSide) connect(v[i * kSide + j], v[i * kSide + j + 1]);
+    }
+  }
+
+  routing::RouterConfig sequential;
+  sequential.num_threads = 1;
+  routing::RouterConfig parallel;
+  parallel.num_threads = 4;
+  const routing::DfsStochasticRouter router_seq(g, wp, EstimateOptions(),
+                                                sequential);
+  const routing::DfsStochasticRouter router_par(g, wp, EstimateOptions(),
+                                                parallel);
+  size_t compared = 0;
+  for (double budget_s : {500.0, 700.0, 900.0, 1200.0}) {
+    auto seq = router_seq.Route(v.front(), v.back(), 8 * 3600.0, budget_s);
+    auto par = router_par.Route(v.front(), v.back(), 8 * 3600.0, budget_s);
+    ASSERT_EQ(seq.ok(), par.ok()) << budget_s;
+    if (!seq.ok()) continue;
+    EXPECT_FALSE(seq.value().truncated);
+    EXPECT_FALSE(par.value().truncated);
+    EXPECT_DOUBLE_EQ(seq.value().best_probability,
+                     par.value().best_probability)
+        << budget_s;
+    EXPECT_EQ(seq.value().best_path.edges(), par.value().best_path.edges())
+        << budget_s;
+    EXPECT_EQ(seq.value().candidate_paths, par.value().candidate_paths)
+        << budget_s;
+    EXPECT_EQ(seq.value().expansions, par.value().expansions) << budget_s;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pcde

@@ -243,6 +243,42 @@ TEST(ChainTest, StateCompactionBoundsStates) {
   EXPECT_NEAR(est.value().Mean(), 6 * wide.Mean(), 2.0);
 }
 
+TEST(ChainTest, NegativeZeroBoundsMatchPositiveZeroExactly) {
+  // Regression: the pre-rewrite kernel keyed state groups on the raw bytes
+  // of the box bounds, so an open box [-0.0, x) and [0.0, x) landed in
+  // *different* groups. The sweeper interns boxes with signed zeros
+  // normalized; a chain whose histograms carry -0.0 bounds must produce
+  // the same states (max_states) and the same distribution as the +0.0
+  // twin, bucket for bucket.
+  auto estimate_with_zero = [](double zero, ChainDiagnostics* diag) {
+    const HistogramND pair12 =
+        HistogramND::Make({{0, 10, 20}, {zero, 20}},
+                          {{{0, 0}, 0.5}, {{1, 0}, 0.5}})
+            .value();
+    const HistogramND pair23 =
+        HistogramND::Make({{zero, 10, 20}, {0, 10, 20}},
+                          {{{0, 0}, 0.4}, {{0, 1}, 0.1}, {{1, 1}, 0.5}})
+            .value();
+    const InstantiatedVariable v12 = VarFromND({1, 2}, pair12);
+    const InstantiatedVariable v23 = VarFromND({2, 3}, pair23);
+    const Decomposition de = {DecompositionPart{&v12, 0},
+                              DecompositionPart{&v23, 1}};
+    auto est = EstimateFromDecomposition(de, ChainOptions(), diag);
+    EXPECT_TRUE(est.ok()) << est.status().ToString();
+    return est.value();
+  };
+  ChainDiagnostics diag_neg, diag_pos;
+  const Histogram1D with_neg = estimate_with_zero(-0.0, &diag_neg);
+  const Histogram1D with_pos = estimate_with_zero(0.0, &diag_pos);
+  EXPECT_EQ(diag_neg.max_states, diag_pos.max_states);
+  ASSERT_EQ(with_neg.NumBuckets(), with_pos.NumBuckets());
+  for (size_t b = 0; b < with_neg.NumBuckets(); ++b) {
+    EXPECT_DOUBLE_EQ(with_neg.bucket(b).range.lo, with_pos.bucket(b).range.lo);
+    EXPECT_DOUBLE_EQ(with_neg.bucket(b).range.hi, with_pos.bucket(b).range.hi);
+    EXPECT_DOUBLE_EQ(with_neg.bucket(b).prob, with_pos.bucket(b).prob);
+  }
+}
+
 TEST(ChainTest, EmptyDecompositionRejected) {
   EXPECT_FALSE(EstimateFromDecomposition({}).ok());
 }

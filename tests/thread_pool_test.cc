@@ -1,0 +1,107 @@
+// Tests for the work-stealing thread pool behind EstimateBatch and the
+// routing root fan-out. Build with -DPCDE_SANITIZE=address (or thread) to
+// exercise the pool under a sanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace pcde {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> ran(kTasks);
+  for (auto& r : ran) r.store(0);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&ran, i] { ran[i].fetch_add(1); });
+  }
+  pool.Wait();
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(ran[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForCoversTheRange) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<uint64_t>> out(kN);
+  for (auto& o : out) o.store(0);
+  pool.ParallelFor(kN, [&out](size_t i) { out[i].fetch_add(i + 1); });
+  uint64_t total = 0;
+  for (auto& o : out) total += o.load();
+  EXPECT_EQ(total, kN * (kN + 1) / 2);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&pool, &count] {
+      count.fetch_add(1);
+      for (int j = 0; j < 5; ++j) {
+        pool.Submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  pool.Wait();  // must include the nested tasks
+  EXPECT_EQ(count.load(), 10 + 10 * 5);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(100, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No explicit Wait: the destructor must finish the queue first.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(TwoPoolsTest, CrossPoolSubmissionLandsInTheRightPool) {
+  // A worker of pool A submitting into pool B must not index into B's
+  // queues with A's worker slot.
+  ThreadPool a(2), b(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    a.Submit([&b, &count] { b.Submit([&count] { count.fetch_add(1); }); });
+  }
+  a.Wait();
+  b.Wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace pcde
