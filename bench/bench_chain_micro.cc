@@ -156,31 +156,63 @@ int main(int argc, char** argv) {
   series.push_back(std::move(paired.second));
 
   // The batch layer over the same queries (end-to-end per query, so OI +
-  // JC + MC, amortized across the pool): throughput only.
-  {
-    const core::HybridEstimator estimator(*w.wp);
-    ThreadPool pool(0);
-    Stopwatch watch;
-    const int batch_reps = std::max(1, reps / 4);
+  // JC + MC, amortized across the pool), one series per worker count.
+  // ops_per_sec is wall-clock batch throughput; p50/p99 are the per-query
+  // latencies BatchMetrics records inside EstimateBatch.
+  const int batch_reps = std::max(1, reps / 4);
+  auto run_batch = [&](const char* prefix, size_t threads,
+                       core::QueryCache* cache) {
+    core::HybridEstimator estimator(*w.wp);
+    estimator.set_query_cache(cache);
+    ThreadPool pool(threads);
+    std::vector<double> latencies;
+    latencies.reserve(w.queries.size() * static_cast<size_t>(batch_reps));
+    uint64_t hits = 0, misses = 0;
     size_t total = 0;
+    Stopwatch watch;
     for (int r = 0; r < batch_reps; ++r) {
-      auto results =
-          estimator.EstimateBatch(w.queries.data(), w.queries.size(), &pool);
+      core::BatchMetrics metrics;
+      auto results = estimator.EstimateBatch(w.queries.data(),
+                                             w.queries.size(), &pool,
+                                             &metrics);
       total += results.size();
+      latencies.insert(latencies.end(), metrics.query_seconds.begin(),
+                       metrics.query_seconds.end());
+      hits += metrics.cache_hits;
+      misses += metrics.cache_misses;
     }
-    KernelSeries batch;
-    batch.name = "estimate_batch_threads_" + std::to_string(pool.num_threads());
+    const double wall = watch.ElapsedSeconds();
+    KernelSeries batch = KernelSeries::FromLatencies(
+        std::string(prefix) + std::to_string(pool.num_threads()),
+        std::move(latencies), 0);
     batch.iterations = total;
-    batch.ops_per_sec =
-        static_cast<double>(total) / std::max(watch.ElapsedSeconds(), 1e-12);
-    series.push_back(batch);
+    batch.ops_per_sec = static_cast<double>(total) / std::max(wall, 1e-12);
+    batch.cache_hits = hits;
+    batch.cache_misses = misses;
+    series.push_back(std::move(batch));
+  };
+  for (size_t threads : {2, 4, 8}) {
+    run_batch("estimate_batch_threads_", threads, nullptr);
+  }
+  {
+    // The serving path: repeated batches against a shared query cache
+    // (reps > 1 turns every repeat into hits).
+    core::QueryCache cache;
+    run_batch("estimate_batch_cached_threads_", 4, &cache);
   }
 
   for (const KernelSeries& s : series) {
-    std::printf("  %-28s %8zu its  %10.1f ops/s  p50 %8.3f ms  p99 %8.3f ms"
-                "  max_states %zu  jc %.3fs  mc %.3fs\n",
+    std::printf("  %-32s %8zu its  %10.1f ops/s  p50 %8.3f ms  p99 %8.3f ms"
+                "  max_states %zu  jc %.3fs  mc %.3fs",
                 s.name.c_str(), s.iterations, s.ops_per_sec, s.p50_ms,
                 s.p99_ms, s.max_states, s.jc_seconds, s.mc_seconds);
+    if (s.cache_hits + s.cache_misses > 0) {
+      std::printf("  cache %llu/%llu hits",
+                  static_cast<unsigned long long>(s.cache_hits),
+                  static_cast<unsigned long long>(s.cache_hits +
+                                                  s.cache_misses));
+    }
+    std::printf("\n");
   }
   const double speedup =
       series[1].ops_per_sec > 0.0 ? series[0].ops_per_sec / series[1].ops_per_sec

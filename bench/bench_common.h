@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -191,6 +192,10 @@ inline std::string Mb(size_t bytes) {
 // ---------------------------------------------------------------------------
 
 /// Latency/throughput summary of one measured kernel configuration.
+/// For batch series, ops_per_sec is wall-clock batch throughput while
+/// p50_ms/p99_ms are per-query latencies inside the batch (recorded via
+/// core::BatchMetrics), and the cache_* fields carry the series' query-
+/// cache traffic (all zero when no cache is attached).
 struct KernelSeries {
   std::string name;        // e.g. "chain_sweep", "chain_sweep_reference"
   size_t iterations = 0;   // estimations measured
@@ -200,6 +205,8 @@ struct KernelSeries {
   size_t max_states = 0;   // peak sweeper states over the workload
   double jc_seconds = 0.0;  // total joint-computation (sweep) phase
   double mc_seconds = 0.0;  // total marginalization (finalize) phase
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
   /// Summarizes raw per-op latencies (seconds); sorts its input.
   static KernelSeries FromLatencies(std::string series_name,
@@ -243,15 +250,23 @@ inline bool WriteChainBenchJson(const std::string& path,
                bench_name.c_str());
   for (size_t i = 0; i < series.size(); ++i) {
     const KernelSeries& s = series[i];
+    const uint64_t cache_total = s.cache_hits + s.cache_misses;
+    const double hit_rate =
+        cache_total > 0
+            ? static_cast<double>(s.cache_hits) / static_cast<double>(cache_total)
+            : 0.0;
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"iterations\": %zu, "
                  "\"ops_per_sec\": %s, \"p50_ms\": %s, \"p99_ms\": %s, "
                  "\"max_states\": %zu, \"jc_seconds\": %s, "
-                 "\"mc_seconds\": %s}%s\n",
+                 "\"mc_seconds\": %s, \"cache_hits\": %llu, "
+                 "\"cache_misses\": %llu, \"cache_hit_rate\": %s}%s\n",
                  s.name.c_str(), s.iterations, num(s.ops_per_sec).c_str(),
                  num(s.p50_ms).c_str(), num(s.p99_ms).c_str(), s.max_states,
                  num(s.jc_seconds).c_str(), num(s.mc_seconds).c_str(),
-                 i + 1 < series.size() ? "," : "");
+                 static_cast<unsigned long long>(s.cache_hits),
+                 static_cast<unsigned long long>(s.cache_misses),
+                 num(hit_rate).c_str(), i + 1 < series.size() ? "," : "");
   }
   std::fprintf(f, "  ]");
   const KernelSeries* rewrite = nullptr;

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI gate: builds and tests the tree in two configurations, then runs the
+# chain perf record and fails if the kernel speedup regresses.
+#
+#   1. Debug + ASan, SIMD forced to the scalar fallback — the golden
+#      equivalence tests cover the non-SIMD chain kernel under the
+#      sanitizer.
+#   2. Release with SIMD on — the production configuration.
+#   3. scripts/run_benches.sh-equivalent perf record; fails the gate when
+#      BENCH_chain.json reports speedup_vs_reference < PCDE_CI_MIN_SPEEDUP
+#      (default 3).
+#
+# Usage: scripts/ci.sh [reps]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPS="${1:-8}"
+MIN_SPEEDUP="${PCDE_CI_MIN_SPEEDUP:-3}"
+
+echo "=== [1/3] Debug + ASan build (scalar SIMD fallback) ==="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DPCDE_SANITIZE=address \
+      -DPCDE_SIMD=OFF -DPCDE_BUILD_BENCHES=OFF -DPCDE_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j
+(cd build-asan && ctest --output-on-failure -j)
+
+echo "=== [2/3] Release build (SIMD on) ==="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j
+(cd build-release && ctest --output-on-failure -j)
+
+echo "=== [3/3] Chain perf gate (speedup_vs_reference >= ${MIN_SPEEDUP}) ==="
+./build-release/bench_chain_micro BENCH_chain.json "$REPS"
+SPEEDUP="$(grep -o '"speedup_vs_reference": *[0-9.eE+-]*' BENCH_chain.json \
+           | grep -o '[0-9.eE+-]*$')"
+if [[ -z "$SPEEDUP" ]]; then
+  echo "ci: BENCH_chain.json has no speedup_vs_reference" >&2
+  exit 1
+fi
+if ! awk -v s="$SPEEDUP" -v min="$MIN_SPEEDUP" \
+     'BEGIN { exit (s + 0 >= min + 0) ? 0 : 1 }'; then
+  echo "ci: speedup_vs_reference = $SPEEDUP < $MIN_SPEEDUP — perf regression" >&2
+  exit 1
+fi
+echo "ci: OK (speedup_vs_reference = $SPEEDUP)"

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Builds Release and runs the chain-estimation perf benches, writing the
 # BENCH_chain.json perf record at the repo root (schema: bench/README.md).
+# The record carries the paired kernel series (chain_sweep vs the frozen
+# reference), the multi-thread batch series estimate_batch_threads_{2,4,8}
+# with per-query p50/p99 latencies, and the cached batch series
+# estimate_batch_cached_threads_4 with its query-cache hit counts.
 #
 # Usage: scripts/run_benches.sh [reps]
 #   reps: measurement repetitions per decomposition for the chain

@@ -38,11 +38,15 @@ struct Interval {
 
   Interval Shift(double delta) const { return Interval(lo + delta, hi + delta); }
 
+  /// Default width given to degenerate intervals by Inflated(). Referenced
+  /// by the chain kernel's SIMD inflation, which must match bit for bit.
+  static constexpr double kDefaultInflateEps = 1e-9;
+
   /// Degenerate (zero-width) intervals inflated to a hair of width so the
   /// bucket machinery (FlattenToDisjoint) accepts them; non-degenerate
   /// intervals pass through unchanged. Accumulated sums start as [x, x)
   /// before any dimension closes, which is where this is needed.
-  Interval Inflated(double epsilon = 1e-9) const {
+  Interval Inflated(double epsilon = kDefaultInflateEps) const {
     return width() > 0.0 ? *this : Interval(lo, lo + epsilon);
   }
 

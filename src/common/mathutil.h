@@ -1,12 +1,32 @@
 // Small numerical helpers shared across modules: statistics over samples,
-// special functions for Gamma MLE (Fig. 11a), and safe logarithms for
-// KL-divergence computations.
+// special functions for Gamma MLE (Fig. 11a), safe logarithms for
+// KL-divergence computations, and the integer/double hashing primitives the
+// chain kernel and query cache key on.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace pcde {
+
+/// splitmix64 finalizer: a proper avalanche mix for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Bit pattern of a double with -0.0 normalized to 0.0, so signed zeros
+/// hash and compare as one value.
+inline uint64_t CanonicalDoubleBits(double v) {
+  if (v == 0.0) v = 0.0;  // collapses -0.0
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
 
 /// Natural log with floor: log(max(x, tiny)). Keeps KL computations finite
 /// under epsilon-smoothing.

@@ -1,0 +1,222 @@
+// Portable explicit-SIMD primitives for the chain kernel's hot loops: the
+// transition convolution (interval add + probability multiply) and the
+// flatten's density preparation, over structure-of-arrays double lanes.
+//
+// The backend is selected at compile time: AVX2 on x86-64, NEON on ARM, a
+// plain scalar loop otherwise. Define PCDE_SIMD_FORCE_SCALAR (CMake:
+// -DPCDE_SIMD=OFF) to force the scalar fallback — CI runs the golden
+// equivalence tests both ways. Every kernel here is elementwise (or an
+// order-insensitive min/max reduction), so all backends produce
+// bit-identical IEEE-754 results: switching SIMD on or off cannot change
+// any estimate. Reductions whose result depends on summation order (masses,
+// merge costs) deliberately stay scalar in the callers.
+#pragma once
+
+#include <cstddef>
+
+#if !defined(PCDE_SIMD_FORCE_SCALAR) && defined(__AVX2__)
+#define PCDE_SIMD_BACKEND_AVX2 1
+#include <immintrin.h>
+#elif !defined(PCDE_SIMD_FORCE_SCALAR) && \
+    (defined(__ARM_NEON) || defined(__ARM_NEON__) || defined(__aarch64__))
+#define PCDE_SIMD_BACKEND_NEON 1
+#include <arm_neon.h>
+#else
+#define PCDE_SIMD_BACKEND_SCALAR 1
+#endif
+
+namespace pcde {
+namespace simd {
+
+inline const char* BackendName() {
+#if defined(PCDE_SIMD_BACKEND_AVX2)
+  return "avx2";
+#elif defined(PCDE_SIMD_BACKEND_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+/// The transition convolution over a group's SoA sums: shift every interval
+/// by (dlo, dhi) and scale every probability by w, writing to the output
+/// lanes. Output may not alias input.
+inline void ShiftScaleTo(const double* lo, const double* hi, const double* prob,
+                         size_t n, double dlo, double dhi, double w,
+                         double* out_lo, double* out_hi, double* out_prob) {
+  size_t i = 0;
+#if defined(PCDE_SIMD_BACKEND_AVX2)
+  const __m256d vdlo = _mm256_set1_pd(dlo);
+  const __m256d vdhi = _mm256_set1_pd(dhi);
+  const __m256d vw = _mm256_set1_pd(w);
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out_lo + i,
+                     _mm256_add_pd(_mm256_loadu_pd(lo + i), vdlo));
+    _mm256_storeu_pd(out_hi + i,
+                     _mm256_add_pd(_mm256_loadu_pd(hi + i), vdhi));
+    _mm256_storeu_pd(out_prob + i,
+                     _mm256_mul_pd(_mm256_loadu_pd(prob + i), vw));
+  }
+#elif defined(PCDE_SIMD_BACKEND_NEON)
+  const float64x2_t vdlo = vdupq_n_f64(dlo);
+  const float64x2_t vdhi = vdupq_n_f64(dhi);
+  const float64x2_t vw = vdupq_n_f64(w);
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out_lo + i, vaddq_f64(vld1q_f64(lo + i), vdlo));
+    vst1q_f64(out_hi + i, vaddq_f64(vld1q_f64(hi + i), vdhi));
+    vst1q_f64(out_prob + i, vmulq_f64(vld1q_f64(prob + i), vw));
+  }
+#endif
+  for (; i < n; ++i) {
+    out_lo[i] = lo[i] + dlo;
+    out_hi[i] = hi[i] + dhi;
+    out_prob[i] = prob[i] * w;
+  }
+}
+
+/// In-place interval shift (closing a group's open boxes into its sums).
+inline void ShiftInPlace(double* lo, double* hi, size_t n, double dlo,
+                         double dhi) {
+  size_t i = 0;
+#if defined(PCDE_SIMD_BACKEND_AVX2)
+  const __m256d vdlo = _mm256_set1_pd(dlo);
+  const __m256d vdhi = _mm256_set1_pd(dhi);
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(lo + i, _mm256_add_pd(_mm256_loadu_pd(lo + i), vdlo));
+    _mm256_storeu_pd(hi + i, _mm256_add_pd(_mm256_loadu_pd(hi + i), vdhi));
+  }
+#elif defined(PCDE_SIMD_BACKEND_NEON)
+  const float64x2_t vdlo = vdupq_n_f64(dlo);
+  const float64x2_t vdhi = vdupq_n_f64(dhi);
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(lo + i, vaddq_f64(vld1q_f64(lo + i), vdlo));
+    vst1q_f64(hi + i, vaddq_f64(vld1q_f64(hi + i), vdhi));
+  }
+#endif
+  for (; i < n; ++i) {
+    lo[i] += dlo;
+    hi[i] += dhi;
+  }
+}
+
+/// Degenerate-interval inflation (Interval::Inflated over SoA lanes):
+/// out_lo = lo; out_hi = (hi - lo > 0) ? hi : lo + eps. The flatten accepts
+/// zero-width accumulated sums only after this widening.
+inline void InflateTo(const double* lo, const double* hi, size_t n, double eps,
+                      double* out_lo, double* out_hi) {
+  size_t i = 0;
+#if defined(PCDE_SIMD_BACKEND_AVX2)
+  const __m256d veps = _mm256_set1_pd(eps);
+  const __m256d vzero = _mm256_setzero_pd();
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vlo = _mm256_loadu_pd(lo + i);
+    const __m256d vhi = _mm256_loadu_pd(hi + i);
+    const __m256d width = _mm256_sub_pd(vhi, vlo);
+    const __m256d keep = _mm256_cmp_pd(width, vzero, _CMP_GT_OQ);
+    const __m256d inflated = _mm256_add_pd(vlo, veps);
+    _mm256_storeu_pd(out_lo + i, vlo);
+    _mm256_storeu_pd(out_hi + i, _mm256_blendv_pd(inflated, vhi, keep));
+  }
+#elif defined(PCDE_SIMD_BACKEND_NEON)
+  const float64x2_t veps = vdupq_n_f64(eps);
+  const float64x2_t vzero = vdupq_n_f64(0.0);
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t vlo = vld1q_f64(lo + i);
+    const float64x2_t vhi = vld1q_f64(hi + i);
+    const uint64x2_t keep = vcgtq_f64(vsubq_f64(vhi, vlo), vzero);
+    const float64x2_t inflated = vaddq_f64(vlo, veps);
+    vst1q_f64(out_lo + i, vlo);
+    vst1q_f64(out_hi + i, vbslq_f64(keep, vhi, inflated));
+  }
+#endif
+  for (; i < n; ++i) {
+    out_lo[i] = lo[i];
+    out_hi[i] = hi[i] - lo[i] > 0.0 ? hi[i] : lo[i] + eps;
+  }
+}
+
+/// Elementwise densities for the flatten: out = num / den. IEEE division is
+/// exact per lane, so this matches the scalar divide bit for bit.
+inline void DivTo(const double* num, const double* den, size_t n,
+                  double* out) {
+  size_t i = 0;
+#if defined(PCDE_SIMD_BACKEND_AVX2)
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i, _mm256_div_pd(_mm256_loadu_pd(num + i),
+                               _mm256_loadu_pd(den + i)));
+  }
+#elif defined(PCDE_SIMD_BACKEND_NEON)
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vdivq_f64(vld1q_f64(num + i), vld1q_f64(den + i)));
+  }
+#endif
+  for (; i < n; ++i) out[i] = num[i] / den[i];
+}
+
+/// Elementwise subtraction: out = a - b (interval widths over SoA lanes).
+inline void SubTo(const double* a, const double* b, size_t n, double* out) {
+  size_t i = 0;
+#if defined(PCDE_SIMD_BACKEND_AVX2)
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i, _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                               _mm256_loadu_pd(b + i)));
+  }
+#elif defined(PCDE_SIMD_BACKEND_NEON)
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  }
+#endif
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+/// Min/max reduction over a lane (the bucket-grid range of the sort-free
+/// flatten). Min and max are exactly associative and commutative on the
+/// finite doubles that reach this, so lane order cannot change the result.
+/// Requires n >= 1.
+inline void MinMax(const double* x, size_t n, double* out_min,
+                   double* out_max) {
+  size_t i = 0;
+  double mn = x[0];
+  double mx = x[0];
+#if defined(PCDE_SIMD_BACKEND_AVX2)
+  if (n >= 4) {
+    __m256d vmn = _mm256_loadu_pd(x);
+    __m256d vmx = vmn;
+    for (i = 4; i + 4 <= n; i += 4) {
+      const __m256d v = _mm256_loadu_pd(x + i);
+      vmn = _mm256_min_pd(vmn, v);
+      vmx = _mm256_max_pd(vmx, v);
+    }
+    double lanes[4];
+    _mm256_storeu_pd(lanes, vmn);
+    mn = lanes[0];
+    for (int k = 1; k < 4; ++k) mn = lanes[k] < mn ? lanes[k] : mn;
+    _mm256_storeu_pd(lanes, vmx);
+    mx = lanes[0];
+    for (int k = 1; k < 4; ++k) mx = lanes[k] > mx ? lanes[k] : mx;
+  }
+#elif defined(PCDE_SIMD_BACKEND_NEON)
+  if (n >= 2) {
+    float64x2_t vmn = vld1q_f64(x);
+    float64x2_t vmx = vmn;
+    for (i = 2; i + 2 <= n; i += 2) {
+      const float64x2_t v = vld1q_f64(x + i);
+      vmn = vminq_f64(vmn, v);
+      vmx = vmaxq_f64(vmx, v);
+    }
+    mn = vminvq_f64(vmn);
+    mx = vmaxvq_f64(vmx);
+  }
+#endif
+  for (; i < n; ++i) {
+    mn = x[i] < mn ? x[i] : mn;
+    mx = x[i] > mx ? x[i] : mx;
+  }
+  *out_min = mn;
+  *out_max = mx;
+}
+
+}  // namespace simd
+}  // namespace pcde

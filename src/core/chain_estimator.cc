@@ -8,6 +8,9 @@
 #include <limits>
 #include <map>
 
+#include "common/mathutil.h"
+#include "common/simd.h"
+#include "hist/cut_binning.h"
 #include "hist/histogram_nd.h"
 
 
@@ -19,23 +22,6 @@ using hist::HistogramND;
 using hist::WeightedInterval;
 
 namespace {
-
-/// splitmix64 finalizer: a proper avalanche mix for integer keys.
-inline uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-/// Bit pattern of a double with -0.0 normalized to 0.0, so signed zeros
-/// neither split groups nor miss the intern cache.
-inline uint64_t CanonicalBits(double v) {
-  if (v == 0.0) v = 0.0;  // collapses -0.0
-  uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
-}
 
 /// Dense separator marginals beyond this many cells fall back to an exact
 /// ordered map (unreachable through the production pipeline, where rank is
@@ -59,7 +45,7 @@ size_t ChainSweeper::IntervalPool::BitsHash::operator()(const Bits& b) const {
 }
 
 ChainSweeper::BoxId ChainSweeper::IntervalPool::Intern(const Interval& iv) {
-  const Bits bits{CanonicalBits(iv.lo), CanonicalBits(iv.hi)};
+  const Bits bits{CanonicalDoubleBits(iv.lo), CanonicalDoubleBits(iv.hi)};
   const auto [it, inserted] =
       index_.emplace(bits, static_cast<BoxId>(intervals_.size()));
   if (inserted) intervals_.push_back(iv);
@@ -76,9 +62,38 @@ ChainSweeper::Scratch& ChainSweeper::LocalScratch() {
   return scratch;
 }
 
+void ChainSweeper::SumsSoA::Append(const SumsSoA& src) {
+  lo.insert(lo.end(), src.lo.begin(), src.lo.end());
+  hi.insert(hi.end(), src.hi.begin(), src.hi.end());
+  prob.insert(prob.end(), src.prob.begin(), src.prob.end());
+}
+
+void ChainSweeper::SumsSoA::AppendShiftScale(const SumsSoA& src, double dlo,
+                                             double dhi, double w) {
+  const size_t m = size();
+  const size_t n = src.size();
+  if (n == 0) return;
+  const size_t needed = m + n;
+  if (needed > capacity()) {
+    // Geometric growth: a group receives one append per matching
+    // transition, and exact-fit reallocation per append is quadratic.
+    const size_t grown = std::max(needed, 2 * capacity());
+    lo.reserve(grown);
+    hi.reserve(grown);
+    prob.reserve(grown);
+  }
+  lo.resize(needed);
+  hi.resize(needed);
+  prob.resize(needed);
+  simd::ShiftScaleTo(src.lo.data(), src.hi.data(), src.prob.data(), n, dlo,
+                     dhi, w, lo.data() + m, hi.data() + m, prob.data() + m);
+}
+
 double ChainSweeper::GroupMass(const Group& g) {
+  // Left-to-right scalar sum: this value feeds compaction and demotion
+  // decisions, so its summation order must stay fixed across backends.
   double m = 0.0;
-  for (const SumEntry& s : g.sums) m += s.prob;
+  for (double p : g.sums.prob) m += p;
   return m;
 }
 
@@ -89,54 +104,91 @@ double ChainSweeper::GroupMass(const Group& g) {
 constexpr double kFlattenMinWidth = 1e-12;  // hist kMinWidth
 constexpr double kMassTolerance = 1e-6;     // hist kMassTolerance
 
-void ChainSweeper::CompactSums(std::vector<SumEntry>* sums, size_t cap) {
-  if (sums->size() <= cap) return;
+void ChainSweeper::CompactSums(SumsSoA* sums, size_t cap) {
+  const size_t n = sums->size();
+  if (n <= cap) return;
+  const double* const probs = sums->prob.data();
   double mass = 0.0;
-  for (const SumEntry& s : *sums) mass += s.prob;
+  for (size_t i = 0; i < n; ++i) mass += probs[i];
   if (mass <= 0.0) {
     sums->clear();
     return;
   }
   Scratch& sc = LocalScratch();
 
-  // Flatten: breakpoints of the (degenerate-inflated) sum intervals. Any
-  // input the hist pipeline would reject stays uncompacted, as before.
-  sc.cs_cuts.clear();
-  double total_mass = 0.0;
-  for (const SumEntry& s : *sums) {
-    if (s.prob < 0.0) return;
-    const Interval iv = s.sum.Inflated();
-    if (iv.width() < kFlattenMinWidth && s.prob > 0.0) return;
-    total_mass += s.prob;
-    sc.cs_cuts.push_back(iv.lo);
-    sc.cs_cuts.push_back(iv.hi);
+  // Flatten, lane-wise over the SoA state: inflate degenerate intervals
+  // (Interval::Inflated's epsilon), take widths and densities as straight
+  // SIMD kernels, and reject any input the hist pipeline would reject
+  // (stays uncompacted, as before). The rejected-entry scan reproduces the
+  // original early returns: no state is modified before the first check
+  // fails, so checking all entries up front is equivalent.
+  sc.cs_ilo.resize(n);
+  sc.cs_ihi.resize(n);
+  sc.cs_width.resize(n);
+  sc.cs_dens.resize(n);
+  simd::InflateTo(sums->lo.data(), sums->hi.data(), n,
+                  Interval::kDefaultInflateEps, sc.cs_ilo.data(),
+                  sc.cs_ihi.data());
+  simd::SubTo(sc.cs_ihi.data(), sc.cs_ilo.data(), n, sc.cs_width.data());
+  for (size_t i = 0; i < n; ++i) {
+    if (probs[i] < 0.0) return;
+    if (sc.cs_width[i] < kFlattenMinWidth && probs[i] > 0.0) return;
   }
-  if (total_mass <= 0.0) return;
+  // The pipeline's input mass (summed in the same entry order as `mass`,
+  // so the two are bitwise equal — kept under one name).
+  const double total_mass = mass;
+  simd::DivTo(probs, sc.cs_width.data(), n, sc.cs_dens.data());
+
+  // Breakpoints: both lanes back to back (pre-sort order is irrelevant,
+  // and origin o < n is entry o's lower bound, origin n + o its upper),
+  // ordered by the sort-free monotone bucket grid shared with
+  // hist::FlattenToDisjoint. The tracked origins let the dedup pass below
+  // also record every entry's flatten slice directly.
   std::vector<double>& cuts = sc.cs_cuts;
-  std::sort(cuts.begin(), cuts.end());
-  cuts.erase(std::unique(cuts.begin(), cuts.end(),
-                         [](double a, double b) {
-                           return std::fabs(a - b) < kFlattenMinWidth;
-                         }),
-             cuts.end());
+  cuts.resize(2 * n);
+  std::copy(sc.cs_ilo.begin(), sc.cs_ilo.end(), cuts.begin());
+  std::copy(sc.cs_ihi.begin(), sc.cs_ihi.end(),
+            cuts.begin() + static_cast<ptrdiff_t>(n));
+  hist::SortCutsMonotoneTracked(&cuts, &sc.cs_cut_order, &sc.cs_cut_bins);
+
+  // Fused std::unique-with-tolerance + origin -> cut-index map: walking the
+  // sorted cuts, each value either starts a new kept cut or joins the run
+  // of the previously kept one — exactly std::unique's predicate order.
+  sc.cs_slice_of.resize(2 * n);
+  size_t n_cuts = 0;
+  for (size_t j = 0; j < 2 * n; ++j) {
+    const double v = cuts[j];
+    if (n_cuts == 0 || !(std::fabs(v - cuts[n_cuts - 1]) < kFlattenMinWidth)) {
+      cuts[n_cuts++] = v;
+    }
+    sc.cs_slice_of[sc.cs_cut_order[j]] = static_cast<uint32_t>(n_cuts - 1);
+  }
+  cuts.resize(n_cuts);
 
   // Per-slice density by difference array; the cover counter keeps
-  // uncovered slices at exactly zero (no cancellation residue).
+  // uncovered slices at exactly zero (no cancellation residue). The slice
+  // of each bound comes from the dedup map above; the representative cut
+  // of a tolerance run can differ from lower_bound(bound - tolerance) only
+  // when another cut lands exactly on that offset, so the map is verified
+  // with two comparisons and falls back to the binary search on the
+  // (measure-zero) mismatch — byte-identical slices, no search in the
+  // common path.
   const size_t n_slices = cuts.size() - 1;
   sc.cs_diff.assign(n_slices + 1, 0.0);
   sc.cs_cover.assign(n_slices + 1, 0);
-  for (const SumEntry& se : *sums) {
-    if (se.prob <= 0.0) continue;
-    const Interval iv = se.sum.Inflated();
-    const double d = se.prob / iv.width();
-    const auto lo_it = std::lower_bound(cuts.begin(), cuts.end(),
-                                        iv.lo - kFlattenMinWidth);
-    const size_t s = static_cast<size_t>(lo_it - cuts.begin());
-    const auto hi_it = std::lower_bound(
-        cuts.begin() + static_cast<ptrdiff_t>(s), cuts.end(),
-        iv.hi - kFlattenMinWidth);
-    const size_t s_end =
-        std::min(n_slices, static_cast<size_t>(hi_it - cuts.begin()));
+  auto slice_for = [&cuts](size_t hint, double key) {
+    if (cuts[hint] >= key && (hint == 0 || cuts[hint - 1] < key)) return hint;
+    return static_cast<size_t>(
+        std::lower_bound(cuts.begin(), cuts.end(), key) - cuts.begin());
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (probs[i] <= 0.0) continue;
+    const double d = sc.cs_dens[i];
+    const size_t s =
+        slice_for(sc.cs_slice_of[i], sc.cs_ilo[i] - kFlattenMinWidth);
+    const size_t s_end = std::min(
+        n_slices,
+        slice_for(sc.cs_slice_of[n + i], sc.cs_ihi[i] - kFlattenMinWidth));
     if (s >= s_end) continue;
     sc.cs_diff[s] += d;
     sc.cs_diff[s_end] -= d;
@@ -275,7 +327,7 @@ void ChainSweeper::CompactSums(std::vector<SumEntry>* sums, size_t cap) {
 
   sums->clear();
   for (const SumEntry& f : sc.cs_flat) {
-    sums->push_back(SumEntry{f.sum, f.prob * mass});
+    sums->PushBack(f.sum, f.prob * mass);
   }
 }
 
@@ -285,7 +337,8 @@ void ChainSweeper::CloseGroup(Group* g) {
     shift = shift + pool_.Get(g->key.ids[j]);
   }
   if (shift.lo != 0.0 || shift.hi != 0.0) {
-    for (SumEntry& se : g->sums) se.sum = se.sum + shift;
+    simd::ShiftInPlace(g->sums.lo.data(), g->sums.hi.data(), g->sums.size(),
+                       shift.lo, shift.hi);
   }
   g->key = BoxKey{};
 }
@@ -305,7 +358,7 @@ void ChainSweeper::MaybeCompactPool() {
 
 ChainSweeper::ChainSweeper(const ChainOptions& options) : options_(options) {
   Group init;
-  init.sums.push_back(SumEntry{Interval(0.0, 0.0), 1.0});
+  init.sums.PushBack(Interval(0.0, 0.0), 1.0);
   groups_.push_back(std::move(init));
 }
 
@@ -320,8 +373,21 @@ void ChainSweeper::ApplyPart(const DecompositionPart& part,
   // Open suffix after this part: the contiguous positions [next_begin, e).
   // Position -> slot is therefore arithmetic, not a search.
   size_t next_begin = std::min(std::max(next_overlap_start, s), e);
+  // Positions before open_begin_ were already closed into the running sums
+  // by an earlier part (the open-dim cap folds excess separator positions
+  // early). Re-adding this part's boxes for them would double-count those
+  // costs, so the local dims [0, n_marg) are marginalized out instead —
+  // transitions differing only there share key and shift, so their
+  // probabilities merge into exactly the marginal — and such a position
+  // cannot re-open. Under force_independence every part is an independent
+  // factor by definition (the LB semantics), so nothing is marginalized.
+  const size_t consumed = options_.force_independence
+                              ? s
+                              : std::min(std::max(open_begin_, s), e);
+  next_begin = std::max(next_begin, consumed);
   if (e - next_begin > kMaxOpenDims) next_begin = e - kMaxOpenDims;
   const size_t n_next = e - next_begin;
+  const size_t n_marg = consumed - s;
 
   // Current open positions [open_begin_, open_begin_ + cur_n), shared by
   // every keyed group (key.n is either cur_n or 0 for the overflow /
@@ -431,6 +497,7 @@ void ChainSweeper::ApplyPart(const DecompositionPart& part,
     const HistogramND::HyperBucket& hb = buckets[sc.live[i]];
     size_t open_out = i * n_non_o_open;
     for (size_t local = 0; local < m; ++local) {
+      if (local < n_marg) continue;  // already-counted position: marginalize
       const Interval box = joint.Box(hb, local);
       if (is_o_local(local)) {
         sc.o_box[i * n_o + (local - o_local0)] = box;
@@ -536,10 +603,7 @@ void ChainSweeper::ApplyPart(const DecompositionPart& part,
       }
 
       Group& out = group_for(key);
-      out.sums.reserve(out.sums.size() + g.sums.size());
-      for (const SumEntry& se : g.sums) {
-        out.sums.push_back(SumEntry{se.sum + shift, se.prob * weight});
-      }
+      out.sums.AppendShiftScale(g.sums, shift.lo, shift.hi, weight);
     }
   }
 
@@ -578,7 +642,7 @@ void ChainSweeper::ApplyPart(const DecompositionPart& part,
     for (size_t i = keep; i < sc.by_mass.size(); ++i) {
       Group& g = sc.next_groups[sc.by_mass[i].second];
       CloseGroup(&g);
-      overflow.sums.insert(overflow.sums.end(), g.sums.begin(), g.sums.end());
+      overflow.sums.Append(g.sums);
       g.sums.clear();
       if (overflow.sums.size() > 4 * options_.sums_per_box_cap) {
         CompactSums(&overflow.sums, options_.sums_per_box_cap);
@@ -601,8 +665,7 @@ void ChainSweeper::ApplyPart(const DecompositionPart& part,
       if (target == nullptr) {
         groups_.push_back(std::move(overflow));
       } else {
-        target->sums.insert(target->sums.end(), overflow.sums.begin(),
-                            overflow.sums.end());
+        target->sums.Append(overflow.sums);
         CompactSums(&target->sums, options_.sums_per_box_cap);
       }
     }
@@ -623,8 +686,10 @@ double ChainSweeper::MinSum() const {
   for (const Group& g : groups_) {
     double open_min = 0.0;
     for (uint32_t j = 0; j < g.key.n; ++j) open_min += pool_.Get(g.key.ids[j]).lo;
-    for (const SumEntry& se : g.sums) {
-      if (se.prob > 0.0) best = std::min(best, se.sum.lo + open_min);
+    for (size_t i = 0; i < g.sums.size(); ++i) {
+      if (g.sums.prob[i] > 0.0) {
+        best = std::min(best, g.sums.lo[i] + open_min);
+      }
     }
   }
   return best;
@@ -638,10 +703,11 @@ StatusOr<Histogram1D> ChainSweeper::Finalize() const {
     for (uint32_t j = 0; j < g.key.n; ++j) {
       open_shift = open_shift + pool_.Get(g.key.ids[j]);
     }
-    for (const SumEntry& se : g.sums) {
-      if (se.prob <= 0.0) continue;
-      parts_out.emplace_back((se.sum + open_shift).Inflated(), se.prob);
-      total += se.prob;
+    for (size_t i = 0; i < g.sums.size(); ++i) {
+      const double p = g.sums.prob[i];
+      if (p <= 0.0) continue;
+      parts_out.emplace_back((g.sums.interval(i) + open_shift).Inflated(), p);
+      total += p;
     }
   }
   if (total < options_.min_total_mass) {

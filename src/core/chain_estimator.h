@@ -27,6 +27,14 @@
 // which runs the hist:: flatten+compact pipeline allocation-free). Because
 // a part's open suffix is a contiguous position range, position→slot
 // lookup is arithmetic.
+//
+// A group's accumulated sums are stored structure-of-arrays (lo/hi/prob
+// lanes, SumsSoA): the transition convolution and the flatten's density
+// preparation run as contiguous SIMD kernels (common/simd.h — AVX2/NEON
+// with a bit-identical scalar fallback), and the progressive compaction's
+// cut ordering uses the sort-free monotone bucket grid shared with
+// hist::FlattenToDisjoint (hist/cut_binning.h) instead of a comparison
+// sort. SoA buffers are recycled through the per-thread scratch arena.
 #pragma once
 
 #include <array>
@@ -38,6 +46,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "core/decomposition.h"
+#include "hist/cut_binning.h"
 #include "hist/histogram1d.h"
 
 namespace pcde {
@@ -76,8 +85,11 @@ class ChainSweeper {
  public:
   /// Separator dimensions a state can keep open. Parts whose open suffix
   /// exceeds this (rank far beyond HybridParams::max_instantiated_rank = 8)
-  /// have the excess dimensions closed into the running sums — a graceful
-  /// fallback toward part independence for those dimensions only.
+  /// have the excess leading dimensions closed into the running sums — a
+  /// graceful fallback toward part independence for those dimensions only.
+  /// Later parts covering an early-closed position marginalize their own
+  /// histogram over it (the cost is already in the sums; re-adding the box
+  /// would double-count it).
   static constexpr size_t kMaxOpenDims = 16;
 
   explicit ChainSweeper(const ChainOptions& options);
@@ -106,9 +118,43 @@ class ChainSweeper {
  private:
   using BoxId = uint32_t;
 
+  /// One flattened slice inside CompactSums (a small AoS staging buffer);
+  /// group state itself is stored SoA, see SumsSoA.
   struct SumEntry {
     Interval sum;
     double prob;
+  };
+
+  /// Structure-of-arrays accumulated-sum storage: interval bounds and
+  /// probabilities in three contiguous double lanes, so the transition
+  /// convolution (shift every interval, scale every probability) and the
+  /// flatten's inflation/density preparation vectorize over whole groups
+  /// instead of striding through AoS entries. Buffers are recycled through
+  /// the per-thread scratch arena between parts.
+  struct SumsSoA {
+    std::vector<double> lo, hi, prob;
+
+    size_t size() const { return prob.size(); }
+    bool empty() const { return prob.empty(); }
+    size_t capacity() const { return prob.capacity(); }
+    void clear() {
+      lo.clear();
+      hi.clear();
+      prob.clear();
+    }
+    Interval interval(size_t i) const { return Interval(lo[i], hi[i]); }
+    void PushBack(const Interval& iv, double p) {
+      lo.push_back(iv.lo);
+      hi.push_back(iv.hi);
+      prob.push_back(p);
+    }
+    /// Plain concatenation (overflow demotion); copies bits untouched.
+    void Append(const SumsSoA& src);
+    /// The vectorized transition convolution: appends src with intervals
+    /// shifted by (dlo, dhi) and probabilities scaled by w. src must not
+    /// alias this.
+    void AppendShiftScale(const SumsSoA& src, double dlo, double dhi,
+                          double w);
   };
 
   /// Inline tuple of interned open-box ids; the group key. Hashes and
@@ -135,7 +181,7 @@ class ChainSweeper {
   /// initial group has key.n == 0), so they live on the sweeper, not here.
   struct Group {
     BoxKey key;
-    std::vector<SumEntry> sums;
+    SumsSoA sums;
   };
 
   /// Interns intervals (exact value equality, signed zeros normalized) so
@@ -179,16 +225,23 @@ class ChainSweeper {
     std::vector<Group> next_groups;
     std::unordered_map<BoxKey, uint32_t, BoxKeyHash> next_index;
     std::vector<std::pair<double, uint32_t>> by_mass;  // demote ordering
-    /// Recycled sums buffers: a part can materialize thousands of transient
-    /// groups, and without reuse every one pays a heap allocation for its
-    /// sums vector (the dominant hidden cost of the old kernel's per-part
-    /// rebuild). Total retained capacity is budgeted (the scratch lives
-    /// for the thread's lifetime; one pathological query must not pin
-    /// its peak footprint forever).
-    std::vector<std::vector<SumEntry>> sums_pool;
+    /// The per-thread SoA arena: recycled sums buffers. A part can
+    /// materialize thousands of transient groups, and without reuse every
+    /// one pays three heap allocations for its lanes (the dominant hidden
+    /// cost of the old kernel's per-part rebuild). Total retained capacity
+    /// is budgeted (the scratch lives for the thread's lifetime; one
+    /// pathological query must not pin its peak footprint forever).
+    std::vector<SumsSoA> sums_pool;
     size_t sums_pool_entries = 0;  // summed capacity of pooled buffers
     // Fused flatten+compact (CompactSums) buffers.
+    std::vector<double> cs_ilo;    // inflated interval lanes
+    std::vector<double> cs_ihi;
+    std::vector<double> cs_width;  // inflated widths
+    std::vector<double> cs_dens;   // per-entry densities prob / width
     std::vector<double> cs_cuts;
+    hist::CutBinningScratch cs_cut_bins;  // sort-free cut ordering
+    std::vector<uint32_t> cs_cut_order;   // sorted-cut origin positions
+    std::vector<uint32_t> cs_slice_of;    // per-bound deduped cut index
     std::vector<double> cs_diff;
     std::vector<int32_t> cs_cover;
     std::vector<SumEntry> cs_flat;
@@ -202,7 +255,7 @@ class ChainSweeper {
 
   static Scratch& LocalScratch();
   static double GroupMass(const Group& g);
-  void CompactSums(std::vector<SumEntry>* sums, size_t cap);
+  void CompactSums(SumsSoA* sums, size_t cap);
   /// Folds a group's open boxes into its sums (the interval Minkowski
   /// shift), leaving it unconditioned.
   void CloseGroup(Group* g);

@@ -1,6 +1,7 @@
 #include "core/estimator.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "roadnet/path.h"
 
@@ -47,9 +48,30 @@ StatusOr<Histogram1D> HybridEstimator::EstimateCostDistribution(
   if (options_.policy == DecompositionPolicy::kUnit) {
     chain.force_independence = true;
   }
+
+  // The chain evaluation is a pure function of (decomposition, options), so
+  // a cached result is bit-identical to recomputing.
+  QueryCache::Key key;
+  if (cache_ != nullptr) {
+    key = QueryCache::MakeKey(de, departure_time,
+                              cache_->options().time_bucket_seconds,
+                              QueryCache::Fingerprint(chain),
+                              wp_.generation());
+    Histogram1D cached;
+    if (cache_->Lookup(key, &cached)) {
+      if (breakdown != nullptr) {
+        breakdown->oi_seconds = oi.total_seconds();
+        breakdown->parts = de.size();
+        breakdown->cache_hit = true;
+      }
+      return cached;
+    }
+  }
+
   ChainDiagnostics diag;
   PCDE_ASSIGN_OR_RETURN(result,
                         EstimateFromDecomposition(de, chain, &diag, &jc, &mc));
+  if (cache_ != nullptr) cache_->Insert(key, result);
   if (breakdown != nullptr) {
     breakdown->oi_seconds = oi.total_seconds();
     breakdown->jc_seconds = jc.total_seconds();
@@ -61,13 +83,34 @@ StatusOr<Histogram1D> HybridEstimator::EstimateCostDistribution(
 }
 
 std::vector<StatusOr<Histogram1D>> HybridEstimator::EstimateBatch(
-    const PathQuery* queries, size_t num_queries, ThreadPool* pool) const {
+    const PathQuery* queries, size_t num_queries, ThreadPool* pool,
+    BatchMetrics* metrics) const {
   std::vector<StatusOr<Histogram1D>> results(
       num_queries, Status::Internal("EstimateBatch: query not run"));
-  pool->ParallelFor(num_queries, [this, queries, &results](size_t i) {
-    results[i] =
-        EstimateCostDistribution(queries[i].path, queries[i].departure_time);
+  if (metrics == nullptr) {
+    pool->ParallelFor(num_queries, [this, queries, &results](size_t i) {
+      results[i] =
+          EstimateCostDistribution(queries[i].path, queries[i].departure_time);
+    });
+    return results;
+  }
+  metrics->query_seconds.assign(num_queries, 0.0);
+  std::atomic<uint64_t> hits{0}, misses{0};
+  pool->ParallelFor(num_queries, [this, queries, &results, metrics, &hits,
+                                  &misses](size_t i) {
+    Stopwatch watch;
+    EstimateBreakdown breakdown;
+    results[i] = EstimateCostDistribution(queries[i].path,
+                                          queries[i].departure_time,
+                                          &breakdown);
+    metrics->query_seconds[i] = watch.ElapsedSeconds();
+    if (cache_ != nullptr) {
+      (breakdown.cache_hit ? hits : misses).fetch_add(
+          1, std::memory_order_relaxed);
+    }
   });
+  metrics->cache_hits = hits.load(std::memory_order_relaxed);
+  metrics->cache_misses = misses.load(std::memory_order_relaxed);
   return results;
 }
 
@@ -247,6 +290,19 @@ StatusOr<Histogram1D> IncrementalEstimator::CurrentDistribution() const {
   ChainOptions chain = ChainOptionsFor(options_);
   chain.force_independence = true;
   return EstimateFromDecomposition(parts_, chain);
+}
+
+StatusOr<Histogram1D> IncrementalEstimator::CurrentDistribution(
+    QueryCache* cache) const {
+  if (cache == nullptr) return CurrentDistribution();
+  const QueryCache::Key key = QueryCache::MakeKey(
+      parts_, departure_time_, cache->options().time_bucket_seconds,
+      QueryCache::Fingerprint(ChainOptionsFor(options_)), wp_.generation());
+  Histogram1D cached;
+  if (cache->Lookup(key, &cached)) return cached;
+  auto result = CurrentDistribution();
+  if (result.ok()) cache->Insert(key, result.value());
+  return result;
 }
 
 }  // namespace core

@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "core/chain_estimator.h"
 #include "core/decomposition.h"
+#include "core/query_cache.h"
 #include "core/weight_function.h"
 
 namespace pcde {
@@ -36,6 +37,7 @@ struct EstimateBreakdown {
   double jc_seconds = 0.0;  // joint computation (Eq. 2 sweep)
   double mc_seconds = 0.0;  // marginalization to the cost distribution
   size_t parts = 0;         // |DE|
+  bool cache_hit = false;   // served from the attached QueryCache
   ChainDiagnostics chain;
 };
 
@@ -43,6 +45,14 @@ struct EstimateBreakdown {
 struct PathQuery {
   roadnet::Path path;
   double departure_time = 0.0;
+};
+
+/// \brief Per-batch serving metrics: index-aligned per-query latencies (the
+/// batch layer's p50/p99 source) and the batch's cache traffic.
+struct BatchMetrics {
+  std::vector<double> query_seconds;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 };
 
 /// \brief Facade combining decomposition construction and Eq. 2 evaluation.
@@ -54,6 +64,16 @@ class HybridEstimator {
 
   const EstimateOptions& options() const { return options_; }
   const PathWeightFunction& weight_function() const { return wp_; }
+
+  /// Attaches a shared result cache (see query_cache.h): subsequent
+  /// estimations look up (decomposition, departure-time bucket) before
+  /// sweeping the chain and insert on miss. Results are bit-identical with
+  /// and without a cache (estimation is deterministic per decomposition).
+  /// The cache must not outlive the weight function, and one cache must not
+  /// be shared across estimators of different weight functions. Pass
+  /// nullptr to detach.
+  void set_query_cache(QueryCache* cache) { cache_ = cache; }
+  QueryCache* query_cache() const { return cache_; }
 
   /// The travel cost distribution of `path` departing at `departure_time`
   /// (seconds since midnight) — the paper's core query.
@@ -78,8 +98,10 @@ class HybridEstimator {
       const std::vector<PathQuery>& queries, size_t num_threads = 0) const {
     return EstimateBatch(queries.data(), queries.size(), num_threads);
   }
+  /// `metrics` (optional) receives per-query latencies and cache traffic.
   std::vector<StatusOr<hist::Histogram1D>> EstimateBatch(
-      const PathQuery* queries, size_t num_queries, ThreadPool* pool) const;
+      const PathQuery* queries, size_t num_queries, ThreadPool* pool,
+      BatchMetrics* metrics = nullptr) const;
 
   /// The decomposition the configured policy selects for this query.
   StatusOr<Decomposition> Decompose(const roadnet::Path& path,
@@ -93,6 +115,7 @@ class HybridEstimator {
   const PathWeightFunction& wp_;
   DecompositionBuilder builder_;
   EstimateOptions options_;
+  QueryCache* cache_ = nullptr;  // not owned; thread-safe (sharded)
 };
 
 /// \brief Incremental estimation for "path + another edge" exploration
@@ -116,6 +139,13 @@ class IncrementalEstimator {
   /// Cost distribution of the current path (finalizes a copy of the chain
   /// state; the estimator itself remains extendable).
   StatusOr<hist::Histogram1D> CurrentDistribution() const;
+
+  /// Cache-backed variant: looks the current decomposition up in `cache`
+  /// before finalizing and inserts on miss, so routing re-evaluating a
+  /// candidate path another query already costed (same parts, same
+  /// departure bucket) skips the chain replay. `cache == nullptr` degrades
+  /// to the plain overload.
+  StatusOr<hist::Histogram1D> CurrentDistribution(QueryCache* cache) const;
 
   /// Smallest possible total cost of the current path (for routing pruning).
   double MinTotalCost() const { return min_total_; }

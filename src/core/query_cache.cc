@@ -1,0 +1,153 @@
+#include "core/query_cache.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/mathutil.h"
+
+namespace pcde {
+namespace core {
+
+namespace {
+
+/// Fixed per-entry bookkeeping estimate: list node, map node, amortized
+/// bucket-array slot.
+constexpr size_t kEntryOverheadBytes = 160;
+
+}  // namespace
+
+size_t QueryCache::KeyHash::operator()(const Key& k) const {
+  uint64_t h = Mix64(k.size());
+  for (uint64_t v : k) h = Mix64(h ^ v);
+  return static_cast<size_t>(h);
+}
+
+QueryCache::QueryCache(QueryCacheOptions options) : options_(options) {
+  size_t shards = 1;
+  while (shards < std::max<size_t>(options_.num_shards, 1)) shards <<= 1;
+  options_.num_shards = shards;
+  shard_mask_ = shards - 1;
+  per_shard_budget_ = std::max<size_t>(options_.max_bytes / shards, 1);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+uint64_t QueryCache::Fingerprint(const ChainOptions& chain) {
+  uint64_t h = Mix64(0x9c0de);
+  h = Mix64(h ^ chain.max_result_buckets);
+  h = Mix64(h ^ chain.sums_per_box_cap);
+  h = Mix64(h ^ chain.max_groups);
+  h = Mix64(h ^ CanonicalDoubleBits(chain.min_total_mass));
+  h = Mix64(h ^ static_cast<uint64_t>(chain.force_independence));
+  return h;
+}
+
+QueryCache::Key QueryCache::MakeKey(const Decomposition& de,
+                                    double departure_time,
+                                    double time_bucket_seconds,
+                                    uint64_t options_fingerprint,
+                                    uint64_t weight_generation) {
+  Key key;
+  key.reserve(3 + 2 * de.size());
+  key.push_back(weight_generation);
+  key.push_back(options_fingerprint);
+  // The time bucket is strictly redundant today — the chain evaluation is a
+  // pure function of (decomposition, options) — but it is kept in the key
+  // deliberately: it bounds how long an entry stays addressable as traffic
+  // moves through the day, and stays correct if estimation ever becomes
+  // time-dependent beyond decomposition choice.
+  const double width = time_bucket_seconds > 0.0 ? time_bucket_seconds : 1.0;
+  key.push_back(static_cast<uint64_t>(
+      static_cast<int64_t>(std::floor(departure_time / width))));
+  for (const DecompositionPart& part : de) {
+    key.push_back(
+        static_cast<uint64_t>(reinterpret_cast<uintptr_t>(part.variable)));
+    key.push_back(part.start);
+  }
+  return key;
+}
+
+size_t QueryCache::EntryBytes(const Key& key,
+                              const hist::Histogram1D& result) {
+  // The key is stored twice (LRU node + index node).
+  return 2 * key.size() * sizeof(uint64_t) + result.MemoryUsageBytes() +
+         kEntryOverheadBytes;
+}
+
+QueryCache::Shard& QueryCache::ShardFor(const Key& key) {
+  return *shards_[KeyHash()(key) & shard_mask_];
+}
+
+bool QueryCache::Lookup(const Key& key, hist::Histogram1D* out) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<const hist::Histogram1D> found;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      found = it->second->result;
+    }
+  }
+  if (found == nullptr) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  *out = *found;  // deep copy outside the shard lock
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void QueryCache::Insert(const Key& key, const hist::Histogram1D& result) {
+  const size_t bytes = EntryBytes(key, result);
+  if (bytes > per_shard_budget_) return;  // cannot fit even alone
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // A concurrent worker inserted the same (deterministic) result between
+    // our miss and this insert; just refresh recency.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(
+      Entry{key, std::make_shared<const hist::Histogram1D>(result), bytes});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.bytes > per_shard_budget_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+QueryCacheStats QueryCache::stats() const {
+  QueryCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    s.entries += shard->lru.size();
+    s.bytes += shard->bytes;
+  }
+  return s;
+}
+
+void QueryCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace core
+}  // namespace pcde

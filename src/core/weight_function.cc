@@ -1,9 +1,15 @@
 #include "core/weight_function.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace pcde {
 namespace core {
+
+uint64_t PathWeightFunction::NextGeneration() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 void PathWeightFunction::Add(InstantiatedVariable variable) {
   Key key{variable.path.edges(), variable.interval};

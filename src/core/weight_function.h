@@ -76,7 +76,14 @@ class PathWeightFunction {
     return variables_;
   }
 
+  /// Process-unique id of this weight-function instance. The query cache
+  /// folds it into every key, so a cache that (incorrectly) outlives its
+  /// weight function turns into guaranteed misses instead of false hits
+  /// when a reloaded model recycles variable addresses.
+  uint64_t generation() const { return generation_; }
+
  private:
+  static uint64_t NextGeneration();
   struct Key {
     std::vector<roadnet::EdgeId> edges;
     int32_t interval;
@@ -96,6 +103,7 @@ class PathWeightFunction {
   };
 
   TimeBinning binning_;
+  uint64_t generation_ = NextGeneration();
   // deque: stable references under Add(), which the pointer indexes rely on.
   std::deque<InstantiatedVariable> variables_;
   std::unordered_map<Key, size_t, KeyHash> by_key_;

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/mathutil.h"
+#include "hist/cut_binning.h"
 
 namespace pcde {
 namespace hist {
@@ -187,7 +188,7 @@ StatusOr<Histogram1D> FlattenToDisjoint(std::vector<WeightedInterval> parts) {
   if (total_mass <= 0.0) {
     return Status::InvalidArgument("FlattenToDisjoint: zero total mass");
   }
-  std::sort(cuts.begin(), cuts.end());
+  SortCutsMonotone(&cuts);
   cuts.erase(std::unique(cuts.begin(), cuts.end(),
                          [](double a, double b) {
                            return std::fabs(a - b) < kMinWidth;
@@ -384,7 +385,7 @@ std::vector<double> UnionCuts(const Histogram1D& p, const Histogram1D& q) {
     cuts.push_back(b.range.lo);
     cuts.push_back(b.range.hi);
   }
-  std::sort(cuts.begin(), cuts.end());
+  SortCutsMonotone(&cuts);
   cuts.erase(std::unique(cuts.begin(), cuts.end(),
                          [](double a, double b) {
                            return std::fabs(a - b) < kMinWidth;

@@ -57,7 +57,7 @@ void Dfs(SearchContext* ctx, const IncrementalEstimator& estimator,
 
   if (at == ctx->destination) {
     ++res.candidate_paths;
-    auto dist = estimator.CurrentDistribution();
+    auto dist = estimator.CurrentDistribution(ctx->config->query_cache);
     if (dist.ok()) {
       const double p = dist.value().ProbWithin(ctx->budget);
       if (p > res.best_probability) {

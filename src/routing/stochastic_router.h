@@ -30,6 +30,12 @@ struct RouterConfig {
   /// Worker threads for the root fan-out (the DFS subtrees under distinct
   /// first edges run as parallel pool tasks); 0 = hardware concurrency.
   size_t num_threads = 0;
+  /// Optional shared result cache (not owned): complete candidate paths are
+  /// looked up by decomposition identity before finalizing the chain state,
+  /// so repeated Route() calls over the same region (multi-user serving)
+  /// reuse each other's sub-path distributions. Must be backed by the same
+  /// weight function as the router. nullptr disables caching.
+  core::QueryCache* query_cache = nullptr;
 };
 
 struct RouteResult {

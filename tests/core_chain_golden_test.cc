@@ -174,6 +174,140 @@ TEST(ChainGoldenTest, TightStateCapsStillMatchReference) {
   }
 }
 
+/// A rank-`rank` joint anchored at global position `start` (same per-
+/// position boundaries as RandomJoint, so parts sharing a position share
+/// its boundaries exactly). The last `two_bucket_dims` dims get two
+/// buckets, the rest one, keeping the hyper-bucket count 2^two_bucket_dims
+/// even at rank 18+; trailing placement keeps the leading positions — the
+/// ones the open-dim cap closes early — at identical single-bucket
+/// marginals in every part that covers them, so graceful degradation on
+/// independent joints is exactly lossless. With `correlated == false` the
+/// hyper-bucket masses factor into per-dim marginals.
+HistogramND WideJoint(size_t start, size_t rank, size_t two_bucket_dims,
+                      bool correlated, Rng* rng) {
+  std::vector<std::vector<double>> bounds(rank);
+  for (size_t d = 0; d < rank; ++d) {
+    const double base = 10.0 * static_cast<double>(start + d);
+    if (d >= rank - two_bucket_dims) {
+      bounds[d] = {base, base + 8.0, base + 20.0};
+    } else {
+      bounds[d] = {base, base + 20.0};
+    }
+  }
+  std::vector<HistogramND::HyperBucket> hbs;
+  const size_t combos = size_t{1} << two_bucket_dims;
+  double total = 0.0;
+  for (size_t c = 0; c < combos; ++c) {
+    std::vector<uint32_t> idx(rank, 0);
+    double p = 1.0;
+    for (size_t d = 0; d < two_bucket_dims; ++d) {
+      const uint32_t bit = (c >> d) & 1;
+      idx[rank - two_bucket_dims + d] = bit;
+      p *= bit == 0 ? 0.3 : 0.7;
+    }
+    if (correlated) p *= rng->Uniform(0.2, 1.0);
+    hbs.push_back({std::move(idx), p});
+    total += p;
+  }
+  for (auto& hb : hbs) hb.prob /= total;
+  auto made = HistogramND::Make(std::move(bounds), std::move(hbs));
+  EXPECT_TRUE(made.ok()) << made.status().ToString();
+  return made.value();
+}
+
+/// A chain of `num_parts` wide parts, each of rank `rank`, consecutive
+/// parts overlapping on rank - 1 positions — every separator wider than
+/// ChainSweeper::kMaxOpenDims once rank > kMaxOpenDims + 1.
+struct WideChain {
+  std::vector<InstantiatedVariable> vars;
+  Decomposition de;
+
+  WideChain(size_t num_parts, size_t rank, size_t two_bucket_dims,
+            bool correlated, Rng* rng) {
+    vars.reserve(num_parts);
+    for (size_t i = 0; i < num_parts; ++i) {
+      const size_t start = i;  // overlap rank - 1
+      InstantiatedVariable v;
+      std::vector<EdgeId> edges;
+      for (size_t d = 0; d < rank; ++d) {
+        edges.push_back(static_cast<EdgeId>(start + d));
+      }
+      v.path = Path(std::move(edges));
+      v.interval = 3;
+      v.joint = WideJoint(start, rank, two_bucket_dims, correlated, rng);
+      v.support = 50;
+      vars.push_back(std::move(v));
+    }
+    for (size_t i = 0; i < num_parts; ++i) {
+      de.push_back(DecompositionPart{&vars[i], i});
+    }
+  }
+};
+
+TEST(ChainGoldenTest, OpenDimOverflowOnIndependentJointsMatchesReference) {
+  // Separators wider than kMaxOpenDims force the sweeper to close the
+  // excess leading dimensions early — graceful degradation toward
+  // independence for those dims only. On joints that are exactly
+  // independent across dims, that degradation is lossless, so the capped
+  // sweeper must still reproduce the uncapped reference kernel.
+  static_assert(ChainSweeper::kMaxOpenDims == 16,
+                "overflow fixtures assume the 16-dim cap");
+  Rng rng(20260731);
+  // Marginalization merges states the reference keeps apart, so the
+  // per-group compaction cap can fire on different inputs; raise it to
+  // isolate the degradation semantics from bounded-memory compaction.
+  ChainOptions options;
+  options.sums_per_box_cap = 256;
+  for (size_t rank : {18, 20}) {  // separators of 17 and 19 open dims
+    WideChain chain(3, rank, 2, /*correlated=*/false, &rng);
+    ChainDiagnostics new_diag, ref_diag;
+    auto got = EstimateFromDecomposition(chain.de, options, &new_diag);
+    auto want = reference::ReferenceEstimateFromDecomposition(
+        chain.de, options, &ref_diag);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_FALSE(new_diag.independence_fallback);
+    ASSERT_EQ(got.value().NumBuckets(), want.value().NumBuckets())
+        << "rank " << rank;
+    for (size_t b = 0; b < got.value().NumBuckets(); ++b) {
+      EXPECT_NEAR(got.value().bucket(b).range.lo,
+                  want.value().bucket(b).range.lo, 1e-8)
+          << "rank " << rank << " bucket " << b;
+      EXPECT_NEAR(got.value().bucket(b).range.hi,
+                  want.value().bucket(b).range.hi, 1e-8)
+          << "rank " << rank << " bucket " << b;
+      EXPECT_NEAR(got.value().bucket(b).prob, want.value().bucket(b).prob,
+                  1e-9)
+          << "rank " << rank << " bucket " << b;
+    }
+  }
+}
+
+TEST(ChainGoldenTest, OpenDimOverflowOnCorrelatedJointsDegradesGracefully) {
+  // With correlated joints the capped sweeper's estimate is a genuine
+  // approximation (independence for the excess dims only), so assert the
+  // semantic invariants: estimation succeeds without the all-parts
+  // independence fallback, produces a unit-mass histogram, and stays close
+  // to the uncapped reference in mean.
+  Rng rng(424242);
+  for (int trial = 0; trial < 4; ++trial) {
+    WideChain chain(3, 18, 2, /*correlated=*/true, &rng);
+    ChainDiagnostics diag;
+    auto got = EstimateFromDecomposition(chain.de, ChainOptions(), &diag);
+    auto want = reference::ReferenceEstimateFromDecomposition(chain.de,
+                                                              ChainOptions());
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_FALSE(diag.independence_fallback);
+    double mass = 0.0;
+    for (const auto& b : got.value().buckets()) mass += b.prob;
+    EXPECT_NEAR(mass, 1.0, 1e-9);
+    EXPECT_NEAR(got.value().Mean(), want.value().Mean(),
+                0.02 * std::abs(want.value().Mean()))
+        << "trial " << trial;
+  }
+}
+
 TEST(ChainGoldenTest, GroupOverflowDemotionConservesMassAndMean) {
   // With max_groups tiny, the demotion order between the kernels may
   // differ on mass ties, so assert the semantic invariants rather than
