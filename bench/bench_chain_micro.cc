@@ -6,12 +6,16 @@
 // ./BENCH_chain.json). See bench/README.md for the schema.
 //
 // Usage: bench_chain_micro [output.json] [reps]
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 
 #include "bench/bench_common.h"
 #include "core/chain_estimator_reference.h"
+#include "core/serialization.h"
 
 namespace pcde {
 namespace bench {
@@ -22,6 +26,7 @@ struct Workload {
   std::unique_ptr<core::PathWeightFunction> wp;
   std::vector<core::Decomposition> decompositions;
   std::vector<core::PathQuery> queries;
+  core::InstantiationStats build_stats;
 
   Workload() {
     data = std::make_unique<BenchDataset>(MakeA());
@@ -29,7 +34,7 @@ struct Workload {
     params.beta = 20;  // the Fig. 16 instantiation
     wp = std::make_unique<core::PathWeightFunction>(
         core::InstantiateWeightFunction(*data->data.graph, data->store,
-                                        params));
+                                        params, &build_stats));
     // The Fig. 16 method mix: OD plus the chain-heavy HP and OD-2
     // baselines (rank-2 parts with a separator at every step are the
     // sweep's hot regime).
@@ -109,6 +114,55 @@ std::pair<KernelSeries, KernelSeries> MeasurePaired(const Workload& w,
   }
   return {run_new.Finish("chain_sweep"),
           run_ref.Finish("chain_sweep_reference")};
+}
+
+/// The model series: offline build seconds, save/load latency and artifact
+/// size per format, and the serving-resident footprint of the frozen model.
+/// Every reload is checked against the built model's fingerprint — a
+/// mismatch means the artifact path is broken, so the bench aborts.
+bool MeasureModelSeries(const Workload& w, ModelSeries* out) {
+  out->num_variables = w.wp->NumVariables();
+  out->resident_bytes = w.wp->ResidentBytes();
+  out->build_seconds = w.build_stats.build_seconds;
+  // PID-suffixed names so concurrent runs on one host (CI + a developer
+  // bench) cannot clobber each other's artifacts mid save/load.
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string suffix = std::to_string(::getpid());
+  const std::string text_path =
+      (tmp / ("pcde_bench_model." + suffix + ".txt")).string();
+  const std::string bin_path =
+      (tmp / ("pcde_bench_model." + suffix + ".pcdewf")).string();
+  struct Case {
+    const char* name;
+    const std::string* path;
+    bool binary;
+  } cases[] = {{"text_v2", &text_path, false}, {"binary_v1", &bin_path, true}};
+  for (const Case& c : cases) {
+    ModelFormatSeries fmt;
+    fmt.name = c.name;
+    Stopwatch watch;
+    const Status saved = c.binary
+                             ? core::SaveWeightFunctionBinary(*w.wp, *c.path)
+                             : core::SaveWeightFunction(*w.wp, *c.path);
+    fmt.save_seconds = watch.ElapsedSeconds();
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s save failed: %s\n", c.name,
+                   saved.ToString().c_str());
+      return false;
+    }
+    fmt.artifact_bytes = static_cast<size_t>(std::filesystem::file_size(*c.path));
+    watch.Restart();
+    auto loaded = core::LoadWeightFunction(*c.path);
+    fmt.load_seconds = watch.ElapsedSeconds();
+    if (!loaded.ok() || loaded.value().fingerprint() != w.wp->fingerprint()) {
+      std::fprintf(stderr, "%s reload failed or fingerprint mismatch\n",
+                   c.name);
+      return false;
+    }
+    std::remove(c.path->c_str());
+    out->formats.push_back(std::move(fmt));
+  }
+  return true;
 }
 
 }  // namespace
@@ -219,7 +273,23 @@ int main(int argc, char** argv) {
                                   : 0.0;
   std::printf("speedup (chain_sweep vs reference): %.2fx\n", speedup);
 
-  if (!WriteChainBenchJson(out_path, "chain_estimation", series)) {
+  // The model series: build/save/load/footprint of the frozen model, the
+  // offline-build / online-serve cost record.
+  ModelSeries model;
+  if (!MeasureModelSeries(w, &model)) return 1;
+  std::printf("model: %zu variables, built in %.2f s, resident %.2f MB\n",
+              model.num_variables, model.build_seconds,
+              static_cast<double>(model.resident_bytes) / (1024.0 * 1024.0));
+  for (const ModelFormatSeries& fmt : model.formats) {
+    std::printf("  %-10s save %7.1f ms  load %7.1f ms  artifact %.2f MB\n",
+                fmt.name.c_str(), fmt.save_seconds * 1e3,
+                fmt.load_seconds * 1e3,
+                static_cast<double>(fmt.artifact_bytes) / (1024.0 * 1024.0));
+  }
+  std::printf("binary load speedup vs text: %.1fx\n",
+              model.BinaryLoadSpeedupVsText());
+
+  if (!WriteChainBenchJson(out_path, "chain_estimation", series, &model)) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
     return 1;
   }

@@ -233,12 +233,46 @@ struct KernelSeries {
   }
 };
 
+/// One persistence format's save/load measurement for the model series.
+struct ModelFormatSeries {
+  std::string name;  // "text_v2" / "binary_v1"
+  double save_seconds = 0.0;
+  double load_seconds = 0.0;
+  size_t artifact_bytes = 0;
+};
+
+/// The offline-build / online-serve cost record: instantiation time, the
+/// model's serving footprint, and per-format artifact size + save/load
+/// latency (see bench/README.md for the JSON schema).
+struct ModelSeries {
+  size_t num_variables = 0;
+  size_t resident_bytes = 0;    // PathWeightFunction::ResidentBytes
+  double build_seconds = 0.0;   // InstantiationStats::build_seconds
+  std::vector<ModelFormatSeries> formats;
+
+  /// text_load_seconds / binary_load_seconds when both formats are present
+  /// (the artifact acceptance metric: binary must load >= 10x faster).
+  double BinaryLoadSpeedupVsText() const {
+    const ModelFormatSeries* text = nullptr;
+    const ModelFormatSeries* binary = nullptr;
+    for (const ModelFormatSeries& f : formats) {
+      if (f.name == "text_v2") text = &f;
+      if (f.name == "binary_v1") binary = &f;
+    }
+    return text != nullptr && binary != nullptr && binary->load_seconds > 0.0
+               ? text->load_seconds / binary->load_seconds
+               : 0.0;
+  }
+};
+
 /// Writes the BENCH_chain.json schema: a flat object with the bench id,
-/// the kernel series, and the headline speedup of the rewritten kernel
-/// over the reference kernel (when both series are present).
+/// the kernel series, the optional model series, and the headline speedup
+/// of the rewritten kernel over the reference kernel (when both series are
+/// present).
 inline bool WriteChainBenchJson(const std::string& path,
                                 const std::string& bench_name,
-                                const std::vector<KernelSeries>& series) {
+                                const std::vector<KernelSeries>& series,
+                                const ModelSeries* model = nullptr) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   auto num = [](double v) {
@@ -269,6 +303,27 @@ inline bool WriteChainBenchJson(const std::string& path,
                  num(hit_rate).c_str(), i + 1 < series.size() ? "," : "");
   }
   std::fprintf(f, "  ]");
+  if (model != nullptr) {
+    std::fprintf(f,
+                 ",\n  \"model\": {\n"
+                 "    \"num_variables\": %zu,\n"
+                 "    \"resident_bytes\": %zu,\n"
+                 "    \"build_seconds\": %s,\n"
+                 "    \"formats\": [\n",
+                 model->num_variables, model->resident_bytes,
+                 num(model->build_seconds).c_str());
+    for (size_t i = 0; i < model->formats.size(); ++i) {
+      const ModelFormatSeries& fmt = model->formats[i];
+      std::fprintf(f,
+                   "      {\"name\": \"%s\", \"save_seconds\": %s, "
+                   "\"load_seconds\": %s, \"artifact_bytes\": %zu}%s\n",
+                   fmt.name.c_str(), num(fmt.save_seconds).c_str(),
+                   num(fmt.load_seconds).c_str(), fmt.artifact_bytes,
+                   i + 1 < model->formats.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n    \"binary_load_speedup_vs_text\": %s\n  }",
+                 num(model->BinaryLoadSpeedupVsText()).c_str());
+  }
   const KernelSeries* rewrite = nullptr;
   const KernelSeries* reference = nullptr;
   for (const KernelSeries& s : series) {

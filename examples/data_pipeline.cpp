@@ -1,13 +1,19 @@
 // The full data pipeline of the paper: raw GPS trajectories -> HMM map
 // matching (Newson & Krumm) -> trajectory store -> hybrid-graph
-// instantiation -> cost-distribution queries.
+// instantiation -> binary model artifact -> cost-distribution queries
+// served from the reloaded artifact (the offline-build / online-serve
+// split).
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 
 #include "baselines/methods.h"
 #include "common/stopwatch.h"
 #include "common/table_writer.h"
 #include "core/estimator.h"
 #include "core/instantiation.h"
+#include "core/serialization.h"
 #include "mapmatch/hmm_matcher.h"
 #include "traj/generator.h"
 #include "traj/store.h"
@@ -64,22 +70,67 @@ int main() {
   }
   table.Print();
 
-  // 4. Query a trip's path through the matched-data estimator and compare
-  //    with what the trip actually took.
-  core::HybridEstimator od = baselines::MakeOd(wp);
+  // 4. Persist the frozen model and reload it as a query server would.
+  const std::string artifact =
+      (std::filesystem::temp_directory_path() /
+       ("pcde_pipeline." + std::to_string(::getpid()) + ".pcdewf"))
+          .string();
+  watch.Restart();
+  if (auto s = core::SaveWeightFunctionBinary(wp, artifact); !s.ok()) {
+    std::printf("save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double save_s = watch.ElapsedSeconds();
+  watch.Restart();
+  auto loaded = core::LoadWeightFunction(artifact);
+  if (!loaded.ok()) {
+    std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nsaved %.2f MB artifact in %.0f ms, reloaded in %.1f ms "
+              "(fingerprint %016llx)\n",
+              static_cast<double>(std::filesystem::file_size(artifact)) /
+                  (1024.0 * 1024.0),
+              save_s * 1e3, watch.ElapsedSeconds() * 1e3,
+              static_cast<unsigned long long>(loaded.value().fingerprint()));
+  if (loaded.value().fingerprint() != wp.fingerprint()) {
+    std::printf("FINGERPRINT MISMATCH after reload\n");
+    return 1;
+  }
+
+  // 5. Query a trip's path through the *reloaded* estimator, compare with
+  //    what the trip actually took, and cross-check the served estimate
+  //    byte-for-byte against the just-built model.
+  core::HybridEstimator od = baselines::MakeOd(loaded.value());
+  core::HybridEstimator od_built = baselines::MakeOd(wp);
+  bool checked = false;
   for (size_t i = 0; i < store.NumTrajectories(); ++i) {
     const auto& t = store.trajectory(i);
     if (t.path.size() < 5) continue;
     const roadnet::Path query = t.path.Slice(0, 5);
     auto dist = od.EstimateCostDistribution(query, t.DepartureTime());
     if (!dist.ok()) continue;
+    auto built = od_built.EstimateCostDistribution(query, t.DepartureTime());
+    if (!built.ok() || !built.value().BitIdentical(dist.value())) {
+      std::printf("reloaded estimate diverges from built model\n");
+      return 1;
+    }
     double actual = 0.0;
     for (size_t d = 0; d < 5; ++d) actual += t.edge_travel_seconds[d];
-    std::printf("\nexample query %s at t=%.0f s:\n  estimated mean %.1f s "
-                "(90%% within %.1f s); this trip took %.1f s\n",
+    std::printf("\nexample query %s at t=%.0f s (served from artifact):\n"
+                "  estimated mean %.1f s (90%% within %.1f s); this trip "
+                "took %.1f s\n",
                 query.ToString().c_str(), t.DepartureTime(),
                 dist.value().Mean(), dist.value().Quantile(0.9), actual);
+    checked = true;
     break;
+  }
+  std::remove(artifact.c_str());
+  if (!checked) {
+    // The divergence gate must not pass vacuously: if no query could be
+    // served from the reloaded model, that is itself a failure.
+    std::printf("no query could be cross-checked against the artifact\n");
+    return 1;
   }
   return 0;
 }

@@ -1,15 +1,21 @@
 // Quickstart: build a synthetic city with trajectories, instantiate the
-// hybrid graph's path weight function, and query the travel-time
-// distribution of a path at a departure time.
+// hybrid graph's path weight function (offline), persist it as a binary
+// model artifact, reload it the way a query server would (online), and
+// query the travel-time distribution of a path at a departure time.
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 
 #include "baselines/methods.h"
+#include "common/stopwatch.h"
 #include "common/table_writer.h"
 #include "core/estimator.h"
 #include "core/instantiation.h"
+#include "core/serialization.h"
 #include "traj/generator.h"
 #include "traj/store.h"
 
@@ -22,10 +28,11 @@ int main() {
   traj::Dataset city = traj::MakeDatasetA(4000);
   traj::TrajectoryStore store(city.MatchedSlice(1.0));
 
-  // 2. Instantiate the path weight function W_P (Sec. 3 of the paper):
-  //    joint travel-cost distributions for all paths with >= beta
+  // 2. Offline: instantiate the path weight function W_P (Sec. 3 of the
+  //    paper): joint travel-cost distributions for all paths with >= beta
   //    qualified trajectories per 30-minute interval, plus speed-limit
-  //    fallbacks for unit paths.
+  //    fallbacks for unit paths. Instantiation freezes the model into its
+  //    flat serving representation.
   core::HybridParams params;       // alpha = 30 min, beta = 30 (Table 2)
   params.beta = 15;                // small dataset -> lower threshold
   core::InstantiationStats stats;
@@ -37,9 +44,40 @@ int main() {
               stats.unit_from_trajectories, stats.joint_variables,
               stats.unit_from_speed_limit);
 
-  // 3. Pick a query path: a 6-edge window of a real trip on a data-rich
+  // 3. Persist the frozen model and reload it — the offline-build /
+  //    online-serve split. Everything below queries the *reloaded* model.
+  const std::string artifact =
+      (std::filesystem::temp_directory_path() /
+       ("pcde_quickstart." + std::to_string(::getpid()) + ".pcdewf"))
+          .string();
+  Stopwatch io_watch;
+  if (auto s = core::SaveWeightFunctionBinary(wp, artifact); !s.ok()) {
+    std::printf("save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double save_s = io_watch.ElapsedSeconds();
+  io_watch.Restart();
+  auto loaded = core::LoadWeightFunction(artifact);
+  const double load_s = io_watch.ElapsedSeconds();
+  if (!loaded.ok()) {
+    std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Saved binary artifact (%.2f MB) in %.0f ms; reloaded in "
+              "%.1f ms; fingerprint %016llx\n",
+              static_cast<double>(std::filesystem::file_size(artifact)) /
+                  (1024.0 * 1024.0),
+              save_s * 1e3, load_s * 1e3,
+              static_cast<unsigned long long>(loaded.value().fingerprint()));
+  if (loaded.value().fingerprint() != wp.fingerprint()) {
+    std::printf("FINGERPRINT MISMATCH after reload\n");
+    return 1;
+  }
+  const core::PathWeightFunction& served = loaded.value();
+
+  // 4. Pick a query path: a 6-edge window of a real trip on a data-rich
   //    corridor (so the decomposition gets to use joint variables).
-  core::HybridEstimator od_probe = baselines::MakeOd(wp);
+  core::HybridEstimator od_probe = baselines::MakeOd(served);
   roadnet::Path query;
   double departure = 0.0;
   for (const auto& trip : city.trips) {
@@ -70,8 +108,10 @@ int main() {
               static_cast<int>(departure / 3600),
               static_cast<int>(departure / 60) % 60);
 
-  // 4. Estimate the cost distribution with the paper's OD method.
-  core::HybridEstimator od = baselines::MakeOd(wp);
+  // 5. Estimate the cost distribution with the paper's OD method — served
+  //    from the reloaded artifact, and cross-checked byte-for-byte against
+  //    the just-built model.
+  core::HybridEstimator od = baselines::MakeOd(served);
   auto de = od.Decompose(query, departure);
   if (de.ok()) {
     std::printf("Coarsest decomposition (%zu parts):", de.value().size());
@@ -83,6 +123,12 @@ int main() {
   auto dist = od.EstimateCostDistribution(query, departure);
   if (!dist.ok()) {
     std::printf("estimation failed: %s\n", dist.status().ToString().c_str());
+    return 1;
+  }
+  auto built_dist =
+      baselines::MakeOd(wp).EstimateCostDistribution(query, departure);
+  if (!built_dist.ok() || !built_dist.value().BitIdentical(dist.value())) {
+    std::printf("reloaded estimate diverges from built model\n");
     return 1;
   }
   TableWriter table({"travel time (s)", "probability"});
@@ -97,13 +143,15 @@ int main() {
               dist.value().Mean(), dist.value().ProbWithin(120.0),
               dist.value().Quantile(0.95));
 
-  // 5. Compare against the legacy edge-convolution baseline.
-  auto lb = baselines::MakeLb(wp).EstimateCostDistribution(query, departure);
+  // 6. Compare against the legacy edge-convolution baseline.
+  auto lb = baselines::MakeLb(served).EstimateCostDistribution(query,
+                                                               departure);
   if (lb.ok()) {
     std::printf("\nLegacy baseline (LB) mean %.1f s over %zu buckets; "
                 "KL(OD, LB) = %.3f\n",
                 lb.value().Mean(), lb.value().NumBuckets(),
                 hist::KlDivergence(dist.value(), lb.value()));
   }
+  std::remove(artifact.c_str());
   return 0;
 }

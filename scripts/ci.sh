@@ -6,9 +6,15 @@
 #      equivalence tests cover the non-SIMD chain kernel under the
 #      sanitizer.
 #   2. Release with SIMD on — the production configuration.
-#   3. scripts/run_benches.sh-equivalent perf record; fails the gate when
+#   3. End-to-end examples in Release: quickstart and data_pipeline both
+#      build -> save -> reload a binary model artifact and serve from it,
+#      exiting nonzero if the reloaded estimates diverge from the built
+#      model.
+#   4. scripts/run_benches.sh-equivalent perf record; fails the gate when
 #      BENCH_chain.json reports speedup_vs_reference < PCDE_CI_MIN_SPEEDUP
-#      (default 3).
+#      (default 3) or the binary model load is less than
+#      PCDE_CI_MIN_LOAD_SPEEDUP (default 10) times faster than the text
+#      parser.
 #
 # Usage: scripts/ci.sh [reps]
 set -euo pipefail
@@ -16,19 +22,24 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 REPS="${1:-8}"
 MIN_SPEEDUP="${PCDE_CI_MIN_SPEEDUP:-3}"
+MIN_LOAD_SPEEDUP="${PCDE_CI_MIN_LOAD_SPEEDUP:-10}"
 
-echo "=== [1/3] Debug + ASan build (scalar SIMD fallback) ==="
+echo "=== [1/4] Debug + ASan build (scalar SIMD fallback) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DPCDE_SANITIZE=address \
       -DPCDE_SIMD=OFF -DPCDE_BUILD_BENCHES=OFF -DPCDE_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -j)
 
-echo "=== [2/3] Release build (SIMD on) ==="
+echo "=== [2/4] Release build (SIMD on) ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j
 (cd build-release && ctest --output-on-failure -j)
 
-echo "=== [3/3] Chain perf gate (speedup_vs_reference >= ${MIN_SPEEDUP}) ==="
+echo "=== [3/4] Examples end-to-end (build -> save -> reload -> serve) ==="
+./build-release/example_quickstart
+./build-release/example_data_pipeline
+
+echo "=== [4/4] Perf gates (chain >= ${MIN_SPEEDUP}x, binary load >= ${MIN_LOAD_SPEEDUP}x) ==="
 ./build-release/bench_chain_micro BENCH_chain.json "$REPS"
 SPEEDUP="$(grep -o '"speedup_vs_reference": *[0-9.eE+-]*' BENCH_chain.json \
            | grep -o '[0-9.eE+-]*$')"
@@ -41,4 +52,15 @@ if ! awk -v s="$SPEEDUP" -v min="$MIN_SPEEDUP" \
   echo "ci: speedup_vs_reference = $SPEEDUP < $MIN_SPEEDUP — perf regression" >&2
   exit 1
 fi
-echo "ci: OK (speedup_vs_reference = $SPEEDUP)"
+LOAD_SPEEDUP="$(grep -o '"binary_load_speedup_vs_text": *[0-9.eE+-]*' BENCH_chain.json \
+               | grep -o '[0-9.eE+-]*$')"
+if [[ -z "$LOAD_SPEEDUP" ]]; then
+  echo "ci: BENCH_chain.json has no binary_load_speedup_vs_text" >&2
+  exit 1
+fi
+if ! awk -v s="$LOAD_SPEEDUP" -v min="$MIN_LOAD_SPEEDUP" \
+     'BEGIN { exit (s + 0 >= min + 0) ? 0 : 1 }'; then
+  echo "ci: binary_load_speedup_vs_text = $LOAD_SPEEDUP < $MIN_LOAD_SPEEDUP — artifact regression" >&2
+  exit 1
+fi
+echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text)"

@@ -3,8 +3,10 @@
 # BENCH_chain.json perf record at the repo root (schema: bench/README.md).
 # The record carries the paired kernel series (chain_sweep vs the frozen
 # reference), the multi-thread batch series estimate_batch_threads_{2,4,8}
-# with per-query p50/p99 latencies, and the cached batch series
-# estimate_batch_cached_threads_4 with its query-cache hit counts.
+# with per-query p50/p99 latencies, the cached batch series
+# estimate_batch_cached_threads_4 with its query-cache hit counts, and the
+# model series (offline build seconds, per-format save/load seconds and
+# artifact bytes, resident model bytes, binary-vs-text load speedup).
 #
 # Usage: scripts/run_benches.sh [reps]
 #   reps: measurement repetitions per decomposition for the chain

@@ -1,0 +1,42 @@
+// Minimal read-only span (C++17; no std::span): a pointer + length view of
+// contiguous memory. Used for the frozen model's arena-backed arrays, where
+// accessors hand out views into storage owned elsewhere.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace pcde {
+
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(const T* data, size_t size) : data_(data), size_(size) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& front() const {
+    assert(size_ > 0);
+    return data_[0];
+  }
+  const T& back() const {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace pcde

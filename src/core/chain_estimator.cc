@@ -447,7 +447,7 @@ void ChainSweeper::ApplyPart(const DecompositionPart& part,
     }
     if (dense) {
       sc.sep_marginal.assign(sep_cells, 0.0);
-      for (const HistogramND::HyperBucket& hb : buckets) {
+      for (const HistogramND::BucketRef hb : buckets) {
         uint64_t flat = 0;
         for (size_t d = 0; d < n_o; ++d) {
           flat += hb.idx[o_local0 + d] * sc.sep_stride[d];
@@ -455,7 +455,7 @@ void ChainSweeper::ApplyPart(const DecompositionPart& part,
         sc.sep_marginal[flat] += hb.prob;
       }
       for (size_t i = 0; i < n_live; ++i) {
-        const HistogramND::HyperBucket& hb = buckets[sc.live[i]];
+        const HistogramND::BucketRef hb = buckets[sc.live[i]];
         uint64_t flat = 0;
         for (size_t d = 0; d < n_o; ++d) {
           flat += hb.idx[o_local0 + d] * sc.sep_stride[d];
@@ -467,12 +467,12 @@ void ChainSweeper::ApplyPart(const DecompositionPart& part,
       // Exact fallback for separators too wide to materialize densely.
       std::map<std::vector<uint32_t>, double> sep_mass;
       std::vector<uint32_t> sk(n_o);
-      for (const HistogramND::HyperBucket& hb : buckets) {
+      for (const HistogramND::BucketRef hb : buckets) {
         for (size_t d = 0; d < n_o; ++d) sk[d] = hb.idx[o_local0 + d];
         sep_mass[sk] += hb.prob;
       }
       for (size_t i = 0; i < n_live; ++i) {
-        const HistogramND::HyperBucket& hb = buckets[sc.live[i]];
+        const HistogramND::BucketRef hb = buckets[sc.live[i]];
         for (size_t d = 0; d < n_o; ++d) sk[d] = hb.idx[o_local0 + d];
         const double marginal = sep_mass[sk];
         sc.cond_w[i] = marginal > 0.0 ? hb.prob / marginal : 0.0;
@@ -494,7 +494,7 @@ void ChainSweeper::ApplyPart(const DecompositionPart& part,
   sc.raw_o_ids.assign(need_raw_o ? n_live * n_o : 0, 0);
   std::vector<BoxId>& raw_o_ids = sc.raw_o_ids;
   for (size_t i = 0; i < n_live; ++i) {
-    const HistogramND::HyperBucket& hb = buckets[sc.live[i]];
+    const HistogramND::BucketRef hb = buckets[sc.live[i]];
     size_t open_out = i * n_non_o_open;
     for (size_t local = 0; local < m; ++local) {
       if (local < n_marg) continue;  // already-counted position: marginalize
@@ -556,7 +556,7 @@ void ChainSweeper::ApplyPart(const DecompositionPart& part,
     }
 
     for (size_t i = 0; i < n_live; ++i) {
-      const HistogramND::HyperBucket& hb = buckets[sc.live[i]];
+      const HistogramND::BucketRef hb = buckets[sc.live[i]];
       double weight;
       Interval shift = stale_shift + sc.close_shift[i];
       BoxKey key;

@@ -216,14 +216,14 @@ void ReferenceChainSweeper::ApplyPart(const DecompositionPart& part,
     // this makes each factor a proper conditional distribution.
     std::map<SepKey, double>& sep_mass = sep_cache[o_local];
     if (!o_local.empty() && sep_mass.empty()) {
-      for (const HistogramND::HyperBucket& hb : joint.buckets()) {
+      for (const HistogramND::BucketRef hb : joint.buckets()) {
         SepKey sk(o_local.size());
         for (size_t d = 0; d < o_local.size(); ++d) sk[d] = hb.idx[o_local[d]];
         sep_mass[sk] += hb.prob;
       }
     }
 
-    for (const HistogramND::HyperBucket& hb : joint.buckets()) {
+    for (const HistogramND::BucketRef hb : joint.buckets()) {
       if (hb.prob <= 0.0) continue;
       // Geometric overlap of the state's open boxes with this bucket.
       double frac = 1.0;

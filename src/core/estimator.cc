@@ -56,7 +56,7 @@ StatusOr<Histogram1D> HybridEstimator::EstimateCostDistribution(
     key = QueryCache::MakeKey(de, departure_time,
                               cache_->options().time_bucket_seconds,
                               QueryCache::Fingerprint(chain),
-                              wp_.generation());
+                              wp_.fingerprint());
     Histogram1D cached;
     if (cache_->Lookup(key, &cached)) {
       if (breakdown != nullptr) {
@@ -297,7 +297,7 @@ StatusOr<Histogram1D> IncrementalEstimator::CurrentDistribution(
   if (cache == nullptr) return CurrentDistribution();
   const QueryCache::Key key = QueryCache::MakeKey(
       parts_, departure_time_, cache->options().time_bucket_seconds,
-      QueryCache::Fingerprint(ChainOptionsFor(options_)), wp_.generation());
+      QueryCache::Fingerprint(ChainOptionsFor(options_)), wp_.fingerprint());
   Histogram1D cached;
   if (cache->Lookup(key, &cached)) return cached;
   auto result = CurrentDistribution();

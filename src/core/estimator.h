@@ -69,9 +69,10 @@ class HybridEstimator {
   /// estimations look up (decomposition, departure-time bucket) before
   /// sweeping the chain and insert on miss. Results are bit-identical with
   /// and without a cache (estimation is deterministic per decomposition).
-  /// The cache must not outlive the weight function, and one cache must not
-  /// be shared across estimators of different weight functions. Pass
-  /// nullptr to detach.
+  /// Keys carry the model fingerprint and frozen variable ids, so one cache
+  /// may safely be shared across estimators — even over different weight
+  /// functions (entries simply never cross models), and entries stay valid
+  /// across save/load of the same model artifact. Pass nullptr to detach.
   void set_query_cache(QueryCache* cache) { cache_ = cache; }
   QueryCache* query_cache() const { return cache_; }
 

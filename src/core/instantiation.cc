@@ -58,7 +58,7 @@ PathWeightFunction InstantiateWeightFunction(const Graph& graph,
                                              InstantiationStats* stats) {
   Stopwatch watch;
   const TimeBinning binning(params.alpha_minutes);
-  PathWeightFunction wp(binning);
+  WeightFunctionBuilder builder(binning);
   InstantiationStats local_stats;
 
   // ---- Level 1: unit paths.
@@ -86,7 +86,7 @@ PathWeightFunction InstantiateWeightFunction(const Graph& graph,
     var.interval = key.interval;
     var.joint = hist::HistogramND::FromHistogram1D(hist1d.value());
     var.support = data.rows.size();
-    wp.Add(std::move(var));
+    builder.Add(std::move(var));
     frequent.insert(key);
     ++local_stats.unit_from_trajectories;
   }
@@ -102,7 +102,7 @@ PathWeightFunction InstantiateWeightFunction(const Graph& graph,
         hist::HistogramND::FromHistogram1D(SpeedLimitHistogram(edge, params));
     var.support = 0;
     var.from_speed_limit = true;
-    wp.Add(std::move(var));
+    builder.Add(std::move(var));
     ++local_stats.unit_from_speed_limit;
   }
 
@@ -142,12 +142,16 @@ PathWeightFunction InstantiateWeightFunction(const Graph& graph,
       var.interval = key.interval;
       var.joint = std::move(joint).value();
       var.support = data.rows.size();
-      wp.Add(std::move(var));
+      builder.Add(std::move(var));
       frequent.insert(key);
       ++local_stats.joint_variables;
     }
   }
 
+  // Compile the mutable builder state into the frozen serving
+  // representation; the freeze (flatten + index build) is part of the
+  // offline build cost.
+  PathWeightFunction wp = std::move(builder).Freeze();
   local_stats.build_seconds = watch.ElapsedSeconds();
   if (stats != nullptr) *stats = local_stats;
   return wp;

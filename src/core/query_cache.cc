@@ -48,10 +48,10 @@ QueryCache::Key QueryCache::MakeKey(const Decomposition& de,
                                     double departure_time,
                                     double time_bucket_seconds,
                                     uint64_t options_fingerprint,
-                                    uint64_t weight_generation) {
+                                    uint64_t model_fingerprint) {
   Key key;
   key.reserve(3 + 2 * de.size());
-  key.push_back(weight_generation);
+  key.push_back(model_fingerprint);
   key.push_back(options_fingerprint);
   // The time bucket is strictly redundant today — the chain evaluation is a
   // pure function of (decomposition, options) — but it is kept in the key
@@ -62,8 +62,10 @@ QueryCache::Key QueryCache::MakeKey(const Decomposition& de,
   key.push_back(static_cast<uint64_t>(
       static_cast<int64_t>(std::floor(departure_time / width))));
   for (const DecompositionPart& part : de) {
-    key.push_back(
-        static_cast<uint64_t>(reinterpret_cast<uintptr_t>(part.variable)));
+    // Frozen variable ids, not addresses: stable across save/load, so the
+    // same decomposition keys the same entry in every process serving this
+    // model artifact.
+    key.push_back(part.variable->id);
     key.push_back(part.start);
   }
   return key;

@@ -6,12 +6,13 @@
 // options alone, so a cached histogram is bit-identical to a recomputation:
 // batch-with-cache equals sequential-without-cache result for result.
 //
-// Keys are the decomposition identity — the (instantiated variable, start)
-// sequence — plus the departure-time bucket and a fingerprint of the chain
-// options. Variables are identified by address: they are owned by the
-// PathWeightFunction and stable for its lifetime, so a cache must not
-// outlive the weight function its results came from (or be shared across
-// weight functions).
+// Keys are the decomposition identity — the (frozen variable id, start)
+// sequence — plus the departure-time bucket, a fingerprint of the chain
+// options, and the weight function's content fingerprint. Frozen variable
+// ids are stable across save/load of the model artifact, so decomposition
+// fingerprints (and therefore cache entries) are addressable across
+// processes serving the same artifact; the model fingerprint turns a cache
+// shared across *different* models into misses instead of false hits.
 //
 // Shards are independent mutex-protected LRU lists, selected by key hash,
 // so concurrent EstimateBatch workers rarely contend; the byte budget is
@@ -61,12 +62,15 @@ struct QueryCacheStats {
 
 class QueryCache {
  public:
-  /// The exact cache identity of a query: the weight function's generation
-  /// (PathWeightFunction::generation — turns a stale cache into misses
-  /// rather than false hits on recycled variable addresses), fingerprint of
-  /// the chain options, departure-time bucket, then (variable address,
-  /// start) per part. Stored verbatim, so lookups compare exactly — no
-  /// hash-collision false hits.
+  /// The exact cache identity of a query: the weight function's content
+  /// fingerprint (PathWeightFunction::fingerprint — identical across
+  /// save/load of one model), fingerprint of the chain options,
+  /// departure-time bucket, then (frozen variable id, start) per part.
+  /// Keys are stored verbatim and compared exactly, so lookups within one
+  /// model never false-hit; isolation *across* models rests on the 64-bit
+  /// non-cryptographic content fingerprint (an accidental collision is
+  /// astronomically unlikely, but do not share a cache with models loaded
+  /// from untrusted artifacts).
   using Key = std::vector<uint64_t>;
 
   explicit QueryCache(QueryCacheOptions options = QueryCacheOptions());
@@ -81,7 +85,7 @@ class QueryCache {
 
   static Key MakeKey(const Decomposition& de, double departure_time,
                      double time_bucket_seconds, uint64_t options_fingerprint,
-                     uint64_t weight_generation);
+                     uint64_t model_fingerprint);
 
   /// True and fills *out (a copy of the cached histogram) on a hit.
   bool Lookup(const Key& key, hist::Histogram1D* out);

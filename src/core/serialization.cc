@@ -1,19 +1,323 @@
 #include "core/serialization.h"
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <memory>
+#include <new>
 #include <sstream>
+#include <vector>
 
 namespace pcde {
 namespace core {
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// Binary artifact (PCDEWF1): fixed little-endian header + section table;
+// the payload sections are the frozen model's flat arrays verbatim.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kMagic = 0x0031465745444350ull;  // "PCDEWF1\0"
+constexpr uint32_t kFormatVersion = 1;
+
+enum SectionKind : uint64_t {
+  kSeqOff = 1,
+  kSeqEdges = 2,
+  kVarSeq = 3,
+  kIntervals = 4,
+  kSupports = 5,
+  kFlags = 6,
+  kVarDimOff = 7,
+  kBoundOff = 8,
+  kBounds = 9,
+  kBucketOff = 10,
+  kIdxOff = 11,
+  kProbs = 12,
+  kIdx = 13,
+};
+constexpr uint32_t kNumSections = 13;
+static_assert(kNumSections == WeightFunctionSections::kNumSections,
+              "artifact section count tracks the canonical section table");
+
+struct Header {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t section_count;
+  uint64_t checksum;
+  double alpha_seconds;
+  uint64_t num_vars;
+  uint64_t num_seqs;
+  uint64_t reserved0;
+  uint64_t reserved1;
+};
+static_assert(sizeof(Header) == 64, "header layout");
+
+struct TableEntry {
+  uint64_t kind;
+  uint64_t offset;  // bytes from file start; 8-aligned
+  uint64_t nbytes;
+};
+static_assert(sizeof(TableEntry) == 24, "table entry layout");
+
+constexpr uint64_t kTableOffset = sizeof(Header);
+constexpr uint64_t kPayloadOffset =
+    kTableOffset + kNumSections * sizeof(TableEntry);
+
+uint64_t Align8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
+
+// The artifact's on-disk section layout (kinds, element counts, widths) is
+// WeightFunctionSections::SectionTable — stated once, shared with the
+// checksum and the byte accounting; the kind ids above name its rows.
+using SectionPlan = WeightFunctionSections::SectionView;
+
+/// Alpha bounds every loader enforces; saving is gated on the same range
+/// so an unloadable artifact fails at build time, not at server start.
+bool AlphaInArtifactRange(double alpha_seconds) {
+  return alpha_seconds >= 1.0 && alpha_seconds <= 86400.0 * 365.0;
+}
+
+/// Save-side mirror of the loaders' limits: a model that would be rejected
+/// on load (alpha out of range, edge ids above the artifact ceiling) must
+/// not save successfully.
+Status ValidateSaveable(const PathWeightFunction& wp, const char* who) {
+  if (!AlphaInArtifactRange(wp.binning().alpha_seconds())) {
+    return Status::InvalidArgument(
+        std::string(who) + ": alpha = " +
+        std::to_string(wp.binning().alpha_seconds()) +
+        " s is outside the artifact range [1 s, 1 year]; the saved model "
+        "could never be loaded");
+  }
+  // Front edges only, matching the loaders: the ceiling exists to bound
+  // the dense per-front-edge candidate index, which interior edges never
+  // drive.
+  const WeightFunctionSections& s = wp.sections();
+  for (uint64_t q = 0; q < s.num_seqs; ++q) {
+    const roadnet::EdgeId front = s.seq_edges[s.seq_off[q]];
+    if (front >= kMaxArtifactEdgeId) {
+      return Status::InvalidArgument(
+          std::string(who) + ": front edge id " + std::to_string(front) +
+          " exceeds the artifact ceiling (" +
+          std::to_string(kMaxArtifactEdgeId) +
+          "); the saved model could never be loaded");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveWeightFunctionBinary(const PathWeightFunction& wp,
+                                const std::string& path) {
+  PCDE_RETURN_NOT_OK(ValidateSaveable(wp, "SaveWeightFunctionBinary"));
+  const WeightFunctionSections& s = wp.sections();
+  const auto plan = s.SectionTable();
+
+  Header header{};
+  header.magic = kMagic;
+  header.version = kFormatVersion;
+  header.section_count = kNumSections;
+  header.checksum = wp.fingerprint();
+  header.alpha_seconds = wp.binning().alpha_seconds();
+  header.num_vars = s.num_vars;
+  header.num_seqs = s.num_seqs;
+
+  std::vector<TableEntry> table(kNumSections);
+  uint64_t offset = kPayloadOffset;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    table[i] = TableEntry{plan[i].kind, offset, plan[i].nbytes};
+    offset = Align8(offset + plan[i].nbytes);
+  }
+
+  // Atomic: write a temp sibling and rename into place, so a crash or a
+  // full disk mid-save never destroys the previous good artifact.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("SaveWeightFunctionBinary: cannot open " + tmp);
+  }
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(table.data()),
+            static_cast<std::streamsize>(table.size() * sizeof(TableEntry)));
+  const char pad[8] = {0};
+  for (const SectionPlan& sec : plan) {
+    if (sec.nbytes > 0) {
+      out.write(reinterpret_cast<const char*>(sec.data),
+                static_cast<std::streamsize>(sec.nbytes));
+    }
+    const uint64_t padding = Align8(sec.nbytes) - sec.nbytes;
+    if (padding > 0) out.write(pad, static_cast<std::streamsize>(padding));
+  }
+  out.flush();
+  out.close();
+  if (!out.good()) {
+    std::remove(tmp.c_str());
+    return Status::Internal("SaveWeightFunctionBinary: write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("SaveWeightFunctionBinary: cannot rename into " +
+                            path);
+  }
+  return Status::OK();
+}
+
+StatusOr<PathWeightFunction> LoadWeightFunctionBinary(const std::string& path) {
+  auto bad = [&path](const std::string& what) {
+    return Status::InvalidArgument("LoadWeightFunctionBinary: " + what +
+                                   " in " + path);
+  };
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) {
+    return Status::NotFound("LoadWeightFunctionBinary: cannot open " + path);
+  }
+  const std::streamoff signed_size = in.tellg();
+  if (signed_size < static_cast<std::streamoff>(sizeof(Header))) {
+    return bad("file shorter than the header");
+  }
+  const uint64_t file_size = static_cast<uint64_t>(signed_size);
+  in.seekg(0);
+  // One read into one 8-byte-aligned buffer; this buffer IS the model
+  // arena — the frozen arrays below are pointers into it. Allocated
+  // uninitialized (a vector would memset the whole file size first) with
+  // only the final padding word zeroed for determinism.
+  const size_t words = static_cast<size_t>((file_size + 7) / 8);
+  std::shared_ptr<uint64_t[]> buffer(new (std::nothrow) uint64_t[words]);
+  if (buffer == nullptr) {
+    // A (possibly sparse) multi-GB non-artifact must surface as a Status,
+    // not an uncaught bad_alloc at server start.
+    return bad("artifact too large to load (" + std::to_string(file_size) +
+               " bytes)");
+  }
+  buffer[words - 1] = 0;
+  in.read(reinterpret_cast<char*>(buffer.get()),
+          static_cast<std::streamsize>(file_size));
+  if (!in.good()) {
+    return Status::Internal("LoadWeightFunctionBinary: read failed for " +
+                            path);
+  }
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(buffer.get());
+
+  Header header;
+  std::memcpy(&header, base, sizeof(header));
+  if (header.magic != kMagic) return bad("bad magic (not a PCDEWF1 artifact)");
+  if (header.version != kFormatVersion) {
+    return bad("unsupported format version " +
+               std::to_string(header.version) + " (this build reads version " +
+               std::to_string(kFormatVersion) + ")");
+  }
+  if (header.section_count != kNumSections) return bad("bad section count");
+  // Bounded both ways: a near-zero alpha would push TimeBinning's
+  // time/alpha quotients outside int32 range (undefined float-to-int
+  // casts) at query time.
+  if (!AlphaInArtifactRange(header.alpha_seconds)) {
+    return bad("bad alpha_seconds");
+  }
+  // Every element is at least one byte, so any legitimate count is bounded
+  // by the file size; this also keeps the size arithmetic overflow-free.
+  if (header.num_vars > file_size || header.num_seqs > file_size) {
+    return bad("implausible variable/sequence count");
+  }
+  if (kPayloadOffset > file_size) return bad("file shorter than section table");
+
+  TableEntry table[kNumSections];
+  std::memcpy(table, base + kTableOffset, sizeof(table));
+  const uint8_t* sec_ptr[kNumSections + 1] = {nullptr};
+  uint64_t sec_bytes[kNumSections + 1] = {0};
+  for (const TableEntry& e : table) {
+    if (e.kind < 1 || e.kind > kNumSections) return bad("unknown section kind");
+    if (sec_ptr[e.kind] != nullptr) return bad("duplicate section");
+    if (e.offset % 8 != 0 || e.offset < kPayloadOffset ||
+        e.offset > file_size || e.nbytes > file_size - e.offset) {
+      return bad("section out of file bounds");
+    }
+    sec_ptr[e.kind] = base + e.offset;
+    sec_bytes[e.kind] = e.nbytes;
+  }
+  for (uint64_t kind = 1; kind <= kNumSections; ++kind) {
+    if (sec_ptr[kind] == nullptr) return bad("missing section");
+  }
+
+  // Wire the sections, validating each size against the counts implied by
+  // the previously validated sections (progressively: counts for the
+  // data-dependent sections come out of the offset arrays themselves).
+  WeightFunctionSections s;
+  s.num_vars = header.num_vars;
+  s.num_seqs = header.num_seqs;
+  auto take = [&](uint64_t kind, uint64_t want_bytes,
+                  const uint8_t** out) -> bool {
+    if (sec_bytes[kind] != want_bytes) return false;
+    *out = sec_ptr[kind];
+    return true;
+  };
+  const uint8_t* p = nullptr;
+  if (!take(kSeqOff, (s.num_seqs + 1) * 8, &p)) return bad("seq_off size");
+  s.seq_off = reinterpret_cast<const uint64_t*>(p);
+  if (s.TotalEdges() > file_size) return bad("implausible edge count");
+  if (!take(kSeqEdges, s.TotalEdges() * sizeof(roadnet::EdgeId), &p)) {
+    return bad("seq_edges size");
+  }
+  s.seq_edges = reinterpret_cast<const roadnet::EdgeId*>(p);
+  if (!take(kVarSeq, s.num_vars * 4, &p)) return bad("var_seq size");
+  s.var_seq = reinterpret_cast<const uint32_t*>(p);
+  if (!take(kIntervals, s.num_vars * 4, &p)) return bad("intervals size");
+  s.intervals = reinterpret_cast<const int32_t*>(p);
+  if (!take(kSupports, s.num_vars * 8, &p)) return bad("supports size");
+  s.supports = reinterpret_cast<const uint64_t*>(p);
+  if (!take(kFlags, s.num_vars, &p)) return bad("flags size");
+  s.flags = p;
+  if (!take(kVarDimOff, (s.num_vars + 1) * 8, &p)) return bad("var_dim_off size");
+  s.var_dim_off = reinterpret_cast<const uint64_t*>(p);
+  if (s.TotalDims() > file_size) return bad("implausible dimension count");
+  if (!take(kBoundOff, (s.TotalDims() + 1) * 8, &p)) return bad("bound_off size");
+  s.bound_off = reinterpret_cast<const uint64_t*>(p);
+  if (s.TotalBounds() > file_size) return bad("implausible boundary count");
+  if (!take(kBounds, s.TotalBounds() * 8, &p)) return bad("bounds size");
+  s.bounds = reinterpret_cast<const double*>(p);
+  if (!take(kBucketOff, (s.num_vars + 1) * 8, &p)) return bad("bucket_off size");
+  s.bucket_off = reinterpret_cast<const uint64_t*>(p);
+  if (!take(kIdxOff, (s.num_vars + 1) * 8, &p)) return bad("idx_off size");
+  s.idx_off = reinterpret_cast<const uint64_t*>(p);
+  if (s.TotalBuckets() > file_size) return bad("implausible bucket count");
+  if (!take(kProbs, s.TotalBuckets() * 8, &p)) return bad("probs size");
+  s.probs = reinterpret_cast<const double*>(p);
+  if (s.TotalIdx() > file_size) return bad("implausible index count");
+  if (!take(kIdx, s.TotalIdx() * 4, &p)) return bad("idx size");
+  s.idx = reinterpret_cast<const uint32_t*>(p);
+
+  const uint64_t checksum =
+      PathWeightFunction::SectionChecksum(header.alpha_seconds, s);
+  if (checksum != header.checksum) {
+    return bad("payload checksum mismatch (corrupt artifact)");
+  }
+
+  const TimeBinning binning(header.alpha_seconds / 60.0);
+  return PathWeightFunction::FromSections(
+      binning, std::shared_ptr<const void>(buffer, buffer.get()), s,
+      kMaxArtifactEdgeId, &checksum);
+}
+
+// ---------------------------------------------------------------------------
+// Text artifact (v2): BINNING record + VAR/DIM/HB record groups.
+// ---------------------------------------------------------------------------
+
 Status SaveWeightFunction(const PathWeightFunction& wp,
                           const std::string& path) {
-  std::ofstream out(path);
+  PCDE_RETURN_NOT_OK(ValidateSaveable(wp, "SaveWeightFunction"));
+  // Atomic, like the binary save: temp sibling + rename.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::ofstream out(tmp);
   if (!out.is_open()) {
-    return Status::Internal("SaveWeightFunction: cannot open " + path);
+    return Status::Internal("SaveWeightFunction: cannot open " + tmp);
   }
   out.precision(17);
-  out << "# pcde weight function v1\n";
+  out << "# pcde weight function v2\n";
+  out << "BINNING," << wp.binning().alpha_seconds() / 60.0 << "\n";
   for (const InstantiatedVariable& v : wp.variables()) {
     out << "VAR," << v.interval << "," << v.support << ","
         << (v.from_speed_limit ? 1 : 0) << "," << v.rank();
@@ -24,24 +328,83 @@ Status SaveWeightFunction(const PathWeightFunction& wp,
       for (double b : v.joint.boundaries(d)) out << "," << b;
       out << "\n";
     }
-    for (const auto& hb : v.joint.buckets()) {
+    const size_t dims = v.joint.NumDims();
+    for (const hist::HistogramND::BucketRef hb : v.joint.buckets()) {
       out << "HB," << hb.prob;
-      for (uint32_t i : hb.idx) out << "," << i;
+      for (size_t d = 0; d < dims; ++d) out << "," << hb.idx[d];
       out << "\n";
     }
   }
   out.flush();
-  if (!out.good()) return Status::Internal("SaveWeightFunction: write failed");
+  out.close();
+  if (!out.good()) {
+    std::remove(tmp.c_str());
+    return Status::Internal("SaveWeightFunction: write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("SaveWeightFunction: cannot rename into " + path);
+  }
   return Status::OK();
 }
 
-StatusOr<PathWeightFunction> LoadWeightFunction(const std::string& path,
-                                                double alpha_minutes) {
+namespace {
+
+// Exception-free numeric field parsers: corrupt artifacts must produce a
+// Status, never a throw/crash (std::stoul and friends throw).
+bool ParseDoubleField(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  // No non-finite fields: 'nan' would slip through every downstream
+  // comparison-based validation (NaN makes both < and > false) and load
+  // as NaN bucket mass.
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseU64Field(const std::string& s, uint64_t* out) {
+  // First char must be a digit: strtoull itself skips whitespace and wraps
+  // negative inputs (" -5" -> 2^64-5) instead of rejecting them.
+  if (s.empty() || s[0] < '0' || s[0] > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseI32Field(const std::string& s, int32_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size() || v < INT32_MIN ||
+      v > INT32_MAX) {
+    return false;
+  }
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+/// Shared text parser. `require_binning` rejects v1 files (no BINNING
+/// record); otherwise `fallback_alpha_minutes` supplies the binning, and a
+/// BINNING record that disagrees with it is an error.
+StatusOr<PathWeightFunction> LoadText(const std::string& path,
+                                      bool require_binning,
+                                      double fallback_alpha_minutes) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::NotFound("LoadWeightFunction: cannot open " + path);
   }
-  PathWeightFunction wp{TimeBinning(alpha_minutes)};
+
+  bool has_binning = false;
+  double alpha_minutes = fallback_alpha_minutes;
+  std::unique_ptr<WeightFunctionBuilder> builder;
 
   // Parser state for the variable being assembled.
   bool has_var = false;
@@ -57,11 +420,15 @@ StatusOr<PathWeightFunction> LoadWeightFunction(const std::string& path,
           "LoadWeightFunction: dimension count mismatch for variable " +
           var.path.ToString());
     }
+    // The stored probabilities are already normalized; keep them verbatim
+    // (renormalizing would perturb the low bits and break the byte-identical
+    // save -> load -> estimate guarantee).
     PCDE_ASSIGN_OR_RETURN(
         joint, hist::HistogramND::Make(std::move(boundaries),
-                                       std::move(buckets)));
+                                       std::move(buckets),
+                                       /*renormalize=*/false));
     var.joint = std::move(joint);
-    wp.Add(std::move(var));
+    builder->Add(std::move(var));
     var = InstantiatedVariable();
     boundaries.clear();
     buckets.clear();
@@ -78,25 +445,77 @@ StatusOr<PathWeightFunction> LoadWeightFunction(const std::string& path,
     std::string field;
     std::vector<std::string> fields;
     while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (fields.empty()) continue;
     const std::string where = path + ":" + std::to_string(line_no);
-    if (fields[0] == "VAR") {
+    if (fields[0] == "BINNING") {
+      double parsed = 0.0;
+      // Same alpha bounds as the binary loader: a near-zero alpha is
+      // undefined behavior in TimeBinning at query time, not a loadable
+      // model.
+      if (fields.size() != 2 || !ParseDoubleField(fields[1], &parsed) ||
+          !AlphaInArtifactRange(parsed * 60.0)) {
+        return Status::InvalidArgument("LoadWeightFunction: bad BINNING at " +
+                                       where);
+      }
+      if (has_binning || builder != nullptr) {
+        // A second BINNING (anywhere) would silently re-bind the alpha
+        // grid — exactly the binning-corruption class this format exists
+        // to make a load-time error.
+        return Status::InvalidArgument(
+            "LoadWeightFunction: duplicate or misplaced BINNING at " + where);
+      }
+      // Compare in seconds: the artifact stores alpha_seconds / 60, and
+      // (m * 60) / 60 is not bit-exact for every double, while
+      // (s / 60) * 60 round-trips the stored value.
+      if (!require_binning &&
+          parsed * 60.0 != fallback_alpha_minutes * 60.0) {
+        return Status::InvalidArgument(
+            "LoadWeightFunction: artifact binning alpha = " +
+            std::to_string(parsed) + " min does not match the caller's " +
+            std::to_string(fallback_alpha_minutes) + " min (" + where + ")");
+      }
+      alpha_minutes = parsed;
+      has_binning = true;
+    } else if (fields[0] == "VAR") {
+      if (!has_binning && require_binning) {
+        return Status::InvalidArgument(
+            "LoadWeightFunction: no BINNING record before " + where +
+            " — text v1 artifact? Load it with LoadWeightFunctionTextV1 and "
+            "the alpha it was built with");
+      }
+      if (builder == nullptr) {
+        builder =
+            std::make_unique<WeightFunctionBuilder>(TimeBinning(alpha_minutes));
+      }
       PCDE_RETURN_NOT_OK(flush());
-      if (fields.size() < 6) {
+      uint64_t support = 0, parsed_rank = 0;
+      if (fields.size() < 6 || !ParseI32Field(fields[1], &var.interval) ||
+          !ParseU64Field(fields[2], &support) ||
+          (fields[3] != "0" && fields[3] != "1") ||
+          !ParseU64Field(fields[4], &parsed_rank)) {
         return Status::InvalidArgument("LoadWeightFunction: bad VAR at " +
                                        where);
       }
-      var.interval = std::stoi(fields[1]);
-      var.support = std::stoul(fields[2]);
+      var.support = support;
       var.from_speed_limit = fields[3] == "1";
-      rank = std::stoul(fields[4]);
-      if (fields.size() != 5 + rank) {
+      rank = parsed_rank;
+      if (rank == 0 || fields.size() != 5 + rank) {
         return Status::InvalidArgument("LoadWeightFunction: VAR arity at " +
                                        where);
       }
       std::vector<roadnet::EdgeId> edges;
       for (size_t i = 0; i < rank; ++i) {
-        edges.push_back(
-            static_cast<roadnet::EdgeId>(std::stoul(fields[5 + i])));
+        uint64_t e = 0;
+        // Front edges carry the same artifact ceiling as the binary
+        // loader: a corrupt id must not drive the dense candidate index
+        // to gigabytes. Interior edges only need to fit EdgeId.
+        const uint64_t limit = i == 0 ? kMaxArtifactEdgeId
+                                      : uint64_t{UINT32_MAX} + 1;
+        if (!ParseU64Field(fields[5 + i], &e) || e >= limit) {
+          return Status::InvalidArgument(
+              "LoadWeightFunction: bad edge id at " + where);
+        }
+        edges.push_back(static_cast<roadnet::EdgeId>(e));
       }
       var.path = roadnet::Path(std::move(edges));
       has_var = true;
@@ -107,7 +526,12 @@ StatusOr<PathWeightFunction> LoadWeightFunction(const std::string& path,
       }
       std::vector<double> bounds;
       for (size_t i = 1; i < fields.size(); ++i) {
-        bounds.push_back(std::stod(fields[i]));
+        double b = 0.0;
+        if (!ParseDoubleField(fields[i], &b)) {
+          return Status::InvalidArgument(
+              "LoadWeightFunction: bad DIM value at " + where);
+        }
+        bounds.push_back(b);
       }
       boundaries.push_back(std::move(bounds));
     } else if (fields[0] == "HB") {
@@ -116,9 +540,17 @@ StatusOr<PathWeightFunction> LoadWeightFunction(const std::string& path,
                                        where);
       }
       hist::HistogramND::HyperBucket hb;
-      hb.prob = std::stod(fields[1]);
+      if (!ParseDoubleField(fields[1], &hb.prob)) {
+        return Status::InvalidArgument(
+            "LoadWeightFunction: bad HB probability at " + where);
+      }
       for (size_t i = 0; i < rank; ++i) {
-        hb.idx.push_back(static_cast<uint32_t>(std::stoul(fields[2 + i])));
+        uint64_t idx = 0;
+        if (!ParseU64Field(fields[2 + i], &idx) || idx > UINT32_MAX) {
+          return Status::InvalidArgument(
+              "LoadWeightFunction: bad HB index at " + where);
+        }
+        hb.idx.push_back(static_cast<uint32_t>(idx));
       }
       buckets.push_back(std::move(hb));
     } else {
@@ -126,8 +558,72 @@ StatusOr<PathWeightFunction> LoadWeightFunction(const std::string& path,
                                      where);
     }
   }
+  if (in.bad()) {
+    return Status::Internal("LoadWeightFunction: read failed for " + path);
+  }
+  if (require_binning && !has_binning) {
+    return Status::InvalidArgument(
+        "LoadWeightFunction: no BINNING record in " + path +
+        " — text v1 artifact? Load it with LoadWeightFunctionTextV1 and the "
+        "alpha it was built with");
+  }
+  if (builder == nullptr) {
+    builder =
+        std::make_unique<WeightFunctionBuilder>(TimeBinning(alpha_minutes));
+  }
   PCDE_RETURN_NOT_OK(flush());
-  return wp;
+  return std::move(*builder).TryFreeze();
+}
+
+enum class ArtifactKind { kBinary, kText, kCorruptBinary };
+
+/// Routes by the leading bytes: the full magic selects the binary loader;
+/// a magic prefix (truncated file) or embedded NULs (binary garbage, e.g.
+/// a corrupted header) is reported as a corrupt binary artifact instead of
+/// being fed to the text parser, whose "unknown record" errors would send
+/// an operator down the wrong diagnostic path.
+ArtifactKind SniffArtifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return ArtifactKind::kText;  // loader reports NotFound
+  char head[sizeof(uint64_t)] = {0};
+  in.read(head, sizeof(head));
+  const size_t n = static_cast<size_t>(in.gcount());
+  uint64_t magic = 0;
+  std::memcpy(&magic, head, sizeof(magic));
+  if (n == sizeof(head) && magic == kMagic) return ArtifactKind::kBinary;
+  const char* magic_bytes = reinterpret_cast<const char*>(&kMagic);
+  if (n > 0 && std::memcmp(head, magic_bytes, n) == 0) {
+    return ArtifactKind::kCorruptBinary;  // magic prefix, file cut short
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (head[i] == '\0') return ArtifactKind::kCorruptBinary;
+  }
+  return ArtifactKind::kText;
+}
+
+}  // namespace
+
+StatusOr<PathWeightFunction> LoadWeightFunction(const std::string& path) {
+  switch (SniffArtifact(path)) {
+    case ArtifactKind::kBinary:
+      return LoadWeightFunctionBinary(path);
+    case ArtifactKind::kCorruptBinary:
+      return Status::InvalidArgument(
+          "LoadWeightFunction: " + path +
+          " looks like a corrupt or truncated PCDEWF1 binary artifact");
+    case ArtifactKind::kText:
+      break;
+  }
+  return LoadText(path, /*require_binning=*/true, /*fallback=*/0.0);
+}
+
+StatusOr<PathWeightFunction> LoadWeightFunctionTextV1(const std::string& path,
+                                                      double alpha_minutes) {
+  if (!(alpha_minutes > 0.0)) {
+    return Status::InvalidArgument(
+        "LoadWeightFunctionTextV1: alpha_minutes must be positive");
+  }
+  return LoadText(path, /*require_binning=*/false, alpha_minutes);
 }
 
 }  // namespace core

@@ -1,12 +1,27 @@
 // Persistence for the instantiated path weight function W_P. Instantiation
 // is the expensive offline stage (the paper reports minutes at fleet
-// scale); production deployments save the instantiated variables and load
-// them into query servers.
+// scale); production deployments build once, save the frozen model, and
+// load it into query servers.
 //
-// Text format, one variable per record:
-//   VAR,<interval>,<support>,<speed_limit 0|1>,<rank>,<edge...>
-//   DIM,<boundary...>                   (one line per dimension)
-//   HB,<prob>,<idx...>                  (one line per hyper-bucket)
+// Two artifact formats, both embedding the TimeBinning so a loaded model
+// can never be silently queried under the wrong alpha grid:
+//
+//   * Binary (PCDEWF1): a little-endian header (magic, format version,
+//     alpha, payload checksum) plus a section table whose payload sections
+//     are the frozen model's flat arrays verbatim. SaveWeightFunctionBinary
+//     is a handful of writes; LoadWeightFunctionBinary is one file read
+//     plus pointer fixup and validation — no per-bucket parsing and no
+//     per-bucket allocation. The checksum doubles as the model fingerprint
+//     (PathWeightFunction::fingerprint), so query-cache keys are stable
+//     across save/load.
+//
+//   * Text v2: the v1 record stream (one variable per VAR/DIM/HB record
+//     group) prefixed with a BINNING record. Slow but greppable.
+//     Text v1 files (no BINNING record) predate the embedded binning; load
+//     them through the LoadWeightFunctionTextV1 compatibility shim, which
+//     takes the binning the file was built with.
+//
+// LoadWeightFunction sniffs the format from the leading magic.
 #pragma once
 
 #include <string>
@@ -17,13 +32,31 @@
 namespace pcde {
 namespace core {
 
+/// Saves the text (v2) artifact: BINNING record + one VAR/DIM/HB record
+/// group per variable, in variable-id order.
 Status SaveWeightFunction(const PathWeightFunction& wp,
                           const std::string& path);
 
-/// Loads a weight function written by SaveWeightFunction. `alpha_minutes`
-/// must match the binning the variables were instantiated with.
-StatusOr<PathWeightFunction> LoadWeightFunction(const std::string& path,
-                                                double alpha_minutes);
+/// Saves the binary artifact (header + section table + the frozen arrays).
+Status SaveWeightFunctionBinary(const PathWeightFunction& wp,
+                                const std::string& path);
+
+/// Loads either artifact format (sniffed from the leading bytes). The
+/// TimeBinning comes from the artifact; corrupt, truncated, or
+/// version-skewed files fail with a Status (never crash). Text v1 files
+/// are rejected here with a pointer to the shim below.
+StatusOr<PathWeightFunction> LoadWeightFunction(const std::string& path);
+
+/// Loads the binary artifact only.
+StatusOr<PathWeightFunction> LoadWeightFunctionBinary(const std::string& path);
+
+/// Compatibility shim for text v1 files, which did not embed the binning:
+/// `alpha_minutes` must be the binning the variables were instantiated
+/// with. Also accepts v2 text files, but then the embedded binning must
+/// match `alpha_minutes` — a mismatch is a load-time InvalidArgument (it
+/// used to be silent model corruption).
+StatusOr<PathWeightFunction> LoadWeightFunctionTextV1(const std::string& path,
+                                                      double alpha_minutes);
 
 }  // namespace core
 }  // namespace pcde

@@ -2,14 +2,34 @@
 // instantiated random variables V_P^{I_j}, each the joint travel-cost
 // distribution of a path's edges during one time-of-day interval,
 // represented as a multi-dimensional histogram.
+//
+// The model layer is split into two phases mirroring the paper's offline /
+// online split:
+//
+//   * WeightFunctionBuilder — the mutable build-side store. Owns Add()
+//     (last write wins per (path, interval)) and is what
+//     core/instantiation populates during the expensive offline stage.
+//
+//   * PathWeightFunction — the immutable frozen serving representation
+//     produced by Freeze(). Variables, per-start-edge candidate lists, and
+//     every HistogramND boundary/bucket payload live in contiguous
+//     arena-backed arrays; lookups are index-based (interned edge
+//     sequences -> dense variable ids through a flat open-addressing
+//     table) instead of per-variable heap maps. The flat arrays are
+//     exactly the payload sections of the binary model artifact
+//     (core/serialization), so saving is a handful of writes and loading
+//     is one read plus pointer fixup.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/span.h"
 #include "core/params.h"
 #include "hist/histogram_nd.h"
 #include "roadnet/path.h"
@@ -18,26 +38,116 @@ namespace pcde {
 namespace core {
 
 /// \brief One instantiated random variable V_P^{I_j}.
+///
+/// In a frozen PathWeightFunction the `joint` is a zero-copy view into the
+/// model arena and `id` is the variable's dense index — stable across
+/// save/load, which makes decomposition identities (and therefore
+/// QueryCache keys) portable across processes serving the same artifact.
 struct InstantiatedVariable {
   roadnet::Path path;
   int32_t interval = kAllDayInterval;  // index into the alpha grid
   hist::HistogramND joint;             // rank = path.size() dimensions
   size_t support = 0;                  // #qualified trajectories
   bool from_speed_limit = false;       // Sec. 3.1 fallback for unit paths
+  uint32_t id = 0;                     // dense frozen id (assigned by Freeze)
 
   size_t rank() const { return path.size(); }
 };
 
-/// \brief W_P: lookup of instantiated variables by (path, interval), plus
-/// the per-start-edge listing the candidate array (Sec. 4.1.3) needs.
+/// Contiguous candidate list (the StartingAt rows): pointers into the
+/// frozen store's variable array, in insertion order.
+using VariableList = Span<const InstantiatedVariable*>;
+
+/// Ceiling on front-edge ids admitted from *artifacts* (16M edges ~ 128 MB
+/// of dense candidate-list offsets): defense in depth against a corrupt
+/// file driving the CSR allocation to gigabytes. Live builds are not
+/// capped — a model built over a genuinely huge graph sizes its index to
+/// the graph, exactly like the graph's own adjacency arrays.
+constexpr uint64_t kMaxArtifactEdgeId = uint64_t{1} << 24;
+
+/// \brief The flat arena layout of a frozen weight function. These arrays
+/// are the payload sections of the binary artifact verbatim: a built model
+/// points them into vectors assembled by Freeze(), a loaded model points
+/// them into the single file buffer. All offsets are element counts.
+struct WeightFunctionSections {
+  uint64_t num_vars = 0;
+  uint64_t num_seqs = 0;
+
+  // Interned edge sequences: distinct paths stored once, shared by
+  // variables over different intervals.
+  const uint64_t* seq_off = nullptr;        // [num_seqs + 1]
+  const roadnet::EdgeId* seq_edges = nullptr;  // [seq_off[num_seqs]]
+
+  // Per-variable metadata, indexed by variable id.
+  const uint32_t* var_seq = nullptr;   // [num_vars] sequence id of the path
+  const int32_t* intervals = nullptr;  // [num_vars]
+  const uint64_t* supports = nullptr;  // [num_vars]
+  const uint8_t* flags = nullptr;      // [num_vars] bit 0: from_speed_limit
+
+  // Histogram payload: one global boundary pool, one probability lane, one
+  // bucket-major index lane, with per-variable offset arrays.
+  const uint64_t* var_dim_off = nullptr;  // [num_vars + 1] global dim index
+  const uint64_t* bound_off = nullptr;    // [var_dim_off[num_vars] + 1]
+  const double* bounds = nullptr;         // [bound_off[total_dims]]
+  const uint64_t* bucket_off = nullptr;   // [num_vars + 1]
+  const uint64_t* idx_off = nullptr;      // [num_vars + 1]
+  const double* probs = nullptr;          // [bucket_off[num_vars]]
+  const uint32_t* idx = nullptr;          // [idx_off[num_vars]]
+
+  uint64_t TotalDims() const { return num_vars == 0 ? 0 : var_dim_off[num_vars]; }
+  uint64_t TotalEdges() const { return num_seqs == 0 ? 0 : seq_off[num_seqs]; }
+  uint64_t TotalBounds() const {
+    return TotalDims() == 0 ? 0 : bound_off[TotalDims()];
+  }
+  uint64_t TotalBuckets() const {
+    return num_vars == 0 ? 0 : bucket_off[num_vars];
+  }
+  uint64_t TotalIdx() const { return num_vars == 0 ? 0 : idx_off[num_vars]; }
+
+  /// One entry of the canonical section layout below.
+  struct SectionView {
+    uint64_t kind;  // the binary artifact's section kind id (1-based)
+    const void* data;
+    uint64_t nbytes;
+  };
+  static constexpr size_t kNumSections = 13;
+
+  /// The canonical section layout — the single statement of per-section
+  /// element counts and widths, shared by the binary serializer, the
+  /// checksum/fingerprint, and the byte accounting. Order is the artifact
+  /// section order; kind == position + 1. Requires the offset arrays to be
+  /// wired (or the counts to be zero).
+  std::array<SectionView, kNumSections> SectionTable() const {
+    return {{
+        {1, seq_off, (num_seqs + 1) * sizeof(uint64_t)},
+        {2, seq_edges, TotalEdges() * sizeof(roadnet::EdgeId)},
+        {3, var_seq, num_vars * sizeof(uint32_t)},
+        {4, intervals, num_vars * sizeof(int32_t)},
+        {5, supports, num_vars * sizeof(uint64_t)},
+        {6, flags, num_vars * sizeof(uint8_t)},
+        {7, var_dim_off, (num_vars + 1) * sizeof(uint64_t)},
+        {8, bound_off, (TotalDims() + 1) * sizeof(uint64_t)},
+        {9, bounds, TotalBounds() * sizeof(double)},
+        {10, bucket_off, (num_vars + 1) * sizeof(uint64_t)},
+        {11, idx_off, (num_vars + 1) * sizeof(uint64_t)},
+        {12, probs, TotalBuckets() * sizeof(double)},
+        {13, idx, TotalIdx() * sizeof(uint32_t)},
+    }};
+  }
+};
+
+/// \brief W_P, frozen: immutable index of instantiated variables over the
+/// flat arena, serving exact (path, interval) lookup, the per-start-edge
+/// candidate listing the candidate array (Sec. 4.1.3) needs, and the
+/// temporally-relevant unit-variable query.
 class PathWeightFunction {
  public:
-  explicit PathWeightFunction(const TimeBinning& binning) : binning_(binning) {}
+  PathWeightFunction(const PathWeightFunction&) = delete;
+  PathWeightFunction& operator=(const PathWeightFunction&) = delete;
+  PathWeightFunction(PathWeightFunction&&) = default;
+  PathWeightFunction& operator=(PathWeightFunction&&) = default;
 
   const TimeBinning& binning() const { return binning_; }
-
-  /// Adds a variable; last write wins for duplicate (path, interval).
-  void Add(InstantiatedVariable variable);
 
   /// Exact lookup of V_P^{I_j}; nullptr when not instantiated.
   const InstantiatedVariable* Lookup(const roadnet::Path& path,
@@ -45,8 +155,9 @@ class PathWeightFunction {
 
   /// All instantiated variables (over all intervals) whose path begins with
   /// edge `e`; the rows of the candidate array are drawn from this set.
-  const std::vector<const InstantiatedVariable*>& StartingAt(
-      roadnet::EdgeId e) const;
+  /// Insertion order of the builder is preserved, and identical across
+  /// save/load.
+  VariableList StartingAt(roadnet::EdgeId e) const;
 
   /// \brief The unit variable for edge `e` most temporally relevant to the
   /// departure window `window` (largest |I_j ∩ window| / |window|), falling
@@ -68,22 +179,110 @@ class PathWeightFunction {
   /// Total bytes of all joint histograms (Fig. 12).
   size_t MemoryUsageBytes(bool include_speed_limit = true) const;
 
+  /// Bytes actually resident for serving: the flat arena payload plus the
+  /// materialized variable index, candidate lists, and probe table.
+  size_t ResidentBytes() const;
+
   /// Average differential entropy of trajectory-instantiated variables per
   /// rank group (Fig. 8b); key 4 aggregates ranks >= 4.
   std::map<size_t, double> MeanEntropyByRank() const;
 
-  const std::deque<InstantiatedVariable>& variables() const {
+  /// All variables in id order (`variables()[i].id == i`); a builder's
+  /// insertion order, preserved across save/load.
+  const std::vector<InstantiatedVariable>& variables() const {
     return variables_;
   }
 
-  /// Process-unique id of this weight-function instance. The query cache
-  /// folds it into every key, so a cache that (incorrectly) outlives its
-  /// weight function turns into guaranteed misses instead of false hits
-  /// when a reloaded model recycles variable addresses.
-  uint64_t generation() const { return generation_; }
+  /// Content fingerprint of the frozen model: a 64-bit hash over the time
+  /// binning and every payload section, identical for a just-built model
+  /// and any save/load round trip of it (it doubles as the binary
+  /// artifact's checksum). The query cache folds it into every key
+  /// together with frozen variable ids, so cached decomposition results
+  /// are addressable across processes serving the same artifact, and a
+  /// cache shared across different models turns into misses instead of
+  /// false hits.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// The flat arena layout (serialization detail; reads only).
+  const WeightFunctionSections& sections() const { return sections_; }
+
+  /// \brief Assembles a frozen model over an externally owned arena: the
+  /// section pointers must stay valid for `arena`'s lifetime. Validates
+  /// every structural invariant (offset monotonicity, index ranges,
+  /// rank == histogram dims) so corrupt artifacts fail here with a clean
+  /// Status instead of faulting at query time. Does no per-bucket work
+  /// beyond one linear validation scan and no per-bucket allocation.
+  /// `max_front_edge_id` bounds the dense candidate-list index; artifact
+  /// loaders pass kMaxArtifactEdgeId, trusted build paths leave it
+  /// unlimited. `precomputed_fingerprint`, when non-null, is adopted as
+  /// fingerprint() instead of rehashing the payload — for callers that
+  /// just computed SectionChecksum over these exact sections (the binary
+  /// loader's checksum verification); everyone else passes nullptr.
+  static StatusOr<PathWeightFunction> FromSections(
+      const TimeBinning& binning, std::shared_ptr<const void> arena,
+      const WeightFunctionSections& sections,
+      uint64_t max_front_edge_id = UINT64_MAX,
+      const uint64_t* precomputed_fingerprint = nullptr);
+
+  /// Hash used by the fingerprint/checksum (exposed for the serializer).
+  static uint64_t SectionChecksum(double alpha_seconds,
+                                  const WeightFunctionSections& sections);
 
  private:
-  static uint64_t NextGeneration();
+  friend class WeightFunctionBuilder;
+  explicit PathWeightFunction(const TimeBinning& binning)
+      : binning_(binning) {}
+
+  TimeBinning binning_{30.0};
+  std::shared_ptr<const void> arena_;  // owns everything sections_ points at
+  WeightFunctionSections sections_;
+  uint64_t fingerprint_ = 0;
+
+  // Materialized per-variable views (joint = zero-copy view into the
+  // arena), in id order.
+  std::vector<InstantiatedVariable> variables_;
+
+  // Candidate lists: CSR over front edge ids. start_ptrs_ holds all
+  // variables grouped by front edge in insertion order; start_off_[e] is
+  // edge e's slice.
+  std::vector<uint64_t> start_off_;
+  std::vector<const InstantiatedVariable*> start_ptrs_;
+
+  // Open-addressing (edge sequence, interval) -> variable id probe table;
+  // power-of-two size, UINT32_MAX = empty.
+  std::vector<uint32_t> probe_;
+
+  const InstantiatedVariable* ProbeLookup(const roadnet::EdgeId* edges,
+                                          size_t n, int32_t interval) const;
+};
+
+/// \brief The mutable build-side store: Add() accumulates instantiated
+/// variables (last write wins per (path, interval)), Freeze() compiles them
+/// into the frozen serving representation. Build-side queries are not
+/// offered — the offline stage only writes.
+class WeightFunctionBuilder {
+ public:
+  explicit WeightFunctionBuilder(const TimeBinning& binning)
+      : binning_(binning) {}
+
+  const TimeBinning& binning() const { return binning_; }
+  size_t NumVariables() const { return variables_.size(); }
+
+  /// Adds a variable; last write wins for duplicate (path, interval).
+  /// The path must be non-empty and the joint must have rank() dimensions
+  /// (violations are reported by Freeze).
+  void Add(InstantiatedVariable variable);
+
+  /// Compiles the accumulated variables into the frozen representation,
+  /// preserving insertion order (which fixes variable ids and candidate
+  /// list order). Consumes the builder.
+  StatusOr<PathWeightFunction> TryFreeze() &&;
+
+  /// TryFreeze for infallible call sites (instantiation over a graph, test
+  /// fixtures): aborts on structurally invalid input.
+  PathWeightFunction Freeze() &&;
+
+ private:
   struct Key {
     std::vector<roadnet::EdgeId> edges;
     int32_t interval;
@@ -103,13 +302,9 @@ class PathWeightFunction {
   };
 
   TimeBinning binning_;
-  uint64_t generation_ = NextGeneration();
-  // deque: stable references under Add(), which the pointer indexes rely on.
+  // deque: stable slots under Add(), which by_key_ replacement relies on.
   std::deque<InstantiatedVariable> variables_;
   std::unordered_map<Key, size_t, KeyHash> by_key_;
-  std::unordered_map<roadnet::EdgeId, std::vector<const InstantiatedVariable*>>
-      by_start_edge_;
-  std::vector<const InstantiatedVariable*> empty_;
 };
 
 }  // namespace core

@@ -51,6 +51,23 @@ class Histogram1D {
   const std::vector<Bucket>& buckets() const { return buckets_; }
   const Bucket& bucket(size_t i) const { return buckets_[i]; }
 
+  /// Exact per-bucket equality (lo, hi, prob compared with ==) — the
+  /// model artifact round-trip guarantee: an estimate served from a
+  /// saved-then-reloaded weight function must be BitIdentical to the
+  /// just-built model's estimate (examples and tests/model_artifact_test
+  /// gate on this).
+  bool BitIdentical(const Histogram1D& other) const {
+    if (buckets_.size() != other.buckets_.size()) return false;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i].range.lo != other.buckets_[i].range.lo ||
+          buckets_[i].range.hi != other.buckets_[i].range.hi ||
+          buckets_[i].prob != other.buckets_[i].prob) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   /// Support bounds: V.min and V.max in the paper's shift-and-enlarge
   /// procedure (Eq. 3).
   double Min() const { return buckets_.front().range.lo; }

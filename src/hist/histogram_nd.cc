@@ -15,9 +15,51 @@ namespace {
 constexpr double kMassTolerance = 1e-6;
 }
 
+HistogramND HistogramND::FromValidated(
+    const std::vector<std::vector<double>>& dim_boundaries,
+    const std::vector<HyperBucket>& buckets) {
+  auto payload = std::make_shared<OwnedPayload>();
+  payload->bound_off.reserve(dim_boundaries.size() + 1);
+  payload->bound_off.push_back(0);
+  for (const auto& bounds : dim_boundaries) {
+    payload->bounds.insert(payload->bounds.end(), bounds.begin(), bounds.end());
+    payload->bound_off.push_back(payload->bounds.size());
+  }
+  payload->probs.reserve(buckets.size());
+  payload->idx.reserve(buckets.size() * dim_boundaries.size());
+  for (const HyperBucket& hb : buckets) {
+    payload->probs.push_back(hb.prob);
+    payload->idx.insert(payload->idx.end(), hb.idx.begin(), hb.idx.end());
+  }
+  HistogramND h;
+  h.bounds_ = payload->bounds.data();
+  h.bound_off_ = payload->bound_off.data();
+  h.probs_ = payload->probs.data();
+  h.idx_ = payload->idx.data();
+  h.ndims_ = static_cast<uint32_t>(dim_boundaries.size());
+  h.nbuckets_ = static_cast<uint32_t>(buckets.size());
+  h.owner_ = std::move(payload);
+  return h;
+}
+
+HistogramND HistogramND::FromFlatUnchecked(
+    std::shared_ptr<const void> keepalive, const double* bounds,
+    const uint64_t* bound_off, uint32_t ndims, const double* probs,
+    const uint32_t* idx, uint32_t nbuckets) {
+  HistogramND h;
+  h.bounds_ = bounds;
+  h.bound_off_ = bound_off;
+  h.probs_ = probs;
+  h.idx_ = idx;
+  h.ndims_ = ndims;
+  h.nbuckets_ = nbuckets;
+  h.owner_ = std::move(keepalive);
+  return h;
+}
+
 StatusOr<HistogramND> HistogramND::Make(
     std::vector<std::vector<double>> dim_boundaries,
-    std::vector<HyperBucket> buckets) {
+    std::vector<HyperBucket> buckets, bool renormalize) {
   if (dim_boundaries.empty()) {
     return Status::InvalidArgument("HistogramND: no dimensions");
   }
@@ -48,8 +90,10 @@ StatusOr<HistogramND> HistogramND::Make(
     return Status::InvalidArgument("HistogramND: probabilities sum to " +
                                    std::to_string(total));
   }
-  for (HyperBucket& hb : buckets) hb.prob /= total;
-  return HistogramND(std::move(dim_boundaries), std::move(buckets));
+  if (renormalize) {
+    for (HyperBucket& hb : buckets) hb.prob /= total;
+  }
+  return FromValidated(dim_boundaries, buckets);
 }
 
 StatusOr<HistogramND> HistogramND::BuildFromSamples(
@@ -139,12 +183,12 @@ StatusOr<Histogram1D> HistogramND::Marginal1D(size_t dim) const {
     return Status::InvalidArgument("Marginal1D: bad dimension");
   }
   std::vector<double> mass(NumDimBuckets(dim), 0.0);
-  for (const HyperBucket& hb : buckets_) mass[hb.idx[dim]] += hb.prob;
+  for (const BucketRef hb : buckets()) mass[hb.idx[dim]] += hb.prob;
+  const double* bounds = bounds_ + bound_off_[dim];
   std::vector<Bucket> out;
   for (size_t i = 0; i < mass.size(); ++i) {
     if (mass[i] <= 0.0) continue;
-    out.emplace_back(dim_boundaries_[dim][i], dim_boundaries_[dim][i + 1],
-                     mass[i]);
+    out.emplace_back(bounds[i], bounds[i + 1], mass[i]);
   }
   return Histogram1D::Make(std::move(out));
 }
@@ -163,9 +207,12 @@ StatusOr<HistogramND> HistogramND::MarginalOverDims(
     }
   }
   std::vector<std::vector<double>> bounds(dims.size());
-  for (size_t k = 0; k < dims.size(); ++k) bounds[k] = dim_boundaries_[dims[k]];
+  for (size_t k = 0; k < dims.size(); ++k) {
+    const Span<double> b = boundaries(dims[k]);
+    bounds[k].assign(b.begin(), b.end());
+  }
   std::map<std::vector<uint32_t>, double> mass;
-  for (const HyperBucket& hb : buckets_) {
+  for (const BucketRef hb : buckets()) {
     std::vector<uint32_t> idx(dims.size());
     for (size_t k = 0; k < dims.size(); ++k) idx[k] = hb.idx[dims[k]];
     mass[idx] += hb.prob;
@@ -177,12 +224,12 @@ StatusOr<HistogramND> HistogramND::MarginalOverDims(
 }
 
 StatusOr<Histogram1D> HistogramND::SumDistribution(size_t max_buckets) const {
-  if (buckets_.empty()) {
+  if (NumBuckets() == 0) {
     return Status::InvalidArgument("SumDistribution: empty histogram");
   }
   std::vector<WeightedInterval> parts;
-  parts.reserve(buckets_.size());
-  for (const HyperBucket& hb : buckets_) {
+  parts.reserve(NumBuckets());
+  for (const BucketRef hb : buckets()) {
     Interval sum(0.0, 0.0);
     for (size_t d = 0; d < NumDims(); ++d) sum = sum + Box(hb, d);
     parts.emplace_back(sum, hb.prob);
@@ -193,15 +240,16 @@ StatusOr<Histogram1D> HistogramND::SumDistribution(size_t max_buckets) const {
 
 double HistogramND::DiscreteEntropy() const {
   double h = 0.0;
-  for (const HyperBucket& hb : buckets_) {
-    if (hb.prob > 0.0) h -= hb.prob * std::log(hb.prob);
+  for (uint32_t b = 0; b < nbuckets_; ++b) {
+    const double p = probs_[b];
+    if (p > 0.0) h -= p * std::log(p);
   }
   return h;
 }
 
 double HistogramND::DifferentialEntropy() const {
   double h = 0.0;
-  for (const HyperBucket& hb : buckets_) {
+  for (const BucketRef hb : buckets()) {
     if (hb.prob <= 0.0) continue;
     double volume = 1.0;
     for (size_t d = 0; d < NumDims(); ++d) volume *= Box(hb, d).width();
@@ -212,20 +260,24 @@ double HistogramND::DifferentialEntropy() const {
 
 double HistogramND::MinSum() const {
   double s = 0.0;
-  for (size_t d = 0; d < NumDims(); ++d) s += dim_boundaries_[d].front();
+  for (size_t d = 0; d < NumDims(); ++d) s += bounds_[bound_off_[d]];
   return s;
 }
 
 double HistogramND::MaxSum() const {
   double s = 0.0;
-  for (size_t d = 0; d < NumDims(); ++d) s += dim_boundaries_[d].back();
+  for (size_t d = 0; d < NumDims(); ++d) s += bounds_[bound_off_[d + 1] - 1];
   return s;
 }
 
 size_t HistogramND::MemoryUsageBytes() const {
   size_t bytes = 0;
-  for (const auto& bounds : dim_boundaries_) bytes += bounds.size() * sizeof(double);
-  bytes += buckets_.size() * (NumDims() * sizeof(uint16_t) + sizeof(double));
+  if (ndims_ > 0) {
+    bytes += static_cast<size_t>(bound_off_[ndims_] - bound_off_[0]) *
+             sizeof(double);
+  }
+  bytes += static_cast<size_t>(nbuckets_) *
+           (NumDims() * sizeof(uint16_t) + sizeof(double));
   return bytes;
 }
 

@@ -136,8 +136,8 @@ TEST(ParallelRoutingTest, RootFanOutMatchesSingleThreaded) {
       v.push_back(g.AddVertex(1000.0 * i, 1000.0 * j));
     }
   }
-  PathWeightFunction wp{TimeBinning(30.0)};
   Rng rng(11);
+  WeightFunctionBuilder wp_builder{TimeBinning(30.0)};
   auto connect = [&](roadnet::VertexId a, roadnet::VertexId b) {
     const roadnet::EdgeId e = g.AddEdge(a, b, 1000.0, 13.9).value();
     const double fast = rng.Uniform(60.0, 90.0);
@@ -149,7 +149,7 @@ TEST(ParallelRoutingTest, RootFanOutMatchesSingleThreaded) {
                            {fast + 60.0, fast + 120.0, 0.2}})
             .value());
     var.from_speed_limit = true;
-    wp.Add(std::move(var));
+    wp_builder.Add(std::move(var));
   };
   for (int i = 0; i < kSide; ++i) {
     for (int j = 0; j < kSide; ++j) {
@@ -157,6 +157,7 @@ TEST(ParallelRoutingTest, RootFanOutMatchesSingleThreaded) {
       if (j + 1 < kSide) connect(v[i * kSide + j], v[i * kSide + j + 1]);
     }
   }
+  const PathWeightFunction wp = std::move(wp_builder).Freeze();
 
   routing::RouterConfig sequential;
   sequential.num_threads = 1;

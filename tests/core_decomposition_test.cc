@@ -36,43 +36,47 @@ InstantiatedVariable MakeVar(std::vector<EdgeId> edges, int32_t interval) {
 /// the interval containing the departure time.
 class Table1Test : public ::testing::Test {
  protected:
-  Table1Test() : wp_(TimeBinning(30.0)) {
+  Table1Test() : builder_(TimeBinning(30.0)) {
     depart_ = 8 * 3600.0;  // 8:00, interval 16
-    interval_ = wp_.binning().IndexOf(depart_);
+    interval_ = builder_.binning().IndexOf(depart_);
     // Row e1.
-    wp_.Add(MakeVar({1}, interval_));
-    wp_.Add(MakeVar({1, 2}, interval_));
-    wp_.Add(MakeVar({1, 2, 3}, interval_));
-    wp_.Add(MakeVar({1, 2, 3, 4}, interval_));
+    builder_.Add(MakeVar({1}, interval_));
+    builder_.Add(MakeVar({1, 2}, interval_));
+    builder_.Add(MakeVar({1, 2, 3}, interval_));
+    builder_.Add(MakeVar({1, 2, 3, 4}, interval_));
     // Row e2.
-    wp_.Add(MakeVar({2}, interval_));
-    wp_.Add(MakeVar({2, 3}, interval_));
-    wp_.Add(MakeVar({2, 3, 4}, interval_));
+    builder_.Add(MakeVar({2}, interval_));
+    builder_.Add(MakeVar({2, 3}, interval_));
+    builder_.Add(MakeVar({2, 3, 4}, interval_));
     // Row e3.
-    wp_.Add(MakeVar({3}, interval_));
-    wp_.Add(MakeVar({3, 4}, interval_));
+    builder_.Add(MakeVar({3}, interval_));
+    builder_.Add(MakeVar({3, 4}, interval_));
     // Row e4.
-    wp_.Add(MakeVar({4}, interval_));
-    wp_.Add(MakeVar({4, 5}, interval_));
+    builder_.Add(MakeVar({4}, interval_));
+    builder_.Add(MakeVar({4, 5}, interval_));
     // Row e5.
-    wp_.Add(MakeVar({5}, interval_));
+    builder_.Add(MakeVar({5}, interval_));
     // Speed-limit fallbacks (always present after a real instantiation).
     for (EdgeId e = 1; e <= 5; ++e) {
       InstantiatedVariable fallback = MakeVar({e}, kAllDayInterval);
       fallback.from_speed_limit = true;
       fallback.support = 0;
-      wp_.Add(std::move(fallback));
+      builder_.Add(std::move(fallback));
     }
     query_ = Path({1, 2, 3, 4, 5});
   }
 
-  PathWeightFunction wp_;
+  /// Freezes the (possibly augmented) builder into the serving model.
+  PathWeightFunction Freeze() { return std::move(builder_).Freeze(); }
+
+  WeightFunctionBuilder builder_;
   double depart_;
   int32_t interval_;
   Path query_;
 };
 
 TEST_F(Table1Test, CandidateArrayMatchesTable1) {
+  const PathWeightFunction wp_ = Freeze();
   DecompositionBuilder builder(wp_);
   auto array = builder.BuildCandidateArray(query_, depart_);
   ASSERT_TRUE(array.ok()) << array.status().ToString();
@@ -90,6 +94,7 @@ TEST_F(Table1Test, CandidateArrayMatchesTable1) {
 }
 
 TEST_F(Table1Test, CoarsestDecompositionMatchesPaper) {
+  const PathWeightFunction wp_ = Freeze();
   DecompositionBuilder builder(wp_);
   auto array = builder.BuildCandidateArray(query_, depart_);
   ASSERT_TRUE(array.ok());
@@ -104,6 +109,7 @@ TEST_F(Table1Test, CoarsestDecompositionMatchesPaper) {
 }
 
 TEST_F(Table1Test, ShiftAndEnlargeWindows) {
+  const PathWeightFunction wp_ = Freeze();
   DecompositionBuilder builder(wp_);
   auto array = builder.BuildCandidateArray(query_, depart_);
   ASSERT_TRUE(array.ok());
@@ -118,8 +124,9 @@ TEST_F(Table1Test, ShiftAndEnlargeWindows) {
 TEST_F(Table1Test, TemporallyIrrelevantVariablesExcluded) {
   // A rank-5 variable in the 15:00 interval must not be picked for an
   // 8:00 departure.
-  const int32_t wrong = wp_.binning().IndexOf(15 * 3600.0);
-  wp_.Add(MakeVar({1, 2, 3, 4, 5}, wrong));
+  const int32_t wrong = builder_.binning().IndexOf(15 * 3600.0);
+  builder_.Add(MakeVar({1, 2, 3, 4, 5}, wrong));
+  const PathWeightFunction wp_ = Freeze();
   DecompositionBuilder builder(wp_);
   auto array = builder.BuildCandidateArray(query_, depart_);
   ASSERT_TRUE(array.ok());
@@ -136,7 +143,8 @@ TEST_F(Table1Test, DepartureNearIntervalEdgePicksNextInterval) {
   // Departing at 8:29:55, the window for later edges shifts into the
   // [8:30, 9:00) interval; with variables only in interval 16 the rank-1
   // fallback logic still finds the *most overlapping* interval.
-  wp_.Add(MakeVar({2}, interval_ + 1));
+  builder_.Add(MakeVar({2}, interval_ + 1));
+  const PathWeightFunction wp_ = Freeze();
   DecompositionBuilder builder(wp_);
   const double late = 8 * 3600.0 + 1795.0;
   auto array = builder.BuildCandidateArray(query_, late);
@@ -146,6 +154,7 @@ TEST_F(Table1Test, DepartureNearIntervalEdgePicksNextInterval) {
 }
 
 TEST_F(Table1Test, RankCapLimitsCandidates) {
+  const PathWeightFunction wp_ = Freeze();
   DecompositionBuilder builder(wp_);
   auto array = builder.BuildCandidateArray(query_, depart_, /*rank_cap=*/2);
   ASSERT_TRUE(array.ok());
@@ -157,6 +166,7 @@ TEST_F(Table1Test, RankCapLimitsCandidates) {
 }
 
 TEST_F(Table1Test, PairwiseChainIsHp) {
+  const PathWeightFunction wp_ = Freeze();
   DecompositionBuilder builder(wp_);
   auto array = builder.BuildCandidateArray(query_, depart_, 2);
   ASSERT_TRUE(array.ok());
@@ -170,6 +180,7 @@ TEST_F(Table1Test, PairwiseChainIsHp) {
 }
 
 TEST_F(Table1Test, UnitChainIsLb) {
+  const PathWeightFunction wp_ = Freeze();
   DecompositionBuilder builder(wp_);
   auto array = builder.BuildCandidateArray(query_, depart_, 1);
   ASSERT_TRUE(array.ok());
@@ -180,6 +191,7 @@ TEST_F(Table1Test, UnitChainIsLb) {
 }
 
 TEST_F(Table1Test, RandomDecompositionsAreValid) {
+  const PathWeightFunction wp_ = Freeze();
   DecompositionBuilder builder(wp_);
   auto array = builder.BuildCandidateArray(query_, depart_);
   ASSERT_TRUE(array.ok());
@@ -193,6 +205,7 @@ TEST_F(Table1Test, RandomDecompositionsAreValid) {
 }
 
 TEST_F(Table1Test, CoarsestIsCoarserThanAlternatives) {
+  const PathWeightFunction wp_ = Freeze();
   DecompositionBuilder builder(wp_);
   auto array = builder.BuildCandidateArray(query_, depart_);
   ASSERT_TRUE(array.ok());
@@ -207,6 +220,7 @@ TEST_F(Table1Test, CoarsestIsCoarserThanAlternatives) {
 }
 
 TEST_F(Table1Test, Section411CoarserExamples) {
+  const PathWeightFunction wp_ = Freeze();
   // DE1 = units, DE2 = (<e1,e2,e3>, <e2,e3,e4>, <e5>),
   // DE3 = (<e1,e2,e3>, <e3,e4>, <e5>): DE2 coarser than both DE1 and DE3.
   auto part = [&](std::vector<EdgeId> edges, size_t start) {
@@ -230,6 +244,7 @@ TEST_F(Table1Test, Section411CoarserExamples) {
 }
 
 TEST_F(Table1Test, ValidateRejectsBrokenDecompositions) {
+  const PathWeightFunction wp_ = Freeze();
   auto part = [&](std::vector<EdgeId> edges, size_t start) {
     const InstantiatedVariable* v =
         wp_.Lookup(Path(std::move(edges)), interval_);
@@ -259,14 +274,15 @@ TEST_F(Table1Test, ValidateRejectsBrokenDecompositions) {
 }
 
 TEST_F(Table1Test, EmptyQueryRejected) {
+  const PathWeightFunction wp_ = Freeze();
   DecompositionBuilder builder(wp_);
   EXPECT_FALSE(builder.BuildCandidateArray(Path(), depart_).ok());
 }
 
 TEST_F(Table1Test, MissingUnitVariableFailsPrecondition) {
-  // Edge 99 has no variable of any kind.
-  DecompositionBuilder builder(wp_);
-  PathWeightFunction empty(TimeBinning(30.0));
+  // An empty frozen model has no variable of any kind.
+  WeightFunctionBuilder eb(TimeBinning(30.0));
+  const PathWeightFunction empty = std::move(eb).Freeze();
   DecompositionBuilder builder2(empty);
   auto array = builder2.BuildCandidateArray(Path({1, 2}), depart_);
   EXPECT_FALSE(array.ok());

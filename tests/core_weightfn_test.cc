@@ -1,4 +1,6 @@
-// Unit tests for the path weight function store W_P (Sec. 3.3).
+// Unit tests for the path weight function store W_P (Sec. 3.3): the
+// build-side WeightFunctionBuilder and the frozen PathWeightFunction it
+// compiles into.
 #include <gtest/gtest.h>
 
 #include "core/weight_function.h"
@@ -39,122 +41,148 @@ InstantiatedVariable MakePair(roadnet::EdgeId a, roadnet::EdgeId b,
 
 class WeightFunctionTest : public ::testing::Test {
  protected:
-  WeightFunctionTest() : wp_(TimeBinning(30.0)) {}
-  PathWeightFunction wp_;
+  WeightFunctionTest() : builder_(TimeBinning(30.0)) {}
+
+  PathWeightFunction Freeze() { return std::move(builder_).Freeze(); }
+
+  WeightFunctionBuilder builder_;
 };
 
 TEST_F(WeightFunctionTest, TimeBinningGrid) {
-  const TimeBinning& b = wp_.binning();
+  const TimeBinning& b = builder_.binning();
   EXPECT_EQ(b.NumIntervals(), 48);
   EXPECT_EQ(b.IndexOf(0.0), 0);
   EXPECT_EQ(b.IndexOf(1799.0), 0);
   EXPECT_EQ(b.IndexOf(1800.0), 1);
   EXPECT_EQ(b.IndexOf(8 * 3600.0), 16);  // 8:00 -> interval 16
   EXPECT_EQ(b.IntervalOf(16), Interval(28800.0, 30600.0));
+  const PathWeightFunction wp = Freeze();
+  EXPECT_EQ(wp.binning().NumIntervals(), 48);
 }
 
 TEST_F(WeightFunctionTest, AddAndLookup) {
-  wp_.Add(MakeUnit(3, 16, 20, 30));
-  EXPECT_EQ(wp_.NumVariables(), 1u);
-  const InstantiatedVariable* v = wp_.Lookup(Path({3}), 16);
+  builder_.Add(MakeUnit(3, 16, 20, 30));
+  const PathWeightFunction wp = Freeze();
+  EXPECT_EQ(wp.NumVariables(), 1u);
+  const InstantiatedVariable* v = wp.Lookup(Path({3}), 16);
   ASSERT_NE(v, nullptr);
   EXPECT_EQ(v->rank(), 1u);
-  EXPECT_EQ(wp_.Lookup(Path({3}), 17), nullptr);
-  EXPECT_EQ(wp_.Lookup(Path({4}), 16), nullptr);
+  EXPECT_EQ(v->id, 0u);
+  EXPECT_EQ(wp.Lookup(Path({3}), 17), nullptr);
+  EXPECT_EQ(wp.Lookup(Path({4}), 16), nullptr);
 }
 
 TEST_F(WeightFunctionTest, DuplicateAddReplaces) {
-  wp_.Add(MakeUnit(3, 16, 20, 30));
-  wp_.Add(MakeUnit(3, 16, 50, 60));
-  EXPECT_EQ(wp_.NumVariables(), 1u);
-  const InstantiatedVariable* v = wp_.Lookup(Path({3}), 16);
+  builder_.Add(MakeUnit(3, 16, 20, 30));
+  builder_.Add(MakeUnit(3, 16, 50, 60));
+  const PathWeightFunction wp = Freeze();
+  EXPECT_EQ(wp.NumVariables(), 1u);
+  const InstantiatedVariable* v = wp.Lookup(Path({3}), 16);
   ASSERT_NE(v, nullptr);
   EXPECT_DOUBLE_EQ(v->joint.DimRange(0).lo, 50.0);
 }
 
 TEST_F(WeightFunctionTest, StartingAtListsAllRanksAndIntervals) {
-  wp_.Add(MakeUnit(3, 16, 20, 30));
-  wp_.Add(MakeUnit(3, 17, 25, 35));
-  wp_.Add(MakePair(3, 4, 16));
-  wp_.Add(MakeUnit(4, 16, 10, 15));
-  EXPECT_EQ(wp_.StartingAt(3).size(), 3u);
-  EXPECT_EQ(wp_.StartingAt(4).size(), 1u);
-  EXPECT_TRUE(wp_.StartingAt(99).empty());
+  builder_.Add(MakeUnit(3, 16, 20, 30));
+  builder_.Add(MakeUnit(3, 17, 25, 35));
+  builder_.Add(MakePair(3, 4, 16));
+  builder_.Add(MakeUnit(4, 16, 10, 15));
+  const PathWeightFunction wp = Freeze();
+  EXPECT_EQ(wp.StartingAt(3).size(), 3u);
+  EXPECT_EQ(wp.StartingAt(4).size(), 1u);
+  EXPECT_TRUE(wp.StartingAt(99).empty());
 }
 
-TEST_F(WeightFunctionTest, PointersStableAcrossManyAdds) {
-  wp_.Add(MakeUnit(0, 1, 20, 30));
-  const InstantiatedVariable* first = wp_.StartingAt(0).front();
-  for (roadnet::EdgeId e = 1; e < 200; ++e) wp_.Add(MakeUnit(e, 1, 20, 30));
-  EXPECT_EQ(wp_.StartingAt(0).front(), first);  // deque stability
-  EXPECT_DOUBLE_EQ(first->joint.DimRange(0).lo, 20.0);
+TEST_F(WeightFunctionTest, IdsFollowInsertionOrderAndListsPreserveIt) {
+  builder_.Add(MakeUnit(0, 1, 20, 30));
+  for (roadnet::EdgeId e = 1; e < 200; ++e) builder_.Add(MakeUnit(e, 1, 20, 30));
+  builder_.Add(MakeUnit(0, 2, 40, 50));  // second variable on edge 0
+  const PathWeightFunction wp = Freeze();
+  ASSERT_EQ(wp.NumVariables(), 201u);
+  for (size_t i = 0; i < wp.NumVariables(); ++i) {
+    EXPECT_EQ(wp.variables()[i].id, i);
+  }
+  // Candidate lists preserve builder insertion order per edge.
+  const VariableList at0 = wp.StartingAt(0);
+  ASSERT_EQ(at0.size(), 2u);
+  EXPECT_EQ(at0.front()->interval, 1);
+  EXPECT_EQ(at0[1]->interval, 2);
+  EXPECT_DOUBLE_EQ(at0.front()->joint.DimRange(0).lo, 20.0);
 }
 
 TEST_F(WeightFunctionTest, UnitVariablePrefersLargestOverlap) {
-  wp_.Add(MakeUnit(5, 16, 20, 30));  // [8:00, 8:30)
-  wp_.Add(MakeUnit(5, 17, 40, 50));  // [8:30, 9:00)
+  builder_.Add(MakeUnit(5, 16, 20, 30));  // [8:00, 8:30)
+  builder_.Add(MakeUnit(5, 17, 40, 50));  // [8:30, 9:00)
+  const PathWeightFunction wp = Freeze();
   // Window mostly inside interval 17.
   const Interval window(8 * 3600.0 + 1700.0, 8 * 3600.0 + 2300.0);
-  const InstantiatedVariable* v = wp_.UnitVariable(5, window);
+  const InstantiatedVariable* v = wp.UnitVariable(5, window);
   ASSERT_NE(v, nullptr);
   EXPECT_EQ(v->interval, 17);
 }
 
 TEST_F(WeightFunctionTest, UnitVariablePointWindow) {
-  wp_.Add(MakeUnit(5, 16, 20, 30));
+  builder_.Add(MakeUnit(5, 16, 20, 30));
+  const PathWeightFunction wp = Freeze();
   const Interval at(8 * 3600.0 + 60.0, 8 * 3600.0 + 60.0);  // point in I16
-  const InstantiatedVariable* v = wp_.UnitVariable(5, at);
+  const InstantiatedVariable* v = wp.UnitVariable(5, at);
   ASSERT_NE(v, nullptr);
   EXPECT_EQ(v->interval, 16);
 }
 
 TEST_F(WeightFunctionTest, UnitVariableFallsBackToSpeedLimit) {
-  wp_.Add(MakeUnit(5, kAllDayInterval, 18, 25, /*speed_limit=*/true));
-  wp_.Add(MakeUnit(5, 16, 20, 30));
+  builder_.Add(MakeUnit(5, kAllDayInterval, 18, 25, /*speed_limit=*/true));
+  builder_.Add(MakeUnit(5, 16, 20, 30));
+  const PathWeightFunction wp = Freeze();
   // A window with no overlap with interval 16 -> fallback.
   const Interval night(2 * 3600.0, 2 * 3600.0 + 600.0);
-  const InstantiatedVariable* v = wp_.UnitVariable(5, night);
+  const InstantiatedVariable* v = wp.UnitVariable(5, night);
   ASSERT_NE(v, nullptr);
   EXPECT_TRUE(v->from_speed_limit);
   // A window inside interval 16 -> the data variable wins.
   const Interval morning(8 * 3600.0, 8 * 3600.0 + 600.0);
-  EXPECT_FALSE(wp_.UnitVariable(5, morning)->from_speed_limit);
+  EXPECT_FALSE(wp.UnitVariable(5, morning)->from_speed_limit);
 }
 
 TEST_F(WeightFunctionTest, UnitVariableNullWhenNothingKnown) {
-  EXPECT_EQ(wp_.UnitVariable(77, Interval(0, 100)), nullptr);
+  const PathWeightFunction wp = Freeze();
+  EXPECT_EQ(wp.UnitVariable(77, Interval(0, 100)), nullptr);
 }
 
 TEST_F(WeightFunctionTest, CountByRankSeparatesSpeedLimits) {
-  wp_.Add(MakeUnit(1, 16, 20, 30));
-  wp_.Add(MakeUnit(2, kAllDayInterval, 10, 20, /*speed_limit=*/true));
-  wp_.Add(MakePair(1, 2, 16));
-  const auto counts = wp_.CountByRank(false);
+  builder_.Add(MakeUnit(1, 16, 20, 30));
+  builder_.Add(MakeUnit(2, kAllDayInterval, 10, 20, /*speed_limit=*/true));
+  builder_.Add(MakePair(1, 2, 16));
+  const PathWeightFunction wp = Freeze();
+  const auto counts = wp.CountByRank(false);
   EXPECT_EQ(counts.at(1), 1u);
   EXPECT_EQ(counts.at(2), 1u);
-  const auto with_sl = wp_.CountByRank(true);
+  const auto with_sl = wp.CountByRank(true);
   EXPECT_EQ(with_sl.at(1), 2u);
 }
 
 TEST_F(WeightFunctionTest, CoverageCountsDistinctDataEdges) {
-  wp_.Add(MakeUnit(1, 16, 20, 30));
-  wp_.Add(MakeUnit(1, 17, 20, 30));                   // same edge again
-  wp_.Add(MakePair(1, 2, 16));                        // adds edge 2
-  wp_.Add(MakeUnit(9, kAllDayInterval, 5, 9, true));  // fallback: excluded
-  EXPECT_EQ(wp_.NumCoveredEdges(), 2u);
+  builder_.Add(MakeUnit(1, 16, 20, 30));
+  builder_.Add(MakeUnit(1, 17, 20, 30));                   // same edge again
+  builder_.Add(MakePair(1, 2, 16));                        // adds edge 2
+  builder_.Add(MakeUnit(9, kAllDayInterval, 5, 9, true));  // fallback: excluded
+  const PathWeightFunction wp = Freeze();
+  EXPECT_EQ(wp.NumCoveredEdges(), 2u);
 }
 
 TEST_F(WeightFunctionTest, MemoryAccounting) {
-  wp_.Add(MakeUnit(1, 16, 20, 30));
-  const size_t one = wp_.MemoryUsageBytes();
-  wp_.Add(MakePair(1, 2, 16));
-  EXPECT_GT(wp_.MemoryUsageBytes(), one);
-  EXPECT_LE(wp_.MemoryUsageBytes(false), wp_.MemoryUsageBytes(true));
+  builder_.Add(MakeUnit(1, 16, 20, 30));
+  builder_.Add(MakePair(1, 2, 16));
+  const PathWeightFunction wp = Freeze();
+  EXPECT_GT(wp.MemoryUsageBytes(), 0u);
+  EXPECT_LE(wp.MemoryUsageBytes(false), wp.MemoryUsageBytes(true));
+  // The serving footprint covers at least the histogram payload.
+  EXPECT_GE(wp.ResidentBytes(), wp.MemoryUsageBytes());
 }
 
 TEST_F(WeightFunctionTest, MeanEntropyByRankPoolsHighRanks) {
-  wp_.Add(MakeUnit(1, 16, 20, 30));
-  wp_.Add(MakePair(1, 2, 16));
+  builder_.Add(MakeUnit(1, 16, 20, 30));
+  builder_.Add(MakePair(1, 2, 16));
   InstantiatedVariable deep;
   deep.path = Path({1, 2, 3, 4, 5});
   std::vector<std::vector<double>> bounds(5, {0.0, 1.0});
@@ -162,12 +190,69 @@ TEST_F(WeightFunctionTest, MeanEntropyByRankPoolsHighRanks) {
       hist::HistogramND::Make(bounds, {{{0, 0, 0, 0, 0}, 1.0}}).value();
   deep.interval = 16;
   deep.support = 31;
-  wp_.Add(std::move(deep));
-  const auto entropy = wp_.MeanEntropyByRank();
+  builder_.Add(std::move(deep));
+  const PathWeightFunction wp = Freeze();
+  const auto entropy = wp.MeanEntropyByRank();
   EXPECT_TRUE(entropy.count(1));
   EXPECT_TRUE(entropy.count(2));
   EXPECT_TRUE(entropy.count(4));  // rank-5 pooled into ">=4"
   EXPECT_FALSE(entropy.count(5));
+}
+
+TEST_F(WeightFunctionTest, InternedSequencesAreShared) {
+  // Same edge over many intervals: one interned sequence, many variables.
+  for (int32_t i = 0; i < 10; ++i) builder_.Add(MakeUnit(7, i, 20, 30));
+  builder_.Add(MakePair(7, 8, 3));
+  const PathWeightFunction wp = Freeze();
+  const WeightFunctionSections& s = wp.sections();
+  EXPECT_EQ(s.num_vars, 11u);
+  EXPECT_EQ(s.num_seqs, 2u);  // <7> and <7,8>
+  EXPECT_EQ(s.TotalEdges(), 3u);
+}
+
+TEST_F(WeightFunctionTest, FingerprintIsContentBased) {
+  WeightFunctionBuilder same(TimeBinning(30.0));
+  WeightFunctionBuilder different(TimeBinning(30.0));
+  builder_.Add(MakeUnit(3, 16, 20, 30));
+  same.Add(MakeUnit(3, 16, 20, 30));
+  different.Add(MakeUnit(3, 16, 20, 31));
+  const PathWeightFunction a = Freeze();
+  const PathWeightFunction b = std::move(same).Freeze();
+  const PathWeightFunction c = std::move(different).Freeze();
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());  // identical content
+  EXPECT_NE(a.fingerprint(), c.fingerprint());  // different payload
+  // Same content, different binning -> different model identity.
+  WeightFunctionBuilder other_binning(TimeBinning(60.0));
+  other_binning.Add(MakeUnit(3, 16, 20, 30));
+  EXPECT_NE(a.fingerprint(), std::move(other_binning).Freeze().fingerprint());
+}
+
+TEST_F(WeightFunctionTest, FreezeIsNotCappedByArtifactEdgeLimit) {
+  // kMaxArtifactEdgeId guards artifact *loads*; a live build over a graph
+  // with larger edge ids must freeze and serve normally.
+  const roadnet::EdgeId big = static_cast<roadnet::EdgeId>(kMaxArtifactEdgeId);
+  builder_.Add(MakeUnit(big, 16, 20, 30));
+  auto frozen = std::move(builder_).TryFreeze();
+  ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+  EXPECT_EQ(frozen.value().StartingAt(big).size(), 1u);
+  EXPECT_NE(frozen.value().Lookup(Path({big}), 16), nullptr);
+}
+
+TEST_F(WeightFunctionTest, FromSectionsNullSectionsIsCleanError) {
+  auto result = PathWeightFunction::FromSections(
+      TimeBinning(30.0), nullptr, WeightFunctionSections{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WeightFunctionTest, TryFreezeRejectsRankDimMismatch) {
+  InstantiatedVariable bad;
+  bad.path = Path({1, 2});  // rank 2
+  bad.joint = HistogramND::FromHistogram1D(Histogram1D::Single(1, 2));  // 1 dim
+  bad.interval = 0;
+  builder_.Add(std::move(bad));
+  auto result = std::move(builder_).TryFreeze();
+  EXPECT_FALSE(result.ok());
 }
 
 }  // namespace

@@ -133,8 +133,12 @@ TEST_F(IoTest, WeightFunctionRoundTrip) {
 
   const std::string path = Track(TempPath("pcde_wp.txt"));
   ASSERT_TRUE(core::SaveWeightFunction(wp, path).ok());
-  auto loaded = core::LoadWeightFunction(path, params.alpha_minutes);
+  // v2 text embeds the binning; no caller-supplied alpha.
+  auto loaded = core::LoadWeightFunction(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().binning().alpha_seconds(),
+            wp.binning().alpha_seconds());
+  EXPECT_EQ(loaded.value().fingerprint(), wp.fingerprint());
   ASSERT_EQ(loaded.value().NumVariables(), wp.NumVariables());
   EXPECT_EQ(loaded.value().CountByRank(false), wp.CountByRank(false));
   EXPECT_EQ(loaded.value().MemoryUsageBytes(), wp.MemoryUsageBytes());
@@ -172,11 +176,42 @@ TEST_F(IoTest, WeightFunctionLoadRejectsGarbage) {
   const std::string path = Track(TempPath("pcde_bad_wp.txt"));
   {
     std::FILE* f = std::fopen(path.c_str(), "w");
-    std::fputs("VAR,16,40,0,2,1,2\nDIM,0,1\nHB,1.0,0,0\n", f);  // 1 DIM, rank 2
+    std::fputs("BINNING,30\nVAR,16,40,0,2,1,2\nDIM,0,1\nHB,1.0,0,0\n",
+               f);  // 1 DIM, rank 2
     std::fclose(f);
   }
-  EXPECT_FALSE(core::LoadWeightFunction(path, 30.0).ok());
-  EXPECT_FALSE(core::LoadWeightFunction("/nonexistent/wp.txt", 30.0).ok());
+  EXPECT_FALSE(core::LoadWeightFunction(path).ok());
+  EXPECT_FALSE(core::LoadWeightFunction("/nonexistent/wp.txt").ok());
+}
+
+TEST_F(IoTest, TextV1ShimAndBinningMismatch) {
+  // A v1-era file (no BINNING record) loads only through the shim, with
+  // the caller supplying the binning it was built with.
+  const std::string v1 = Track(TempPath("pcde_wp_v1.txt"));
+  {
+    std::FILE* f = std::fopen(v1.c_str(), "w");
+    std::fputs("# pcde weight function v1\nVAR,16,40,0,1,3\nDIM,20,30\n"
+               "HB,1,0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(core::LoadWeightFunction(v1).ok());  // v1 rejected here
+  auto shimmed = core::LoadWeightFunctionTextV1(v1, 30.0);
+  ASSERT_TRUE(shimmed.ok()) << shimmed.status().ToString();
+  EXPECT_EQ(shimmed.value().binning().alpha_seconds(), 1800.0);
+  EXPECT_NE(shimmed.value().Lookup(roadnet::Path({3}), 16), nullptr);
+
+  // A v2 file whose embedded binning disagrees with the caller's alpha is
+  // a load-time error (this mismatch used to be silent model corruption).
+  const std::string v2 = Track(TempPath("pcde_wp_v2.txt"));
+  {
+    std::FILE* f = std::fopen(v2.c_str(), "w");
+    std::fputs("BINNING,30\nVAR,16,40,0,1,3\nDIM,20,30\nHB,1,0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(core::LoadWeightFunctionTextV1(v2, 30.0).ok());
+  auto mismatch = core::LoadWeightFunctionTextV1(v2, 60.0);
+  EXPECT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInvalidArgument);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,484 @@
+// Model artifact tests: the offline-build / online-serve contract.
+//
+//  * Golden round trips: estimates from build -> save -> load -> estimate
+//    are byte-identical to estimating on the just-built model, for both
+//    the binary and the text format, including through the QueryCache
+//    (whose keys — model fingerprint + frozen variable ids — survive
+//    save/load).
+//  * Robustness properties: corrupt, truncated, and version-skewed
+//    artifacts (text and binary) fail with a clean Status and never crash;
+//    scripts/ci.sh runs this suite under ASan.
+//  * The binary loader does no per-bucket allocation (counted via a
+//    replacement operator new).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/instantiation.h"
+#include "core/query_cache.h"
+#include "core/serialization.h"
+#include "traj/generator.h"
+#include "traj/store.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: replacement global operator new/delete so the test
+// can assert the binary loader's allocation count scales with variables,
+// not hyper-buckets.
+// ---------------------------------------------------------------------------
+
+// GCC flags free() inside a replacement operator delete as mismatched; the
+// replacement operator new below is malloc-backed, so the pairing is right.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+std::atomic<size_t> g_alloc_count{0};
+}
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size > 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace pcde {
+namespace core {
+namespace {
+
+using hist::Histogram1D;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Exact (bitwise) histogram equality — the golden round-trip bar.
+void ExpectByteIdentical(const Histogram1D& a, const Histogram1D& b,
+                         size_t tag) {
+  EXPECT_TRUE(a.BitIdentical(b)) << "query " << tag;
+}
+
+class ModelArtifactTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new traj::Dataset(traj::MakeDatasetA(2000));
+    store_ = new traj::TrajectoryStore(dataset_->MatchedSlice(1.0));
+    HybridParams params;
+    params.beta = 15;
+    wp_ = new PathWeightFunction(
+        InstantiateWeightFunction(*dataset_->graph, *store_, params));
+  }
+  static void TearDownTestSuite() {
+    delete wp_;
+    delete store_;
+    delete dataset_;
+    wp_ = nullptr;
+    store_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  void TearDown() override {
+    for (const std::string& p : cleanup_) std::remove(p.c_str());
+  }
+  std::string Track(std::string p) {
+    cleanup_.push_back(p);
+    return p;
+  }
+
+  /// Queries over data-instantiated variables (nontrivial decompositions).
+  static std::vector<PathQuery> MakeQueries(size_t limit) {
+    std::vector<PathQuery> queries;
+    for (const InstantiatedVariable& v : wp_->variables()) {
+      if (v.from_speed_limit) continue;
+      const Interval ij = wp_->binning().IntervalOf(v.interval);
+      queries.push_back(PathQuery{v.path, ij.lo + 60.0});
+      if (queries.size() >= limit) break;
+    }
+    return queries;
+  }
+
+  /// Every query estimated on `loaded` must be byte-identical to the
+  /// just-built model's estimate.
+  static void ExpectGoldenEquivalence(const PathWeightFunction& loaded) {
+    const std::vector<PathQuery> queries = MakeQueries(40);
+    ASSERT_GE(queries.size(), 10u);
+    const HybridEstimator built(*wp_);
+    const HybridEstimator served(loaded);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto a = built.EstimateCostDistribution(queries[i].path,
+                                              queries[i].departure_time);
+      auto b = served.EstimateCostDistribution(queries[i].path,
+                                               queries[i].departure_time);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      ExpectByteIdentical(a.value(), b.value(), i);
+    }
+  }
+
+  static traj::Dataset* dataset_;
+  static traj::TrajectoryStore* store_;
+  static PathWeightFunction* wp_;
+  std::vector<std::string> cleanup_;
+};
+
+traj::Dataset* ModelArtifactTest::dataset_ = nullptr;
+traj::TrajectoryStore* ModelArtifactTest::store_ = nullptr;
+PathWeightFunction* ModelArtifactTest::wp_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Golden round trips
+// ---------------------------------------------------------------------------
+
+TEST_F(ModelArtifactTest, BinaryRoundTripIsByteIdentical) {
+  const std::string path = Track(TempPath("pcde_model.bin"));
+  ASSERT_TRUE(SaveWeightFunctionBinary(*wp_, path).ok());
+  auto loaded = LoadWeightFunctionBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded.value().fingerprint(), wp_->fingerprint());
+  EXPECT_EQ(loaded.value().binning().alpha_seconds(),
+            wp_->binning().alpha_seconds());
+  ASSERT_EQ(loaded.value().NumVariables(), wp_->NumVariables());
+  EXPECT_EQ(loaded.value().CountByRank(false), wp_->CountByRank(false));
+  EXPECT_EQ(loaded.value().MemoryUsageBytes(), wp_->MemoryUsageBytes());
+  for (size_t i = 0; i < wp_->NumVariables(); ++i) {
+    const InstantiatedVariable& a = wp_->variables()[i];
+    const InstantiatedVariable& b = loaded.value().variables()[i];
+    ASSERT_EQ(b.id, a.id);
+    ASSERT_EQ(b.path, a.path);
+    ASSERT_EQ(b.interval, a.interval);
+    ASSERT_EQ(b.support, a.support);
+    ASSERT_EQ(b.from_speed_limit, a.from_speed_limit);
+    ASSERT_EQ(b.joint.NumBuckets(), a.joint.NumBuckets());
+  }
+  ExpectGoldenEquivalence(loaded.value());
+
+  // The generic loader sniffs the binary magic.
+  auto sniffed = LoadWeightFunction(path);
+  ASSERT_TRUE(sniffed.ok());
+  EXPECT_EQ(sniffed.value().fingerprint(), wp_->fingerprint());
+}
+
+TEST_F(ModelArtifactTest, TextRoundTripIsByteIdentical) {
+  const std::string path = Track(TempPath("pcde_model.txt"));
+  ASSERT_TRUE(SaveWeightFunction(*wp_, path).ok());
+  auto loaded = LoadWeightFunction(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Text round trips through %.17g, which is double-exact, and the loader
+  // does not renormalize — so even the fingerprint survives.
+  EXPECT_EQ(loaded.value().fingerprint(), wp_->fingerprint());
+  ExpectGoldenEquivalence(loaded.value());
+}
+
+TEST_F(ModelArtifactTest, QueryCacheEntriesSurviveSaveLoad) {
+  const std::string path = Track(TempPath("pcde_model_cache.bin"));
+  ASSERT_TRUE(SaveWeightFunctionBinary(*wp_, path).ok());
+  auto loaded = LoadWeightFunctionBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const std::vector<PathQuery> queries = MakeQueries(30);
+  ASSERT_GE(queries.size(), 10u);
+
+  // Warm the shared cache through the *built* model, then serve the same
+  // queries from the *loaded* model: frozen ids + content fingerprint make
+  // every one a hit, and results stay byte-identical to the uncached path.
+  QueryCache cache;
+  HybridEstimator warmer(*wp_);
+  warmer.set_query_cache(&cache);
+  for (const PathQuery& q : queries) {
+    ASSERT_TRUE(
+        warmer.EstimateCostDistribution(q.path, q.departure_time).ok());
+  }
+  const uint64_t hits_before = cache.stats().hits;
+
+  const HybridEstimator uncached(*wp_);
+  HybridEstimator served(loaded.value());
+  served.set_query_cache(&cache);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EstimateBreakdown breakdown;
+    auto b = served.EstimateCostDistribution(queries[i].path,
+                                             queries[i].departure_time,
+                                             &breakdown);
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(breakdown.cache_hit) << "query " << i;
+    auto a = uncached.EstimateCostDistribution(queries[i].path,
+                                               queries[i].departure_time);
+    ASSERT_TRUE(a.ok());
+    ExpectByteIdentical(a.value(), b.value(), i);
+  }
+  EXPECT_EQ(cache.stats().hits, hits_before + queries.size());
+}
+
+TEST_F(ModelArtifactTest, BinaryLoadDoesNoPerBucketAllocation) {
+  const std::string path = Track(TempPath("pcde_model_alloc.bin"));
+  ASSERT_TRUE(SaveWeightFunctionBinary(*wp_, path).ok());
+  const uint64_t total_buckets = wp_->sections().TotalBuckets();
+  const size_t num_vars = wp_->NumVariables();
+  ASSERT_GT(total_buckets, num_vars);  // buckets dominate variables
+
+  const size_t before = g_alloc_count.load();
+  auto loaded = LoadWeightFunctionBinary(path);
+  const size_t delta = g_alloc_count.load() - before;
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // One file buffer + O(1) index structures + one Path per variable: the
+  // count scales with variables, never with hyper-buckets.
+  EXPECT_LT(delta, 2 * num_vars + 512)
+      << "per-bucket allocation crept into the load path (buckets: "
+      << total_buckets << ")";
+}
+
+TEST_F(ModelArtifactTest, FromSectionsRejectsSemanticGarbage) {
+  // A checksum says nothing about a *crafted* artifact; FromSections must
+  // also enforce the semantic invariants Make gives the text path.
+  struct Flat {
+    std::vector<uint64_t> seq_off{0, 1};
+    std::vector<roadnet::EdgeId> seq_edges{3};
+    std::vector<uint32_t> var_seq{0};
+    std::vector<int32_t> intervals{0};
+    std::vector<uint64_t> supports{1};
+    std::vector<uint8_t> flags{0};
+    std::vector<uint64_t> var_dim_off{0, 1};
+    std::vector<uint64_t> bound_off{0, 2};
+    std::vector<double> bounds{20.0, 30.0};
+    std::vector<uint64_t> bucket_off{0, 1};
+    std::vector<uint64_t> idx_off{0, 1};
+    std::vector<double> probs{1.0};
+    std::vector<uint32_t> idx{0};
+
+    WeightFunctionSections Sections() const {
+      WeightFunctionSections s;
+      s.num_vars = 1;
+      s.num_seqs = 1;
+      s.seq_off = seq_off.data();
+      s.seq_edges = seq_edges.data();
+      s.var_seq = var_seq.data();
+      s.intervals = intervals.data();
+      s.supports = supports.data();
+      s.flags = flags.data();
+      s.var_dim_off = var_dim_off.data();
+      s.bound_off = bound_off.data();
+      s.bounds = bounds.data();
+      s.bucket_off = bucket_off.data();
+      s.idx_off = idx_off.data();
+      s.probs = probs.data();
+      s.idx = idx.data();
+      return s;
+    }
+  };
+  const TimeBinning binning(30.0);
+  auto load = [&](const Flat& f) {
+    return PathWeightFunction::FromSections(binning, nullptr, f.Sections());
+  };
+  ASSERT_TRUE(load(Flat{}).ok());  // the baseline payload is valid
+
+  Flat nan_prob;
+  nan_prob.probs[0] = std::nan("");
+  EXPECT_FALSE(load(nan_prob).ok());
+  Flat negative;
+  negative.probs[0] = -1.0;
+  EXPECT_FALSE(load(negative).ok());
+  Flat unnormalized;
+  unnormalized.probs[0] = 0.5;
+  EXPECT_FALSE(load(unnormalized).ok());
+  Flat unsorted;
+  unsorted.bounds = {30.0, 20.0};
+  EXPECT_FALSE(load(unsorted).ok());
+  Flat inf_bound;
+  inf_bound.bounds = {20.0, std::numeric_limits<double>::infinity()};
+  EXPECT_FALSE(load(inf_bound).ok());
+}
+
+TEST_F(ModelArtifactTest, SaveRejectsModelsNoLoaderWouldAccept) {
+  // Save-side mirror of the loaders' limits: failures surface at build
+  // time instead of at query-server start.
+  const std::string path = Track(TempPath("pcde_model_unsaveable"));
+  {
+    // Edge id above the artifact ceiling (live builds allow it).
+    WeightFunctionBuilder builder{TimeBinning(30.0)};
+    InstantiatedVariable v;
+    v.path = roadnet::Path({static_cast<roadnet::EdgeId>(kMaxArtifactEdgeId)});
+    v.interval = 0;
+    v.joint = hist::HistogramND::FromHistogram1D(Histogram1D::Single(1, 2));
+    builder.Add(std::move(v));
+    const PathWeightFunction big = std::move(builder).Freeze();
+    EXPECT_FALSE(SaveWeightFunctionBinary(big, path).ok());
+    EXPECT_FALSE(SaveWeightFunction(big, path).ok());
+  }
+  {
+    // Alpha below the artifact range (sub-second binning).
+    WeightFunctionBuilder builder{TimeBinning(0.001)};
+    InstantiatedVariable v;
+    v.path = roadnet::Path({3});
+    v.interval = 0;
+    v.joint = hist::HistogramND::FromHistogram1D(Histogram1D::Single(1, 2));
+    builder.Add(std::move(v));
+    const PathWeightFunction tiny = std::move(builder).Freeze();
+    EXPECT_FALSE(SaveWeightFunctionBinary(tiny, path).ok());
+    EXPECT_FALSE(SaveWeightFunction(tiny, path).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Robustness properties: corrupt / truncated / version-skewed artifacts
+// ---------------------------------------------------------------------------
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST_F(ModelArtifactTest, BinaryRejectsTruncation) {
+  const std::string path = Track(TempPath("pcde_model_trunc.bin"));
+  ASSERT_TRUE(SaveWeightFunctionBinary(*wp_, path).ok());
+  const std::vector<char> bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 1000u);
+  const std::string cut = Track(TempPath("pcde_model_cut.bin"));
+  std::vector<size_t> cuts = {0,  1,  8,  15, 63, 64, 100, bytes.size() / 4,
+                              bytes.size() / 2, bytes.size() - 9,
+                              bytes.size() - 1};
+  for (size_t n : cuts) {
+    WriteAll(cut, std::vector<char>(bytes.begin(),
+                                    bytes.begin() + static_cast<long>(n)));
+    auto loaded = LoadWeightFunctionBinary(cut);
+    EXPECT_FALSE(loaded.ok()) << "truncation at " << n << " loaded";
+  }
+}
+
+TEST_F(ModelArtifactTest, BinaryRejectsVersionSkew) {
+  const std::string path = Track(TempPath("pcde_model_ver.bin"));
+  ASSERT_TRUE(SaveWeightFunctionBinary(*wp_, path).ok());
+  std::vector<char> bytes = ReadAll(path);
+  bytes[8] = static_cast<char>(99);  // header.version
+  const std::string skewed = Track(TempPath("pcde_model_skew.bin"));
+  WriteAll(skewed, bytes);
+  auto loaded = LoadWeightFunctionBinary(skewed);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(ModelArtifactTest, BinarySurvivesByteFlipsWithoutCrashing) {
+  const std::string path = Track(TempPath("pcde_model_flip.bin"));
+  ASSERT_TRUE(SaveWeightFunctionBinary(*wp_, path).ok());
+  const std::vector<char> bytes = ReadAll(path);
+  const std::string flipped = Track(TempPath("pcde_model_flipped.bin"));
+  // Flip one byte at a spread of offsets (header, table, every payload
+  // region). Every load must either fail with a clean Status or — when the
+  // flip landed in inter-section padding, which the checksum does not
+  // cover — yield a model identical to the original. Run under ASan this
+  // is the no-crash / no-OOB-read property.
+  const size_t stride = std::max<size_t>(bytes.size() / 192, 1);
+  size_t rejected = 0, unaffected = 0;
+  for (size_t off = 0; off < bytes.size(); off += stride) {
+    std::vector<char> corrupt = bytes;
+    corrupt[off] = static_cast<char>(corrupt[off] ^ 0x5a);
+    WriteAll(flipped, corrupt);
+    auto loaded = LoadWeightFunctionBinary(flipped);
+    if (loaded.ok()) {
+      EXPECT_EQ(loaded.value().fingerprint(), wp_->fingerprint())
+          << "flip at " << off << " changed the model but loaded";
+      ++unaffected;
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  // Padding bytes are rare; almost every flip must be rejected.
+  EXPECT_GT(rejected, 20 * unaffected);
+}
+
+TEST_F(ModelArtifactTest, TextRejectsCorruptRecords) {
+  const char* cases[] = {
+      "BINNING,abc\n",                                  // non-numeric binning
+      "BINNING,-30\n",                                  // negative binning
+      "BINNING,0.001\nVAR,16,40,0,1,3\nDIM,20,30\nHB,1,0\n",  // alpha < 1 s
+      // Duplicate BINNING (would silently re-bind the alpha grid).
+      "BINNING,30\nBINNING,60\nVAR,16,40,0,1,3\nDIM,20,30\nHB,1,0\n",
+      "VAR,16,40,0,1,3\nDIM,20,30\nHB,1,0\n",           // v1: no BINNING
+      "BINNING,30\nVAR,16,40,0,1,3\nDIM,20,30\nHB,1,0\nBINNING,30\n",
+      "BINNING,30\nVAR,xx,40,0,1,3\nDIM,20,30\nHB,1,0\n",   // bad interval
+      "BINNING,30\nVAR,16,40,0,abc,3\n",                    // bad rank
+      "BINNING,30\nVAR,16,40,0,0\n",                        // rank 0
+      "BINNING,30\nVAR,16,40,0,1,99999999999\n",            // edge overflow
+      "BINNING,30\nVAR,16,40,0,1,20000000\nDIM,20,30\nHB,1,0\n",
+      // ^ edge id above kMaxArtifactEdgeId: must not size the dense
+      //   candidate index to it
+      "BINNING,30\nVAR,16,40,0,1,3\nDIM,20,zz\nHB,1,0\n",   // bad boundary
+      "BINNING,30\nVAR,16,40,0,1,3\nDIM,30,20\nHB,1,0\n",   // unsorted bounds
+      "BINNING,30\nVAR,16,40,0,1,3\nDIM,20,30\nHB,x,0\n",   // bad prob
+      "BINNING,30\nVAR,16,40,0,1,3\nDIM,20,30\nHB,nan,0\n",  // NaN prob
+      "BINNING,30\nVAR,16,40,0,1,3\nDIM,inf,30\nHB,1,0\n",   // inf boundary
+      "BINNING,30\nVAR,16,40,0,1,3\nDIM,20,30\nHB,1,7\n",   // index range
+      "BINNING,30\nVAR,16,40,0,1,3\nDIM,20,30\nHB,1,0,0\n",  // HB arity
+      "BINNING,30\nDIM,20,30\n",                            // DIM before VAR
+      "BINNING,30\nWHAT,1\n",                               // unknown record
+      "BINNING,30\nVAR,16,40,0,2,3,4\nDIM,20,30\nHB,1,0,0\n",  // missing DIM
+      "BINNING,30\nVAR,16,40,0,1,3\nVAR,16,41,0,1,3\n",     // no payload
+  };
+  const std::string path = Track(TempPath("pcde_model_badtext.txt"));
+  for (size_t i = 0; i < sizeof(cases) / sizeof(cases[0]); ++i) {
+    {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      ASSERT_NE(f, nullptr);
+      std::fputs(cases[i], f);
+      std::fclose(f);
+    }
+    auto loaded = LoadWeightFunction(path);
+    EXPECT_FALSE(loaded.ok()) << "case " << i << " loaded: " << cases[i];
+  }
+}
+
+TEST_F(ModelArtifactTest, TextSurvivesLineTruncation) {
+  const std::string full = Track(TempPath("pcde_model_full.txt"));
+  ASSERT_TRUE(SaveWeightFunction(*wp_, full).ok());
+  std::ifstream in(full);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line) && lines.size() < 400;) {
+    lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 50u);
+  // Cutting the stream mid-model must never crash; it either still forms a
+  // valid (smaller) model or fails cleanly.
+  const std::string cut = Track(TempPath("pcde_model_cutlines.txt"));
+  for (size_t keep : {3u, 10u, 37u, 50u}) {
+    std::ofstream out(cut, std::ios::trunc);
+    for (size_t i = 0; i < keep; ++i) out << lines[i] << "\n";
+    // Additionally chop the last kept line in half.
+    out << lines[keep].substr(0, lines[keep].size() / 2) << "\n";
+    out.close();
+    auto loaded = LoadWeightFunction(cut);  // ok or clean error; no crash
+    (void)loaded;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pcde

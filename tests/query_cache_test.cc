@@ -96,8 +96,9 @@ TEST(QueryCacheTest, OversizedEntriesAreNotAdmitted) {
   EXPECT_FALSE(cache.Lookup(KeyOf(1), &out));
 }
 
-TEST(QueryCacheTest, KeySeparatesOptionsTimeBucketPartsAndGeneration) {
+TEST(QueryCacheTest, KeySeparatesOptionsTimeBucketPartsAndModel) {
   InstantiatedVariable var;
+  var.id = 9;
   const Decomposition de{DecompositionPart{&var, 3}};
   const uint64_t fp = QueryCache::Fingerprint(ChainOptions());
   ChainOptions independent;
@@ -111,15 +112,17 @@ TEST(QueryCacheTest, KeySeparatesOptionsTimeBucketPartsAndGeneration) {
                                 QueryCache::Fingerprint(independent), 1));
   const Decomposition shifted{DecompositionPart{&var, 4}};
   EXPECT_NE(base, QueryCache::MakeKey(shifted, 100.0, 300.0, fp, 1));
-  // A reloaded weight function (new generation) never false-hits old
-  // entries even when variable addresses recycle.
+  // Keys carry frozen variable ids, not addresses: an equal-id variable at
+  // a different address (a reloaded model) keys the same entry...
+  InstantiatedVariable reloaded;
+  reloaded.id = 9;
+  const Decomposition same_id{DecompositionPart{&reloaded, 3}};
+  EXPECT_EQ(base, QueryCache::MakeKey(same_id, 100.0, 300.0, fp, 1));
+  // ...while a different id or a different model fingerprint never
+  // false-hits.
+  reloaded.id = 10;
+  EXPECT_NE(base, QueryCache::MakeKey(same_id, 100.0, 300.0, fp, 1));
   EXPECT_NE(base, QueryCache::MakeKey(de, 100.0, 300.0, fp, 2));
-}
-
-TEST(QueryCacheTest, WeightFunctionGenerationsAreUnique) {
-  PathWeightFunction a{TimeBinning(3600.0)};
-  PathWeightFunction b{TimeBinning(3600.0)};
-  EXPECT_NE(a.generation(), b.generation());
 }
 
 class CachedEstimationFixture : public ::testing::Test {
@@ -224,7 +227,7 @@ TEST(CachedRoutingTest, CachedRouterMatchesUncachedAndReusesResults) {
       v.push_back(g.AddVertex(1000.0 * i, 1000.0 * j));
     }
   }
-  PathWeightFunction wp{TimeBinning(30.0)};
+  WeightFunctionBuilder wp_builder{TimeBinning(30.0)};
   Rng rng(11);
   auto connect = [&](roadnet::VertexId a, roadnet::VertexId b) {
     const roadnet::EdgeId e = g.AddEdge(a, b, 1000.0, 13.9).value();
@@ -237,7 +240,7 @@ TEST(CachedRoutingTest, CachedRouterMatchesUncachedAndReusesResults) {
                            {fast + 60.0, fast + 120.0, 0.2}})
             .value());
     var.from_speed_limit = true;
-    wp.Add(std::move(var));
+    wp_builder.Add(std::move(var));
   };
   for (int i = 0; i < kSide; ++i) {
     for (int j = 0; j < kSide; ++j) {
@@ -245,6 +248,7 @@ TEST(CachedRoutingTest, CachedRouterMatchesUncachedAndReusesResults) {
       if (j + 1 < kSide) connect(v[i * kSide + j], v[i * kSide + j + 1]);
     }
   }
+  const PathWeightFunction wp = std::move(wp_builder).Freeze();
 
   routing::RouterConfig plain_config;
   plain_config.num_threads = 1;

@@ -32,9 +32,12 @@ struct DiamondFixture {
   Graph g;
   VertexId s, m1, m2, t;
   EdgeId p1a, p1b, p2a, p2b;
-  PathWeightFunction wp{TimeBinning(30.0)};
+  PathWeightFunction wp;
 
-  DiamondFixture() {
+  DiamondFixture() : wp(BuildModel()) {}
+
+ private:
+  PathWeightFunction BuildModel() {
     s = g.AddVertex(0, 0);
     m1 = g.AddVertex(1000, 500);
     m2 = g.AddVertex(1000, -500);
@@ -44,6 +47,7 @@ struct DiamondFixture {
     p2a = g.AddEdge(s, m2, 1200, 13.9).value();
     p2b = g.AddEdge(m2, t, 1200, 13.9).value();
 
+    core::WeightFunctionBuilder builder{TimeBinning(30.0)};
     auto add_unit = [&](EdgeId e, Histogram1D h) {
       InstantiatedVariable v;
       v.path = Path({e});
@@ -51,7 +55,7 @@ struct DiamondFixture {
       v.joint = HistogramND::FromHistogram1D(std::move(h));
       v.support = 0;
       v.from_speed_limit = true;
-      wp.Add(std::move(v));
+      builder.Add(std::move(v));
     };
     // P1 edges: 24..28 min each (reliable).
     const Histogram1D reliable =
@@ -65,6 +69,7 @@ struct DiamondFixture {
             .value();
     add_unit(p2a, risky);
     add_unit(p2b, risky);
+    return std::move(builder).Freeze();
   }
 };
 
