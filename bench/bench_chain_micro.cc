@@ -16,6 +16,7 @@
 #include "bench/bench_common.h"
 #include "core/chain_estimator_reference.h"
 #include "core/serialization.h"
+#include "routing/stochastic_router.h"
 
 namespace pcde {
 namespace bench {
@@ -159,6 +160,18 @@ bool MeasureModelSeries(const Workload& w, ModelSeries* out) {
                    c.name);
       return false;
     }
+    if (c.binary) {
+      // The flag-guarded mmap load path (shared page-cache copy across
+      // co-resident server processes), fingerprint-checked like the rest.
+      watch.Restart();
+      auto mapped = core::LoadWeightFunctionBinary(*c.path, /*use_mmap=*/true);
+      out->mmap_load_seconds = watch.ElapsedSeconds();
+      if (!mapped.ok() ||
+          mapped.value().fingerprint() != w.wp->fingerprint()) {
+        std::fprintf(stderr, "mmap reload failed or fingerprint mismatch\n");
+        return false;
+      }
+    }
     std::remove(c.path->c_str());
     out->formats.push_back(std::move(fmt));
   }
@@ -245,7 +258,7 @@ int main(int argc, char** argv) {
     batch.cache_misses = misses;
     series.push_back(std::move(batch));
   };
-  for (size_t threads : {2, 4, 8}) {
+  for (size_t threads : {1, 2, 4, 8}) {
     run_batch("estimate_batch_threads_", threads, nullptr);
   }
   {
@@ -253,6 +266,116 @@ int main(int argc, char** argv) {
     // (reps > 1 turns every repeat into hits).
     core::QueryCache cache;
     run_batch("estimate_batch_cached_threads_", 4, &cache);
+  }
+
+  // Routing series: the DFS stochastic router over OD pairs drawn from the
+  // workload paths, with and without prefix chain-state reuse
+  // (core/prefix_state_cache.h). Both configurations must return the same
+  // routes bit for bit — a reuse-induced divergence aborts the bench.
+  {
+    const roadnet::Graph& graph = *w.data->data.graph;
+    struct RouteCase {
+      roadnet::VertexId from, to;
+      double budget;
+    };
+    std::vector<RouteCase> cases;
+    for (const core::PathQuery& q : w.queries) {
+      if (q.path.size() != 20) continue;  // shortest cardinality: bounded DFS
+      double free_flow = 0.0;
+      for (roadnet::EdgeId e : q.path) {
+        free_flow += graph.edge(e).FreeFlowSeconds();
+      }
+      const RouteCase rc{graph.edge(q.path.front()).from,
+                         graph.edge(q.path.back()).to, 1.25 * free_flow};
+      bool dup = false;
+      for (const RouteCase& c : cases) {
+        dup |= c.from == rc.from && c.to == rc.to;
+      }
+      if (dup) continue;
+      cases.push_back(rc);
+      if (cases.size() >= 6) break;
+    }
+    if (cases.empty()) {
+      // An empty case set would emit zero-iteration routing series and
+      // make the reuse-vs-plain identity check vacuous.
+      std::fprintf(stderr, "no routing cases in the workload; aborting\n");
+      return 1;
+    }
+    routing::RouterConfig base_config;
+    base_config.num_threads = 1;  // paired series: measure the DFS, not the
+                                  // pool
+    base_config.max_expansions = 3000;
+    base_config.max_path_edges = 40;
+    const double depart = traj::HoursToSeconds(8.2);
+    const int route_reps = std::max(2, reps / 2);
+    struct RouteOutcome {
+      bool ok = false;
+      routing::RouteResult result;
+    };
+    // Interleaved back to back per (rep, case) with alternating order, the
+    // MeasurePaired discipline: shared-machine noise cancels out of the
+    // reuse-vs-no-reuse comparison instead of landing on one series.
+    const routing::DfsStochasticRouter plain_router(
+        graph, *w.wp, core::EstimateOptions(), base_config);
+    routing::RouterConfig reuse_config = base_config;
+    reuse_config.prefix_cache_bytes = size_t{4} << 20;
+    const routing::DfsStochasticRouter reuse_router(
+        graph, *w.wp, core::EstimateOptions(), reuse_config);
+    std::vector<RouteOutcome> plain, reused;
+    std::vector<double> plain_lat, reuse_lat;
+    plain_lat.reserve(cases.size() * static_cast<size_t>(route_reps));
+    reuse_lat.reserve(cases.size() * static_cast<size_t>(route_reps));
+    auto route_once = [&](const routing::DfsStochasticRouter& router,
+                          const RouteCase& c, std::vector<double>* latencies,
+                          std::vector<RouteOutcome>* outcomes, bool record) {
+      Stopwatch watch;
+      auto result = router.Route(c.from, c.to, depart, c.budget);
+      latencies->push_back(watch.ElapsedSeconds());
+      if (record) {
+        RouteOutcome outcome;
+        outcome.ok = result.ok();
+        if (result.ok()) outcome.result = std::move(result).value();
+        outcomes->push_back(std::move(outcome));
+      }
+    };
+    for (int r = 0; r < route_reps; ++r) {
+      for (size_t i = 0; i < cases.size(); ++i) {
+        const RouteCase& c = cases[i];
+        const bool record = r == 0;
+        if ((static_cast<size_t>(r) + i) % 2 == 0) {
+          route_once(plain_router, c, &plain_lat, &plain, record);
+          route_once(reuse_router, c, &reuse_lat, &reused, record);
+        } else {
+          route_once(reuse_router, c, &reuse_lat, &reused, record);
+          route_once(plain_router, c, &plain_lat, &plain, record);
+        }
+      }
+    }
+    series.push_back(
+        KernelSeries::FromLatencies("route_dfs", std::move(plain_lat), 0));
+    KernelSeries reuse_series = KernelSeries::FromLatencies(
+        "route_dfs_prefix_reuse", std::move(reuse_lat), 0);
+    // The reuse series' cache columns carry the prefix-state traffic of
+    // the recorded routes (first rep per case).
+    for (const RouteOutcome& o : reused) {
+      if (!o.ok) continue;
+      reuse_series.cache_hits += o.result.prefix_cache_hits;
+      reuse_series.cache_misses += o.result.prefix_cache_misses;
+    }
+    series.push_back(std::move(reuse_series));
+    for (size_t i = 0; i < plain.size(); ++i) {
+      const bool same =
+          plain[i].ok == reused[i].ok &&
+          (!plain[i].ok ||
+           (plain[i].result.best_probability ==
+                reused[i].result.best_probability &&
+            plain[i].result.best_path == reused[i].result.best_path));
+      if (!same) {
+        std::fprintf(stderr,
+                     "routing with prefix reuse diverged on case %zu\n", i);
+        return 1;
+      }
+    }
   }
 
   for (const KernelSeries& s : series) {

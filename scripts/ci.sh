@@ -4,7 +4,9 @@
 #
 #   1. Debug + ASan, SIMD forced to the scalar fallback — the golden
 #      equivalence tests cover the non-SIMD chain kernel under the
-#      sanitizer.
+#      sanitizer (including prefix_state_cache_test, which proves routing
+#      with prefix chain-state reuse bit-identical to routing without it,
+#      and the BatchMetrics worker path exercised by batch_estimator_test).
 #   2. Release with SIMD on — the production configuration.
 #   3. End-to-end examples in Release: quickstart and data_pipeline both
 #      build -> save -> reload a binary model artifact and serve from it,
@@ -12,9 +14,12 @@
 #      model.
 #   4. scripts/run_benches.sh-equivalent perf record; fails the gate when
 #      BENCH_chain.json reports speedup_vs_reference < PCDE_CI_MIN_SPEEDUP
-#      (default 3) or the binary model load is less than
+#      (default 3), the binary model load is less than
 #      PCDE_CI_MIN_LOAD_SPEEDUP (default 10) times faster than the text
-#      parser.
+#      parser, the routing-with-prefix-reuse series is missing, or — on
+#      hosts with >= 8 CPUs, the only place an 8-worker speedup is
+#      physically expressible — batch_scaling_8v1 drops below
+#      PCDE_CI_MIN_BATCH_SCALING (default 3).
 #
 # Usage: scripts/ci.sh [reps]
 set -euo pipefail
@@ -23,6 +28,7 @@ cd "$(dirname "$0")/.."
 REPS="${1:-8}"
 MIN_SPEEDUP="${PCDE_CI_MIN_SPEEDUP:-3}"
 MIN_LOAD_SPEEDUP="${PCDE_CI_MIN_LOAD_SPEEDUP:-10}"
+MIN_BATCH_SCALING="${PCDE_CI_MIN_BATCH_SCALING:-3}"
 
 echo "=== [1/4] Debug + ASan build (scalar SIMD fallback) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DPCDE_SANITIZE=address \
@@ -42,7 +48,7 @@ echo "=== [3/4] Examples end-to-end (build -> save -> reload -> serve) ==="
 echo "=== [4/4] Perf gates (chain >= ${MIN_SPEEDUP}x, binary load >= ${MIN_LOAD_SPEEDUP}x) ==="
 ./build-release/bench_chain_micro BENCH_chain.json "$REPS"
 SPEEDUP="$(grep -o '"speedup_vs_reference": *[0-9.eE+-]*' BENCH_chain.json \
-           | grep -o '[0-9.eE+-]*$')"
+           | grep -o '[0-9.eE+-]*$' || true)"
 if [[ -z "$SPEEDUP" ]]; then
   echo "ci: BENCH_chain.json has no speedup_vs_reference" >&2
   exit 1
@@ -53,7 +59,7 @@ if ! awk -v s="$SPEEDUP" -v min="$MIN_SPEEDUP" \
   exit 1
 fi
 LOAD_SPEEDUP="$(grep -o '"binary_load_speedup_vs_text": *[0-9.eE+-]*' BENCH_chain.json \
-               | grep -o '[0-9.eE+-]*$')"
+               | grep -o '[0-9.eE+-]*$' || true)"
 if [[ -z "$LOAD_SPEEDUP" ]]; then
   echo "ci: BENCH_chain.json has no binary_load_speedup_vs_text" >&2
   exit 1
@@ -63,4 +69,27 @@ if ! awk -v s="$LOAD_SPEEDUP" -v min="$MIN_LOAD_SPEEDUP" \
   echo "ci: binary_load_speedup_vs_text = $LOAD_SPEEDUP < $MIN_LOAD_SPEEDUP — artifact regression" >&2
   exit 1
 fi
-echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text)"
+if ! grep -q '"route_dfs_prefix_reuse"' BENCH_chain.json; then
+  echo "ci: BENCH_chain.json has no route_dfs_prefix_reuse series" >&2
+  exit 1
+fi
+SCALING="$(grep -o '"batch_scaling_8v1": *[0-9.eE+-]*' BENCH_chain.json \
+           | grep -o '[0-9.eE+-]*$' || true)"
+if [[ -z "$SCALING" ]]; then
+  echo "ci: BENCH_chain.json has no batch_scaling_8v1" >&2
+  exit 1
+fi
+# Parallel speedup is bounded above by the host's core count, so the
+# batch-scaling floor is enforced only where 8 workers can physically beat
+# 1 by that margin; the measured value is recorded either way.
+CORES="$(nproc 2>/dev/null || echo 1)"
+if [[ "$CORES" -ge 8 ]]; then
+  if ! awk -v s="$SCALING" -v min="$MIN_BATCH_SCALING" \
+       'BEGIN { exit (s + 0 >= min + 0) ? 0 : 1 }'; then
+    echo "ci: batch_scaling_8v1 = $SCALING < $MIN_BATCH_SCALING — batch layer scaling regression" >&2
+    exit 1
+  fi
+else
+  echo "ci: batch_scaling_8v1 = $SCALING (informational — host has $CORES CPUs; the >= $MIN_BATCH_SCALING gate needs >= 8)"
+fi
+echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text, batch_scaling_8v1 = $SCALING)"

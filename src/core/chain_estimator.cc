@@ -28,7 +28,7 @@ namespace {
 /// capped at HybridParams::max_instantiated_rank).
 constexpr uint64_t kMaxDenseSeparatorCells = uint64_t{1} << 22;
 
-/// Budget on SumEntry capacity retained by a thread's recycled sums
+/// Budget on sum-entry capacity retained by a thread's recycled sums
 /// buffers (~6 MB); beyond it, harvested buffers are freed instead.
 constexpr size_t kMaxPooledSumEntries = size_t{1} << 18;
 
@@ -209,125 +209,45 @@ void ChainSweeper::CompactSums(SumsSoA* sums, size_t cap) {
     if (slice_mass <= 0.0) continue;
     const bool contiguous =
         !sc.cs_flat.empty() &&
-        std::fabs(sc.cs_flat.back().sum.hi - cuts[s]) < kFlattenMinWidth;
+        std::fabs(sc.cs_flat.back().range.hi - cuts[s]) < kFlattenMinWidth;
     if (contiguous) {
-      SumEntry& prev = sc.cs_flat.back();
-      const double prev_density = prev.prob / prev.sum.width();
+      hist::Bucket& prev = sc.cs_flat.back();
+      const double prev_density = prev.prob / prev.range.width();
       if (std::fabs(prev_density - running) <=
           1e-9 * std::max(prev_density, running)) {
-        prev.sum.hi = cuts[s + 1];
+        prev.range.hi = cuts[s + 1];
         prev.prob += slice_mass;
         continue;
       }
     }
-    sc.cs_flat.push_back(SumEntry{Interval(cuts[s], cuts[s + 1]), slice_mass});
+    sc.cs_flat.emplace_back(cuts[s], cuts[s + 1], slice_mass);
   }
 
   // The pipeline's two normalization passes: flatten divides by the input
   // mass, then histogram construction renormalizes the float drift away.
-  for (SumEntry& f : sc.cs_flat) f.prob /= total_mass;
+  for (hist::Bucket& f : sc.cs_flat) f.prob /= total_mass;
   double flat_total = 0.0;
-  for (const SumEntry& f : sc.cs_flat) flat_total += f.prob;
+  for (const hist::Bucket& f : sc.cs_flat) flat_total += f.prob;
   if (std::fabs(flat_total - 1.0) > kMassTolerance) return;
-  for (SumEntry& f : sc.cs_flat) f.prob /= flat_total;
+  for (hist::Bucket& f : sc.cs_flat) f.prob /= flat_total;
 
-  // Compact to the cap: hist::Compact's greedy cheapest-merge, on a
-  // linked list of survivors with blocked cost minima, run on thread-local
-  // scratch so nothing allocates in steady state.
+  // Compact to the cap: the shared greedy merge (hist/greedy_merge.h) —
+  // hist::Compact's exact merge sequence, blocked argmin at this path's
+  // typical sizes and a lazy pair heap beyond the dispatch threshold, on
+  // thread-local scratch so nothing allocates in steady state.
   if (sc.cs_flat.size() > cap && cap > 0) {
-    const size_t nf = sc.cs_flat.size();
-    auto merge_cost = [&sc](size_t i, size_t j) {
-      return hist::MergeCost(sc.cs_flat[i].sum, sc.cs_flat[i].prob,
-                             sc.cs_flat[j].sum, sc.cs_flat[j].prob);
-    };
-    sc.cs_next.resize(nf);
-    sc.cs_prev.resize(nf);
-    sc.cs_alive.assign(nf, 1);
-    for (size_t i = 0; i < nf; ++i) {
-      sc.cs_next[i] = static_cast<uint32_t>(i + 1);  // nf == end sentinel
-      sc.cs_prev[i] = static_cast<uint32_t>(i == 0 ? nf : i - 1);
-    }
-    // Cached cost per surviving pair, indexed by the pair's left bucket
-    // (dead / last buckets hold +inf), with per-block minima: a merge
-    // touches at most three cost entries, so it rescans those blocks
-    // (O(block)) and the global pick scans block minima (O(n/block)) —
-    // instead of the original full rescan per merge. First-minimum ties
-    // match the left-to-right rescan (within a block the scan keeps the
-    // first minimum; across blocks the strict compare keeps the earlier
-    // block), and costs are recomputed exactly when an endpoint changes,
-    // so the merge sequence is identical to hist::Compact's.
-    constexpr double kInf = std::numeric_limits<double>::infinity();
-    constexpr size_t kBlock = 64;
-    sc.cs_cost.resize(nf);
-    for (size_t i = 0; i < nf; ++i) {
-      sc.cs_cost[i] = i + 1 < nf ? merge_cost(i, i + 1) : kInf;
-    }
-    const size_t n_blocks = (nf + kBlock - 1) / kBlock;
-    sc.cs_block_cost.resize(n_blocks);
-    sc.cs_block_idx.resize(n_blocks);
-    auto rescan_block = [&sc, nf](size_t blk) {
-      const size_t lo = blk * kBlock;
-      const size_t hi = std::min(nf, lo + kBlock);
-      const double* const costs = sc.cs_cost.data();
-      double best_cost = kInf;
-      size_t best = lo;
-      for (size_t k = lo; k < hi; ++k) {
-        if (costs[k] < best_cost) {
-          best_cost = costs[k];
-          best = k;
-        }
-      }
-      sc.cs_block_cost[blk] = best_cost;
-      sc.cs_block_idx[blk] = static_cast<uint32_t>(best);
-    };
-    for (size_t blk = 0; blk < n_blocks; ++blk) rescan_block(blk);
-    size_t remaining = nf;
-    while (remaining > cap) {
-      double best_cost = kInf;
-      size_t best_blk = 0;
-      for (size_t blk = 0; blk < n_blocks; ++blk) {
-        if (sc.cs_block_cost[blk] < best_cost) {
-          best_cost = sc.cs_block_cost[blk];
-          best_blk = blk;
-        }
-      }
-      if (best_cost == kInf) break;  // no mergeable pair left
-      const uint32_t i = sc.cs_block_idx[best_blk];
-      const uint32_t j = sc.cs_next[i];
-      sc.cs_flat[i] = SumEntry{Interval(sc.cs_flat[i].sum.lo,
-                                        sc.cs_flat[j].sum.hi),
-                               sc.cs_flat[i].prob + sc.cs_flat[j].prob};
-      sc.cs_alive[j] = 0;
-      sc.cs_cost[j] = kInf;
-      sc.cs_next[i] = sc.cs_next[j];
-      if (sc.cs_next[j] < nf) sc.cs_prev[sc.cs_next[j]] = i;
-      sc.cs_cost[i] = sc.cs_next[i] < nf ? merge_cost(i, sc.cs_next[i]) : kInf;
-      const uint32_t left_nbr = sc.cs_prev[i];
-      if (left_nbr < nf) sc.cs_cost[left_nbr] = merge_cost(left_nbr, i);
-      --remaining;
-      rescan_block(j / kBlock);
-      if (i / kBlock != j / kBlock) rescan_block(i / kBlock);
-      if (left_nbr < nf && left_nbr / kBlock != i / kBlock &&
-          left_nbr / kBlock != j / kBlock) {
-        rescan_block(left_nbr / kBlock);
-      }
-    }
-    size_t out = 0;
-    for (size_t i = 0; i < nf; ++i) {
-      if (sc.cs_alive[i]) sc.cs_flat[out++] = sc.cs_flat[i];
-    }
-    sc.cs_flat.resize(out);
+    hist::GreedyMergeToCap(&sc.cs_flat, cap, &sc.cs_merge);
     // Post-merge renormalization (hist::Compact's final construction).
     double merged_total = 0.0;
-    for (const SumEntry& f : sc.cs_flat) merged_total += f.prob;
+    for (const hist::Bucket& f : sc.cs_flat) merged_total += f.prob;
     if (merged_total > 0.0) {
-      for (SumEntry& f : sc.cs_flat) f.prob /= merged_total;
+      for (hist::Bucket& f : sc.cs_flat) f.prob /= merged_total;
     }
   }
 
   sums->clear();
-  for (const SumEntry& f : sc.cs_flat) {
-    sums->PushBack(f.sum, f.prob * mass);
+  for (const hist::Bucket& f : sc.cs_flat) {
+    sums->PushBack(f.range, f.prob * mass);
   }
 }
 
@@ -526,21 +446,45 @@ void ChainSweeper::ApplyPart(const DecompositionPart& part,
     }
   }
   sc.next_groups.clear();
-  sc.next_index.clear();
+  // Flat open-addressing transition index: linear probing over a bare u32
+  // lane, keys living in next_groups itself. Sized so the load factor
+  // stays under 1/2 (doubling reinserts every surviving key); the seed
+  // size tracks the incoming group count, the sweep's best predictor of
+  // the outgoing one.
+  constexpr uint32_t kEmptyGroup = UINT32_MAX;
+  size_t n_slots = 64;
+  while (n_slots < 4 * (groups_.size() + 1)) n_slots <<= 1;
+  sc.group_slots.assign(n_slots, kEmptyGroup);
+  size_t slot_mask = n_slots - 1;
   auto group_for = [&](const BoxKey& key) -> Group& {
-    const auto [it, inserted] = sc.next_index.emplace(
-        key, static_cast<uint32_t>(sc.next_groups.size()));
-    if (inserted) {
-      sc.next_groups.emplace_back();
-      Group& fresh = sc.next_groups.back();
-      fresh.key = key;
-      if (!sc.sums_pool.empty()) {
-        fresh.sums = std::move(sc.sums_pool.back());
-        sc.sums_pool.pop_back();
-        sc.sums_pool_entries -= fresh.sums.capacity();
-      }
+    size_t slot = BoxKeyHash()(key) & slot_mask;
+    while (sc.group_slots[slot] != kEmptyGroup) {
+      Group& g = sc.next_groups[sc.group_slots[slot]];
+      if (g.key == key) return g;
+      slot = (slot + 1) & slot_mask;
     }
-    return sc.next_groups[it->second];
+    if (2 * (sc.next_groups.size() + 1) > n_slots) {
+      n_slots <<= 1;
+      slot_mask = n_slots - 1;
+      sc.group_slots.assign(n_slots, kEmptyGroup);
+      for (uint32_t gi = 0; gi < sc.next_groups.size(); ++gi) {
+        size_t re = BoxKeyHash()(sc.next_groups[gi].key) & slot_mask;
+        while (sc.group_slots[re] != kEmptyGroup) re = (re + 1) & slot_mask;
+        sc.group_slots[re] = gi;
+      }
+      slot = BoxKeyHash()(key) & slot_mask;
+      while (sc.group_slots[slot] != kEmptyGroup) slot = (slot + 1) & slot_mask;
+    }
+    sc.group_slots[slot] = static_cast<uint32_t>(sc.next_groups.size());
+    sc.next_groups.emplace_back();
+    Group& fresh = sc.next_groups.back();
+    fresh.key = key;
+    if (!sc.sums_pool.empty()) {
+      fresh.sums = std::move(sc.sums_pool.back());
+      sc.sums_pool.pop_back();
+      sc.sums_pool_entries -= fresh.sums.capacity();
+    }
+    return fresh;
   };
 
   Interval inter[kMaxOpenDims];
@@ -679,6 +623,18 @@ double ChainSweeper::MassRemaining() const {
   double m = 0.0;
   for (const Group& g : groups_) m += GroupMass(g);
   return m;
+}
+
+size_t ChainSweeper::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + groups_.capacity() * sizeof(Group);
+  for (const Group& g : groups_) {
+    bytes += (g.sums.lo.capacity() + g.sums.hi.capacity() +
+              g.sums.prob.capacity()) *
+             sizeof(double);
+  }
+  // Interned intervals plus an estimate of their exact-bits index nodes.
+  bytes += pool_.size() * (sizeof(Interval) + 64);
+  return bytes;
 }
 
 double ChainSweeper::MinSum() const {

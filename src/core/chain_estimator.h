@@ -19,14 +19,17 @@
 // State representation (the hot path of every efficiency figure): open
 // boxes are interned into a per-sweeper interval pool, so a state's open
 // separator box is a short tuple of integer ids. Grouping states then
-// hashes a small inline integer key (no heap key, no double-byte aliasing —
-// interning normalizes -0.0 to 0.0, so signed zeros cannot split a group),
-// the per-part separator marginal is a dense array indexed by flattened
+// probes a flat open-addressing table keyed on that inline integer tuple
+// (no heap key, no per-group node, no double-byte aliasing — interning
+// normalizes -0.0 to 0.0, so signed zeros cannot split a group), the
+// per-part separator marginal is a dense array indexed by flattened
 // hyper-bucket separator id, and all per-transition temporaries live in
 // warm thread-local scratch buffers (including the progressive compaction,
-// which runs the hist:: flatten+compact pipeline allocation-free). Because
-// a part's open suffix is a contiguous position range, position→slot
-// lookup is arithmetic.
+// which runs the hist:: flatten+compact pipeline allocation-free, ending
+// in the shared size-dispatched greedy merge of hist/greedy_merge.h —
+// blocked argmin small, lazy pair heap large, identical sequences).
+// Because a part's open suffix is a contiguous position range,
+// position→slot lookup is arithmetic.
 //
 // A group's accumulated sums are stored structure-of-arrays (lo/hi/prob
 // lanes, SumsSoA): the transition convolution and the flatten's density
@@ -47,6 +50,7 @@
 #include "common/stopwatch.h"
 #include "core/decomposition.h"
 #include "hist/cut_binning.h"
+#include "hist/greedy_merge.h"
 #include "hist/histogram1d.h"
 
 namespace pcde {
@@ -115,15 +119,13 @@ class ChainSweeper {
   /// lower bound used by routing pruning).
   double MinSum() const;
 
+  /// Approximate heap footprint of the sweep state (groups' SoA lanes plus
+  /// the interval pool) — the byte accounting PrefixStateCache budgets
+  /// cached sweeper snapshots with.
+  size_t MemoryBytes() const;
+
  private:
   using BoxId = uint32_t;
-
-  /// One flattened slice inside CompactSums (a small AoS staging buffer);
-  /// group state itself is stored SoA, see SumsSoA.
-  struct SumEntry {
-    Interval sum;
-    double prob;
-  };
 
   /// Structure-of-arrays accumulated-sum storage: interval bounds and
   /// probabilities in three contiguous double lanes, so the transition
@@ -223,7 +225,14 @@ class ChainSweeper {
     std::vector<double> sep_marginal;   // dense separator marginal
     std::vector<uint64_t> sep_stride;   // flattening strides per O dim
     std::vector<Group> next_groups;
-    std::unordered_map<BoxKey, uint32_t, BoxKeyHash> next_index;
+    /// Flat open-addressing transition index (slot -> next_groups index,
+    /// linear probing, power-of-two slots): the per-step group lookup of
+    /// the transition sweep. Keys live in next_groups themselves (the
+    /// pooled SoA group storage), so the table is a bare u32 lane — no
+    /// per-group node allocation, no pointer chasing, rebuilt by a memset
+    /// per part (same pattern as weight_function.cc's (seq, interval)
+    /// probe table).
+    std::vector<uint32_t> group_slots;
     std::vector<std::pair<double, uint32_t>> by_mass;  // demote ordering
     /// The per-thread SoA arena: recycled sums buffers. A part can
     /// materialize thousands of transient groups, and without reuse every
@@ -244,13 +253,8 @@ class ChainSweeper {
     std::vector<uint32_t> cs_slice_of;    // per-bound deduped cut index
     std::vector<double> cs_diff;
     std::vector<int32_t> cs_cover;
-    std::vector<SumEntry> cs_flat;
-    std::vector<double> cs_cost;  // greedy-merge pair costs, left-indexed
-    std::vector<double> cs_block_cost;  // per-block minimum of cs_cost
-    std::vector<uint32_t> cs_block_idx;  // index of that minimum
-    std::vector<uint32_t> cs_next;
-    std::vector<uint32_t> cs_prev;
-    std::vector<char> cs_alive;
+    std::vector<hist::Bucket> cs_flat;    // flattened slices (AoS staging)
+    hist::GreedyMergeScratch cs_merge;    // lazy pair-heap merge storage
   };
 
   static Scratch& LocalScratch();

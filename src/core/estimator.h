@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "core/chain_estimator.h"
 #include "core/decomposition.h"
+#include "core/prefix_state_cache.h"
 #include "core/query_cache.h"
 #include "core/weight_function.h"
 
@@ -48,9 +49,16 @@ struct PathQuery {
 };
 
 /// \brief Per-batch serving metrics: index-aligned per-query latencies (the
-/// batch layer's p50/p99 source) and the batch's cache traffic.
+/// batch layer's p50/p99 source) and the batch's cache traffic. Collection
+/// is allocation- and contention-free in the worker path: both lanes are
+/// preallocated before the fan-out and each worker writes only its own
+/// query's slots (no lock, no shared counter — the aggregate hit/miss
+/// totals are summed once after the join).
 struct BatchMetrics {
   std::vector<double> query_seconds;
+  /// 1 where the query was served from the attached QueryCache (all 0
+  /// when no cache is attached).
+  std::vector<uint8_t> query_cache_hit;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
 };
@@ -148,6 +156,18 @@ class IncrementalEstimator {
   /// to the plain overload.
   StatusOr<hist::Histogram1D> CurrentDistribution(QueryCache* cache) const;
 
+  /// Attaches a prefix chain-state cache (core/prefix_state_cache.h):
+  /// CurrentDistribution then clones the deepest cached prefix state
+  /// instead of replaying the whole unstable tail, and snapshots the
+  /// intermediate states it computes so sibling branches ("path + another
+  /// edge" around a shared prefix) skip the replay. Results are
+  /// bit-identical with and without the cache — ApplyPart is deterministic
+  /// and snapshots are exact copies. Not owned; estimator copies share the
+  /// pointer, and the cache is single-threaded by design (use one per DFS
+  /// branch). Pass nullptr to detach.
+  void set_prefix_cache(PrefixStateCache* cache) { prefix_cache_ = cache; }
+  PrefixStateCache* prefix_cache() const { return prefix_cache_; }
+
   /// Smallest possible total cost of the current path (for routing pruning).
   double MinTotalCost() const { return min_total_; }
 
@@ -173,6 +193,10 @@ class IncrementalEstimator {
   ChainSweeper sweeper_;
   size_t applied_ = 0;
   double min_total_ = 0.0;
+  PrefixStateCache* prefix_cache_ = nullptr;  // not owned; single-threaded
+  // Chain-options fingerprint for prefix-cache keys, hashed once here
+  // instead of per CurrentDistribution call.
+  uint64_t options_fingerprint_ = 0;
 };
 
 }  // namespace core

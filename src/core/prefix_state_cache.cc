@@ -1,0 +1,81 @@
+#include "core/prefix_state_cache.h"
+
+#include "common/mathutil.h"
+
+namespace pcde {
+namespace core {
+
+namespace {
+
+/// Fixed per-entry bookkeeping estimate: list node, map node, amortized
+/// bucket-array slot.
+constexpr size_t kEntryOverheadBytes = 160;
+
+}  // namespace
+
+size_t PrefixStateCache::KeyHash::operator()(const Key& k) const {
+  uint64_t h = Mix64(k.size());
+  for (uint64_t v : k) h = Mix64(h ^ v);
+  return static_cast<size_t>(h);
+}
+
+PrefixStateCache::PrefixStateCache(PrefixStateCacheOptions options)
+    : options_(options) {}
+
+size_t PrefixStateCache::EntryBytes(const Key& key,
+                                    const ChainSweeper& state) {
+  // The key is stored twice (LRU node + index node).
+  return 2 * key.size() * sizeof(uint64_t) + state.MemoryBytes() +
+         kEntryOverheadBytes;
+}
+
+bool PrefixStateCache::Lookup(const Key& key, ChainSweeper* out) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->state;
+  ++stats_.hits;
+  return true;
+}
+
+void PrefixStateCache::Insert(const Key& key, const ChainSweeper& state) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // The state for a key is deterministic; the existing snapshot is
+    // identical, so only the recency moves.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  const size_t bytes = EntryBytes(key, state);
+  if (bytes > options_.max_bytes) return;  // cannot fit even alone
+  lru_.push_front(Entry{key, state, bytes});
+  index_.emplace(key, lru_.begin());
+  bytes_ += bytes;
+  ++stats_.insertions;
+  while (bytes_ > options_.max_bytes && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+PrefixStateCacheStats PrefixStateCache::stats() const {
+  PrefixStateCacheStats s = stats_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+void PrefixStateCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace core
+}  // namespace pcde

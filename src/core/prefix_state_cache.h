@@ -1,0 +1,97 @@
+// Bounded LRU cache of chain-sweeper prefix states — sub-path cost reuse
+// inside one stochastic-routing search (the "path + another edge" workload
+// of Sec. 4.3). A DFS over candidate paths re-costs heavily overlapping
+// prefixes: every complete candidate replays the unstable tail of its
+// decomposition through the chain sweeper, and sibling candidates share
+// all but the last part(s) of that tail. Caching the sweeper state per
+// (frozen part-id prefix) lets a branch clone the deepest cached state and
+// replay only what differs, instead of replaying the whole tail.
+//
+// Keys are (model fingerprint, chain-options fingerprint, departure-time
+// bucket, then (frozen variable id, start) per applied part, then the
+// next-overlap start the final ApplyPart used) — everything the sweep
+// state is a deterministic function of. ApplyPart is deterministic and a
+// snapshot is an exact copy, so routing with prefix reuse is bit-identical
+// to routing without it (tests/prefix_state_cache_test.cc).
+//
+// The cache is deliberately NOT thread-safe: it is per-search state (one
+// instance per DFS root branch in DfsStochasticRouter), so the parallel
+// root fan-out stays contention-free. Cross-query reuse of *complete*
+// results is QueryCache's job.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "core/chain_estimator.h"
+
+namespace pcde {
+namespace core {
+
+struct PrefixStateCacheOptions {
+  /// Total byte budget (keys + sweeper snapshots + bookkeeping); least
+  /// recently used entries are evicted beyond it, and a snapshot larger
+  /// than the whole budget is not admitted.
+  size_t max_bytes = size_t{4} << 20;
+  /// Width of the departure-time bucket folded into keys (same role as
+  /// QueryCache's: within one search it is constant, but it keeps keys
+  /// meaningful if a cache is ever reused across departures).
+  double time_bucket_seconds = 300.0;
+};
+
+struct PrefixStateCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
+class PrefixStateCache {
+ public:
+  using Key = std::vector<uint64_t>;
+
+  explicit PrefixStateCache(PrefixStateCacheOptions options =
+                                PrefixStateCacheOptions());
+
+  PrefixStateCache(const PrefixStateCache&) = delete;
+  PrefixStateCache& operator=(const PrefixStateCache&) = delete;
+
+  const PrefixStateCacheOptions& options() const { return options_; }
+
+  /// True and overwrites *out with a copy of the cached sweeper state on a
+  /// hit (also refreshing the entry's recency).
+  bool Lookup(const Key& key, ChainSweeper* out);
+
+  /// Inserts a snapshot of `state` for `key` (refreshes recency if the key
+  /// is already present — the state for a key is deterministic, so the
+  /// existing snapshot is identical), then evicts down to the byte budget.
+  void Insert(const Key& key, const ChainSweeper& state);
+
+  PrefixStateCacheStats stats() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    Key key;
+    ChainSweeper state;
+    size_t bytes = 0;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+
+  static size_t EntryBytes(const Key& key, const ChainSweeper& state);
+
+  PrefixStateCacheOptions options_;
+  std::list<Entry> lru_;  // most recently used at the front
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  size_t bytes_ = 0;
+  PrefixStateCacheStats stats_;
+};
+
+}  // namespace core
+}  // namespace pcde

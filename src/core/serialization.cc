@@ -1,5 +1,8 @@
 #include "core/serialization.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -167,42 +170,18 @@ Status SaveWeightFunctionBinary(const PathWeightFunction& wp,
   return Status::OK();
 }
 
-StatusOr<PathWeightFunction> LoadWeightFunctionBinary(const std::string& path) {
+namespace {
+
+/// Shared tail of both binary load paths: validates and wires the section
+/// table over `base[0, file_size)` (a private read buffer or a read-only
+/// mapping — `arena` keeps it alive) into a frozen PathWeightFunction.
+StatusOr<PathWeightFunction> ParseBinaryArtifact(
+    const uint8_t* base, uint64_t file_size,
+    std::shared_ptr<const void> arena, const std::string& path) {
   auto bad = [&path](const std::string& what) {
     return Status::InvalidArgument("LoadWeightFunctionBinary: " + what +
                                    " in " + path);
   };
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in.is_open()) {
-    return Status::NotFound("LoadWeightFunctionBinary: cannot open " + path);
-  }
-  const std::streamoff signed_size = in.tellg();
-  if (signed_size < static_cast<std::streamoff>(sizeof(Header))) {
-    return bad("file shorter than the header");
-  }
-  const uint64_t file_size = static_cast<uint64_t>(signed_size);
-  in.seekg(0);
-  // One read into one 8-byte-aligned buffer; this buffer IS the model
-  // arena — the frozen arrays below are pointers into it. Allocated
-  // uninitialized (a vector would memset the whole file size first) with
-  // only the final padding word zeroed for determinism.
-  const size_t words = static_cast<size_t>((file_size + 7) / 8);
-  std::shared_ptr<uint64_t[]> buffer(new (std::nothrow) uint64_t[words]);
-  if (buffer == nullptr) {
-    // A (possibly sparse) multi-GB non-artifact must surface as a Status,
-    // not an uncaught bad_alloc at server start.
-    return bad("artifact too large to load (" + std::to_string(file_size) +
-               " bytes)");
-  }
-  buffer[words - 1] = 0;
-  in.read(reinterpret_cast<char*>(buffer.get()),
-          static_cast<std::streamsize>(file_size));
-  if (!in.good()) {
-    return Status::Internal("LoadWeightFunctionBinary: read failed for " +
-                            path);
-  }
-  const uint8_t* base = reinterpret_cast<const uint8_t*>(buffer.get());
-
   Header header;
   std::memcpy(&header, base, sizeof(header));
   if (header.magic != kMagic) return bad("bad magic (not a PCDEWF1 artifact)");
@@ -297,9 +276,105 @@ StatusOr<PathWeightFunction> LoadWeightFunctionBinary(const std::string& path) {
   }
 
   const TimeBinning binning(header.alpha_seconds / 60.0);
-  return PathWeightFunction::FromSections(
-      binning, std::shared_ptr<const void>(buffer, buffer.get()), s,
-      kMaxArtifactEdgeId, &checksum);
+  return PathWeightFunction::FromSections(binning, std::move(arena), s,
+                                          kMaxArtifactEdgeId, &checksum);
+}
+
+/// The mmap load path: maps the artifact read-only and parses in place, so
+/// every server process on the host shares one resident copy of the model
+/// (the arena is position-independent; only the pointer fixup runs per
+/// process). Returns NotFound/InvalidArgument like the buffered path; any
+/// mapping failure surfaces as a Status the caller falls back on.
+StatusOr<PathWeightFunction> LoadWeightFunctionBinaryMmap(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("LoadWeightFunctionBinary: cannot open " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::Internal("LoadWeightFunctionBinary: cannot stat " + path);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size < sizeof(Header)) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        "LoadWeightFunctionBinary: file shorter than the header in " + path);
+  }
+  // PROT_READ + MAP_SHARED: the mapping is backed directly by the page
+  // cache, so co-resident processes mapping the same artifact share the
+  // physical pages. mmap is page-aligned, which satisfies the sections'
+  // 8-byte alignment; bytes past EOF in the final page read as zero, the
+  // same determinism the buffered path gets by zeroing its padding word.
+  void* mapped = ::mmap(nullptr, static_cast<size_t>(file_size), PROT_READ,
+                        MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (mapped == MAP_FAILED) {
+    return Status::Internal("LoadWeightFunctionBinary: mmap failed for " +
+                            path);
+  }
+  std::shared_ptr<const void> arena(
+      mapped, [len = static_cast<size_t>(file_size)](const void* p) {
+        ::munmap(const_cast<void*>(p), len);
+      });
+  return ParseBinaryArtifact(static_cast<const uint8_t*>(mapped), file_size,
+                             std::move(arena), path);
+}
+
+}  // namespace
+
+StatusOr<PathWeightFunction> LoadWeightFunctionBinary(const std::string& path,
+                                                      bool use_mmap) {
+  if (use_mmap) {
+    auto mapped = LoadWeightFunctionBinaryMmap(path);
+    // Fall back to the buffered read only when the *mapping* failed;
+    // artifact-content errors are final either way.
+    if (mapped.ok() || mapped.status().code() != StatusCode::kInternal) {
+      return mapped;
+    }
+  }
+  auto bad = [&path](const std::string& what) {
+    return Status::InvalidArgument("LoadWeightFunctionBinary: " + what +
+                                   " in " + path);
+  };
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) {
+    return Status::NotFound("LoadWeightFunctionBinary: cannot open " + path);
+  }
+  const std::streamoff signed_size = in.tellg();
+  if (signed_size < static_cast<std::streamoff>(sizeof(Header))) {
+    return bad("file shorter than the header");
+  }
+  const uint64_t file_size = static_cast<uint64_t>(signed_size);
+  in.seekg(0);
+  // One read into one 8-byte-aligned buffer; this buffer IS the model
+  // arena — the frozen arrays below are pointers into it. Allocated
+  // uninitialized (a vector would memset the whole file size first) with
+  // only the final padding word zeroed for determinism.
+  const size_t words = static_cast<size_t>((file_size + 7) / 8);
+  std::shared_ptr<uint64_t[]> buffer(new (std::nothrow) uint64_t[words]);
+  if (buffer == nullptr) {
+    // A (possibly sparse) multi-GB non-artifact must surface as a Status,
+    // not an uncaught bad_alloc at server start.
+    return bad("artifact too large to load (" + std::to_string(file_size) +
+               " bytes)");
+  }
+  buffer[words - 1] = 0;
+  in.read(reinterpret_cast<char*>(buffer.get()),
+          static_cast<std::streamsize>(file_size));
+  if (!in.good()) {
+    return Status::Internal("LoadWeightFunctionBinary: read failed for " +
+                            path);
+  }
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(buffer.get());
+  return ParseBinaryArtifact(base, file_size,
+                             std::shared_ptr<const void>(buffer, buffer.get()),
+                             path);
+}
+
+StatusOr<PathWeightFunction> LoadWeightFunctionBinary(const std::string& path) {
+  return LoadWeightFunctionBinary(path, /*use_mmap=*/false);
 }
 
 // ---------------------------------------------------------------------------

@@ -47,8 +47,26 @@ Status SaveWeightFunctionBinary(const PathWeightFunction& wp,
 /// are rejected here with a pointer to the shim below.
 StatusOr<PathWeightFunction> LoadWeightFunction(const std::string& path);
 
-/// Loads the binary artifact only.
+/// Loads the binary artifact only (buffered read into a private arena).
 StatusOr<PathWeightFunction> LoadWeightFunctionBinary(const std::string& path);
+
+/// Flag-guarded variant: `use_mmap` maps the artifact read-only
+/// (PROT_READ, MAP_SHARED) and parses in place instead of reading it into
+/// a private buffer, so co-resident server processes serving the same
+/// artifact share one page-cache copy of the model — the frozen layout is
+/// position-independent, only the pointer fixup runs per process. If the
+/// mapping itself fails (filesystem without mmap support, exotic
+/// platforms), the call falls back to the buffered read; artifact-content
+/// errors are final either way. The returned model keeps the mapping alive
+/// and never writes through it.
+///
+/// Lifecycle requirement the buffered path does not have: a mapped
+/// artifact must only ever be *replaced atomically* (write a sibling,
+/// rename over — exactly what SaveWeightFunction[Binary] does).
+/// Truncating or rewriting the file in place while a process serves from
+/// the mapping makes later page faults past the new EOF raise SIGBUS.
+StatusOr<PathWeightFunction> LoadWeightFunctionBinary(const std::string& path,
+                                                      bool use_mmap);
 
 /// Compatibility shim for text v1 files, which did not embed the binning:
 /// `alpha_minutes` must be the binning the variables were instantiated

@@ -5,11 +5,11 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <queue>
 #include <sstream>
 
 #include "common/mathutil.h"
 #include "hist/cut_binning.h"
+#include "hist/greedy_merge.h"
 
 namespace pcde {
 namespace hist {
@@ -260,96 +260,14 @@ StatusOr<Histogram1D> FlattenToDisjoint(std::vector<WeightedInterval> parts) {
 Histogram1D Compact(const Histogram1D& h, size_t max_buckets) {
   if (h.NumBuckets() <= max_buckets || max_buckets == 0) return h;
   std::vector<Bucket> bs = h.buckets();
-  const size_t n = bs.size();
-
-  auto merge_cost = [&bs](size_t i, size_t j) {
-    return MergeCost(bs[i].range, bs[i].prob, bs[j].range, bs[j].prob);
-  };
-
-  // Greedy cheapest-merge-first. Small jobs use the direct rescan (its
-  // constant factor beats heap bookkeeping below a few thousand cost
-  // evaluations); large jobs use a lazy min-heap over adjacent pairs plus
-  // a doubly-linked list of survivors: O(n log n) instead of the rescan's
-  // O(n^2), with an identical merge sequence. Identical because (a) a
-  // merge only changes the costs of the pairs touching the merged bucket
-  // (stale heap entries are detected by version stamps and dropped), and
-  // (b) exact cost ties break toward the smaller index — the left-to-right
-  // scan's rule — via the (cost, index) heap order; the relative order of
-  // surviving buckets never changes, so original indices compare like
-  // scan positions.
-  if ((n - max_buckets) * n <= size_t{1} << 14) {
-    while (bs.size() > max_buckets) {
-      size_t best = 0;
-      double best_cost = std::numeric_limits<double>::infinity();
-      for (size_t i = 0; i + 1 < bs.size(); ++i) {
-        const double c = merge_cost(i, i + 1);
-        if (c < best_cost) {
-          best_cost = c;
-          best = i;
-        }
-      }
-      bs[best] = Bucket(bs[best].range.lo, bs[best + 1].range.hi,
-                        bs[best].prob + bs[best + 1].prob);
-      bs.erase(bs.begin() + static_cast<ptrdiff_t>(best) + 1);
-    }
-    auto scanned = Histogram1D::Make(std::move(bs));
-    assert(scanned.ok());
-    return std::move(scanned).value();
-  }
-  struct Pair {
-    double cost;
-    size_t left, right;
-    uint32_t left_ver, right_ver;
-    bool operator>(const Pair& o) const {
-      if (cost != o.cost) return cost > o.cost;
-      return left > o.left;
-    }
-  };
-  std::vector<size_t> next(n), prev(n);
-  std::vector<uint32_t> ver(n, 0);
-  std::vector<char> alive(n, 1);
-  for (size_t i = 0; i < n; ++i) {
-    next[i] = i + 1;  // n == end sentinel
-    prev[i] = i == 0 ? n : i - 1;
-  }
-  // Bulk heap construction: O(n) make_heap instead of n pushes.
-  std::vector<Pair> initial;
-  initial.reserve(n - 1);
-  for (size_t i = 0; i + 1 < n; ++i) {
-    initial.push_back(Pair{merge_cost(i, i + 1), i, i + 1, 0, 0});
-  }
-  std::priority_queue<Pair, std::vector<Pair>, std::greater<Pair>> heap(
-      std::greater<Pair>(), std::move(initial));
-
-  size_t remaining = n;
-  while (remaining > max_buckets && !heap.empty()) {
-    const Pair top = heap.top();
-    heap.pop();
-    const size_t i = top.left, j = top.right;
-    if (!alive[i] || !alive[j] || next[i] != j || ver[i] != top.left_ver ||
-        ver[j] != top.right_ver) {
-      continue;  // stale entry
-    }
-    bs[i] = Bucket(bs[i].range.lo, bs[j].range.hi, bs[i].prob + bs[j].prob);
-    alive[j] = 0;
-    ++ver[i];
-    next[i] = next[j];
-    if (next[j] < n) prev[next[j]] = i;
-    --remaining;
-    if (prev[i] < n) {
-      heap.push(Pair{merge_cost(prev[i], i), prev[i], i, ver[prev[i]], ver[i]});
-    }
-    if (next[i] < n) {
-      heap.push(Pair{merge_cost(i, next[i]), i, next[i], ver[i], ver[next[i]]});
-    }
-  }
-
-  std::vector<Bucket> out;
-  out.reserve(remaining);
-  for (size_t i = 0; i < n; ++i) {
-    if (alive[i]) out.push_back(bs[i]);
-  }
-  auto result = Histogram1D::Make(std::move(out));
+  // The shared size-dispatched greedy merge (hist/greedy_merge.h) — the
+  // same loop the chain sweeper's progressive compaction runs on
+  // thread-local scratch. Its merge sequence is identical to the
+  // full-rescan reference (ties break toward the smaller left index),
+  // pinned by the randomized equivalence test.
+  GreedyMergeScratch scratch;
+  GreedyMergeToCap(&bs, max_buckets, &scratch);
+  auto result = Histogram1D::Make(std::move(bs));
   assert(result.ok());
   return std::move(result).value();
 }

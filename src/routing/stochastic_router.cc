@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -134,6 +135,16 @@ StatusOr<RouteResult> DfsStochasticRouter::Route(VertexId from, VertexId to,
     if (estimator.MinTotalCost() + lower_bound[edge.to] > budget_seconds) {
       return;
     }
+    // Per-branch prefix chain-state reuse: the DFS copies the estimator
+    // per explored edge, so every copy under this root shares the branch's
+    // cache through the pointer — single-threaded by construction.
+    std::unique_ptr<core::PrefixStateCache> prefix_cache;
+    if (config_.prefix_cache_bytes > 0) {
+      core::PrefixStateCacheOptions cache_options;
+      cache_options.max_bytes = config_.prefix_cache_bytes;
+      prefix_cache = std::make_unique<core::PrefixStateCache>(cache_options);
+      estimator.set_prefix_cache(prefix_cache.get());
+    }
     std::vector<bool> visited(graph_.NumVertices(), false);
     visited[from] = true;
     visited[edge.to] = true;
@@ -148,6 +159,11 @@ StatusOr<RouteResult> DfsStochasticRouter::Route(VertexId from, VertexId to,
     ctx.result = &branch_results[i];
     ctx.visited = &visited;
     Dfs(&ctx, estimator, edge.to, 1);
+    if (prefix_cache != nullptr) {
+      const core::PrefixStateCacheStats stats = prefix_cache->stats();
+      branch_results[i].prefix_cache_hits = stats.hits;
+      branch_results[i].prefix_cache_misses = stats.misses;
+    }
   };
   if (config_.num_threads == 1 || roots.size() <= 1) {
     // Nothing to fan out (or parallelism disabled): skip pool start-up.
@@ -162,6 +178,8 @@ StatusOr<RouteResult> DfsStochasticRouter::Route(VertexId from, VertexId to,
   RouteResult result;
   for (const RouteResult& br : branch_results) {
     result.candidate_paths += br.candidate_paths;
+    result.prefix_cache_hits += br.prefix_cache_hits;
+    result.prefix_cache_misses += br.prefix_cache_misses;
     if (br.best_probability > result.best_probability) {
       result.best_probability = br.best_probability;
       result.best_path = br.best_path;

@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <new>
 #include <vector>
 
@@ -180,6 +181,27 @@ TEST_F(ModelArtifactTest, BinaryRoundTripIsByteIdentical) {
   auto sniffed = LoadWeightFunction(path);
   ASSERT_TRUE(sniffed.ok());
   EXPECT_EQ(sniffed.value().fingerprint(), wp_->fingerprint());
+}
+
+TEST_F(ModelArtifactTest, MmapLoadIsByteIdenticalToBufferedLoad) {
+  const std::string path = Track(TempPath("pcde_model_mmap.bin"));
+  ASSERT_TRUE(SaveWeightFunctionBinary(*wp_, path).ok());
+  auto mapped = LoadWeightFunctionBinary(path, /*use_mmap=*/true);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped.value().fingerprint(), wp_->fingerprint());
+  ASSERT_EQ(mapped.value().NumVariables(), wp_->NumVariables());
+  ExpectGoldenEquivalence(mapped.value());
+  // Corruption still fails cleanly through the mmap path.
+  const std::string bad = Track(TempPath("pcde_model_mmap_bad.bin"));
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    bytes[bytes.size() / 2] ^= 0x40;
+    std::ofstream out(bad, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(LoadWeightFunctionBinary(bad, /*use_mmap=*/true).ok());
 }
 
 TEST_F(ModelArtifactTest, TextRoundTripIsByteIdentical) {

@@ -1,0 +1,208 @@
+// Tests for prefix chain-state reuse (core/prefix_state_cache.h): routing
+// with a prefix cache attached must be bit-identical to routing without
+// one — including under a budget so tiny the cache evicts constantly —
+// and the cache itself must account, refresh, and evict like the bounded
+// LRU it claims to be.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/instantiation.h"
+#include "core/prefix_state_cache.h"
+#include "hist/histogram_nd.h"
+#include "roadnet/generators.h"
+#include "roadnet/shortest_path.h"
+#include "routing/stochastic_router.h"
+#include "traj/store.h"
+
+namespace pcde {
+namespace core {
+namespace {
+
+using hist::Histogram1D;
+using roadnet::Graph;
+using roadnet::VertexId;
+using routing::DfsStochasticRouter;
+using routing::RouteResult;
+using routing::RouterConfig;
+
+// ---------------------------------------------------------------------------
+// PrefixStateCache unit behavior
+// ---------------------------------------------------------------------------
+
+ChainSweeper MakeSweeperState(double lo, double hi) {
+  // Distinct, recognizable sweep states: one rank-1 part with a [lo, hi)
+  // cost box applied and closed, so MinSum() identifies the snapshot.
+  ChainSweeper sweeper{ChainOptions()};
+  InstantiatedVariable v;
+  v.path = roadnet::Path({0});
+  v.joint = hist::HistogramND::FromHistogram1D(
+      hist::Histogram1D::Make({{lo, hi, 1.0}}).value());
+  sweeper.ApplyPart(DecompositionPart{&v, 0}, 1);
+  return sweeper;
+}
+
+TEST(PrefixStateCacheTest, LookupMissThenHit) {
+  PrefixStateCache cache;
+  const PrefixStateCache::Key key{1, 2, 3};
+  ChainSweeper out{ChainOptions()};
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  cache.Insert(key, MakeSweeperState(5.0, 6.0));
+  EXPECT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(out.MinSum(), 5.0);  // the snapshot belonging to this key
+  const PrefixStateCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(PrefixStateCacheTest, EvictsLeastRecentlyUsedUnderTinyBudget) {
+  PrefixStateCacheOptions options;
+  // Budget that fits roughly two entries.
+  options.max_bytes =
+      2 * (MakeSweeperState(1.0, 2.0).MemoryBytes() +
+           3 * 2 * sizeof(uint64_t) + 160) +
+      64;
+  PrefixStateCache cache(options);
+  const PrefixStateCache::Key a{1, 0, 0}, b{2, 0, 0}, c{3, 0, 0};
+  cache.Insert(a, MakeSweeperState(1.0, 2.0));
+  cache.Insert(b, MakeSweeperState(2.0, 3.0));
+  ChainSweeper out{ChainOptions()};
+  EXPECT_TRUE(cache.Lookup(a, &out));  // refresh a: b becomes LRU
+  EXPECT_EQ(out.MinSum(), 1.0);
+  cache.Insert(c, MakeSweeperState(3.0, 4.0));
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_TRUE(cache.Lookup(a, &out));
+  EXPECT_EQ(out.MinSum(), 1.0);
+  EXPECT_FALSE(cache.Lookup(b, &out));  // the LRU victim
+  EXPECT_TRUE(cache.Lookup(c, &out));
+  EXPECT_EQ(out.MinSum(), 3.0);
+  EXPECT_LE(cache.stats().bytes, options.max_bytes);
+}
+
+TEST(PrefixStateCacheTest, OversizedEntryIsNotAdmittedAndClearWorks) {
+  PrefixStateCacheOptions options;
+  options.max_bytes = 8;  // smaller than any sweeper snapshot
+  PrefixStateCache cache(options);
+  cache.Insert(PrefixStateCache::Key{1}, MakeSweeperState(0.0, 1.0));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  PrefixStateCache normal;
+  normal.Insert(PrefixStateCache::Key{1}, MakeSweeperState(0.0, 1.0));
+  EXPECT_EQ(normal.stats().entries, 1u);
+  normal.Clear();
+  EXPECT_EQ(normal.stats().entries, 0u);
+  EXPECT_EQ(normal.stats().bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Routing equivalence: with reuse == without reuse, bit for bit
+// ---------------------------------------------------------------------------
+
+class PrefixRoutingTest : public ::testing::Test {
+ protected:
+  PrefixRoutingTest()
+      : graph_(roadnet::MakeCity(roadnet::CityAConfig())),
+        wp_(InstantiateWeightFunction(graph_, traj::TrajectoryStore(),
+                                      HybridParams())) {}
+
+  StatusOr<RouteResult> RouteWith(size_t prefix_cache_bytes, VertexId from,
+                                  VertexId to, double budget_factor) {
+    RouterConfig config;
+    config.num_threads = 1;  // deterministic expansion order
+    config.max_expansions = 4000;
+    config.prefix_cache_bytes = prefix_cache_bytes;
+    DfsStochasticRouter router(graph_, wp_, EstimateOptions(), config);
+    const double min_time = roadnet::ShortestPathCost(
+        graph_, from, to, roadnet::FreeFlowWeight(graph_));
+    return router.Route(from, to, 8 * 3600.0, min_time * budget_factor);
+  }
+
+  Graph graph_;
+  PathWeightFunction wp_;
+};
+
+TEST_F(PrefixRoutingTest, ReuseIsBitIdenticalToNoReuse) {
+  const struct {
+    VertexId from, to;
+    double budget_factor;
+  } cases[] = {{0, 30, 1.3}, {5, 40, 1.25}, {0, 60, 1.2}};
+  for (const auto& c : cases) {
+    auto plain = RouteWith(0, c.from, c.to, c.budget_factor);
+    auto reused = RouteWith(size_t{4} << 20, c.from, c.to, c.budget_factor);
+    ASSERT_EQ(plain.ok(), reused.ok());
+    if (!plain.ok()) continue;
+    EXPECT_EQ(plain.value().best_path, reused.value().best_path);
+    EXPECT_EQ(plain.value().best_probability,
+              reused.value().best_probability);  // exact, not approximate
+    EXPECT_EQ(plain.value().candidate_paths, reused.value().candidate_paths);
+    EXPECT_EQ(plain.value().expansions, reused.value().expansions);
+    EXPECT_EQ(plain.value().prefix_cache_hits, 0u);
+    // The reuse run must actually have exercised the cache.
+    EXPECT_GT(reused.value().prefix_cache_hits +
+                  reused.value().prefix_cache_misses,
+              0u);
+  }
+}
+
+TEST_F(PrefixRoutingTest, ReuseIsBitIdenticalUnderTinyEvictingBudget) {
+  // A budget of a few KB holds at most a couple of snapshots, so the LRU
+  // evicts throughout the search; results must not change.
+  auto plain = RouteWith(0, 0, 30, 1.3);
+  auto tiny = RouteWith(4096, 0, 30, 1.3);
+  ASSERT_EQ(plain.ok(), tiny.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().best_path, tiny.value().best_path);
+  EXPECT_EQ(plain.value().best_probability, tiny.value().best_probability);
+  EXPECT_EQ(plain.value().candidate_paths, tiny.value().candidate_paths);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalEstimator-level equivalence along one growing path
+// ---------------------------------------------------------------------------
+
+TEST_F(PrefixRoutingTest, IncrementalDistributionsMatchWithCacheAttached) {
+  // Walk a path edge by edge; at every step the cached-prefix estimator
+  // must produce the same distribution as a cache-less twin.
+  const VertexId from = 0;
+  auto out_edges = graph_.OutEdges(from);
+  ASSERT_FALSE(out_edges.empty());
+  const roadnet::EdgeId first = out_edges.front();
+  PrefixStateCache cache;
+  IncrementalEstimator with_cache(wp_, EstimateOptions(), first, 8 * 3600.0);
+  IncrementalEstimator without(wp_, EstimateOptions(), first, 8 * 3600.0);
+  with_cache.set_prefix_cache(&cache);
+  VertexId at = graph_.edge(first).to;
+  for (int step = 0; step < 10; ++step) {
+    auto a = with_cache.CurrentDistribution();
+    auto b = without.CurrentDistribution();
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_TRUE(a.value().BitIdentical(b.value())) << "step " << step;
+    }
+    // Re-evaluate with the now-warm cache: still identical.
+    auto a2 = with_cache.CurrentDistribution();
+    ASSERT_EQ(a2.ok(), b.ok());
+    if (a2.ok()) {
+      EXPECT_TRUE(a2.value().BitIdentical(b.value())) << "step " << step;
+    }
+    const auto& next_edges = graph_.OutEdges(at);
+    bool extended = false;
+    for (roadnet::EdgeId e : next_edges) {
+      if (with_cache.ExtendByEdge(e).ok()) {
+        ASSERT_TRUE(without.ExtendByEdge(e).ok());
+        at = graph_.edge(e).to;
+        extended = true;
+        break;
+      }
+    }
+    if (!extended) break;
+  }
+  EXPECT_GT(cache.stats().insertions, 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pcde
