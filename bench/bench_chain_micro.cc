@@ -1,9 +1,12 @@
 // Chain-estimation microbench: isolates the Eq. 2 sweep (the JC phase that
 // dominates Figs. 16-17) on pre-built decompositions of data-rich query
 // paths, measures the rewritten ChainSweeper against the pre-rewrite
-// reference kernel, and the batch estimation layer on top, then writes the
-// BENCH_chain.json perf record at the path given by argv[1] (default:
-// ./BENCH_chain.json). See bench/README.md for the schema.
+// reference kernel, then the serving layers on top — the batch and routing
+// series run through serving::Engine (the production front door), with a
+// paired direct-HybridEstimator batch series isolating the facade's
+// overhead — and writes the BENCH_chain.json perf record at the path given
+// by argv[1] (default: ./BENCH_chain.json). See bench/README.md for the
+// schema.
 //
 // Usage: bench_chain_micro [output.json] [reps]
 #include <unistd.h>
@@ -14,9 +17,11 @@
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "common/scoped_file.h"
 #include "core/chain_estimator_reference.h"
 #include "core/serialization.h"
 #include "routing/stochastic_router.h"
+#include "serving/engine.h"
 
 namespace pcde {
 namespace bench {
@@ -125,14 +130,12 @@ bool MeasureModelSeries(const Workload& w, ModelSeries* out) {
   out->num_variables = w.wp->NumVariables();
   out->resident_bytes = w.wp->ResidentBytes();
   out->build_seconds = w.build_stats.build_seconds;
-  // PID-suffixed names so concurrent runs on one host (CI + a developer
-  // bench) cannot clobber each other's artifacts mid save/load.
-  const auto tmp = std::filesystem::temp_directory_path();
-  const std::string suffix = std::to_string(::getpid());
   const std::string text_path =
-      (tmp / ("pcde_bench_model." + suffix + ".txt")).string();
-  const std::string bin_path =
-      (tmp / ("pcde_bench_model." + suffix + ".pcdewf")).string();
+      MakeTempArtifactPath("pcde_bench_model", ".txt");
+  const std::string bin_path = MakeTempArtifactPath("pcde_bench_model");
+  // Removed on every exit path, including the error returns below.
+  const ScopedFileRemover text_cleanup(text_path);
+  const ScopedFileRemover bin_cleanup(bin_path);
   struct Case {
     const char* name;
     const std::string* path;
@@ -172,7 +175,6 @@ bool MeasureModelSeries(const Workload& w, ModelSeries* out) {
         return false;
       }
     }
-    std::remove(c.path->c_str());
     out->formats.push_back(std::move(fmt));
   }
   return true;
@@ -222,50 +224,161 @@ int main(int argc, char** argv) {
   series.push_back(std::move(paired.first));
   series.push_back(std::move(paired.second));
 
-  // The batch layer over the same queries (end-to-end per query, so OI +
-  // JC + MC, amortized across the pool), one series per worker count.
-  // ops_per_sec is wall-clock batch throughput; p50/p99 are the per-query
-  // latencies BatchMetrics records inside EstimateBatch.
-  const int batch_reps = std::max(1, reps / 4);
-  auto run_batch = [&](const char* prefix, size_t threads,
-                       core::QueryCache* cache) {
-    core::HybridEstimator estimator(*w.wp);
-    estimator.set_query_cache(cache);
-    ThreadPool pool(threads);
-    std::vector<double> latencies;
-    latencies.reserve(w.queries.size() * static_cast<size_t>(batch_reps));
-    uint64_t hits = 0, misses = 0;
-    size_t total = 0;
-    Stopwatch watch;
-    for (int r = 0; r < batch_reps; ++r) {
-      core::BatchMetrics metrics;
-      auto results = estimator.EstimateBatch(w.queries.data(),
-                                             w.queries.size(), &pool,
-                                             &metrics);
-      total += results.size();
-      latencies.insert(latencies.end(), metrics.query_seconds.begin(),
-                       metrics.query_seconds.end());
-      hits += metrics.cache_hits;
-      misses += metrics.cache_misses;
+  // The serving layers below all run against the reloaded artifact — the
+  // production flow. The loaded model is fingerprint-identical to the
+  // built one, so every estimate is bit-identical to direct wiring over
+  // w.wp.
+  const std::string serving_artifact =
+      MakeTempArtifactPath("pcde_bench_serving");
+  if (!core::SaveWeightFunctionBinary(*w.wp, serving_artifact).ok()) {
+    std::fprintf(stderr, "failed to save the serving artifact\n");
+    return 1;
+  }
+  const ScopedFileRemover serving_cleanup(serving_artifact);
+  auto open_engine = [&](size_t threads, size_t cache_bytes,
+                         size_t prefix_bytes)
+      -> std::unique_ptr<serving::Engine> {
+    serving::EngineOptions options;
+    options.model_path = serving_artifact;
+    options.graph = w.data->data.graph.get();
+    options.num_threads = threads;
+    options.query_cache_bytes = cache_bytes;
+    options.prefix_cache_bytes = prefix_bytes;
+    options.route_max_expansions = 3000;
+    options.route_max_path_edges = 40;
+    auto engine = serving::Engine::Open(std::move(options));
+    if (!engine.ok()) {
+      std::fprintf(stderr, "Engine::Open failed: %s\n",
+                   engine.status().ToString().c_str());
+      return nullptr;
     }
-    const double wall = watch.ElapsedSeconds();
-    KernelSeries batch = KernelSeries::FromLatencies(
-        std::string(prefix) + std::to_string(pool.num_threads()),
-        std::move(latencies), 0);
-    batch.iterations = total;
-    batch.ops_per_sec = static_cast<double>(total) / std::max(wall, 1e-12);
-    batch.cache_hits = hits;
-    batch.cache_misses = misses;
-    series.push_back(std::move(batch));
+    return std::move(engine).value();
   };
-  for (size_t threads : {1, 2, 4, 8}) {
-    run_batch("estimate_batch_threads_", threads, nullptr);
+
+  // The batch layer over the same queries (end-to-end per query, so
+  // request resolution + OI + JC + MC + summary, amortized across the
+  // pool), served through the Engine, one series per worker count.
+  // ops_per_sec is wall-clock batch throughput; p50/p99 are the per-query
+  // latencies BatchMetrics records inside the fan-out.
+  std::vector<serving::EstimateRequest> requests;
+  requests.reserve(w.queries.size());
+  for (const core::PathQuery& q : w.queries) {
+    serving::EstimateRequest request;
+    request.path = serving::PathSpec::ExplicitPath(q.path);
+    request.departure_time = q.departure_time;
+    requests.push_back(std::move(request));
+  }
+  const int batch_reps = std::max(1, reps / 4);
+  struct BatchRun {
+    std::vector<double> latencies;
+    double wall_seconds = 0.0;
+    size_t total = 0;
+    uint64_t hits = 0, misses = 0;
+
+    KernelSeries Finish(std::string name) {
+      KernelSeries out =
+          KernelSeries::FromLatencies(std::move(name), std::move(latencies), 0);
+      out.iterations = total;
+      out.ops_per_sec =
+          static_cast<double>(total) / std::max(wall_seconds, 1e-12);
+      out.cache_hits = hits;
+      out.cache_misses = misses;
+      return out;
+    }
+  };
+  // Both batch runners abort the bench on any failed response (like the
+  // routing identity check below): an error response is produced far
+  // faster than a real estimate, so counting it as a served op would
+  // silently inflate ops_per_sec and the engine_batch_vs_direct gate.
+  auto engine_batch_once = [&](const serving::Engine& engine,
+                               BatchRun* run) -> bool {
+    // The cache columns stay 0 for cacheless engines, matching the direct
+    // series' convention (they carry query-cache traffic, not a synthetic
+    // all-miss count).
+    const bool cache_attached = engine.query_cache() != nullptr;
+    Stopwatch watch;
+    auto responses = engine.EstimateBatch(requests);
+    run->wall_seconds += watch.ElapsedSeconds();
+    run->total += responses.size();
+    for (const auto& response : responses) {
+      if (!response.ok()) {
+        std::fprintf(stderr, "engine batch request failed: %s\n",
+                     response.status().ToString().c_str());
+        return false;
+      }
+      run->latencies.push_back(response.value().serve_seconds);
+      if (cache_attached) {
+        (response.value().served_from_cache ? run->hits : run->misses) += 1;
+      }
+    }
+    return true;
+  };
+  auto direct_batch_once = [&](const core::HybridEstimator& estimator,
+                               ThreadPool* pool, BatchRun* run) -> bool {
+    Stopwatch watch;
+    core::BatchMetrics metrics;
+    auto results = estimator.EstimateBatch(w.queries.data(),
+                                           w.queries.size(), pool, &metrics);
+    run->wall_seconds += watch.ElapsedSeconds();
+    run->total += results.size();
+    for (const auto& result : results) {
+      if (!result.ok()) {
+        std::fprintf(stderr, "direct batch query failed: %s\n",
+                     result.status().ToString().c_str());
+        return false;
+      }
+    }
+    run->latencies.insert(run->latencies.end(), metrics.query_seconds.begin(),
+                          metrics.query_seconds.end());
+    return true;
+  };
+
+  // Facade-overhead pair at one worker: the Engine batch and the direct
+  // HybridEstimator batch over the same queries and pool size, interleaved
+  // back to back with alternating order (the MeasurePaired discipline) so
+  // the engine-vs-direct ratio is stable on noisy shared machines.
+  {
+    auto engine = open_engine(/*threads=*/1, /*cache_bytes=*/0,
+                              /*prefix_bytes=*/0);
+    if (engine == nullptr) return 1;
+    core::HybridEstimator direct(*w.wp);
+    ThreadPool direct_pool(1);
+    BatchRun engine_run, direct_run;
+    const int paired_reps = std::max(2, batch_reps);
+    for (int r = 0; r < paired_reps; ++r) {
+      const bool ok =
+          r % 2 == 0
+              ? engine_batch_once(*engine, &engine_run) &&
+                    direct_batch_once(direct, &direct_pool, &direct_run)
+              : direct_batch_once(direct, &direct_pool, &direct_run) &&
+                    engine_batch_once(*engine, &engine_run);
+      if (!ok) return 1;
+    }
+    series.push_back(engine_run.Finish("estimate_batch_threads_1"));
+    series.push_back(direct_run.Finish("estimate_batch_direct_threads_1"));
+  }
+  for (size_t threads : {2, 4, 8}) {
+    auto engine = open_engine(threads, /*cache_bytes=*/0, /*prefix_bytes=*/0);
+    if (engine == nullptr) return 1;
+    BatchRun run;
+    for (int r = 0; r < batch_reps; ++r) {
+      if (!engine_batch_once(*engine, &run)) return 1;
+    }
+    series.push_back(
+        run.Finish("estimate_batch_threads_" + std::to_string(threads)));
   }
   {
-    // The serving path: repeated batches against a shared query cache
-    // (reps > 1 turns every repeat into hits).
-    core::QueryCache cache;
-    run_batch("estimate_batch_cached_threads_", 4, &cache);
+    // The cached serving path: repeated batches against the engine's query
+    // cache (reps > 1 turns every repeat into hits).
+    auto engine = open_engine(/*threads=*/4,
+                              /*cache_bytes=*/size_t{64} << 20,
+                              /*prefix_bytes=*/0);
+    if (engine == nullptr) return 1;
+    BatchRun run;
+    for (int r = 0; r < std::max(2, batch_reps); ++r) {
+      if (!engine_batch_once(*engine, &run)) return 1;
+    }
+    series.push_back(run.Finish("estimate_batch_cached_threads_4"));
   }
 
   // Routing series: the DFS stochastic router over OD pairs drawn from the
@@ -301,40 +414,42 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "no routing cases in the workload; aborting\n");
       return 1;
     }
-    routing::RouterConfig base_config;
-    base_config.num_threads = 1;  // paired series: measure the DFS, not the
-                                  // pool
-    base_config.max_expansions = 3000;
-    base_config.max_path_edges = 40;
+    // Both configurations route through the Engine (single worker so the
+    // DFS itself is measured — Engine threads=1 keeps the root fan-out
+    // sequential); the reuse engine enables the per-branch prefix cache.
+    auto plain_engine = open_engine(/*threads=*/1, /*cache_bytes=*/0,
+                                    /*prefix_bytes=*/0);
+    auto reuse_engine = open_engine(/*threads=*/1, /*cache_bytes=*/0,
+                                    /*prefix_bytes=*/size_t{4} << 20);
+    if (plain_engine == nullptr || reuse_engine == nullptr) return 1;
     const double depart = traj::HoursToSeconds(8.2);
     const int route_reps = std::max(2, reps / 2);
     struct RouteOutcome {
       bool ok = false;
-      routing::RouteResult result;
+      serving::RouteResponse response;
     };
     // Interleaved back to back per (rep, case) with alternating order, the
     // MeasurePaired discipline: shared-machine noise cancels out of the
     // reuse-vs-no-reuse comparison instead of landing on one series.
-    const routing::DfsStochasticRouter plain_router(
-        graph, *w.wp, core::EstimateOptions(), base_config);
-    routing::RouterConfig reuse_config = base_config;
-    reuse_config.prefix_cache_bytes = size_t{4} << 20;
-    const routing::DfsStochasticRouter reuse_router(
-        graph, *w.wp, core::EstimateOptions(), reuse_config);
     std::vector<RouteOutcome> plain, reused;
     std::vector<double> plain_lat, reuse_lat;
     plain_lat.reserve(cases.size() * static_cast<size_t>(route_reps));
     reuse_lat.reserve(cases.size() * static_cast<size_t>(route_reps));
-    auto route_once = [&](const routing::DfsStochasticRouter& router,
-                          const RouteCase& c, std::vector<double>* latencies,
+    auto route_once = [&](const serving::Engine& engine, const RouteCase& c,
+                          std::vector<double>* latencies,
                           std::vector<RouteOutcome>* outcomes, bool record) {
+      serving::RouteRequest request;
+      request.from = c.from;
+      request.to = c.to;
+      request.departure_time = depart;
+      request.budget_seconds = c.budget;
       Stopwatch watch;
-      auto result = router.Route(c.from, c.to, depart, c.budget);
+      auto response = engine.Route(request);
       latencies->push_back(watch.ElapsedSeconds());
       if (record) {
         RouteOutcome outcome;
-        outcome.ok = result.ok();
-        if (result.ok()) outcome.result = std::move(result).value();
+        outcome.ok = response.ok();
+        if (response.ok()) outcome.response = std::move(response).value();
         outcomes->push_back(std::move(outcome));
       }
     };
@@ -343,11 +458,11 @@ int main(int argc, char** argv) {
         const RouteCase& c = cases[i];
         const bool record = r == 0;
         if ((static_cast<size_t>(r) + i) % 2 == 0) {
-          route_once(plain_router, c, &plain_lat, &plain, record);
-          route_once(reuse_router, c, &reuse_lat, &reused, record);
+          route_once(*plain_engine, c, &plain_lat, &plain, record);
+          route_once(*reuse_engine, c, &reuse_lat, &reused, record);
         } else {
-          route_once(reuse_router, c, &reuse_lat, &reused, record);
-          route_once(plain_router, c, &plain_lat, &plain, record);
+          route_once(*reuse_engine, c, &reuse_lat, &reused, record);
+          route_once(*plain_engine, c, &plain_lat, &plain, record);
         }
       }
     }
@@ -359,17 +474,17 @@ int main(int argc, char** argv) {
     // the recorded routes (first rep per case).
     for (const RouteOutcome& o : reused) {
       if (!o.ok) continue;
-      reuse_series.cache_hits += o.result.prefix_cache_hits;
-      reuse_series.cache_misses += o.result.prefix_cache_misses;
+      reuse_series.cache_hits += o.response.prefix_cache_hits;
+      reuse_series.cache_misses += o.response.prefix_cache_misses;
     }
     series.push_back(std::move(reuse_series));
     for (size_t i = 0; i < plain.size(); ++i) {
       const bool same =
           plain[i].ok == reused[i].ok &&
           (!plain[i].ok ||
-           (plain[i].result.best_probability ==
-                reused[i].result.best_probability &&
-            plain[i].result.best_path == reused[i].result.best_path));
+           (plain[i].response.on_time_probability ==
+                reused[i].response.on_time_probability &&
+            plain[i].response.best_path == reused[i].response.best_path));
       if (!same) {
         std::fprintf(stderr,
                      "routing with prefix reuse diverged on case %zu\n", i);

@@ -3,15 +3,15 @@
 // alone picks the wrong path; the distribution picks the right one.
 //
 // Two candidate paths between the same endpoints are compared by
-// P(travel time <= deadline), computed with the hybrid-graph estimator.
+// P(travel time <= deadline), served as one Engine batch — each response
+// carries its CostSummary (mean, quantiles, on-time probability).
 #include <cstdio>
 #include <set>
 
-#include "baselines/methods.h"
 #include "common/table_writer.h"
-#include "core/estimator.h"
 #include "core/instantiation.h"
 #include "roadnet/shortest_path.h"
+#include "serving/engine.h"
 #include "traj/generator.h"
 #include "traj/store.h"
 
@@ -23,9 +23,21 @@ int main() {
   traj::TrajectoryStore store(city.MatchedSlice(1.0));
   core::HybridParams params;
   params.beta = 15;
-  const core::PathWeightFunction wp =
+  core::PathWeightFunction wp =
       core::InstantiateWeightFunction(*city.graph, store, params);
   const roadnet::Graph& g = *city.graph;
+
+  // The online side: an Engine adopting the built model (embedded wiring —
+  // no artifact needed for a demo).
+  serving::EngineOptions options;
+  options.graph = &g;
+  auto opened = serving::Engine::Open(std::move(wp), options);
+  if (!opened.ok()) {
+    std::printf("Engine::Open failed: %s\n",
+                opened.status().ToString().c_str());
+    return 1;
+  }
+  const serving::Engine& engine = *opened.value();
 
   // Origin/destination: a cross-town pair ("home" -> "airport").
   // Candidate 1: the fastest free-flow route. Candidate 2: an alternative
@@ -49,39 +61,53 @@ int main() {
     return 1;
   }
 
+  // First round: distribution shape (mean + 90th percentile) of both
+  // candidates, one batch on the engine's pool.
   const double departure = traj::HoursToSeconds(8.0);  // morning rush
-  core::HybridEstimator od = baselines::MakeOd(wp);
-  auto d1 = od.EstimateCostDistribution(p1.value(), departure);
-  auto d2 = od.EstimateCostDistribution(p2.value(), departure);
-  if (!d1.ok() || !d2.ok()) {
+  std::vector<serving::EstimateRequest> requests(2);
+  requests[0].path = serving::PathSpec::ExplicitPath(p1.value());
+  requests[1].path = serving::PathSpec::ExplicitPath(p2.value());
+  for (auto& r : requests) {
+    r.departure_time = departure;
+    r.quantiles = {0.9};
+  }
+  auto shapes = engine.EstimateBatch(requests);
+  if (!shapes[0].ok() || !shapes[1].ok()) {
     std::printf("estimation failed\n");
     return 1;
   }
+  const serving::CostSummary& s1 = shapes[0].value().summary;
+  const serving::CostSummary& s2 = shapes[1].value().summary;
 
-  // Deadline between the two means so the decision is non-trivial.
+  // Deadline between the two means so the decision is non-trivial; second
+  // round asks the on-time question (the repeat is a cache hit).
   const double deadline =
-      0.5 * (d1.value().Mean() + d2.value().Mean()) +
-      2.0 * std::max(d1.value().Quantile(0.9) - d1.value().Mean(),
-                     d2.value().Quantile(0.9) - d2.value().Mean());
+      0.5 * (s1.mean + s2.mean) +
+      2.0 * std::max(s1.quantiles[0] - s1.mean, s2.quantiles[0] - s2.mean);
+  for (auto& r : requests) r.budget_seconds = deadline;
+  auto judged = engine.EstimateBatch(requests);
+  if (!judged[0].ok() || !judged[1].ok()) {
+    std::printf("estimation failed\n");
+    return 1;
+  }
+  const double prob1 = judged[0].value().summary.prob_within_budget;
+  const double prob2 = judged[1].value().summary.prob_within_budget;
 
   TableWriter table({"path", "|P|", "mean (s)", "90th pct (s)",
                      "P(on time)"});
   auto row = [&](const char* name, const roadnet::Path& p,
-                 const hist::Histogram1D& d) {
-    table.AddRow({name, std::to_string(p.size()),
-                  TableWriter::Num(d.Mean(), 1),
-                  TableWriter::Num(d.Quantile(0.9), 1),
-                  TableWriter::Num(d.ProbWithin(deadline), 4)});
+                 const serving::CostSummary& s, double prob) {
+    table.AddRow({name, std::to_string(p.size()), TableWriter::Num(s.mean, 1),
+                  TableWriter::Num(s.quantiles[0], 1),
+                  TableWriter::Num(prob, 4)});
   };
   std::printf("Departure 08:00, deadline %.0f s (%.1f min):\n\n", deadline,
               deadline / 60.0);
-  row("P1 (fastest nominal)", p1.value(), d1.value());
-  row("P2 (alternative)", p2.value(), d2.value());
+  row("P1 (fastest nominal)", p1.value(), s1, prob1);
+  row("P2 (alternative)", p2.value(), s2, prob2);
   table.Print();
 
-  const double prob1 = d1.value().ProbWithin(deadline);
-  const double prob2 = d2.value().ProbWithin(deadline);
-  const bool mean_pick = d1.value().Mean() < d2.value().Mean();
+  const bool mean_pick = s1.mean < s2.mean;
   const bool prob_pick = prob1 > prob2;
   std::printf("\nBy mean travel time, choose %s; by on-time probability, "
               "choose %s.\n",

@@ -1,26 +1,26 @@
 // The full data pipeline of the paper: raw GPS trajectories -> HMM map
 // matching (Newson & Krumm) -> trajectory store -> hybrid-graph
-// instantiation -> binary model artifact -> cost-distribution queries
-// served from the reloaded artifact (the offline-build / online-serve
-// split).
+// instantiation -> binary model artifact -> queries served from the
+// reloaded artifact through the serving Engine (the offline-build /
+// online-serve split).
 #include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
 
-#include "baselines/methods.h"
+#include "common/scoped_file.h"
 #include "common/stopwatch.h"
 #include "common/table_writer.h"
-#include "core/estimator.h"
 #include "core/instantiation.h"
 #include "core/serialization.h"
 #include "mapmatch/hmm_matcher.h"
+#include "serving/engine.h"
 #include "traj/generator.h"
 #include "traj/store.h"
 
 int main() {
   using namespace pcde;
-  std::printf("GPS -> map matching -> W_P instantiation -> query\n\n");
+  std::printf("GPS -> map matching -> W_P instantiation -> Engine query\n\n");
 
   // 1. Raw GPS data (1 Hz, 5 m noise) over city A.
   Stopwatch watch;
@@ -58,7 +58,7 @@ int main() {
   core::HybridParams params;
   params.beta = 10;  // small demo dataset
   core::InstantiationStats stats;
-  const core::PathWeightFunction wp =
+  core::PathWeightFunction wp =
       core::InstantiateWeightFunction(*city.graph, store, params, &stats);
   std::printf("instantiated %zu data variables (+%zu fallbacks) in %.1f s\n\n",
               stats.unit_from_trajectories + stats.joint_variables,
@@ -70,62 +70,76 @@ int main() {
   }
   table.Print();
 
-  // 4. Persist the frozen model and reload it as a query server would.
-  const std::string artifact =
-      (std::filesystem::temp_directory_path() /
-       ("pcde_pipeline." + std::to_string(::getpid()) + ".pcdewf"))
-          .string();
+  // 4. Persist the frozen model, then stand up the online server: the
+  //    Engine reloads the artifact and owns estimator + cache + pool.
+  const std::string artifact = MakeTempArtifactPath("pcde_pipeline");
   watch.Restart();
   if (auto s = core::SaveWeightFunctionBinary(wp, artifact); !s.ok()) {
     std::printf("save failed: %s\n", s.ToString().c_str());
     return 1;
   }
+  const ScopedFileRemover cleanup(artifact);
   const double save_s = watch.ElapsedSeconds();
   watch.Restart();
-  auto loaded = core::LoadWeightFunction(artifact);
-  if (!loaded.ok()) {
-    std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+  serving::EngineOptions options;
+  options.model_path = artifact;
+  options.graph = city.graph.get();
+  auto opened = serving::Engine::Open(options);
+  if (!opened.ok()) {
+    std::printf("Engine::Open failed: %s\n",
+                opened.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nsaved %.2f MB artifact in %.0f ms, reloaded in %.1f ms "
-              "(fingerprint %016llx)\n",
+  const serving::Engine& engine = *opened.value();
+  std::printf("\nsaved %.2f MB artifact in %.0f ms, Engine opened it in "
+              "%.1f ms (model %016llx)\n",
               static_cast<double>(std::filesystem::file_size(artifact)) /
                   (1024.0 * 1024.0),
               save_s * 1e3, watch.ElapsedSeconds() * 1e3,
-              static_cast<unsigned long long>(loaded.value().fingerprint()));
-  if (loaded.value().fingerprint() != wp.fingerprint()) {
+              static_cast<unsigned long long>(engine.model().fingerprint()));
+  if (engine.model().fingerprint() != wp.fingerprint()) {
     std::printf("FINGERPRINT MISMATCH after reload\n");
     return 1;
   }
 
-  // 5. Query a trip's path through the *reloaded* estimator, compare with
-  //    what the trip actually took, and cross-check the served estimate
-  //    byte-for-byte against the just-built model.
-  core::HybridEstimator od = baselines::MakeOd(loaded.value());
-  core::HybridEstimator od_built = baselines::MakeOd(wp);
+  // 5. Serve a trip's path through the Engine, compare with what the trip
+  //    actually took, and cross-check the served summary exactly against
+  //    an Engine adopting the just-built model.
+  serving::EngineOptions built_options;
+  built_options.graph = city.graph.get();
+  auto built = serving::Engine::Open(std::move(wp), built_options);
+  if (!built.ok()) {
+    std::printf("adopting Engine::Open failed: %s\n",
+                built.status().ToString().c_str());
+    return 1;
+  }
   bool checked = false;
   for (size_t i = 0; i < store.NumTrajectories(); ++i) {
     const auto& t = store.trajectory(i);
     if (t.path.size() < 5) continue;
-    const roadnet::Path query = t.path.Slice(0, 5);
-    auto dist = od.EstimateCostDistribution(query, t.DepartureTime());
-    if (!dist.ok()) continue;
-    auto built = od_built.EstimateCostDistribution(query, t.DepartureTime());
-    if (!built.ok() || !built.value().BitIdentical(dist.value())) {
+    serving::EstimateRequest request;
+    request.path = serving::PathSpec::ExplicitPath(t.path.Slice(0, 5));
+    request.departure_time = t.DepartureTime();
+    auto response = engine.Estimate(request);
+    if (!response.ok()) continue;
+    auto from_built = built.value()->Estimate(request);
+    if (!from_built.ok() || !from_built.value().summary.ExactlyEquals(
+                                response.value().summary)) {
       std::printf("reloaded estimate diverges from built model\n");
       return 1;
     }
     double actual = 0.0;
     for (size_t d = 0; d < 5; ++d) actual += t.edge_travel_seconds[d];
+    const serving::CostSummary& summary = response.value().summary;
     std::printf("\nexample query %s at t=%.0f s (served from artifact):\n"
                 "  estimated mean %.1f s (90%% within %.1f s); this trip "
                 "took %.1f s\n",
-                query.ToString().c_str(), t.DepartureTime(),
-                dist.value().Mean(), dist.value().Quantile(0.9), actual);
+                response.value().resolved_path.ToString().c_str(),
+                t.DepartureTime(), summary.mean, summary.quantiles[1],
+                actual);
     checked = true;
     break;
   }
-  std::remove(artifact.c_str());
   if (!checked) {
     // The divergence gate must not pass vacuously: if no query could be
     // served from the reloaded model, that is itself a failure.

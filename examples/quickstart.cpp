@@ -1,21 +1,22 @@
 // Quickstart: build a synthetic city with trajectories, instantiate the
 // hybrid graph's path weight function (offline), persist it as a binary
-// model artifact, reload it the way a query server would (online), and
-// query the travel-time distribution of a path at a departure time.
+// model artifact, and serve travel-time queries from the reloaded artifact
+// through the serving Engine (src/serving/engine.h) — the online query
+// server in five lines of wiring.
 //
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build && cmake --build build
+//   ./build/example_quickstart
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 
-#include "baselines/methods.h"
-#include "common/stopwatch.h"
+#include "common/scoped_file.h"
 #include "common/table_writer.h"
-#include "core/estimator.h"
 #include "core/instantiation.h"
 #include "core/serialization.h"
+#include "serving/engine.h"
 #include "traj/generator.h"
 #include "traj/store.h"
 
@@ -29,129 +30,137 @@ int main() {
   traj::TrajectoryStore store(city.MatchedSlice(1.0));
 
   // 2. Offline: instantiate the path weight function W_P (Sec. 3 of the
-  //    paper): joint travel-cost distributions for all paths with >= beta
-  //    qualified trajectories per 30-minute interval, plus speed-limit
-  //    fallbacks for unit paths. Instantiation freezes the model into its
-  //    flat serving representation.
+  //    paper) and persist the frozen model.
   core::HybridParams params;       // alpha = 30 min, beta = 30 (Table 2)
   params.beta = 15;                // small dataset -> lower threshold
   core::InstantiationStats stats;
-  const core::PathWeightFunction wp =
+  core::PathWeightFunction wp =
       core::InstantiateWeightFunction(*city.graph, store, params, &stats);
   std::printf("Instantiated %zu variables in %.2f s "
               "(%zu unit from data, %zu joint, %zu speed-limit fallbacks)\n",
               wp.NumVariables(), stats.build_seconds,
               stats.unit_from_trajectories, stats.joint_variables,
               stats.unit_from_speed_limit);
-
-  // 3. Persist the frozen model and reload it — the offline-build /
-  //    online-serve split. Everything below queries the *reloaded* model.
-  const std::string artifact =
-      (std::filesystem::temp_directory_path() /
-       ("pcde_quickstart." + std::to_string(::getpid()) + ".pcdewf"))
-          .string();
-  Stopwatch io_watch;
+  const std::string artifact = MakeTempArtifactPath("pcde_quickstart");
   if (auto s = core::SaveWeightFunctionBinary(wp, artifact); !s.ok()) {
     std::printf("save failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  const double save_s = io_watch.ElapsedSeconds();
-  io_watch.Restart();
-  auto loaded = core::LoadWeightFunction(artifact);
-  const double load_s = io_watch.ElapsedSeconds();
-  if (!loaded.ok()) {
-    std::printf("load failed: %s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("Saved binary artifact (%.2f MB) in %.0f ms; reloaded in "
-              "%.1f ms; fingerprint %016llx\n",
-              static_cast<double>(std::filesystem::file_size(artifact)) /
-                  (1024.0 * 1024.0),
-              save_s * 1e3, load_s * 1e3,
-              static_cast<unsigned long long>(loaded.value().fingerprint()));
-  if (loaded.value().fingerprint() != wp.fingerprint()) {
-    std::printf("FINGERPRINT MISMATCH after reload\n");
-    return 1;
-  }
-  const core::PathWeightFunction& served = loaded.value();
+  const ScopedFileRemover cleanup(artifact);
 
-  // 4. Pick a query path: a 6-edge window of a real trip on a data-rich
-  //    corridor (so the decomposition gets to use joint variables).
-  core::HybridEstimator od_probe = baselines::MakeOd(served);
-  roadnet::Path query;
-  double departure = 0.0;
+  // 3. Online: one Engine::Open wires the whole serving stack — model
+  //    load, shared thread pool, sized query cache — from the artifact.
+  serving::EngineOptions options;
+  options.model_path = artifact;
+  options.graph = city.graph.get();
+  options.query_cache_bytes = size_t{16} << 20;
+  auto opened = serving::Engine::Open(options);
+  if (!opened.ok()) {
+    std::printf("Engine::Open failed: %s\n",
+                opened.status().ToString().c_str());
+    return 1;
+  }
+  const serving::Engine& engine = *opened.value();
+  std::printf("Engine serving %zu-variable model %016llx (%.2f MB artifact)\n",
+              engine.model().NumVariables(),
+              static_cast<unsigned long long>(engine.model().fingerprint()),
+              static_cast<double>(std::filesystem::file_size(artifact)) /
+                  (1024.0 * 1024.0));
+
+  // 4. Pick a query: a 6-edge window of a real trip whose decomposition is
+  //    coarse (fewer parts than edges = joint variables in play). The
+  //    response breakdown carries the part count, so the probe itself runs
+  //    on the serving API.
+  serving::EstimateRequest request;
+  request.budget_seconds = 120.0;
+  request.quantiles = {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99};
+  request.want_breakdown = true;
+  bool found = false;
   for (const auto& trip : city.trips) {
     if (trip.truth.path.size() < 6) continue;
     for (size_t start = 0; start + 6 <= trip.truth.path.size(); ++start) {
-      const roadnet::Path window = trip.truth.path.Slice(start, 6);
-      const double entry = trip.truth.edge_enter_times[start];
-      auto probe = od_probe.Decompose(window, entry);
-      if (!probe.ok()) continue;
-      size_t max_rank = 0;
-      for (const auto& part : probe.value()) {
-        max_rank = std::max(max_rank, part.rank());
-      }
-      if (max_rank >= 3) {
-        query = window;
-        departure = entry;
+      serving::EstimateRequest probe = request;
+      probe.path = serving::PathSpec::ExplicitPath(
+          trip.truth.path.Slice(start, 6));
+      probe.departure_time = trip.truth.edge_enter_times[start];
+      auto response = engine.Estimate(probe);
+      if (response.ok() && response.value().breakdown.parts <= 3) {
+        request = probe;
+        found = true;
         break;
       }
     }
-    if (!query.empty()) break;
+    if (found) break;
   }
-  if (query.empty()) {
+  if (!found) {
     std::printf("no data-rich query window found\n");
     return 1;
   }
-  std::printf("\nQuery: path %s departing at %.0f s (%02d:%02d)\n",
-              query.ToString().c_str(), departure,
-              static_cast<int>(departure / 3600),
-              static_cast<int>(departure / 60) % 60);
 
-  // 5. Estimate the cost distribution with the paper's OD method — served
-  //    from the reloaded artifact, and cross-checked byte-for-byte against
-  //    the just-built model.
-  core::HybridEstimator od = baselines::MakeOd(served);
-  auto de = od.Decompose(query, departure);
-  if (de.ok()) {
-    std::printf("Coarsest decomposition (%zu parts):", de.value().size());
-    for (const auto& part : de.value()) {
-      std::printf(" %s", part.variable->path.ToString().c_str());
-    }
-    std::printf("\n");
-  }
-  auto dist = od.EstimateCostDistribution(query, departure);
-  if (!dist.ok()) {
-    std::printf("estimation failed: %s\n", dist.status().ToString().c_str());
+  // 5. Serve it. The summary carries everything user-facing: mean,
+  //    variance, support, quantiles, P(arrive within budget).
+  auto response = engine.Estimate(request);
+  if (!response.ok()) {
+    std::printf("estimation failed: %s\n",
+                response.status().ToString().c_str());
     return 1;
   }
-  auto built_dist =
-      baselines::MakeOd(wp).EstimateCostDistribution(query, departure);
-  if (!built_dist.ok() || !built_dist.value().BitIdentical(dist.value())) {
+  const serving::CostSummary& summary = response.value().summary;
+  const double departure = request.departure_time;
+  std::printf("\nQuery: path %s departing at %.0f s (%02d:%02d), "
+              "%zu-part decomposition\n",
+              response.value().resolved_path.ToString().c_str(), departure,
+              static_cast<int>(departure / 3600),
+              static_cast<int>(departure / 60) % 60,
+              response.value().breakdown.parts);
+  TableWriter table({"quantile", "travel time (s)"});
+  for (size_t i = 0; i < request.quantiles.size(); ++i) {
+    table.AddRow({"p" + TableWriter::Num(100.0 * request.quantiles[i], 0),
+                  TableWriter::Num(summary.quantiles[i], 1)});
+  }
+  table.Print();
+  std::printf("mean %.1f s (stddev %.1f), support [%.1f, %.1f), "
+              "P(arrive within 2 min) = %.3f over %zu buckets\n",
+              summary.mean, std::sqrt(summary.variance), summary.support_lo,
+              summary.support_hi, summary.prob_within_budget,
+              summary.num_buckets);
+
+  // 6. The round-trip gate: an Engine adopting the just-built model must
+  //    serve the exact same numbers as the one serving the artifact.
+  serving::EngineOptions built_options;
+  built_options.graph = city.graph.get();
+  auto built = serving::Engine::Open(std::move(wp), built_options);
+  if (!built.ok()) {
+    std::printf("adopting Engine::Open failed: %s\n",
+                built.status().ToString().c_str());
+    return 1;
+  }
+  auto built_response = built.value()->Estimate(request);
+  if (!built_response.ok() ||
+      !built_response.value().summary.ExactlyEquals(summary)) {
     std::printf("reloaded estimate diverges from built model\n");
     return 1;
   }
-  TableWriter table({"travel time (s)", "probability"});
-  for (const auto& b : dist.value().buckets()) {
-    table.AddRow({"[" + TableWriter::Num(b.range.lo, 0) + "," +
-                      TableWriter::Num(b.range.hi, 0) + ")",
-                  TableWriter::Num(b.prob, 4)});
-  }
-  table.Print();
-  std::printf("mean %.1f s,  P(arrive within 2 min) = %.3f,  "
-              "95th percentile %.1f s\n",
-              dist.value().Mean(), dist.value().ProbWithin(120.0),
-              dist.value().Quantile(0.95));
+  std::printf("\nreloaded-artifact serving matches the built model "
+              "exactly\n");
 
-  // 6. Compare against the legacy edge-convolution baseline.
-  auto lb = baselines::MakeLb(served).EstimateCostDistribution(query,
-                                                               departure);
+  // 7. Compare against the legacy edge-convolution baseline (LB): same
+  //    artifact, unit-decomposition policy.
+  serving::EngineOptions lb_options = options;
+  lb_options.estimate.policy = core::DecompositionPolicy::kUnit;
+  lb_options.estimate.rank_cap = 1;
+  auto lb = serving::Engine::Open(std::move(lb_options));
   if (lb.ok()) {
-    std::printf("\nLegacy baseline (LB) mean %.1f s over %zu buckets; "
-                "KL(OD, LB) = %.3f\n",
-                lb.value().Mean(), lb.value().NumBuckets(),
-                hist::KlDivergence(dist.value(), lb.value()));
+    auto lb_response = lb.value()->Estimate(request);
+    if (lb_response.ok()) {
+      const serving::CostSummary& lb_summary = lb_response.value().summary;
+      std::printf("\nLegacy baseline (LB): mean %.1f s vs %.1f s, "
+                  "P(within 2 min) %.3f vs %.3f — independence misses the "
+                  "edge correlations\n",
+                  lb_summary.mean, summary.mean,
+                  lb_summary.prob_within_budget,
+                  summary.prob_within_budget);
+    }
   }
-  std::remove(artifact.c_str());
   return 0;
 }

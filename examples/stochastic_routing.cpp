@@ -1,14 +1,21 @@
 // Stochastic budget routing (Sec. 4.3): find the path that maximizes the
 // probability of arriving within a travel-time budget, with the hybrid
 // graph (OD) and the legacy baseline (LB) as the cost estimator — the
-// integration the paper's Fig. 18 measures.
-#include <cstdio>
+// integration the paper's Fig. 18 measures, served through the Engine:
+// one frozen artifact, one Engine per estimation policy, RouteRequest in,
+// RouteResponse out.
+#include <unistd.h>
 
+#include <cstdio>
+#include <filesystem>
+
+#include "common/scoped_file.h"
 #include "common/stopwatch.h"
 #include "common/table_writer.h"
 #include "core/instantiation.h"
+#include "core/serialization.h"
 #include "roadnet/shortest_path.h"
-#include "routing/stochastic_router.h"
+#include "serving/engine.h"
 #include "traj/generator.h"
 #include "traj/store.h"
 
@@ -23,21 +30,29 @@ int main() {
       core::InstantiateWeightFunction(*city.graph, store, params);
   const roadnet::Graph& g = *city.graph;
 
+  // One frozen artifact; every routing engine below serves from it.
+  const std::string artifact = MakeTempArtifactPath("pcde_routing");
+  if (auto s = core::SaveWeightFunctionBinary(wp, artifact); !s.ok()) {
+    std::printf("save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const ScopedFileRemover cleanup(artifact);
+
   // A cross-town query during the morning rush.
-  const roadnet::VertexId from = 5;
-  const roadnet::VertexId to =
-      static_cast<roadnet::VertexId>(g.NumVertices() / 2 + 9);
-  const double min_time =
-      roadnet::ShortestPathCost(g, from, to, roadnet::FreeFlowWeight(g));
+  serving::RouteRequest request;
+  request.from = 5;
+  request.to = static_cast<roadnet::VertexId>(g.NumVertices() / 2 + 9);
+  const double min_time = roadnet::ShortestPathCost(
+      g, request.from, request.to, roadnet::FreeFlowWeight(g));
   if (min_time == roadnet::kInfCost) {
     std::printf("unreachable pair\n");
     return 1;
   }
-  const double budget = min_time * 1.2;
-  const double departure = traj::HoursToSeconds(8.0);
+  request.budget_seconds = min_time * 1.2;
+  request.departure_time = traj::HoursToSeconds(8.0);
   std::printf("from v%u to v%u, depart 08:00, free-flow minimum %.0f s, "
               "budget %.0f s\n\n",
-              from, to, min_time, budget);
+              request.from, request.to, min_time, request.budget_seconds);
 
   TableWriter table({"estimator", "P(on time)", "|path|", "expansions",
                      "candidates", "time (ms)"});
@@ -46,24 +61,31 @@ int main() {
             "OD-DFS", core::DecompositionPolicy::kCoarsest, 0},
         {"HP-DFS", core::DecompositionPolicy::kPairwise, 2},
         {"LB-DFS", core::DecompositionPolicy::kUnit, 1}}) {
-    core::EstimateOptions options;
-    options.policy = policy;
-    options.rank_cap = cap;
-    routing::RouterConfig config;
-    config.max_expansions = 100000;
-    routing::DfsStochasticRouter router(g, wp, options, config);
+    serving::EngineOptions options;
+    options.model_path = artifact;
+    options.graph = &g;
+    options.estimate.policy = policy;
+    options.estimate.rank_cap = cap;
+    options.route_max_expansions = 100000;
+    auto engine = serving::Engine::Open(std::move(options));
+    if (!engine.ok()) {
+      std::printf("Engine::Open failed: %s\n",
+                  engine.status().ToString().c_str());
+      return 1;
+    }
     Stopwatch watch;
-    auto result = router.Route(from, to, departure, budget);
+    auto response = engine.value()->Route(request);
     const double ms = watch.ElapsedMillis();
-    if (!result.ok()) {
+    if (!response.ok()) {
       table.AddRow({name, "-", "-", "-", "-", TableWriter::Num(ms, 1)});
       continue;
     }
-    table.AddRow({name, TableWriter::Num(result.value().best_probability, 4),
-                  std::to_string(result.value().best_path.size()),
-                  std::to_string(result.value().expansions),
-                  std::to_string(result.value().candidate_paths),
-                  TableWriter::Num(ms, 1)});
+    table.AddRow(
+        {name, TableWriter::Num(response.value().on_time_probability, 4),
+         std::to_string(response.value().best_path.size()),
+         std::to_string(response.value().expansions),
+         std::to_string(response.value().candidate_paths),
+         TableWriter::Num(ms, 1)});
   }
   table.Print();
   std::printf("\nThe same DFS algorithm runs with each estimator plugged\n"

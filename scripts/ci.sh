@@ -8,15 +8,20 @@
 #      with prefix chain-state reuse bit-identical to routing without it,
 #      and the BatchMetrics worker path exercised by batch_estimator_test).
 #   2. Release with SIMD on — the production configuration.
-#   3. End-to-end examples in Release: quickstart and data_pipeline both
-#      build -> save -> reload a binary model artifact and serve from it,
-#      exiting nonzero if the reloaded estimates diverge from the built
-#      model.
+#   3. End-to-end examples in Release, all served through serving::Engine:
+#      quickstart, data_pipeline, and od_query each build -> save -> reload
+#      a binary model artifact and serve from it via Engine::Open, exiting
+#      nonzero if any served estimate diverges from the built model
+#      (od_query additionally gates OD-pair resolution against the
+#      explicit-path form).
 #   4. scripts/run_benches.sh-equivalent perf record; fails the gate when
 #      BENCH_chain.json reports speedup_vs_reference < PCDE_CI_MIN_SPEEDUP
 #      (default 3), the binary model load is less than
 #      PCDE_CI_MIN_LOAD_SPEEDUP (default 10) times faster than the text
-#      parser, the routing-with-prefix-reuse series is missing, or — on
+#      parser, the routing-with-prefix-reuse series is missing, the
+#      Engine-vs-direct batch ratio engine_batch_vs_direct is missing or
+#      below PCDE_CI_MIN_ENGINE_RATIO (default 0.95 — the serving facade
+#      may cost at most ~5% over direct HybridEstimator wiring), or — on
 #      hosts with >= 8 CPUs, the only place an 8-worker speedup is
 #      physically expressible — batch_scaling_8v1 drops below
 #      PCDE_CI_MIN_BATCH_SCALING (default 3).
@@ -29,6 +34,7 @@ REPS="${1:-8}"
 MIN_SPEEDUP="${PCDE_CI_MIN_SPEEDUP:-3}"
 MIN_LOAD_SPEEDUP="${PCDE_CI_MIN_LOAD_SPEEDUP:-10}"
 MIN_BATCH_SCALING="${PCDE_CI_MIN_BATCH_SCALING:-3}"
+MIN_ENGINE_RATIO="${PCDE_CI_MIN_ENGINE_RATIO:-0.95}"
 
 echo "=== [1/4] Debug + ASan build (scalar SIMD fallback) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DPCDE_SANITIZE=address \
@@ -41,9 +47,10 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j
 (cd build-release && ctest --output-on-failure -j)
 
-echo "=== [3/4] Examples end-to-end (build -> save -> reload -> serve) ==="
+echo "=== [3/4] Examples end-to-end (build -> save -> reload -> serve via Engine) ==="
 ./build-release/example_quickstart
 ./build-release/example_data_pipeline
+./build-release/example_od_query
 
 echo "=== [4/4] Perf gates (chain >= ${MIN_SPEEDUP}x, binary load >= ${MIN_LOAD_SPEEDUP}x) ==="
 ./build-release/bench_chain_micro BENCH_chain.json "$REPS"
@@ -73,6 +80,17 @@ if ! grep -q '"route_dfs_prefix_reuse"' BENCH_chain.json; then
   echo "ci: BENCH_chain.json has no route_dfs_prefix_reuse series" >&2
   exit 1
 fi
+ENGINE_RATIO="$(grep -o '"engine_batch_vs_direct": *[0-9.eE+-]*' BENCH_chain.json \
+               | grep -o '[0-9.eE+-]*$' || true)"
+if [[ -z "$ENGINE_RATIO" ]]; then
+  echo "ci: BENCH_chain.json has no engine_batch_vs_direct (Engine batch series missing)" >&2
+  exit 1
+fi
+if ! awk -v s="$ENGINE_RATIO" -v min="$MIN_ENGINE_RATIO" \
+     'BEGIN { exit (s + 0 >= min + 0) ? 0 : 1 }'; then
+  echo "ci: engine_batch_vs_direct = $ENGINE_RATIO < $MIN_ENGINE_RATIO — serving facade overhead regression" >&2
+  exit 1
+fi
 SCALING="$(grep -o '"batch_scaling_8v1": *[0-9.eE+-]*' BENCH_chain.json \
            | grep -o '[0-9.eE+-]*$' || true)"
 if [[ -z "$SCALING" ]]; then
@@ -92,4 +110,4 @@ if [[ "$CORES" -ge 8 ]]; then
 else
   echo "ci: batch_scaling_8v1 = $SCALING (informational — host has $CORES CPUs; the >= $MIN_BATCH_SCALING gate needs >= 8)"
 fi
-echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text, batch_scaling_8v1 = $SCALING)"
+echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text, engine_batch_vs_direct = $ENGINE_RATIO, batch_scaling_8v1 = $SCALING)"

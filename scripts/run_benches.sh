@@ -2,11 +2,14 @@
 # Builds Release and runs the chain-estimation perf benches, writing the
 # BENCH_chain.json perf record at the repo root (schema: bench/README.md).
 # The record carries the paired kernel series (chain_sweep vs the frozen
-# reference), the multi-thread batch series estimate_batch_threads_{2,4,8}
-# with per-query p50/p99 latencies, the cached batch series
-# estimate_batch_cached_threads_4 with its query-cache hit counts, and the
-# model series (offline build seconds, per-format save/load seconds and
-# artifact bytes, resident model bytes, binary-vs-text load speedup).
+# reference), the Engine-served batch series estimate_batch_threads_{1,2,4,8}
+# with per-query p50/p99 latencies plus the paired direct-wiring series
+# estimate_batch_direct_threads_1 (engine_batch_vs_direct is the facade
+# overhead gate), the cached batch series estimate_batch_cached_threads_4
+# with its query-cache hit counts, the Engine::Route series
+# route_dfs{,_prefix_reuse}, and the model series (offline build seconds,
+# per-format save/load seconds and artifact bytes, resident model bytes,
+# binary-vs-text load speedup).
 #
 # Usage: scripts/run_benches.sh [reps]
 #   reps: measurement repetitions per decomposition for the chain

@@ -1,0 +1,41 @@
+// ScopedFileRemover: deletes a file on scope exit. Examples and benches
+// write temp model artifacts and must clean them up on every exit path —
+// including early error returns and gate failures — so the removal rides
+// on a destructor instead of a trailing std::remove.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace pcde {
+
+/// "<tmpdir>/<prefix>.<pid><extension>" — the PID suffix keeps concurrent
+/// runs on one host (CI + a developer bench) from clobbering each other's
+/// artifacts mid save/load.
+inline std::string MakeTempArtifactPath(const std::string& prefix,
+                                        const std::string& extension =
+                                            ".pcdewf") {
+  return (std::filesystem::temp_directory_path() /
+          (prefix + "." + std::to_string(::getpid()) + extension))
+      .string();
+}
+
+class ScopedFileRemover {
+ public:
+  explicit ScopedFileRemover(std::string path) : path_(std::move(path)) {}
+
+  ScopedFileRemover(const ScopedFileRemover&) = delete;
+  ScopedFileRemover& operator=(const ScopedFileRemover&) = delete;
+
+  ~ScopedFileRemover() { std::remove(path_.c_str()); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace pcde

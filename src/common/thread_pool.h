@@ -97,12 +97,20 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion
-  /// (the calling thread helps drain). One pull-task per worker shares an
-  /// atomic cursor instead of one Submit per item: per-item submission
-  /// pays a queue lock, an epoch bump under the global mutex, and a
-  /// wakeup for every element, which serializes batches of sub-millisecond
-  /// items (the measured batch-scaling collapse); one relaxed fetch_add
-  /// per item does not.
+  /// of THIS call's items only — not global pool quiescence — so
+  /// concurrent ParallelFor callers sharing one pool (serving::Engine
+  /// batches and Route fan-outs from multiple client threads) return as
+  /// soon as their own group finishes, instead of blocking on each
+  /// other's work. The calling thread helps drain the queues while it
+  /// waits, so it may finish at most one unrelated stolen task after its
+  /// group completes. (fn must not Submit follow-up tasks it needs
+  /// awaited — use Wait() for that.)
+  ///
+  /// One pull-task per worker shares an atomic cursor instead of one
+  /// Submit per item: per-item submission pays a queue lock, an epoch
+  /// bump under the global mutex, and a wakeup for every element, which
+  /// serializes batches of sub-millisecond items (the measured
+  /// batch-scaling collapse); one relaxed fetch_add per item does not.
   template <typename Fn>
   void ParallelFor(size_t n, Fn&& fn) {
     if (n == 0) return;
@@ -110,20 +118,56 @@ class ThreadPool {
       fn(0);
       return;
     }
+    // Shared, not captured by value: the state must outlive this frame
+    // only until the group wait returns, but each task needs the same
+    // counters.
+    struct Group {
+      std::atomic<size_t> cursor{0};
+      std::atomic<size_t> done{0};
+    };
+    auto group = std::make_shared<Group>();
     const size_t tasks = std::min(n, num_threads());
-    // Shared, not captured by value: the cursor must outlive this frame
-    // only until Wait() returns, but each task needs the same counter.
-    auto cursor = std::make_shared<std::atomic<size_t>>(0);
     for (size_t t = 0; t < tasks; ++t) {
-      Submit([fn, cursor, n] {
-        for (size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+      Submit([this, fn, group, n] {
+        size_t completed = 0;
+        for (size_t i = group->cursor.fetch_add(1, std::memory_order_relaxed);
              i < n;
-             i = cursor->fetch_add(1, std::memory_order_relaxed)) {
+             i = group->cursor.fetch_add(1, std::memory_order_relaxed)) {
           fn(i);
+          ++completed;
+        }
+        if (completed == 0) return;
+        // Exactly one adder crosses the total to n (the adds sum to n):
+        // it wakes callers parked in the group wait below, which sleep on
+        // idle_ like Wait()-ers.
+        if (group->done.fetch_add(completed, std::memory_order_acq_rel) +
+                completed ==
+            n) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          idle_.notify_all();
         }
       });
     }
-    Wait();
+    // Group wait: the Wait() loop, with "my items are done" as the exit
+    // condition instead of "the whole pool is idle".
+    while (group->done.load(std::memory_order_acquire) < n) {
+      uint64_t seen;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        seen = epoch_;
+      }
+      std::function<void()> task;
+      if (Steal(queues_.size(), &task)) {
+        RunTask(std::move(task));
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(mutex_);
+      idle_.wait(lock, [this, &group, n, seen] {
+        return group->done.load(std::memory_order_acquire) >= n ||
+               epoch_ != seen ||
+               pending_.load(std::memory_order_acquire) == 0;
+      });
+    }
   }
 
  private:

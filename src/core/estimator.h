@@ -1,6 +1,11 @@
-// HybridEstimator: the user-facing query API of the hybrid graph. Given a
-// path and a departure time it (i) identifies the optimal (coarsest)
-// decomposition over the instantiated variables — phase OI, (ii) evaluates
+// HybridEstimator: the query layer of the hybrid graph — the internal
+// layer that serving::Engine (src/serving/engine.h) drives; serving
+// callers should go through the Engine's typed request/response API
+// rather than wiring estimator + caches + pool by hand.
+//
+// Given a path and a departure time it (i) identifies the optimal
+// (coarsest) decomposition over the instantiated variables — phase OI,
+// (ii) evaluates
 // the decomposable-model joint (Eq. 2) — phase JC, and (iii) reduces it to
 // the univariate cost distribution (Sec. 4.2) — phase MC.
 //

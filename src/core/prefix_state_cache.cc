@@ -20,7 +20,10 @@ size_t PrefixStateCache::KeyHash::operator()(const Key& k) const {
 }
 
 PrefixStateCache::PrefixStateCache(PrefixStateCacheOptions options)
-    : options_(options) {}
+    : options_(options), lru_(options.max_bytes) {
+  lru_.set_eviction_callback(
+      [this](const Key&, ChainSweeper&, size_t) { ++stats_.evictions; });
+}
 
 size_t PrefixStateCache::EntryBytes(const Key& key,
                                     const ChainSweeper& state) {
@@ -30,52 +33,36 @@ size_t PrefixStateCache::EntryBytes(const Key& key,
 }
 
 bool PrefixStateCache::Lookup(const Key& key, ChainSweeper* out) {
-  auto it = index_.find(key);
-  if (it == index_.end()) {
+  const ChainSweeper* state = lru_.Find(key);
+  if (state == nullptr) {
     ++stats_.misses;
     return false;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  *out = it->second->state;
+  *out = *state;
   ++stats_.hits;
   return true;
 }
 
 void PrefixStateCache::Insert(const Key& key, const ChainSweeper& state) {
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    // The state for a key is deterministic; the existing snapshot is
-    // identical, so only the recency moves.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
-  }
+  // A present key only refreshes recency: the state for a key is
+  // deterministic, so the existing snapshot is identical — and the Touch
+  // probe (plus the budget check) runs before the sweeper snapshot is
+  // copied at all, keeping the DFS's innermost loop copy-free on refresh
+  // and rejection.
+  if (lru_.Touch(key)) return;
   const size_t bytes = EntryBytes(key, state);
   if (bytes > options_.max_bytes) return;  // cannot fit even alone
-  lru_.push_front(Entry{key, state, bytes});
-  index_.emplace(key, lru_.begin());
-  bytes_ += bytes;
-  ++stats_.insertions;
-  while (bytes_ > options_.max_bytes && lru_.size() > 1) {
-    const Entry& victim = lru_.back();
-    bytes_ -= victim.bytes;
-    index_.erase(victim.key);
-    lru_.pop_back();
-    ++stats_.evictions;
-  }
+  if (lru_.Insert(key, state, bytes)) ++stats_.insertions;
 }
 
 PrefixStateCacheStats PrefixStateCache::stats() const {
   PrefixStateCacheStats s = stats_;
-  s.entries = lru_.size();
-  s.bytes = bytes_;
+  s.entries = lru_.entries();
+  s.bytes = lru_.bytes();
   return s;
 }
 
-void PrefixStateCache::Clear() {
-  lru_.clear();
-  index_.clear();
-  bytes_ = 0;
-}
+void PrefixStateCache::Clear() { lru_.Clear(); }
 
 }  // namespace core
 }  // namespace pcde

@@ -21,10 +21,9 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
+#include "common/lru.h"
 #include "core/chain_estimator.h"
 
 namespace pcde {
@@ -75,11 +74,6 @@ class PrefixStateCache {
   void Clear();
 
  private:
-  struct Entry {
-    Key key;
-    ChainSweeper state;
-    size_t bytes = 0;
-  };
   struct KeyHash {
     size_t operator()(const Key& k) const;
   };
@@ -87,9 +81,7 @@ class PrefixStateCache {
   static size_t EntryBytes(const Key& key, const ChainSweeper& state);
 
   PrefixStateCacheOptions options_;
-  std::list<Entry> lru_;  // most recently used at the front
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  size_t bytes_ = 0;
+  Lru<Key, ChainSweeper, KeyHash> lru_;  // the shared common/lru.h core
   PrefixStateCacheStats stats_;
 };
 

@@ -30,7 +30,14 @@ QueryCache::QueryCache(QueryCacheOptions options) : options_(options) {
   per_shard_budget_ = std::max<size_t>(options_.max_bytes / shards, 1);
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    shards_.push_back(std::make_unique<Shard>(per_shard_budget_));
+    // Fires under the owning shard's lock; the counter is atomic because
+    // different shards evict concurrently.
+    shards_.back()->lru.set_eviction_callback(
+        [this](const Key&, std::shared_ptr<const hist::Histogram1D>&,
+               size_t) {
+          evictions_.fetch_add(1, std::memory_order_relaxed);
+        });
   }
 }
 
@@ -87,11 +94,7 @@ bool QueryCache::Lookup(const Key& key, hist::Histogram1D* out) {
   std::shared_ptr<const hist::Histogram1D> found;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.index.find(key);
-    if (it != shard.index.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      found = it->second->result;
-    }
+    if (auto* entry = shard.lru.Find(key)) found = *entry;
   }
   if (found == nullptr) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -106,26 +109,17 @@ void QueryCache::Insert(const Key& key, const hist::Histogram1D& result) {
   const size_t bytes = EntryBytes(key, result);
   if (bytes > per_shard_budget_) return;  // cannot fit even alone
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    // A concurrent worker inserted the same (deterministic) result between
-    // our miss and this insert; just refresh recency.
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+  bool inserted;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // A present key means a concurrent worker inserted the same
+    // (deterministic) result between our miss and this insert; Touch then
+    // only refreshes recency, skipping the histogram copy entirely.
+    if (shard.lru.Touch(key)) return;
+    inserted = shard.lru.Insert(
+        key, std::make_shared<const hist::Histogram1D>(result), bytes);
   }
-  shard.lru.push_front(
-      Entry{key, std::make_shared<const hist::Histogram1D>(result), bytes});
-  shard.index.emplace(key, shard.lru.begin());
-  shard.bytes += bytes;
-  insertions_.fetch_add(1, std::memory_order_relaxed);
-  while (shard.bytes > per_shard_budget_ && shard.lru.size() > 1) {
-    const Entry& victim = shard.lru.back();
-    shard.bytes -= victim.bytes;
-    shard.index.erase(victim.key);
-    shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-  }
+  if (inserted) insertions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 QueryCacheStats QueryCache::stats() const {
@@ -136,8 +130,8 @@ QueryCacheStats QueryCache::stats() const {
   s.evictions = evictions_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    s.entries += shard->lru.size();
-    s.bytes += shard->bytes;
+    s.entries += shard->lru.entries();
+    s.bytes += shard->lru.bytes();
   }
   return s;
 }
@@ -145,9 +139,7 @@ QueryCacheStats QueryCache::stats() const {
 void QueryCache::Clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->lru.clear();
-    shard->index.clear();
-    shard->bytes = 0;
+    shard->lru.Clear();
   }
 }
 

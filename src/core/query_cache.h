@@ -22,12 +22,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "common/lru.h"
 #include "core/chain_estimator.h"
 #include "core/decomposition.h"
 #include "hist/histogram1d.h"
@@ -99,23 +98,17 @@ class QueryCache {
   void Clear();
 
  private:
-  /// The histogram is held by shared_ptr so a hit only bumps a refcount
-  /// inside the shard lock; the caller's deep copy happens outside it
-  /// (popular entries would otherwise serialize their shard on the copy).
-  struct Entry {
-    Key key;
-    std::shared_ptr<const hist::Histogram1D> result;
-    size_t bytes = 0;
-  };
   struct KeyHash {
     size_t operator()(const Key& k) const;
   };
-  /// One LRU shard: most recently used at the front of `lru`.
+  /// One LRU shard: the shared common/lru.h core under the shard mutex.
+  /// The histogram is held by shared_ptr so a hit only bumps a refcount
+  /// inside the shard lock; the caller's deep copy happens outside it
+  /// (popular entries would otherwise serialize their shard on the copy).
   struct Shard {
+    explicit Shard(size_t budget_bytes) : lru(budget_bytes) {}
     std::mutex mutex;
-    std::list<Entry> lru;
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
-    size_t bytes = 0;
+    Lru<Key, std::shared_ptr<const hist::Histogram1D>, KeyHash> lru;
   };
 
   static size_t EntryBytes(const Key& key, const hist::Histogram1D& result);

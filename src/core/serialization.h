@@ -1,7 +1,9 @@
 // Persistence for the instantiated path weight function W_P. Instantiation
 // is the expensive offline stage (the paper reports minutes at fleet
 // scale); production deployments build once, save the frozen model, and
-// load it into query servers.
+// load it into query servers — typically via serving::Engine::Open
+// (src/serving/engine.h), which wraps the loaders below and stands up the
+// whole serving stack around the loaded model.
 //
 // Two artifact formats, both embedding the TimeBinning so a loaded model
 // can never be silently queried under the wrong alpha grid:

@@ -168,6 +168,9 @@ StatusOr<RouteResult> DfsStochasticRouter::Route(VertexId from, VertexId to,
   if (config_.num_threads == 1 || roots.size() <= 1) {
     // Nothing to fan out (or parallelism disabled): skip pool start-up.
     for (size_t i = 0; i < roots.size(); ++i) run_branch(i);
+  } else if (config_.pool != nullptr) {
+    // Shared external pool (serving::Engine): no per-Route thread start-up.
+    config_.pool->ParallelFor(roots.size(), run_branch);
   } else {
     ThreadPool pool(config_.num_threads);
     pool.ParallelFor(roots.size(), run_branch);

@@ -12,6 +12,7 @@
 #include <cstddef>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/estimator.h"
 #include "roadnet/graph.h"
 #include "roadnet/shortest_path.h"
@@ -30,6 +31,11 @@ struct RouterConfig {
   /// Worker threads for the root fan-out (the DFS subtrees under distinct
   /// first edges run as parallel pool tasks); 0 = hardware concurrency.
   size_t num_threads = 0;
+  /// External pool for the root fan-out (not owned): amortizes thread
+  /// start-up across Route calls — serving::Engine passes its shared pool
+  /// here. When set, `num_threads` only gates the fan-out decision
+  /// (1 = run sequentially, skipping the pool entirely).
+  ThreadPool* pool = nullptr;
   /// Optional shared result cache (not owned): complete candidate paths are
   /// looked up by decomposition identity before finalizing the chain state,
   /// so repeated Route() calls over the same region (multi-user serving)

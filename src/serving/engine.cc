@@ -1,0 +1,232 @@
+#include "serving/engine.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "core/serialization.h"
+#include "roadnet/shortest_path.h"
+
+namespace pcde {
+namespace serving {
+
+using core::PathWeightFunction;
+using hist::Histogram1D;
+using roadnet::Path;
+
+CostSummary SummarizeDistribution(const Histogram1D& dist, StatsMask stats,
+                                  double budget_seconds,
+                                  const std::vector<double>& quantiles) {
+  CostSummary summary;
+  summary.num_buckets = dist.NumBuckets();
+  if (dist.empty()) return summary;
+  if (stats & kStatMean) summary.mean = dist.Mean();
+  if (stats & kStatVariance) summary.variance = dist.Variance();
+  if (stats & kStatSupport) {
+    summary.support_lo = dist.Min();
+    summary.support_hi = dist.Max();
+  }
+  if ((stats & kStatCdfAtBudget) && !std::isnan(budget_seconds)) {
+    summary.prob_within_budget = dist.ProbWithin(budget_seconds);
+  }
+  if (stats & kStatQuantiles) {
+    summary.quantiles.reserve(quantiles.size());
+    for (double q : quantiles) summary.quantiles.push_back(dist.Quantile(q));
+  }
+  return summary;
+}
+
+Engine::Engine(EngineOptions options, std::unique_ptr<PathWeightFunction> model)
+    : options_(std::move(options)), model_(std::move(model)) {}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Make(
+    EngineOptions options, std::unique_ptr<PathWeightFunction> model) {
+  if (options.query_cache_bytes > 0 && options.cache_time_bucket_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "Engine: cache_time_bucket_seconds must be positive");
+  }
+  std::unique_ptr<Engine> engine(
+      new Engine(std::move(options), std::move(model)));
+  const EngineOptions& opts = engine->options_;
+  if (opts.query_cache_bytes > 0) {
+    core::QueryCacheOptions cache_options;
+    cache_options.max_bytes = opts.query_cache_bytes;
+    cache_options.num_shards = opts.query_cache_shards;
+    cache_options.time_bucket_seconds = opts.cache_time_bucket_seconds;
+    engine->cache_ = std::make_unique<core::QueryCache>(cache_options);
+  }
+  engine->pool_ = std::make_unique<ThreadPool>(opts.num_threads);
+  engine->estimator_ = std::make_unique<core::HybridEstimator>(
+      *engine->model_, opts.estimate);
+  engine->estimator_->set_query_cache(engine->cache_.get());
+  if (opts.graph != nullptr) {
+    routing::RouterConfig config;
+    config.lower_bound_factor = opts.route_lower_bound_factor;
+    config.max_expansions = opts.route_max_expansions;
+    config.max_path_edges = opts.route_max_path_edges;
+    config.num_threads = engine->pool_->num_threads();
+    config.pool = engine->pool_.get();
+    config.query_cache = engine->cache_.get();
+    config.prefix_cache_bytes = opts.prefix_cache_bytes;
+    engine->router_ = std::make_unique<routing::DfsStochasticRouter>(
+        *opts.graph, *engine->model_, opts.estimate, config);
+  }
+  return engine;
+}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Open(EngineOptions options) {
+  if (options.model_path.empty()) {
+    return Status::InvalidArgument(
+        "Engine::Open: options.model_path is empty (or adopt a built model "
+        "via Open(PathWeightFunction, options))");
+  }
+  auto loaded = options.use_mmap
+                    ? core::LoadWeightFunctionBinary(options.model_path,
+                                                     /*use_mmap=*/true)
+                    : core::LoadWeightFunction(options.model_path);
+  if (!loaded.ok()) return loaded.status();
+  return Make(std::move(options), std::make_unique<PathWeightFunction>(
+                                      std::move(loaded).value()));
+}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Open(PathWeightFunction model,
+                                               EngineOptions options) {
+  return Make(std::move(options),
+              std::make_unique<PathWeightFunction>(std::move(model)));
+}
+
+StatusOr<Path> Engine::ResolvePath(const PathSpec& spec) const {
+  if (spec.is_od) {
+    const roadnet::Graph* graph = options_.graph;
+    if (graph == nullptr) {
+      return Status::FailedPrecondition(
+          "ResolvePath: OD PathSpec needs EngineOptions::graph");
+    }
+    if (spec.from >= graph->NumVertices() || spec.to >= graph->NumVertices()) {
+      return Status::InvalidArgument("ResolvePath: unknown vertex");
+    }
+    if (spec.from == spec.to) {
+      return Status::InvalidArgument("ResolvePath: from == to");
+    }
+    // Free-flow resolution is deterministic and departure-independent, so
+    // repeated OD queries select the same path — and therefore the same
+    // decomposition and cache entries.
+    return roadnet::ShortestPath(*graph, spec.from, spec.to,
+                                 roadnet::FreeFlowWeight(*graph));
+  }
+  if (spec.edges.empty()) {
+    return Status::InvalidArgument("ResolvePath: empty edge path");
+  }
+  if (options_.graph != nullptr) {
+    PCDE_RETURN_NOT_OK(roadnet::ValidatePath(*options_.graph,
+                                             spec.edges.edges()));
+  }
+  return spec.edges;
+}
+
+namespace {
+
+/// Builds the response around an estimated distribution; moves the
+/// histogram in when the request asked for it.
+EstimateResponse MakeResponse(const EstimateRequest& request, Path path,
+                              Histogram1D dist,
+                              const core::EstimateBreakdown* breakdown) {
+  EstimateResponse response;
+  response.summary = SummarizeDistribution(
+      dist, request.stats, request.budget_seconds, request.quantiles);
+  response.resolved_path = std::move(path);
+  if (breakdown != nullptr) {
+    response.served_from_cache = breakdown->cache_hit;
+    if (request.want_breakdown) response.breakdown = *breakdown;
+  }
+  if (request.want_distribution) response.distribution = std::move(dist);
+  return response;
+}
+
+}  // namespace
+
+StatusOr<EstimateResponse> Engine::Estimate(
+    const EstimateRequest& request) const {
+  Stopwatch watch;
+  PCDE_ASSIGN_OR_RETURN(path, ResolvePath(request.path));
+  core::EstimateBreakdown breakdown;
+  auto dist = estimator_->EstimateCostDistribution(
+      path, request.departure_time, &breakdown);
+  if (!dist.ok()) return dist.status();
+  EstimateResponse response = MakeResponse(request, std::move(path),
+                                           std::move(dist).value(), &breakdown);
+  response.serve_seconds = watch.ElapsedSeconds();
+  return response;
+}
+
+std::vector<StatusOr<EstimateResponse>> Engine::EstimateBatch(
+    const EstimateRequest* requests, size_t num_requests) const {
+  std::vector<StatusOr<EstimateResponse>> responses(
+      num_requests, Status::Internal("EstimateBatch: request not run"));
+  // Resolve every request on the pool first (OD resolution is a Dijkstra
+  // run — the dominant per-request cost of the OD scenario, so it must
+  // not serialize on the caller thread); a request that fails resolution
+  // gets its own Status and the rest proceed — per-request error
+  // isolation. Resolution is deterministic, so the fan-out cannot change
+  // results.
+  std::vector<StatusOr<roadnet::Path>> resolved(
+      num_requests, Status::Internal("EstimateBatch: not resolved"));
+  pool_->ParallelFor(num_requests, [this, requests, &resolved](size_t i) {
+    resolved[i] = ResolvePath(requests[i].path);
+  });
+  std::vector<core::PathQuery> queries;
+  std::vector<size_t> query_request;  // queries[i] serves requests[...]
+  queries.reserve(num_requests);
+  query_request.reserve(num_requests);
+  for (size_t i = 0; i < num_requests; ++i) {
+    if (!resolved[i].ok()) {
+      responses[i] = resolved[i].status();
+      continue;
+    }
+    queries.push_back(core::PathQuery{std::move(resolved[i]).value(),
+                                      requests[i].departure_time});
+    query_request.push_back(i);
+  }
+  if (queries.empty()) return responses;
+  // The measured batch layer: concurrent fan-out on the engine's shared
+  // pool, per-query latency + cache provenance via BatchMetrics.
+  core::BatchMetrics metrics;
+  std::vector<StatusOr<Histogram1D>> results = estimator_->EstimateBatch(
+      queries.data(), queries.size(), pool_.get(), &metrics);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const size_t i = query_request[q];
+    if (!results[q].ok()) {
+      responses[i] = results[q].status();
+      continue;
+    }
+    EstimateResponse response =
+        MakeResponse(requests[i], std::move(queries[q].path),
+                     std::move(results[q]).value(), nullptr);
+    response.served_from_cache = metrics.query_cache_hit[q] != 0;
+    response.serve_seconds = metrics.query_seconds[q];
+    responses[i] = std::move(response);
+  }
+  return responses;
+}
+
+StatusOr<RouteResponse> Engine::Route(const RouteRequest& request) const {
+  if (router_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Engine::Route needs EngineOptions::graph");
+  }
+  auto result = router_->Route(request.from, request.to,
+                               request.departure_time,
+                               request.budget_seconds);
+  if (!result.ok()) return result.status();
+  RouteResponse response;
+  response.best_path = std::move(result.value().best_path);
+  response.on_time_probability = result.value().best_probability;
+  response.expansions = result.value().expansions;
+  response.candidate_paths = result.value().candidate_paths;
+  response.truncated = result.value().truncated;
+  response.prefix_cache_hits = result.value().prefix_cache_hits;
+  response.prefix_cache_misses = result.value().prefix_cache_misses;
+  return response;
+}
+
+}  // namespace serving
+}  // namespace pcde

@@ -1,0 +1,161 @@
+// serving::Engine — the unified front door over the estimator, router, and
+// caches. Every caller used to hand-wire HybridEstimator + cache attachment
+// + RouterConfig + ThreadPool; the Engine owns that stack once:
+//
+//   EngineOptions options;
+//   options.model_path = "model.pcdewf";   // frozen PCDEWF1 artifact
+//   options.graph = &graph;                // enables OD specs and Route
+//   auto engine = Engine::Open(options);   // StatusOr<unique_ptr<Engine>>
+//
+//   EstimateRequest req;
+//   req.path = PathSpec::OdPair(home, airport);
+//   req.departure_time = 8 * 3600.0;
+//   req.budget_seconds = 45 * 60.0;
+//   auto response = (*engine)->Estimate(req);  // CostSummary + provenance
+//
+// Open either loads a frozen model (binary artifact via buffered read or
+// mmap, or the text format) or adopts an already-built PathWeightFunction;
+// it constructs the shared work-stealing ThreadPool and sizes/attaches the
+// QueryCache declaratively from the options. Estimation through the Engine
+// is bit-identical to direct HybridEstimator wiring with the same options
+// (tests/serving_engine_test.cc proves it, with and without caches) — the
+// facade adds request resolution and summary derivation, not semantics.
+//
+// Thread safety: Estimate / EstimateBatch / Route are const and safe to
+// call concurrently (the underlying estimator is read-only over the frozen
+// model and the QueryCache is sharded).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/estimator.h"
+#include "core/query_cache.h"
+#include "routing/stochastic_router.h"
+#include "serving/request.h"
+
+namespace pcde {
+namespace serving {
+
+/// Declarative configuration of the full serving stack.
+struct EngineOptions {
+  /// Model artifact to load when Open(options) is used (core/serialization:
+  /// PCDEWF1 binary or text v2, sniffed). Ignored by the adopting Open.
+  std::string model_path;
+  /// Map the binary artifact PROT_READ/MAP_SHARED and parse in place (one
+  /// page-cache copy across co-resident engines serving the same file).
+  /// Binary artifacts only; see LoadWeightFunctionBinary for the atomic-
+  /// replace lifecycle requirement.
+  bool use_mmap = false;
+
+  /// Road network backing OD-pair PathSpecs (free-flow shortest-path
+  /// resolution), explicit-path validation, and Route. May stay null when
+  /// every request uses explicit edge paths and Route is never called.
+  const roadnet::Graph* graph = nullptr;
+
+  /// Decomposition policy, rank cap, and chain options of every estimate
+  /// (the OD / OD-x / HP / LB method choice).
+  core::EstimateOptions estimate;
+
+  /// Workers of the engine's shared pool (batch fan-out and the router's
+  /// root fan-out). 0 = hardware concurrency.
+  size_t num_threads = 0;
+
+  /// Byte budget of the shared result cache (core/query_cache.h); 0
+  /// disables caching. Results are bit-identical either way.
+  size_t query_cache_bytes = size_t{64} << 20;
+  size_t query_cache_shards = 8;
+  /// Departure-time bucket width folded into cache keys.
+  double cache_time_bucket_seconds = 300.0;
+
+  /// Per-root-branch prefix chain-state reuse inside Route
+  /// (core/prefix_state_cache.h); 0 disables (opt-in, like the router's).
+  size_t prefix_cache_bytes = 0;
+
+  /// DFS router knobs (see routing::RouterConfig for semantics).
+  double route_lower_bound_factor = 0.8;
+  size_t route_max_expansions = 500000;
+  size_t route_max_path_edges = 150;
+};
+
+/// \brief Derives the serving-visible CostSummary from a cost
+/// distribution: only the statistics selected by `stats` are computed
+/// (unselected fields stay NaN / empty). Exposed for tests, which pin
+/// these numbers against brute-force integration of the histogram.
+CostSummary SummarizeDistribution(const hist::Histogram1D& dist,
+                                  StatsMask stats, double budget_seconds,
+                                  const std::vector<double>& quantiles);
+
+class Engine {
+ public:
+  /// Loads the frozen model named by options.model_path and builds the
+  /// serving stack around it.
+  static StatusOr<std::unique_ptr<Engine>> Open(EngineOptions options);
+
+  /// Adopts an already-built (or already-loaded) frozen model instead of
+  /// reading an artifact — the embedded/offline wiring, and the path tests
+  /// use to compare Engine serving against direct estimator wiring over
+  /// the very same model (engine->model()).
+  static StatusOr<std::unique_ptr<Engine>> Open(
+      core::PathWeightFunction model, EngineOptions options);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineOptions& options() const { return options_; }
+  const core::PathWeightFunction& model() const { return *model_; }
+  /// nullptr when query_cache_bytes == 0.
+  core::QueryCache* query_cache() const { return cache_.get(); }
+  ThreadPool& pool() const { return *pool_; }
+
+  /// Resolves a PathSpec to the edge path that will be costed: OD pairs go
+  /// through the free-flow shortest path (deterministic, so repeated OD
+  /// queries hit the same cache entries); explicit paths are validated
+  /// against the graph when one is configured. Errors: InvalidArgument
+  /// (empty/invalid path, unknown vertex), FailedPrecondition (OD spec
+  /// with no graph), NotFound (unreachable pair).
+  StatusOr<roadnet::Path> ResolvePath(const PathSpec& spec) const;
+
+  /// One cost-distribution query end to end: resolve, estimate (through
+  /// the attached cache), summarize.
+  StatusOr<EstimateResponse> Estimate(const EstimateRequest& request) const;
+
+  /// Many queries concurrently on the engine's shared pool; response i
+  /// corresponds to requests[i] and carries its own Status — a malformed
+  /// request (bad path, unresolvable OD pair) fails alone, never the
+  /// batch. Valid requests return exactly what Estimate would.
+  std::vector<StatusOr<EstimateResponse>> EstimateBatch(
+      const EstimateRequest* requests, size_t num_requests) const;
+  std::vector<StatusOr<EstimateResponse>> EstimateBatch(
+      const std::vector<EstimateRequest>& requests) const {
+    return EstimateBatch(requests.data(), requests.size());
+  }
+
+  /// Probabilistic budget routing (Sec. 4.3) on the engine's stack: the
+  /// DFS router runs with the engine's estimate options, query cache,
+  /// prefix-reuse budget, and shared pool. Requires options.graph.
+  StatusOr<RouteResponse> Route(const RouteRequest& request) const;
+
+ private:
+  Engine(EngineOptions options,
+         std::unique_ptr<core::PathWeightFunction> model);
+
+  static StatusOr<std::unique_ptr<Engine>> Make(
+      EngineOptions options,
+      std::unique_ptr<core::PathWeightFunction> model);
+
+  EngineOptions options_;
+  // unique_ptr members keep every referenced address stable: the estimator
+  // and router hold references to the model, cache, and pool.
+  std::unique_ptr<core::PathWeightFunction> model_;
+  std::unique_ptr<core::QueryCache> cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<core::HybridEstimator> estimator_;
+  std::unique_ptr<routing::DfsStochasticRouter> router_;  // iff graph set
+};
+
+}  // namespace serving
+}  // namespace pcde

@@ -388,6 +388,105 @@ TEST(SampleTest, RespectsBucketMasses) {
   EXPECT_NEAR(static_cast<double>(high) / n, 0.75, 0.02);
 }
 
+// ---------------------------------------------------------------------------
+// Serving-visible edge cases (serving::CostSummary is derived from these
+// numbers): empty histogram, near-point mass, q = 0/1, budgets outside the
+// support — pinned against brute-force integration of the piecewise-
+// uniform density.
+// ---------------------------------------------------------------------------
+
+/// Brute-force CDF: numerically integrate the piecewise-uniform density up
+/// to x, bucket by bucket on a fine midpoint grid (the grid aligns with
+/// bucket edges, so the only error is the O(dx^2) midpoint-rule term —
+/// independent of the analytic bucket walk being tested).
+double BruteCdf(const Histogram1D& h, double x, size_t steps = 20000) {
+  double acc = 0.0;
+  for (const Bucket& b : h.buckets()) {
+    const double hi = std::min(x, b.range.hi);
+    if (hi <= b.range.lo) continue;
+    const double dx = (hi - b.range.lo) / static_cast<double>(steps);
+    const double density = b.prob / b.range.width();
+    for (size_t i = 0; i < steps; ++i) acc += dx * density;
+  }
+  return acc;
+}
+
+/// Brute-force raw moment E[X^k] on the same per-bucket midpoint grid.
+double BruteMoment(const Histogram1D& h, int k, size_t steps = 20000) {
+  double acc = 0.0;
+  for (const Bucket& b : h.buckets()) {
+    const double dx = b.range.width() / static_cast<double>(steps);
+    const double density = b.prob / b.range.width();
+    for (size_t i = 0; i < steps; ++i) {
+      const double mid = b.range.lo + (static_cast<double>(i) + 0.5) * dx;
+      acc += dx * density * std::pow(mid, k);
+    }
+  }
+  return acc;
+}
+
+TEST(EdgeCaseTest, EmptyHistogramIsInert) {
+  const Histogram1D h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.NumBuckets(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Cdf(123.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // documented fallback
+  EXPECT_DOUBLE_EQ(h.Mass(Interval(0.0, 1.0)), 0.0);
+}
+
+TEST(EdgeCaseTest, NearPointMassConcentratesEverything) {
+  // The narrowest bucket Make admits: all mass in [100, 100 + 1e-9).
+  const double w = 1e-9;
+  const Histogram1D h = MustMake({{100.0, 100.0 + w, 1.0}});
+  EXPECT_NEAR(h.Mean(), 100.0, 1e-6);
+  EXPECT_NEAR(h.Variance(), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.Cdf(100.0), 0.0);          // budget below support
+  EXPECT_DOUBLE_EQ(h.Cdf(100.0 + w), 1.0);      // budget above support
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0 + w);
+  EXPECT_NEAR(h.Quantile(0.5), 100.0, 1e-6);
+}
+
+TEST(EdgeCaseTest, QuantileAtZeroAndOneAreTheSupportBounds) {
+  const Histogram1D h = MustMake({{10, 20, 0.3}, {25, 40, 0.7}});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 40.0);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.5), 40.0);
+  // q landing exactly on a bucket boundary mass: right edge of bucket 0.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.3), 20.0);
+}
+
+TEST(EdgeCaseTest, BudgetOutsideSupportSaturates) {
+  const Histogram1D h = MustMake({{10, 20, 0.3}, {25, 40, 0.7}});
+  EXPECT_DOUBLE_EQ(h.ProbWithin(0.0), 0.0);     // far below
+  EXPECT_DOUBLE_EQ(h.ProbWithin(10.0), 0.0);    // exactly at Min
+  EXPECT_DOUBLE_EQ(h.ProbWithin(40.0), 1.0);    // exactly at Max
+  EXPECT_DOUBLE_EQ(h.ProbWithin(1e9), 1.0);     // far above
+  // Inside the gap between buckets: exactly the first bucket's mass.
+  EXPECT_DOUBLE_EQ(h.ProbWithin(22.0), 0.3);
+}
+
+TEST(EdgeCaseTest, CdfMeanVarianceMatchBruteForceIntegration) {
+  // A gapped, uneven histogram — the shape chain estimates actually have.
+  const Histogram1D h =
+      MustMake({{5, 8, 0.15}, {8, 9, 0.35}, {12, 20, 0.4}, {30, 31, 0.1}});
+  for (double x : {5.5, 8.0, 8.7, 10.0, 13.0, 20.0, 30.5, 31.0}) {
+    EXPECT_NEAR(h.Cdf(x), BruteCdf(h, x), 1e-9) << "x = " << x;
+  }
+  EXPECT_NEAR(h.Mean(), BruteMoment(h, 1), 1e-6);
+  const double brute_var =
+      BruteMoment(h, 2) - BruteMoment(h, 1) * BruteMoment(h, 1);
+  EXPECT_NEAR(h.Variance(), brute_var, 1e-6);
+  // Quantile inverts the brute-force CDF.
+  for (double q : {0.1, 0.15, 0.5, 0.9, 0.999}) {
+    const double x = h.Quantile(q);
+    EXPECT_NEAR(BruteCdf(h, x), q, 1e-9) << "q = " << q;
+  }
+}
+
 TEST(MemoryTest, GrowsWithBuckets) {
   const Histogram1D small = Histogram1D::Single(0, 1);
   const Histogram1D big = MustMake({{0, 1, 0.25}, {1, 2, 0.25}, {2, 3, 0.25},

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -88,6 +89,34 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
     // No explicit Wait: the destructor must finish the queue first.
   }
   EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallersShareOnePool) {
+  // The serving::Engine pattern: multiple client threads issue
+  // ParallelFor batches against one shared pool. Each call must complete
+  // exactly its own items and return (group-scoped wait, not global
+  // quiescence) without deadlock.
+  ThreadPool pool(2);
+  constexpr size_t kCallers = 4;
+  constexpr size_t kItems = 400;
+  std::vector<std::vector<int>> hits(kCallers, std::vector<int>(kItems, 0));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      pool.ParallelFor(kItems, [&hits, c](size_t i) { hits[c][i] += 1; });
+      // The group wait returned: this caller's items must all be done,
+      // regardless of the other callers' in-flight work.
+      for (size_t i = 0; i < kItems; ++i) {
+        EXPECT_EQ(hits[c][i], 1) << "caller " << c << " item " << i;
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(std::accumulate(hits[c].begin(), hits[c].end(), 0),
+              static_cast<int>(kItems));
+  }
 }
 
 TEST(TwoPoolsTest, CrossPoolSubmissionLandsInTheRightPool) {
