@@ -11,10 +11,12 @@
 // Usage: bench_chain_micro [output.json] [reps]
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "common/scoped_file.h"
@@ -490,6 +492,193 @@ int main(int argc, char** argv) {
                      "routing with prefix reuse diverged on case %zu\n", i);
         return 1;
       }
+    }
+  }
+
+  // Refresh series (zero-downtime model refresh, tests/refresh_fault_test.cc
+  // is the correctness side): a second model generation — the speed-limit-
+  // only baseline a fresh deployment serves before trajectories arrive — is
+  // saved next to the data artifact, and Engine::Swap alternates between
+  // the two generations so no swap short-circuits on the already-served
+  // header checksum.
+  core::HybridParams alt_params;
+  alt_params.beta = 20;
+  const core::PathWeightFunction alt_model = core::InstantiateWeightFunction(
+      *w.data->data.graph, traj::TrajectoryStore(), alt_params);
+  if (alt_model.fingerprint() == w.wp->fingerprint()) {
+    std::fprintf(stderr, "refresh generations share a fingerprint; aborting\n");
+    return 1;
+  }
+  const std::string alt_artifact = MakeTempArtifactPath("pcde_bench_refresh");
+  if (!core::SaveWeightFunctionBinary(alt_model, alt_artifact).ok()) {
+    std::fprintf(stderr, "failed to save the refresh artifact\n");
+    return 1;
+  }
+  const ScopedFileRemover alt_cleanup(alt_artifact);
+  {
+    // swap_publish: wall time of one Engine::Swap end to end — artifact
+    // read + validation + epoch wiring + atomic publish. This is the
+    // refresh path's full cost; requests never wait on it (they pin the
+    // old epoch), so it is a throughput tax, not a latency cliff.
+    auto engine = open_engine(/*threads=*/1, /*cache_bytes=*/0,
+                              /*prefix_bytes=*/0);
+    if (engine == nullptr) return 1;
+    std::vector<double> swap_lat;
+    const int swap_reps = std::max(8, reps);
+    swap_lat.reserve(2 * static_cast<size_t>(swap_reps));
+    for (int r = 0; r < swap_reps; ++r) {
+      for (const std::string* artifact : {&alt_artifact, &serving_artifact}) {
+        Stopwatch watch;
+        auto sequence = engine->Swap(*artifact);
+        swap_lat.push_back(watch.ElapsedSeconds());
+        if (!sequence.ok()) {
+          std::fprintf(stderr, "Engine::Swap failed: %s\n",
+                       sequence.status().ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    series.push_back(
+        KernelSeries::FromLatencies("swap_publish", std::move(swap_lat), 0));
+  }
+  {
+    // estimate_steady vs estimate_during_swap: identical Engine batches,
+    // the second run while a refresher thread republishes alternating
+    // generations in a tight loop. The pair bounds the serving-latency
+    // cost of continuous refresh (epoch loads + old-epoch teardown on the
+    // same box); every response must still succeed — zero-downtime means
+    // the swap churn is never visible as an error.
+    auto engine = open_engine(/*threads=*/2, /*cache_bytes=*/0,
+                              /*prefix_bytes=*/0);
+    if (engine == nullptr) return 1;
+    // Enough batches that several epochs publish inside the measured
+    // window (a swap costs ~swap_publish p50, so two batches would see
+    // only a transition or two). The mixed-generation latencies are the
+    // point: p50 reflects whichever generation answered, p99 carries the
+    // churn interference — and the run aborts on any failed response,
+    // the zero-downtime requirement.
+    const int refresh_reps = std::max(6, batch_reps);
+    BatchRun steady;
+    for (int r = 0; r < refresh_reps; ++r) {
+      if (!engine_batch_once(*engine, &steady)) return 1;
+    }
+    series.push_back(steady.Finish("estimate_steady"));
+    std::atomic<bool> stop{false};
+    std::atomic<bool> swap_failed{false};
+    std::atomic<uint64_t> swaps{0};
+    std::thread refresher([&]() {
+      int generation = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string& next =
+            generation++ % 2 == 0 ? alt_artifact : serving_artifact;
+        if (!engine->Swap(next).ok()) {
+          swap_failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        swaps.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    BatchRun churn;
+    bool batches_ok = true;
+    for (int r = 0; r < refresh_reps && batches_ok; ++r) {
+      batches_ok = engine_batch_once(*engine, &churn);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    refresher.join();
+    if (!batches_ok) return 1;
+    if (swap_failed.load()) {
+      std::fprintf(stderr, "refresher swap failed during churn\n");
+      return 1;
+    }
+    series.push_back(churn.Finish("estimate_during_swap"));
+    std::printf("  refresher published %llu epochs under estimate_during_swap\n",
+                static_cast<unsigned long long>(swaps.load()));
+  }
+
+  // Degradation series: serving cost of the sparse-coverage fallback
+  // ladder. A model covering only part of one workload path (unit
+  // speed-limit variables copied from the baseline generation) forces the
+  // two degraded regimes — maximal covered sub-path runs, and per-edge
+  // convolution — and the bench aborts unless every response reports
+  // exactly the expected provenance.
+  {
+    const core::PathQuery* sparse_query = nullptr;
+    for (const core::PathQuery& q : w.queries) {
+      if (q.path.size() == 20) {
+        sparse_query = &q;
+        break;
+      }
+    }
+    if (sparse_query == nullptr) {
+      std::fprintf(stderr, "no cardinality-20 query for fallback series\n");
+      return 1;
+    }
+    auto sparse_engine = [&](const std::vector<size_t>& covered)
+        -> std::unique_ptr<serving::Engine> {
+      core::WeightFunctionBuilder builder(alt_model.binning());
+      for (size_t pos : covered) {
+        const core::InstantiatedVariable* v = alt_model.Lookup(
+            roadnet::Path({sparse_query->path[pos]}), core::kAllDayInterval);
+        if (v == nullptr) {
+          std::fprintf(stderr, "no unit variable at position %zu\n", pos);
+          return nullptr;
+        }
+        builder.Add(*v);
+      }
+      serving::EngineOptions options;
+      options.graph = w.data->data.graph.get();
+      options.num_threads = 1;
+      options.query_cache_bytes = 0;
+      auto engine = serving::Engine::Open(std::move(builder).Freeze(),
+                                          std::move(options));
+      if (!engine.ok()) {
+        std::fprintf(stderr, "sparse Engine::Open failed: %s\n",
+                     engine.status().ToString().c_str());
+        return nullptr;
+      }
+      return std::move(engine).value();
+    };
+    auto measure_fallback = [&](const serving::Engine& engine,
+                                core::DegradationLevel expected,
+                                const char* name) -> bool {
+      serving::EstimateRequest request;
+      request.path = serving::PathSpec::ExplicitPath(sparse_query->path);
+      request.departure_time = sparse_query->departure_time;
+      const int iters = std::max(64, reps * 8);
+      std::vector<double> lat;
+      lat.reserve(static_cast<size_t>(iters));
+      for (int i = 0; i < iters; ++i) {
+        Stopwatch watch;
+        auto response = engine.Estimate(request);
+        lat.push_back(watch.ElapsedSeconds());
+        if (!response.ok()) {
+          std::fprintf(stderr, "%s: estimate failed: %s\n", name,
+                       response.status().ToString().c_str());
+          return false;
+        }
+        if (response.value().summary.degradation != expected) {
+          std::fprintf(stderr, "%s: unexpected degradation level\n", name);
+          return false;
+        }
+      }
+      series.push_back(KernelSeries::FromLatencies(name, std::move(lat), 0));
+      return true;
+    };
+    // One 10-edge covered prefix run -> the sub-path rung; isolated covered
+    // singles -> the per-edge convolution rung.
+    std::vector<size_t> prefix_half, even_singles;
+    for (size_t pos = 0; pos < sparse_query->path.size(); ++pos) {
+      if (pos < sparse_query->path.size() / 2) prefix_half.push_back(pos);
+      if (pos % 2 == 0) even_singles.push_back(pos);
+    }
+    auto subpath_engine = sparse_engine(prefix_half);
+    auto edge_engine = sparse_engine(even_singles);
+    if (subpath_engine == nullptr || edge_engine == nullptr) return 1;
+    if (!measure_fallback(*subpath_engine, core::DegradationLevel::kSubpath,
+                          "fallback_subpath") ||
+        !measure_fallback(*edge_engine, core::DegradationLevel::kEdge,
+                          "fallback_edge")) {
+      return 1;
     }
   }
 

@@ -335,12 +335,18 @@ inline bool WriteChainBenchJson(const std::string& path,
   const KernelSeries* batch1 = nullptr;
   const KernelSeries* batch8 = nullptr;
   const KernelSeries* batch_direct1 = nullptr;
+  const KernelSeries* swap_publish = nullptr;
+  const KernelSeries* steady = nullptr;
+  const KernelSeries* during_swap = nullptr;
   for (const KernelSeries& s : series) {
     if (s.name == "chain_sweep") rewrite = &s;
     if (s.name == "chain_sweep_reference") reference = &s;
     if (s.name == "estimate_batch_threads_1") batch1 = &s;
     if (s.name == "estimate_batch_threads_8") batch8 = &s;
     if (s.name == "estimate_batch_direct_threads_1") batch_direct1 = &s;
+    if (s.name == "swap_publish") swap_publish = &s;
+    if (s.name == "estimate_steady") steady = &s;
+    if (s.name == "estimate_during_swap") during_swap = &s;
   }
   if (rewrite != nullptr && reference != nullptr &&
       reference->ops_per_sec > 0.0) {
@@ -363,6 +369,18 @@ inline bool WriteChainBenchJson(const std::string& path,
       batch_direct1->ops_per_sec > 0.0) {
     std::fprintf(f, ",\n  \"engine_batch_vs_direct\": %s",
                  num(batch1->ops_per_sec / batch_direct1->ops_per_sec).c_str());
+  }
+  // Refresh headline numbers: the median cost of publishing one model
+  // epoch (Engine::Swap end to end), and the tail-latency ratio of serving
+  // under continuous swap churn over the steady-state control — the
+  // zero-downtime acceptance pair.
+  if (swap_publish != nullptr && swap_publish->iterations > 0) {
+    std::fprintf(f, ",\n  \"swap_publish_seconds\": %s",
+                 num(swap_publish->p50_ms / 1e3).c_str());
+  }
+  if (steady != nullptr && during_swap != nullptr && steady->p99_ms > 0.0) {
+    std::fprintf(f, ",\n  \"estimate_during_swap_p99_vs_steady\": %s",
+                 num(during_swap->p99_ms / steady->p99_ms).c_str());
   }
   std::fprintf(f, "\n}\n");
   std::fclose(f);

@@ -7,13 +7,21 @@
 #      sanitizer (including prefix_state_cache_test, which proves routing
 #      with prefix chain-state reuse bit-identical to routing without it,
 #      and the BatchMetrics worker path exercised by batch_estimator_test).
+#      The swap-stress gate then reruns the refresh fault-injection
+#      harness's concurrency tests explicitly under ASan: concurrent
+#      clients against an engine whose model is repeatedly swapped (with
+#      corrupt-artifact attempts interleaved) must see zero failed and
+#      zero cross-epoch-mixed responses, every fingerprint matching a
+#      published epoch.
 #   2. Release with SIMD on — the production configuration.
 #   3. End-to-end examples in Release, all served through serving::Engine:
 #      quickstart, data_pipeline, and od_query each build -> save -> reload
 #      a binary model artifact and serve from it via Engine::Open, exiting
 #      nonzero if any served estimate diverges from the built model
 #      (od_query additionally gates OD-pair resolution against the
-#      explicit-path form).
+#      explicit-path form); model_refresh walks the zero-downtime refresh
+#      (build -> serve -> rejected corrupt swap -> delta rebuild -> swap ->
+#      serve) with exact-counterpart assertions on both epochs.
 #   4. scripts/run_benches.sh-equivalent perf record; fails the gate when
 #      BENCH_chain.json reports speedup_vs_reference < PCDE_CI_MIN_SPEEDUP
 #      (default 3), the binary model load is less than
@@ -24,7 +32,12 @@
 #      may cost at most ~5% over direct HybridEstimator wiring), or — on
 #      hosts with >= 8 CPUs, the only place an 8-worker speedup is
 #      physically expressible — batch_scaling_8v1 drops below
-#      PCDE_CI_MIN_BATCH_SCALING (default 3).
+#      PCDE_CI_MIN_BATCH_SCALING (default 3). The refresh/degradation
+#      series (swap_publish, estimate_during_swap, fallback_subpath/_edge)
+#      and the swap_publish_seconds headline must also be present: the
+#      bench aborts internally on any swap failure, churned-batch error
+#      response, or wrong degradation provenance, so presence certifies
+#      those runtime gates passed.
 #
 # Usage: scripts/ci.sh [reps]
 set -euo pipefail
@@ -42,6 +55,10 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DPCDE_SANITIZE=address \
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -j)
 
+echo "=== [1/4] Swap-stress gate (refresh fault injection under ASan) ==="
+./build-asan/refresh_fault_test \
+  --gtest_filter='RefreshFaultTest.SwapUnderConcurrentLoadNeverMixesEpochs:RefreshFaultTest.SwapRejectsCorruptArtifactsAndKeepsServing'
+
 echo "=== [2/4] Release build (SIMD on) ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j
@@ -51,6 +68,7 @@ echo "=== [3/4] Examples end-to-end (build -> save -> reload -> serve via Engine
 ./build-release/example_quickstart
 ./build-release/example_data_pipeline
 ./build-release/example_od_query
+./build-release/example_model_refresh
 
 echo "=== [4/4] Perf gates (chain >= ${MIN_SPEEDUP}x, binary load >= ${MIN_LOAD_SPEEDUP}x) ==="
 ./build-release/bench_chain_micro BENCH_chain.json "$REPS"
@@ -78,6 +96,23 @@ if ! awk -v s="$LOAD_SPEEDUP" -v min="$MIN_LOAD_SPEEDUP" \
 fi
 if ! grep -q '"route_dfs_prefix_reuse"' BENCH_chain.json; then
   echo "ci: BENCH_chain.json has no route_dfs_prefix_reuse series" >&2
+  exit 1
+fi
+# The refresh/degradation series must be present: the bench itself aborts
+# if a swap fails, a churned batch returns an error response, or a
+# fallback estimate reports the wrong degradation provenance, so presence
+# means those runtime gates passed.
+for refresh_series in swap_publish estimate_during_swap fallback_subpath \
+                      fallback_edge; do
+  if ! grep -q "\"${refresh_series}\"" BENCH_chain.json; then
+    echo "ci: BENCH_chain.json has no ${refresh_series} series" >&2
+    exit 1
+  fi
+done
+SWAP_SECONDS="$(grep -o '"swap_publish_seconds": *[0-9.eE+-]*' BENCH_chain.json \
+               | grep -o '[0-9.eE+-]*$' || true)"
+if [[ -z "$SWAP_SECONDS" ]]; then
+  echo "ci: BENCH_chain.json has no swap_publish_seconds" >&2
   exit 1
 fi
 ENGINE_RATIO="$(grep -o '"engine_batch_vs_direct": *[0-9.eE+-]*' BENCH_chain.json \
@@ -110,4 +145,4 @@ if [[ "$CORES" -ge 8 ]]; then
 else
   echo "ci: batch_scaling_8v1 = $SCALING (informational — host has $CORES CPUs; the >= $MIN_BATCH_SCALING gate needs >= 8)"
 fi
-echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text, engine_batch_vs_direct = $ENGINE_RATIO, batch_scaling_8v1 = $SCALING)"
+echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text, engine_batch_vs_direct = $ENGINE_RATIO, batch_scaling_8v1 = $SCALING, swap_publish_seconds = $SWAP_SECONDS)"

@@ -71,6 +71,20 @@ StatusOr<CandidateArray> DecompositionBuilder::BuildCandidateArray(
   return array;
 }
 
+std::vector<uint8_t> DecompositionBuilder::UnitCoverage(
+    const Path& query) const {
+  std::vector<uint8_t> covered(query.size(), 0);
+  for (size_t k = 0; k < query.size(); ++k) {
+    for (const InstantiatedVariable* v : wp_.StartingAt(query[k])) {
+      if (v->rank() == 1) {
+        covered[k] = 1;
+        break;
+      }
+    }
+  }
+  return covered;
+}
+
 namespace {
 
 /// Appends `part` unless its span is contained in an already-selected part

@@ -67,6 +67,14 @@ class DecompositionBuilder {
                                                double departure_time,
                                                size_t rank_cap = 0) const;
 
+  /// \brief Per-position unit coverage of `query`: result[k] != 0 iff some
+  /// rank-1 variable (trajectory-instantiated or speed-limit fallback)
+  /// starts at query[k]. A model instantiated over its serving graph covers
+  /// every edge; a zero here is the sparse-coverage condition that makes
+  /// BuildCandidateArray fail and that the estimator's degradation ladder
+  /// (HybridEstimator::EstimateWithFallback) routes around.
+  std::vector<uint8_t> UnitCoverage(const roadnet::Path& query) const;
+
   /// Algorithm 1: the coarsest decomposition (Theorem 4: unique and
   /// coarsest among decompositions drawn from the instantiated variables).
   static Decomposition Coarsest(const CandidateArray& array);

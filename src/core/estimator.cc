@@ -82,6 +82,89 @@ StatusOr<Histogram1D> HybridEstimator::EstimateCostDistribution(
   return result;
 }
 
+StatusOr<Histogram1D> HybridEstimator::EstimateWithFallback(
+    const Path& path, double departure_time, FallbackProvenance* provenance,
+    EstimateBreakdown* breakdown) const {
+  if (provenance != nullptr) *provenance = FallbackProvenance();
+  auto full = EstimateCostDistribution(path, departure_time, breakdown);
+  if (full.ok()) return full;
+
+  // Degrade only on sparse coverage; any other failure (and sparse
+  // coverage with no synthesizer to bridge it) passes through unchanged.
+  const std::vector<uint8_t> covered = builder_.UnitCoverage(path);
+  size_t num_covered = 0;
+  for (uint8_t c : covered) num_covered += c;
+  if (num_covered == covered.size() || !edge_fallback_) return full.status();
+
+  // Left-to-right over maximal covered runs and uncovered positions; the
+  // departure time advances by each finished segment's mean (Eq. 3's
+  // shift-and-enlarge needs per-edge variables the gaps don't have — the
+  // scalar progression is the degraded stand-in).
+  const size_t n = path.size();
+  const size_t max_buckets = options_.chain.max_result_buckets;
+  Histogram1D total;
+  bool have_total = false;
+  bool multi_edge_run = false;
+  size_t covered_runs = 0;
+  size_t synthesized = 0;
+  double t = departure_time;
+  auto accumulate = [&](const Histogram1D& seg) -> Status {
+    t += seg.Mean();
+    if (!have_total) {
+      total = seg;
+      have_total = true;
+      return Status::OK();
+    }
+    PCDE_ASSIGN_OR_RETURN(conv, hist::Convolve(total, seg, max_buckets));
+    total = std::move(conv);
+    return Status::OK();
+  };
+  size_t k = 0;
+  while (k < n) {
+    if (covered[k] != 0) {
+      size_t end = k;
+      while (end < n && covered[end] != 0) ++end;
+      auto run = EstimateCostDistribution(path.Slice(k, end - k), t);
+      if (run.ok()) {
+        if (end - k >= 2) multi_edge_run = true;
+        ++covered_runs;
+        PCDE_RETURN_NOT_OK(accumulate(run.value()));
+        k = end;
+        continue;
+      }
+      // A covered run can still fail (e.g. a unit variable none of whose
+      // intervals is temporally relevant): descend to its edges one by one,
+      // trying the single-edge decomposition before the synthesizer.
+      for (; k < end; ++k) {
+        auto one = EstimateCostDistribution(path.Slice(k, 1), t);
+        if (one.ok()) {
+          ++covered_runs;
+          PCDE_RETURN_NOT_OK(accumulate(one.value()));
+          continue;
+        }
+        PCDE_ASSIGN_OR_RETURN(synth, edge_fallback_(path[k]));
+        ++synthesized;
+        PCDE_RETURN_NOT_OK(accumulate(synth));
+      }
+      continue;
+    }
+    PCDE_ASSIGN_OR_RETURN(synth, edge_fallback_(path[k]));
+    ++synthesized;
+    PCDE_RETURN_NOT_OK(accumulate(synth));
+    ++k;
+  }
+  if (!have_total) return full.status();
+  if (provenance != nullptr) {
+    provenance->level = multi_edge_run ? DegradationLevel::kSubpath
+                                       : DegradationLevel::kEdge;
+    provenance->covered_fraction =
+        static_cast<double>(num_covered) / static_cast<double>(n);
+    provenance->covered_runs = covered_runs;
+    provenance->synthesized_edges = synthesized;
+  }
+  return total;
+}
+
 std::vector<StatusOr<Histogram1D>> HybridEstimator::EstimateBatch(
     const PathQuery* queries, size_t num_queries, ThreadPool* pool,
     BatchMetrics* metrics) const {

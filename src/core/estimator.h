@@ -16,6 +16,9 @@
 //   kUnit      — LB [22], the legacy edge-granularity convolution
 #pragma once
 
+#include <cstdint>
+#include <functional>
+
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/chain_estimator.h"
@@ -28,6 +31,39 @@ namespace pcde {
 namespace core {
 
 enum class DecompositionPolicy { kCoarsest, kRandom, kPairwise, kUnit };
+
+/// \brief How far EstimateWithFallback's degradation ladder descended for a
+/// query (the sparse-trajectory fallback of "Learning to Route with Sparse
+/// Trajectory Sets", arXiv 1802.07980): the full-path decomposition first,
+/// then the longest unit-covered sub-paths, then bare per-edge convolution.
+enum class DegradationLevel : uint8_t {
+  kFull = 0,     // normal decomposition over the whole path
+  kSubpath = 1,  // >= 1 covered multi-edge run estimated by decomposition,
+                 // convolved across synthesized gaps
+  kEdge = 2,     // edge-granularity convolution only
+};
+
+/// \brief Provenance of a degraded estimate — the serving layer surfaces
+/// these fields verbatim (serving::CostSummary), so a caller can audit
+/// whether an answer came from the learned joint distributions or a
+/// coverage fallback, and how much of the path was actually covered.
+struct FallbackProvenance {
+  DegradationLevel level = DegradationLevel::kFull;
+  /// Unit-covered positions / path length (1.0 at kFull).
+  double covered_fraction = 1.0;
+  /// Maximal covered runs estimated through the normal decomposition.
+  size_t covered_runs = 0;
+  /// Positions served from the injected edge synthesizer.
+  size_t synthesized_edges = 0;
+};
+
+/// \brief Synthesizes a cost distribution for an edge with no instantiated
+/// variable at all — the last rung of the ladder. The serving layer injects
+/// the graph's free-flow prior (core/instantiation's FreeFlowEdgeHistogram)
+/// so core stays free of a graph dependency; an error Status fails the
+/// query (no further fallback exists below this one).
+using EdgeFallbackFn =
+    std::function<StatusOr<hist::Histogram1D>(roadnet::EdgeId)>;
 
 struct EstimateOptions {
   DecompositionPolicy policy = DecompositionPolicy::kCoarsest;
@@ -95,6 +131,30 @@ class HybridEstimator {
       const roadnet::Path& path, double departure_time,
       EstimateBreakdown* breakdown = nullptr) const;
 
+  /// \brief Attaches the per-edge synthesizer of the degradation ladder's
+  /// last rung; without one, EstimateWithFallback cannot bridge uncovered
+  /// positions and sparse queries keep failing like EstimateCostDistribution.
+  /// Pass a default-constructed function to detach.
+  void set_edge_fallback(EdgeFallbackFn fn) { edge_fallback_ = std::move(fn); }
+  const EdgeFallbackFn& edge_fallback() const { return edge_fallback_; }
+
+  /// \brief EstimateCostDistribution with the sparse-coverage degradation
+  /// ladder behind it. A fully covered path is served by the normal
+  /// decomposition — bit-identical to EstimateCostDistribution, kFull
+  /// provenance. When positions of the path have no unit variable at all,
+  /// the path splits into maximal covered runs (each estimated through the
+  /// normal decomposition machinery and the attached QueryCache) and
+  /// uncovered positions (served by the edge synthesizer); the segments are
+  /// convolved left to right under independence, with the departure time
+  /// advanced by each segment's mean — deliberately simple degraded
+  /// semantics, flagged as such in the provenance rather than hidden.
+  /// Errors that are not sparse coverage (or sparse coverage with no
+  /// synthesizer attached) pass through unchanged.
+  StatusOr<hist::Histogram1D> EstimateWithFallback(
+      const roadnet::Path& path, double departure_time,
+      FallbackProvenance* provenance = nullptr,
+      EstimateBreakdown* breakdown = nullptr) const;
+
   /// \brief Estimates many path queries concurrently on a work-stealing
   /// thread pool (one task per query); result i corresponds to queries[i],
   /// and each result equals what the sequential EstimateCostDistribution
@@ -130,6 +190,7 @@ class HybridEstimator {
   DecompositionBuilder builder_;
   EstimateOptions options_;
   QueryCache* cache_ = nullptr;  // not owned; thread-safe (sharded)
+  EdgeFallbackFn edge_fallback_;  // empty = ladder ends at sub-paths
 };
 
 /// \brief Incremental estimation for "path + another edge" exploration

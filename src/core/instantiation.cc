@@ -1,6 +1,8 @@
 #include "core/instantiation.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -42,23 +44,29 @@ struct WindowData {
   std::vector<std::vector<double>> rows;
 };
 
-hist::Histogram1D SpeedLimitHistogram(const roadnet::Edge& edge,
-                                      const HybridParams& params) {
+}  // namespace
+
+hist::Histogram1D FreeFlowEdgeHistogram(const roadnet::Edge& edge,
+                                        const HybridParams& params) {
   const double t = edge.FreeFlowSeconds();
   const double lo = std::max(t * (1.0 - params.speed_limit_spread), 0.1);
   const double hi = t * (1.0 + params.speed_limit_spread) + 0.2;
   return hist::Histogram1D::Single(lo, hi);
 }
 
-}  // namespace
-
-PathWeightFunction InstantiateWeightFunction(const Graph& graph,
-                                             const TrajectoryStore& store,
-                                             const HybridParams& params,
-                                             InstantiationStats* stats) {
+Status InstantiateIntoBuilder(const Graph& graph, const TrajectoryStore& store,
+                              const HybridParams& params,
+                              WeightFunctionBuilder* builder,
+                              InstantiationStats* stats) {
   Stopwatch watch;
   const TimeBinning binning(params.alpha_minutes);
-  WeightFunctionBuilder builder(binning);
+  if (binning.alpha_seconds() != builder->binning().alpha_seconds()) {
+    return Status::InvalidArgument(
+        "InstantiateIntoBuilder: params.alpha_minutes (" +
+        std::to_string(params.alpha_minutes) +
+        ") does not match the builder's binning — variables would land on "
+        "the wrong interval grid");
+  }
   InstantiationStats local_stats;
 
   // ---- Level 1: unit paths.
@@ -86,23 +94,25 @@ PathWeightFunction InstantiateWeightFunction(const Graph& graph,
     var.interval = key.interval;
     var.joint = hist::HistogramND::FromHistogram1D(hist1d.value());
     var.support = data.rows.size();
-    builder.Add(std::move(var));
+    builder->Add(std::move(var));
     frequent.insert(key);
     ++local_stats.unit_from_trajectories;
   }
 
   // Speed-limit fallbacks: one all-day unit variable per edge (Sec. 3.1 —
   // "derived from the speed limit ... to avoid overfitting"). These also
-  // cover edges with no data at all.
+  // cover edges with no data at all. On a delta rebuild the re-Add replaces
+  // the seeded fallback in place with identical content, keeping variable
+  // order (and therefore the re-frozen fingerprint) stable.
   for (const roadnet::Edge& edge : graph.edges()) {
     InstantiatedVariable var;
     var.path = Path({edge.id});
     var.interval = kAllDayInterval;
-    var.joint =
-        hist::HistogramND::FromHistogram1D(SpeedLimitHistogram(edge, params));
+    var.joint = hist::HistogramND::FromHistogram1D(
+        FreeFlowEdgeHistogram(edge, params));
     var.support = 0;
     var.from_speed_limit = true;
-    builder.Add(std::move(var));
+    builder->Add(std::move(var));
     ++local_stats.unit_from_speed_limit;
   }
 
@@ -142,12 +152,33 @@ PathWeightFunction InstantiateWeightFunction(const Graph& graph,
       var.interval = key.interval;
       var.joint = std::move(joint).value();
       var.support = data.rows.size();
-      builder.Add(std::move(var));
+      builder->Add(std::move(var));
       frequent.insert(key);
       ++local_stats.joint_variables;
     }
   }
 
+  local_stats.build_seconds = watch.ElapsedSeconds();
+  if (stats != nullptr) *stats = local_stats;
+  return Status::OK();
+}
+
+PathWeightFunction InstantiateWeightFunction(const Graph& graph,
+                                             const TrajectoryStore& store,
+                                             const HybridParams& params,
+                                             InstantiationStats* stats) {
+  Stopwatch watch;
+  WeightFunctionBuilder builder(TimeBinning(params.alpha_minutes));
+  InstantiationStats local_stats;
+  // Infallible here: the builder's binning is params' own, the only
+  // precondition InstantiateIntoBuilder checks.
+  Status status = InstantiateIntoBuilder(graph, store, params, &builder,
+                                         &local_stats);
+  if (!status.ok()) {
+    std::fprintf(stderr, "InstantiateWeightFunction: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
   // Compile the mutable builder state into the frozen serving
   // representation; the freeze (flatten + index build) is part of the
   // offline build cost.

@@ -33,5 +33,33 @@ PathWeightFunction InstantiateWeightFunction(const roadnet::Graph& graph,
                                              const HybridParams& params,
                                              InstantiationStats* stats = nullptr);
 
+/// \brief The incremental form of InstantiateWeightFunction: folds one
+/// trajectory batch into an existing builder instead of freezing — the
+/// delta-rebuild path of online model refresh. Seed the builder either
+/// fresh (full build) or via WeightFunctionBuilder::FromFrozen (fold a new
+/// batch into a previously frozen model without replaying its history).
+///
+/// Last-write-wins in the builder gives the delta/full equivalence: seeding
+/// from FromFrozen(Freeze(B1)) and folding batch B2 freezes to a model
+/// fingerprint-identical to folding B1 then B2 into one fresh builder.
+/// `params.alpha_minutes` must match the builder's binning (a mismatch
+/// would silently file variables under the wrong interval grid — it is an
+/// InvalidArgument here). `stats`, when non-null, receives this batch's
+/// counts only.
+Status InstantiateIntoBuilder(const roadnet::Graph& graph,
+                              const traj::TrajectoryStore& store,
+                              const HybridParams& params,
+                              WeightFunctionBuilder* builder,
+                              InstantiationStats* stats = nullptr);
+
+/// \brief The Sec. 3.1 speed-limit prior for one edge: the single-bucket
+/// free-flow histogram every uncovered edge receives at instantiation time.
+/// Exposed so the serving layer's per-edge degradation fallback
+/// (core/estimator.h) synthesizes exactly the distribution instantiation
+/// would have — an edge absent from a frozen model estimates identically
+/// to one whose speed-limit fallback was baked in.
+hist::Histogram1D FreeFlowEdgeHistogram(const roadnet::Edge& edge,
+                                        const HybridParams& params);
+
 }  // namespace core
 }  // namespace pcde

@@ -377,6 +377,35 @@ StatusOr<PathWeightFunction> LoadWeightFunctionBinary(const std::string& path) {
   return LoadWeightFunctionBinary(path, /*use_mmap=*/false);
 }
 
+StatusOr<uint64_t> PeekBinaryArtifactFingerprint(const std::string& path) {
+  auto bad = [&path](const std::string& what) {
+    return Status::InvalidArgument("PeekBinaryArtifactFingerprint: " + what +
+                                   " in " + path);
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("PeekBinaryArtifactFingerprint: cannot open " +
+                            path);
+  }
+  Header header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in.good()) return bad("file shorter than the header");
+  // The same header gates the full loader applies; the checksum itself is
+  // only a claim about the payload — a swap that trusts it still runs the
+  // full load + validation before publishing anything.
+  if (header.magic != kMagic) return bad("bad magic (not a PCDEWF1 artifact)");
+  if (header.version != kFormatVersion) {
+    return bad("unsupported format version " + std::to_string(header.version) +
+               " (this build reads version " + std::to_string(kFormatVersion) +
+               ")");
+  }
+  if (header.section_count != kNumSections) return bad("bad section count");
+  if (!AlphaInArtifactRange(header.alpha_seconds)) {
+    return bad("bad alpha_seconds");
+  }
+  return header.checksum;
+}
+
 // ---------------------------------------------------------------------------
 // Text artifact (v2): BINNING record + VAR/DIM/HB record groups.
 // ---------------------------------------------------------------------------

@@ -70,6 +70,16 @@ StatusOr<PathWeightFunction> LoadWeightFunctionBinary(const std::string& path);
 StatusOr<PathWeightFunction> LoadWeightFunctionBinary(const std::string& path,
                                                       bool use_mmap);
 
+/// \brief Reads only the binary artifact's 64-byte header and returns its
+/// payload checksum — which equals the fingerprint() of the model the file
+/// encodes. Validates magic, format version, and alpha range, so
+/// truncated/version-skewed files fail here with the same Statuses the
+/// full loader would give. serving::Engine::Swap uses this to short-circuit
+/// a refresh to an artifact whose content the engine is already serving
+/// without paying the load + validation of the full payload. Text
+/// artifacts are rejected (their fingerprint requires a full parse).
+StatusOr<uint64_t> PeekBinaryArtifactFingerprint(const std::string& path);
+
 /// Compatibility shim for text v1 files, which did not embed the binning:
 /// `alpha_minutes` must be the binning the variables were instantiated
 /// with. Also accepts v2 text files, but then the embedded binning must

@@ -391,6 +391,20 @@ std::map<size_t, double> PathWeightFunction::MeanEntropyByRank() const {
 // WeightFunctionBuilder
 // ---------------------------------------------------------------------------
 
+WeightFunctionBuilder WeightFunctionBuilder::FromFrozen(
+    const PathWeightFunction& frozen) {
+  WeightFunctionBuilder builder(frozen.binning());
+  // Id order is the original builder's insertion order (Freeze preserves
+  // it), so replaying it reproduces that builder's deque layout and key
+  // map exactly — subsequent Adds behave identically to Adds on the
+  // original, which is what makes delta rebuilds fingerprint-identical to
+  // full rebuilds over the concatenated batches.
+  for (const InstantiatedVariable& var : frozen.variables()) {
+    builder.Add(var);  // the joint copy is a view; its arena outlives frozen
+  }
+  return builder;
+}
+
 void WeightFunctionBuilder::Add(InstantiatedVariable variable) {
   Key key{variable.path.edges(), variable.interval};
   auto it = by_key_.find(key);

@@ -265,6 +265,19 @@ class WeightFunctionBuilder {
   explicit WeightFunctionBuilder(const TimeBinning& binning)
       : binning_(binning) {}
 
+  /// \brief Re-hydrates a builder from a frozen model — the delta-rebuild
+  /// entry point of online model refresh: fold a new trajectory batch into
+  /// a FromFrozen builder (core/instantiation's InstantiateIntoBuilder) and
+  /// re-freeze instead of replaying the full history.
+  ///
+  /// Variables are replayed in id order, which is the original builder's
+  /// insertion order, so FromFrozen(M) followed by the same Adds a fresh
+  /// builder would receive freezes to a fingerprint-identical model: the
+  /// round trip Freeze(FromFrozen(M)) reproduces M's fingerprint exactly.
+  /// The copied joints are O(1) views whose shared arena keeps `frozen`'s
+  /// payload alive past `frozen` itself.
+  static WeightFunctionBuilder FromFrozen(const PathWeightFunction& frozen);
+
   const TimeBinning& binning() const { return binning_; }
   size_t NumVariables() const { return variables_.size(); }
 

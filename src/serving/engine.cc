@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "core/instantiation.h"
 #include "core/serialization.h"
 #include "roadnet/shortest_path.h"
 
@@ -35,8 +36,60 @@ CostSummary SummarizeDistribution(const Histogram1D& dist, StatsMask stats,
   return summary;
 }
 
-Engine::Engine(EngineOptions options, std::unique_ptr<PathWeightFunction> model)
-    : options_(std::move(options)), model_(std::move(model)) {}
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+
+namespace {
+
+/// The last rung of the degradation ladder: synthesize an uncovered edge's
+/// distribution exactly as instantiation's speed-limit prior would have —
+/// an edge missing from the frozen model estimates identically to one
+/// whose fallback variable was baked in at build time.
+core::EdgeFallbackFn MakeEdgeFallback(const roadnet::Graph& graph) {
+  return [&graph](roadnet::EdgeId e) -> StatusOr<hist::Histogram1D> {
+    if (static_cast<size_t>(e) >= graph.NumEdges()) {
+      return Status::InvalidArgument("edge fallback: unknown edge " +
+                                     std::to_string(e));
+    }
+    return core::FreeFlowEdgeHistogram(graph.edge(e), core::HybridParams());
+  };
+}
+
+}  // namespace
+
+std::shared_ptr<const Engine::Epoch> Engine::BuildEpoch(
+    std::shared_ptr<const PathWeightFunction> model, uint64_t sequence) const {
+  auto epoch = std::make_shared<Epoch>();
+  epoch->sequence = sequence;
+  epoch->model = std::move(model);
+  epoch->estimator = std::make_unique<core::HybridEstimator>(
+      *epoch->model, options_.estimate);
+  epoch->estimator->set_query_cache(cache_.get());
+  if (options_.graph != nullptr) {
+    epoch->estimator->set_edge_fallback(MakeEdgeFallback(*options_.graph));
+    routing::RouterConfig config;
+    config.lower_bound_factor = options_.route_lower_bound_factor;
+    config.max_expansions = options_.route_max_expansions;
+    config.max_path_edges = options_.route_max_path_edges;
+    config.num_threads = pool_->num_threads();
+    config.pool = pool_.get();
+    config.query_cache = cache_.get();
+    config.prefix_cache_bytes = options_.prefix_cache_bytes;
+    epoch->router = std::make_unique<routing::DfsStochasticRouter>(
+        *options_.graph, *epoch->model, options_.estimate, config);
+  }
+  return epoch;
+}
+
+std::shared_ptr<const Engine::Epoch> Engine::CurrentEpoch() const {
+  return std::atomic_load(&epoch_);
+}
+
+uint64_t Engine::PublishLocked(
+    std::shared_ptr<const PathWeightFunction> model) {
+  const uint64_t sequence = next_sequence_++;
+  std::atomic_store(&epoch_, BuildEpoch(std::move(model), sequence));
+  return sequence;
+}
 
 StatusOr<std::unique_ptr<Engine>> Engine::Make(
     EngineOptions options, std::unique_ptr<PathWeightFunction> model) {
@@ -44,8 +97,7 @@ StatusOr<std::unique_ptr<Engine>> Engine::Make(
     return Status::InvalidArgument(
         "Engine: cache_time_bucket_seconds must be positive");
   }
-  std::unique_ptr<Engine> engine(
-      new Engine(std::move(options), std::move(model)));
+  std::unique_ptr<Engine> engine(new Engine(std::move(options)));
   const EngineOptions& opts = engine->options_;
   if (opts.query_cache_bytes > 0) {
     core::QueryCacheOptions cache_options;
@@ -55,22 +107,50 @@ StatusOr<std::unique_ptr<Engine>> Engine::Make(
     engine->cache_ = std::make_unique<core::QueryCache>(cache_options);
   }
   engine->pool_ = std::make_unique<ThreadPool>(opts.num_threads);
-  engine->estimator_ = std::make_unique<core::HybridEstimator>(
-      *engine->model_, opts.estimate);
-  engine->estimator_->set_query_cache(engine->cache_.get());
-  if (opts.graph != nullptr) {
-    routing::RouterConfig config;
-    config.lower_bound_factor = opts.route_lower_bound_factor;
-    config.max_expansions = opts.route_max_expansions;
-    config.max_path_edges = opts.route_max_path_edges;
-    config.num_threads = engine->pool_->num_threads();
-    config.pool = engine->pool_.get();
-    config.query_cache = engine->cache_.get();
-    config.prefix_cache_bytes = opts.prefix_cache_bytes;
-    engine->router_ = std::make_unique<routing::DfsStochasticRouter>(
-        *opts.graph, *engine->model_, opts.estimate, config);
-  }
+  engine->PublishLocked(std::shared_ptr<const PathWeightFunction>(
+      std::move(model)));  // first epoch; no concurrent readers yet
   return engine;
+}
+
+StatusOr<uint64_t> Engine::Swap(const std::string& model_path) {
+  if (model_path.empty()) {
+    return Status::InvalidArgument("Engine::Swap: model_path is empty");
+  }
+  std::lock_guard<std::mutex> lock(swap_mutex_);
+  // Short-circuit a refresh to content already being served: the header
+  // checksum IS the model fingerprint. A failed peek (text artifact,
+  // unreadable file) is not a swap failure yet — the full load below is
+  // the authority, and it validates the whole payload either way.
+  auto peek = core::PeekBinaryArtifactFingerprint(model_path);
+  const std::shared_ptr<const Epoch> current = CurrentEpoch();
+  if (peek.ok() && peek.value() == current->model->fingerprint()) {
+    return current->sequence;
+  }
+  auto loaded = options_.use_mmap
+                    ? core::LoadWeightFunctionBinary(model_path,
+                                                     /*use_mmap=*/true)
+                    : core::LoadWeightFunction(model_path);
+  // Rejection leaves the published epoch untouched: the old model keeps
+  // serving and the caller gets the loader's Status verbatim.
+  if (!loaded.ok()) return loaded.status();
+  return PublishLocked(std::make_shared<PathWeightFunction>(
+      std::move(loaded).value()));
+}
+
+StatusOr<uint64_t> Engine::Swap(PathWeightFunction model) {
+  std::lock_guard<std::mutex> lock(swap_mutex_);
+  return PublishLocked(
+      std::make_shared<PathWeightFunction>(std::move(model)));
+}
+
+uint64_t Engine::epoch_sequence() const { return CurrentEpoch()->sequence; }
+
+const PathWeightFunction& Engine::model() const {
+  return *CurrentEpoch()->model;
+}
+
+std::shared_ptr<const PathWeightFunction> Engine::model_snapshot() const {
+  return CurrentEpoch()->model;
 }
 
 StatusOr<std::unique_ptr<Engine>> Engine::Open(EngineOptions options) {
@@ -142,80 +222,90 @@ EstimateResponse MakeResponse(const EstimateRequest& request, Path path,
   return response;
 }
 
+/// Stamps epoch + fallback provenance: which published model served this
+/// response and how far the degradation ladder descended for it.
+void StampProvenance(EstimateResponse* response, const uint64_t fingerprint,
+                     const uint64_t epoch,
+                     const core::FallbackProvenance& provenance) {
+  response->model_fingerprint = fingerprint;
+  response->epoch = epoch;
+  response->summary.degradation = provenance.level;
+  response->summary.covered_fraction = provenance.covered_fraction;
+}
+
 }  // namespace
 
 StatusOr<EstimateResponse> Engine::Estimate(
     const EstimateRequest& request) const {
   Stopwatch watch;
+  // Pin one epoch for the whole request: resolution, estimation, and
+  // provenance all read the same published model even if Swap lands
+  // mid-request.
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
   PCDE_ASSIGN_OR_RETURN(path, ResolvePath(request.path));
   core::EstimateBreakdown breakdown;
-  auto dist = estimator_->EstimateCostDistribution(
-      path, request.departure_time, &breakdown);
+  core::FallbackProvenance provenance;
+  auto dist = epoch->estimator->EstimateWithFallback(
+      path, request.departure_time, &provenance, &breakdown);
   if (!dist.ok()) return dist.status();
   EstimateResponse response = MakeResponse(request, std::move(path),
                                            std::move(dist).value(), &breakdown);
+  StampProvenance(&response, epoch->model->fingerprint(), epoch->sequence,
+                  provenance);
   response.serve_seconds = watch.ElapsedSeconds();
   return response;
 }
 
 std::vector<StatusOr<EstimateResponse>> Engine::EstimateBatch(
     const EstimateRequest* requests, size_t num_requests) const {
+  // One epoch pin for the whole batch: every response of a batch is served
+  // by the same published model, whatever Swap does meanwhile.
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  const uint64_t fingerprint = epoch->model->fingerprint();
   std::vector<StatusOr<EstimateResponse>> responses(
       num_requests, Status::Internal("EstimateBatch: request not run"));
-  // Resolve every request on the pool first (OD resolution is a Dijkstra
-  // run — the dominant per-request cost of the OD scenario, so it must
-  // not serialize on the caller thread); a request that fails resolution
-  // gets its own Status and the rest proceed — per-request error
-  // isolation. Resolution is deterministic, so the fan-out cannot change
-  // results.
-  std::vector<StatusOr<roadnet::Path>> resolved(
-      num_requests, Status::Internal("EstimateBatch: not resolved"));
-  pool_->ParallelFor(num_requests, [this, requests, &resolved](size_t i) {
-    resolved[i] = ResolvePath(requests[i].path);
-  });
-  std::vector<core::PathQuery> queries;
-  std::vector<size_t> query_request;  // queries[i] serves requests[...]
-  queries.reserve(num_requests);
-  query_request.reserve(num_requests);
-  for (size_t i = 0; i < num_requests; ++i) {
-    if (!resolved[i].ok()) {
-      responses[i] = resolved[i].status();
-      continue;
+  // One pool task per request, resolution included (OD resolution is a
+  // Dijkstra run — the dominant per-request cost of the OD scenario, so it
+  // must not serialize on the caller thread). A request that fails
+  // resolution or estimation gets its own Status and the rest proceed —
+  // per-request error isolation. Resolution and estimation are
+  // deterministic, so the fan-out cannot change results.
+  pool_->ParallelFor(num_requests, [this, requests, &responses, &epoch,
+                                    fingerprint](size_t i) {
+    Stopwatch watch;
+    auto resolved = ResolvePath(requests[i].path);
+    if (!resolved.ok()) {
+      responses[i] = resolved.status();
+      return;
     }
-    queries.push_back(core::PathQuery{std::move(resolved[i]).value(),
-                                      requests[i].departure_time});
-    query_request.push_back(i);
-  }
-  if (queries.empty()) return responses;
-  // The measured batch layer: concurrent fan-out on the engine's shared
-  // pool, per-query latency + cache provenance via BatchMetrics.
-  core::BatchMetrics metrics;
-  std::vector<StatusOr<Histogram1D>> results = estimator_->EstimateBatch(
-      queries.data(), queries.size(), pool_.get(), &metrics);
-  for (size_t q = 0; q < queries.size(); ++q) {
-    const size_t i = query_request[q];
-    if (!results[q].ok()) {
-      responses[i] = results[q].status();
-      continue;
+    core::EstimateBreakdown breakdown;
+    core::FallbackProvenance provenance;
+    auto dist = epoch->estimator->EstimateWithFallback(
+        resolved.value(), requests[i].departure_time, &provenance, &breakdown);
+    if (!dist.ok()) {
+      responses[i] = dist.status();
+      return;
     }
     EstimateResponse response =
-        MakeResponse(requests[i], std::move(queries[q].path),
-                     std::move(results[q]).value(), nullptr);
-    response.served_from_cache = metrics.query_cache_hit[q] != 0;
-    response.serve_seconds = metrics.query_seconds[q];
+        MakeResponse(requests[i], std::move(resolved).value(),
+                     std::move(dist).value(), nullptr);
+    response.served_from_cache = breakdown.cache_hit;
+    StampProvenance(&response, fingerprint, epoch->sequence, provenance);
+    response.serve_seconds = watch.ElapsedSeconds();
     responses[i] = std::move(response);
-  }
+  });
   return responses;
 }
 
 StatusOr<RouteResponse> Engine::Route(const RouteRequest& request) const {
-  if (router_ == nullptr) {
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  if (epoch->router == nullptr) {
     return Status::FailedPrecondition(
         "Engine::Route needs EngineOptions::graph");
   }
-  auto result = router_->Route(request.from, request.to,
-                               request.departure_time,
-                               request.budget_seconds);
+  auto result = epoch->router->Route(request.from, request.to,
+                                     request.departure_time,
+                                     request.budget_seconds);
   if (!result.ok()) return result.status();
   RouteResponse response;
   response.best_path = std::move(result.value().best_path);
@@ -225,6 +315,8 @@ StatusOr<RouteResponse> Engine::Route(const RouteRequest& request) const {
   response.truncated = result.value().truncated;
   response.prefix_cache_hits = result.value().prefix_cache_hits;
   response.prefix_cache_misses = result.value().prefix_cache_misses;
+  response.model_fingerprint = epoch->model->fingerprint();
+  response.epoch = epoch->sequence;
   return response;
 }
 

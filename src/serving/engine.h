@@ -23,10 +23,16 @@
 //
 // Thread safety: Estimate / EstimateBatch / Route are const and safe to
 // call concurrently (the underlying estimator is read-only over the frozen
-// model and the QueryCache is sharded).
+// model and the QueryCache is sharded). Swap may run concurrently with all
+// of them: the model, estimator, and router live in an immutable epoch
+// snapshot published behind an atomically swapped shared_ptr; every request
+// pins the epoch it entered on, so a swap mid-request changes nothing for
+// that request and the old model is destroyed only when its last in-flight
+// request finishes. Concurrent Swap calls serialize against each other.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -105,8 +111,39 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// \brief Zero-downtime model refresh: loads the artifact, validates it,
+  /// and atomically publishes it as a new epoch. In-flight and subsequent
+  /// requests are never failed by the transition — each pins one epoch for
+  /// its whole lifetime, and responses carry the pinned epoch + model
+  /// fingerprint so callers can audit which model answered. A corrupt,
+  /// truncated, or version-skewed artifact is rejected with the loader's
+  /// Status and the old epoch keeps serving untouched. An artifact whose
+  /// header checksum matches the currently served model short-circuits to
+  /// a no-op (no new epoch). The shared QueryCache survives swaps: its
+  /// keys carry the model fingerprint, so entries of replaced models decay
+  /// into misses and evict, never into false hits. Loads via
+  /// options().use_mmap, like Open. Returns the now-serving epoch sequence.
+  /// Thread-safe against requests and against other Swap calls.
+  StatusOr<uint64_t> Swap(const std::string& model_path);
+
+  /// Adopting form: publishes an already-built (or already-loaded) frozen
+  /// model as the new epoch — the embedded wiring, e.g. a delta rebuild
+  /// (WeightFunctionBuilder::FromFrozen + InstantiateIntoBuilder) frozen in
+  /// process and swapped in without touching disk.
+  StatusOr<uint64_t> Swap(core::PathWeightFunction model);
+
+  /// Sequence number of the currently published epoch (starts at 1;
+  /// incremented by every successful non-short-circuited Swap).
+  uint64_t epoch_sequence() const;
+
   const EngineOptions& options() const { return options_; }
-  const core::PathWeightFunction& model() const { return *model_; }
+  /// The currently published epoch's model. The reference stays valid
+  /// until the next successful Swap; under concurrent swaps prefer
+  /// model_snapshot(), which the caller pins.
+  const core::PathWeightFunction& model() const;
+  /// Swap-safe model access: the returned shared_ptr keeps the model (and
+  /// its arena) alive past any number of subsequent swaps.
+  std::shared_ptr<const core::PathWeightFunction> model_snapshot() const;
   /// nullptr when query_cache_bytes == 0.
   core::QueryCache* query_cache() const { return cache_.get(); }
   ThreadPool& pool() const { return *pool_; }
@@ -140,21 +177,49 @@ class Engine {
   StatusOr<RouteResponse> Route(const RouteRequest& request) const;
 
  private:
-  Engine(EngineOptions options,
-         std::unique_ptr<core::PathWeightFunction> model);
+  /// \brief One published model generation: the frozen model plus the
+  /// stack wired to it. Immutable once published; requests pin it with one
+  /// shared_ptr copy at entry, so a replaced epoch (and its model arena,
+  /// mmap included) is torn down exactly when its last in-flight request
+  /// drops the pin. The QueryCache and ThreadPool are engine-level and
+  /// shared across epochs — cache keys carry the model fingerprint, so
+  /// sharing is correctness-neutral.
+  struct Epoch {
+    uint64_t sequence = 0;
+    std::shared_ptr<const core::PathWeightFunction> model;
+    std::unique_ptr<core::HybridEstimator> estimator;
+    std::unique_ptr<routing::DfsStochasticRouter> router;  // iff graph set
+  };
+
+  explicit Engine(EngineOptions options);
 
   static StatusOr<std::unique_ptr<Engine>> Make(
       EngineOptions options,
       std::unique_ptr<core::PathWeightFunction> model);
 
+  /// Wires a full epoch (estimator + edge fallback + router) around a
+  /// frozen model. Pure construction over validated input — no failure
+  /// mode; all swap failures happen before this, in the artifact load.
+  std::shared_ptr<const Epoch> BuildEpoch(
+      std::shared_ptr<const core::PathWeightFunction> model,
+      uint64_t sequence) const;
+
+  /// The epoch pin every request takes exactly once at entry.
+  std::shared_ptr<const Epoch> CurrentEpoch() const;
+
+  /// Builds and publishes the next epoch; caller holds swap_mutex_.
+  uint64_t PublishLocked(std::shared_ptr<const core::PathWeightFunction> model);
+
   EngineOptions options_;
-  // unique_ptr members keep every referenced address stable: the estimator
-  // and router hold references to the model, cache, and pool.
-  std::unique_ptr<core::PathWeightFunction> model_;
+  // Engine-level (epoch-independent) members; unique_ptr keeps their
+  // addresses stable for the epochs' estimators and routers.
   std::unique_ptr<core::QueryCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<core::HybridEstimator> estimator_;
-  std::unique_ptr<routing::DfsStochasticRouter> router_;  // iff graph set
+  // The published epoch, read with std::atomic_load (one acquire per
+  // request) and replaced with std::atomic_store under swap_mutex_.
+  std::shared_ptr<const Epoch> epoch_;
+  std::mutex swap_mutex_;       // serializes Swap callers
+  uint64_t next_sequence_ = 1;  // guarded by swap_mutex_ after Make
 };
 
 }  // namespace serving

@@ -93,6 +93,13 @@ struct CostSummary {
   std::vector<double> quantiles;
   /// Bucket count of the underlying distribution (its resolution).
   size_t num_buckets = 0;
+  /// Degradation provenance (core/estimator.h): kFull means the normal
+  /// full-path decomposition served this summary; kSubpath/kEdge mean the
+  /// sparse-coverage fallback chain did — the answer is explicitly degraded
+  /// rather than an error, and callers can audit how far the ladder fell.
+  core::DegradationLevel degradation = core::DegradationLevel::kFull;
+  /// Unit-covered positions / path length (1.0 at kFull).
+  double covered_fraction = 1.0;
 
   /// Exact (bitwise) equality, treating NaN fields as equal when both are
   /// NaN — the divergence gate of the save -> reload -> serve round trip:
@@ -107,6 +114,8 @@ struct CostSummary {
         !same(support_hi, other.support_hi) ||
         !same(prob_within_budget, other.prob_within_budget) ||
         num_buckets != other.num_buckets ||
+        degradation != other.degradation ||
+        !same(covered_fraction, other.covered_fraction) ||
         quantiles.size() != other.quantiles.size()) {
       return false;
     }
@@ -129,8 +138,14 @@ struct EstimateResponse {
   /// Served from the engine's QueryCache instead of sweeping the chain.
   bool served_from_cache = false;
   /// Wall-clock serving latency of this request (in a batch: the
-  /// per-query latency core::BatchMetrics records inside the fan-out).
+  /// per-query latency recorded inside the fan-out).
   double serve_seconds = 0.0;
+  /// Model provenance: the fingerprint of the frozen model and the engine
+  /// epoch that served this response. Every response is computed entirely
+  /// within one pinned epoch — under concurrent Engine::Swap these fields
+  /// always name exactly one published model, never a mix.
+  uint64_t model_fingerprint = 0;
+  uint64_t epoch = 0;
 };
 
 /// \brief One stochastic-routing query: the path from `from` to `to`
@@ -152,6 +167,10 @@ struct RouteResponse {
   /// zero when disabled).
   uint64_t prefix_cache_hits = 0;
   uint64_t prefix_cache_misses = 0;
+  /// Model provenance, as on EstimateResponse: the routing search ran
+  /// start to finish against this one pinned epoch's model.
+  uint64_t model_fingerprint = 0;
+  uint64_t epoch = 0;
 };
 
 }  // namespace serving

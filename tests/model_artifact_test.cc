@@ -27,6 +27,7 @@
 #include "core/instantiation.h"
 #include "core/query_cache.h"
 #include "core/serialization.h"
+#include "serving/engine.h"
 #include "traj/generator.h"
 #include "traj/store.h"
 
@@ -499,6 +500,98 @@ TEST_F(ModelArtifactTest, TextSurvivesLineTruncation) {
     auto loaded = LoadWeightFunction(cut);  // ok or clean error; no crash
     (void)loaded;
   }
+}
+
+TEST_F(ModelArtifactTest, SwapSurvivesCorruptArtifactSweep) {
+  // The corruption sweep above, through serving::Engine::Swap: a live
+  // engine fed every flavor of bad artifact must reject each one with a
+  // clean Status and keep serving byte-identically. The engine starts on a
+  // *different* model (the speed-limit baseline) so Swap's header-checksum
+  // short-circuit never skips the full load of the corrupted payloads.
+  HybridParams params;
+  params.beta = 15;
+  PathWeightFunction base = InstantiateWeightFunction(
+      *dataset_->graph, traj::TrajectoryStore(), params);
+  const uint64_t base_fp = base.fingerprint();
+  ASSERT_NE(base_fp, wp_->fingerprint());
+  const std::string base_path = Track(TempPath("pcde_model_swap_base.bin"));
+  const std::string good = Track(TempPath("pcde_model_swap_good.bin"));
+  ASSERT_TRUE(SaveWeightFunctionBinary(base, base_path).ok());
+  ASSERT_TRUE(SaveWeightFunctionBinary(*wp_, good).ok());
+
+  serving::EngineOptions options;
+  options.model_path = base_path;
+  options.graph = dataset_->graph.get();
+  options.num_threads = 1;
+  options.query_cache_bytes = 0;
+  auto opened = serving::Engine::Open(std::move(options));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  serving::Engine& engine = *opened.value();
+
+  const std::vector<PathQuery> queries = MakeQueries(1);
+  ASSERT_FALSE(queries.empty());
+  serving::EstimateRequest request;
+  request.path = serving::PathSpec::ExplicitPath(queries[0].path);
+  request.departure_time = queries[0].departure_time;
+  auto baseline = engine.Estimate(request);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  const std::vector<char> bytes = ReadAll(good);
+  const std::string bad = Track(TempPath("pcde_model_swap_bad.bin"));
+
+  // Byte-flip sweep. Every Swap attempt must either fail (leaving the
+  // baseline epoch serving) or — when the flip landed in checksum-exempt
+  // inter-section padding — publish a model identical to the original, in
+  // which case the engine is reset to the baseline generation for the next
+  // probe. Under ASan this doubles as the no-OOB-read property of the
+  // whole load-validate-publish path.
+  const size_t stride = std::max<size_t>(bytes.size() / 192, 1);
+  size_t rejected = 0, unaffected = 0;
+  for (size_t off = 0; off < bytes.size(); off += stride) {
+    std::vector<char> corrupt = bytes;
+    corrupt[off] = static_cast<char>(corrupt[off] ^ 0x5a);
+    WriteAll(bad, corrupt);
+    auto swapped = engine.Swap(bad);
+    if (swapped.ok()) {
+      EXPECT_EQ(engine.model().fingerprint(), wp_->fingerprint())
+          << "flip at " << off << " changed the model but swapped in";
+      ++unaffected;
+      ASSERT_TRUE(engine.Swap(base_path).ok());
+    } else {
+      EXPECT_EQ(engine.model().fingerprint(), base_fp) << "flip at " << off;
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  // Padding bytes are rare; almost every flip must be rejected.
+  EXPECT_GT(rejected, 20 * unaffected);
+
+  // Truncations and version skew through the same live engine.
+  const uint64_t sequence = engine.epoch_sequence();
+  for (size_t n : {size_t{0}, size_t{15}, size_t{63}, size_t{100},
+                   bytes.size() / 2, bytes.size() - 1}) {
+    WriteAll(bad, std::vector<char>(bytes.begin(),
+                                    bytes.begin() + static_cast<long>(n)));
+    EXPECT_FALSE(engine.Swap(bad).ok()) << "truncation at " << n;
+  }
+  {
+    std::vector<char> skewed = bytes;
+    skewed[8] = static_cast<char>(99);  // header.version
+    WriteAll(bad, skewed);
+    EXPECT_FALSE(engine.Swap(bad).ok());
+  }
+  EXPECT_EQ(engine.epoch_sequence(), sequence);
+
+  // Serving was never perturbed by any of it.
+  auto after = engine.Estimate(request);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(after.value().summary.ExactlyEquals(baseline.value().summary));
+  EXPECT_EQ(after.value().model_fingerprint, base_fp);
+
+  // And the undamaged artifact still swaps in cleanly afterwards.
+  auto swapped = engine.Swap(good);
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  EXPECT_EQ(engine.model().fingerprint(), wp_->fingerprint());
 }
 
 }  // namespace

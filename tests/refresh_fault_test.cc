@@ -1,0 +1,699 @@
+// Fault-injection harness for zero-downtime model refresh (ISSUE 6):
+//
+//  * Delta rebuild: WeightFunctionBuilder::FromFrozen reproduces the frozen
+//    fingerprint exactly, and folding a second trajectory batch into a
+//    FromFrozen builder freezes to a model fingerprint-identical to folding
+//    both batches into one fresh builder.
+//  * Epoch swap: Engine::Swap publishes a new epoch whose answers are
+//    bit-identical to a directly opened engine over the same artifact;
+//    corrupt, truncated, version-skewed, empty, and missing artifacts are
+//    rejected with a clean Status while the old epoch keeps serving
+//    byte-identically; a swap to already-served content short-circuits.
+//  * Fallback chain: sparse-coverage paths degrade to covered sub-paths and
+//    per-edge synthesis with exact DegradationLevel / covered_fraction
+//    provenance instead of failing; full coverage stays kFull and
+//    bit-identical to the plain estimator.
+//  * Swap-under-load stress: >= 4 client threads hammer EstimateBatch and
+//    Route while >= 8 swaps (interleaved with corrupt swap attempts) run;
+//    zero failed responses and zero cross-epoch-mixed responses — every
+//    response's summary must ExactlyEqual the reference summary of the one
+//    model named by its fingerprint. scripts/ci.sh runs this under ASan.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/instantiation.h"
+#include "core/serialization.h"
+#include "core/weight_function.h"
+#include "roadnet/shortest_path.h"
+#include "serving/engine.h"
+#include "traj/generator.h"
+#include "traj/store.h"
+
+namespace pcde {
+namespace serving {
+namespace {
+
+using core::DegradationLevel;
+using core::FallbackProvenance;
+using core::HybridEstimator;
+using core::HybridParams;
+using core::InstantiatedVariable;
+using core::PathWeightFunction;
+using core::WeightFunctionBuilder;
+using hist::Histogram1D;
+using roadnet::Graph;
+using roadnet::Path;
+using roadnet::VertexId;
+
+constexpr double kDepart = 8 * 3600.0;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Two models over one City-A network: the speed-limit-only baseline and the
+/// trajectory-instantiated model, both saved as binary artifacts — the two
+/// generations a refresh alternates between. Built once for the suite.
+class RefreshFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new traj::Dataset(traj::MakeDatasetA(2000));
+    graph_ = dataset_->graph.get();
+    HybridParams params;
+    params.beta = 15;
+    wp_base_ = new PathWeightFunction(core::InstantiateWeightFunction(
+        *graph_, traj::TrajectoryStore(), params));
+    wp_data_ = new PathWeightFunction(core::InstantiateWeightFunction(
+        *graph_, traj::TrajectoryStore(dataset_->MatchedSlice(1.0)), params));
+    ASSERT_NE(wp_base_->fingerprint(), wp_data_->fingerprint());
+    artifact_base_ = TempPath("pcde_refresh_base." +
+                              std::to_string(::getpid()) + ".bin");
+    artifact_data_ = TempPath("pcde_refresh_data." +
+                              std::to_string(::getpid()) + ".bin");
+    ASSERT_TRUE(core::SaveWeightFunctionBinary(*wp_base_, artifact_base_).ok());
+    ASSERT_TRUE(core::SaveWeightFunctionBinary(*wp_data_, artifact_data_).ok());
+  }
+  static void TearDownTestSuite() {
+    std::remove(artifact_base_.c_str());
+    std::remove(artifact_data_.c_str());
+    delete wp_data_;
+    delete wp_base_;
+    delete dataset_;
+    wp_data_ = nullptr;
+    wp_base_ = nullptr;
+    dataset_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  void TearDown() override {
+    for (const std::string& p : cleanup_) std::remove(p.c_str());
+  }
+  std::string Track(std::string p) {
+    cleanup_.push_back(p);
+    return p;
+  }
+
+  static std::unique_ptr<Engine> OpenEngine(const std::string& artifact,
+                                            size_t cache_bytes,
+                                            size_t num_threads) {
+    EngineOptions options;
+    options.model_path = artifact;
+    options.graph = graph_;
+    options.num_threads = num_threads;
+    options.query_cache_bytes = cache_bytes;
+    auto engine = Engine::Open(std::move(options));
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    return engine.ok() ? std::move(engine).value() : nullptr;
+  }
+
+  static Path PathBetween(VertexId from, VertexId to) {
+    auto p = roadnet::ShortestPath(*graph_, from, to,
+                                   roadnet::FreeFlowWeight(*graph_));
+    EXPECT_TRUE(p.ok());
+    return p.ok() ? p.value() : Path();
+  }
+
+  /// A model covering only the given positions of `path`: each covered
+  /// position gets the baseline's all-day speed-limit unit variable for its
+  /// edge, every other position has no unit variable at all.
+  static PathWeightFunction MakeSparseModel(
+      const Path& path, const std::vector<size_t>& covered_positions) {
+    WeightFunctionBuilder builder(wp_base_->binning());
+    for (size_t pos : covered_positions) {
+      const InstantiatedVariable* v =
+          wp_base_->Lookup(Path({path[pos]}), core::kAllDayInterval);
+      EXPECT_NE(v, nullptr);
+      if (v != nullptr) builder.Add(*v);
+    }
+    return std::move(builder).Freeze();
+  }
+
+  /// The synthesizer serving::Engine injects, wired by hand for direct
+  /// estimator tests.
+  static core::EdgeFallbackFn FallbackFn() {
+    return [](roadnet::EdgeId e) -> StatusOr<Histogram1D> {
+      return core::FreeFlowEdgeHistogram(graph_->edge(e), HybridParams());
+    };
+  }
+
+  static traj::Dataset* dataset_;
+  static const Graph* graph_;
+  static PathWeightFunction* wp_base_;  // speed-limit-only generation
+  static PathWeightFunction* wp_data_;  // trajectory-instantiated generation
+  static std::string artifact_base_;
+  static std::string artifact_data_;
+  std::vector<std::string> cleanup_;
+};
+
+traj::Dataset* RefreshFaultTest::dataset_ = nullptr;
+const Graph* RefreshFaultTest::graph_ = nullptr;
+PathWeightFunction* RefreshFaultTest::wp_base_ = nullptr;
+PathWeightFunction* RefreshFaultTest::wp_data_ = nullptr;
+std::string RefreshFaultTest::artifact_base_;
+std::string RefreshFaultTest::artifact_data_;
+
+// ---------------------------------------------------------------------------
+// Delta rebuild: FromFrozen + InstantiateIntoBuilder
+// ---------------------------------------------------------------------------
+
+TEST_F(RefreshFaultTest, FromFrozenRoundTripReproducesFingerprint) {
+  WeightFunctionBuilder builder = WeightFunctionBuilder::FromFrozen(*wp_data_);
+  EXPECT_EQ(builder.NumVariables(), wp_data_->NumVariables());
+  const PathWeightFunction refrozen = std::move(builder).Freeze();
+  EXPECT_EQ(refrozen.fingerprint(), wp_data_->fingerprint());
+  ASSERT_EQ(refrozen.NumVariables(), wp_data_->NumVariables());
+  // Ids (and therefore query-cache keys) are reproduced, not just content.
+  for (size_t i = 0; i < refrozen.NumVariables(); ++i) {
+    EXPECT_EQ(refrozen.variables()[i].id, wp_data_->variables()[i].id);
+    EXPECT_EQ(refrozen.variables()[i].path, wp_data_->variables()[i].path);
+  }
+}
+
+TEST_F(RefreshFaultTest, DeltaRebuildMatchesSequentialFullBuild) {
+  HybridParams params;
+  // Lower beta than the fixture: each half-batch alone must still qualify
+  // some (edge, interval) windows, or the delta would be a no-op.
+  params.beta = 8;
+  std::vector<traj::MatchedTrajectory> all = dataset_->MatchedSlice(1.0);
+  ASSERT_GE(all.size(), 100u);
+  const size_t half = all.size() / 2;
+  const traj::TrajectoryStore batch1(
+      std::vector<traj::MatchedTrajectory>(all.begin(), all.begin() + half));
+  const traj::TrajectoryStore batch2(
+      std::vector<traj::MatchedTrajectory>(all.begin() + half, all.end()));
+
+  // Reference: both batches folded into one fresh builder.
+  WeightFunctionBuilder fresh(wp_base_->binning());
+  ASSERT_TRUE(
+      core::InstantiateIntoBuilder(*graph_, batch1, params, &fresh).ok());
+  ASSERT_TRUE(
+      core::InstantiateIntoBuilder(*graph_, batch2, params, &fresh).ok());
+  const PathWeightFunction sequential = std::move(fresh).Freeze();
+
+  // Delta: freeze after batch 1, re-hydrate, fold batch 2, re-freeze.
+  WeightFunctionBuilder first(wp_base_->binning());
+  ASSERT_TRUE(
+      core::InstantiateIntoBuilder(*graph_, batch1, params, &first).ok());
+  const PathWeightFunction generation1 = std::move(first).Freeze();
+  WeightFunctionBuilder delta = WeightFunctionBuilder::FromFrozen(generation1);
+  core::InstantiationStats stats;
+  ASSERT_TRUE(
+      core::InstantiateIntoBuilder(*graph_, batch2, params, &delta, &stats)
+          .ok());
+  const PathWeightFunction generation2 = std::move(delta).Freeze();
+
+  EXPECT_EQ(generation2.fingerprint(), sequential.fingerprint());
+  EXPECT_EQ(generation2.NumVariables(), sequential.NumVariables());
+  EXPECT_GT(stats.unit_from_trajectories, 0u);  // the batch actually folded
+  // And the delta actually changed the model (batch 2 brought new data).
+  EXPECT_NE(generation2.fingerprint(), generation1.fingerprint());
+}
+
+TEST_F(RefreshFaultTest, InstantiateIntoBuilderRejectsBinningMismatch) {
+  WeightFunctionBuilder builder{core::TimeBinning(15.0)};
+  HybridParams params;  // alpha_minutes = 30 != the builder's 15
+  EXPECT_EQ(core::InstantiateIntoBuilder(*graph_, traj::TrajectoryStore(),
+                                         params, &builder)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch swap: publish
+// ---------------------------------------------------------------------------
+
+TEST_F(RefreshFaultTest, SwapPublishesNewEpochWithProvenance) {
+  auto engine = OpenEngine(artifact_base_, /*cache_bytes=*/0, 1);
+  ASSERT_NE(engine, nullptr);
+  auto ref_base = OpenEngine(artifact_base_, 0, 1);
+  auto ref_data = OpenEngine(artifact_data_, 0, 1);
+  ASSERT_NE(ref_base, nullptr);
+  ASSERT_NE(ref_data, nullptr);
+  EXPECT_EQ(engine->epoch_sequence(), 1u);
+  EXPECT_EQ(engine->model().fingerprint(), wp_base_->fingerprint());
+
+  EstimateRequest request;
+  request.path = PathSpec::ExplicitPath(PathBetween(0, 30));
+  request.departure_time = kDepart;
+
+  auto before = engine->Estimate(request);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before.value().model_fingerprint, wp_base_->fingerprint());
+  EXPECT_EQ(before.value().epoch, 1u);
+  EXPECT_EQ(before.value().summary.degradation, DegradationLevel::kFull);
+  EXPECT_EQ(before.value().summary.covered_fraction, 1.0);
+  auto expected_base = ref_base->Estimate(request);
+  ASSERT_TRUE(expected_base.ok());
+  EXPECT_TRUE(
+      before.value().summary.ExactlyEquals(expected_base.value().summary));
+
+  // Publish the trajectory-instantiated generation.
+  auto swapped = engine->Swap(artifact_data_);
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  EXPECT_EQ(swapped.value(), 2u);
+  EXPECT_EQ(engine->epoch_sequence(), 2u);
+  EXPECT_EQ(engine->model().fingerprint(), wp_data_->fingerprint());
+
+  auto after = engine->Estimate(request);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value().model_fingerprint, wp_data_->fingerprint());
+  EXPECT_EQ(after.value().epoch, 2u);
+  auto expected_data = ref_data->Estimate(request);
+  ASSERT_TRUE(expected_data.ok());
+  EXPECT_TRUE(
+      after.value().summary.ExactlyEquals(expected_data.value().summary));
+
+  // Route carries the same provenance.
+  const double min_time = roadnet::ShortestPathCost(
+      *graph_, 0, 30, roadnet::FreeFlowWeight(*graph_));
+  RouteRequest route;
+  route.from = 0;
+  route.to = 30;
+  route.departure_time = kDepart;
+  route.budget_seconds = min_time * 1.3;
+  auto routed = engine->Route(route);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  EXPECT_EQ(routed.value().model_fingerprint, wp_data_->fingerprint());
+  EXPECT_EQ(routed.value().epoch, 2u);
+
+  // Swapping to the content already being served short-circuits: same
+  // sequence back, no new epoch.
+  auto again = engine->Swap(artifact_data_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 2u);
+  EXPECT_EQ(engine->epoch_sequence(), 2u);
+
+  // A snapshot pinned before a swap outlives the epoch it came from.
+  auto pinned = engine->model_snapshot();
+  ASSERT_TRUE(engine->Swap(artifact_base_).ok());
+  EXPECT_EQ(pinned->fingerprint(), wp_data_->fingerprint());
+  EXPECT_EQ(engine->model().fingerprint(), wp_base_->fingerprint());
+  EXPECT_EQ(engine->epoch_sequence(), 3u);
+}
+
+TEST_F(RefreshFaultTest, SwapAdoptsDeltaRebuiltModelInProcess) {
+  auto engine = OpenEngine(artifact_base_, /*cache_bytes=*/0, 1);
+  ASSERT_NE(engine, nullptr);
+  // Delta-rebuild in process: re-hydrate the served model, fold the full
+  // trajectory set, re-freeze, and swap without touching disk.
+  WeightFunctionBuilder builder =
+      WeightFunctionBuilder::FromFrozen(engine->model());
+  HybridParams params;
+  params.beta = 15;
+  const traj::TrajectoryStore store(dataset_->MatchedSlice(1.0));
+  ASSERT_TRUE(
+      core::InstantiateIntoBuilder(*graph_, store, params, &builder).ok());
+  auto swapped = engine->Swap(std::move(builder).Freeze());
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  EXPECT_EQ(swapped.value(), 2u);
+  // The delta equals its sequential counterpart: the same two batches
+  // (empty, then full) folded into one fresh builder. (Not the one-shot
+  // full build — that one never saw the empty batch, so its speed-limit
+  // fallbacks land at different insertion positions / ids.)
+  WeightFunctionBuilder sequential(wp_base_->binning());
+  ASSERT_TRUE(core::InstantiateIntoBuilder(*graph_, traj::TrajectoryStore(),
+                                           params, &sequential)
+                  .ok());
+  ASSERT_TRUE(
+      core::InstantiateIntoBuilder(*graph_, store, params, &sequential).ok());
+  const PathWeightFunction counterpart = std::move(sequential).Freeze();
+  EXPECT_EQ(engine->model().fingerprint(), counterpart.fingerprint());
+  EXPECT_NE(engine->model().fingerprint(), wp_base_->fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Epoch swap: rejection
+// ---------------------------------------------------------------------------
+
+TEST_F(RefreshFaultTest, SwapRejectsCorruptArtifactsAndKeepsServing) {
+  auto engine = OpenEngine(artifact_base_, /*cache_bytes=*/0, 1);
+  ASSERT_NE(engine, nullptr);
+  EstimateRequest request;
+  request.path = PathSpec::ExplicitPath(PathBetween(5, 40));
+  request.departure_time = kDepart;
+  auto baseline = engine->Estimate(request);
+  ASSERT_TRUE(baseline.ok());
+
+  const std::vector<char> bytes = ReadAll(artifact_data_);
+  ASSERT_GT(bytes.size(), 1000u);
+  const std::string bad = Track(TempPath(
+      "pcde_refresh_bad." + std::to_string(::getpid()) + ".bin"));
+
+  auto expect_rejected = [&](const Status& status, const std::string& what) {
+    EXPECT_FALSE(status.ok()) << what << " swapped in";
+    EXPECT_EQ(engine->epoch_sequence(), 1u) << what;
+    EXPECT_EQ(engine->model().fingerprint(), wp_base_->fingerprint()) << what;
+    auto still = engine->Estimate(request);
+    ASSERT_TRUE(still.ok()) << what;
+    EXPECT_TRUE(still.value().summary.ExactlyEquals(baseline.value().summary))
+        << what;
+    EXPECT_EQ(still.value().model_fingerprint, wp_base_->fingerprint())
+        << what;
+  };
+
+  // Truncations, header to last byte.
+  for (size_t n : {size_t{0}, size_t{15}, size_t{63}, size_t{100},
+                   bytes.size() / 2, bytes.size() - 1}) {
+    WriteAll(bad, std::vector<char>(bytes.begin(),
+                                    bytes.begin() + static_cast<long>(n)));
+    expect_rejected(engine->Swap(bad).status(),
+                    "truncation at " + std::to_string(n));
+  }
+  // Version skew.
+  {
+    std::vector<char> skewed = bytes;
+    skewed[8] = static_cast<char>(99);  // header.version
+    WriteAll(bad, skewed);
+    expect_rejected(engine->Swap(bad).status(), "version skew");
+  }
+  // Header-field corruption the checksum is guaranteed to catch: the magic,
+  // the checksum field itself, and the variable count. (The exhaustive
+  // payload byte-flip sweep through Swap lives in model_artifact_test.cc,
+  // which tolerates the rare checksum-exempt padding flip.)
+  for (size_t off : {size_t{0}, size_t{16}, size_t{33}}) {
+    std::vector<char> flipped = bytes;
+    flipped[off] = static_cast<char>(flipped[off] ^ 0x5a);
+    WriteAll(bad, flipped);
+    expect_rejected(engine->Swap(bad).status(),
+                    "byte flip at " + std::to_string(off));
+  }
+  // Missing file and empty path.
+  expect_rejected(engine->Swap(bad + ".does-not-exist").status(),
+                  "missing file");
+  expect_rejected(engine->Swap("").status(), "empty path");
+
+  // After all that abuse a good artifact still swaps in.
+  auto swapped = engine->Swap(artifact_data_);
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  EXPECT_EQ(swapped.value(), 2u);
+  EXPECT_EQ(engine->model().fingerprint(), wp_data_->fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-coverage fallback chain
+// ---------------------------------------------------------------------------
+
+TEST_F(RefreshFaultTest, FallbackDegradesToCoveredSubpaths) {
+  const Path path = PathBetween(2, 61);
+  ASSERT_GE(path.size(), 6u);
+  // Cover a 4-edge prefix run; the tail positions have no unit variable.
+  const PathWeightFunction sparse = MakeSparseModel(path, {0, 1, 2, 3});
+  HybridEstimator estimator(sparse);
+  estimator.set_edge_fallback(FallbackFn());
+
+  // The plain estimator fails on the gap; the ladder serves instead.
+  EXPECT_FALSE(estimator.EstimateCostDistribution(path, kDepart).ok());
+  FallbackProvenance provenance;
+  auto dist = estimator.EstimateWithFallback(path, kDepart, &provenance);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  EXPECT_GT(dist.value().NumBuckets(), 0u);
+  EXPECT_EQ(provenance.level, DegradationLevel::kSubpath);
+  EXPECT_EQ(provenance.covered_fraction, 4.0 / static_cast<double>(path.size()));
+  EXPECT_EQ(provenance.covered_runs, 1u);
+  EXPECT_EQ(provenance.synthesized_edges, path.size() - 4);
+}
+
+TEST_F(RefreshFaultTest, FallbackDegradesToEdgeConvolution) {
+  const Path path = PathBetween(2, 61);
+  ASSERT_GE(path.size(), 6u);
+  // Isolated covered singles only — no multi-edge run survives.
+  const PathWeightFunction sparse = MakeSparseModel(path, {0, 2, 4});
+  HybridEstimator estimator(sparse);
+  estimator.set_edge_fallback(FallbackFn());
+
+  FallbackProvenance provenance;
+  auto dist = estimator.EstimateWithFallback(path, kDepart, &provenance);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  EXPECT_EQ(provenance.level, DegradationLevel::kEdge);
+  EXPECT_EQ(provenance.covered_fraction, 3.0 / static_cast<double>(path.size()));
+  EXPECT_EQ(provenance.covered_runs, 3u);
+  EXPECT_EQ(provenance.synthesized_edges, path.size() - 3);
+}
+
+TEST_F(RefreshFaultTest, SynthesizedEdgeMatchesSpeedLimitPriorExactly) {
+  const Path path = PathBetween(2, 61);
+  ASSERT_GE(path.size(), 2u);
+  // A model that knows a different edge: position 0 of `path` is uncovered.
+  const PathWeightFunction sparse = MakeSparseModel(path, {1});
+  HybridEstimator estimator(sparse);
+  estimator.set_edge_fallback(FallbackFn());
+
+  const Path single({path[0]});
+  FallbackProvenance provenance;
+  auto dist = estimator.EstimateWithFallback(single, kDepart, &provenance);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  // The synthesizer is exactly the instantiation-time speed-limit prior: a
+  // missing edge estimates identically to a baked-in fallback variable.
+  EXPECT_TRUE(dist.value().BitIdentical(
+      core::FreeFlowEdgeHistogram(graph_->edge(path[0]), HybridParams())));
+  EXPECT_EQ(provenance.level, DegradationLevel::kEdge);
+  EXPECT_EQ(provenance.covered_fraction, 0.0);
+  EXPECT_EQ(provenance.covered_runs, 0u);
+  EXPECT_EQ(provenance.synthesized_edges, 1u);
+}
+
+TEST_F(RefreshFaultTest, FullCoverageStaysBitIdenticalWithKFullProvenance) {
+  const Path path = PathBetween(0, 30);
+  HybridEstimator estimator(*wp_data_);
+  estimator.set_edge_fallback(FallbackFn());
+  auto plain = estimator.EstimateCostDistribution(path, kDepart);
+  FallbackProvenance provenance;
+  auto ladder = estimator.EstimateWithFallback(path, kDepart, &provenance);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_TRUE(ladder.value().BitIdentical(plain.value()));
+  EXPECT_EQ(provenance.level, DegradationLevel::kFull);
+  EXPECT_EQ(provenance.covered_fraction, 1.0);
+}
+
+TEST_F(RefreshFaultTest, SparseCoverageWithoutSynthesizerKeepsFailing) {
+  const Path path = PathBetween(2, 61);
+  ASSERT_GE(path.size(), 6u);
+  const PathWeightFunction sparse = MakeSparseModel(path, {0, 1});
+  HybridEstimator estimator(sparse);  // no edge fallback attached
+  auto plain = estimator.EstimateCostDistribution(path, kDepart);
+  auto ladder = estimator.EstimateWithFallback(path, kDepart);
+  ASSERT_FALSE(plain.ok());
+  ASSERT_FALSE(ladder.ok());
+  // The original error passes through unchanged.
+  EXPECT_EQ(ladder.status().code(), plain.status().code());
+  EXPECT_EQ(ladder.status().message(), plain.status().message());
+}
+
+TEST_F(RefreshFaultTest, EngineServesSparseModelWithDegradedSummary) {
+  const Path path = PathBetween(2, 61);
+  ASSERT_GE(path.size(), 6u);
+  EngineOptions options;
+  options.graph = graph_;
+  options.num_threads = 1;
+  options.query_cache_bytes = 0;
+  auto engine =
+      Engine::Open(MakeSparseModel(path, {0, 1, 2, 3}), std::move(options));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  EstimateRequest request;
+  request.path = PathSpec::ExplicitPath(path);
+  request.departure_time = kDepart;
+  auto response = engine.value()->Estimate(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().summary.degradation, DegradationLevel::kSubpath);
+  EXPECT_EQ(response.value().summary.covered_fraction,
+            4.0 / static_cast<double>(path.size()));
+
+  // The engine answer equals the hand-wired ladder bit for bit.
+  const PathWeightFunction sparse = MakeSparseModel(path, {0, 1, 2, 3});
+  HybridEstimator direct(sparse, engine.value()->options().estimate);
+  direct.set_edge_fallback(FallbackFn());
+  FallbackProvenance provenance;
+  auto expected = direct.EstimateWithFallback(path, kDepart, &provenance);
+  ASSERT_TRUE(expected.ok());
+  CostSummary reference = SummarizeDistribution(
+      expected.value(), request.stats, request.budget_seconds,
+      request.quantiles);
+  reference.degradation = provenance.level;
+  reference.covered_fraction = provenance.covered_fraction;
+  EXPECT_TRUE(response.value().summary.ExactlyEquals(reference));
+
+  // The batch path degrades identically to the single path.
+  auto batch = engine.value()->EstimateBatch(
+      std::vector<EstimateRequest>{request, request});
+  ASSERT_EQ(batch.size(), 2u);
+  for (const auto& r : batch) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().summary.ExactlyEquals(response.value().summary));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Swap under concurrent load
+// ---------------------------------------------------------------------------
+
+TEST_F(RefreshFaultTest, SwapUnderConcurrentLoadNeverMixesEpochs) {
+  constexpr size_t kClients = 4;
+  constexpr int kSwaps = 12;
+  constexpr size_t kEngineThreads = 2;
+
+  // Tiny evicting cache: entries churn across epochs the whole time.
+  EngineOptions options;
+  options.model_path = artifact_base_;
+  options.graph = graph_;
+  options.num_threads = kEngineThreads;
+  options.query_cache_bytes = size_t{1} << 14;
+  auto opened = Engine::Open(std::move(options));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Engine& engine = *opened.value();
+
+  // Reference engines (same estimate options and thread count, ample
+  // non-evicting caches — results are bit-identical either way).
+  auto ref_base = OpenEngine(artifact_base_, size_t{64} << 20, kEngineThreads);
+  auto ref_data = OpenEngine(artifact_data_, size_t{64} << 20, kEngineThreads);
+  ASSERT_NE(ref_base, nullptr);
+  ASSERT_NE(ref_data, nullptr);
+
+  std::vector<EstimateRequest> requests;
+  for (auto [from, to] : {std::pair<VertexId, VertexId>{0, 30},
+                          {5, 40},
+                          {2, 61},
+                          {7, 33},
+                          {11, 52}}) {
+    EstimateRequest request;
+    request.path = PathSpec::ExplicitPath(PathBetween(from, to));
+    request.departure_time = kDepart;
+    requests.push_back(std::move(request));
+  }
+  requests.push_back(requests.front());
+  requests.back().path = PathSpec::OdPair(0, 30);
+
+  const double min_time = roadnet::ShortestPathCost(
+      *graph_, 0, 30, roadnet::FreeFlowWeight(*graph_));
+  RouteRequest route_request;
+  route_request.from = 0;
+  route_request.to = 30;
+  route_request.departure_time = kDepart;
+  route_request.budget_seconds = min_time * 1.3;
+
+  // Per-model references every served response must ExactlyEqual: a
+  // response whose summary matches neither model's reference (or whose
+  // fingerprint names neither) mixed state across epochs.
+  std::unordered_map<uint64_t, std::vector<CostSummary>> ref_summaries;
+  std::unordered_map<uint64_t, RouteResponse> ref_routes;
+  for (auto* ref : {ref_base.get(), ref_data.get()}) {
+    const uint64_t fp = ref->model().fingerprint();
+    for (const EstimateRequest& request : requests) {
+      auto response = ref->Estimate(request);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ref_summaries[fp].push_back(response.value().summary);
+    }
+    auto routed = ref->Route(route_request);
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    ref_routes[fp] = std::move(routed).value();
+  }
+
+  // A corrupt artifact the swapper keeps throwing at the engine mid-storm.
+  // The flip hits the header checksum field, so the peek never matches a
+  // served fingerprint (no short-circuit) and the full load always runs —
+  // and always rejects on the checksum mismatch, whichever generation is
+  // currently published.
+  std::vector<char> corrupt_bytes = ReadAll(artifact_data_);
+  corrupt_bytes[16] = static_cast<char>(corrupt_bytes[16] ^ 0x5a);
+  const std::string corrupt = Track(TempPath(
+      "pcde_refresh_stress_bad." + std::to_string(::getpid()) + ".bin"));
+  WriteAll(corrupt, corrupt_bytes);
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> failed{0};   // responses with a Status
+  std::atomic<size_t> mixed{0};    // responses matching no single epoch
+  std::atomic<size_t> batches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        auto responses = engine.EstimateBatch(requests);
+        for (size_t i = 0; i < responses.size(); ++i) {
+          if (!responses[i].ok()) {
+            ++failed;
+            continue;
+          }
+          const EstimateResponse& r = responses[i].value();
+          auto it = ref_summaries.find(r.model_fingerprint);
+          if (it == ref_summaries.end() || r.epoch == 0 ||
+              !r.summary.ExactlyEquals(it->second[i])) {
+            ++mixed;
+          }
+        }
+        auto routed = engine.Route(route_request);
+        if (!routed.ok()) {
+          ++failed;
+        } else {
+          const RouteResponse& r = routed.value();
+          auto it = ref_routes.find(r.model_fingerprint);
+          if (it == ref_routes.end() ||
+              !(r.best_path == it->second.best_path) ||
+              r.on_time_probability != it->second.on_time_probability) {
+            ++mixed;
+          }
+        }
+        ++batches;
+      }
+    });
+  }
+
+  // The swapper: corrupt attempt + good swap per round, alternating the two
+  // generations so every good swap publishes a genuinely different model.
+  // No ASSERTs inside the loop — the clients must be joined on every path.
+  uint64_t sequence = 1;
+  bool swaps_ok = true;
+  for (int s = 0; s < kSwaps && swaps_ok; ++s) {
+    EXPECT_FALSE(engine.Swap(corrupt).ok());
+    EXPECT_EQ(engine.epoch_sequence(), sequence);
+    const std::string& next = (s % 2 == 0) ? artifact_data_ : artifact_base_;
+    auto swapped = engine.Swap(next);
+    EXPECT_TRUE(swapped.ok()) << swapped.status().ToString();
+    swaps_ok = swapped.ok();
+    if (swaps_ok) {
+      EXPECT_EQ(swapped.value(), ++sequence);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  done.store(true);
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_TRUE(swaps_ok);
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_EQ(mixed.load(), 0u);
+  if (swaps_ok) {
+    EXPECT_EQ(engine.epoch_sequence(), 1u + kSwaps);
+  }
+  // The storm actually overlapped the swaps.
+  EXPECT_GE(batches.load(), kClients);
+}
+
+}  // namespace
+}  // namespace serving
+}  // namespace pcde
