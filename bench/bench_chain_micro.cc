@@ -11,7 +11,9 @@
 // Usage: bench_chain_micro [output.json] [reps]
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -680,6 +682,168 @@ int main(int argc, char** argv) {
                           "fallback_edge")) {
       return 1;
     }
+  }
+
+  // Deadline-overshoot series (ISSUE 7): how far past its deadline a
+  // cooperatively-cancelled estimate runs before unwinding. The slowest
+  // workload query gets a deadline at a fraction of its own unconstrained
+  // latency, so the trip lands mid-sweep; the recorded "latency" of each
+  // tripped request is its overshoot (elapsed - timeout). Cooperative
+  // checkpoints are per chain-part transition, so the overshoot must sit
+  // far below the unconstrained latency (a request-granularity
+  // implementation would overshoot by the full remaining estimate);
+  // scripts/ci.sh gates p50 overshoot < 0.5x the unconstrained p50.
+  {
+    auto engine = open_engine(/*threads=*/1, /*cache_bytes=*/0,
+                              /*prefix_bytes=*/0);
+    if (engine == nullptr) return 1;
+    // The slowest query: longest path served through the engine.
+    const core::PathQuery* slow = &w.queries.front();
+    for (const core::PathQuery& q : w.queries) {
+      if (q.path.size() > slow->path.size()) slow = &q;
+    }
+    serving::EstimateRequest request;
+    request.path = serving::PathSpec::ExplicitPath(slow->path);
+    request.departure_time = slow->departure_time;
+    const int deadline_iters = std::max(128, reps * 16);
+    std::vector<double> baseline_lat, overshoot_lat;
+    baseline_lat.reserve(static_cast<size_t>(deadline_iters));
+    overshoot_lat.reserve(static_cast<size_t>(deadline_iters));
+    // Warm-up pass pins the unconstrained latency the timeouts scale from.
+    double unconstrained = 0.0;
+    {
+      std::vector<double> warm;
+      for (int i = 0; i < 16; ++i) {
+        Stopwatch watch;
+        auto response = engine->Estimate(request);
+        warm.push_back(watch.ElapsedSeconds());
+        if (!response.ok()) {
+          std::fprintf(stderr, "deadline warmup estimate failed: %s\n",
+                       response.status().ToString().c_str());
+          return 1;
+        }
+      }
+      std::sort(warm.begin(), warm.end());
+      unconstrained = warm[warm.size() / 2];
+    }
+    const double fractions[] = {0.25, 0.5, 0.75};
+    size_t completed_anyway = 0;
+    for (int i = 0; i < deadline_iters; ++i) {
+      // Interleave a baseline run with every deadline run (the
+      // MeasurePaired discipline), so the overshoot-vs-baseline ratio is
+      // taken under the same machine conditions.
+      Stopwatch base_watch;
+      auto base = engine->Estimate(request);
+      baseline_lat.push_back(base_watch.ElapsedSeconds());
+      if (!base.ok()) {
+        std::fprintf(stderr, "deadline baseline estimate failed: %s\n",
+                     base.status().ToString().c_str());
+        return 1;
+      }
+      serving::EstimateRequest dead = request;
+      dead.timeout_seconds =
+          unconstrained * fractions[static_cast<size_t>(i) % 3];
+      Stopwatch watch;
+      auto response = engine->Estimate(dead);
+      const double elapsed = watch.ElapsedSeconds();
+      if (response.ok()) {
+        ++completed_anyway;  // finished before the deadline: no overshoot
+        continue;
+      }
+      if (response.status().code() != StatusCode::kDeadlineExceeded) {
+        std::fprintf(stderr, "deadline run failed with %s\n",
+                     response.status().ToString().c_str());
+        return 1;
+      }
+      overshoot_lat.push_back(std::max(0.0, elapsed - dead.timeout_seconds));
+    }
+    if (overshoot_lat.empty()) {
+      std::fprintf(stderr, "no deadline ever tripped; aborting\n");
+      return 1;
+    }
+    if (completed_anyway > 0) {
+      std::printf("  deadline series: %zu/%d runs finished under deadline\n",
+                  completed_anyway, deadline_iters);
+    }
+    series.push_back(KernelSeries::FromLatencies(
+        "estimate_deadline_baseline", std::move(baseline_lat), 0));
+    series.push_back(KernelSeries::FromLatencies(
+        "estimate_deadline_overshoot", std::move(overshoot_lat), 0));
+  }
+
+  // Overload-shed series (ISSUE 7): the cost of rejecting a request at
+  // admission. Client threads hammer a 1-slot engine; every shed response's
+  // latency is recorded — shedding must stay microseconds (the whole point
+  // of admission control is that overload rejection is orders of magnitude
+  // cheaper than serving), and ops_per_sec is the shed decision rate.
+  {
+    serving::EngineOptions options;
+    options.model_path = serving_artifact;
+    options.graph = w.data->data.graph.get();
+    options.num_threads = 2;
+    options.query_cache_bytes = 0;
+    options.max_inflight_requests = 1;  // hard shed at the door
+    auto opened = serving::Engine::Open(std::move(options));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "overload Engine::Open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    serving::Engine& engine = *opened.value();
+    serving::EstimateRequest request;
+    request.path = serving::PathSpec::ExplicitPath(w.queries.front().path);
+    request.departure_time = w.queries.front().departure_time;
+    constexpr size_t kShedClients = 4;
+    constexpr size_t kTargetSheds = 512;
+    std::atomic<bool> stop{false};
+    std::atomic<bool> bad_status{false};
+    std::vector<std::vector<double>> shed_lat(kShedClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kShedClients);
+    for (size_t c = 0; c < kShedClients; ++c) {
+      clients.emplace_back([&, c] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          Stopwatch watch;
+          auto response = engine.Estimate(request);
+          const double elapsed = watch.ElapsedSeconds();
+          if (response.ok()) continue;
+          if (response.status().code() != StatusCode::kResourceExhausted) {
+            bad_status.store(true, std::memory_order_relaxed);
+            return;
+          }
+          shed_lat[c].push_back(elapsed);
+        }
+      });
+    }
+    Stopwatch storm;
+    while (storm.ElapsedSeconds() < 5.0) {
+      size_t sheds = 0;
+      for (const auto& lane : shed_lat) sheds += lane.size();
+      if (sheds >= kTargetSheds || bad_status.load()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    stop.store(true);
+    for (std::thread& t : clients) t.join();
+    if (bad_status.load()) {
+      std::fprintf(stderr, "overload storm saw a non-shed failure\n");
+      return 1;
+    }
+    std::vector<double> all_sheds;
+    for (auto& lane : shed_lat) {
+      all_sheds.insert(all_sheds.end(), lane.begin(), lane.end());
+    }
+    if (all_sheds.empty()) {
+      std::fprintf(stderr, "overload storm never shed; aborting\n");
+      return 1;
+    }
+    const auto admission_stats = engine.stats();
+    KernelSeries shed_series = KernelSeries::FromLatencies(
+        "overload_shed", std::move(all_sheds), 0);
+    // The cache columns carry the storm's admission traffic: hits =
+    // admitted, misses = shed (schema note in bench/README.md).
+    shed_series.cache_hits = admission_stats.admitted;
+    shed_series.cache_misses = admission_stats.shed;
+    series.push_back(std::move(shed_series));
   }
 
   for (const KernelSeries& s : series) {

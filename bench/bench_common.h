@@ -338,6 +338,9 @@ inline bool WriteChainBenchJson(const std::string& path,
   const KernelSeries* swap_publish = nullptr;
   const KernelSeries* steady = nullptr;
   const KernelSeries* during_swap = nullptr;
+  const KernelSeries* deadline_base = nullptr;
+  const KernelSeries* deadline_overshoot = nullptr;
+  const KernelSeries* overload_shed = nullptr;
   for (const KernelSeries& s : series) {
     if (s.name == "chain_sweep") rewrite = &s;
     if (s.name == "chain_sweep_reference") reference = &s;
@@ -347,6 +350,9 @@ inline bool WriteChainBenchJson(const std::string& path,
     if (s.name == "swap_publish") swap_publish = &s;
     if (s.name == "estimate_steady") steady = &s;
     if (s.name == "estimate_during_swap") during_swap = &s;
+    if (s.name == "estimate_deadline_baseline") deadline_base = &s;
+    if (s.name == "estimate_deadline_overshoot") deadline_overshoot = &s;
+    if (s.name == "overload_shed") overload_shed = &s;
   }
   if (rewrite != nullptr && reference != nullptr &&
       reference->ops_per_sec > 0.0) {
@@ -381,6 +387,23 @@ inline bool WriteChainBenchJson(const std::string& path,
   if (steady != nullptr && during_swap != nullptr && steady->p99_ms > 0.0) {
     std::fprintf(f, ",\n  \"estimate_during_swap_p99_vs_steady\": %s",
                  num(during_swap->p99_ms / steady->p99_ms).c_str());
+  }
+  // Overload headline numbers: how far past its deadline a cancelled
+  // estimate runs relative to the same query unconstrained (cooperative
+  // cancellation checkpoints per chain part, so this must stay well under
+  // 1.0; CI gates the median ratio < 0.5), and the median cost of shedding
+  // one request at admission.
+  if (deadline_base != nullptr && deadline_overshoot != nullptr &&
+      deadline_base->p50_ms > 0.0) {
+    std::fprintf(f, ",\n  \"deadline_overshoot_p50_ms\": %s",
+                 num(deadline_overshoot->p50_ms).c_str());
+    std::fprintf(
+        f, ",\n  \"deadline_overshoot_p50_vs_estimate_p50\": %s",
+        num(deadline_overshoot->p50_ms / deadline_base->p50_ms).c_str());
+  }
+  if (overload_shed != nullptr && overload_shed->iterations > 0) {
+    std::fprintf(f, ",\n  \"overload_shed_p50_ms\": %s",
+                 num(overload_shed->p50_ms).c_str());
   }
   std::fprintf(f, "\n}\n");
   std::fclose(f);

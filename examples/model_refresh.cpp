@@ -48,7 +48,16 @@ int main() {
     std::printf("generation-1 instantiation failed\n");
     return 1;
   }
-  core::PathWeightFunction generation1 = std::move(builder1).Freeze();
+  // Live-data builds go through TryFreeze: a bad batch degrades into a
+  // clean error and the serve loop keeps its current model, instead of the
+  // aborting Freeze() taking the server down.
+  auto frozen1 = std::move(builder1).TryFreeze();
+  if (!frozen1.ok()) {
+    std::printf("generation-1 freeze failed: %s\n",
+                frozen1.status().ToString().c_str());
+    return 1;
+  }
+  core::PathWeightFunction generation1 = std::move(frozen1).value();
   const std::string artifact = MakeTempArtifactPath("pcde_refresh_example");
   if (!core::SaveWeightFunctionBinary(generation1, artifact).ok()) {
     std::printf("artifact save failed\n");
@@ -104,7 +113,13 @@ int main() {
   };
   core::WeightFunctionBuilder copy1 =
       core::WeightFunctionBuilder::FromFrozen(engine.model());
-  auto counterpart1 = adopt(std::move(copy1).Freeze());
+  auto refrozen1 = std::move(copy1).TryFreeze();
+  if (!refrozen1.ok()) {
+    std::printf("counterpart-1 freeze failed: %s\n",
+                refrozen1.status().ToString().c_str());
+    return 1;
+  }
+  auto counterpart1 = adopt(std::move(refrozen1).value());
   if (counterpart1 == nullptr) return 1;
   auto served1 = engine.Estimate(request);
   auto expected1 = counterpart1->Estimate(request);
@@ -158,14 +173,26 @@ int main() {
     std::printf("delta instantiation failed\n");
     return 1;
   }
-  core::PathWeightFunction generation2 = std::move(delta).Freeze();
+  auto frozen2 = std::move(delta).TryFreeze();
+  if (!frozen2.ok()) {
+    std::printf("delta freeze failed: %s (epoch 1 keeps serving)\n",
+                frozen2.status().ToString().c_str());
+    return 1;
+  }
+  core::PathWeightFunction generation2 = std::move(frozen2).value();
   core::WeightFunctionBuilder fresh{core::TimeBinning(params.alpha_minutes)};
   if (!core::InstantiateIntoBuilder(*city.graph, batch1, params, &fresh).ok() ||
       !core::InstantiateIntoBuilder(*city.graph, batch2, params, &fresh).ok()) {
     std::printf("sequential full build failed\n");
     return 1;
   }
-  core::PathWeightFunction sequential = std::move(fresh).Freeze();
+  auto frozen_seq = std::move(fresh).TryFreeze();
+  if (!frozen_seq.ok()) {
+    std::printf("sequential freeze failed: %s\n",
+                frozen_seq.status().ToString().c_str());
+    return 1;
+  }
+  core::PathWeightFunction sequential = std::move(frozen_seq).value();
   if (generation2.fingerprint() != sequential.fingerprint() ||
       generation2.fingerprint() == generation1.fingerprint()) {
     std::printf("delta rebuild diverges from the sequential full build\n");

@@ -12,9 +12,16 @@
 #      clients against an engine whose model is repeatedly swapped (with
 #      corrupt-artifact attempts interleaved) must see zero failed and
 #      zero cross-epoch-mixed responses, every fingerprint matching a
-#      published epoch.
-#   2. Release with SIMD on — the production configuration.
-#   3. End-to-end examples in Release, all served through serving::Engine:
+#      published epoch. The overload-chaos gate then reruns the ISSUE 7
+#      storm under ASan: deadlines tripping mid-sweep, pre-cancelled
+#      requests, admission shedding, and epoch swaps all at once must
+#      produce zero hangs, zero mixed-epoch responses, and zero leaks.
+#   2. Optional Debug + TSan build (skipped with a notice when the
+#      toolchain can't produce one) running the thread pool, admission,
+#      and overload-chaos suites — the lock-order/data-race angle on the
+#      same cancellation and shedding machinery.
+#   3. Release with SIMD on — the production configuration.
+#   4. End-to-end examples in Release, all served through serving::Engine:
 #      quickstart, data_pipeline, and od_query each build -> save -> reload
 #      a binary model artifact and serve from it via Engine::Open, exiting
 #      nonzero if any served estimate diverges from the built model
@@ -22,7 +29,7 @@
 #      explicit-path form); model_refresh walks the zero-downtime refresh
 #      (build -> serve -> rejected corrupt swap -> delta rebuild -> swap ->
 #      serve) with exact-counterpart assertions on both epochs.
-#   4. scripts/run_benches.sh-equivalent perf record; fails the gate when
+#   5. scripts/run_benches.sh-equivalent perf record; fails the gate when
 #      BENCH_chain.json reports speedup_vs_reference < PCDE_CI_MIN_SPEEDUP
 #      (default 3), the binary model load is less than
 #      PCDE_CI_MIN_LOAD_SPEEDUP (default 10) times faster than the text
@@ -37,7 +44,16 @@
 #      and the swap_publish_seconds headline must also be present: the
 #      bench aborts internally on any swap failure, churned-batch error
 #      response, or wrong degradation provenance, so presence certifies
-#      those runtime gates passed.
+#      those runtime gates passed. The overload series
+#      (estimate_deadline_overshoot, overload_shed) must likewise be
+#      present (the bench aborts if a deadline never trips, a deadline
+#      unwind comes back with the wrong status, or the storm never
+#      sheds), and the deadline_overshoot_p50_vs_estimate_p50 headline
+#      must stay below PCDE_CI_MAX_OVERSHOOT_RATIO (default 0.5):
+#      cooperative cancellation checkpoints at every chain-part
+#      transition, so a tripped estimate may overrun its deadline by at
+#      most a fraction of the unconstrained latency —
+#      request-granularity cancellation would push the ratio toward 1.
 #
 # Usage: scripts/ci.sh [reps]
 set -euo pipefail
@@ -48,29 +64,50 @@ MIN_SPEEDUP="${PCDE_CI_MIN_SPEEDUP:-3}"
 MIN_LOAD_SPEEDUP="${PCDE_CI_MIN_LOAD_SPEEDUP:-10}"
 MIN_BATCH_SCALING="${PCDE_CI_MIN_BATCH_SCALING:-3}"
 MIN_ENGINE_RATIO="${PCDE_CI_MIN_ENGINE_RATIO:-0.95}"
+MAX_OVERSHOOT_RATIO="${PCDE_CI_MAX_OVERSHOOT_RATIO:-0.5}"
 
-echo "=== [1/4] Debug + ASan build (scalar SIMD fallback) ==="
+echo "=== [1/5] Debug + ASan build (scalar SIMD fallback) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DPCDE_SANITIZE=address \
       -DPCDE_SIMD=OFF -DPCDE_BUILD_BENCHES=OFF -DPCDE_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -j)
 
-echo "=== [1/4] Swap-stress gate (refresh fault injection under ASan) ==="
+echo "=== [1/5] Swap-stress gate (refresh fault injection under ASan) ==="
 ./build-asan/refresh_fault_test \
   --gtest_filter='RefreshFaultTest.SwapUnderConcurrentLoadNeverMixesEpochs:RefreshFaultTest.SwapRejectsCorruptArtifactsAndKeepsServing'
 
-echo "=== [2/4] Release build (SIMD on) ==="
+echo "=== [1/5] Overload-chaos gate (deadlines + cancel + shed + swaps under ASan) ==="
+./build-asan/overload_chaos_test
+
+echo "=== [2/5] Optional Debug + TSan build (thread pool, admission, chaos) ==="
+# Not every toolchain in the build matrix ships a working TSan runtime
+# (some libc/arch combinations can't even link it), so this step probes
+# first and skips with a notice instead of failing the gate.
+if cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DPCDE_SANITIZE=thread \
+        -DPCDE_SIMD=OFF -DPCDE_BUILD_BENCHES=OFF -DPCDE_BUILD_EXAMPLES=OFF \
+        > build-tsan-configure.log 2>&1 \
+   && cmake --build build-tsan -j --target thread_pool_test admission_test \
+        overload_chaos_test > build-tsan-build.log 2>&1 \
+   && ./build-tsan/thread_pool_test --gtest_brief=1 > /dev/null 2>&1; then
+  ./build-tsan/thread_pool_test
+  ./build-tsan/admission_test
+  ./build-tsan/overload_chaos_test
+else
+  echo "ci: TSan build unavailable on this toolchain — skipping (see build-tsan-*.log)"
+fi
+
+echo "=== [3/5] Release build (SIMD on) ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j
 (cd build-release && ctest --output-on-failure -j)
 
-echo "=== [3/4] Examples end-to-end (build -> save -> reload -> serve via Engine) ==="
+echo "=== [4/5] Examples end-to-end (build -> save -> reload -> serve via Engine) ==="
 ./build-release/example_quickstart
 ./build-release/example_data_pipeline
 ./build-release/example_od_query
 ./build-release/example_model_refresh
 
-echo "=== [4/4] Perf gates (chain >= ${MIN_SPEEDUP}x, binary load >= ${MIN_LOAD_SPEEDUP}x) ==="
+echo "=== [5/5] Perf gates (chain >= ${MIN_SPEEDUP}x, binary load >= ${MIN_LOAD_SPEEDUP}x) ==="
 ./build-release/bench_chain_micro BENCH_chain.json "$REPS"
 SPEEDUP="$(grep -o '"speedup_vs_reference": *[0-9.eE+-]*' BENCH_chain.json \
            | grep -o '[0-9.eE+-]*$' || true)"
@@ -145,4 +182,24 @@ if [[ "$CORES" -ge 8 ]]; then
 else
   echo "ci: batch_scaling_8v1 = $SCALING (informational — host has $CORES CPUs; the >= $MIN_BATCH_SCALING gate needs >= 8)"
 fi
-echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text, engine_batch_vs_direct = $ENGINE_RATIO, batch_scaling_8v1 = $SCALING, swap_publish_seconds = $SWAP_SECONDS)"
+# Overload series: presence certifies the bench's internal runtime gates
+# (a deadline that never trips, a wrong unwind status, or a storm that
+# never sheds each abort the bench before the JSON is written).
+for overload_series in estimate_deadline_overshoot overload_shed; do
+  if ! grep -q "\"${overload_series}\"" BENCH_chain.json; then
+    echo "ci: BENCH_chain.json has no ${overload_series} series" >&2
+    exit 1
+  fi
+done
+OVERSHOOT_RATIO="$(grep -o '"deadline_overshoot_p50_vs_estimate_p50": *[0-9.eE+-]*' BENCH_chain.json \
+                  | grep -o '[0-9.eE+-]*$' || true)"
+if [[ -z "$OVERSHOOT_RATIO" ]]; then
+  echo "ci: BENCH_chain.json has no deadline_overshoot_p50_vs_estimate_p50" >&2
+  exit 1
+fi
+if ! awk -v s="$OVERSHOOT_RATIO" -v max="$MAX_OVERSHOOT_RATIO" \
+     'BEGIN { exit (s + 0 <= max + 0) ? 0 : 1 }'; then
+  echo "ci: deadline_overshoot_p50_vs_estimate_p50 = $OVERSHOOT_RATIO > $MAX_OVERSHOOT_RATIO — cancellation checkpoints have coarsened" >&2
+  exit 1
+fi
+echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text, engine_batch_vs_direct = $ENGINE_RATIO, batch_scaling_8v1 = $SCALING, swap_publish_seconds = $SWAP_SECONDS, deadline_overshoot_p50_vs_estimate_p50 = $OVERSHOOT_RATIO)"

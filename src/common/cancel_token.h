@@ -1,0 +1,118 @@
+// CancelToken: cooperative deadline + cancellation for long-running
+// estimation and routing work (ISSUE 7).
+//
+// A token is an atomic cancel flag plus an optional steady_clock deadline.
+// Work that may run long (the chain sweep, the fallback ladder, the DFS
+// router) takes a `const CancelToken*` — nullptr means "never cancelled" —
+// and polls `Triggered()` at coarse checkpoints (per decomposition part,
+// per DFS expansion). A poll is one relaxed atomic load plus, when a
+// deadline is set, one steady_clock read — nanoseconds against the
+// microseconds of sweep work each checkpoint guards.
+//
+// Cancellation is COOPERATIVE: a tripped token makes the computation
+// unwind with Status::Cancelled / Status::DeadlineExceeded at its next
+// checkpoint — it never interrupts a running kernel, so the overshoot past
+// a deadline is bounded by the largest inter-checkpoint gap (one
+// decomposition-part sweep, one DFS expansion). The
+// `estimate_deadline_overshoot` bench series measures that gap.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace pcde {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  explicit CancelToken(Clock::time_point deadline)
+      : deadline_(deadline), has_deadline_(true) {}
+
+  /// The deadline `timeout_seconds` of wall clock from now.
+  static Clock::time_point DeadlineAfter(double timeout_seconds) {
+    return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(timeout_seconds));
+  }
+
+  /// A token that trips once `timeout_seconds` elapse from now. A
+  /// non-positive timeout yields an already-expired token (the request is
+  /// dead on arrival, which still exercises the full clean-unwind path).
+  static CancelToken WithTimeout(double timeout_seconds) {
+    return CancelToken(DeadlineAfter(timeout_seconds));
+  }
+
+  /// Links an outer token (e.g. a client-connection token) under this one:
+  /// the child trips when either it or the parent does, and ToStatus()
+  /// reports the parent's reason when the parent tripped first. Not owned;
+  /// the parent must outlive the child. nullptr unlinks.
+  void set_parent(const CancelToken* parent) { parent_ = parent; }
+
+  /// Trips the token explicitly (client disconnect, shutdown). Safe to call
+  /// from any thread, any number of times.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  /// One checkpoint poll: true once the token is cancelled or its deadline
+  /// has passed. A poll is a relaxed load plus (with a deadline) one
+  /// steady_clock read — every checkpoint guards at least a part sweep or
+  /// a DFS expansion, so the poll is noise next to the work it bounds.
+  /// Once the deadline is observed as passed, the cancel flag latches.
+  bool Triggered() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (parent_ != nullptr && parent_->Triggered()) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    if (!has_deadline_) return false;
+    if (Clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      deadline_hit_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// The Status a tripped token unwinds with: kDeadlineExceeded when the
+  /// deadline fired, kCancelled for an explicit Cancel(). OK if the token
+  /// never tripped (callers normally reach this only after Triggered()).
+  Status ToStatus() const {
+    if (parent_ != nullptr) {
+      Status parent_status = parent_->ToStatus();
+      if (!parent_status.ok()) return parent_status;
+    }
+    if (deadline_hit_.load(std::memory_order_relaxed) ||
+        (has_deadline_ && Clock::now() >= deadline_)) {
+      return Status::DeadlineExceeded("request deadline exceeded");
+    }
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("request cancelled");
+    }
+    return Status::OK();
+  }
+
+  /// Poll through a possibly-null token: the universal checkpoint idiom.
+  static bool Check(const CancelToken* token) {
+    return token != nullptr && token->Triggered();
+  }
+
+  /// Status for a possibly-null token (OK when null or untripped).
+  static Status StatusOf(const CancelToken* token) {
+    return token == nullptr ? Status::OK() : token->ToStatus();
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> deadline_hit_{false};
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  const CancelToken* parent_ = nullptr;  // not owned; outlives this token
+};
+
+}  // namespace pcde

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <iterator>
 #include <list>
 #include <unordered_map>
 #include <utility>
@@ -30,6 +31,9 @@ class Lru {
  public:
   /// Observes each eviction (key, value, accounted bytes) before the entry
   /// is destroyed — both caches count their eviction stats through this.
+  /// The entry is already detached from the cache (not findable, bytes
+  /// released) when the callback runs, so a callback may reenter Insert or
+  /// Clear on the same Lru without invalidating the entry it was handed.
   using EvictionCallback = std::function<void(const K&, V&, size_t)>;
 
   explicit Lru(size_t max_bytes) : max_bytes_(max_bytes) {}
@@ -78,11 +82,16 @@ class Lru {
     it->second = lru_.begin();
     bytes_ += bytes;
     while (bytes_ > max_bytes_ && lru_.size() > 1) {
-      Entry& victim = lru_.back();
+      // Detach the victim completely — spliced out of the list, index slot
+      // erased, bytes released — before the callback sees it. A callback
+      // that reenters Insert/Clear then operates on a consistent cache and
+      // cannot invalidate the entry being reported out from under us.
+      std::list<Entry> detached;
+      detached.splice(detached.begin(), lru_, std::prev(lru_.end()));
+      Entry& victim = detached.front();
       bytes_ -= victim.bytes;
-      if (on_evict_) on_evict_(victim.key, victim.value, victim.bytes);
       index_.erase(victim.key);
-      lru_.pop_back();
+      if (on_evict_) on_evict_(victim.key, victim.value, victim.bytes);
     }
     return true;
   }

@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel_token.h"
+
 namespace pcde {
 
 class ThreadPool {
@@ -113,9 +115,22 @@ class ThreadPool {
   /// batch-scaling collapse); one relaxed fetch_add per item does not.
   template <typename Fn>
   void ParallelFor(size_t n, Fn&& fn) {
+    ParallelFor(n, std::forward<Fn>(fn), nullptr);
+  }
+
+  /// Cancellable variant: once `cancel` trips, remaining items are DRAINED,
+  /// not run — the pull-tasks keep claiming cursor indices and counting
+  /// them done without invoking fn, so the group's done-accounting reaches
+  /// n and the call returns promptly with no counter left pinned. Items
+  /// already started still finish (cancellation is cooperative); the caller
+  /// decides per item whether it ran (e.g. by writing a result slot in fn).
+  /// `cancel == nullptr` is exactly the plain overload. n == 0 returns
+  /// immediately and touches nothing — the shed-before-submit path.
+  template <typename Fn>
+  void ParallelFor(size_t n, Fn&& fn, const CancelToken* cancel) {
     if (n == 0) return;
     if (n == 1) {
-      fn(0);
+      if (!CancelToken::Check(cancel)) fn(0);
       return;
     }
     // Shared, not captured by value: the state must outlive this frame
@@ -128,12 +143,14 @@ class ThreadPool {
     auto group = std::make_shared<Group>();
     const size_t tasks = std::min(n, num_threads());
     for (size_t t = 0; t < tasks; ++t) {
-      Submit([this, fn, group, n] {
+      Submit([this, fn, group, n, cancel] {
         size_t completed = 0;
         for (size_t i = group->cursor.fetch_add(1, std::memory_order_relaxed);
              i < n;
              i = group->cursor.fetch_add(1, std::memory_order_relaxed)) {
-          fn(i);
+          // A tripped token drains the index instead of running it; the
+          // claim/done accounting is identical either way.
+          if (!CancelToken::Check(cancel)) fn(i);
           ++completed;
         }
         if (completed == 0) return;

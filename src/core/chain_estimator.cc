@@ -678,7 +678,8 @@ StatusOr<Histogram1D> EstimateFromDecomposition(const Decomposition& de,
                                                 const ChainOptions& options,
                                                 ChainDiagnostics* diagnostics,
                                                 PhaseTimer* jc_timer,
-                                                PhaseTimer* mc_timer) {
+                                                PhaseTimer* mc_timer,
+                                                const CancelToken* cancel) {
   if (de.empty()) {
     return Status::InvalidArgument("EstimateFromDecomposition: empty DE");
   }
@@ -693,6 +694,10 @@ StatusOr<Histogram1D> EstimateFromDecomposition(const Decomposition& de,
     if (jc_timer != nullptr) jc_timer->Start();
     ChainSweeper sweeper(opts);
     for (size_t i = 0; i < de.size(); ++i) {
+      if (CancelToken::Check(cancel)) {
+        if (jc_timer != nullptr) jc_timer->Stop();
+        return CancelToken::StatusOf(cancel);
+      }
       const size_t next_start =
           i + 1 < de.size() ? de[i + 1].start : de[i].end();
       sweeper.ApplyPart(de[i], next_start);

@@ -45,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel_token.h"
 #include "common/interval.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -281,10 +282,15 @@ class ChainSweeper {
 ///
 /// `jc_timer` / `mc_timer` (optional) accumulate the joint-computation and
 /// marginalization phases for the Fig. 17 run-time breakdown.
+///
+/// `cancel` (optional) is polled between part transitions — the sweep's
+/// cooperative-cancellation checkpoint. A tripped token unwinds with the
+/// token's Status (kDeadlineExceeded / kCancelled) before the next
+/// ApplyPart, so the deadline overshoot is bounded by one part sweep.
 StatusOr<hist::Histogram1D> EstimateFromDecomposition(
     const Decomposition& de, const ChainOptions& options = ChainOptions(),
     ChainDiagnostics* diagnostics = nullptr, PhaseTimer* jc_timer = nullptr,
-    PhaseTimer* mc_timer = nullptr);
+    PhaseTimer* mc_timer = nullptr, const CancelToken* cancel = nullptr);
 
 /// \brief H_DE(C_P) of Theorem 2: sum of part entropies minus sum of
 /// separator entropies (differential, in nats). By Theorem 2,

@@ -35,8 +35,9 @@ StatusOr<Decomposition> HybridEstimator::Decompose(const Path& path,
 }
 
 StatusOr<Histogram1D> HybridEstimator::EstimateCostDistribution(
-    const Path& path, double departure_time,
-    EstimateBreakdown* breakdown) const {
+    const Path& path, double departure_time, EstimateBreakdown* breakdown,
+    const CancelToken* cancel) const {
+  if (CancelToken::Check(cancel)) return CancelToken::StatusOf(cancel);
   PhaseTimer oi, jc, mc;
   oi.Start();
   PCDE_ASSIGN_OR_RETURN(de, Decompose(path, departure_time));
@@ -69,8 +70,8 @@ StatusOr<Histogram1D> HybridEstimator::EstimateCostDistribution(
   }
 
   ChainDiagnostics diag;
-  PCDE_ASSIGN_OR_RETURN(result,
-                        EstimateFromDecomposition(de, chain, &diag, &jc, &mc));
+  PCDE_ASSIGN_OR_RETURN(
+      result, EstimateFromDecomposition(de, chain, &diag, &jc, &mc, cancel));
   if (cache_ != nullptr) cache_->Insert(key, result);
   if (breakdown != nullptr) {
     breakdown->oi_seconds = oi.total_seconds();
@@ -84,10 +85,17 @@ StatusOr<Histogram1D> HybridEstimator::EstimateCostDistribution(
 
 StatusOr<Histogram1D> HybridEstimator::EstimateWithFallback(
     const Path& path, double departure_time, FallbackProvenance* provenance,
-    EstimateBreakdown* breakdown) const {
+    EstimateBreakdown* breakdown, const CancelToken* cancel) const {
   if (provenance != nullptr) *provenance = FallbackProvenance();
-  auto full = EstimateCostDistribution(path, departure_time, breakdown);
+  auto full = EstimateCostDistribution(path, departure_time, breakdown, cancel);
   if (full.ok()) return full;
+
+  // A tripped token is not a coverage problem: unwind instead of descending
+  // the ladder (a cancelled full estimate must not masquerade as sparse).
+  if (full.status().code() == StatusCode::kDeadlineExceeded ||
+      full.status().code() == StatusCode::kCancelled) {
+    return full.status();
+  }
 
   // Degrade only on sparse coverage; any other failure (and sparse
   // coverage with no synthesizer to bridge it) passes through unchanged.
@@ -121,10 +129,14 @@ StatusOr<Histogram1D> HybridEstimator::EstimateWithFallback(
   };
   size_t k = 0;
   while (k < n) {
+    // Per-segment checkpoint: each covered run or synthesized edge is one
+    // unit of ladder work between polls.
+    if (CancelToken::Check(cancel)) return CancelToken::StatusOf(cancel);
     if (covered[k] != 0) {
       size_t end = k;
       while (end < n && covered[end] != 0) ++end;
-      auto run = EstimateCostDistribution(path.Slice(k, end - k), t);
+      auto run = EstimateCostDistribution(path.Slice(k, end - k), t, nullptr,
+                                          cancel);
       if (run.ok()) {
         if (end - k >= 2) multi_edge_run = true;
         ++covered_runs;
@@ -132,16 +144,22 @@ StatusOr<Histogram1D> HybridEstimator::EstimateWithFallback(
         k = end;
         continue;
       }
+      // A run cancelled mid-sweep must unwind, not descend to its edges.
+      if (CancelToken::Check(cancel)) return CancelToken::StatusOf(cancel);
       // A covered run can still fail (e.g. a unit variable none of whose
       // intervals is temporally relevant): descend to its edges one by one,
       // trying the single-edge decomposition before the synthesizer.
       for (; k < end; ++k) {
-        auto one = EstimateCostDistribution(path.Slice(k, 1), t);
+        if (CancelToken::Check(cancel)) return CancelToken::StatusOf(cancel);
+        auto one = EstimateCostDistribution(path.Slice(k, 1), t, nullptr,
+                                            cancel);
         if (one.ok()) {
           ++covered_runs;
           PCDE_RETURN_NOT_OK(accumulate(one.value()));
           continue;
         }
+        // A cancelled edge estimate must not degrade into a synthesized one.
+        if (CancelToken::Check(cancel)) return CancelToken::StatusOf(cancel);
         PCDE_ASSIGN_OR_RETURN(synth, edge_fallback_(path[k]));
         ++synthesized;
         PCDE_RETURN_NOT_OK(accumulate(synth));
@@ -167,36 +185,44 @@ StatusOr<Histogram1D> HybridEstimator::EstimateWithFallback(
 
 std::vector<StatusOr<Histogram1D>> HybridEstimator::EstimateBatch(
     const PathQuery* queries, size_t num_queries, ThreadPool* pool,
-    BatchMetrics* metrics) const {
+    BatchMetrics* metrics, const CancelToken* cancel) const {
   std::vector<StatusOr<Histogram1D>> results(
       num_queries, Status::Internal("EstimateBatch: query not run"));
-  if (metrics == nullptr) {
-    pool->ParallelFor(num_queries, [this, queries, &results](size_t i) {
-      results[i] =
-          EstimateCostDistribution(queries[i].path, queries[i].departure_time);
-    });
-    return results;
-  }
   // Preallocate both metric lanes before the fan-out; inside it, a worker
   // writes only to its own query's slots. The previous shared atomic
   // hit/miss counters bounced one cache line across every worker on every
   // query — the aggregate totals are summed once after the join instead.
-  metrics->query_seconds.assign(num_queries, 0.0);
-  metrics->query_cache_hit.assign(num_queries, 0);
-  pool->ParallelFor(num_queries, [this, queries, &results, metrics](size_t i) {
+  if (metrics != nullptr) {
+    metrics->query_seconds.assign(num_queries, 0.0);
+    metrics->query_cache_hit.assign(num_queries, 0);
+  }
+  auto run_one = [this, queries, &results, metrics, cancel](size_t i) {
+    if (metrics == nullptr) {
+      results[i] = EstimateCostDistribution(
+          queries[i].path, queries[i].departure_time, nullptr, cancel);
+      return;
+    }
     Stopwatch watch;
     EstimateBreakdown breakdown;
-    results[i] = EstimateCostDistribution(queries[i].path,
-                                          queries[i].departure_time,
-                                          &breakdown);
+    results[i] = EstimateCostDistribution(
+        queries[i].path, queries[i].departure_time, &breakdown, cancel);
     metrics->query_seconds[i] = watch.ElapsedSeconds();
     metrics->query_cache_hit[i] = breakdown.cache_hit ? 1 : 0;
-  });
-  metrics->cache_hits = 0;
-  metrics->cache_misses = 0;
-  if (cache_ != nullptr) {
-    for (uint8_t hit : metrics->query_cache_hit) {
-      (hit != 0 ? metrics->cache_hits : metrics->cache_misses) += 1;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_queries, run_one);
+  } else {
+    // No pool: run inline on the calling thread (previously a null deref —
+    // the admission layer can legitimately reach here with pooling off).
+    for (size_t i = 0; i < num_queries; ++i) run_one(i);
+  }
+  if (metrics != nullptr) {
+    metrics->cache_hits = 0;
+    metrics->cache_misses = 0;
+    if (cache_ != nullptr) {
+      for (uint8_t hit : metrics->query_cache_hit) {
+        (hit != 0 ? metrics->cache_hits : metrics->cache_misses) += 1;
+      }
     }
   }
   return results;

@@ -127,9 +127,16 @@ class HybridEstimator {
 
   /// The travel cost distribution of `path` departing at `departure_time`
   /// (seconds since midnight) — the paper's core query.
+  ///
+  /// `cancel` (optional) enables cooperative cancellation: the token is
+  /// polled before the decomposition and between chain-part transitions
+  /// inside the sweep, and a tripped token unwinds with its Status
+  /// (kDeadlineExceeded / kCancelled) — never a partial result. nullptr
+  /// means "never cancelled" and changes nothing.
   StatusOr<hist::Histogram1D> EstimateCostDistribution(
       const roadnet::Path& path, double departure_time,
-      EstimateBreakdown* breakdown = nullptr) const;
+      EstimateBreakdown* breakdown = nullptr,
+      const CancelToken* cancel = nullptr) const;
 
   /// \brief Attaches the per-edge synthesizer of the degradation ladder's
   /// last rung; without one, EstimateWithFallback cannot bridge uncovered
@@ -150,10 +157,13 @@ class HybridEstimator {
   /// semantics, flagged as such in the provenance rather than hidden.
   /// Errors that are not sparse coverage (or sparse coverage with no
   /// synthesizer attached) pass through unchanged.
+  /// `cancel` is additionally polled between ladder segments (per covered
+  /// run / synthesized edge), so degraded serving honors deadlines too.
   StatusOr<hist::Histogram1D> EstimateWithFallback(
       const roadnet::Path& path, double departure_time,
       FallbackProvenance* provenance = nullptr,
-      EstimateBreakdown* breakdown = nullptr) const;
+      EstimateBreakdown* breakdown = nullptr,
+      const CancelToken* cancel = nullptr) const;
 
   /// \brief Estimates many path queries concurrently on a work-stealing
   /// thread pool (one task per query); result i corresponds to queries[i],
@@ -173,9 +183,15 @@ class HybridEstimator {
     return EstimateBatch(queries.data(), queries.size(), num_threads);
   }
   /// `metrics` (optional) receives per-query latencies and cache traffic.
+  /// `pool == nullptr` runs the batch inline on the calling thread (the
+  /// degenerate single-threaded path; previously a crash). `cancel`
+  /// (optional) is checked before each query and threaded through every
+  /// estimate: once tripped, remaining queries fail with the token's
+  /// Status instead of running.
   std::vector<StatusOr<hist::Histogram1D>> EstimateBatch(
       const PathQuery* queries, size_t num_queries, ThreadPool* pool,
-      BatchMetrics* metrics = nullptr) const;
+      BatchMetrics* metrics = nullptr,
+      const CancelToken* cancel = nullptr) const;
 
   /// The decomposition the configured policy selects for this query.
   StatusOr<Decomposition> Decompose(const roadnet::Path& path,

@@ -163,29 +163,37 @@ Status InstantiateIntoBuilder(const Graph& graph, const TrajectoryStore& store,
   return Status::OK();
 }
 
+StatusOr<PathWeightFunction> TryInstantiateWeightFunction(
+    const Graph& graph, const TrajectoryStore& store,
+    const HybridParams& params, InstantiationStats* stats) {
+  Stopwatch watch;
+  WeightFunctionBuilder builder(TimeBinning(params.alpha_minutes));
+  InstantiationStats local_stats;
+  PCDE_RETURN_NOT_OK(
+      InstantiateIntoBuilder(graph, store, params, &builder, &local_stats));
+  // Compile the mutable builder state into the frozen serving
+  // representation; the freeze (flatten + index build) is part of the
+  // offline build cost.
+  PCDE_ASSIGN_OR_RETURN(wp, std::move(builder).TryFreeze());
+  local_stats.build_seconds = watch.ElapsedSeconds();
+  if (stats != nullptr) *stats = local_stats;
+  return wp;
+}
+
 PathWeightFunction InstantiateWeightFunction(const Graph& graph,
                                              const TrajectoryStore& store,
                                              const HybridParams& params,
                                              InstantiationStats* stats) {
-  Stopwatch watch;
-  WeightFunctionBuilder builder(TimeBinning(params.alpha_minutes));
-  InstantiationStats local_stats;
-  // Infallible here: the builder's binning is params' own, the only
-  // precondition InstantiateIntoBuilder checks.
-  Status status = InstantiateIntoBuilder(graph, store, params, &builder,
-                                         &local_stats);
-  if (!status.ok()) {
+  auto wp = TryInstantiateWeightFunction(graph, store, params, stats);
+  // Reaching here with an error means fixture input violated the builder's
+  // own preconditions — a programming error, not a data condition; live
+  // data goes through the Try form, which degrades instead.
+  if (!wp.ok()) {
     std::fprintf(stderr, "InstantiateWeightFunction: %s\n",
-                 status.ToString().c_str());
+                 wp.status().ToString().c_str());
     std::abort();
   }
-  // Compile the mutable builder state into the frozen serving
-  // representation; the freeze (flatten + index build) is part of the
-  // offline build cost.
-  PathWeightFunction wp = std::move(builder).Freeze();
-  local_stats.build_seconds = watch.ElapsedSeconds();
-  if (stats != nullptr) *stats = local_stats;
-  return wp;
+  return std::move(wp).value();
 }
 
 }  // namespace core

@@ -23,11 +23,21 @@ struct InstantiationStats {
   double build_seconds = 0.0;
 };
 
-/// \brief Instantiates W_P over the given trajectories.
+/// \brief Instantiates W_P over the given trajectories, Status-returning.
 ///
 /// Every edge of the graph receives an all-day speed-limit fallback unit
 /// variable, so the estimator can always produce a distribution for any
-/// valid path (the paper's Sec. 3.1 fallback).
+/// valid path (the paper's Sec. 3.1 fallback). This is the form refresh /
+/// serving pipelines must use: input that originates from live data (new
+/// trajectory batches, delta rebuilds) fails with a clean Status the
+/// caller can reject — it must never take the process down.
+StatusOr<PathWeightFunction> TryInstantiateWeightFunction(
+    const roadnet::Graph& graph, const traj::TrajectoryStore& store,
+    const HybridParams& params, InstantiationStats* stats = nullptr);
+
+/// \brief TryInstantiateWeightFunction for infallible call sites (offline
+/// builds over fixture data, tests): prints the Status and aborts on
+/// failure. Serving/refresh paths use the Try form instead.
 PathWeightFunction InstantiateWeightFunction(const roadnet::Graph& graph,
                                              const traj::TrajectoryStore& store,
                                              const HybridParams& params,

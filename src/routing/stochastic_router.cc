@@ -33,6 +33,11 @@ namespace {
 struct SharedSearch {
   std::atomic<size_t> expansions{0};
   std::atomic<bool> truncated{false};
+  /// Cooperative cancellation (not owned, may be null): polled once per
+  /// expansion. `cancelled` latches the observation so every branch stops
+  /// at its next checkpoint without re-reading the clock.
+  const CancelToken* cancel = nullptr;
+  std::atomic<bool> cancelled{false};
 };
 
 struct SearchContext {
@@ -50,6 +55,14 @@ void Dfs(SearchContext* ctx, const IncrementalEstimator& estimator,
          VertexId at, size_t depth) {
   RouteResult& res = *ctx->result;
   if (ctx->shared->truncated.load(std::memory_order_relaxed)) return;
+  // Per-expansion cancellation checkpoint: the deepest recursion still
+  // polls once per node it expands, so the overshoot past a deadline is
+  // bounded by one expansion's work.
+  if (ctx->shared->cancelled.load(std::memory_order_relaxed)) return;
+  if (CancelToken::Check(ctx->shared->cancel)) {
+    ctx->shared->cancelled.store(true, std::memory_order_relaxed);
+    return;
+  }
   if (ctx->shared->expansions.fetch_add(1, std::memory_order_relaxed) >=
       ctx->config->max_expansions) {
     ctx->shared->truncated.store(true, std::memory_order_relaxed);
@@ -83,6 +96,7 @@ void Dfs(SearchContext* ctx, const IncrementalEstimator& estimator,
     Dfs(ctx, next, edge.to, depth + 1);
     (*ctx->visited)[edge.to] = false;
     if (ctx->shared->truncated.load(std::memory_order_relaxed)) return;
+    if (ctx->shared->cancelled.load(std::memory_order_relaxed)) return;
   }
 }
 
@@ -90,11 +104,13 @@ void Dfs(SearchContext* ctx, const IncrementalEstimator& estimator,
 
 StatusOr<RouteResult> DfsStochasticRouter::Route(VertexId from, VertexId to,
                                                  double departure_time,
-                                                 double budget_seconds) const {
+                                                 double budget_seconds,
+                                                 const CancelToken* cancel) const {
   if (from >= graph_.NumVertices() || to >= graph_.NumVertices()) {
     return Status::InvalidArgument("Route: unknown vertex");
   }
   if (from == to) return Status::InvalidArgument("Route: from == to");
+  if (CancelToken::Check(cancel)) return CancelToken::StatusOf(cancel);
 
   // Admissible completion bound: reverse Dijkstra on scaled free-flow times.
   const double factor = config_.lower_bound_factor;
@@ -127,6 +143,7 @@ StatusOr<RouteResult> DfsStochasticRouter::Route(VertexId from, VertexId to,
   }
 
   SharedSearch shared;
+  shared.cancel = cancel;
   std::vector<RouteResult> branch_results(roots.size());
   auto run_branch = [&](size_t i) {
     const EdgeId e = roots[i];
@@ -174,6 +191,14 @@ StatusOr<RouteResult> DfsStochasticRouter::Route(VertexId from, VertexId to,
   } else {
     ThreadPool pool(config_.num_threads);
     pool.ParallelFor(roots.size(), run_branch);
+  }
+
+  // A cancelled search unwinds with the token's Status — an anytime cutoff
+  // would otherwise return whichever partial best the scheduler happened to
+  // reach, which the deadline contract forbids.
+  if (shared.cancelled.load(std::memory_order_relaxed) ||
+      CancelToken::Check(cancel)) {
+    return CancelToken::StatusOf(cancel);
   }
 
   // Merge in root-edge order, so for non-truncated searches ties resolve

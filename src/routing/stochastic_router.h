@@ -11,6 +11,7 @@
 
 #include <cstddef>
 
+#include "common/cancel_token.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/estimator.h"
@@ -82,9 +83,15 @@ class DfsStochasticRouter {
   /// Finds the path from `from` to `to`, departing at `departure_time`,
   /// with the highest probability of total travel time <= `budget_seconds`.
   /// Returns NotFound when no path can make the budget.
+  ///
+  /// `cancel` (optional) is polled once per DFS expansion across every root
+  /// branch; a tripped token makes the whole search unwind with the token's
+  /// Status (kDeadlineExceeded / kCancelled) — never a partial best-path —
+  /// with overshoot bounded by one expansion (one estimator extension +
+  /// one candidate distribution).
   StatusOr<RouteResult> Route(roadnet::VertexId from, roadnet::VertexId to,
-                              double departure_time,
-                              double budget_seconds) const;
+                              double departure_time, double budget_seconds,
+                              const CancelToken* cancel = nullptr) const;
 
  private:
   const roadnet::Graph& graph_;

@@ -1,0 +1,144 @@
+// Admission control for serving::Engine (ISSUE 7): a counting semaphore
+// with a bounded wait queue in front of the request path, so overload
+// sheds load with kResourceExhausted instead of queueing without limit.
+//
+// Every request acquires a slot before doing any work and releases it when
+// it finishes (RAII). At capacity, a request either sheds immediately
+// (queue_timeout_seconds <= 0 or the wait queue is full) or parks up to
+// the queue timeout for a slot — bounded queueing, bounded tail latency.
+// With max_inflight == 0 the controller only counts (stats stay live) and
+// never sheds, which is the default — admission pressure off means the
+// serving path is behaviorally identical to an engine without admission
+// control at all.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace pcde {
+namespace serving {
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Concurrently admitted requests; 0 = unlimited (count, never shed).
+    size_t max_inflight = 0;
+    /// Requests allowed to wait for a slot when at capacity; beyond this
+    /// the request sheds immediately. Only meaningful with a positive
+    /// queue timeout.
+    size_t max_queue_depth = 0;
+    /// How long a queued request may wait for a slot before shedding;
+    /// <= 0 disables queueing (at capacity -> shed immediately).
+    double queue_timeout_seconds = 0.0;
+  };
+
+  /// RAII admission slot: releases on destruction. Default-constructed is
+  /// empty (no slot held); moved-from slots are empty.
+  class Slot {
+   public:
+    Slot() = default;
+    Slot(Slot&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Slot& operator=(Slot&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+    ~Slot() { Release(); }
+
+    bool held() const { return controller_ != nullptr; }
+    void Release() {
+      if (controller_ != nullptr) {
+        controller_->ReleaseSlot();
+        controller_ = nullptr;
+      }
+    }
+
+   private:
+    friend class AdmissionController;
+    explicit Slot(AdmissionController* controller) : controller_(controller) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  explicit AdmissionController(Options options) : options_(options) {}
+
+  /// Acquires an admission slot or sheds with kResourceExhausted. On
+  /// success `*slot` holds the slot and `*inflight_now` (optional) is the
+  /// inflight count including this request — the load observation stamped
+  /// on responses.
+  Status Acquire(Slot* slot, uint64_t* inflight_now = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (options_.max_inflight != 0 && inflight_ >= options_.max_inflight) {
+      if (options_.queue_timeout_seconds <= 0.0 ||
+          waiters_ >= options_.max_queue_depth) {
+        ++shed_;
+        return Status::ResourceExhausted(
+            "admission: engine at max_inflight_requests");
+      }
+      ++waiters_;
+      const bool got_slot = slot_freed_.wait_for(
+          lock, std::chrono::duration<double>(options_.queue_timeout_seconds),
+          [this] { return inflight_ < options_.max_inflight; });
+      --waiters_;
+      if (!got_slot) {
+        ++shed_;
+        return Status::ResourceExhausted(
+            "admission: timed out queued for a slot");
+      }
+    }
+    ++inflight_;
+    ++admitted_;
+    if (inflight_ > inflight_highwater_) inflight_highwater_ = inflight_;
+    if (inflight_now != nullptr) *inflight_now = inflight_;
+    *slot = Slot(this);
+    return Status::OK();
+  }
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t inflight = 0;
+    uint64_t inflight_highwater = 0;
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.admitted = admitted_;
+    s.shed = shed_;
+    s.inflight = inflight_;
+    s.inflight_highwater = inflight_highwater_;
+    return s;
+  }
+
+ private:
+  void ReleaseSlot() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --inflight_;
+    }
+    // Outside the lock: the woken waiter re-acquires the mutex anyway.
+    slot_freed_.notify_one();
+  }
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable slot_freed_;
+  uint64_t inflight_ = 0;   // guarded by mutex_
+  uint64_t waiters_ = 0;    // guarded by mutex_
+  uint64_t admitted_ = 0;   // guarded by mutex_
+  uint64_t shed_ = 0;       // guarded by mutex_
+  uint64_t inflight_highwater_ = 0;  // guarded by mutex_
+};
+
+}  // namespace serving
+}  // namespace pcde

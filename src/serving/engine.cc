@@ -1,5 +1,6 @@
 #include "serving/engine.h"
 
+#include <optional>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -107,6 +108,12 @@ StatusOr<std::unique_ptr<Engine>> Engine::Make(
     engine->cache_ = std::make_unique<core::QueryCache>(cache_options);
   }
   engine->pool_ = std::make_unique<ThreadPool>(opts.num_threads);
+  AdmissionController::Options admission_options;
+  admission_options.max_inflight = opts.max_inflight_requests;
+  admission_options.max_queue_depth = opts.max_queue_depth;
+  admission_options.queue_timeout_seconds = opts.queue_timeout_seconds;
+  engine->admission_ =
+      std::make_unique<AdmissionController>(admission_options);
   engine->PublishLocked(std::shared_ptr<const PathWeightFunction>(
       std::move(model)));  // first epoch; no concurrent readers yet
   return engine;
@@ -233,11 +240,35 @@ void StampProvenance(EstimateResponse* response, const uint64_t fingerprint,
   response->summary.covered_fraction = provenance.covered_fraction;
 }
 
+/// Builds the per-request cancellation context: when the request sets a
+/// timeout, a deadline token lives in `storage` (the caller's frame, so
+/// batch workers get independent deadlines) linked under the request's
+/// external token. Returns the token the estimator polls — null when the
+/// request has neither, which is the exact pre-deadline serving path.
+const CancelToken* SetupCancel(double timeout_seconds,
+                               const CancelToken* external,
+                               std::optional<CancelToken>* storage) {
+  if (timeout_seconds <= 0.0) return external;
+  storage->emplace(CancelToken::DeadlineAfter(timeout_seconds));
+  (*storage)->set_parent(external);
+  return &storage->value();
+}
+
 }  // namespace
 
 StatusOr<EstimateResponse> Engine::Estimate(
     const EstimateRequest& request) const {
   Stopwatch watch;
+  // Admission before any work: at capacity the request sheds with
+  // kResourceExhausted instead of joining an unbounded queue.
+  AdmissionController::Slot slot;
+  uint64_t inflight_now = 0;
+  PCDE_RETURN_NOT_OK(admission_->Acquire(&slot, &inflight_now));
+  // The deadline clock starts at admission, not at estimation: queueing
+  // time (when queue_timeout_seconds allows it) counts against the budget.
+  std::optional<CancelToken> deadline_token;
+  const CancelToken* cancel =
+      SetupCancel(request.timeout_seconds, request.cancel, &deadline_token);
   // Pin one epoch for the whole request: resolution, estimation, and
   // provenance all read the same published model even if Swap lands
   // mid-request.
@@ -246,12 +277,16 @@ StatusOr<EstimateResponse> Engine::Estimate(
   core::EstimateBreakdown breakdown;
   core::FallbackProvenance provenance;
   auto dist = epoch->estimator->EstimateWithFallback(
-      path, request.departure_time, &provenance, &breakdown);
-  if (!dist.ok()) return dist.status();
+      path, request.departure_time, &provenance, &breakdown, cancel);
+  if (!dist.ok()) {
+    CountUnwind(dist.status());
+    return dist.status();
+  }
   EstimateResponse response = MakeResponse(request, std::move(path),
                                            std::move(dist).value(), &breakdown);
   StampProvenance(&response, epoch->model->fingerprint(), epoch->sequence,
                   provenance);
+  response.inflight_at_admit = inflight_now;
   response.serve_seconds = watch.ElapsedSeconds();
   return response;
 }
@@ -273,6 +308,22 @@ std::vector<StatusOr<EstimateResponse>> Engine::EstimateBatch(
   pool_->ParallelFor(num_requests, [this, requests, &responses, &epoch,
                                     fingerprint](size_t i) {
     Stopwatch watch;
+    // Admission is per request, inside the task: a shed request fails
+    // alone with kResourceExhausted — the one-bad-request-never-fails-
+    // the-batch contract extends to overload.
+    AdmissionController::Slot slot;
+    uint64_t inflight_now = 0;
+    Status admitted = admission_->Acquire(&slot, &inflight_now);
+    if (!admitted.ok()) {
+      responses[i] = admitted;
+      return;
+    }
+    // Each request's deadline runs from its own task start (admission
+    // included), independent of its batch siblings.
+    std::optional<CancelToken> deadline_token;
+    const CancelToken* cancel = SetupCancel(requests[i].timeout_seconds,
+                                            requests[i].cancel,
+                                            &deadline_token);
     auto resolved = ResolvePath(requests[i].path);
     if (!resolved.ok()) {
       responses[i] = resolved.status();
@@ -281,8 +332,10 @@ std::vector<StatusOr<EstimateResponse>> Engine::EstimateBatch(
     core::EstimateBreakdown breakdown;
     core::FallbackProvenance provenance;
     auto dist = epoch->estimator->EstimateWithFallback(
-        resolved.value(), requests[i].departure_time, &provenance, &breakdown);
+        resolved.value(), requests[i].departure_time, &provenance, &breakdown,
+        cancel);
     if (!dist.ok()) {
+      CountUnwind(dist.status());
       responses[i] = dist.status();
       return;
     }
@@ -291,6 +344,7 @@ std::vector<StatusOr<EstimateResponse>> Engine::EstimateBatch(
                      std::move(dist).value(), nullptr);
     response.served_from_cache = breakdown.cache_hit;
     StampProvenance(&response, fingerprint, epoch->sequence, provenance);
+    response.inflight_at_admit = inflight_now;
     response.serve_seconds = watch.ElapsedSeconds();
     responses[i] = std::move(response);
   });
@@ -298,6 +352,12 @@ std::vector<StatusOr<EstimateResponse>> Engine::EstimateBatch(
 }
 
 StatusOr<RouteResponse> Engine::Route(const RouteRequest& request) const {
+  AdmissionController::Slot slot;
+  uint64_t inflight_now = 0;
+  PCDE_RETURN_NOT_OK(admission_->Acquire(&slot, &inflight_now));
+  std::optional<CancelToken> deadline_token;
+  const CancelToken* cancel =
+      SetupCancel(request.timeout_seconds, request.cancel, &deadline_token);
   const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
   if (epoch->router == nullptr) {
     return Status::FailedPrecondition(
@@ -305,8 +365,11 @@ StatusOr<RouteResponse> Engine::Route(const RouteRequest& request) const {
   }
   auto result = epoch->router->Route(request.from, request.to,
                                      request.departure_time,
-                                     request.budget_seconds);
-  if (!result.ok()) return result.status();
+                                     request.budget_seconds, cancel);
+  if (!result.ok()) {
+    CountUnwind(result.status());
+    return result.status();
+  }
   RouteResponse response;
   response.best_path = std::move(result.value().best_path);
   response.on_time_probability = result.value().best_probability;
@@ -317,7 +380,29 @@ StatusOr<RouteResponse> Engine::Route(const RouteRequest& request) const {
   response.prefix_cache_misses = result.value().prefix_cache_misses;
   response.model_fingerprint = epoch->model->fingerprint();
   response.epoch = epoch->sequence;
+  response.inflight_at_admit = inflight_now;
   return response;
+}
+
+void Engine::CountUnwind(const Status& status) const {
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.code() == StatusCode::kCancelled) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+EngineStats Engine::stats() const {
+  const AdmissionController::Stats admission = admission_->stats();
+  EngineStats stats;
+  stats.admitted = admission.admitted;
+  stats.shed = admission.shed;
+  stats.inflight = admission.inflight;
+  stats.inflight_highwater = admission.inflight_highwater;
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace serving

@@ -31,16 +31,19 @@
 // request finishes. Concurrent Swap calls serialize against each other.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/cancel_token.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/estimator.h"
 #include "core/query_cache.h"
 #include "routing/stochastic_router.h"
+#include "serving/admission.h"
 #include "serving/request.h"
 
 namespace pcde {
@@ -85,6 +88,32 @@ struct EngineOptions {
   double route_lower_bound_factor = 0.8;
   size_t route_max_expansions = 500000;
   size_t route_max_path_edges = 150;
+
+  /// Admission control (overload protection). Requests — each single
+  /// Estimate/Route call, and each request of a batch individually —
+  /// acquire an admission slot before doing any work; at capacity they
+  /// shed with kResourceExhausted instead of queueing without limit.
+  /// 0 (default) = unlimited: admission never sheds and the serving path
+  /// is behaviorally identical to an engine without admission control.
+  size_t max_inflight_requests = 0;
+  /// Requests allowed to wait for a slot at capacity (bounded queue);
+  /// beyond it — or whenever queue_timeout_seconds <= 0 — shed
+  /// immediately.
+  size_t max_queue_depth = 0;
+  /// Longest a queued request may wait for a slot before shedding.
+  double queue_timeout_seconds = 0.0;
+};
+
+/// \brief Overload-observability counters, monotonically increasing over
+/// the engine's lifetime (inflight / highwater track live load). Snapshot
+/// via Engine::stats(); responses carry their own inflight_at_admit.
+struct EngineStats {
+  uint64_t admitted = 0;           // requests that acquired a slot
+  uint64_t shed = 0;               // kResourceExhausted at admission
+  uint64_t deadline_exceeded = 0;  // unwound with kDeadlineExceeded
+  uint64_t cancelled = 0;          // unwound with kCancelled
+  uint64_t inflight = 0;           // currently admitted requests
+  uint64_t inflight_highwater = 0;  // peak concurrent admissions
 };
 
 /// \brief Derives the serving-visible CostSummary from a cost
@@ -176,6 +205,10 @@ class Engine {
   /// prefix-reuse budget, and shared pool. Requires options.graph.
   StatusOr<RouteResponse> Route(const RouteRequest& request) const;
 
+  /// Point-in-time snapshot of the overload counters (admission traffic,
+  /// deadline/cancel unwinds, inflight high-water mark).
+  EngineStats stats() const;
+
  private:
   /// \brief One published model generation: the frozen model plus the
   /// stack wired to it. Immutable once published; requests pin it with one
@@ -210,6 +243,10 @@ class Engine {
   /// Builds and publishes the next epoch; caller holds swap_mutex_.
   uint64_t PublishLocked(std::shared_ptr<const core::PathWeightFunction> model);
 
+  /// Bumps the deadline_exceeded / cancelled counter matching a request's
+  /// terminal Status (no-op for other codes).
+  void CountUnwind(const Status& status) const;
+
   EngineOptions options_;
   // Engine-level (epoch-independent) members; unique_ptr keeps their
   // addresses stable for the epochs' estimators and routers.
@@ -220,6 +257,11 @@ class Engine {
   std::shared_ptr<const Epoch> epoch_;
   std::mutex swap_mutex_;       // serializes Swap callers
   uint64_t next_sequence_ = 1;  // guarded by swap_mutex_ after Make
+  // Admission gate + overload counters (request methods are const; the
+  // counters are serving telemetry, not model state). Set once in Make.
+  mutable std::unique_ptr<AdmissionController> admission_;
+  mutable std::atomic<uint64_t> deadline_exceeded_{0};
+  mutable std::atomic<uint64_t> cancelled_{0};
 };
 
 }  // namespace serving

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/cancel_token.h"
 #include "core/estimator.h"
 #include "hist/histogram1d.h"
 #include "roadnet/graph.h"
@@ -77,6 +78,19 @@ struct EstimateRequest {
   /// Fill the response's per-phase EstimateBreakdown (single-request
   /// Estimate only; batch responses carry serve_seconds + cache flag).
   bool want_breakdown = false;
+  /// Wall-clock deadline budget, in seconds from request entry; <= 0 (the
+  /// default) means no deadline. An expired request unwinds cooperatively
+  /// with kDeadlineExceeded at the next estimator checkpoint (between
+  /// chain-part transitions / ladder segments), never a partial response;
+  /// the overshoot past the deadline is bounded by one checkpoint gap
+  /// (see docs/serving.md "Deadlines & overload"). In a batch, each
+  /// request's deadline runs from its own task start.
+  double timeout_seconds = 0.0;
+  /// Optional external cancellation (client disconnect, shutdown): the
+  /// request trips when the token does, unwinding with kCancelled. Not
+  /// owned; must outlive the call. Combines with timeout_seconds —
+  /// whichever trips first wins.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief The serving-visible statistics of a cost distribution, derived
@@ -146,6 +160,9 @@ struct EstimateResponse {
   /// always name exactly one published model, never a mix.
   uint64_t model_fingerprint = 0;
   uint64_t epoch = 0;
+  /// Engine load observation: requests in flight (this one included) when
+  /// this request was admitted — the per-response slice of EngineStats.
+  uint64_t inflight_at_admit = 0;
 };
 
 /// \brief One stochastic-routing query: the path from `from` to `to`
@@ -155,6 +172,12 @@ struct RouteRequest {
   roadnet::VertexId to = 0;
   double departure_time = 0.0;
   double budget_seconds = 0.0;
+  /// Deadline / cancellation, as on EstimateRequest. The router polls once
+  /// per DFS expansion, so the overshoot is bounded by one expansion; a
+  /// tripped search returns kDeadlineExceeded / kCancelled, never the
+  /// partial best-so-far.
+  double timeout_seconds = 0.0;
+  const CancelToken* cancel = nullptr;  // not owned; may be null
 };
 
 struct RouteResponse {
@@ -171,6 +194,8 @@ struct RouteResponse {
   /// start to finish against this one pinned epoch's model.
   uint64_t model_fingerprint = 0;
   uint64_t epoch = 0;
+  /// Requests in flight (this one included) at admission.
+  uint64_t inflight_at_admit = 0;
 };
 
 }  // namespace serving

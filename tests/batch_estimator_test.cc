@@ -110,6 +110,45 @@ TEST_F(BatchFixture, ExternalPoolIsReusableAcrossBatches) {
   }
 }
 
+TEST_F(BatchFixture, NullPoolRunsInlineAndMatchesSequential) {
+  // Regression: EstimateBatch with pool == nullptr used to dereference the
+  // null pool. It now runs the batch inline on the caller's thread and
+  // must still match the sequential estimator result-for-result.
+  const HybridEstimator estimator(*wp_);
+  const std::vector<PathQuery> queries = MakeQueries(16);
+  ASSERT_GE(queries.size(), 8u);
+  BatchMetrics metrics;
+  const auto batch = estimator.EstimateBatch(queries.data(), queries.size(),
+                                             nullptr, &metrics);
+  ASSERT_EQ(batch.size(), queries.size());
+  EXPECT_EQ(metrics.query_seconds.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto sequential = estimator.EstimateCostDistribution(
+        queries[i].path, queries[i].departure_time);
+    ExpectSameResult(batch[i], sequential, i);
+  }
+}
+
+TEST_F(BatchFixture, CancelledBatchReturnsPerQueryStatusNotPartialResults) {
+  // A pre-tripped token: every query unwinds with the token's Status, no
+  // partial histograms leak out — on the pooled path and the inline path.
+  const HybridEstimator estimator(*wp_);
+  const std::vector<PathQuery> queries = MakeQueries(12);
+  CancelToken token;
+  token.Cancel();
+  ThreadPool pool(3);
+  for (ThreadPool* p : {&pool, static_cast<ThreadPool*>(nullptr)}) {
+    const auto batch =
+        estimator.EstimateBatch(queries.data(), queries.size(), p, nullptr,
+                                &token);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_FALSE(batch[i].ok()) << i;
+      EXPECT_EQ(batch[i].status().code(), StatusCode::kCancelled) << i;
+    }
+  }
+}
+
 TEST_F(BatchFixture, RandomPolicyBatchIsDeterministicPerQuery) {
   // The kRandom policy seeds its Rng from the query path, so the batch
   // must be reproducible run-to-run even under concurrency.

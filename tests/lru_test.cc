@@ -1,0 +1,155 @@
+// Edge-case tests for the shared byte-budgeted LRU core (common/lru.h):
+// degenerate budgets (zero bytes, entry exactly at budget), and the
+// eviction-callback reentrancy guarantee — a callback that reenters
+// Insert or Clear on the same Lru must see a consistent cache and must
+// not invalidate the entry it was handed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/lru.h"
+
+namespace pcde {
+namespace {
+
+TEST(LruTest, ZeroByteBudgetRejectsEveryNonEmptyEntry) {
+  Lru<int, std::string> lru(0);
+  EXPECT_FALSE(lru.Insert(1, "a", 1));
+  EXPECT_EQ(lru.entries(), 0u);
+  EXPECT_EQ(lru.bytes(), 0u);
+  EXPECT_EQ(lru.Find(1), nullptr);
+
+  // A zero-byte entry technically fits a zero-byte budget.
+  EXPECT_TRUE(lru.Insert(2, "b", 0));
+  EXPECT_EQ(lru.entries(), 1u);
+  EXPECT_EQ(lru.bytes(), 0u);
+  ASSERT_NE(lru.Find(2), nullptr);
+  EXPECT_EQ(*lru.Find(2), "b");
+}
+
+TEST(LruTest, EntryExactlyAtBudgetIsAdmittedAloneAndEvictsPredecessors) {
+  Lru<int, std::string> lru(10);
+
+  // Exactly at budget: admitted, no eviction needed.
+  EXPECT_TRUE(lru.Insert(1, "full", 10));
+  EXPECT_EQ(lru.entries(), 1u);
+  EXPECT_EQ(lru.bytes(), 10u);
+
+  // A second exact-budget entry displaces the first entirely.
+  size_t evictions = 0;
+  lru.set_eviction_callback(
+      [&](const int& key, std::string&, size_t bytes) {
+        EXPECT_EQ(key, 1);
+        EXPECT_EQ(bytes, 10u);
+        ++evictions;
+      });
+  EXPECT_TRUE(lru.Insert(2, "next", 10));
+  EXPECT_EQ(evictions, 1u);
+  EXPECT_EQ(lru.entries(), 1u);
+  EXPECT_EQ(lru.bytes(), 10u);
+  EXPECT_EQ(lru.Find(1), nullptr);
+  ASSERT_NE(lru.Find(2), nullptr);
+
+  // One byte over budget is rejected outright and leaves state untouched.
+  EXPECT_FALSE(lru.Insert(3, "huge", 11));
+  EXPECT_EQ(lru.entries(), 1u);
+  EXPECT_EQ(lru.bytes(), 10u);
+  EXPECT_EQ(lru.Find(3), nullptr);
+}
+
+TEST(LruTest, EvictionOrderIsLeastRecentlyUsedAndNewestSurvives) {
+  Lru<int, int> lru(3);
+  std::vector<int> evicted;
+  lru.set_eviction_callback(
+      [&](const int& key, int&, size_t) { evicted.push_back(key); });
+  ASSERT_TRUE(lru.Insert(1, 10, 1));
+  ASSERT_TRUE(lru.Insert(2, 20, 1));
+  ASSERT_TRUE(lru.Insert(3, 30, 1));
+  ASSERT_NE(lru.Find(1), nullptr);  // refresh 1 so 2 is now the LRU victim
+
+  ASSERT_TRUE(lru.Insert(4, 40, 2));  // needs two slots: evicts 2, then 3
+  EXPECT_EQ(evicted, (std::vector<int>{2, 3}));
+  ASSERT_NE(lru.Find(1), nullptr);
+  ASSERT_NE(lru.Find(4), nullptr);
+  EXPECT_EQ(lru.entries(), 2u);
+  EXPECT_EQ(lru.bytes(), 3u);
+}
+
+TEST(LruTest, EvictionCallbackSeesDetachedEntry) {
+  // The contract: when the callback runs, the victim is already gone from
+  // the cache — not findable, its bytes released.
+  Lru<int, std::string> lru(2);
+  bool checked = false;
+  lru.set_eviction_callback(
+      [&](const int& key, std::string& value, size_t bytes) {
+        EXPECT_EQ(key, 1);
+        EXPECT_EQ(value, "old");
+        EXPECT_EQ(bytes, 1u);
+        EXPECT_EQ(lru.Find(1), nullptr);  // reentrant Find: already detached
+        EXPECT_EQ(lru.bytes(), 2u);       // only the new entry's bytes remain
+        EXPECT_EQ(lru.entries(), 1u);
+        checked = true;
+      });
+  ASSERT_TRUE(lru.Insert(1, "old", 1));
+  ASSERT_TRUE(lru.Insert(3, "new", 2));  // over budget: evicts 1
+  EXPECT_TRUE(checked);
+}
+
+TEST(LruTest, ReentrantInsertFromEvictionCallbackIsSafe) {
+  // The hazard this pins down: the callback reenters Insert on the same
+  // Lru while an eviction is in flight. Before the detach-first fix the
+  // victim's list node could be reallocated or double-erased; under ASan
+  // this test would flag the use-after-free.
+  Lru<int, std::string> lru(4);
+  std::vector<int> evicted;
+  bool reentered = false;
+  lru.set_eviction_callback(
+      [&](const int& key, std::string&, size_t) {
+        evicted.push_back(key);
+        if (!reentered) {
+          reentered = true;
+          // Reentrant insert large enough to trigger a nested eviction.
+          EXPECT_TRUE(lru.Insert(100, "nested", 2));
+        }
+      });
+  ASSERT_TRUE(lru.Insert(1, "a", 2));
+  ASSERT_TRUE(lru.Insert(2, "b", 2));
+  // Insert(3) overflows the budget and evicts 1; the callback's reentrant
+  // Insert(100) is itself over budget and nests evictions of 2 and then 3
+  // — the reentrant insert may displace the outer insert's own entry, so
+  // the survival guarantee yields to consistency under reentrancy. What
+  // must hold: no use-after-free, exact byte accounting, and every entry
+  // reported exactly once.
+  ASSERT_TRUE(lru.Insert(3, "c", 4));
+  EXPECT_EQ(evicted, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(lru.entries(), 1u);
+  EXPECT_EQ(lru.bytes(), 2u);
+  EXPECT_EQ(lru.Find(3), nullptr);
+  ASSERT_NE(lru.Find(100), nullptr);
+  EXPECT_EQ(*lru.Find(100), "nested");
+}
+
+TEST(LruTest, ReentrantClearFromEvictionCallbackIsSafe) {
+  Lru<int, int> lru(2);
+  int callbacks = 0;
+  lru.set_eviction_callback([&](const int&, int&, size_t) {
+    ++callbacks;
+    lru.Clear();  // wipe everything mid-eviction
+  });
+  ASSERT_TRUE(lru.Insert(1, 10, 1));
+  ASSERT_TRUE(lru.Insert(2, 20, 1));
+  ASSERT_TRUE(lru.Insert(3, 30, 2));  // triggers eviction of 1 → Clear()
+  EXPECT_EQ(callbacks, 1);
+  // Clear() wiped entry 3 as well (it was already linked in); the cache
+  // ends empty and internally consistent.
+  EXPECT_EQ(lru.entries(), 0u);
+  EXPECT_EQ(lru.bytes(), 0u);
+  EXPECT_EQ(lru.Find(3), nullptr);
+  // And stays usable afterwards.
+  EXPECT_TRUE(lru.Insert(4, 40, 1));
+  ASSERT_NE(lru.Find(4), nullptr);
+}
+
+}  // namespace
+}  // namespace pcde

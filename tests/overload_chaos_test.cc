@@ -1,0 +1,362 @@
+// Overload chaos harness (ISSUE 7), the deadline/admission counterpart of
+// refresh_fault_test's swap storm: client threads hammer an engine with a
+// mix of plain requests, tiny deadlines (tripping at entry and mid-sweep),
+// pre-cancelled tokens, and batches, while a swapper alternates model
+// generations (with corrupt attempts interleaved) and a small admission
+// cap sheds load the whole time. The harness must observe:
+//
+//  * zero hangs — every request returns (the suite completes);
+//  * zero unexpected statuses — only OK, kDeadlineExceeded, kCancelled,
+//    kResourceExhausted ever surface;
+//  * zero mixed epochs — every OK response ExactlyEquals the reference
+//    answer of the one model named by its fingerprint, deadline pressure,
+//    shedding, and swaps notwithstanding;
+//  * zero stuck admission slots — inflight drains to 0 afterwards and the
+//    engine serves normally.
+//
+// scripts/ci.sh runs this under ASan (leak check included).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/instantiation.h"
+#include "core/serialization.h"
+#include "roadnet/shortest_path.h"
+#include "serving/engine.h"
+#include "traj/generator.h"
+#include "traj/store.h"
+
+namespace pcde {
+namespace serving {
+namespace {
+
+using core::HybridParams;
+using core::PathWeightFunction;
+using roadnet::Graph;
+using roadnet::Path;
+using roadnet::VertexId;
+
+constexpr double kDepart = 8 * 3600.0;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class OverloadChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new traj::Dataset(traj::MakeDatasetA(1500));
+    graph_ = dataset_->graph.get();
+    HybridParams params;
+    params.beta = 15;
+    wp_base_ = new PathWeightFunction(core::InstantiateWeightFunction(
+        *graph_, traj::TrajectoryStore(), params));
+    wp_data_ = new PathWeightFunction(core::InstantiateWeightFunction(
+        *graph_, traj::TrajectoryStore(dataset_->MatchedSlice(1.0)), params));
+    ASSERT_NE(wp_base_->fingerprint(), wp_data_->fingerprint());
+    artifact_base_ = TempPath("pcde_chaos_base." + std::to_string(::getpid()) +
+                              ".bin");
+    artifact_data_ = TempPath("pcde_chaos_data." + std::to_string(::getpid()) +
+                              ".bin");
+    ASSERT_TRUE(core::SaveWeightFunctionBinary(*wp_base_, artifact_base_).ok());
+    ASSERT_TRUE(core::SaveWeightFunctionBinary(*wp_data_, artifact_data_).ok());
+  }
+  static void TearDownTestSuite() {
+    std::remove(artifact_base_.c_str());
+    std::remove(artifact_data_.c_str());
+    delete wp_data_;
+    delete wp_base_;
+    delete dataset_;
+    wp_data_ = nullptr;
+    wp_base_ = nullptr;
+    dataset_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  static Path PathBetween(VertexId from, VertexId to) {
+    auto p = roadnet::ShortestPath(*graph_, from, to,
+                                   roadnet::FreeFlowWeight(*graph_));
+    EXPECT_TRUE(p.ok());
+    return p.ok() ? p.value() : Path();
+  }
+
+  static traj::Dataset* dataset_;
+  static const Graph* graph_;
+  static PathWeightFunction* wp_base_;
+  static PathWeightFunction* wp_data_;
+  static std::string artifact_base_;
+  static std::string artifact_data_;
+};
+
+traj::Dataset* OverloadChaosTest::dataset_ = nullptr;
+const Graph* OverloadChaosTest::graph_ = nullptr;
+PathWeightFunction* OverloadChaosTest::wp_base_ = nullptr;
+PathWeightFunction* OverloadChaosTest::wp_data_ = nullptr;
+std::string OverloadChaosTest::artifact_base_;
+std::string OverloadChaosTest::artifact_data_;
+
+TEST_F(OverloadChaosTest, DeadlinesSheddingAndSwapsNeverHangOrMixEpochs) {
+  constexpr size_t kClients = 4;
+  constexpr size_t kEngineThreads = 2;
+  constexpr int kMinSwaps = 8;
+
+  // The engine under pressure: small admission cap (sheds for real under
+  // kClients + batch fan-out), short bounded queue, tiny evicting cache
+  // so entries churn across epochs.
+  EngineOptions options;
+  options.model_path = artifact_base_;
+  options.graph = graph_;
+  options.num_threads = kEngineThreads;
+  options.query_cache_bytes = size_t{1} << 14;
+  options.max_inflight_requests = 2;
+  options.max_queue_depth = 2;
+  options.queue_timeout_seconds = 0.002;
+  auto opened = Engine::Open(std::move(options));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Engine& engine = *opened.value();
+
+  // Unpressured reference engines per generation: every OK answer the
+  // chaos engine produces must ExactlyEqual the reference of the model
+  // its fingerprint names — whatever deadlines/sheds/swaps were in flight.
+  auto open_ref = [&](const std::string& artifact) {
+    EngineOptions ref_options;
+    ref_options.model_path = artifact;
+    ref_options.graph = graph_;
+    ref_options.num_threads = kEngineThreads;
+    ref_options.query_cache_bytes = size_t{64} << 20;
+    auto ref = Engine::Open(std::move(ref_options));
+    EXPECT_TRUE(ref.ok()) << ref.status().ToString();
+    return ref.ok() ? std::move(ref).value() : nullptr;
+  };
+  auto ref_base = open_ref(artifact_base_);
+  auto ref_data = open_ref(artifact_data_);
+  ASSERT_NE(ref_base, nullptr);
+  ASSERT_NE(ref_data, nullptr);
+
+  std::vector<EstimateRequest> requests;
+  for (auto [from, to] : {std::pair<VertexId, VertexId>{0, 30},
+                          {5, 40},
+                          {2, 61},
+                          {7, 33}}) {
+    EstimateRequest request;
+    request.path = PathSpec::ExplicitPath(PathBetween(from, to));
+    request.departure_time = kDepart;
+    requests.push_back(std::move(request));
+  }
+  const double min_time = roadnet::ShortestPathCost(
+      *graph_, 0, 30, roadnet::FreeFlowWeight(*graph_));
+  RouteRequest route_request;
+  route_request.from = 0;
+  route_request.to = 30;
+  route_request.departure_time = kDepart;
+  route_request.budget_seconds = min_time * 1.3;
+
+  std::unordered_map<uint64_t, std::vector<CostSummary>> ref_summaries;
+  std::unordered_map<uint64_t, RouteResponse> ref_routes;
+  for (auto* ref : {ref_base.get(), ref_data.get()}) {
+    const uint64_t fp = ref->model().fingerprint();
+    for (const EstimateRequest& request : requests) {
+      auto response = ref->Estimate(request);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ref_summaries[fp].push_back(response.value().summary);
+    }
+    auto routed = ref->Route(route_request);
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    ref_routes[fp] = std::move(routed).value();
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> ok_served{0};
+  std::atomic<size_t> deadline_hits{0};
+  std::atomic<size_t> cancel_hits{0};
+  std::atomic<size_t> shed_hits{0};
+  std::atomic<size_t> unexpected{0};  // any status outside the contract
+  std::atomic<size_t> mixed{0};       // OK answer matching no single epoch
+
+  // Classify one estimate outcome; `ref_index` selects the reference
+  // summary an OK answer must match (SIZE_MAX = skip the mixing check).
+  auto classify = [&](const StatusOr<EstimateResponse>& response,
+                      size_t ref_index) {
+    if (response.ok()) {
+      ++ok_served;
+      if (ref_index == SIZE_MAX) return;
+      const EstimateResponse& r = response.value();
+      auto it = ref_summaries.find(r.model_fingerprint);
+      if (it == ref_summaries.end() || r.epoch == 0 ||
+          !r.summary.ExactlyEquals(it->second[ref_index])) {
+        ++mixed;
+      }
+      return;
+    }
+    switch (response.status().code()) {
+      case StatusCode::kDeadlineExceeded: ++deadline_hits; break;
+      case StatusCode::kCancelled: ++cancel_hits; break;
+      case StatusCode::kResourceExhausted: ++shed_hits; break;
+      default: ++unexpected; break;
+    }
+  };
+
+  // The timeout cycle: pre-expired, microseconds (trips mid-sweep at
+  // varying checkpoints), and comfortably generous (must serve correctly).
+  const double timeout_cycle[] = {1e-9, 2e-6, 5e-5, 1e-3, 30.0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      CancelToken tripped;
+      tripped.Cancel();
+      size_t round = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        ++round;
+        // 1. Plain batch: per-request status under pressure; OK answers
+        //    must match exactly one epoch's reference.
+        auto batch = engine.EstimateBatch(requests);
+        for (size_t i = 0; i < batch.size(); ++i) classify(batch[i], i);
+
+        // 2. Deadline request, cycling trip points per client and round.
+        EstimateRequest dead = requests[(c + round) % requests.size()];
+        dead.timeout_seconds =
+            timeout_cycle[(c + round) % (sizeof(timeout_cycle) /
+                                         sizeof(timeout_cycle[0]))];
+        classify(engine.Estimate(dead), (c + round) % requests.size());
+
+        // 3. Pre-cancelled token: kCancelled (or shed before the token is
+        //    even consulted) — never an answer.
+        EstimateRequest cancelled = requests[round % requests.size()];
+        cancelled.cancel = &tripped;
+        auto cancel_response = engine.Estimate(cancelled);
+        if (cancel_response.ok()) {
+          ++unexpected;
+        } else {
+          classify(cancel_response, SIZE_MAX);
+          if (cancel_response.status().code() != StatusCode::kCancelled &&
+              cancel_response.status().code() !=
+                  StatusCode::kResourceExhausted) {
+            ++unexpected;
+          }
+        }
+
+        // 4. Route with and without a tiny deadline.
+        RouteRequest dead_route = route_request;
+        dead_route.timeout_seconds = 1e-9;
+        auto dr = engine.Route(dead_route);
+        if (dr.ok() ||
+            (dr.status().code() != StatusCode::kDeadlineExceeded &&
+             dr.status().code() != StatusCode::kResourceExhausted)) {
+          ++unexpected;
+        } else if (dr.status().code() == StatusCode::kDeadlineExceeded) {
+          ++deadline_hits;
+        } else {
+          ++shed_hits;
+        }
+        auto routed = engine.Route(route_request);
+        if (routed.ok()) {
+          const RouteResponse& r = routed.value();
+          auto it = ref_routes.find(r.model_fingerprint);
+          if (it == ref_routes.end() ||
+              !(r.best_path == it->second.best_path) ||
+              r.on_time_probability != it->second.on_time_probability) {
+            ++mixed;
+          }
+        } else if (routed.status().code() != StatusCode::kResourceExhausted) {
+          ++unexpected;
+        } else {
+          ++shed_hits;
+        }
+      }
+    });
+  }
+
+  // The swapper: a corrupt attempt (header-checksum flip: never
+  // short-circuits, always rejects) then a good swap, alternating
+  // generations. Runs until the storm has provably exercised every
+  // overload path.
+  std::vector<char> corrupt_bytes = [&] {
+    std::ifstream in(artifact_data_, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  }();
+  corrupt_bytes[16] = static_cast<char>(corrupt_bytes[16] ^ 0x5a);
+  const std::string corrupt = TempPath(
+      "pcde_chaos_bad." + std::to_string(::getpid()) + ".bin");
+  {
+    std::ofstream out(corrupt, std::ios::binary | std::ios::trunc);
+    out.write(corrupt_bytes.data(),
+              static_cast<std::streamsize>(corrupt_bytes.size()));
+  }
+  std::atomic<int> swaps{0};
+  std::atomic<bool> swap_failed{false};
+  std::thread swapper([&] {
+    int s = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      if (engine.Swap(corrupt).ok()) swap_failed.store(true);
+      const std::string& next =
+          (s % 2 == 0) ? artifact_data_ : artifact_base_;
+      if (!engine.Swap(next).ok()) swap_failed.store(true);
+      ++s;
+      swaps.store(s);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // Run until every chaos ingredient has actually fired (deadline trips,
+  // cancellations, sheds, >= kMinSwaps swaps) or the time cap expires —
+  // the assertions below then report exactly which one never happened.
+  const auto start = std::chrono::steady_clock::now();
+  const auto cap = std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() - start < cap) {
+    if (deadline_hits.load() > 0 && cancel_hits.load() > 0 &&
+        shed_hits.load() > 0 && ok_served.load() > 0 &&
+        swaps.load() >= kMinSwaps) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  done.store(true);
+  for (std::thread& t : clients) t.join();
+  swapper.join();
+  std::remove(corrupt.c_str());
+
+  EXPECT_FALSE(swap_failed.load());
+  EXPECT_GE(swaps.load(), kMinSwaps);
+  EXPECT_GT(ok_served.load(), 0u);
+  EXPECT_GT(deadline_hits.load(), 0u);
+  EXPECT_GT(cancel_hits.load(), 0u);
+  EXPECT_GT(shed_hits.load(), 0u);
+  EXPECT_EQ(unexpected.load(), 0u);
+  EXPECT_EQ(mixed.load(), 0u);
+
+  // Every admission slot drained; the counters reconcile; the engine is
+  // healthy afterwards.
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_GT(stats.admitted, 0u);
+  EXPECT_GT(stats.shed, 0u);
+  EXPECT_GT(stats.deadline_exceeded, 0u);
+  EXPECT_GT(stats.cancelled, 0u);
+  EXPECT_LE(stats.inflight_highwater, 2u);  // the cap held throughout
+  auto calm = engine.Estimate(requests[0]);
+  ASSERT_TRUE(calm.ok()) << calm.status().ToString();
+  auto it = ref_summaries.find(calm.value().model_fingerprint);
+  ASSERT_NE(it, ref_summaries.end());
+  EXPECT_TRUE(calm.value().summary.ExactlyEquals(it->second[0]));
+}
+
+}  // namespace
+}  // namespace serving
+}  // namespace pcde

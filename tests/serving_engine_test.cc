@@ -8,11 +8,13 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/scoped_file.h"
@@ -341,6 +343,208 @@ TEST_F(ServingEngineTest, RouteMatchesDirectlyWiredRouter) {
   // Infeasible budgets surface the router's NotFound unchanged.
   request.budget_seconds = min_time * 0.1;
   EXPECT_EQ(engine->Route(request).status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines, cancellation, admission (ISSUE 7)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingEngineTest, ExpiredDeadlineReturnsCleanStatusNoPartialResponse) {
+  auto engine = OpenEngine(/*cache_bytes=*/0);
+  ASSERT_NE(engine, nullptr);
+  EstimateRequest request =
+      WithDistribution(PathSpec::ExplicitPath(PathBetween(2, 61)));
+  request.timeout_seconds = 1e-9;  // expired before the first checkpoint
+  auto response = engine->Estimate(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine->stats().deadline_exceeded, 1u);
+
+  // Route honours the same deadline contract.
+  RouteRequest route;
+  route.from = 0;
+  route.to = 30;
+  route.departure_time = kDepart;
+  route.budget_seconds = 3600.0;
+  route.timeout_seconds = 1e-9;
+  EXPECT_EQ(engine->Route(route).status().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine->stats().deadline_exceeded, 2u);
+
+  // The same requests without a deadline still serve normally — the
+  // unwinds left no broken state behind.
+  request.timeout_seconds = 0.0;
+  EXPECT_TRUE(engine->Estimate(request).ok());
+  route.timeout_seconds = 0.0;
+  EXPECT_TRUE(engine->Route(route).ok());
+}
+
+TEST_F(ServingEngineTest, ExternalCancelTokenUnwindsWithCancelled) {
+  auto engine = OpenEngine(/*cache_bytes=*/0);
+  ASSERT_NE(engine, nullptr);
+  CancelToken token;
+  token.Cancel();
+  EstimateRequest request =
+      WithDistribution(PathSpec::ExplicitPath(PathBetween(0, 30)));
+  request.cancel = &token;
+  auto response = engine->Estimate(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kCancelled);
+
+  RouteRequest route;
+  route.from = 0;
+  route.to = 30;
+  route.departure_time = kDepart;
+  route.budget_seconds = 3600.0;
+  route.cancel = &token;
+  EXPECT_EQ(engine->Route(route).status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(engine->stats().cancelled, 2u);
+
+  // A live (untripped) token is inert.
+  CancelToken live;
+  request.cancel = &live;
+  EXPECT_TRUE(engine->Estimate(request).ok());
+}
+
+TEST_F(ServingEngineTest, BatchDeadlinesAndCancelAreScopedPerRequest) {
+  auto engine = OpenEngine(/*cache_bytes=*/0);
+  ASSERT_NE(engine, nullptr);
+  CancelToken tripped;
+  tripped.Cancel();
+  std::vector<EstimateRequest> requests;
+  requests.push_back(WithDistribution(PathSpec::ExplicitPath(
+      PathBetween(0, 30))));  // plain
+  EstimateRequest dead =
+      WithDistribution(PathSpec::ExplicitPath(PathBetween(5, 40)));
+  dead.timeout_seconds = 1e-9;
+  requests.push_back(dead);
+  EstimateRequest cancelled =
+      WithDistribution(PathSpec::ExplicitPath(PathBetween(2, 61)));
+  cancelled.cancel = &tripped;
+  requests.push_back(cancelled);
+  requests.push_back(WithDistribution(PathSpec::ExplicitPath(
+      PathBetween(0, 60))));  // plain again
+
+  auto responses = engine->EstimateBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_EQ(responses[1].status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(responses[2].status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(responses[3].ok());
+
+  // The surviving requests serve exactly what single Estimate serves —
+  // a neighbour's deadline or cancellation never bleeds into them.
+  for (size_t i : {size_t{0}, size_t{3}}) {
+    auto single = engine->Estimate(requests[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_TRUE(responses[i].value().summary.ExactlyEquals(
+        single.value().summary))
+        << "request " << i;
+  }
+}
+
+TEST_F(ServingEngineTest, AdmissionCountersAndInflightStampOnResponses) {
+  auto engine = OpenEngine(/*cache_bytes=*/0);
+  ASSERT_NE(engine, nullptr);
+  const EstimateRequest request =
+      WithDistribution(PathSpec::ExplicitPath(PathBetween(0, 30)));
+  auto first = engine->Estimate(request);
+  auto second = engine->Estimate(request);
+  ASSERT_TRUE(first.ok() && second.ok());
+  // Sequential single requests: exactly one in flight at admission.
+  EXPECT_EQ(first.value().inflight_at_admit, 1u);
+  EXPECT_EQ(second.value().inflight_at_admit, 1u);
+  const EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.inflight, 0u);  // both finished
+  EXPECT_GE(stats.inflight_highwater, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.cancelled, 0u);
+}
+
+TEST_F(ServingEngineTest, OverloadShedsWithResourceExhausted) {
+  EngineOptions options;
+  options.model_path = artifact_;
+  options.graph = graph_;
+  options.num_threads = 2;
+  options.query_cache_bytes = 0;
+  options.max_inflight_requests = 1;  // queue depth 0, timeout 0: hard shed
+  auto opened = Engine::Open(std::move(options));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Engine& engine = *opened.value();
+
+  const EstimateRequest request =
+      WithDistribution(PathSpec::ExplicitPath(PathBetween(2, 61)));
+  // Hammer the 1-slot engine from several concurrently looping threads
+  // until a shed is observed (bounded iterations; individual requests are
+  // microseconds, so the threads must loop to overlap reliably).
+  constexpr int kThreads = 4;
+  constexpr int kMaxItersPerThread = 20000;
+  std::atomic<uint64_t> ok_count{0}, shed_count{0}, other_count{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kMaxItersPerThread && shed_count.load() == 0;
+             ++i) {
+          auto response = engine.Estimate(request);
+          if (response.ok()) {
+            ok_count.fetch_add(1);
+          } else if (response.status().code() ==
+                     StatusCode::kResourceExhausted) {
+            shed_count.fetch_add(1);
+          } else {
+            other_count.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  EXPECT_GT(shed_count.load(), 0u);
+  EXPECT_GT(ok_count.load(), 0u);  // shedding never starves everyone
+  EXPECT_EQ(other_count.load(), 0u);  // only OK or clean shed, nothing else
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.admitted, ok_count.load());
+  EXPECT_EQ(stats.shed, shed_count.load());
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.inflight_highwater, 1u);  // the cap held
+
+  // After the storm the engine serves normally.
+  auto calm = engine.Estimate(request);
+  ASSERT_TRUE(calm.ok());
+  EXPECT_EQ(calm.value().inflight_at_admit, 1u);
+}
+
+TEST_F(ServingEngineTest, GenerousLimitsAreBitIdenticalToNoLimits) {
+  // The no-pressure contract: an engine with admission + deadlines
+  // configured but not binding serves byte-for-byte what the default
+  // engine serves.
+  EngineOptions options;
+  options.model_path = artifact_;
+  options.graph = graph_;
+  options.num_threads = 1;
+  options.query_cache_bytes = 0;
+  options.max_inflight_requests = 64;
+  options.max_queue_depth = 16;
+  options.queue_timeout_seconds = 10.0;
+  auto limited = Engine::Open(std::move(options));
+  ASSERT_TRUE(limited.ok());
+  auto plain = OpenEngine(/*cache_bytes=*/0);
+  ASSERT_NE(plain, nullptr);
+  for (auto [from, to] : {std::pair<VertexId, VertexId>{0, 30}, {5, 40}}) {
+    EstimateRequest request =
+        WithDistribution(PathSpec::ExplicitPath(PathBetween(from, to)));
+    request.timeout_seconds = 300.0;  // generous: never trips
+    auto a = limited.value()->Estimate(request);
+    request.timeout_seconds = 0.0;
+    auto b = plain->Estimate(request);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(a.value().summary.ExactlyEquals(b.value().summary));
+    EXPECT_TRUE(a.value().distribution->BitIdentical(*b.value().distribution));
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -119,6 +119,77 @@ TEST(ThreadPoolTest, ConcurrentParallelForCallersShareOnePool) {
   }
 }
 
+TEST(ThreadPoolTest, ParallelForZeroItemsReturnsImmediately) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  // The pool is still fully usable afterwards — the degenerate call must
+  // not leave a stuck group behind.
+  pool.ParallelFor(10, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleItemRunsInline) {
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.ParallelFor(1, [&ran_on](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolTest, ParallelForCancelledBeforeStartRunsNothing) {
+  ThreadPool pool(2);
+  CancelToken token;
+  token.Cancel();
+  std::atomic<int> count{0};
+  // A tripped token drains the whole range without invoking fn — and the
+  // call still returns (done-accounting reaches n even when every index is
+  // claimed-but-skipped).
+  pool.ParallelFor(100, [&count](size_t) { count.fetch_add(1); }, &token);
+  EXPECT_EQ(count.load(), 0);
+  // Single-item inline path honours the token too.
+  pool.ParallelFor(1, [&count](size_t) { count.fetch_add(1); }, &token);
+  EXPECT_EQ(count.load(), 0);
+  // A fresh (untripped) token changes nothing.
+  CancelToken live;
+  pool.ParallelFor(50, [&count](size_t) { count.fetch_add(1); }, &live);
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCancelMidGroupStopsAndReturns) {
+  // Trip the token from inside the group: every item either ran before the
+  // trip or was drained after it; the call returns without hanging, and
+  // the pool stays usable.
+  ThreadPool pool(3);
+  CancelToken token;
+  constexpr size_t kN = 10000;
+  std::atomic<size_t> ran{0};
+  pool.ParallelFor(
+      kN,
+      [&](size_t i) {
+        if (i == 64) token.Cancel();
+        ran.fetch_add(1);
+      },
+      &token);
+  const size_t after_cancel = ran.load();
+  EXPECT_GE(after_cancel, 1u);
+  EXPECT_LE(after_cancel, kN);
+  std::atomic<size_t> again{0};
+  pool.ParallelFor(100, [&again](size_t) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), 100u);
+}
+
+TEST(ThreadPoolTest, ParallelForNullTokenMatchesPlainOverload) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(256, [&sum](size_t i) { sum.fetch_add(i); }, nullptr);
+  EXPECT_EQ(sum.load(), 255u * 256u / 2u);
+}
+
 TEST(TwoPoolsTest, CrossPoolSubmissionLandsInTheRightPool) {
   // A worker of pool A submitting into pool B must not index into B's
   // queues with A's worker slot.
