@@ -240,7 +240,9 @@ int main(int argc, char** argv) {
   }
   const ScopedFileRemover serving_cleanup(serving_artifact);
   auto open_engine = [&](size_t threads, size_t cache_bytes,
-                         size_t prefix_bytes)
+                         size_t prefix_bytes,
+                         routing::PruningOptions route_pruning =
+                             routing::PruningOptions())
       -> std::unique_ptr<serving::Engine> {
     serving::EngineOptions options;
     options.model_path = serving_artifact;
@@ -248,8 +250,9 @@ int main(int argc, char** argv) {
     options.num_threads = threads;
     options.query_cache_bytes = cache_bytes;
     options.prefix_cache_bytes = prefix_bytes;
-    options.route_max_expansions = 3000;
-    options.route_max_path_edges = 40;
+    options.route_max_expansions = 150000;
+    options.route_max_path_edges = 24;
+    options.route_pruning = route_pruning;
     auto engine = serving::Engine::Open(std::move(options));
     if (!engine.ok()) {
       std::fprintf(stderr, "Engine::Open failed: %s\n",
@@ -386,9 +389,12 @@ int main(int argc, char** argv) {
   }
 
   // Routing series: the DFS stochastic router over OD pairs drawn from the
-  // workload paths, with and without prefix chain-state reuse
-  // (core/prefix_state_cache.h). Both configurations must return the same
-  // routes bit for bit — a reuse-induced divergence aborts the bench.
+  // workload paths (12-edge windows at several offsets into each 20-edge
+  // path, so the OD set mixes roots and regions), measured plain, with
+  // prefix chain-state reuse (core/prefix_state_cache.h), and with the
+  // full pruning arsenal (routing/pruning.h). Reuse must return the same
+  // routes bit for bit; the pruned search must match the plain on-time
+  // probability exactly — either divergence aborts the bench.
   {
     const roadnet::Graph& graph = *w.data->data.graph;
     struct RouteCase {
@@ -398,19 +404,25 @@ int main(int argc, char** argv) {
     std::vector<RouteCase> cases;
     for (const core::PathQuery& q : w.queries) {
       if (q.path.size() != 20) continue;  // shortest cardinality: bounded DFS
-      double free_flow = 0.0;
-      for (roadnet::EdgeId e : q.path) {
-        free_flow += graph.edge(e).FreeFlowSeconds();
+      for (const size_t offset : {size_t{0}, size_t{4}, size_t{8}}) {
+        const size_t span = 12;
+        if (offset + span > q.path.size()) break;
+        double free_flow = 0.0;
+        for (size_t i = offset; i < offset + span; ++i) {
+          free_flow += graph.edge(q.path[i]).FreeFlowSeconds();
+        }
+        const RouteCase rc{graph.edge(q.path[offset]).from,
+                           graph.edge(q.path[offset + span - 1]).to,
+                           1.15 * free_flow};
+        bool dup = false;
+        for (const RouteCase& c : cases) {
+          dup |= c.from == rc.from && c.to == rc.to;
+        }
+        if (dup) continue;
+        cases.push_back(rc);
+        if (cases.size() >= 12) break;
       }
-      const RouteCase rc{graph.edge(q.path.front()).from,
-                         graph.edge(q.path.back()).to, 1.25 * free_flow};
-      bool dup = false;
-      for (const RouteCase& c : cases) {
-        dup |= c.from == rc.from && c.to == rc.to;
-      }
-      if (dup) continue;
-      cases.push_back(rc);
-      if (cases.size() >= 6) break;
+      if (cases.size() >= 12) break;
     }
     if (cases.empty()) {
       // An empty case set would emit zero-iteration routing series and
@@ -418,27 +430,69 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "no routing cases in the workload; aborting\n");
       return 1;
     }
-    // Both configurations route through the Engine (single worker so the
+    // Three configurations route through the Engine (single worker so the
     // DFS itself is measured — Engine threads=1 keeps the root fan-out
-    // sequential); the reuse engine enables the per-branch prefix cache.
+    // sequential): plain, per-branch prefix reuse, and the pruned search
+    // (incumbent + dominance + cheap-first, routing/pruning.h).
     auto plain_engine = open_engine(/*threads=*/1, /*cache_bytes=*/0,
                                     /*prefix_bytes=*/0);
     auto reuse_engine = open_engine(/*threads=*/1, /*cache_bytes=*/0,
                                     /*prefix_bytes=*/size_t{4} << 20);
-    if (plain_engine == nullptr || reuse_engine == nullptr) return 1;
+    routing::PruningOptions all_pruners;
+    all_pruners.incumbent = true;
+    all_pruners.dominance = true;
+    all_pruners.cheap_first = true;
+    auto pruned_engine = open_engine(/*threads=*/1, /*cache_bytes=*/0,
+                                     /*prefix_bytes=*/0, all_pruners);
+    if (plain_engine == nullptr || reuse_engine == nullptr ||
+        pruned_engine == nullptr) {
+      return 1;
+    }
     const double depart = traj::HoursToSeconds(8.2);
+    // Quality parity between the pruned and plain searches is only
+    // contractual for complete (non-truncated) searches — a truncated
+    // search is an anytime cutoff either way — so cases that hit the
+    // expansion cap (or fail) are dropped up front. Cases whose budget is
+    // barely makeable (plain on-time probability < 0.5) are dropped too:
+    // the pruned series measures the regime probability-bound pruning
+    // targets — budgets a route can actually make — not near-infeasible
+    // budgets where no incumbent can dominate anything (bench/README.md
+    // documents the selection).
+    {
+      std::vector<RouteCase> kept;
+      for (const RouteCase& c : cases) {
+        serving::RouteRequest request;
+        request.from = c.from;
+        request.to = c.to;
+        request.departure_time = depart;
+        request.budget_seconds = c.budget;
+        auto response = plain_engine->Route(request);
+        if (response.ok() && !response.value().truncated &&
+            response.value().on_time_probability >= 0.5) {
+          kept.push_back(c);
+        }
+      }
+      if (kept.empty()) {
+        std::fprintf(stderr,
+                     "no non-truncated routing cases in the workload; "
+                     "aborting\n");
+        return 1;
+      }
+      cases.swap(kept);
+    }
     const int route_reps = std::max(2, reps / 2);
     struct RouteOutcome {
       bool ok = false;
       serving::RouteResponse response;
     };
-    // Interleaved back to back per (rep, case) with alternating order, the
+    // Interleaved back to back per (rep, case) with rotating order, the
     // MeasurePaired discipline: shared-machine noise cancels out of the
-    // reuse-vs-no-reuse comparison instead of landing on one series.
-    std::vector<RouteOutcome> plain, reused;
-    std::vector<double> plain_lat, reuse_lat;
+    // series-vs-series comparisons instead of landing on one series.
+    std::vector<RouteOutcome> plain, reused, pruned;
+    std::vector<double> plain_lat, reuse_lat, pruned_lat;
     plain_lat.reserve(cases.size() * static_cast<size_t>(route_reps));
     reuse_lat.reserve(cases.size() * static_cast<size_t>(route_reps));
+    pruned_lat.reserve(cases.size() * static_cast<size_t>(route_reps));
     auto route_once = [&](const serving::Engine& engine, const RouteCase& c,
                           std::vector<double>* latencies,
                           std::vector<RouteOutcome>* outcomes, bool record) {
@@ -457,16 +511,24 @@ int main(int argc, char** argv) {
         outcomes->push_back(std::move(outcome));
       }
     };
+    struct Contender {
+      const serving::Engine* engine;
+      std::vector<double>* latencies;
+      std::vector<RouteOutcome>* outcomes;
+    };
+    const Contender contenders[3] = {
+        {plain_engine.get(), &plain_lat, &plain},
+        {reuse_engine.get(), &reuse_lat, &reused},
+        {pruned_engine.get(), &pruned_lat, &pruned},
+    };
     for (int r = 0; r < route_reps; ++r) {
       for (size_t i = 0; i < cases.size(); ++i) {
         const RouteCase& c = cases[i];
         const bool record = r == 0;
-        if ((static_cast<size_t>(r) + i) % 2 == 0) {
-          route_once(*plain_engine, c, &plain_lat, &plain, record);
-          route_once(*reuse_engine, c, &reuse_lat, &reused, record);
-        } else {
-          route_once(*reuse_engine, c, &reuse_lat, &reused, record);
-          route_once(*plain_engine, c, &plain_lat, &plain, record);
+        const size_t first = (static_cast<size_t>(r) + i) % 3;
+        for (size_t k = 0; k < 3; ++k) {
+          const Contender& t = contenders[(first + k) % 3];
+          route_once(*t.engine, c, t.latencies, t.outcomes, record);
         }
       }
     }
@@ -482,16 +544,44 @@ int main(int argc, char** argv) {
       reuse_series.cache_misses += o.response.prefix_cache_misses;
     }
     series.push_back(std::move(reuse_series));
+    KernelSeries pruned_series = KernelSeries::FromLatencies(
+        "route_dfs_pruned", std::move(pruned_lat), 0);
+    // Per-pruner attribution of the recorded routes.
+    for (const RouteOutcome& o : pruned) {
+      if (!o.ok) continue;
+      pruned_series.bound_pruned += o.response.bound_pruned;
+      pruned_series.incumbent_pruned += o.response.incumbent_pruned;
+      pruned_series.dominance_pruned += o.response.dominance_pruned;
+      pruned_series.estimator_clones += o.response.estimator_clones;
+    }
+    series.push_back(std::move(pruned_series));
     for (size_t i = 0; i < plain.size(); ++i) {
-      const bool same =
+      // Prefix reuse is bit-identical (probability and path); the pruned
+      // search guarantees the exact probability, while cheap-first
+      // expansion ordering may resolve an exact probability tie to a
+      // different equally-good path.
+      const bool reuse_same =
           plain[i].ok == reused[i].ok &&
           (!plain[i].ok ||
            (plain[i].response.on_time_probability ==
                 reused[i].response.on_time_probability &&
             plain[i].response.best_path == reused[i].response.best_path));
-      if (!same) {
+      if (!reuse_same) {
         std::fprintf(stderr,
                      "routing with prefix reuse diverged on case %zu\n", i);
+        return 1;
+      }
+      const bool pruned_same =
+          plain[i].ok == pruned[i].ok &&
+          (!plain[i].ok || plain[i].response.on_time_probability ==
+                               pruned[i].response.on_time_probability);
+      if (!pruned_same) {
+        std::fprintf(stderr,
+                     "pruned routing lost quality parity on case %zu "
+                     "(plain p=%.17g pruned ok=%d p=%.17g)\n",
+                     i, plain[i].ok ? plain[i].response.on_time_probability : -1.0,
+                     static_cast<int>(pruned[i].ok),
+                     pruned[i].ok ? pruned[i].response.on_time_probability : -1.0);
         return 1;
       }
     }

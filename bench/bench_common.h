@@ -207,6 +207,12 @@ struct KernelSeries {
   double mc_seconds = 0.0;  // total marginalization (finalize) phase
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Routing pruning attribution (route_dfs* series only; zero elsewhere):
+  /// per-pruner cut counts and estimator clones of the recorded routes.
+  uint64_t bound_pruned = 0;
+  uint64_t incumbent_pruned = 0;
+  uint64_t dominance_pruned = 0;
+  uint64_t estimator_clones = 0;
 
   /// Summarizes raw per-op latencies (seconds); sorts its input.
   static KernelSeries FromLatencies(std::string series_name,
@@ -297,13 +303,20 @@ inline bool WriteChainBenchJson(const std::string& path,
                  "\"ops_per_sec\": %s, \"p50_ms\": %s, \"p99_ms\": %s, "
                  "\"max_states\": %zu, \"jc_seconds\": %s, "
                  "\"mc_seconds\": %s, \"cache_hits\": %llu, "
-                 "\"cache_misses\": %llu, \"cache_hit_rate\": %s}%s\n",
+                 "\"cache_misses\": %llu, \"cache_hit_rate\": %s, "
+                 "\"bound_pruned\": %llu, \"incumbent_pruned\": %llu, "
+                 "\"dominance_pruned\": %llu, \"estimator_clones\": %llu}%s\n",
                  s.name.c_str(), s.iterations, num(s.ops_per_sec).c_str(),
                  num(s.p50_ms).c_str(), num(s.p99_ms).c_str(), s.max_states,
                  num(s.jc_seconds).c_str(), num(s.mc_seconds).c_str(),
                  static_cast<unsigned long long>(s.cache_hits),
                  static_cast<unsigned long long>(s.cache_misses),
-                 num(hit_rate).c_str(), i + 1 < series.size() ? "," : "");
+                 num(hit_rate).c_str(),
+                 static_cast<unsigned long long>(s.bound_pruned),
+                 static_cast<unsigned long long>(s.incumbent_pruned),
+                 static_cast<unsigned long long>(s.dominance_pruned),
+                 static_cast<unsigned long long>(s.estimator_clones),
+                 i + 1 < series.size() ? "," : "");
   }
   std::fprintf(f, "  ]");
   if (model != nullptr) {
@@ -341,6 +354,8 @@ inline bool WriteChainBenchJson(const std::string& path,
   const KernelSeries* deadline_base = nullptr;
   const KernelSeries* deadline_overshoot = nullptr;
   const KernelSeries* overload_shed = nullptr;
+  const KernelSeries* route_plain = nullptr;
+  const KernelSeries* route_pruned = nullptr;
   for (const KernelSeries& s : series) {
     if (s.name == "chain_sweep") rewrite = &s;
     if (s.name == "chain_sweep_reference") reference = &s;
@@ -353,6 +368,8 @@ inline bool WriteChainBenchJson(const std::string& path,
     if (s.name == "estimate_deadline_baseline") deadline_base = &s;
     if (s.name == "estimate_deadline_overshoot") deadline_overshoot = &s;
     if (s.name == "overload_shed") overload_shed = &s;
+    if (s.name == "route_dfs") route_plain = &s;
+    if (s.name == "route_dfs_pruned") route_pruned = &s;
   }
   if (rewrite != nullptr && reference != nullptr &&
       reference->ops_per_sec > 0.0) {
@@ -404,6 +421,17 @@ inline bool WriteChainBenchJson(const std::string& path,
   if (overload_shed != nullptr && overload_shed->iterations > 0) {
     std::fprintf(f, ",\n  \"overload_shed_p50_ms\": %s",
                  num(overload_shed->p50_ms).c_str());
+  }
+  // Routing headline: pruned DFS throughput over the plain DFS on the
+  // interleaved bench OD set. The bench itself aborts on any quality
+  // divergence (pruned on-time probability must equal plain bit for bit),
+  // so a present pruned series certifies parity; scripts/ci.sh gates the
+  // floor (>= 3x on the reference host, 10x aspirational).
+  if (route_plain != nullptr && route_pruned != nullptr &&
+      route_plain->ops_per_sec > 0.0) {
+    std::fprintf(
+        f, ",\n  \"route_speedup_pruned_vs_plain\": %s",
+        num(route_pruned->ops_per_sec / route_plain->ops_per_sec).c_str());
   }
   std::fprintf(f, "\n}\n");
   std::fclose(f);

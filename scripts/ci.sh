@@ -16,10 +16,14 @@
 #      storm under ASan: deadlines tripping mid-sweep, pre-cancelled
 #      requests, admission shedding, and epoch swaps all at once must
 #      produce zero hangs, zero mixed-epoch responses, and zero leaks.
+#      The pruned-routing gate then reruns the routing pruning suite
+#      explicitly under ASan: every pruner combination must match the
+#      plain search's route quality exactly (routing/pruning.h).
 #   2. Optional Debug + TSan build (skipped with a notice when the
 #      toolchain can't produce one) running the thread pool, admission,
-#      and overload-chaos suites — the lock-order/data-race angle on the
-#      same cancellation and shedding machinery.
+#      overload-chaos, and routing-pruning suites — the
+#      lock-order/data-race angle on the same cancellation and shedding
+#      machinery plus the shared-incumbent / strided-budget atomics.
 #   3. Release with SIMD on — the production configuration.
 #   4. End-to-end examples in Release, all served through serving::Engine:
 #      quickstart, data_pipeline, and od_query each build -> save -> reload
@@ -54,6 +58,11 @@
 #      transition, so a tripped estimate may overrun its deadline by at
 #      most a fraction of the unconstrained latency —
 #      request-granularity cancellation would push the ratio toward 1.
+#      The routing series must include the paired route_dfs_pruned run and
+#      its route_speedup_pruned_vs_plain headline must be at least
+#      PCDE_CI_MIN_ROUTE_SPEEDUP (default 3): the bench aborts internally
+#      if any pruned route's on-time probability diverges from the plain
+#      search's, so the headline certifies speedup at equal route quality.
 #
 # Usage: scripts/ci.sh [reps]
 set -euo pipefail
@@ -65,6 +74,7 @@ MIN_LOAD_SPEEDUP="${PCDE_CI_MIN_LOAD_SPEEDUP:-10}"
 MIN_BATCH_SCALING="${PCDE_CI_MIN_BATCH_SCALING:-3}"
 MIN_ENGINE_RATIO="${PCDE_CI_MIN_ENGINE_RATIO:-0.95}"
 MAX_OVERSHOOT_RATIO="${PCDE_CI_MAX_OVERSHOOT_RATIO:-0.5}"
+MIN_ROUTE_SPEEDUP="${PCDE_CI_MIN_ROUTE_SPEEDUP:-3}"
 
 echo "=== [1/5] Debug + ASan build (scalar SIMD fallback) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DPCDE_SANITIZE=address \
@@ -79,6 +89,9 @@ echo "=== [1/5] Swap-stress gate (refresh fault injection under ASan) ==="
 echo "=== [1/5] Overload-chaos gate (deadlines + cancel + shed + swaps under ASan) ==="
 ./build-asan/overload_chaos_test
 
+echo "=== [1/5] Pruned-routing gate (pruner quality parity under ASan) ==="
+./build-asan/routing_pruning_test
+
 echo "=== [2/5] Optional Debug + TSan build (thread pool, admission, chaos) ==="
 # Not every toolchain in the build matrix ships a working TSan runtime
 # (some libc/arch combinations can't even link it), so this step probes
@@ -87,11 +100,12 @@ if cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DPCDE_SANITIZE=thread \
         -DPCDE_SIMD=OFF -DPCDE_BUILD_BENCHES=OFF -DPCDE_BUILD_EXAMPLES=OFF \
         > build-tsan-configure.log 2>&1 \
    && cmake --build build-tsan -j --target thread_pool_test admission_test \
-        overload_chaos_test > build-tsan-build.log 2>&1 \
+        overload_chaos_test routing_pruning_test > build-tsan-build.log 2>&1 \
    && ./build-tsan/thread_pool_test --gtest_brief=1 > /dev/null 2>&1; then
   ./build-tsan/thread_pool_test
   ./build-tsan/admission_test
   ./build-tsan/overload_chaos_test
+  ./build-tsan/routing_pruning_test
 else
   echo "ci: TSan build unavailable on this toolchain — skipping (see build-tsan-*.log)"
 fi
@@ -107,7 +121,7 @@ echo "=== [4/5] Examples end-to-end (build -> save -> reload -> serve via Engine
 ./build-release/example_od_query
 ./build-release/example_model_refresh
 
-echo "=== [5/5] Perf gates (chain >= ${MIN_SPEEDUP}x, binary load >= ${MIN_LOAD_SPEEDUP}x) ==="
+echo "=== [5/5] Perf gates (chain >= ${MIN_SPEEDUP}x, binary load >= ${MIN_LOAD_SPEEDUP}x, pruned routing >= ${MIN_ROUTE_SPEEDUP}x) ==="
 ./build-release/bench_chain_micro BENCH_chain.json "$REPS"
 SPEEDUP="$(grep -o '"speedup_vs_reference": *[0-9.eE+-]*' BENCH_chain.json \
            | grep -o '[0-9.eE+-]*$' || true)"
@@ -133,6 +147,25 @@ if ! awk -v s="$LOAD_SPEEDUP" -v min="$MIN_LOAD_SPEEDUP" \
 fi
 if ! grep -q '"route_dfs_prefix_reuse"' BENCH_chain.json; then
   echo "ci: BENCH_chain.json has no route_dfs_prefix_reuse series" >&2
+  exit 1
+fi
+# The pruned routing series and its headline: the bench aborts before
+# writing the JSON if any pruned route's on-time probability differs from
+# the plain search's on the same OD case, so the ratio below is a speedup
+# at proven-equal route quality.
+if ! grep -q '"route_dfs_pruned"' BENCH_chain.json; then
+  echo "ci: BENCH_chain.json has no route_dfs_pruned series" >&2
+  exit 1
+fi
+ROUTE_SPEEDUP="$(grep -o '"route_speedup_pruned_vs_plain": *[0-9.eE+-]*' BENCH_chain.json \
+               | grep -o '[0-9.eE+-]*$' || true)"
+if [[ -z "$ROUTE_SPEEDUP" ]]; then
+  echo "ci: BENCH_chain.json has no route_speedup_pruned_vs_plain" >&2
+  exit 1
+fi
+if ! awk -v s="$ROUTE_SPEEDUP" -v min="$MIN_ROUTE_SPEEDUP" \
+     'BEGIN { exit (s + 0 >= min + 0) ? 0 : 1 }'; then
+  echo "ci: route_speedup_pruned_vs_plain = $ROUTE_SPEEDUP < $MIN_ROUTE_SPEEDUP — pruned routing regression" >&2
   exit 1
 fi
 # The refresh/degradation series must be present: the bench itself aborts
@@ -202,4 +235,4 @@ if ! awk -v s="$OVERSHOOT_RATIO" -v max="$MAX_OVERSHOOT_RATIO" \
   echo "ci: deadline_overshoot_p50_vs_estimate_p50 = $OVERSHOOT_RATIO > $MAX_OVERSHOOT_RATIO — cancellation checkpoints have coarsened" >&2
   exit 1
 fi
-echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text, engine_batch_vs_direct = $ENGINE_RATIO, batch_scaling_8v1 = $SCALING, swap_publish_seconds = $SWAP_SECONDS, deadline_overshoot_p50_vs_estimate_p50 = $OVERSHOOT_RATIO)"
+echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text, engine_batch_vs_direct = $ENGINE_RATIO, batch_scaling_8v1 = $SCALING, route_speedup_pruned_vs_plain = $ROUTE_SPEEDUP, swap_publish_seconds = $SWAP_SECONDS, deadline_overshoot_p50_vs_estimate_p50 = $OVERSHOOT_RATIO)"

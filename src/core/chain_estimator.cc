@@ -651,6 +651,50 @@ double ChainSweeper::MinSum() const {
   return best;
 }
 
+double ChainSweeper::CdfUpperBoundAt(double x) const {
+  double below = 0.0;
+  double total = 0.0;
+  for (const Group& g : groups_) {
+    double open_min = 0.0;
+    for (uint32_t j = 0; j < g.key.n; ++j) {
+      open_min += pool_.Get(g.key.ids[j]).lo;
+    }
+    for (size_t i = 0; i < g.sums.size(); ++i) {
+      const double p = g.sums.prob[i];
+      if (p <= 0.0) continue;
+      total += p;
+      if (g.sums.lo[i] + open_min <= x) below += p;
+    }
+  }
+  // Destroyed mass renormalizes at Finalize and can concentrate anywhere,
+  // so the surviving states stop bounding the final CDF.
+  if (total < 1.0 - 1e-9) return 1.0;
+  return below >= total ? 1.0 : below / total;
+}
+
+double ChainSweeper::AppendSupportPoints(
+    std::vector<std::pair<double, double>>* optimistic,
+    std::vector<std::pair<double, double>>* pessimistic) const {
+  double total = 0.0;
+  for (const Group& g : groups_) {
+    double open_lo = 0.0;
+    double open_hi = 0.0;
+    for (uint32_t j = 0; j < g.key.n; ++j) {
+      const Interval& iv = pool_.Get(g.key.ids[j]);
+      open_lo += iv.lo;
+      open_hi += iv.hi;
+    }
+    for (size_t i = 0; i < g.sums.size(); ++i) {
+      const double p = g.sums.prob[i];
+      if (p <= 0.0) continue;
+      total += p;
+      optimistic->emplace_back(g.sums.lo[i] + open_lo, p);
+      pessimistic->emplace_back(g.sums.hi[i] + open_hi, p);
+    }
+  }
+  return total;
+}
+
 StatusOr<Histogram1D> ChainSweeper::Finalize() const {
   std::vector<WeightedInterval> parts_out;
   double total = 0.0;

@@ -120,6 +120,25 @@ class ChainSweeper {
   /// lower bound used by routing pruning).
   double MinSum() const;
 
+  /// Mass fraction of surviving states whose smallest possible accumulated
+  /// cost is <= x — an upper bound on the final CDF at x while the sweep
+  /// has conserved its mass. Returns 1.0 (no information) once separator
+  /// mismatch has destroyed mass: Finalize renormalizes the remainder, so
+  /// a ratio over the surviving states would no longer bound the final
+  /// distribution. Routing's incumbent pruning probes this per extension.
+  double CdfUpperBoundAt(double x) const;
+
+  /// Appends one (cost, mass) point per surviving state: its smallest
+  /// possible accumulated cost into `optimistic` and its largest into
+  /// `pessimistic` — the support envelope of the accumulated-cost
+  /// distribution, from which routing's dominance frontier builds its
+  /// step-function sketches. Returns the total surviving mass (callers
+  /// must discard the envelope when it has dropped below 1: destroyed
+  /// mass renormalizes at Finalize and voids both sides).
+  double AppendSupportPoints(
+      std::vector<std::pair<double, double>>* optimistic,
+      std::vector<std::pair<double, double>>* pessimistic) const;
+
   /// Approximate heap footprint of the sweep state (groups' SoA lanes plus
   /// the interval pool) — the byte accounting PrefixStateCache budgets
   /// cached sweeper snapshots with.

@@ -280,6 +280,15 @@ IncrementalEstimator::IncrementalEstimator(const PathWeightFunction& wp,
     windows_.emplace_back(windows_[0].lo + unit->joint.DimRange(0).lo,
                           windows_[0].hi + unit->joint.DimRange(0).hi);
   }
+  PushUnitBounds(unit);
+}
+
+void IncrementalEstimator::PushUnitBounds(const InstantiatedVariable* unit) {
+  const double lo = unit != nullptr ? unit->joint.DimRange(0).lo : 0.0;
+  const double hi = unit != nullptr ? unit->joint.DimRange(0).hi : 0.0;
+  if (unit == nullptr) ++units_missing_;
+  unit_lo_prefix_.push_back(unit_lo_prefix_.back() + lo);
+  unit_hi_prefix_.push_back(unit_hi_prefix_.back() + hi);
 }
 
 size_t IncrementalEstimator::MaxAbsorbRank() const {
@@ -388,8 +397,71 @@ Status IncrementalEstimator::ExtendByEdge(roadnet::EdgeId e) {
   } else {
     windows_.push_back(at_edge);
   }
+  PushUnitBounds(unit);
   AdvanceStablePrefix();
   return Status::OK();
+}
+
+double IncrementalEstimator::MinTotalCostWithEdge(roadnet::EdgeId e) const {
+  // Mirrors ExtendByEdge's min_total_ update exactly: the unit lookup uses
+  // the same arrival window the extension would, so the value is what a
+  // clone's MinTotalCost() would report after extending.
+  const InstantiatedVariable* unit = wp_.UnitVariable(e, windows_.back());
+  return min_total_ + (unit != nullptr ? unit->joint.DimRange(0).lo : 0.0);
+}
+
+namespace {
+
+/// Safety slack on support-bound comparisons: Finalize inflates state
+/// intervals by epsilons (Interval::Inflated) and the flatten/compact
+/// pipeline adds a few rounding steps, so a probe evaluated on the raw
+/// streamed states could sit an epsilon on the wrong side of the final
+/// histogram's CDF. Widening every bound by this (absolute + relative)
+/// slack keeps the probes conservative; the pruning it forgoes is mass
+/// within ~1e-6 s of the threshold — noise at road-network cost scales.
+double SupportSlack(double v) { return 1e-6 + 1e-9 * std::abs(v); }
+
+}  // namespace
+
+double IncrementalEstimator::ArrivalProbabilityUpperBound(
+    double budget, double remaining_lower_bound) const {
+  // Prefix positions not yet streamed into the sweeper cost at least their
+  // unit minima (the same per-position support bounds min_total_ sums);
+  // the streamed (stable) positions' contributions are final for every
+  // completion, so the surviving state mass below the residual budget
+  // bounds any completion's arrival probability from above.
+  const double uncounted_min = min_total_ - unit_lo_prefix_[CountedEnd()];
+  double x = budget - remaining_lower_bound - uncounted_min;
+  x += SupportSlack(x);
+  return sweeper_.CdfUpperBoundAt(x);
+}
+
+bool IncrementalEstimator::PrefixCostEnvelope(
+    std::vector<std::pair<double, double>>* optimistic,
+    std::vector<std::pair<double, double>>* pessimistic) const {
+  if (units_missing_ > 0) return false;  // no per-position maxima exist
+  optimistic->clear();
+  pessimistic->clear();
+  const double mass = sweeper_.AppendSupportPoints(optimistic, pessimistic);
+  if (mass < 1.0 - 1e-9) {
+    // Destroyed mass renormalizes at Finalize; neither side still bounds
+    // the final distribution.
+    optimistic->clear();
+    pessimistic->clear();
+    return false;
+  }
+  const size_t ce = CountedEnd();
+  const double uncounted_lo = min_total_ - unit_lo_prefix_[ce];
+  const double uncounted_hi = unit_hi_prefix_.back() - unit_hi_prefix_[ce];
+  for (auto& point : *optimistic) {
+    point.first += uncounted_lo;
+    point.first -= SupportSlack(point.first);
+  }
+  for (auto& point : *pessimistic) {
+    point.first += uncounted_hi;
+    point.first += SupportSlack(point.first);
+  }
+  return true;
 }
 
 StatusOr<Histogram1D> IncrementalEstimator::CurrentDistribution() const {

@@ -253,12 +253,53 @@ class IncrementalEstimator {
   /// Smallest possible total cost of the current path (for routing pruning).
   double MinTotalCost() const { return min_total_; }
 
+  /// MinTotalCost() of the hypothetical extension by `e`, computed on the
+  /// parent without cloning the chain state: exactly the value a copy would
+  /// report after ExtendByEdge(e). Routing's admissible bound check runs on
+  /// this before paying the estimator copy, so pruned edges never clone.
+  double MinTotalCostWithEdge(roadnet::EdgeId e) const;
+
+  /// Optimistic upper bound on P(total path cost <= budget) over every
+  /// extension of the current prefix whose own (remaining) cost is at least
+  /// `remaining_lower_bound` — the incumbent-pruning probe: the streamed
+  /// prefix CDF evaluated at budget - remaining_lower_bound, with the
+  /// not-yet-streamed prefix positions charged at their unit-variable
+  /// minima (the same per-position support bounds MinTotalCost sums).
+  /// Exact while the chain sweep conserves its mass; once separator
+  /// mismatch destroys mass (the independence-fallback regime) the probe
+  /// degrades to 1.0 — "no information", never a wrong prune at probe
+  /// time. Cost: one pass over the streamed sweeper states.
+  double ArrivalProbabilityUpperBound(double budget,
+                                      double remaining_lower_bound) const;
+
+  /// Support envelope of the current prefix-cost distribution as raw
+  /// (cost, mass) points: `optimistic` places every streamed state at its
+  /// smallest possible cost (its CDF step sketch upper-bounds the true
+  /// prefix CDF), `pessimistic` at its largest (lower bound). Unstreamed
+  /// positions are charged at their unit minima / maxima. Returns false —
+  /// envelope unusable — when a prefix position has no unit variable (no
+  /// per-position maximum exists) or when the sweep has lost mass; the
+  /// dominance pruner then simply neither prunes nor records this prefix.
+  bool PrefixCostEnvelope(
+      std::vector<std::pair<double, double>>* optimistic,
+      std::vector<std::pair<double, double>>* pessimistic) const;
+
  private:
   /// Parts at positions this far behind the path end can still be absorbed
   /// by a future higher-rank part; everything earlier is stable and gets
   /// streamed into the chain sweeper exactly once.
   size_t MaxAbsorbRank() const;
   void AdvanceStablePrefix();
+  /// First path position NOT yet accounted for by the streamed sweeper
+  /// state (positions of the applied stable-prefix parts are; stable parts
+  /// are never absorbed, so their contributions are final for every
+  /// completion of this prefix).
+  size_t CountedEnd() const {
+    return applied_ == 0 ? 0 : parts_[applied_ - 1].end();
+  }
+  /// Appends one position's unit-variable support bounds to the prefix
+  /// sums (nullptr unit = no per-position bounds: minimum 0, no maximum).
+  void PushUnitBounds(const InstantiatedVariable* unit);
 
   const PathWeightFunction& wp_;
   EstimateOptions options_;
@@ -275,6 +316,15 @@ class IncrementalEstimator {
   ChainSweeper sweeper_;
   size_t applied_ = 0;
   double min_total_ = 0.0;
+  // Cumulative per-position unit-variable support bounds
+  // (unit_lo_prefix_[k] = sum of unit minima over positions < k, so
+  // min_total_ == unit_lo_prefix_.back()): the pruning probes split these
+  // sums at the counted/uncounted boundary (CountedEnd).
+  std::vector<double> unit_lo_prefix_{0.0};
+  std::vector<double> unit_hi_prefix_{0.0};
+  // Positions with no unit variable at all: their maxima are unknown, so
+  // the pessimistic envelope is unusable while this is nonzero.
+  size_t units_missing_ = 0;
   PrefixStateCache* prefix_cache_ = nullptr;  // not owned; single-threaded
   // Chain-options fingerprint for prefix-cache keys, hashed once here
   // instead of per CurrentDistribution call.

@@ -1,0 +1,176 @@
+// First-order stochastic-dominance machinery for the pruned DFS
+// (src/routing/stochastic_router.cc): direction-aware CDF step-function
+// sketches of prefix-cost distributions, and a per-vertex frontier of
+// nondominated prefixes.
+//
+// Soundness contract: a candidate prefix B may be cut at vertex v only
+// when some stored prefix A at v satisfies
+//   (1) visited(A) ⊆ visited(B) — every simple-path completion of B is
+//       also available to A, so A can reach anything B can; and
+//   (2) A's *pessimistic* cost CDF dominates B's *optimistic* cost CDF
+//       pointwise (Pr[cost_A ≤ x] ≥ Pr[cost_B ≤ x] for all x, measured
+//       with A charged at support maxima and B at support minima) — so
+//       for every completion, A's arrival probability is no worse.
+// Both sketches are deliberately one-sided: coarsening an optimistic
+// sketch rounds mass down-cost (CDF up) and a pessimistic sketch up-cost
+// (CDF down), so sketch compression can only make the dominance test
+// *harder* to pass, never unsound.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "roadnet/graph.h"
+
+namespace pcde {
+namespace routing {
+
+/// Right-continuous CDF step function over a small set of breakpoints.
+class CdfSketch {
+ public:
+  /// Builds a sketch from (cost, mass) support points. When the point set
+  /// exceeds `max_points`, points are binned into equal-width cost bins;
+  /// `round_down` selects the direction of the rounding: true moves mass
+  /// to the bin's lower cost edge (CDF can only grow — correct for an
+  /// optimistic / upper-bound sketch), false to the upper edge (CDF can
+  /// only shrink — correct for a pessimistic / lower-bound sketch).
+  static CdfSketch FromPoints(std::vector<std::pair<double, double>> points,
+                              size_t max_points, bool round_down) {
+    CdfSketch s;
+    if (points.empty()) return s;
+    std::sort(points.begin(), points.end());
+    if (max_points == 0) max_points = 1;
+    if (points.size() > max_points) {
+      const double lo = points.front().first;
+      const double hi = points.back().first;
+      const double width = (hi - lo) / static_cast<double>(max_points);
+      std::vector<std::pair<double, double>> binned;
+      binned.reserve(max_points);
+      if (width <= 0.0) {
+        double mass = 0.0;
+        for (const auto& p : points) mass += p.second;
+        binned.emplace_back(lo, mass);
+      } else {
+        for (const auto& p : points) {
+          size_t bin = static_cast<size_t>((p.first - lo) / width);
+          bin = std::min(bin, max_points - 1);
+          const double edge =
+              round_down ? lo + static_cast<double>(bin) * width
+                         : lo + static_cast<double>(bin + 1) * width;
+          if (!binned.empty() && binned.back().first == edge) {
+            binned.back().second += p.second;
+          } else {
+            binned.emplace_back(edge, p.second);
+          }
+        }
+      }
+      points.swap(binned);
+    }
+    s.x_.reserve(points.size());
+    s.cum_.reserve(points.size());
+    double running = 0.0;
+    for (const auto& p : points) {
+      running += p.second;
+      if (!s.x_.empty() && s.x_.back() == p.first) {
+        s.cum_.back() = running;
+      } else {
+        s.x_.push_back(p.first);
+        s.cum_.push_back(running);
+      }
+    }
+    return s;
+  }
+
+  bool empty() const { return x_.empty(); }
+
+  /// CDF value at cost v: total mass at breakpoints ≤ v.
+  double At(double v) const {
+    const auto it = std::upper_bound(x_.begin(), x_.end(), v);
+    if (it == x_.begin()) return 0.0;
+    return cum_[static_cast<size_t>(it - x_.begin()) - 1];
+  }
+
+  /// True when this CDF ≥ other pointwise (checked on the union of both
+  /// breakpoint sets — sufficient for step functions).
+  bool DominatesEverywhere(const CdfSketch& other) const {
+    size_t i = 0;
+    size_t j = 0;
+    while (i < x_.size() || j < other.x_.size()) {
+      double v;
+      if (j >= other.x_.size()) {
+        v = x_[i++];
+      } else if (i >= x_.size()) {
+        v = other.x_[j++];
+      } else if (x_[i] <= other.x_[j]) {
+        v = x_[i];
+        if (other.x_[j] == v) ++j;
+        ++i;
+      } else {
+        v = other.x_[j++];
+      }
+      if (At(v) < other.At(v)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<double> x_;    // sorted breakpoints (costs)
+  std::vector<double> cum_;  // cumulative mass at each breakpoint
+};
+
+/// Per-branch map vertex → nondominated prefix entries. Sharded per DFS
+/// root branch, so no synchronization: cross-branch pruning signal flows
+/// through the SharedIncumbent instead.
+class DominanceFrontier {
+ public:
+  explicit DominanceFrontier(size_t max_entries_per_vertex)
+      : cap_(max_entries_per_vertex == 0 ? 1 : max_entries_per_vertex) {}
+
+  /// True when `visited` (sorted) already contains every vertex of
+  /// `subset` (sorted) — merge walk.
+  static bool IsSubset(const std::vector<roadnet::VertexId>& subset,
+                       const std::vector<roadnet::VertexId>& superset) {
+    size_t i = 0;
+    for (roadnet::VertexId v : superset) {
+      if (i == subset.size()) return true;
+      if (subset[i] == v) ++i;
+    }
+    return i == subset.size();
+  }
+
+  /// True when a stored prefix at `at` dominates the candidate described
+  /// by (`optimistic` sketch, sorted `visited` set).
+  bool IsDominated(roadnet::VertexId at, const CdfSketch& optimistic,
+                   const std::vector<roadnet::VertexId>& visited) const {
+    const auto it = entries_.find(at);
+    if (it == entries_.end()) return false;
+    for (const Entry& e : it->second) {
+      if (!IsSubset(e.visited, visited)) continue;
+      if (e.pessimistic.DominatesEverywhere(optimistic)) return true;
+    }
+    return false;
+  }
+
+  /// Records a surviving prefix; first-come up to the per-vertex cap
+  /// (cheap-first expansion ordering lands strong prefixes early).
+  void Insert(roadnet::VertexId at, CdfSketch pessimistic,
+              std::vector<roadnet::VertexId> visited) {
+    std::vector<Entry>& slot = entries_[at];
+    if (slot.size() >= cap_) return;
+    slot.push_back(Entry{std::move(pessimistic), std::move(visited)});
+  }
+
+ private:
+  struct Entry {
+    CdfSketch pessimistic;
+    std::vector<roadnet::VertexId> visited;  // sorted
+  };
+  size_t cap_;
+  std::unordered_map<roadnet::VertexId, std::vector<Entry>> entries_;
+};
+
+}  // namespace routing
+}  // namespace pcde

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "common/cancel_token.h"
 #include "common/status.h"
@@ -17,6 +18,7 @@
 #include "core/estimator.h"
 #include "roadnet/graph.h"
 #include "roadnet/shortest_path.h"
+#include "routing/pruning.h"
 
 namespace pcde {
 namespace routing {
@@ -56,6 +58,19 @@ struct RouterConfig {
   /// series measures the trade on your workload); low-rank models
   /// (unit/pairwise chains) share deeper and benefit more.
   size_t prefix_cache_bytes = 0;
+  /// Opt-in search pruners (routing/pruning.h). All default off, which is
+  /// bit-identical to the pre-pruning router. With num_threads == 1,
+  /// incumbent and dominance pruning return exactly the same
+  /// (path, probability) as the plain search; cheap_first (an exploration
+  /// reorder) and the parallel fan-out preserve the probability exactly
+  /// but may resolve an exact probability tie to a different equally-good
+  /// path.
+  PruningOptions pruning;
+  /// Expansion slots a branch reserves from the shared budget per
+  /// fetch_add (clamped internally to max_expansions / 8 + 1 so small
+  /// caps still truncate near the cap). 1 reproduces the per-node
+  /// fetch_add of the baseline.
+  size_t expansion_stride = 64;
 };
 
 struct RouteResult {
@@ -69,6 +84,14 @@ struct RouteResult {
   /// when prefix reuse is disabled).
   uint64_t prefix_cache_hits = 0;
   uint64_t prefix_cache_misses = 0;
+  /// Per-pruner attribution counters (summed over root branches).
+  /// bound_pruned counts admissible free-flow bound cuts (always active);
+  /// the other cut counters stay zero unless their pruner is enabled.
+  uint64_t bound_pruned = 0;
+  uint64_t incumbent_pruned = 0;
+  uint64_t dominance_pruned = 0;
+  /// IncrementalEstimator copies actually paid (pruned edges never clone).
+  uint64_t estimator_clones = 0;
 };
 
 /// \brief Probabilistic budget routing with a pluggable cost-distribution
@@ -89,15 +112,27 @@ class DfsStochasticRouter {
   /// Status (kDeadlineExceeded / kCancelled) — never a partial best-path —
   /// with overshoot bounded by one expansion (one estimator extension +
   /// one candidate distribution).
+  ///
+  /// `pruning_override` (optional) replaces `config.pruning` for this call
+  /// only — serving::Engine uses it for per-request pruning knobs.
   StatusOr<RouteResult> Route(roadnet::VertexId from, roadnet::VertexId to,
                               double departure_time, double budget_seconds,
-                              const CancelToken* cancel = nullptr) const;
+                              const CancelToken* cancel = nullptr,
+                              const PruningOptions* pruning_override =
+                                  nullptr) const;
 
  private:
   const roadnet::Graph& graph_;
   const core::PathWeightFunction& wp_;
   core::EstimateOptions estimate_options_;
   RouterConfig config_;
+  /// Shared lower-bound oracle (built once in the constructor): per edge,
+  /// the larger of factor * free-flow and the minimum support cost over
+  /// the edge's unit variables — still admissible, usually much tighter.
+  /// Route() runs its reverse Dijkstra over these weights when incumbent
+  /// or dominance pruning is on; cuts from the tighter bound remove only
+  /// zero-probability completions, so route quality is unchanged.
+  std::vector<double> oracle_weight_seconds_;
 };
 
 }  // namespace routing

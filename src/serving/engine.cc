@@ -75,6 +75,7 @@ std::shared_ptr<const Engine::Epoch> Engine::BuildEpoch(
     config.pool = pool_.get();
     config.query_cache = cache_.get();
     config.prefix_cache_bytes = options_.prefix_cache_bytes;
+    config.pruning = options_.route_pruning;
     epoch->router = std::make_unique<routing::DfsStochasticRouter>(
         *options_.graph, *epoch->model, options_.estimate, config);
   }
@@ -363,9 +364,10 @@ StatusOr<RouteResponse> Engine::Route(const RouteRequest& request) const {
     return Status::FailedPrecondition(
         "Engine::Route needs EngineOptions::graph");
   }
-  auto result = epoch->router->Route(request.from, request.to,
-                                     request.departure_time,
-                                     request.budget_seconds, cancel);
+  auto result = epoch->router->Route(
+      request.from, request.to, request.departure_time,
+      request.budget_seconds, cancel,
+      request.use_pruning_override ? &request.pruning : nullptr);
   if (!result.ok()) {
     CountUnwind(result.status());
     return result.status();
@@ -378,6 +380,18 @@ StatusOr<RouteResponse> Engine::Route(const RouteRequest& request) const {
   response.truncated = result.value().truncated;
   response.prefix_cache_hits = result.value().prefix_cache_hits;
   response.prefix_cache_misses = result.value().prefix_cache_misses;
+  response.bound_pruned = result.value().bound_pruned;
+  response.incumbent_pruned = result.value().incumbent_pruned;
+  response.dominance_pruned = result.value().dominance_pruned;
+  response.estimator_clones = result.value().estimator_clones;
+  route_bound_pruned_.fetch_add(response.bound_pruned,
+                                std::memory_order_relaxed);
+  route_incumbent_pruned_.fetch_add(response.incumbent_pruned,
+                                    std::memory_order_relaxed);
+  route_dominance_pruned_.fetch_add(response.dominance_pruned,
+                                    std::memory_order_relaxed);
+  route_estimator_clones_.fetch_add(response.estimator_clones,
+                                    std::memory_order_relaxed);
   response.model_fingerprint = epoch->model->fingerprint();
   response.epoch = epoch->sequence;
   response.inflight_at_admit = inflight_now;
@@ -402,6 +416,14 @@ EngineStats Engine::stats() const {
   stats.deadline_exceeded =
       deadline_exceeded_.load(std::memory_order_relaxed);
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.route_bound_pruned =
+      route_bound_pruned_.load(std::memory_order_relaxed);
+  stats.route_incumbent_pruned =
+      route_incumbent_pruned_.load(std::memory_order_relaxed);
+  stats.route_dominance_pruned =
+      route_dominance_pruned_.load(std::memory_order_relaxed);
+  stats.route_estimator_clones =
+      route_estimator_clones_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -88,6 +88,10 @@ struct EngineOptions {
   double route_lower_bound_factor = 0.8;
   size_t route_max_expansions = 500000;
   size_t route_max_path_edges = 150;
+  /// Opt-in routing pruners (routing/pruning.h); all default off, which
+  /// keeps Route bit-identical to the pre-pruning engine. Individual
+  /// RouteRequests can override via use_pruning_override.
+  routing::PruningOptions route_pruning;
 
   /// Admission control (overload protection). Requests — each single
   /// Estimate/Route call, and each request of a batch individually —
@@ -114,6 +118,12 @@ struct EngineStats {
   uint64_t cancelled = 0;          // unwound with kCancelled
   uint64_t inflight = 0;           // currently admitted requests
   uint64_t inflight_highwater = 0;  // peak concurrent admissions
+  /// Routing pruning attribution, summed over every successful Route
+  /// (see routing::RouteResult for per-counter semantics).
+  uint64_t route_bound_pruned = 0;
+  uint64_t route_incumbent_pruned = 0;
+  uint64_t route_dominance_pruned = 0;
+  uint64_t route_estimator_clones = 0;
 };
 
 /// \brief Derives the serving-visible CostSummary from a cost
@@ -262,6 +272,11 @@ class Engine {
   mutable std::unique_ptr<AdmissionController> admission_;
   mutable std::atomic<uint64_t> deadline_exceeded_{0};
   mutable std::atomic<uint64_t> cancelled_{0};
+  // Routing pruning attribution (summed over successful Route calls).
+  mutable std::atomic<uint64_t> route_bound_pruned_{0};
+  mutable std::atomic<uint64_t> route_incumbent_pruned_{0};
+  mutable std::atomic<uint64_t> route_dominance_pruned_{0};
+  mutable std::atomic<uint64_t> route_estimator_clones_{0};
 };
 
 }  // namespace serving

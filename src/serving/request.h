@@ -21,6 +21,7 @@
 #include "hist/histogram1d.h"
 #include "roadnet/graph.h"
 #include "roadnet/path.h"
+#include "routing/pruning.h"
 
 namespace pcde {
 namespace serving {
@@ -178,6 +179,11 @@ struct RouteRequest {
   /// partial best-so-far.
   double timeout_seconds = 0.0;
   const CancelToken* cancel = nullptr;  // not owned; may be null
+  /// Per-request pruner override: when set, `pruning` replaces the
+  /// engine-level EngineOptions::route_pruning for this request only
+  /// (including turning pruning off with a default-constructed value).
+  bool use_pruning_override = false;
+  routing::PruningOptions pruning;
 };
 
 struct RouteResponse {
@@ -190,6 +196,14 @@ struct RouteResponse {
   /// zero when disabled).
   uint64_t prefix_cache_hits = 0;
   uint64_t prefix_cache_misses = 0;
+  /// Per-pruner attribution counters (routing::RouteResult): admissible
+  /// free-flow bound cuts, incumbent-CDF cuts, stochastic-dominance cuts,
+  /// and the estimator clones actually paid. The cut counters other than
+  /// bound_pruned stay zero unless their pruner is enabled.
+  uint64_t bound_pruned = 0;
+  uint64_t incumbent_pruned = 0;
+  uint64_t dominance_pruned = 0;
+  uint64_t estimator_clones = 0;
   /// Model provenance, as on EstimateResponse: the routing search ran
   /// start to finish against this one pinned epoch's model.
   uint64_t model_fingerprint = 0;

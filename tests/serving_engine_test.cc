@@ -570,7 +570,13 @@ TEST_F(ServingEngineTest, OpenAndResolutionErrors) {
   od.path = PathSpec::OdPair(0, 30);
   EXPECT_EQ(engine.value()->Estimate(od).status().code(),
             StatusCode::kFailedPrecondition);
-  EXPECT_EQ(engine.value()->Route(RouteRequest{0, 30, 0.0, 1e6})
+  EXPECT_EQ(engine.value()->Route([] {
+                  RouteRequest r;
+                  r.from = 0;
+                  r.to = 30;
+                  r.budget_seconds = 1e6;
+                  return r;
+                }())
                 .status()
                 .code(),
             StatusCode::kFailedPrecondition);
