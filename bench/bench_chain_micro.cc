@@ -634,6 +634,83 @@ int main(int argc, char** argv) {
         KernelSeries::FromLatencies("swap_publish", std::move(swap_lat), 0));
   }
   {
+    // swap_verified_publish: the same alternating Engine::Swap, but every
+    // candidate must answer K=8 golden probe queries bit-identically to
+    // references stamped per generation before it publishes
+    // (SwapPolicy probe verification, tests/fault_sweep_test.cc is the
+    // correctness side). Paired against swap_publish this prices the
+    // pre-publish verification; ci.sh gates the ratio at <= 2x. The run
+    // aborts on any probe divergence — the references were stamped from
+    // the very generations being republished, so a divergence means the
+    // serving path broke.
+    const size_t kProbes = 8;
+    // Cheapest workload queries (shortest paths) keep the probe cost the
+    // floor a deployment would actually pay.
+    std::vector<size_t> by_cost(w.queries.size());
+    for (size_t i = 0; i < by_cost.size(); ++i) by_cost[i] = i;
+    std::sort(by_cost.begin(), by_cost.end(), [&](size_t a, size_t b) {
+      return w.queries[a].path.size() < w.queries[b].path.size();
+    });
+    by_cost.resize(std::min(kProbes, by_cost.size()));
+    // References are stamped per generation, from an engine serving it.
+    auto stamp_probes =
+        [&](const std::string& artifact,
+            std::vector<serving::GoldenProbe>* probes) -> bool {
+      serving::EngineOptions options;
+      options.model_path = artifact;
+      options.graph = w.data->data.graph.get();
+      options.num_threads = 1;
+      options.query_cache_bytes = 0;
+      auto ref = serving::Engine::Open(std::move(options));
+      if (!ref.ok()) {
+        std::fprintf(stderr, "reference Engine::Open failed: %s\n",
+                     ref.status().ToString().c_str());
+        return false;
+      }
+      for (size_t i : by_cost) {
+        serving::GoldenProbe probe;
+        probe.request = requests[i];
+        auto response = ref.value()->Estimate(probe.request);
+        if (!response.ok()) {
+          std::fprintf(stderr, "probe reference estimate failed: %s\n",
+                       response.status().ToString().c_str());
+          return false;
+        }
+        probe.has_reference = true;
+        probe.reference = response.value().summary;
+        probes->push_back(std::move(probe));
+      }
+      return true;
+    };
+    serving::SwapOptions verified_alt, verified_serving;
+    if (!stamp_probes(alt_artifact, &verified_alt.probes) ||
+        !stamp_probes(serving_artifact, &verified_serving.probes)) {
+      return 1;
+    }
+    auto engine = open_engine(/*threads=*/1, /*cache_bytes=*/0,
+                              /*prefix_bytes=*/0);
+    if (engine == nullptr) return 1;
+    std::vector<double> swap_lat;
+    const int swap_reps = std::max(8, reps);
+    swap_lat.reserve(2 * static_cast<size_t>(swap_reps));
+    for (int r = 0; r < swap_reps; ++r) {
+      for (const auto& step :
+           {std::make_pair(&alt_artifact, &verified_alt),
+            std::make_pair(&serving_artifact, &verified_serving)}) {
+        Stopwatch watch;
+        auto sequence = engine->Swap(*step.first, *step.second);
+        swap_lat.push_back(watch.ElapsedSeconds());
+        if (!sequence.ok()) {
+          std::fprintf(stderr, "verified Engine::Swap failed: %s\n",
+                       sequence.status().ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    series.push_back(KernelSeries::FromLatencies("swap_verified_publish",
+                                                 std::move(swap_lat), 0));
+  }
+  {
     // estimate_steady vs estimate_during_swap: identical Engine batches,
     // the second run while a refresher thread republishes alternating
     // generations in a tight loop. The pair bounds the serving-latency

@@ -349,6 +349,7 @@ inline bool WriteChainBenchJson(const std::string& path,
   const KernelSeries* batch8 = nullptr;
   const KernelSeries* batch_direct1 = nullptr;
   const KernelSeries* swap_publish = nullptr;
+  const KernelSeries* swap_verified = nullptr;
   const KernelSeries* steady = nullptr;
   const KernelSeries* during_swap = nullptr;
   const KernelSeries* deadline_base = nullptr;
@@ -363,6 +364,7 @@ inline bool WriteChainBenchJson(const std::string& path,
     if (s.name == "estimate_batch_threads_8") batch8 = &s;
     if (s.name == "estimate_batch_direct_threads_1") batch_direct1 = &s;
     if (s.name == "swap_publish") swap_publish = &s;
+    if (s.name == "swap_verified_publish") swap_verified = &s;
     if (s.name == "estimate_steady") steady = &s;
     if (s.name == "estimate_during_swap") during_swap = &s;
     if (s.name == "estimate_deadline_baseline") deadline_base = &s;
@@ -400,6 +402,14 @@ inline bool WriteChainBenchJson(const std::string& path,
   if (swap_publish != nullptr && swap_publish->iterations > 0) {
     std::fprintf(f, ",\n  \"swap_publish_seconds\": %s",
                  num(swap_publish->p50_ms / 1e3).c_str());
+  }
+  // Median cost of a PROBE-VERIFIED publish (Engine::Swap running K=8
+  // golden probe queries against the candidate before the epoch flips).
+  // Paired with swap_publish_seconds above; scripts/ci.sh gates the
+  // verification overhead at <= 2x the plain swap.
+  if (swap_verified != nullptr && swap_verified->iterations > 0) {
+    std::fprintf(f, ",\n  \"swap_verified_publish_seconds\": %s",
+                 num(swap_verified->p50_ms / 1e3).c_str());
   }
   if (steady != nullptr && during_swap != nullptr && steady->p99_ms > 0.0) {
     std::fprintf(f, ",\n  \"estimate_during_swap_p99_vs_steady\": %s",

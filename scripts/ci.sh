@@ -19,11 +19,19 @@
 #      The pruned-routing gate then reruns the routing pruning suite
 #      explicitly under ASan: every pruner combination must match the
 #      plain search's route quality exactly (routing/pruning.h).
+#      The fault-sweep gate (ISSUE 9) then reruns the fault-injection
+#      sweep explicitly under ASan: every registered fault site is armed
+#      mechanically and driven through save -> swap -> serve (plus the
+#      torn-write, probe-verification, rollback, and multi-fault-storm
+#      tests) — injected open/write/fsync/rename/mmap failures must fail
+#      with clean Statuses, leave prior artifacts byte-identical, drop no
+#      temp files, and never corrupt or leak a served response.
 #   2. Optional Debug + TSan build (skipped with a notice when the
 #      toolchain can't produce one) running the thread pool, admission,
-#      overload-chaos, and routing-pruning suites — the
+#      overload-chaos, routing-pruning, and fault-sweep suites — the
 #      lock-order/data-race angle on the same cancellation and shedding
-#      machinery plus the shared-incumbent / strided-budget atomics.
+#      machinery plus the shared-incumbent / strided-budget atomics and
+#      the armed-injector / retrying-swap paths.
 #   3. Release with SIMD on — the production configuration.
 #   4. End-to-end examples in Release, all served through serving::Engine:
 #      quickstart, data_pipeline, and od_query each build -> save -> reload
@@ -63,6 +71,12 @@
 #      PCDE_CI_MIN_ROUTE_SPEEDUP (default 3): the bench aborts internally
 #      if any pruned route's on-time probability diverges from the plain
 #      search's, so the headline certifies speedup at equal route quality.
+#      The refresh series must also include swap_verified_publish and the
+#      swap_verified_publish_seconds headline (Engine::Swap with K=8
+#      golden probe queries verified against per-generation references —
+#      the bench aborts on any probe divergence), and verification may
+#      cost at most PCDE_CI_MAX_VERIFY_RATIO (default 2) times the plain
+#      swap_publish_seconds.
 #
 # Usage: scripts/ci.sh [reps]
 set -euo pipefail
@@ -75,6 +89,7 @@ MIN_BATCH_SCALING="${PCDE_CI_MIN_BATCH_SCALING:-3}"
 MIN_ENGINE_RATIO="${PCDE_CI_MIN_ENGINE_RATIO:-0.95}"
 MAX_OVERSHOOT_RATIO="${PCDE_CI_MAX_OVERSHOOT_RATIO:-0.5}"
 MIN_ROUTE_SPEEDUP="${PCDE_CI_MIN_ROUTE_SPEEDUP:-3}"
+MAX_VERIFY_RATIO="${PCDE_CI_MAX_VERIFY_RATIO:-2}"
 
 echo "=== [1/5] Debug + ASan build (scalar SIMD fallback) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DPCDE_SANITIZE=address \
@@ -92,6 +107,9 @@ echo "=== [1/5] Overload-chaos gate (deadlines + cancel + shed + swaps under ASa
 echo "=== [1/5] Pruned-routing gate (pruner quality parity under ASan) ==="
 ./build-asan/routing_pruning_test
 
+echo "=== [1/5] Fault-sweep gate (per-site durability fault injection under ASan) ==="
+./build-asan/fault_sweep_test
+
 echo "=== [2/5] Optional Debug + TSan build (thread pool, admission, chaos) ==="
 # Not every toolchain in the build matrix ships a working TSan runtime
 # (some libc/arch combinations can't even link it), so this step probes
@@ -100,12 +118,14 @@ if cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DPCDE_SANITIZE=thread \
         -DPCDE_SIMD=OFF -DPCDE_BUILD_BENCHES=OFF -DPCDE_BUILD_EXAMPLES=OFF \
         > build-tsan-configure.log 2>&1 \
    && cmake --build build-tsan -j --target thread_pool_test admission_test \
-        overload_chaos_test routing_pruning_test > build-tsan-build.log 2>&1 \
+        overload_chaos_test routing_pruning_test fault_sweep_test \
+        > build-tsan-build.log 2>&1 \
    && ./build-tsan/thread_pool_test --gtest_brief=1 > /dev/null 2>&1; then
   ./build-tsan/thread_pool_test
   ./build-tsan/admission_test
   ./build-tsan/overload_chaos_test
   ./build-tsan/routing_pruning_test
+  ./build-tsan/fault_sweep_test
 else
   echo "ci: TSan build unavailable on this toolchain — skipping (see build-tsan-*.log)"
 fi
@@ -172,8 +192,8 @@ fi
 # if a swap fails, a churned batch returns an error response, or a
 # fallback estimate reports the wrong degradation provenance, so presence
 # means those runtime gates passed.
-for refresh_series in swap_publish estimate_during_swap fallback_subpath \
-                      fallback_edge; do
+for refresh_series in swap_publish swap_verified_publish \
+                      estimate_during_swap fallback_subpath fallback_edge; do
   if ! grep -q "\"${refresh_series}\"" BENCH_chain.json; then
     echo "ci: BENCH_chain.json has no ${refresh_series} series" >&2
     exit 1
@@ -183,6 +203,21 @@ SWAP_SECONDS="$(grep -o '"swap_publish_seconds": *[0-9.eE+-]*' BENCH_chain.json 
                | grep -o '[0-9.eE+-]*$' || true)"
 if [[ -z "$SWAP_SECONDS" ]]; then
   echo "ci: BENCH_chain.json has no swap_publish_seconds" >&2
+  exit 1
+fi
+# Probe-verified publish: the bench aborts on any probe divergence, so the
+# headline's presence certifies the K=8 golden probes reproduced their
+# stamped references bit-identically; the ratio gate bounds what the
+# verification costs on top of a plain swap.
+SWAP_VERIFIED_SECONDS="$(grep -o '"swap_verified_publish_seconds": *[0-9.eE+-]*' BENCH_chain.json \
+                        | grep -o '[0-9.eE+-]*$' || true)"
+if [[ -z "$SWAP_VERIFIED_SECONDS" ]]; then
+  echo "ci: BENCH_chain.json has no swap_verified_publish_seconds" >&2
+  exit 1
+fi
+if ! awk -v v="$SWAP_VERIFIED_SECONDS" -v p="$SWAP_SECONDS" -v max="$MAX_VERIFY_RATIO" \
+     'BEGIN { exit (p + 0 > 0 && v + 0 <= p * max) ? 0 : 1 }'; then
+  echo "ci: swap_verified_publish_seconds = $SWAP_VERIFIED_SECONDS > ${MAX_VERIFY_RATIO}x swap_publish_seconds = $SWAP_SECONDS — probe verification overhead regression" >&2
   exit 1
 fi
 ENGINE_RATIO="$(grep -o '"engine_batch_vs_direct": *[0-9.eE+-]*' BENCH_chain.json \
@@ -235,4 +270,4 @@ if ! awk -v s="$OVERSHOOT_RATIO" -v max="$MAX_OVERSHOOT_RATIO" \
   echo "ci: deadline_overshoot_p50_vs_estimate_p50 = $OVERSHOOT_RATIO > $MAX_OVERSHOOT_RATIO — cancellation checkpoints have coarsened" >&2
   exit 1
 fi
-echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text, engine_batch_vs_direct = $ENGINE_RATIO, batch_scaling_8v1 = $SCALING, route_speedup_pruned_vs_plain = $ROUTE_SPEEDUP, swap_publish_seconds = $SWAP_SECONDS, deadline_overshoot_p50_vs_estimate_p50 = $OVERSHOOT_RATIO)"
+echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text, engine_batch_vs_direct = $ENGINE_RATIO, batch_scaling_8v1 = $SCALING, route_speedup_pruned_vs_plain = $ROUTE_SPEEDUP, swap_publish_seconds = $SWAP_SECONDS, swap_verified_publish_seconds = $SWAP_VERIFIED_SECONDS, deadline_overshoot_p50_vs_estimate_p50 = $OVERSHOOT_RATIO)"

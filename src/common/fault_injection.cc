@@ -1,0 +1,179 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+namespace pcde {
+namespace fault {
+
+namespace internal {
+std::atomic<int> g_armed_plans{0};
+}  // namespace internal
+
+namespace {
+
+// Process-wide site registry. Sites are never destroyed (tests cache
+// references in function-local statics), so values are unique_ptrs whose
+// pointees outlive every caller; the map itself is a leaky singleton to
+// dodge static-destruction-order races with late-exiting threads.
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* instance = new Registry();
+    return *instance;
+  }
+
+  FaultSite& Named(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(name);
+    if (it == sites_.end()) {
+      it = sites_.emplace(name, std::unique_ptr<FaultSite>(new FaultSite(name)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  std::vector<std::string> Names() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(sites_.size());
+    for (const auto& entry : sites_) names.push_back(entry.first);
+    return names;  // std::map iterates sorted
+  }
+
+  FaultSite* Find(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(name);
+    return it == sites_.end() ? nullptr : it->second.get();
+  }
+
+  void ForEach(void (*fn)(FaultSite&)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& entry : sites_) fn(*entry.second);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<FaultSite>> sites_;
+};
+
+// splitmix64: mixes (seed, hit number) into a uniform 64-bit word for the
+// probabilistic trigger. Pure, so a fixed seed replays bit-identically no
+// matter how hits interleave across threads.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double Uniform01(uint64_t seed, uint64_t hit) {
+  // Top 53 bits -> [0, 1) with full double precision.
+  return static_cast<double>(Mix64(seed ^ Mix64(hit)) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+FaultSite& FaultSite::Named(const std::string& name) {
+  return Registry::Instance().Named(name);
+}
+
+bool FaultSite::FireSlow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t hit = ++hits_;
+  if (!armed_) return false;
+  bool fire = false;
+  if (plan_.fail_on_hit != 0 && hit == plan_.fail_on_hit) fire = true;
+  if (!fire && plan_.fail_every != 0 && hit % plan_.fail_every == 0) {
+    fire = true;
+  }
+  if (!fire && plan_.fail_probability > 0.0) {
+    fire = Uniform01(plan_.seed, hit) < plan_.fail_probability;
+  }
+  if (fire) ++triggers_;
+  return fire;
+}
+
+uint64_t FaultSite::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t FaultSite::triggers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return triggers_;
+}
+
+void FaultSite::Arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_) {
+    armed_ = true;
+    internal::g_armed_plans.fetch_add(1, std::memory_order_relaxed);
+  }
+  plan_ = plan;
+  // fail_on_hit counts from the moment of arming — stale hits from an
+  // earlier armed window would otherwise silently disable the plan.
+  hits_ = 0;
+  triggers_ = 0;
+}
+
+void FaultSite::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_) {
+    armed_ = false;
+    internal::g_armed_plans.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultSite::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_ = 0;
+  triggers_ = 0;
+}
+
+Status ArmFault(const std::string& site, const FaultPlan& plan) {
+  if (plan.fail_probability < 0.0 || plan.fail_probability > 1.0) {
+    return Status::InvalidArgument(
+        "FaultPlan.fail_probability must lie in [0, 1]");
+  }
+  if (plan.fail_on_hit == 0 && plan.fail_every == 0 &&
+      plan.fail_probability == 0.0) {
+    return Status::InvalidArgument(
+        "FaultPlan has no trigger: set fail_on_hit, fail_every, or "
+        "fail_probability");
+  }
+  FaultSite::Named(site).Arm(plan);
+  return Status::OK();
+}
+
+void DisarmFault(const std::string& site) {
+  FaultSite* s = Registry::Instance().Find(site);
+  if (s != nullptr) s->Disarm();
+}
+
+void DisarmAllFaults() {
+  Registry::Instance().ForEach([](FaultSite& s) { s.Disarm(); });
+}
+
+std::vector<std::string> RegisteredFaultSites() {
+  return Registry::Instance().Names();
+}
+
+uint64_t FaultSiteHits(const std::string& site) {
+  FaultSite* s = Registry::Instance().Find(site);
+  return s == nullptr ? 0 : s->hits();
+}
+
+uint64_t FaultSiteTriggers(const std::string& site) {
+  FaultSite* s = Registry::Instance().Find(site);
+  return s == nullptr ? 0 : s->triggers();
+}
+
+void ResetFaultCounters() {
+  Registry::Instance().ForEach([](FaultSite& s) { s.ResetCounters(); });
+}
+
+}  // namespace fault
+}  // namespace pcde

@@ -1,0 +1,173 @@
+// Fault injection: named fault sites threaded through the durability path
+// (ISSUE 9).
+//
+// A fault SITE is a named point in production code where a failure can be
+// simulated — an open(2) that reports ENOENT, a write(2) that reports
+// ENOSPC, an mmap(2) that fails — without root, a full disk, or a flaky
+// filesystem. Sites are declared inline:
+//
+//   if (PCDE_FAULT_POINT("serialization.binary.write")) {
+//     return Status::Internal("write failed: injected fault");
+//   }
+//
+// and cost ONE predictable branch when disarmed: the macro's function-local
+// static resolves the site once, after which every traversal is a single
+// relaxed atomic load of the global arm flag (false in production, so the
+// branch predicts perfectly and the slow path never runs). No test
+// machinery leaks into release binaries beyond that load.
+//
+// Tests arm a site with a FaultPlan — fail exactly the Nth hit, fail every
+// k-th hit, or fail each hit with probability p under a fixed seed (the
+// Bernoulli draw is a pure hash of seed and hit number, so a storm replays
+// bit-identically) — and the registry exposes programmatic enumeration
+// (RegisteredFaultSites) plus per-site hit/trigger counters, so a sweep
+// test can arm EVERY site the durability path registers without naming any
+// of them, and prove each one actually fired.
+//
+// Registration is lazy: a site enters the registry the first time its code
+// path executes (or when a test arms it by name). Sweeps therefore run one
+// disarmed warm-up pass over the paths under test before enumerating.
+//
+// Thread safety: Fire() is safe from any thread. The armed slow path
+// serializes on a per-site mutex so "the Nth hit" is well defined under
+// concurrency; the disarmed fast path takes no locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pcde {
+namespace fault {
+
+namespace internal {
+// Count of currently armed plans across all sites. The global arm flag is
+// "any plan armed"; kept as a counter so Disarm of one site does not blind
+// the others.
+extern std::atomic<int> g_armed_plans;
+}  // namespace internal
+
+/// True when at least one site is armed. One relaxed load — the whole cost
+/// of a disarmed fault point.
+inline bool Armed() {
+  return internal::g_armed_plans.load(std::memory_order_relaxed) > 0;
+}
+
+/// When and how an armed site fails. The three triggers compose with OR;
+/// the common cases are exactly one of them:
+///   {.fail_on_hit = 3}        — the 3rd traversal fails, all others pass
+///   {.fail_every = 1}         — every traversal fails (persistent fault)
+///   {.fail_probability = 0.3,
+///    .seed = 42}              — each traversal fails w.p. 0.3; the draw is
+///                               a pure function of (seed, hit number), so
+///                               a fixed seed replays bit-identically.
+struct FaultPlan {
+  uint64_t fail_on_hit = 0;       // 1-based hit index that fails; 0 = off
+  uint64_t fail_every = 0;        // every k-th hit fails; 0 = off
+  double fail_probability = 0.0;  // per-hit Bernoulli in [0, 1]
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// One named fault point. Instances live forever in the process-wide
+/// registry (stable addresses — call sites cache the reference in a
+/// function-local static).
+class FaultSite {
+ public:
+  /// Get-or-create the site named `name` and register it for enumeration.
+  /// Thread-safe; the returned reference is valid for the process lifetime.
+  static FaultSite& Named(const std::string& name);
+
+  const std::string& name() const { return name_; }
+
+  /// The fault-point check: true when the armed plan says "fail here".
+  /// Disarmed cost is the single relaxed load in Armed().
+  bool Fire() {
+    if (!Armed()) return false;
+    return FireSlow();
+  }
+
+  /// Traversals observed while the injector was globally armed.
+  uint64_t hits() const;
+  /// Traversals on which this site's plan fired a failure.
+  uint64_t triggers() const;
+
+  /// Arms `plan` on this site (replacing any armed plan) / disarms it.
+  /// Arming zeroes the site's hit/trigger counters so fail_on_hit counts
+  /// from the moment of arming, not from process start. Prefer the
+  /// name-based free functions in tests; these exist for the registry-wide
+  /// operations.
+  void Arm(const FaultPlan& plan);
+  void Disarm();
+  void ResetCounters();
+
+  FaultSite(const FaultSite&) = delete;
+  FaultSite& operator=(const FaultSite&) = delete;
+
+  /// Use Named() — public only so the registry can construct instances.
+  explicit FaultSite(std::string name) : name_(std::move(name)) {}
+
+ private:
+  bool FireSlow();
+
+  const std::string name_;
+  mutable std::mutex mu_;
+  bool armed_ = false;      // guarded by mu_
+  FaultPlan plan_;          // guarded by mu_
+  uint64_t hits_ = 0;       // guarded by mu_
+  uint64_t triggers_ = 0;   // guarded by mu_
+};
+
+/// Arms `plan` on the site named `site`, creating the site if no code path
+/// has registered it yet (it may be reached later). Replaces any plan
+/// already armed there. Fails with kInvalidArgument on a malformed plan
+/// (probability outside [0, 1] or no trigger configured).
+Status ArmFault(const std::string& site, const FaultPlan& plan);
+
+/// Disarms one site (no-op when the site is unknown or not armed).
+void DisarmFault(const std::string& site);
+
+/// Disarms every site. The global arm flag drops back to false and every
+/// fault point reverts to its one-branch fast path.
+void DisarmAllFaults();
+
+/// Names of every registered site, sorted. Sites register lazily — run the
+/// paths under test once (disarmed) before enumerating for a sweep.
+std::vector<std::string> RegisteredFaultSites();
+
+/// Per-site counters (0 for unknown sites).
+uint64_t FaultSiteHits(const std::string& site);
+uint64_t FaultSiteTriggers(const std::string& site);
+
+/// Zeroes hit/trigger counters on every site (plans stay armed).
+void ResetFaultCounters();
+
+/// RAII guard for tests: disarms everything on scope exit so a failing
+/// assertion cannot leak an armed plan into the next test.
+class ScopedFaultInjection {
+ public:
+  ScopedFaultInjection() = default;
+  ~ScopedFaultInjection() { DisarmAllFaults(); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  Status Arm(const std::string& site, const FaultPlan& plan) {
+    return ArmFault(site, plan);
+  }
+};
+
+}  // namespace fault
+}  // namespace pcde
+
+/// The inline fault-point check. `site_name` is evaluated once per call
+/// site (function-local static), after which each traversal is one relaxed
+/// atomic load and a predictable branch until a test arms the injector.
+#define PCDE_FAULT_POINT(site_name)                          \
+  ([]() -> bool {                                            \
+    static ::pcde::fault::FaultSite& pcde_fault_site_ref =   \
+        ::pcde::fault::FaultSite::Named(site_name);          \
+    return pcde_fault_site_ref.Fire();                       \
+  }())

@@ -16,6 +16,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/fault_injection.h"
+
 namespace pcde {
 namespace core {
 
@@ -113,6 +115,145 @@ Status ValidateSaveable(const PathWeightFunction& wp, const char* who) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Atomic, crash-durable artifact writes, shared by both formats: write a
+// temp sibling on a raw fd, fsync it, rename into place, then fsync the
+// parent directory. The fsyncs are what make the temp+rename dance actually
+// atomic across a crash — without them the kernel may expose the new name
+// before the data blocks (or the directory entry itself) reach stable
+// storage, and a reboot can leave a zero-length or torn "committed"
+// artifact. Every step carries a fault site so tests can sweep the whole
+// lifecycle; the temp sibling is unlinked on every error path.
+// ---------------------------------------------------------------------------
+
+class AtomicFileWriter {
+ public:
+  /// `who` prefixes error messages; `site_prefix` names the fault sites
+  /// ("<prefix>.open/.write/.fsync/.rename"; the parent-directory sync is
+  /// the shared "serialization.dirsync").
+  AtomicFileWriter(const char* who, const char* site_prefix, std::string path)
+      : who_(who),
+        path_(std::move(path)),
+        tmp_(path_ + ".tmp." + std::to_string(::getpid())),
+        open_site_(fault::FaultSite::Named(std::string(site_prefix) + ".open")),
+        write_site_(
+            fault::FaultSite::Named(std::string(site_prefix) + ".write")),
+        fsync_site_(
+            fault::FaultSite::Named(std::string(site_prefix) + ".fsync")),
+        rename_site_(
+            fault::FaultSite::Named(std::string(site_prefix) + ".rename")),
+        dirsync_site_(fault::FaultSite::Named("serialization.dirsync")) {}
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  ~AtomicFileWriter() {
+    if (fd_ >= 0) ::close(fd_);
+    // Until the rename lands, the temp sibling is ours to clean up — on
+    // every error path, including a failed rename itself.
+    if (!committed_) ::unlink(tmp_.c_str());
+  }
+
+  Status Open() {
+    if (open_site_.Fire()) {
+      errno = EACCES;
+    } else {
+      // O_CLOEXEC: a concurrently fork+exec'd child (trainer shelling out,
+      // test harness) must not inherit a half-written artifact fd and keep
+      // the temp file alive past our unlink.
+      fd_ = ::open(tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                   0644);
+    }
+    if (fd_ < 0) return Fail("cannot open " + tmp_);
+    return Status::OK();
+  }
+
+  Status Write(const void* data, size_t nbytes) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    while (nbytes > 0) {
+      ssize_t n;
+      if (write_site_.Fire()) {
+        // Injected ENOSPC mid-stream: land half the remaining bytes for
+        // real first, so the temp file is genuinely torn — the shape the
+        // cleanup path must survive, not just a clean zero-byte file.
+        const size_t half = nbytes / 2;
+        if (half > 0) (void)!::write(fd_, p, half);
+        errno = ENOSPC;
+        n = -1;
+      } else {
+        n = ::write(fd_, p, nbytes);
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Fail("write failed for " + tmp_);
+      }
+      p += n;
+      nbytes -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  /// fsync(temp) -> close -> rename -> fsync(parent dir), in that order:
+  /// the payload must be durable before the rename exposes the new name,
+  /// and the directory entry must be durable before the save reports
+  /// success. A dirsync failure is reported even though the rename already
+  /// landed — the new artifact is visible but its durability is not
+  /// guaranteed, and callers treat the save as failed.
+  Status Commit() {
+    int rc = fsync_site_.Fire() ? (errno = EIO, -1) : ::fsync(fd_);
+    if (rc != 0) return Fail("fsync failed for " + tmp_);
+    rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Fail("close failed for " + tmp_);
+    rc = rename_site_.Fire() ? (errno = EXDEV, -1)
+                             : std::rename(tmp_.c_str(), path_.c_str());
+    if (rc != 0) return Fail("cannot rename into " + path_);
+    committed_ = true;  // tmp no longer exists under its own name
+    return SyncParentDir();
+  }
+
+ private:
+  Status Fail(const std::string& what) {
+    const int err = errno;
+    return Status::Internal(std::string(who_) + ": " + what + " (" +
+                            std::strerror(err) + ")");
+  }
+
+  Status SyncParentDir() {
+    const size_t slash = path_.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : slash == 0 ? std::string("/")
+                                             : path_.substr(0, slash);
+    int dfd = -1;
+    if (dirsync_site_.Fire()) {
+      errno = EIO;
+    } else {
+      dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    }
+    if (dfd < 0) return Fail("cannot open directory " + dir + " for fsync");
+    if (::fsync(dfd) != 0) {
+      const int err = errno;
+      ::close(dfd);
+      errno = err;
+      return Fail("directory fsync failed for " + dir);
+    }
+    ::close(dfd);
+    return Status::OK();
+  }
+
+  const char* who_;
+  const std::string path_;
+  const std::string tmp_;
+  fault::FaultSite& open_site_;
+  fault::FaultSite& write_site_;
+  fault::FaultSite& fsync_site_;
+  fault::FaultSite& rename_site_;
+  fault::FaultSite& dirsync_site_;
+  int fd_ = -1;
+  bool committed_ = false;
+};
+
 }  // namespace
 
 Status SaveWeightFunctionBinary(const PathWeightFunction& wp,
@@ -137,37 +278,20 @@ Status SaveWeightFunctionBinary(const PathWeightFunction& wp,
     offset = Align8(offset + plan[i].nbytes);
   }
 
-  // Atomic: write a temp sibling and rename into place, so a crash or a
-  // full disk mid-save never destroys the previous good artifact.
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::Internal("SaveWeightFunctionBinary: cannot open " + tmp);
-  }
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  out.write(reinterpret_cast<const char*>(table.data()),
-            static_cast<std::streamsize>(table.size() * sizeof(TableEntry)));
+  // Atomic + crash-durable: temp sibling, fsync, rename, dirsync — a crash
+  // or a full disk mid-save never destroys the previous good artifact.
+  AtomicFileWriter out("SaveWeightFunctionBinary", "serialization.binary",
+                       path);
+  PCDE_RETURN_NOT_OK(out.Open());
+  PCDE_RETURN_NOT_OK(out.Write(&header, sizeof(header)));
+  PCDE_RETURN_NOT_OK(out.Write(table.data(), table.size() * sizeof(TableEntry)));
   const char pad[8] = {0};
   for (const SectionPlan& sec : plan) {
-    if (sec.nbytes > 0) {
-      out.write(reinterpret_cast<const char*>(sec.data),
-                static_cast<std::streamsize>(sec.nbytes));
-    }
+    if (sec.nbytes > 0) PCDE_RETURN_NOT_OK(out.Write(sec.data, sec.nbytes));
     const uint64_t padding = Align8(sec.nbytes) - sec.nbytes;
-    if (padding > 0) out.write(pad, static_cast<std::streamsize>(padding));
+    if (padding > 0) PCDE_RETURN_NOT_OK(out.Write(pad, padding));
   }
-  out.flush();
-  out.close();
-  if (!out.good()) {
-    std::remove(tmp.c_str());
-    return Status::Internal("SaveWeightFunctionBinary: write failed");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::Internal("SaveWeightFunctionBinary: cannot rename into " +
-                            path);
-  }
-  return Status::OK();
+  return out.Commit();
 }
 
 namespace {
@@ -287,16 +411,27 @@ StatusOr<PathWeightFunction> ParseBinaryArtifact(
 /// mapping failure surfaces as a Status the caller falls back on.
 StatusOr<PathWeightFunction> LoadWeightFunctionBinaryMmap(
     const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  const int fd = PCDE_FAULT_POINT("serialization.mmap.open")
+                     ? -1
+                     : ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return Status::NotFound("LoadWeightFunctionBinary: cannot open " + path);
   }
   struct stat st;
-  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+  if (PCDE_FAULT_POINT("serialization.mmap.stat") || ::fstat(fd, &st) != 0 ||
+      st.st_size < 0) {
     ::close(fd);
     return Status::Internal("LoadWeightFunctionBinary: cannot stat " + path);
   }
   const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  // Reject the degenerate file before ::mmap sees it: mapping zero bytes
+  // fails with a bare EINVAL that reads like a kernel problem, when the
+  // actual story is "your artifact is empty".
+  if (file_size == 0) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        "LoadWeightFunctionBinary: empty (zero-length) artifact " + path);
+  }
   if (file_size < sizeof(Header)) {
     ::close(fd);
     return Status::InvalidArgument(
@@ -307,8 +442,10 @@ StatusOr<PathWeightFunction> LoadWeightFunctionBinaryMmap(
   // physical pages. mmap is page-aligned, which satisfies the sections'
   // 8-byte alignment; bytes past EOF in the final page read as zero, the
   // same determinism the buffered path gets by zeroing its padding word.
-  void* mapped = ::mmap(nullptr, static_cast<size_t>(file_size), PROT_READ,
-                        MAP_SHARED, fd, 0);
+  void* mapped = PCDE_FAULT_POINT("serialization.mmap.map")
+                     ? MAP_FAILED
+                     : ::mmap(nullptr, static_cast<size_t>(file_size),
+                              PROT_READ, MAP_SHARED, fd, 0);
   ::close(fd);  // the mapping holds its own reference
   if (mapped == MAP_FAILED) {
     return Status::Internal("LoadWeightFunctionBinary: mmap failed for " +
@@ -339,7 +476,7 @@ StatusOr<PathWeightFunction> LoadWeightFunctionBinary(const std::string& path,
                                    " in " + path);
   };
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in.is_open()) {
+  if (PCDE_FAULT_POINT("serialization.load.open") || !in.is_open()) {
     return Status::NotFound("LoadWeightFunctionBinary: cannot open " + path);
   }
   const std::streamoff signed_size = in.tellg();
@@ -363,7 +500,7 @@ StatusOr<PathWeightFunction> LoadWeightFunctionBinary(const std::string& path,
   buffer[words - 1] = 0;
   in.read(reinterpret_cast<char*>(buffer.get()),
           static_cast<std::streamsize>(file_size));
-  if (!in.good()) {
+  if (PCDE_FAULT_POINT("serialization.load.read") || !in.good()) {
     return Status::Internal("LoadWeightFunctionBinary: read failed for " +
                             path);
   }
@@ -383,13 +520,15 @@ StatusOr<uint64_t> PeekBinaryArtifactFingerprint(const std::string& path) {
                                    " in " + path);
   };
   std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
+  if (PCDE_FAULT_POINT("serialization.peek.open") || !in.is_open()) {
     return Status::NotFound("PeekBinaryArtifactFingerprint: cannot open " +
                             path);
   }
   Header header;
   in.read(reinterpret_cast<char*>(&header), sizeof(header));
-  if (!in.good()) return bad("file shorter than the header");
+  if (PCDE_FAULT_POINT("serialization.peek.read") || !in.good()) {
+    return bad("file shorter than the header");
+  }
   // The same header gates the full loader applies; the checksum itself is
   // only a claim about the payload — a swap that trusts it still runs the
   // full load + validation before publishing anything.
@@ -413,12 +552,10 @@ StatusOr<uint64_t> PeekBinaryArtifactFingerprint(const std::string& path) {
 Status SaveWeightFunction(const PathWeightFunction& wp,
                           const std::string& path) {
   PCDE_RETURN_NOT_OK(ValidateSaveable(wp, "SaveWeightFunction"));
-  // Atomic, like the binary save: temp sibling + rename.
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  std::ofstream out(tmp);
-  if (!out.is_open()) {
-    return Status::Internal("SaveWeightFunction: cannot open " + tmp);
-  }
+  // Format the whole record stream in memory (text artifacts are small
+  // relative to the model they describe), then run the same atomic +
+  // crash-durable temp/fsync/rename/dirsync dance as the binary save.
+  std::ostringstream out;
   out.precision(17);
   out << "# pcde weight function v2\n";
   out << "BINNING," << wp.binning().alpha_seconds() / 60.0 << "\n";
@@ -439,17 +576,11 @@ Status SaveWeightFunction(const PathWeightFunction& wp,
       out << "\n";
     }
   }
-  out.flush();
-  out.close();
-  if (!out.good()) {
-    std::remove(tmp.c_str());
-    return Status::Internal("SaveWeightFunction: write failed");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::Internal("SaveWeightFunction: cannot rename into " + path);
-  }
-  return Status::OK();
+  const std::string text = out.str();
+  AtomicFileWriter writer("SaveWeightFunction", "serialization.text", path);
+  PCDE_RETURN_NOT_OK(writer.Open());
+  PCDE_RETURN_NOT_OK(writer.Write(text.data(), text.size()));
+  return writer.Commit();
 }
 
 namespace {
@@ -502,7 +633,7 @@ StatusOr<PathWeightFunction> LoadText(const std::string& path,
                                       bool require_binning,
                                       double fallback_alpha_minutes) {
   std::ifstream in(path);
-  if (!in.is_open()) {
+  if (PCDE_FAULT_POINT("serialization.text.load.open") || !in.is_open()) {
     return Status::NotFound("LoadWeightFunction: cannot open " + path);
   }
 
@@ -662,7 +793,7 @@ StatusOr<PathWeightFunction> LoadText(const std::string& path,
                                      where);
     }
   }
-  if (in.bad()) {
+  if (PCDE_FAULT_POINT("serialization.text.load.read") || in.bad()) {
     return Status::Internal("LoadWeightFunction: read failed for " + path);
   }
   if (require_binning && !has_binning) {

@@ -1,8 +1,14 @@
 #include "serving/engine.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <optional>
+#include <thread>
 #include <utility>
 
+#include "common/fault_injection.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/instantiation.h"
 #include "core/serialization.h"
@@ -88,9 +94,80 @@ std::shared_ptr<const Engine::Epoch> Engine::CurrentEpoch() const {
 
 uint64_t Engine::PublishLocked(
     std::shared_ptr<const PathWeightFunction> model) {
-  const uint64_t sequence = next_sequence_++;
-  std::atomic_store(&epoch_, BuildEpoch(std::move(model), sequence));
+  return PublishEpochLocked(BuildEpoch(std::move(model), next_sequence_));
+}
+
+uint64_t Engine::PublishEpochLocked(std::shared_ptr<const Epoch> epoch) {
+  const uint64_t sequence = epoch->sequence;
+  next_sequence_ = sequence + 1;
+  std::shared_ptr<const Epoch> replaced = std::atomic_load(&epoch_);
+  std::atomic_store(&epoch_, std::move(epoch));
+  // Retain the replaced epoch for RollbackToPrevious when the policy keeps
+  // a ring; with capacity 0 (default) `replaced` drops here and the old
+  // model tears down when its last in-flight request finishes — the exact
+  // policy-free lifecycle.
+  const size_t capacity = options_.swap_policy.rollback_capacity;
+  if (capacity > 0 && replaced != nullptr) {
+    previous_epochs_.push_back(std::move(replaced));
+    while (previous_epochs_.size() > capacity) previous_epochs_.pop_front();
+  }
   return sequence;
+}
+
+Status Engine::VerifyCandidate(const Epoch& candidate,
+                               const std::vector<GoldenProbe>& probes) const {
+  auto reject = [this](const std::string& what) {
+    probe_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("Engine::Swap: candidate rejected: " +
+                                   what);
+  };
+  if (PCDE_FAULT_POINT("serving.swap.verify")) {
+    return reject("injected verification fault");
+  }
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const GoldenProbe& probe = probes[i];
+    const std::string which = "golden probe #" + std::to_string(i);
+    auto resolved = ResolvePath(probe.request.path);
+    if (!resolved.ok()) {
+      return reject(which + " failed to resolve: " +
+                    resolved.status().message());
+    }
+    core::EstimateBreakdown breakdown;
+    core::FallbackProvenance provenance;
+    auto dist = candidate.estimator->EstimateWithFallback(
+        resolved.value(), probe.request.departure_time, &provenance,
+        &breakdown, /*cancel=*/nullptr);
+    if (!dist.ok()) {
+      return reject(which + " errored: " + dist.status().message());
+    }
+    if (!probe.has_reference) continue;
+    CostSummary got = SummarizeDistribution(
+        dist.value(), probe.request.stats, probe.request.budget_seconds,
+        probe.request.quantiles);
+    // Mirror the provenance stamping of a served response: references are
+    // stamped from EstimateResponse::summary, which carries it.
+    got.degradation = provenance.level;
+    got.covered_fraction = provenance.covered_fraction;
+    if (!got.ExactlyEquals(probe.reference)) {
+      return reject(which + " diverged from its stamped reference");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> Engine::VerifyAndPublishLocked(
+    std::shared_ptr<const PathWeightFunction> model,
+    const SwapOptions& swap_options) {
+  // Build ONE candidate epoch, verify it unpublished, and publish the very
+  // object that was verified: a rejected candidate is dropped here without
+  // ever being reachable by a request.
+  std::shared_ptr<const Epoch> candidate =
+      BuildEpoch(std::move(model), next_sequence_);
+  const std::vector<GoldenProbe>& probes = swap_options.probes.empty()
+                                               ? options_.swap_policy.probes
+                                               : swap_options.probes;
+  PCDE_RETURN_NOT_OK(VerifyCandidate(*candidate, probes));
+  return PublishEpochLocked(std::move(candidate));
 }
 
 StatusOr<std::unique_ptr<Engine>> Engine::Make(
@@ -120,7 +197,47 @@ StatusOr<std::unique_ptr<Engine>> Engine::Make(
   return engine;
 }
 
+namespace {
+
+/// A transient swap failure is one a retry can plausibly fix: an IO error
+/// (kInternal) or a missing file (kNotFound — a publisher mid-rename).
+/// Content errors (kInvalidArgument: corrupt payload, version skew) are
+/// permanent — the bytes will not fix themselves.
+bool IsTransientSwapFailure(const Status& status) {
+  return status.code() == StatusCode::kInternal ||
+         status.code() == StatusCode::kNotFound;
+}
+
+/// Exponential backoff with deterministic jitter before retry `attempt`
+/// (1-based count of attempts already made). Sleeps in short slices so a
+/// tripping cancel token abandons the wait within ~10 ms.
+void BackoffBeforeRetry(const SwapPolicy& policy, size_t attempt, Rng* jitter,
+                        const CancelToken* cancel) {
+  double backoff = policy.initial_backoff_seconds *
+                   std::pow(policy.backoff_multiplier,
+                            static_cast<double>(attempt - 1));
+  backoff = std::min(backoff, policy.max_backoff_seconds);
+  const double j = std::min(std::max(policy.jitter_fraction, 0.0), 1.0);
+  if (j > 0.0) backoff *= jitter->Uniform(1.0 - j, 1.0 + j);
+  if (backoff <= 0.0) return;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(backoff));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (CancelToken::Check(cancel)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace
+
 StatusOr<uint64_t> Engine::Swap(const std::string& model_path) {
+  return Swap(model_path, SwapOptions());
+}
+
+StatusOr<uint64_t> Engine::Swap(const std::string& model_path,
+                                const SwapOptions& swap_options) {
   if (model_path.empty()) {
     return Status::InvalidArgument("Engine::Swap: model_path is empty");
   }
@@ -134,21 +251,72 @@ StatusOr<uint64_t> Engine::Swap(const std::string& model_path) {
   if (peek.ok() && peek.value() == current->model->fingerprint()) {
     return current->sequence;
   }
-  auto loaded = options_.use_mmap
-                    ? core::LoadWeightFunctionBinary(model_path,
-                                                     /*use_mmap=*/true)
-                    : core::LoadWeightFunction(model_path);
-  // Rejection leaves the published epoch untouched: the old model keeps
-  // serving and the caller gets the loader's Status verbatim.
-  if (!loaded.ok()) return loaded.status();
-  return PublishLocked(std::make_shared<PathWeightFunction>(
-      std::move(loaded).value()));
+  const SwapPolicy& policy = options_.swap_policy;
+  const size_t max_attempts = std::max<size_t>(policy.max_attempts, 1);
+  Rng jitter(policy.jitter_seed);
+  StatusOr<PathWeightFunction> loaded =
+      Status::Internal("Engine::Swap: no load attempted");
+  for (size_t attempt = 1;; ++attempt) {
+    if (CancelToken::Check(swap_options.cancel)) {
+      return CancelToken::StatusOf(swap_options.cancel);
+    }
+    swap_attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (PCDE_FAULT_POINT("serving.swap.load")) {
+      loaded = Status::Internal(
+          "Engine::Swap: injected transient load fault for " + model_path);
+    } else {
+      loaded = options_.use_mmap
+                   ? core::LoadWeightFunctionBinary(model_path,
+                                                    /*use_mmap=*/true)
+                   : core::LoadWeightFunction(model_path);
+    }
+    if (loaded.ok()) break;
+    // Rejection leaves the published epoch untouched: the old model keeps
+    // serving and the caller gets the loader's Status verbatim.
+    if (!IsTransientSwapFailure(loaded.status()) || attempt >= max_attempts) {
+      return loaded.status();
+    }
+    swap_retries_.fetch_add(1, std::memory_order_relaxed);
+    BackoffBeforeRetry(policy, attempt, &jitter, swap_options.cancel);
+  }
+  return VerifyAndPublishLocked(
+      std::make_shared<PathWeightFunction>(std::move(loaded).value()),
+      swap_options);
 }
 
 StatusOr<uint64_t> Engine::Swap(PathWeightFunction model) {
+  return Swap(std::move(model), SwapOptions());
+}
+
+StatusOr<uint64_t> Engine::Swap(PathWeightFunction model,
+                                const SwapOptions& swap_options) {
   std::lock_guard<std::mutex> lock(swap_mutex_);
-  return PublishLocked(
-      std::make_shared<PathWeightFunction>(std::move(model)));
+  return VerifyAndPublishLocked(
+      std::make_shared<PathWeightFunction>(std::move(model)), swap_options);
+}
+
+StatusOr<uint64_t> Engine::RollbackToPrevious() {
+  std::lock_guard<std::mutex> lock(swap_mutex_);
+  if (previous_epochs_.empty()) {
+    return Status::FailedPrecondition(
+        "Engine::RollbackToPrevious: no retained epoch (set "
+        "SwapPolicy::rollback_capacity > 0, and at least one successful "
+        "swap must have replaced an epoch)");
+  }
+  std::shared_ptr<const Epoch> previous = previous_epochs_.back();
+  previous_epochs_.pop_back();
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  // Republish the retained model under a NEW sequence (epoch numbers never
+  // move backward in responses) WITHOUT retaining the epoch being rolled
+  // back off of — it is the suspect one, not a known good.
+  const uint64_t sequence = next_sequence_++;
+  std::atomic_store(&epoch_, BuildEpoch(previous->model, sequence));
+  return sequence;
+}
+
+size_t Engine::rollback_depth() const {
+  std::lock_guard<std::mutex> lock(swap_mutex_);
+  return previous_epochs_.size();
 }
 
 uint64_t Engine::epoch_sequence() const { return CurrentEpoch()->sequence; }
@@ -166,6 +334,10 @@ StatusOr<std::unique_ptr<Engine>> Engine::Open(EngineOptions options) {
     return Status::InvalidArgument(
         "Engine::Open: options.model_path is empty (or adopt a built model "
         "via Open(PathWeightFunction, options))");
+  }
+  if (PCDE_FAULT_POINT("serving.open.load")) {
+    return Status::Internal("Engine::Open: injected load fault for " +
+                            options.model_path);
   }
   auto loaded = options.use_mmap
                     ? core::LoadWeightFunctionBinary(options.model_path,
@@ -424,6 +596,10 @@ EngineStats Engine::stats() const {
       route_dominance_pruned_.load(std::memory_order_relaxed);
   stats.route_estimator_clones =
       route_estimator_clones_.load(std::memory_order_relaxed);
+  stats.swap_attempts = swap_attempts_.load(std::memory_order_relaxed);
+  stats.swap_retries = swap_retries_.load(std::memory_order_relaxed);
+  stats.probe_failures = probe_failures_.load(std::memory_order_relaxed);
+  stats.rollbacks = rollbacks_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -48,6 +49,62 @@
 
 namespace pcde {
 namespace serving {
+
+/// \brief One pre-publish verification query: Swap runs the request
+/// against the CANDIDATE epoch before publishing it. A probe whose
+/// estimate errors rejects the candidate; when a reference summary is
+/// stamped, so does any divergence from it (estimation is bit-identical
+/// across save/load, so a stamped reference computed on the model that
+/// produced the artifact must reproduce exactly — a mismatch means the
+/// artifact or the serving wiring is bad). A rejected candidate never
+/// serves a single request: the old epoch stays published throughout.
+struct GoldenProbe {
+  EstimateRequest request;
+  /// The expected response summary, as served by the model generation the
+  /// artifact was built from (stamp it from EstimateResponse::summary).
+  /// Without a reference the probe only asserts the candidate serves the
+  /// request cleanly.
+  bool has_reference = false;
+  CostSummary reference;
+};
+
+/// \brief Model-refresh robustness policy. The default is bit-identical to
+/// a policy-free engine: one load attempt, no probes, no retained epochs.
+struct SwapPolicy {
+  /// Load attempts per Swap(path) call. Content errors (corrupt artifact,
+  /// version skew: kInvalidArgument) fail immediately — the bytes will not
+  /// fix themselves; IO errors and missing files (kInternal / kNotFound —
+  /// e.g. a publisher mid-rename or flaky storage) are retried up to this
+  /// many attempts with exponential backoff. 0 behaves as 1.
+  size_t max_attempts = 1;
+  /// Backoff before retry k (1-based) is
+  /// min(initial * multiplier^(k-1), max) scaled by a jitter factor drawn
+  /// uniformly from [1 - jitter_fraction, 1 + jitter_fraction] under
+  /// jitter_seed (deterministic, so tests replay). The sleep polls the
+  /// Swap call's cancel token and aborts the wait when it trips.
+  double initial_backoff_seconds = 0.01;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.5;
+  double jitter_fraction = 0.5;
+  uint64_t jitter_seed = 42;
+  /// Engine-wide pre-publish probes, run on every swap candidate (per-call
+  /// probes in SwapOptions take precedence). Empty = no verification.
+  std::vector<GoldenProbe> probes;
+  /// Replaced epochs retained for RollbackToPrevious(), newest first out.
+  /// 0 disables retention (a replaced epoch is torn down as soon as its
+  /// last in-flight request finishes, exactly the policy-free lifecycle).
+  size_t rollback_capacity = 0;
+};
+
+/// \brief Per-call Swap knobs. References ride on the call rather than the
+/// engine because they are stamped per model generation.
+struct SwapOptions {
+  /// Checked before every load attempt and during backoff sleeps; a
+  /// tripped token abandons the swap (the old epoch keeps serving).
+  const CancelToken* cancel = nullptr;
+  /// When non-empty, replaces SwapPolicy::probes for this call.
+  std::vector<GoldenProbe> probes;
+};
 
 /// Declarative configuration of the full serving stack.
 struct EngineOptions {
@@ -106,6 +163,11 @@ struct EngineOptions {
   size_t max_queue_depth = 0;
   /// Longest a queued request may wait for a slot before shedding.
   double queue_timeout_seconds = 0.0;
+
+  /// Refresh robustness: retry/backoff for transient swap failures,
+  /// pre-publish probe verification, and the last-known-good rollback
+  /// ring. The default policy is bit-identical to pre-policy serving.
+  SwapPolicy swap_policy;
 };
 
 /// \brief Overload-observability counters, monotonically increasing over
@@ -124,6 +186,15 @@ struct EngineStats {
   uint64_t route_incumbent_pruned = 0;
   uint64_t route_dominance_pruned = 0;
   uint64_t route_estimator_clones = 0;
+  /// Refresh robustness (ISSUE 9). swap_attempts counts artifact load
+  /// attempts by Swap(path) — retries included; swap_retries counts just
+  /// the re-attempts after a transient failure. probe_failures counts
+  /// candidates rejected by pre-publish verification; rollbacks counts
+  /// RollbackToPrevious() republishes.
+  uint64_t swap_attempts = 0;
+  uint64_t swap_retries = 0;
+  uint64_t probe_failures = 0;
+  uint64_t rollbacks = 0;
 };
 
 /// \brief Derives the serving-visible CostSummary from a cost
@@ -163,13 +234,34 @@ class Engine {
   /// into misses and evict, never into false hits. Loads via
   /// options().use_mmap, like Open. Returns the now-serving epoch sequence.
   /// Thread-safe against requests and against other Swap calls.
+  /// Under a non-default SwapPolicy the load is additionally retried on
+  /// transient failures (with cancel-aware exponential backoff) and the
+  /// candidate is probe-verified before publication; see SwapPolicy.
   StatusOr<uint64_t> Swap(const std::string& model_path);
+  /// Same, with per-call cancellation and probe references.
+  StatusOr<uint64_t> Swap(const std::string& model_path,
+                          const SwapOptions& swap_options);
 
   /// Adopting form: publishes an already-built (or already-loaded) frozen
   /// model as the new epoch — the embedded wiring, e.g. a delta rebuild
   /// (WeightFunctionBuilder::FromFrozen + InstantiateIntoBuilder) frozen in
-  /// process and swapped in without touching disk.
+  /// process and swapped in without touching disk. Probe verification
+  /// applies; the retry loop does not (there is no IO to retry).
   StatusOr<uint64_t> Swap(core::PathWeightFunction model);
+  StatusOr<uint64_t> Swap(core::PathWeightFunction model,
+                          const SwapOptions& swap_options);
+
+  /// \brief Republishes the most recently replaced epoch's model as a NEW
+  /// epoch (sequence moves forward — a response's epoch number never goes
+  /// backward), popping it from the last-known-good ring. The ring only
+  /// holds epochs replaced by successful swaps while
+  /// SwapPolicy::rollback_capacity > 0; the epoch being rolled back OFF of
+  /// is deliberately not retained (it is the suspect one). Fails with
+  /// kFailedPrecondition when nothing is retained.
+  StatusOr<uint64_t> RollbackToPrevious();
+
+  /// Epochs currently retained for rollback.
+  size_t rollback_depth() const;
 
   /// Sequence number of the currently published epoch (starts at 1;
   /// incremented by every successful non-short-circuited Swap).
@@ -253,6 +345,24 @@ class Engine {
   /// Builds and publishes the next epoch; caller holds swap_mutex_.
   uint64_t PublishLocked(std::shared_ptr<const core::PathWeightFunction> model);
 
+  /// Publishes an already-built epoch (epoch->sequence == next_sequence_),
+  /// retaining the replaced epoch in the rollback ring when the policy
+  /// keeps one; caller holds swap_mutex_.
+  uint64_t PublishEpochLocked(std::shared_ptr<const Epoch> epoch);
+
+  /// Runs `probes` against the unpublished candidate; on the first probe
+  /// error or reference divergence counts a probe_failure and returns the
+  /// rejection Status (the candidate is then dropped unpublished).
+  Status VerifyCandidate(const Epoch& candidate,
+                         const std::vector<GoldenProbe>& probes) const;
+
+  /// Builds the candidate epoch over `model`, verifies it with the
+  /// per-call (or policy) probes, and publishes the very object that was
+  /// verified; caller holds swap_mutex_.
+  StatusOr<uint64_t> VerifyAndPublishLocked(
+      std::shared_ptr<const core::PathWeightFunction> model,
+      const SwapOptions& swap_options);
+
   /// Bumps the deadline_exceeded / cancelled counter matching a request's
   /// terminal Status (no-op for other codes).
   void CountUnwind(const Status& status) const;
@@ -265,8 +375,15 @@ class Engine {
   // The published epoch, read with std::atomic_load (one acquire per
   // request) and replaced with std::atomic_store under swap_mutex_.
   std::shared_ptr<const Epoch> epoch_;
-  std::mutex swap_mutex_;       // serializes Swap callers
+  // Serializes Swap/Rollback callers; mutable so const observers
+  // (rollback_depth) can take it.
+  mutable std::mutex swap_mutex_;
   uint64_t next_sequence_ = 1;  // guarded by swap_mutex_ after Make
+  // Last-known-good ring (newest at the back), bounded by
+  // SwapPolicy::rollback_capacity; guarded by swap_mutex_. Retaining an
+  // epoch keeps its model arena (mmap included) alive — capacity is a
+  // deliberate memory knob, not a cache.
+  std::deque<std::shared_ptr<const Epoch>> previous_epochs_;
   // Admission gate + overload counters (request methods are const; the
   // counters are serving telemetry, not model state). Set once in Make.
   mutable std::unique_ptr<AdmissionController> admission_;
@@ -277,6 +394,11 @@ class Engine {
   mutable std::atomic<uint64_t> route_incumbent_pruned_{0};
   mutable std::atomic<uint64_t> route_dominance_pruned_{0};
   mutable std::atomic<uint64_t> route_estimator_clones_{0};
+  // Refresh robustness counters (ISSUE 9); see EngineStats.
+  mutable std::atomic<uint64_t> swap_attempts_{0};
+  mutable std::atomic<uint64_t> swap_retries_{0};
+  mutable std::atomic<uint64_t> probe_failures_{0};
+  mutable std::atomic<uint64_t> rollbacks_{0};
 };
 
 }  // namespace serving

@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "core/estimator.h"
 #include "core/instantiation.h"
 #include "core/serialization.h"
@@ -692,6 +693,102 @@ TEST_F(RefreshFaultTest, SwapUnderConcurrentLoadNeverMixesEpochs) {
   }
   // The storm actually overlapped the swaps.
   EXPECT_GE(batches.load(), kClients);
+}
+
+// ---------------------------------------------------------------------------
+// SwapPolicy retries (ISSUE 9): transient failures are absorbed, persistent
+// ones exhaust the attempt budget
+// ---------------------------------------------------------------------------
+
+TEST_F(RefreshFaultTest, TransientSwapFailureRetriesAndLands) {
+  EngineOptions options;
+  options.model_path = artifact_base_;
+  options.graph = graph_;
+  options.num_threads = 2;
+  options.swap_policy.max_attempts = 3;
+  options.swap_policy.initial_backoff_seconds = 0.0005;
+  options.swap_policy.max_backoff_seconds = 0.002;
+  auto opened = Engine::Open(std::move(options));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Engine& engine = *opened.value();
+
+  // Clients hammer throughout the faulted swap: retries must cost ZERO
+  // failed in-flight requests (the old epoch serves until the retry lands).
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> answered{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 2; ++t) {
+    clients.emplace_back([&] {
+      EstimateRequest request;
+      request.path = PathSpec::ExplicitPath(PathBetween(0, 30));
+      request.departure_time = 8 * 3600.0;
+      while (!done.load(std::memory_order_relaxed)) {
+        auto response = engine.Estimate(request);
+        if (response.ok()) {
+          answered.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // First load attempt fails (injected, transient); the second lands.
+  fault::ScopedFaultInjection injection;
+  fault::FaultPlan plan;
+  plan.fail_on_hit = 1;
+  ASSERT_TRUE(injection.Arm("serving.swap.load", plan).ok());
+  auto swapped = engine.Swap(artifact_data_);
+  done.store(true);
+  for (std::thread& t : clients) t.join();
+
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  EXPECT_EQ(swapped.value(), 2u);
+  EXPECT_EQ(engine.model().fingerprint(), wp_data_->fingerprint());
+  EXPECT_EQ(failed.load(), 0u) << "a retrying swap failed in-flight requests";
+  EXPECT_GT(answered.load(), 0u);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.swap_attempts, 2u);
+  EXPECT_EQ(stats.swap_retries, 1u);
+}
+
+TEST_F(RefreshFaultTest, PersistentSwapFailureExhaustsAttempts) {
+  EngineOptions options;
+  options.model_path = artifact_base_;
+  options.graph = graph_;
+  options.num_threads = 1;
+  options.query_cache_bytes = 0;
+  options.swap_policy.max_attempts = 3;
+  options.swap_policy.initial_backoff_seconds = 0.0005;
+  options.swap_policy.max_backoff_seconds = 0.002;
+  auto opened = Engine::Open(std::move(options));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Engine& engine = *opened.value();
+
+  fault::ScopedFaultInjection injection;
+  fault::FaultPlan plan;
+  plan.fail_every = 1;  // every attempt fails: the fault is persistent
+  ASSERT_TRUE(injection.Arm("serving.swap.load", plan).ok());
+  auto swapped = engine.Swap(artifact_data_);
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.status().code(), StatusCode::kInternal)
+      << swapped.status().ToString();
+
+  // All attempts were spent, the last error surfaced, and the old epoch is
+  // untouched.
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.swap_attempts, 3u);
+  EXPECT_EQ(stats.swap_retries, 2u);
+  EXPECT_EQ(engine.epoch_sequence(), 1u);
+  EXPECT_EQ(engine.model().fingerprint(), wp_base_->fingerprint());
+
+  // Disarmed, the very next swap lands first try.
+  fault::DisarmAllFaults();
+  auto clean = engine.Swap(artifact_data_);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean.value(), 2u);
+  EXPECT_EQ(engine.stats().swap_retries, 2u);
 }
 
 }  // namespace
