@@ -24,8 +24,10 @@
 #include "common/scoped_file.h"
 #include "core/chain_estimator_reference.h"
 #include "core/serialization.h"
+#include "core/shard_writer.h"
 #include "routing/stochastic_router.h"
 #include "serving/engine.h"
+#include "serving/sharded_engine.h"
 
 namespace pcde {
 namespace bench {
@@ -1013,6 +1015,197 @@ int main(int argc, char** argv) {
     series.push_back(std::move(shed_series));
   }
 
+  // Sharded-serving series (ISSUE 10): split the workload model into two
+  // per-region shards, then serve through serving::ShardedEngine.
+  //  * sharded_estimate / sharded_estimate_mono: the same single-shard-hit
+  //    requests (each workload path's maximal prefix inside its owning
+  //    shard) served through the sharded front door and the monolithic
+  //    Engine, interleaved back to back; any summary that is not
+  //    bit-identical aborts the bench, so the sharded_vs_mono headline
+  //    certifies equivalence as well as pricing the routing layer.
+  //  * sharded_estimate_cross: full workload paths that cross the shard
+  //    boundary, served through the stitch; every response must carry the
+  //    degraded provenance the stitch contract promises.
+  //  * The footprint record: after serving (both shards attached), the
+  //    largest shard's resident bytes must sit strictly below the
+  //    monolithic model's.
+  ShardedFootprint sharded_footprint;
+  {
+    struct Cleanup {
+      std::vector<std::string> paths;
+      ~Cleanup() {
+        for (const std::string& p : paths) std::remove(p.c_str());
+      }
+    } cleanup;
+    const std::string manifest_path =
+        MakeTempArtifactPath("pcde_bench_shards", ".pcdemf");
+    cleanup.paths.push_back(manifest_path);
+    core::ShardWriteOptions shard_options;
+    shard_options.num_shards = 2;
+    shard_options.file_prefix =
+        "pcde_bench_shards." + std::to_string(::getpid());
+    auto split = core::WriteModelShards(*w.wp, manifest_path, shard_options);
+    if (!split.ok()) {
+      std::fprintf(stderr, "WriteModelShards failed: %s\n",
+                   split.status().ToString().c_str());
+      return 1;
+    }
+    const core::ShardManifest& manifest = split.value();
+    for (const core::ShardInfo& shard : manifest.shards) {
+      cleanup.paths.push_back(
+          (std::filesystem::temp_directory_path() / shard.file).string());
+    }
+    serving::ShardedEngineOptions sharded_options;
+    sharded_options.engine.graph = w.data->data.graph.get();
+    sharded_options.engine.num_threads = 1;
+    sharded_options.engine.query_cache_bytes = 0;
+    auto opened = serving::ShardedEngine::Open(manifest_path, sharded_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "ShardedEngine::Open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    const std::unique_ptr<serving::ShardedEngine> sharded =
+        std::move(opened).value();
+    auto mono = open_engine(/*threads=*/1, /*cache_bytes=*/0,
+                            /*prefix_bytes=*/0);
+    if (mono == nullptr) return 1;
+
+    // Single-shard-hit requests: each workload path's maximal prefix whose
+    // edges share one owning shard (length >= 1 by construction, so the
+    // set is never empty). Cross-shard requests: the full paths that span
+    // both shards.
+    std::vector<serving::EstimateRequest> single_hit, cross;
+    for (const core::PathQuery& q : w.queries) {
+      const size_t owner = manifest.ShardOf(q.path[0]);
+      size_t prefix = 1;
+      while (prefix < q.path.size() &&
+             manifest.ShardOf(q.path[prefix]) == owner) {
+        ++prefix;
+      }
+      serving::EstimateRequest request;
+      request.path =
+          serving::PathSpec::ExplicitPath(q.path.Slice(0, prefix));
+      request.departure_time = q.departure_time;
+      single_hit.push_back(std::move(request));
+      if (prefix < q.path.size()) {
+        serving::EstimateRequest full;
+        full.path = serving::PathSpec::ExplicitPath(q.path);
+        full.departure_time = q.departure_time;
+        cross.push_back(std::move(full));
+      }
+    }
+    // Warm both engines untimed so the series price steady-state routing,
+    // not the one-time lazy shard attach (milliseconds against a
+    // microsecond-scale request mean).
+    for (const serving::EstimateRequest& request : single_hit) {
+      if (!sharded->Estimate(request).ok() || !mono->Estimate(request).ok()) {
+        std::fprintf(stderr, "sharded warm-up estimate failed\n");
+        return 1;
+      }
+    }
+    for (const serving::EstimateRequest& request : cross) {
+      if (!sharded->Estimate(request).ok()) {
+        std::fprintf(stderr, "cross-shard warm-up estimate failed\n");
+        return 1;
+      }
+    }
+    const int sharded_reps = std::max(2, reps / 4);
+    std::vector<double> sharded_lat, mono_lat;
+    sharded_lat.reserve(single_hit.size() * static_cast<size_t>(sharded_reps));
+    mono_lat.reserve(single_hit.size() * static_cast<size_t>(sharded_reps));
+    auto serve_once = [](const auto& engine,
+                         const serving::EstimateRequest& request,
+                         std::vector<double>* latencies,
+                         serving::CostSummary* summary) -> bool {
+      Stopwatch watch;
+      auto response = engine.Estimate(request);
+      latencies->push_back(watch.ElapsedSeconds());
+      if (!response.ok()) {
+        std::fprintf(stderr, "sharded series estimate failed: %s\n",
+                     response.status().ToString().c_str());
+        return false;
+      }
+      *summary = response.value().summary;
+      return true;
+    };
+    for (int r = 0; r < sharded_reps; ++r) {
+      for (size_t i = 0; i < single_hit.size(); ++i) {
+        const serving::EstimateRequest& request = single_hit[i];
+        serving::CostSummary from_sharded, from_mono;
+        bool ok;
+        if ((static_cast<size_t>(r) + i) % 2 == 0) {
+          ok = serve_once(*sharded, request, &sharded_lat, &from_sharded) &&
+               serve_once(*mono, request, &mono_lat, &from_mono);
+        } else {
+          ok = serve_once(*mono, request, &mono_lat, &from_mono) &&
+               serve_once(*sharded, request, &sharded_lat, &from_sharded);
+        }
+        if (!ok) return 1;
+        if (!from_sharded.ExactlyEquals(from_mono)) {
+          std::fprintf(stderr,
+                       "sharded serving diverged from monolithic on "
+                       "single-shard request %zu\n",
+                       i);
+          return 1;
+        }
+      }
+    }
+    series.push_back(KernelSeries::FromLatencies("sharded_estimate",
+                                                 std::move(sharded_lat), 0));
+    series.push_back(KernelSeries::FromLatencies("sharded_estimate_mono",
+                                                 std::move(mono_lat), 0));
+    if (!cross.empty()) {
+      std::vector<double> cross_lat;
+      cross_lat.reserve(cross.size());
+      for (const serving::EstimateRequest& request : cross) {
+        Stopwatch watch;
+        auto response = sharded->Estimate(request);
+        cross_lat.push_back(watch.ElapsedSeconds());
+        if (!response.ok()) {
+          std::fprintf(stderr, "cross-shard estimate failed: %s\n",
+                       response.status().ToString().c_str());
+          return 1;
+        }
+        if (response.value().summary.degradation <
+            core::DegradationLevel::kSubpath) {
+          std::fprintf(stderr,
+                       "cross-shard response claims undegraded provenance\n");
+          return 1;
+        }
+      }
+      series.push_back(KernelSeries::FromLatencies("sharded_estimate_cross",
+                                                   std::move(cross_lat), 0));
+    }
+    sharded_footprint.num_shards = sharded->num_shards();
+    sharded_footprint.resident_bytes_max_shard =
+        sharded->MaxShardResidentBytes();
+    sharded_footprint.mono_resident_bytes = mono->model().ResidentBytes();
+    if (sharded->resident_shards() < sharded->num_shards()) {
+      std::fprintf(stderr,
+                   "sharded workload left a shard unattached; footprint "
+                   "record would be vacuous\n");
+      return 1;
+    }
+    if (sharded_footprint.resident_bytes_max_shard >=
+        sharded_footprint.mono_resident_bytes) {
+      std::fprintf(stderr,
+                   "max shard resident bytes (%zu) not below monolithic "
+                   "(%zu)\n",
+                   sharded_footprint.resident_bytes_max_shard,
+                   sharded_footprint.mono_resident_bytes);
+      return 1;
+    }
+    std::printf(
+        "  sharded footprint: max shard %.2f MB vs monolithic %.2f MB "
+        "(%zu shards, %zu cross-shard requests)\n",
+        static_cast<double>(sharded_footprint.resident_bytes_max_shard) /
+            (1024.0 * 1024.0),
+        static_cast<double>(sharded_footprint.mono_resident_bytes) /
+            (1024.0 * 1024.0),
+        sharded_footprint.num_shards, cross.size());
+  }
+
   for (const KernelSeries& s : series) {
     std::printf("  %-32s %8zu its  %10.1f ops/s  p50 %8.3f ms  p99 %8.3f ms"
                 "  max_states %zu  jc %.3fs  mc %.3fs",
@@ -1047,7 +1240,8 @@ int main(int argc, char** argv) {
   std::printf("binary load speedup vs text: %.1fx\n",
               model.BinaryLoadSpeedupVsText());
 
-  if (!WriteChainBenchJson(out_path, "chain_estimation", series, &model)) {
+  if (!WriteChainBenchJson(out_path, "chain_estimation", series, &model,
+                           &sharded_footprint)) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
     return 1;
   }

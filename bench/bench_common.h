@@ -274,6 +274,17 @@ struct ModelSeries {
   }
 };
 
+/// The sharded-serving footprint record (ISSUE 10): the resident-memory
+/// claim sharding exists for, measured after the bench served the whole
+/// sharded workload (every shard attached). The acceptance criterion is
+/// resident_bytes_max_shard strictly below mono_resident_bytes at >= 2
+/// shards — no single shard costs as much as the unsplit model.
+struct ShardedFootprint {
+  size_t num_shards = 0;
+  size_t resident_bytes_max_shard = 0;
+  size_t mono_resident_bytes = 0;
+};
+
 /// Writes the BENCH_chain.json schema: a flat object with the bench id,
 /// the kernel series, the optional model series, and the headline speedup
 /// of the rewritten kernel over the reference kernel (when both series are
@@ -281,7 +292,8 @@ struct ModelSeries {
 inline bool WriteChainBenchJson(const std::string& path,
                                 const std::string& bench_name,
                                 const std::vector<KernelSeries>& series,
-                                const ModelSeries* model = nullptr) {
+                                const ModelSeries* model = nullptr,
+                                const ShardedFootprint* sharded = nullptr) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   auto num = [](double v) {
@@ -357,6 +369,8 @@ inline bool WriteChainBenchJson(const std::string& path,
   const KernelSeries* overload_shed = nullptr;
   const KernelSeries* route_plain = nullptr;
   const KernelSeries* route_pruned = nullptr;
+  const KernelSeries* sharded_est = nullptr;
+  const KernelSeries* sharded_mono = nullptr;
   for (const KernelSeries& s : series) {
     if (s.name == "chain_sweep") rewrite = &s;
     if (s.name == "chain_sweep_reference") reference = &s;
@@ -372,6 +386,8 @@ inline bool WriteChainBenchJson(const std::string& path,
     if (s.name == "overload_shed") overload_shed = &s;
     if (s.name == "route_dfs") route_plain = &s;
     if (s.name == "route_dfs_pruned") route_pruned = &s;
+    if (s.name == "sharded_estimate") sharded_est = &s;
+    if (s.name == "sharded_estimate_mono") sharded_mono = &s;
   }
   if (rewrite != nullptr && reference != nullptr &&
       reference->ops_per_sec > 0.0) {
@@ -442,6 +458,28 @@ inline bool WriteChainBenchJson(const std::string& path,
     std::fprintf(
         f, ",\n  \"route_speedup_pruned_vs_plain\": %s",
         num(route_pruned->ops_per_sec / route_plain->ops_per_sec).c_str());
+  }
+  // Sharded-serving headlines (ISSUE 10): front-door throughput on
+  // single-shard-hit requests relative to the monolithic engine on the
+  // SAME requests, interleaved back to back (the bench aborts on any
+  // ExactlyEquals divergence, so a present ratio certifies bit-identical
+  // answers), plus the resident-footprint record — the largest attached
+  // shard next to the unsplit model. scripts/ci.sh gates the ratio
+  // >= PCDE_CI_MIN_SHARDED_RATIO and the footprint strictly below the
+  // monolith.
+  if (sharded_est != nullptr && sharded_mono != nullptr &&
+      sharded_mono->ops_per_sec > 0.0) {
+    std::fprintf(
+        f, ",\n  \"sharded_vs_mono\": %s",
+        num(sharded_est->ops_per_sec / sharded_mono->ops_per_sec).c_str());
+  }
+  if (sharded != nullptr && sharded->num_shards > 0) {
+    std::fprintf(f,
+                 ",\n  \"sharded_num_shards\": %zu"
+                 ",\n  \"sharded_resident_bytes_max_shard\": %zu"
+                 ",\n  \"sharded_mono_resident_bytes\": %zu",
+                 sharded->num_shards, sharded->resident_bytes_max_shard,
+                 sharded->mono_resident_bytes);
   }
   std::fprintf(f, "\n}\n");
   std::fclose(f);

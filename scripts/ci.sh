@@ -40,7 +40,13 @@
 #      (od_query additionally gates OD-pair resolution against the
 #      explicit-path form); model_refresh walks the zero-downtime refresh
 #      (build -> serve -> rejected corrupt swap -> delta rebuild -> swap ->
-#      serve) with exact-counterpart assertions on both epochs.
+#      serve) with exact-counterpart assertions on both epochs;
+#      sharded_serving splits one model into per-region shards plus a
+#      PCDEMF1 manifest, opens it through serving::ShardedEngine, and
+#      serves the same OD batch sharded vs monolithic — in-shard answers
+#      must be bit-identical, cross-shard answers stitched within
+#      tolerance with honest provenance, and the largest resident shard
+#      strictly below the monolithic footprint.
 #   5. scripts/run_benches.sh-equivalent perf record; fails the gate when
 #      BENCH_chain.json reports speedup_vs_reference < PCDE_CI_MIN_SPEEDUP
 #      (default 3), the binary model load is less than
@@ -76,7 +82,15 @@
 #      golden probe queries verified against per-generation references —
 #      the bench aborts on any probe divergence), and verification may
 #      cost at most PCDE_CI_MAX_VERIFY_RATIO (default 2) times the plain
-#      swap_publish_seconds.
+#      swap_publish_seconds. The sharded series (sharded_estimate,
+#      sharded_estimate_mono, sharded_estimate_cross) must be present —
+#      the bench aborts internally if any single-shard answer diverges
+#      from the monolithic engine bit-for-bit, a cross-shard stitch
+#      reports dishonest provenance, or the largest resident shard fails
+#      to undercut the monolithic footprint — and the sharded_vs_mono
+#      throughput ratio must stay at or above PCDE_CI_MIN_SHARDED_RATIO
+#      (default 0.8): the shard-routing front door may cost at most ~20%
+#      over serving the unsplit model directly.
 #
 # Usage: scripts/ci.sh [reps]
 set -euo pipefail
@@ -90,6 +104,7 @@ MIN_ENGINE_RATIO="${PCDE_CI_MIN_ENGINE_RATIO:-0.95}"
 MAX_OVERSHOOT_RATIO="${PCDE_CI_MAX_OVERSHOOT_RATIO:-0.5}"
 MIN_ROUTE_SPEEDUP="${PCDE_CI_MIN_ROUTE_SPEEDUP:-3}"
 MAX_VERIFY_RATIO="${PCDE_CI_MAX_VERIFY_RATIO:-2}"
+MIN_SHARDED_RATIO="${PCDE_CI_MIN_SHARDED_RATIO:-0.8}"
 
 echo "=== [1/5] Debug + ASan build (scalar SIMD fallback) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DPCDE_SANITIZE=address \
@@ -140,6 +155,7 @@ echo "=== [4/5] Examples end-to-end (build -> save -> reload -> serve via Engine
 ./build-release/example_data_pipeline
 ./build-release/example_od_query
 ./build-release/example_model_refresh
+./build-release/example_sharded_serving
 
 echo "=== [5/5] Perf gates (chain >= ${MIN_SPEEDUP}x, binary load >= ${MIN_LOAD_SPEEDUP}x, pruned routing >= ${MIN_ROUTE_SPEEDUP}x) ==="
 ./build-release/bench_chain_micro BENCH_chain.json "$REPS"
@@ -250,6 +266,30 @@ if [[ "$CORES" -ge 8 ]]; then
 else
   echo "ci: batch_scaling_8v1 = $SCALING (informational — host has $CORES CPUs; the >= $MIN_BATCH_SCALING gate needs >= 8)"
 fi
+# Sharded serving: the bench aborts before writing the JSON if any
+# single-shard request diverges from the monolithic engine bit-for-bit, a
+# cross-shard stitch reports dishonest provenance, or the largest resident
+# shard is not strictly below the monolithic footprint — so series
+# presence certifies those gates, and the ratio below prices the
+# shard-routing front door against the unsplit model.
+for sharded_series in sharded_estimate sharded_estimate_mono \
+                      sharded_estimate_cross; do
+  if ! grep -q "\"${sharded_series}\"" BENCH_chain.json; then
+    echo "ci: BENCH_chain.json has no ${sharded_series} series" >&2
+    exit 1
+  fi
+done
+SHARDED_RATIO="$(grep -o '"sharded_vs_mono": *[0-9.eE+-]*' BENCH_chain.json \
+                | grep -o '[0-9.eE+-]*$' || true)"
+if [[ -z "$SHARDED_RATIO" ]]; then
+  echo "ci: BENCH_chain.json has no sharded_vs_mono" >&2
+  exit 1
+fi
+if ! awk -v s="$SHARDED_RATIO" -v min="$MIN_SHARDED_RATIO" \
+     'BEGIN { exit (s + 0 >= min + 0) ? 0 : 1 }'; then
+  echo "ci: sharded_vs_mono = $SHARDED_RATIO < $MIN_SHARDED_RATIO — shard routing overhead regression" >&2
+  exit 1
+fi
 # Overload series: presence certifies the bench's internal runtime gates
 # (a deadline that never trips, a wrong unwind status, or a storm that
 # never sheds each abort the bench before the JSON is written).
@@ -270,4 +310,4 @@ if ! awk -v s="$OVERSHOOT_RATIO" -v max="$MAX_OVERSHOOT_RATIO" \
   echo "ci: deadline_overshoot_p50_vs_estimate_p50 = $OVERSHOOT_RATIO > $MAX_OVERSHOOT_RATIO — cancellation checkpoints have coarsened" >&2
   exit 1
 fi
-echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text, engine_batch_vs_direct = $ENGINE_RATIO, batch_scaling_8v1 = $SCALING, route_speedup_pruned_vs_plain = $ROUTE_SPEEDUP, swap_publish_seconds = $SWAP_SECONDS, swap_verified_publish_seconds = $SWAP_VERIFIED_SECONDS, deadline_overshoot_p50_vs_estimate_p50 = $OVERSHOOT_RATIO)"
+echo "ci: OK (speedup_vs_reference = $SPEEDUP, binary load ${LOAD_SPEEDUP}x text, engine_batch_vs_direct = $ENGINE_RATIO, batch_scaling_8v1 = $SCALING, route_speedup_pruned_vs_plain = $ROUTE_SPEEDUP, swap_publish_seconds = $SWAP_SECONDS, swap_verified_publish_seconds = $SWAP_VERIFIED_SECONDS, deadline_overshoot_p50_vs_estimate_p50 = $OVERSHOOT_RATIO, sharded_vs_mono = $SHARDED_RATIO)"

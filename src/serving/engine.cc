@@ -78,7 +78,7 @@ std::shared_ptr<const Engine::Epoch> Engine::BuildEpoch(
     config.max_expansions = options_.route_max_expansions;
     config.max_path_edges = options_.route_max_path_edges;
     config.num_threads = pool_->num_threads();
-    config.pool = pool_.get();
+    config.pool = pool_;
     config.query_cache = cache_.get();
     config.prefix_cache_bytes = options_.prefix_cache_bytes;
     config.pruning = options_.route_pruning;
@@ -185,7 +185,12 @@ StatusOr<std::unique_ptr<Engine>> Engine::Make(
     cache_options.time_bucket_seconds = opts.cache_time_bucket_seconds;
     engine->cache_ = std::make_unique<core::QueryCache>(cache_options);
   }
-  engine->pool_ = std::make_unique<ThreadPool>(opts.num_threads);
+  if (opts.shared_pool != nullptr) {
+    engine->pool_ = opts.shared_pool;
+  } else {
+    engine->owned_pool_ = std::make_unique<ThreadPool>(opts.num_threads);
+    engine->pool_ = engine->owned_pool_.get();
+  }
   AdmissionController::Options admission_options;
   admission_options.max_inflight = opts.max_inflight_requests;
   admission_options.max_queue_depth = opts.max_queue_depth;

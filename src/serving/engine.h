@@ -130,6 +130,12 @@ struct EngineOptions {
   /// root fan-out). 0 = hardware concurrency.
   size_t num_threads = 0;
 
+  /// External worker pool (not owned; must outlive the engine). When set,
+  /// the engine builds no pool of its own and `num_threads` is ignored —
+  /// this is how ShardedEngine gives its N inner engines one shared pool
+  /// instead of N independent thread herds. nullptr = own pool (default).
+  ThreadPool* shared_pool = nullptr;
+
   /// Byte budget of the shared result cache (core/query_cache.h); 0
   /// disables caching. Results are bit-identical either way.
   size_t query_cache_bytes = size_t{64} << 20;
@@ -195,6 +201,14 @@ struct EngineStats {
   uint64_t swap_retries = 0;
   uint64_t probe_failures = 0;
   uint64_t rollbacks = 0;
+  /// Sharded serving (ShardedEngine::stats(); always 0 on a plain Engine).
+  /// shards_resident is a point-in-time gauge of attached shards; the
+  /// other three count attaches, LRU evictions, and requests whose path
+  /// crossed a shard boundary (stitched serve) over the engine's lifetime.
+  uint64_t shards_resident = 0;
+  uint64_t shard_attaches = 0;
+  uint64_t shard_evictions = 0;
+  uint64_t cross_shard_requests = 0;
 };
 
 /// \brief Derives the serving-visible CostSummary from a cost
@@ -369,9 +383,12 @@ class Engine {
 
   EngineOptions options_;
   // Engine-level (epoch-independent) members; unique_ptr keeps their
-  // addresses stable for the epochs' estimators and routers.
+  // addresses stable for the epochs' estimators and routers. The pool is
+  // either owned here or borrowed from EngineOptions::shared_pool; pool_
+  // points at whichever serves, and every use goes through it.
   std::unique_ptr<core::QueryCache> cache_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
   // The published epoch, read with std::atomic_load (one acquire per
   // request) and replaced with std::atomic_store under swap_mutex_.
   std::shared_ptr<const Epoch> epoch_;

@@ -1,0 +1,437 @@
+#include "serving/sharded_engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/stopwatch.h"
+#include "core/serialization.h"
+#include "hist/histogram1d.h"
+#include "roadnet/shortest_path.h"
+
+namespace pcde {
+namespace serving {
+
+namespace {
+
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return std::string(".");
+  if (slash == 0) return std::string("/");
+  return path.substr(0, slash);
+}
+
+/// Mirror of Engine's per-request cancellation context: a deadline token
+/// in the caller's frame, linked under the request's external token.
+const CancelToken* SetupCancel(double timeout_seconds,
+                               const CancelToken* external,
+                               std::optional<CancelToken>* storage) {
+  if (timeout_seconds <= 0.0) return external;
+  storage->emplace(CancelToken::DeadlineAfter(timeout_seconds));
+  (*storage)->set_parent(external);
+  return &storage->value();
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(ShardedEngineOptions options)
+    : options_(std::move(options)) {}
+
+Status ShardedEngine::ValidateShardFiles(const ManifestState& state) {
+  for (size_t s = 0; s < state.manifest.shards.size(); ++s) {
+    const core::ShardInfo& info = state.manifest.shards[s];
+    const std::string path = state.dir + "/" + info.file;
+    std::error_code ec;
+    const uintmax_t nbytes = std::filesystem::file_size(path, ec);
+    if (ec) {
+      return Status::NotFound("ShardedEngine: shard " + std::to_string(s) +
+                              " artifact missing (" + path + ")");
+    }
+    if (static_cast<uint64_t>(nbytes) != info.bytes) {
+      return Status::InvalidArgument(
+          "ShardedEngine: shard " + std::to_string(s) + " artifact is " +
+          std::to_string(nbytes) + " bytes, manifest declares " +
+          std::to_string(info.bytes) + " (" + path + ")");
+    }
+    // The header peek re-validates magic/version/alpha, so a shard file
+    // that is the right size but the wrong content fails here too.
+    auto peek = core::PeekBinaryArtifactFingerprint(path);
+    if (!peek.ok()) return peek.status();
+    if (peek.value() != info.fingerprint) {
+      return Status::InvalidArgument(
+          "ShardedEngine: shard " + std::to_string(s) +
+          " artifact fingerprint does not match the manifest (" + path + ")");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
+    const std::string& manifest_path, ShardedEngineOptions options) {
+  PCDE_ASSIGN_OR_RETURN(manifest, core::LoadShardManifest(manifest_path));
+  auto state = std::make_shared<ManifestState>();
+  state->manifest = std::move(manifest);
+  state->dir = DirOf(manifest_path);
+  PCDE_RETURN_NOT_OK(ValidateShardFiles(*state));
+
+  std::unique_ptr<ShardedEngine> engine(
+      new ShardedEngine(std::move(options)));
+  engine->pool_ =
+      std::make_unique<ThreadPool>(engine->options_.engine.num_threads);
+  engine->shards_.reserve(state->manifest.shards.size());
+  for (size_t s = 0; s < state->manifest.shards.size(); ++s) {
+    engine->shards_.push_back(std::make_unique<Shard>());
+  }
+  engine->state_ = std::move(state);
+  return engine;
+}
+
+std::shared_ptr<const ShardedEngine::ManifestState> ShardedEngine::State()
+    const {
+  return std::atomic_load(&state_);
+}
+
+std::shared_ptr<const core::ShardManifest> ShardedEngine::manifest_snapshot()
+    const {
+  auto state = State();
+  // Aliasing constructor: the returned pointer keeps the whole state (and
+  // its directory string) alive.
+  return std::shared_ptr<const core::ShardManifest>(state, &state->manifest);
+}
+
+uint64_t ShardedEngine::manifest_fingerprint() const {
+  return State()->manifest.fingerprint;
+}
+
+uint64_t ShardedEngine::epoch_sequence() const {
+  return epoch_sequence_.load(std::memory_order_acquire);
+}
+
+size_t ShardedEngine::resident_shards() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    if (std::atomic_load(&shard->engine) != nullptr) ++n;
+  }
+  return n;
+}
+
+size_t ShardedEngine::ResidentBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    if (auto engine = std::atomic_load(&shard->engine)) {
+      total += engine->model_snapshot()->ResidentBytes();
+    }
+  }
+  return total;
+}
+
+size_t ShardedEngine::MaxShardResidentBytes() const {
+  size_t max_bytes = 0;
+  for (const auto& shard : shards_) {
+    if (auto engine = std::atomic_load(&shard->engine)) {
+      max_bytes = std::max(max_bytes,
+                           engine->model_snapshot()->ResidentBytes());
+    }
+  }
+  return max_bytes;
+}
+
+EngineStats ShardedEngine::stats() const {
+  EngineStats total;
+  size_t resident = 0;
+  for (const auto& shard : shards_) {
+    auto engine = std::atomic_load(&shard->engine);
+    if (engine == nullptr) continue;
+    ++resident;
+    const EngineStats s = engine->stats();
+    total.admitted += s.admitted;
+    total.shed += s.shed;
+    total.deadline_exceeded += s.deadline_exceeded;
+    total.cancelled += s.cancelled;
+    total.inflight += s.inflight;
+    total.inflight_highwater += s.inflight_highwater;
+    total.route_bound_pruned += s.route_bound_pruned;
+    total.route_incumbent_pruned += s.route_incumbent_pruned;
+    total.route_dominance_pruned += s.route_dominance_pruned;
+    total.route_estimator_clones += s.route_estimator_clones;
+    total.swap_attempts += s.swap_attempts;
+    total.swap_retries += s.swap_retries;
+    total.probe_failures += s.probe_failures;
+    total.rollbacks += s.rollbacks;
+  }
+  total.shards_resident = resident;
+  total.shard_attaches = shard_attaches_.load(std::memory_order_relaxed);
+  total.shard_evictions = shard_evictions_.load(std::memory_order_relaxed);
+  total.cross_shard_requests =
+      cross_shard_requests_.load(std::memory_order_relaxed);
+  return total;
+}
+
+void ShardedEngine::EnforceResidentCapLocked(size_t keep) const {
+  const size_t cap = options_.max_resident_shards;
+  if (cap == 0) return;
+  while (true) {
+    size_t resident = 0;
+    size_t victim = shards_.size();
+    uint64_t victim_touch = UINT64_MAX;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (std::atomic_load(&shards_[s]->engine) == nullptr) continue;
+      ++resident;
+      if (s == keep) continue;
+      const uint64_t touch =
+          shards_[s]->last_touch.load(std::memory_order_relaxed);
+      if (touch < victim_touch) {
+        victim_touch = touch;
+        victim = s;
+      }
+    }
+    if (resident <= cap || victim == shards_.size()) return;
+    // Detach: requests that already pinned this engine finish on it (the
+    // shared_ptr keeps it alive); new touches re-attach from the artifact.
+    std::shared_ptr<Engine> none;
+    std::atomic_store(&shards_[victim]->engine, none);
+    shard_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+StatusOr<std::shared_ptr<Engine>> ShardedEngine::AttachShard(
+    size_t idx) const {
+  Shard& shard = *shards_[idx];
+  const uint64_t now = touch_clock_.fetch_add(1, std::memory_order_relaxed);
+  shard.last_touch.store(now + 1, std::memory_order_relaxed);
+  if (auto engine = std::atomic_load(&shard.engine)) return engine;
+
+  std::lock_guard<std::mutex> lock(attach_mutex_);
+  if (auto engine = std::atomic_load(&shard.engine)) return engine;
+  if (PCDE_FAULT_POINT("serving.shard.attach")) {
+    return Status::Internal("ShardedEngine: injected attach fault for shard " +
+                            std::to_string(idx));
+  }
+  const auto state = State();
+  const core::ShardInfo& info = state->manifest.shards[idx];
+  const std::string path = state->dir + "/" + info.file;
+  // Re-verify identity at attach time (the file may have changed since
+  // Open/Swap validated it): a stale or foreign artifact must not serve
+  // under this manifest's stamp.
+  auto peek = core::PeekBinaryArtifactFingerprint(path);
+  if (!peek.ok()) return peek.status();
+  if (peek.value() != info.fingerprint) {
+    return Status::InvalidArgument(
+        "ShardedEngine: shard " + std::to_string(idx) +
+        " artifact fingerprint does not match the manifest (" + path + ")");
+  }
+  EngineOptions inner = options_.engine;
+  inner.model_path = path;
+  inner.shared_pool = pool_.get();
+  auto opened = Engine::Open(std::move(inner));
+  if (!opened.ok()) return opened.status();
+  std::shared_ptr<Engine> engine(std::move(opened).value());
+  std::atomic_store(&shard.engine, engine);
+  shard_attaches_.fetch_add(1, std::memory_order_relaxed);
+  EnforceResidentCapLocked(idx);
+  return engine;
+}
+
+StatusOr<roadnet::Path> ShardedEngine::ResolvePath(const PathSpec& spec)
+    const {
+  const roadnet::Graph* graph = options_.engine.graph;
+  if (spec.is_od) {
+    if (graph == nullptr) {
+      return Status::FailedPrecondition(
+          "ResolvePath: OD PathSpec needs EngineOptions::graph");
+    }
+    if (spec.from >= graph->NumVertices() || spec.to >= graph->NumVertices()) {
+      return Status::InvalidArgument("ResolvePath: unknown vertex");
+    }
+    if (spec.from == spec.to) {
+      return Status::InvalidArgument("ResolvePath: from == to");
+    }
+    // Deterministic free-flow resolution, exactly like Engine: the same OD
+    // pair selects the same path, the same shard routing, and the same
+    // inner cache entries.
+    return roadnet::ShortestPath(*graph, spec.from, spec.to,
+                                 roadnet::FreeFlowWeight(*graph));
+  }
+  if (spec.edges.empty()) {
+    return Status::InvalidArgument("ResolvePath: empty edge path");
+  }
+  if (graph != nullptr) {
+    PCDE_RETURN_NOT_OK(roadnet::ValidatePath(*graph, spec.edges.edges()));
+  }
+  return spec.edges;
+}
+
+StatusOr<EstimateResponse> ShardedEngine::Estimate(
+    const EstimateRequest& request) const {
+  Stopwatch watch;
+  PCDE_ASSIGN_OR_RETURN(path, ResolvePath(request.path));
+  // Pin one manifest generation for the whole request, like Engine pins
+  // one epoch: routing, attach checks, and the response stamp all read the
+  // same published state even if Swap lands mid-request.
+  const auto state = State();
+  const uint64_t epoch = epoch_sequence();
+
+  const size_t owner = state->manifest.ShardOf(path[0]);
+  bool single_shard = true;
+  for (size_t k = 1; k < path.size(); ++k) {
+    if (state->manifest.ShardOf(path[k]) != owner) {
+      single_shard = false;
+      break;
+    }
+  }
+  if (!single_shard) {
+    return EstimateStitched(request, std::move(path), *state, epoch);
+  }
+
+  // Single-shard serve: the shard holds every candidate variable the
+  // monolithic model would consult for this path (same front-edge CSR
+  // rows, same order), so the inner Engine's answer is bit-identical to
+  // the unsplit model's. Hand the resolved path down so OD resolution is
+  // not paid twice.
+  PCDE_ASSIGN_OR_RETURN(engine, AttachShard(owner));
+  EstimateRequest inner = request;
+  inner.path = PathSpec::ExplicitPath(std::move(path));
+  auto response = engine->Estimate(inner);
+  if (!response.ok()) return response.status();
+  EstimateResponse result = std::move(response).value();
+  result.model_fingerprint = state->manifest.fingerprint;
+  result.epoch = epoch;
+  result.serve_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+StatusOr<EstimateResponse> ShardedEngine::EstimateStitched(
+    const EstimateRequest& request, roadnet::Path path,
+    const ManifestState& state, uint64_t epoch) const {
+  Stopwatch watch;
+  cross_shard_requests_.fetch_add(1, std::memory_order_relaxed);
+  // One deadline for the whole stitched request: every segment estimate
+  // polls the same token, so the stitch honors timeouts end to end.
+  std::optional<CancelToken> deadline_token;
+  const CancelToken* cancel =
+      SetupCancel(request.timeout_seconds, request.cancel, &deadline_token);
+
+  const size_t max_buckets = options_.engine.estimate.chain.max_result_buckets;
+  const std::vector<roadnet::EdgeId>& edges = path.edges();
+  hist::Histogram1D total;
+  bool have_total = false;
+  core::DegradationLevel worst = core::DegradationLevel::kFull;
+  double covered_weighted = 0.0;
+  double t = request.departure_time;
+
+  size_t begin = 0;
+  while (begin < edges.size()) {
+    const size_t shard = state.manifest.ShardOf(edges[begin]);
+    size_t end = begin + 1;
+    while (end < edges.size() && state.manifest.ShardOf(edges[end]) == shard) {
+      ++end;
+    }
+    // Segment [begin, end) lives wholly in `shard`; estimate it there
+    // through the full serving path (decomposition, cache, degradation
+    // ladder) at the advanced departure time.
+    EstimateRequest seg_request;
+    seg_request.path = PathSpec::ExplicitPath(path.Slice(begin, end - begin));
+    seg_request.departure_time = t;
+    seg_request.stats = 0;  // the stitched total is summarized once below
+    seg_request.quantiles.clear();
+    seg_request.want_distribution = true;
+    seg_request.cancel = cancel;
+    PCDE_ASSIGN_OR_RETURN(engine, AttachShard(shard));
+    auto response = engine->Estimate(seg_request);
+    if (!response.ok()) return response.status();
+    worst = std::max(worst, response->summary.degradation);
+    covered_weighted +=
+        response->summary.covered_fraction * static_cast<double>(end - begin);
+    const hist::Histogram1D& seg = *response->distribution;
+    // The ladder's stitch semantics, applied at shard boundaries: advance
+    // the clock by the segment's mean, convolve under independence.
+    t += seg.Mean();
+    if (!have_total) {
+      total = seg;
+      have_total = true;
+    } else {
+      PCDE_ASSIGN_OR_RETURN(conv, hist::Convolve(total, seg, max_buckets));
+      total = std::move(conv);
+    }
+    begin = end;
+  }
+
+  EstimateResponse result;
+  result.summary = SummarizeDistribution(total, request.stats,
+                                         request.budget_seconds,
+                                         request.quantiles);
+  // Cross-shard provenance contract: never better than kSubpath (the
+  // boundary severed the decomposition even when every segment was served
+  // at kFull), never better than the worst segment; coverage is the
+  // length-weighted mean over segments.
+  result.summary.degradation =
+      std::max(core::DegradationLevel::kSubpath, worst);
+  result.summary.covered_fraction =
+      covered_weighted / static_cast<double>(edges.size());
+  result.resolved_path = std::move(path);
+  if (request.want_distribution) result.distribution = std::move(total);
+  result.model_fingerprint = state.manifest.fingerprint;
+  result.epoch = epoch;
+  result.serve_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+std::vector<StatusOr<EstimateResponse>> ShardedEngine::EstimateBatch(
+    const EstimateRequest* requests, size_t num_requests) const {
+  std::vector<StatusOr<EstimateResponse>> responses(
+      num_requests, Status::Internal("EstimateBatch: request not run"));
+  // One task per request on the shared pool; each request routes, attaches,
+  // and stitches independently — the per-request error isolation of
+  // Engine::EstimateBatch carries over. Inner Engine::Estimate never fans
+  // out onto the pool itself, so tasks cannot deadlock on it.
+  pool_->ParallelFor(num_requests, [this, requests, &responses](size_t i) {
+    responses[i] = Estimate(requests[i]);
+  });
+  return responses;
+}
+
+StatusOr<uint64_t> ShardedEngine::Swap(const std::string& manifest_path) {
+  std::lock_guard<std::mutex> lock(swap_mutex_);
+  PCDE_ASSIGN_OR_RETURN(manifest, core::LoadShardManifest(manifest_path));
+  const auto current = State();
+  if (manifest.fingerprint == current->manifest.fingerprint) {
+    // Same generation already serving; nothing to reload.
+    return epoch_sequence();
+  }
+  auto next = std::make_shared<ManifestState>();
+  next->manifest = std::move(manifest);
+  next->dir = DirOf(manifest_path);
+  if (next->manifest.shards.size() != current->manifest.shards.size()) {
+    return Status::InvalidArgument(
+        "ShardedEngine::Swap: shard count changed (" +
+        std::to_string(current->manifest.shards.size()) + " -> " +
+        std::to_string(next->manifest.shards.size()) +
+        "); re-sharding requires a fresh Open");
+  }
+  // Validate every shard file of the incoming generation before touching
+  // any engine: a missing/short/mismatched artifact rejects the whole swap
+  // with nothing republished.
+  PCDE_RETURN_NOT_OK(ValidateShardFiles(*next));
+
+  // Per-shard refresh: only attached shards whose fingerprint changed
+  // reload; each goes through the inner Engine's verified epoch swap.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (next->manifest.shards[s].fingerprint ==
+        current->manifest.shards[s].fingerprint) {
+      continue;
+    }
+    auto engine = std::atomic_load(&shards_[s]->engine);
+    if (engine == nullptr) continue;  // next touch loads the new artifact
+    const std::string path = next->dir + "/" + next->manifest.shards[s].file;
+    auto swapped = engine->Swap(path);
+    if (!swapped.ok()) return swapped.status();
+  }
+  std::atomic_store(&state_,
+                    std::shared_ptr<const ManifestState>(std::move(next)));
+  return epoch_sequence_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+}  // namespace serving
+}  // namespace pcde

@@ -1,0 +1,184 @@
+// serving::ShardedEngine — the shard-routing front door over per-region
+// model shards (core/shard_writer.h). One process serves a continent-scale
+// model without holding it resident: the engine opens a PCDEMF1 manifest,
+// owns one inner Engine per shard (buffered or mmap, all sharing one
+// ThreadPool), and routes each request to the shard(s) owning its path's
+// front-edge keys.
+//
+//   ShardedEngineOptions options;
+//   options.engine.graph = &graph;            // inner-engine template
+//   auto sharded = ShardedEngine::Open("model.pcdemf", options);
+//   auto response = (*sharded)->Estimate(req);
+//
+// Exactness boundary: a path whose every edge id falls in ONE shard's key
+// range is served bit-identically to the monolithic Engine on the unsplit
+// model — that shard holds exactly the candidate variables (per-front-edge
+// CSR rows) the monolithic model would consult, in the same order. A path
+// crossing shard boundaries is segmented at the boundaries; each segment
+// is estimated on its owning shard (through the full degradation ladder,
+// provenance preserved) and the segment distributions are convolved left
+// to right under independence with the departure time advanced by each
+// segment's mean — the same stitch the sparse-coverage ladder uses across
+// uncovered gaps, so the result is flagged with degradation >= kSubpath
+// and a length-weighted covered_fraction rather than passed off as exact.
+//
+// Shards attach lazily (open-on-first-touch); an optional LRU cap bounds
+// resident shards, so per-process resident bytes stay flat as the model
+// grows. Refresh is per shard: Swap(manifest) reloads only shards whose
+// manifest fingerprint changed, each through the inner Engine's verified
+// epoch swap. Responses are stamped with the MANIFEST fingerprint (the
+// generation identity of the whole shard set) and the sharded engine's own
+// epoch; shard epochs advance independently underneath.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/shard_writer.h"
+#include "serving/engine.h"
+#include "serving/request.h"
+
+namespace pcde {
+namespace serving {
+
+struct ShardedEngineOptions {
+  /// Template for every inner per-shard Engine (estimate options, graph,
+  /// mmap flag, cache sizing — note query_cache_bytes applies PER SHARD).
+  /// model_path and shared_pool are overwritten per shard; num_threads
+  /// sizes the one pool all shards share.
+  EngineOptions engine;
+  /// LRU cap on concurrently attached shards; attaching past the cap
+  /// evicts the least-recently-touched other shard (its in-flight requests
+  /// finish on their pinned engine; the next touch re-attaches). 0 =
+  /// unbounded — every shard may stay resident once touched.
+  size_t max_resident_shards = 0;
+};
+
+class ShardedEngine {
+ public:
+  /// Opens the manifest, validates every shard artifact against it
+  /// (existence, size, header fingerprint — cheap 64-byte peeks; missing,
+  /// short, or mismatched shard files fail here with a clean Status), and
+  /// stands up the routing table. No shard payload is loaded yet.
+  static StatusOr<std::unique_ptr<ShardedEngine>> Open(
+      const std::string& manifest_path, ShardedEngineOptions options);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// \brief Per-shard refresh: loads + validates the manifest (and every
+  /// shard file named by it), then swaps only the attached shards whose
+  /// fingerprint changed — each through the inner Engine's epoch swap
+  /// (retry/backoff/probes per the template's SwapPolicy). Unattached
+  /// shards just adopt the new metadata and load the new artifact on next
+  /// touch. A manifest with the currently served fingerprint short-
+  /// circuits to a no-op. The shard count must be unchanged (re-sharding
+  /// requires a fresh Open). On success the new manifest publishes
+  /// atomically and the sharded epoch advances; responses stamp the new
+  /// manifest fingerprint. If one shard's swap fails mid-way, the error
+  /// returns with the OLD manifest still published — already-refreshed
+  /// shards keep their new content (shard epochs are per shard); rerunning
+  /// Swap converges the rest.
+  StatusOr<uint64_t> Swap(const std::string& manifest_path);
+
+  /// PathSpec resolution, identical to Engine::ResolvePath (free-flow
+  /// shortest path for OD pairs, graph validation for explicit paths).
+  StatusOr<roadnet::Path> ResolvePath(const PathSpec& spec) const;
+
+  /// One query end to end: resolve, route to shard(s), estimate (single
+  /// shard: exactly the inner Engine's serve; cross-shard: the documented
+  /// stitch), summarize. model_fingerprint carries the manifest
+  /// fingerprint, epoch the sharded engine's epoch.
+  StatusOr<EstimateResponse> Estimate(const EstimateRequest& request) const;
+
+  /// Many queries concurrently on the shared pool; response i corresponds
+  /// to requests[i] and fails alone on a bad request, like Engine.
+  std::vector<StatusOr<EstimateResponse>> EstimateBatch(
+      const EstimateRequest* requests, size_t num_requests) const;
+  std::vector<StatusOr<EstimateResponse>> EstimateBatch(
+      const std::vector<EstimateRequest>& requests) const {
+    return EstimateBatch(requests.data(), requests.size());
+  }
+
+  /// The currently published manifest (swap-safe snapshot).
+  std::shared_ptr<const core::ShardManifest> manifest_snapshot() const;
+  /// Fingerprint stamped on responses served right now.
+  uint64_t manifest_fingerprint() const;
+  /// Sharded epoch (starts at 1; +1 per successful non-short-circuited
+  /// Swap). Inner shard engines keep their own epoch sequences.
+  uint64_t epoch_sequence() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  /// Shards currently attached (the EngineStats::shards_resident gauge).
+  size_t resident_shards() const;
+  /// Sum / max of the attached shards' model resident bytes — the flat-
+  /// memory claim sharding exists for; detached shards cost nothing.
+  size_t ResidentBytes() const;
+  size_t MaxShardResidentBytes() const;
+
+  /// Aggregated counters: lifetime sums over the inner engines that are
+  /// currently attached, plus the sharded counters (shards_resident,
+  /// shard_attaches, shard_evictions, cross_shard_requests). Lock-free
+  /// like Engine::stats(); an evicted shard's inner counters leave the
+  /// aggregate.
+  EngineStats stats() const;
+
+  const ShardedEngineOptions& options() const { return options_; }
+
+ private:
+  /// Manifest + the directory shard file names resolve against, published
+  /// together (a Swap may point at a manifest in a different directory).
+  struct ManifestState {
+    core::ShardManifest manifest;
+    std::string dir;
+  };
+
+  /// One shard slot. `engine` is written under attach_mutex_ and read with
+  /// atomic shared_ptr loads; requests pin the engine they entered on, so
+  /// an eviction mid-request never tears a serve.
+  struct Shard {
+    std::shared_ptr<Engine> engine;         // atomic_load / atomic_store
+    std::atomic<uint64_t> last_touch{0};    // LRU clock value at last use
+  };
+
+  explicit ShardedEngine(ShardedEngineOptions options);
+
+  std::shared_ptr<const ManifestState> State() const;
+
+  /// The engine for shard `idx`, attaching (and possibly evicting another
+  /// shard past the LRU cap) on first touch.
+  StatusOr<std::shared_ptr<Engine>> AttachShard(size_t idx) const;
+
+  /// Least-recently-touched attached shard other than `keep` is detached
+  /// until the resident count fits the cap; caller holds attach_mutex_.
+  void EnforceResidentCapLocked(size_t keep) const;
+
+  /// Existence / size / header-fingerprint check of every shard artifact
+  /// named by `state` (cheap: no payload reads).
+  static Status ValidateShardFiles(const ManifestState& state);
+
+  /// The cross-shard stitch (see the header comment's contract).
+  StatusOr<EstimateResponse> EstimateStitched(
+      const EstimateRequest& request, roadnet::Path path,
+      const ManifestState& state, uint64_t epoch) const;
+
+  ShardedEngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // shared by every inner engine
+  std::shared_ptr<const ManifestState> state_;  // atomic_load / atomic_store
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex attach_mutex_;   // serializes attach/evict decisions
+  mutable std::mutex swap_mutex_;     // serializes Swap callers
+  std::atomic<uint64_t> epoch_sequence_{1};
+  mutable std::atomic<uint64_t> touch_clock_{0};
+  mutable std::atomic<uint64_t> shard_attaches_{0};
+  mutable std::atomic<uint64_t> shard_evictions_{0};
+  mutable std::atomic<uint64_t> cross_shard_requests_{0};
+};
+
+}  // namespace serving
+}  // namespace pcde

@@ -43,9 +43,11 @@
 #include "common/fault_injection.h"
 #include "core/instantiation.h"
 #include "core/serialization.h"
+#include "core/shard_writer.h"
 #include "core/weight_function.h"
 #include "roadnet/shortest_path.h"
 #include "serving/engine.h"
+#include "serving/sharded_engine.h"
 #include "traj/generator.h"
 #include "traj/store.h"
 
@@ -106,12 +108,39 @@ class FaultSweepTest : public ::testing::Test {
       ASSERT_TRUE(response.ok()) << response.status().ToString();
       (*references_)[wp->fingerprint()] = response.value().summary;
     }
+    // A 2-shard split of the data generation joins the durability path
+    // (manifest write/load + shard-attach sites, ISSUE 10). Its probe
+    // answer is a reference keyed by the MANIFEST fingerprint — sharded
+    // responses stamp the generation identity of the whole shard set.
+    manifest_ = TempPath(Prefix() + ".fix.pcdemf");
+    core::ShardWriteOptions shard_options;
+    shard_options.num_shards = 2;
+    shard_options.file_prefix = Prefix() + ".fix";
+    auto split = core::WriteModelShards(*wp_data_, manifest_, shard_options);
+    ASSERT_TRUE(split.ok()) << split.status().ToString();
+    for (const auto& shard : split.value().shards) {
+      shard_files_->push_back(TempPath(shard.file));
+    }
+    {
+      ShardedEngineOptions options;
+      options.engine.graph = graph_;
+      options.engine.num_threads = 1;
+      options.engine.query_cache_bytes = 0;
+      auto sharded = ShardedEngine::Open(manifest_, std::move(options));
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      auto probe = sharded.value()->Estimate(ProbeRequest());
+      ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+      (*references_)[split.value().fingerprint] = probe.value().summary;
+    }
   }
 
   static void TearDownTestSuite() {
     std::remove(bin_base_.c_str());
     std::remove(bin_data_.c_str());
     std::remove(text_data_.c_str());
+    std::remove(manifest_.c_str());
+    for (const std::string& p : *shard_files_) std::remove(p.c_str());
+    shard_files_->clear();
     delete wp_data_;
     delete wp_base_;
     delete dataset_;
@@ -199,6 +228,29 @@ class FaultSweepTest : public ::testing::Test {
     auto engine = OpenEngineOn(bin_base_, EngineOptions());
     ASSERT_NE(engine, nullptr);
     ASSERT_TRUE(engine->Swap(bin_data_).ok());
+    // Sharded durability path (ISSUE 10): the split registers the manifest
+    // write sites, the load registers the manifest read sites, and a
+    // served request registers the shard-attach site.
+    const std::string m = TempPath(Prefix() + ".warm.pcdemf");
+    core::ShardWriteOptions shard_options;
+    shard_options.num_shards = 2;
+    shard_options.file_prefix = Prefix() + ".warmshard";
+    auto split = core::WriteModelShards(*wp_data_, m, shard_options);
+    ASSERT_TRUE(split.ok()) << split.status().ToString();
+    ASSERT_TRUE(core::LoadShardManifest(m).ok());
+    {
+      ShardedEngineOptions options;
+      options.engine.graph = graph_;
+      options.engine.num_threads = 1;
+      options.engine.query_cache_bytes = 0;
+      auto sharded = ShardedEngine::Open(m, std::move(options));
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      ASSERT_TRUE(sharded.value()->Estimate(ProbeRequest()).ok());
+    }
+    for (const auto& shard : split.value().shards) {
+      std::remove(TempPath(shard.file).c_str());
+    }
+    std::remove(m.c_str());
     std::remove(b.c_str());
     std::remove(t.c_str());
   }
@@ -210,6 +262,8 @@ class FaultSweepTest : public ::testing::Test {
   static std::string bin_base_;
   static std::string bin_data_;
   static std::string text_data_;
+  static std::string manifest_;  // 2-shard split of the data generation
+  static std::vector<std::string>* shard_files_;
   static std::unordered_map<uint64_t, CostSummary>* references_;
   std::vector<std::string> cleanup_;
 };
@@ -221,6 +275,9 @@ PathWeightFunction* FaultSweepTest::wp_data_ = nullptr;
 std::string FaultSweepTest::bin_base_;
 std::string FaultSweepTest::bin_data_;
 std::string FaultSweepTest::text_data_;
+std::string FaultSweepTest::manifest_;
+std::vector<std::string>* FaultSweepTest::shard_files_ =
+    new std::vector<std::string>();
 std::unordered_map<uint64_t, CostSummary>* FaultSweepTest::references_ =
     new std::unordered_map<uint64_t, CostSummary>();
 
@@ -236,6 +293,14 @@ TEST_F(FaultSweepTest, RegistryEnumeratesTheDurabilityPath) {
   // must be among them.
   EXPECT_NE(std::find(sites.begin(), sites.end(),
                       std::string("serialization.binary.write")),
+            sites.end());
+  // The sharded durability path (manifest writer + shard attach) is
+  // enumerated alongside the artifact sites.
+  EXPECT_NE(std::find(sites.begin(), sites.end(),
+                      std::string("serialization.manifest.write")),
+            sites.end());
+  EXPECT_NE(std::find(sites.begin(), sites.end(),
+                      std::string("serving.shard.attach")),
             sites.end());
 }
 
@@ -298,6 +363,36 @@ TEST_F(FaultSweepTest, PerSiteSweepFailsCleanAndKeepsServing) {
       }
     }
 
+    // Sharded front door under the same fault. A fresh split may fail
+    // (clean Status); a committed manifest implies its rename landed.
+    const std::string fresh_manifest =
+        Track(TempPath(Prefix() + ".it.pcdemf"));
+    Track(TempPath(Prefix() + ".itshard.0.pcdewf"));
+    Track(TempPath(Prefix() + ".itshard.1.pcdewf"));
+    core::ShardWriteOptions shard_options;
+    shard_options.num_shards = 2;
+    shard_options.file_prefix = Prefix() + ".itshard";
+    const auto split =
+        core::WriteModelShards(*wp_data_, fresh_manifest, shard_options);
+    if (split.ok()) {
+      EXPECT_TRUE(std::filesystem::exists(fresh_manifest));
+    }
+    // Manifest load + sharded open/serve against the known-good fixture
+    // generation: ok or clean failure, and a response that does land must
+    // be bit-identical to the disarmed sharded reference.
+    (void)core::LoadShardManifest(manifest_);
+    {
+      ShardedEngineOptions options;
+      options.engine.graph = graph_;
+      options.engine.num_threads = 1;
+      options.engine.query_cache_bytes = 0;
+      auto sharded = ShardedEngine::Open(manifest_, std::move(options));
+      if (sharded.ok()) {
+        auto response = sharded.value()->Estimate(ProbeRequest());
+        if (response.ok()) ExpectServedFromKnownGeneration(response);
+      }
+    }
+
     // Swap toward the generation not currently served, so the attempt
     // never short-circuits and always exercises the swap path.
     const bool serving_base =
@@ -319,6 +414,9 @@ TEST_F(FaultSweepTest, PerSiteSweepFailsCleanAndKeepsServing) {
     ExpectNoTmpDroppings();
     std::remove(fresh_bin.c_str());
     std::remove(fresh_text.c_str());
+    std::remove(fresh_manifest.c_str());
+    std::remove(TempPath(Prefix() + ".itshard.0.pcdewf").c_str());
+    std::remove(TempPath(Prefix() + ".itshard.1.pcdewf").c_str());
   }
   EXPECT_FALSE(fault::Armed()) << "a sweep iteration leaked an armed plan";
 }
